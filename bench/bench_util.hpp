@@ -1,0 +1,75 @@
+/**
+ * @file
+ * Shared helpers for the experiment-reproduction benchmark binaries.
+ *
+ * Each binary regenerates one table or figure of the paper; these
+ * helpers provide the circuit list, the standard compiler instances and
+ * aligned table printing.
+ */
+
+#ifndef ZAC_BENCH_BENCH_UTIL_HPP
+#define ZAC_BENCH_BENCH_UTIL_HPP
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "arch/presets.hpp"
+#include "baselines/atomique.hpp"
+#include "baselines/enola.hpp"
+#include "baselines/nalac.hpp"
+#include "baselines/sc/sc_model.hpp"
+#include "circuit/generators.hpp"
+#include "core/compiler.hpp"
+#include "fidelity/model.hpp"
+
+namespace zac::bench
+{
+
+/** The 17 benchmark circuits of Fig. 8, in paper order. */
+inline std::vector<std::string>
+circuitNames()
+{
+    std::vector<std::string> names;
+    for (const auto &rec : bench_circuits::paperBenchmarkRecords())
+        names.push_back(rec.name);
+    return names;
+}
+
+/** Default full-strength ZAC options (SA + dynPlace + reuse). */
+inline ZacOptions
+defaultZacOptions()
+{
+    ZacOptions opts;
+    opts.sa_iterations = 1000; // the paper's SA budget
+    return opts;
+}
+
+/** Print a header line for an experiment. */
+inline void
+banner(const char *experiment, const char *description)
+{
+    std::printf("================================================"
+                "======================\n");
+    std::printf("%s — %s\n", experiment, description);
+    std::printf("================================================"
+                "======================\n");
+}
+
+/** Print one aligned row label. */
+inline void
+printLabel(const std::string &label)
+{
+    std::printf("%-16s", label.c_str());
+}
+
+/** Geometric mean shorthand over a column. */
+inline double
+gmean(const std::vector<double> &values)
+{
+    return geometricMean(values);
+}
+
+} // namespace zac::bench
+
+#endif // ZAC_BENCH_BENCH_UTIL_HPP

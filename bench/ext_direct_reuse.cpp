@@ -1,0 +1,56 @@
+/**
+ * @file
+ * Extension study (paper Sec. X future work): "allowing movements
+ * within entanglement zones for more advanced qubit reuse". With
+ * use_direct_reuse, a qubit active in two consecutive Rydberg stages
+ * moves site-to-site instead of detouring through storage, saving two
+ * atom transfers and one rearrangement round per occurrence.
+ *
+ * This is an ablation beyond the paper: it quantifies how much headroom
+ * the future-work idea has on the paper's own benchmark set.
+ */
+
+#include "bench_util.hpp"
+
+using namespace zac;
+using namespace zac::bench;
+
+int
+main()
+{
+    banner("Extension", "direct in-zone reuse (paper Sec. X future work)");
+
+    ZacOptions base = defaultZacOptions();
+    ZacOptions ext = base;
+    ext.use_direct_reuse = true;
+    ZacCompiler zac_base(presets::referenceZoned(), base);
+    ZacCompiler zac_ext(presets::referenceZoned(), ext);
+
+    std::printf("%-16s %10s %10s %9s %9s %9s\n", "circuit",
+                "fid(base)", "fid(ext)", "tran(b)", "tran(e)",
+                "direct");
+    std::vector<double> f_base, f_ext, t_ratio;
+    for (const std::string &name : circuitNames()) {
+        const Circuit c = bench_circuits::paperBenchmark(name);
+        const ZacResult rb = zac_base.compile(c);
+        const ZacResult re = zac_ext.compile(c);
+        f_base.push_back(rb.fidelity.total);
+        f_ext.push_back(re.fidelity.total);
+        t_ratio.push_back(
+            static_cast<double>(re.fidelity.n_transfer) /
+            static_cast<double>(std::max(1, rb.fidelity.n_transfer)));
+        printLabel(name);
+        std::printf(" %10.4f %10.4f %9d %9d %9d\n", rb.fidelity.total,
+                    re.fidelity.total, rb.fidelity.n_transfer,
+                    re.fidelity.n_transfer, re.plan.direct_moves);
+        std::fflush(stdout);
+    }
+    printLabel("GMean");
+    std::printf(" %10.4f %10.4f %9s %9s\n", gmean(f_base),
+                gmean(f_ext), "", "");
+    std::printf("\ndirect in-zone reuse changes geomean fidelity by "
+                "%+0.2f%% and transfers by %.0f%% (geomean ratio)\n",
+                100.0 * (gmean(f_ext) / gmean(f_base) - 1.0),
+                100.0 * (gmean(t_ratio) - 1.0));
+    return 0;
+}

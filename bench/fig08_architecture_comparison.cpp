@@ -1,0 +1,64 @@
+/**
+ * @file
+ * Reproduces Fig. 8: circuit fidelity across six systems — SC-Heron,
+ * SC-Grid, Monolithic-Atomique, Monolithic-Enola, Zoned-NALAC and
+ * Zoned-ZAC — over the 17 QASMBench circuits, with the geometric mean.
+ *
+ * Paper headline shapes this regenerates: ZAC beats every neutral-atom
+ * baseline on every circuit; geomean gains around 22x over Enola, 4x
+ * over NALAC, and 1.5-2.5x over the superconducting devices.
+ */
+
+#include "bench_util.hpp"
+
+using namespace zac;
+using namespace zac::bench;
+using namespace zac::baselines;
+
+int
+main()
+{
+    banner("Fig. 8", "fidelity comparison across architectures");
+
+    ZacCompiler zac_c(presets::referenceZoned(), defaultZacOptions());
+    NalacCompiler nalac(presets::referenceZoned());
+    EnolaCompiler enola(presets::monolithic());
+    AtomiqueCompiler atomique{presets::monolithic()};
+    const ScCompiler heron = ScCompiler::heron();
+    const ScCompiler grid = ScCompiler::sycamoreGrid();
+
+    std::printf("%-16s %9s %9s %12s %12s %9s %9s\n", "circuit",
+                "SC-Heron", "SC-Grid", "Mono-Atomiq", "Mono-Enola",
+                "Z-NALAC", "Z-ZAC");
+
+    std::vector<double> f_heron, f_grid, f_atomique, f_enola, f_nalac,
+        f_zac;
+    for (const std::string &name : circuitNames()) {
+        const Circuit c = bench_circuits::paperBenchmark(name);
+        f_heron.push_back(heron.compile(c).total);
+        f_grid.push_back(grid.compile(c).total);
+        f_atomique.push_back(atomique.compile(c).fidelity.total);
+        f_enola.push_back(enola.compile(c).fidelity.total);
+        f_nalac.push_back(nalac.compile(c).fidelity.total);
+        f_zac.push_back(zac_c.compile(c).fidelity.total);
+        printLabel(name);
+        std::printf(" %9.4f %9.4f %12.3e %12.3e %9.4f %9.4f\n",
+                    f_heron.back(), f_grid.back(), f_atomique.back(),
+                    f_enola.back(), f_nalac.back(), f_zac.back());
+        std::fflush(stdout);
+    }
+    printLabel("GMean");
+    std::printf(" %9.4f %9.4f %12.3e %12.3e %9.4f %9.4f\n",
+                gmean(f_heron), gmean(f_grid), gmean(f_atomique),
+                gmean(f_enola), gmean(f_nalac), gmean(f_zac));
+
+    const double g_zac = gmean(f_zac);
+    std::printf("\nZAC geomean gains (paper: 1.56x Heron, 2.33x Grid, "
+                "13350x Atomique, 22x Enola, 4x NALAC):\n");
+    std::printf("  vs SC-Heron   %8.2fx\n", g_zac / gmean(f_heron));
+    std::printf("  vs SC-Grid    %8.2fx\n", g_zac / gmean(f_grid));
+    std::printf("  vs Atomique   %8.1fx\n", g_zac / gmean(f_atomique));
+    std::printf("  vs Enola      %8.1fx\n", g_zac / gmean(f_enola));
+    std::printf("  vs NALAC      %8.2fx\n", g_zac / gmean(f_nalac));
+    return 0;
+}

@@ -1,0 +1,84 @@
+/**
+ * @file
+ * Reproduces Fig. 9: fidelity breakdown — 2Q-gate term (f2^g2 times the
+ * excitation term), atom-transfer term, and decoherence term — for
+ * Atomique, Enola, NALAC and ZAC.
+ *
+ * Paper shapes: without excitation errors ZAC's 2Q term beats NALAC
+ * (~1.37x) and Enola (~14x); Atomique has no transfer losses at all;
+ * ZAC's decoherence beats Atomique (~1.36x).
+ */
+
+#include "bench_util.hpp"
+
+using namespace zac;
+using namespace zac::bench;
+using namespace zac::baselines;
+
+int
+main()
+{
+    banner("Fig. 9", "fidelity breakdown (2Q / transfer / decoherence)");
+
+    ZacCompiler zac_c(presets::referenceZoned(), defaultZacOptions());
+    NalacCompiler nalac(presets::referenceZoned());
+    EnolaCompiler enola(presets::monolithic());
+    AtomiqueCompiler atomique{presets::monolithic()};
+
+    struct Cols
+    {
+        std::vector<double> two_q, tran, deco;
+    };
+    Cols a, e, n, z;
+
+    std::printf("%-16s | %10s %10s %10s %10s | %8s %8s %8s %8s | %8s "
+                "%8s %8s %8s\n",
+                "circuit", "2Q:Atq", "2Q:Enl", "2Q:NAL", "2Q:ZAC",
+                "Tr:Atq", "Tr:Enl", "Tr:NAL", "Tr:ZAC", "De:Atq",
+                "De:Enl", "De:NAL", "De:ZAC");
+    for (const std::string &name : circuitNames()) {
+        const Circuit c = bench_circuits::paperBenchmark(name);
+        const FidelityBreakdown fa = atomique.compile(c).fidelity;
+        const FidelityBreakdown fe = enola.compile(c).fidelity;
+        const FidelityBreakdown fn = nalac.compile(c).fidelity;
+        const FidelityBreakdown fz = zac_c.compile(c).fidelity;
+        a.two_q.push_back(fa.f_2q);
+        e.two_q.push_back(fe.f_2q);
+        n.two_q.push_back(fn.f_2q);
+        z.two_q.push_back(fz.f_2q);
+        a.tran.push_back(fa.f_transfer);
+        e.tran.push_back(fe.f_transfer);
+        n.tran.push_back(fn.f_transfer);
+        z.tran.push_back(fz.f_transfer);
+        a.deco.push_back(fa.f_decoherence);
+        e.deco.push_back(fe.f_decoherence);
+        n.deco.push_back(fn.f_decoherence);
+        z.deco.push_back(fz.f_decoherence);
+        printLabel(name);
+        std::printf(" | %10.3e %10.3e %10.4f %10.4f | %8.4f %8.4f "
+                    "%8.4f %8.4f | %8.4f %8.4f %8.4f %8.4f\n",
+                    fa.f_2q, fe.f_2q, fn.f_2q, fz.f_2q, fa.f_transfer,
+                    fe.f_transfer, fn.f_transfer, fz.f_transfer,
+                    fa.f_decoherence, fe.f_decoherence,
+                    fn.f_decoherence, fz.f_decoherence);
+        std::fflush(stdout);
+    }
+    printLabel("GMean");
+    std::printf(" | %10.3e %10.3e %10.4f %10.4f | %8.4f %8.4f %8.4f "
+                "%8.4f | %8.4f %8.4f %8.4f %8.4f\n",
+                gmean(a.two_q), gmean(e.two_q), gmean(n.two_q),
+                gmean(z.two_q), gmean(a.tran), gmean(e.tran),
+                gmean(n.tran), gmean(z.tran), gmean(a.deco),
+                gmean(e.deco), gmean(n.deco), gmean(z.deco));
+
+    std::printf("\nZAC 2Q-term gain: %.2fx vs NALAC (paper 1.37x), "
+                "%.1fx vs Enola (paper 14x)\n",
+                gmean(z.two_q) / gmean(n.two_q),
+                gmean(z.two_q) / gmean(e.two_q));
+    std::printf("ZAC transfer gain vs Enola: %.3fx (paper 1.03x)\n",
+                gmean(z.tran) / gmean(e.tran));
+    std::printf("ZAC decoherence gain vs Atomique: %.2fx (paper "
+                "1.36x)\n",
+                gmean(z.deco) / gmean(a.deco));
+    return 0;
+}

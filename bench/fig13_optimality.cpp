@@ -1,0 +1,54 @@
+/**
+ * @file
+ * Reproduces Fig. 13: the optimality study — ZAC versus the perfect-
+ * movement, perfect-placement and perfect-reuse ideal upper bounds.
+ *
+ * Paper shapes: ZAC sits within ~3% of perfect movement, ~7% of
+ * perfect placement and ~10% of perfect reuse in the geomean.
+ */
+
+#include "bench_util.hpp"
+#include "fidelity/ideal.hpp"
+
+using namespace zac;
+using namespace zac::bench;
+
+int
+main()
+{
+    banner("Fig. 13", "optimality analysis vs ideal bounds");
+
+    const Architecture arch = presets::referenceZoned();
+    ZacCompiler compiler(arch, defaultZacOptions());
+
+    std::printf("%-16s %14s %14s %14s %9s\n", "circuit",
+                "PerfectReuse", "PerfectPlace", "PerfectMove", "ZAC");
+    std::vector<double> f_reuse, f_place, f_move, f_zac;
+    for (const std::string &name : circuitNames()) {
+        const ZacResult r =
+            compiler.compile(bench_circuits::paperBenchmark(name));
+        const IdealBounds b =
+            computeIdealBounds(r.staged, r.program, arch);
+        f_reuse.push_back(b.perfect_reuse.total);
+        f_place.push_back(b.perfect_placement.total);
+        f_move.push_back(b.perfect_movement.total);
+        f_zac.push_back(r.fidelity.total);
+        printLabel(name);
+        std::printf(" %14.4f %14.4f %14.4f %9.4f\n", f_reuse.back(),
+                    f_place.back(), f_move.back(), f_zac.back());
+        std::fflush(stdout);
+    }
+    printLabel("GMean");
+    std::printf(" %14.4f %14.4f %14.4f %9.4f\n", gmean(f_reuse),
+                gmean(f_place), gmean(f_move), gmean(f_zac));
+
+    const double g = gmean(f_zac);
+    std::printf("\nOptimality gaps (paper: 3%% / 7%% / 10%%):\n");
+    std::printf("  vs perfect movement  %5.1f%%\n",
+                100.0 * (1.0 - g / gmean(f_move)));
+    std::printf("  vs perfect placement %5.1f%%\n",
+                100.0 * (1.0 - g / gmean(f_place)));
+    std::printf("  vs perfect reuse     %5.1f%%\n",
+                100.0 * (1.0 - g / gmean(f_reuse)));
+    return 0;
+}

@@ -1,0 +1,52 @@
+/**
+ * @file
+ * Reproduces Fig. 14: circuit fidelity with 1-4 AODs on the reference
+ * zoned architecture.
+ *
+ * Paper shapes: the second AOD gives ~10% geomean fidelity; the third
+ * and fourth together add only ~2% (not enough parallel rearrangement
+ * work to feed them).
+ */
+
+#include "bench_util.hpp"
+
+using namespace zac;
+using namespace zac::bench;
+
+int
+main()
+{
+    banner("Fig. 14", "architecture evaluation with 1-4 AODs");
+
+    std::printf("%-16s %9s %9s %9s %9s\n", "circuit", "1 AOD",
+                "2 AOD", "3 AOD", "4 AOD");
+    std::vector<std::vector<double>> cols(4);
+    std::vector<ZacCompiler> compilers;
+    for (int aods = 1; aods <= 4; ++aods)
+        compilers.emplace_back(presets::referenceZoned(aods),
+                               defaultZacOptions());
+    for (const std::string &name : circuitNames()) {
+        const Circuit c = bench_circuits::paperBenchmark(name);
+        printLabel(name);
+        for (int aods = 1; aods <= 4; ++aods) {
+            const double f =
+                compilers[static_cast<std::size_t>(aods - 1)]
+                    .compile(c)
+                    .fidelity.total;
+            cols[static_cast<std::size_t>(aods - 1)].push_back(f);
+            std::printf(" %9.4f", f);
+        }
+        std::printf("\n");
+        std::fflush(stdout);
+    }
+    printLabel("GMean");
+    for (const auto &col : cols)
+        std::printf(" %9.4f", gmean(col));
+    std::printf("\n\nGains (paper: +10%% for the 2nd AOD, +2%% for "
+                "3rd+4th):\n");
+    std::printf("  1 -> 2 AODs %+0.2f%%\n",
+                100.0 * (gmean(cols[1]) / gmean(cols[0]) - 1.0));
+    std::printf("  2 -> 4 AODs %+0.2f%%\n",
+                100.0 * (gmean(cols[3]) / gmean(cols[1]) - 1.0));
+    return 0;
+}

@@ -1,0 +1,109 @@
+/**
+ * @file
+ * google-benchmark microbenchmarks for the compiler's algorithmic
+ * kernels: Hopcroft–Karp, Jonker–Volgenant, MIS job splitting, SA
+ * placement, and the end-to-end ZAC pipeline.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "arch/presets.hpp"
+#include "circuit/generators.hpp"
+#include "common/rng.hpp"
+#include "core/compiler.hpp"
+#include "core/jobs.hpp"
+#include "core/sa_placer.hpp"
+#include "matching/hopcroft_karp.hpp"
+#include "matching/jonker_volgenant.hpp"
+#include "transpile/optimize.hpp"
+
+namespace
+{
+
+using namespace zac;
+
+void
+BM_HopcroftKarp(benchmark::State &state)
+{
+    const int n = static_cast<int>(state.range(0));
+    Rng rng(42);
+    std::vector<std::vector<int>> adj(static_cast<std::size_t>(n));
+    for (int u = 0; u < n; ++u)
+        for (int v = 0; v < n; ++v)
+            if (rng.nextBool(0.1))
+                adj[static_cast<std::size_t>(u)].push_back(v);
+    for (auto _ : state)
+        benchmark::DoNotOptimize(hopcroftKarp(n, n, adj));
+}
+BENCHMARK(BM_HopcroftKarp)->Arg(64)->Arg(140)->Arg(512);
+
+void
+BM_JonkerVolgenant(benchmark::State &state)
+{
+    const int n = static_cast<int>(state.range(0));
+    Rng rng(7);
+    CostMatrix cost(n, n, 0.0);
+    for (int r = 0; r < n; ++r)
+        for (int c = 0; c < n; ++c)
+            cost.at(r, c) = rng.nextDouble() * 100.0;
+    for (auto _ : state)
+        benchmark::DoNotOptimize(minWeightFullMatching(cost));
+}
+BENCHMARK(BM_JonkerVolgenant)->Arg(32)->Arg(140)->Arg(256);
+
+void
+BM_SplitIntoJobs(benchmark::State &state)
+{
+    const Architecture arch = presets::referenceZoned();
+    Rng rng(11);
+    std::vector<Movement> moves;
+    std::set<int> sites;
+    for (int q = 0; q < static_cast<int>(state.range(0)); ++q) {
+        const int site = static_cast<int>(rng.nextBelow(
+            static_cast<std::uint64_t>(arch.numSites())));
+        if (!sites.insert(site).second)
+            continue;
+        moves.push_back({q,
+                         {0, 95 + static_cast<int>(rng.nextBelow(5)),
+                          static_cast<int>(rng.nextBelow(100))},
+                         arch.site(site).left});
+    }
+    for (auto _ : state)
+        benchmark::DoNotOptimize(splitIntoJobs(arch, moves));
+}
+BENCHMARK(BM_SplitIntoJobs)->Arg(40)->Arg(98);
+
+void
+BM_SaPlacement(benchmark::State &state)
+{
+    const Architecture arch = presets::referenceZoned();
+    const Circuit pre =
+        preprocess(bench_circuits::paperBenchmark("qft_n18"));
+    const StagedCircuit staged = scheduleStages(pre, arch.numSites());
+    SaOptions opts;
+    opts.max_iterations = static_cast<int>(state.range(0));
+    for (auto _ : state)
+        benchmark::DoNotOptimize(
+            saInitialPlacement(arch, staged, opts));
+}
+BENCHMARK(BM_SaPlacement)->Arg(100)->Arg(1000);
+
+void
+BM_ZacEndToEnd(benchmark::State &state)
+{
+    static const char *names[] = {"bv_n14", "ising_n42", "qft_n18",
+                                  "ising_n98"};
+    const Architecture arch = presets::referenceZoned();
+    ZacOptions opts;
+    opts.sa_iterations = 200;
+    ZacCompiler compiler(arch, opts);
+    const Circuit c = bench_circuits::paperBenchmark(
+        names[state.range(0)]);
+    for (auto _ : state)
+        benchmark::DoNotOptimize(compiler.compile(c));
+}
+BENCHMARK(BM_ZacEndToEnd)->DenseRange(0, 3);
+
+} // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,45 @@
+/**
+ * @file
+ * Reproduces Sec. IX's IR-density metrics: ZAIR instructions per gate
+ * (paper geomean 0.85) and machine-level instructions per gate (paper
+ * geomean 1.77) across the benchmark set.
+ */
+
+#include "bench_util.hpp"
+
+using namespace zac;
+using namespace zac::bench;
+
+int
+main()
+{
+    banner("Sec. IX", "ZAIR instruction density");
+
+    ZacCompiler compiler(presets::referenceZoned(),
+                         defaultZacOptions());
+    std::printf("%-16s %7s %7s %8s %10s %12s %12s\n", "circuit",
+                "gates", "zair", "machine", "jobs", "zair/gate",
+                "machine/gate");
+    std::vector<double> zair_ratio, machine_ratio;
+    for (const std::string &name : circuitNames()) {
+        const ZacResult r =
+            compiler.compile(bench_circuits::paperBenchmark(name));
+        const ZairStats s = r.program.stats();
+        const double gates =
+            static_cast<double>(s.num_1q_gates + s.num_2q_gates);
+        zair_ratio.push_back(s.num_zair_instrs / gates);
+        machine_ratio.push_back(s.num_machine_instrs / gates);
+        printLabel(name);
+        std::printf(" %7.0f %7d %8d %10d %12.3f %12.3f\n", gates,
+                    s.num_zair_instrs, s.num_machine_instrs,
+                    s.num_rearrange_jobs, zair_ratio.back(),
+                    machine_ratio.back());
+        std::fflush(stdout);
+    }
+    printLabel("GMean");
+    std::printf(" %7s %7s %8s %10s %12.3f %12.3f\n", "", "", "", "",
+                gmean(zair_ratio), gmean(machine_ratio));
+    std::printf("\nPaper geomeans: 0.85 ZAIR instructions per gate, "
+                "1.77 machine instructions per gate.\n");
+    return 0;
+}

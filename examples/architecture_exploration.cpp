@@ -1,0 +1,82 @@
+/**
+ * @file
+ * Architecture exploration: the workload-driven design loop the paper's
+ * flexible specification enables (Sec. III, VII-G, VII-H).
+ *
+ * For a mixed workload (a sequential GHZ-style circuit, a parallel
+ * Ising circuit and a dense QFT), this example sweeps:
+ *   - the number of AODs on the reference architecture, and
+ *   - single- versus double-entanglement-zone layouts,
+ * then reports which configuration maximizes workload fidelity.
+ */
+
+#include <cstdio>
+#include <vector>
+
+#include "arch/presets.hpp"
+#include "circuit/generators.hpp"
+#include "core/compiler.hpp"
+#include "fidelity/model.hpp"
+
+int
+main()
+{
+    using namespace zac;
+
+    const std::vector<Circuit> workload = {
+        bench_circuits::ghz(40),
+        bench_circuits::ising(42),
+        bench_circuits::qft(18),
+    };
+
+    ZacOptions opts;
+    opts.sa_iterations = 400;
+
+    struct Config
+    {
+        const char *label;
+        Architecture arch;
+    };
+    std::vector<Config> configs;
+    for (int aods = 1; aods <= 4; ++aods)
+        configs.push_back(
+            {aods == 1   ? "reference, 1 AOD"
+             : aods == 2 ? "reference, 2 AODs"
+             : aods == 3 ? "reference, 3 AODs"
+                         : "reference, 4 AODs",
+             presets::referenceZoned(aods)});
+    configs.push_back({"small, 1 zone (6x10)", presets::multiZoneArch1()});
+    configs.push_back({"small, 2 zones (3x10)", presets::multiZoneArch2()});
+
+    std::printf("%-24s %10s %10s %10s %10s\n", "configuration",
+                "ghz_n40", "ising_n42", "qft_n18", "workload");
+
+    double best = 0.0;
+    const char *best_label = nullptr;
+    for (const Config &config : configs) {
+        ZacCompiler compiler(config.arch, opts);
+        std::vector<double> fidelities;
+        std::printf("%-24s", config.label);
+        for (const Circuit &circuit : workload) {
+            const double f =
+                compiler.compile(circuit).fidelity.total;
+            fidelities.push_back(f);
+            std::printf(" %10.4f", f);
+        }
+        const double g = geometricMean(fidelities);
+        std::printf(" %10.4f\n", g);
+        if (g > best) {
+            best = g;
+            best_label = config.label;
+        }
+        std::fflush(stdout);
+    }
+
+    std::printf("\nbest configuration for this workload: %s "
+                "(geomean %.4f)\n",
+                best_label, best);
+    std::printf("Expected shape: the second AOD helps every circuit; "
+                "the compact dual-zone layout wins only when the "
+                "workload is movement-bound.\n");
+    return 0;
+}

@@ -1,0 +1,68 @@
+/**
+ * @file
+ * Quickstart: build a circuit, compile it with ZAC for the reference
+ * zoned architecture, inspect the fidelity report, and write the ZAIR
+ * program to JSON.
+ *
+ *   $ ./quickstart [output.json]
+ */
+
+#include <cstdio>
+#include <string>
+
+#include "arch/presets.hpp"
+#include "circuit/circuit.hpp"
+#include "core/compiler.hpp"
+#include "zair/serialize.hpp"
+
+int
+main(int argc, char **argv)
+{
+    using namespace zac;
+
+    // 1. Describe the hardware. presets::referenceZoned() is the
+    //    paper's Fig. 2 machine: a 100x100-trap storage zone and a
+    //    7x20-site entanglement zone; loadArchitecture() reads the
+    //    same JSON format as the paper's Fig. 20.
+    const Architecture arch = presets::referenceZoned();
+    std::printf("architecture '%s': %d Rydberg sites, %d storage "
+                "traps, %zu AOD(s)\n",
+                arch.name().c_str(), arch.numSites(),
+                arch.numStorageTraps(), arch.aods().size());
+
+    // 2. Build a circuit with the fluent API (any qelib1 gate works;
+    //    ZAC lowers everything to the hardware's {CZ, U3} set).
+    Circuit circuit(8, "quickstart_ghz8");
+    circuit.h(0);
+    for (int q = 0; q + 1 < circuit.numQubits(); ++q)
+        circuit.cx(q, q + 1);
+
+    // 3. Compile. ZacOptions selects the placement techniques; the
+    //    defaults enable everything the paper's full ZAC uses.
+    ZacCompiler compiler(arch, ZacOptions::full());
+    const ZacResult result = compiler.compile(circuit);
+
+    // 4. Inspect the result.
+    const FidelityBreakdown &f = result.fidelity;
+    std::printf("\ncompiled '%s' in %.3f s\n",
+                circuit.name().c_str(), result.compile_seconds);
+    std::printf("  Rydberg stages   %d\n",
+                result.staged.numRydbergStages());
+    std::printf("  qubit reuses     %d\n", result.plan.reused_qubits);
+    std::printf("  2Q gates         %d    1Q gates %d\n", f.g2, f.g1);
+    std::printf("  atom transfers   %d\n", f.n_transfer);
+    std::printf("  duration         %.2f ms\n",
+                f.duration_us / 1000.0);
+    std::printf("  fidelity         %.4f  (2Q %.4f, 1Q %.4f, "
+                "transfer %.4f, decoherence %.4f)\n",
+                f.total, f.f_2q, f.f_1q, f.f_transfer,
+                f.f_decoherence);
+
+    // 5. Persist the timed ZAIR program (paper Sec. IX format).
+    const std::string path =
+        argc > 1 ? argv[1] : "quickstart_zair.json";
+    saveZairProgram(path, result.program);
+    std::printf("\nZAIR program written to %s (%zu instructions)\n",
+                path.c_str(), result.program.instrs.size());
+    return 0;
+}

@@ -1,0 +1,185 @@
+#include "arch/presets.hpp"
+
+namespace zac::presets
+{
+
+namespace
+{
+
+/** Add a two-SLM entanglement zone with its Rydberg-site grid. */
+void
+addEntanglementZone(Architecture &arch, int zone_id, Point origin,
+                    int site_rows, int site_cols)
+{
+    // Site pitch follows the reference architecture: d_Ryd = 2 um within
+    // a site, d_omega = 10 um between sites, so the SLM x pitch is 12 um.
+    const double pitch_x = 12.0;
+    const double pitch_y = 10.0;
+    SlmSpec left;
+    left.sep_x = pitch_x;
+    left.sep_y = pitch_y;
+    left.rows = site_rows;
+    left.cols = site_cols;
+    left.origin = origin;
+    SlmSpec right = left;
+    right.origin.x += 2.0;
+    left.id = static_cast<int>(arch.slms().size());
+    const int left_idx = arch.addSlm(left);
+    right.id = static_cast<int>(arch.slms().size());
+    const int right_idx = arch.addSlm(right);
+
+    ZoneSpec zone;
+    zone.id = zone_id;
+    zone.offset = origin;
+    zone.width = (site_cols - 1) * pitch_x + 2.0;
+    zone.height = (site_rows - 1) * pitch_y;
+    zone.slm_ids = {left_idx, right_idx};
+    arch.addZone(ZoneKind::Entanglement, zone);
+}
+
+/** Add a single-SLM storage zone with 3 um pitch. */
+void
+addStorageZone(Architecture &arch, int zone_id, Point origin, int rows,
+               int cols)
+{
+    SlmSpec slm;
+    slm.id = static_cast<int>(arch.slms().size());
+    slm.sep_x = 3.0;
+    slm.sep_y = 3.0;
+    slm.rows = rows;
+    slm.cols = cols;
+    slm.origin = origin;
+    const int idx = arch.addSlm(slm);
+
+    ZoneSpec zone;
+    zone.id = zone_id;
+    zone.offset = origin;
+    zone.width = (cols - 1) * 3.0;
+    zone.height = (rows - 1) * 3.0;
+    zone.slm_ids = {idx};
+    arch.addZone(ZoneKind::Storage, zone);
+}
+
+void
+addAods(Architecture &arch, int count, int rows, int cols)
+{
+    for (int i = 0; i < count; ++i) {
+        AodSpec aod;
+        aod.id = i;
+        aod.min_sep = 2.0;
+        aod.max_rows = rows;
+        aod.max_cols = cols;
+        arch.addAod(aod);
+    }
+}
+
+} // namespace
+
+Architecture
+referenceZoned(int num_aods)
+{
+    Architecture arch("full_compute_store_architecture");
+    addStorageZone(arch, 0, {0.0, 0.0}, 100, 100);
+    // Storage top row is y = 297; the zone separation d_sep = 10 um puts
+    // the entanglement zone at y = 307 (matching Fig. 20).
+    addEntanglementZone(arch, 0, {35.0, 307.0}, 7, 20);
+    addAods(arch, num_aods, 100, 100);
+    arch.finalize();
+    return arch;
+}
+
+Architecture
+monolithic()
+{
+    Architecture arch("monolithic");
+    addEntanglementZone(arch, 0, {0.0, 0.0}, 10, 10);
+    addAods(arch, 1, 10, 10);
+    arch.finalize();
+    return arch;
+}
+
+Architecture
+multiZoneArch1()
+{
+    Architecture arch("arch1_single_entanglement_zone");
+    addStorageZone(arch, 0, {0.0, 0.0}, 3, 40);
+    // Storage top row y = 6; d_sep = 10 -> zone at y = 16.
+    addEntanglementZone(arch, 0, {0.0, 16.0}, 6, 10);
+    addAods(arch, 1, 100, 100);
+    arch.finalize();
+    return arch;
+}
+
+Architecture
+multiZoneArch2()
+{
+    Architecture arch("arch2_double_entanglement_zone");
+    // Lower entanglement zone: rows at y = 0, 10, 20.
+    addEntanglementZone(arch, 0, {0.0, 0.0}, 3, 10);
+    // Storage sits d_sep = 10 um above the top site row.
+    addStorageZone(arch, 0, {0.0, 30.0}, 3, 40);
+    // Upper entanglement zone d_sep above the storage top row (y = 36).
+    addEntanglementZone(arch, 1, {0.0, 46.0}, 3, 10);
+    addAods(arch, 1, 100, 100);
+    arch.finalize();
+    return arch;
+}
+
+Architecture
+logicalBlockArch()
+{
+    Architecture arch("logical_block_architecture");
+    // A [[8,3,2]] block is 2 rows x 4 cols of physical qubits. In the
+    // storage zone the block footprint is 12 x 6 um (at 3 um pitch), so
+    // the logical storage grid is 50 x 25 blocks at that pitch.
+    SlmSpec slm;
+    slm.id = 0;
+    slm.sep_x = 12.0;
+    slm.sep_y = 6.0;
+    slm.rows = 50;
+    slm.cols = 25;
+    slm.origin = {0.0, 0.0};
+    const int storage_idx = arch.addSlm(slm);
+    ZoneSpec storage;
+    storage.id = 0;
+    storage.offset = {0.0, 0.0};
+    storage.width = (slm.cols - 1) * slm.sep_x;
+    storage.height = (slm.rows - 1) * slm.sep_y;
+    storage.slm_ids = {storage_idx};
+    arch.addZone(ZoneKind::Storage, storage);
+
+    // Logical entanglement sites: 3 rows x 5 cols, each 2x4 physical
+    // sites, so the logical pitch is (4*12) x (2*10) um.
+    const double pitch_x = 48.0;
+    const double pitch_y = 20.0;
+    SlmSpec left;
+    left.id = 1;
+    left.sep_x = pitch_x;
+    left.sep_y = pitch_y;
+    left.rows = 3;
+    left.cols = 5;
+    left.origin = {0.0, storage.height + 10.0};
+    const int left_idx = arch.addSlm(left);
+    SlmSpec right = left;
+    right.id = 2;
+    right.origin.x += 24.0; // half the block pitch separates the pair
+    const int right_idx = arch.addSlm(right);
+    ZoneSpec zone;
+    zone.id = 0;
+    zone.offset = left.origin;
+    zone.width = (left.cols - 1) * pitch_x + 24.0;
+    zone.height = (left.rows - 1) * pitch_y;
+    zone.slm_ids = {left_idx, right_idx};
+    arch.addZone(ZoneKind::Entanglement, zone);
+
+    AodSpec aod;
+    aod.id = 0;
+    aod.min_sep = 2.0;
+    aod.max_rows = 100;
+    aod.max_cols = 100;
+    arch.addAod(aod);
+    arch.finalize();
+    return arch;
+}
+
+} // namespace zac::presets

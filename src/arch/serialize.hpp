@@ -1,0 +1,38 @@
+/**
+ * @file
+ * JSON load/save for architecture specifications in the artifact format
+ * (paper Fig. 20).
+ */
+
+#ifndef ZAC_ARCH_SERIALIZE_HPP
+#define ZAC_ARCH_SERIALIZE_HPP
+
+#include <string>
+
+#include "arch/spec.hpp"
+#include "common/json.hpp"
+
+namespace zac
+{
+
+/**
+ * Build an architecture from the artifact's JSON format.
+ *
+ * Accepts both the "dimension" and the artifact's "dimenstion" spelling,
+ * scalar or [x, y] site separations, and optional operation_duration /
+ * operation_fidelity / qubit_spec blocks (which populate params()).
+ */
+Architecture architectureFromJson(const json::Value &v);
+
+/** Load an architecture spec from a JSON file. */
+Architecture loadArchitecture(const std::string &path);
+
+/** Serialize an architecture to the artifact's JSON format. */
+json::Value architectureToJson(const Architecture &arch);
+
+/** Save an architecture spec as JSON. */
+void saveArchitecture(const std::string &path, const Architecture &arch);
+
+} // namespace zac
+
+#endif // ZAC_ARCH_SERIALIZE_HPP

@@ -1,0 +1,311 @@
+#include "arch/spec.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "common/logging.hpp"
+
+namespace zac
+{
+
+int
+Architecture::addSlm(const SlmSpec &slm)
+{
+    if (finalized_)
+        panic("architecture: addSlm after finalize");
+    if (slm.rows <= 0 || slm.cols <= 0)
+        fatal("architecture: SLM must have positive dimensions");
+    if (slm.sep_x <= 0.0 || slm.sep_y <= 0.0)
+        fatal("architecture: SLM separations must be positive");
+    slms_.push_back(slm);
+    return static_cast<int>(slms_.size()) - 1;
+}
+
+int
+Architecture::addAod(const AodSpec &aod)
+{
+    if (finalized_)
+        panic("architecture: addAod after finalize");
+    if (aod.max_rows <= 0 || aod.max_cols <= 0)
+        fatal("architecture: AOD must have positive capacity");
+    aods_.push_back(aod);
+    return static_cast<int>(aods_.size()) - 1;
+}
+
+void
+Architecture::addZone(ZoneKind kind, const ZoneSpec &zone)
+{
+    if (finalized_)
+        panic("architecture: addZone after finalize");
+    validateZone(zone, kind);
+    switch (kind) {
+      case ZoneKind::Storage:
+        storage_.push_back(zone);
+        break;
+      case ZoneKind::Entanglement:
+        entangle_.push_back(zone);
+        break;
+      case ZoneKind::Readout:
+        readout_.push_back(zone);
+        break;
+    }
+}
+
+void
+Architecture::validateZone(const ZoneSpec &zone, ZoneKind kind) const
+{
+    for (int slm_id : zone.slm_ids)
+        if (slm_id < 0 || slm_id >= static_cast<int>(slms_.size()))
+            fatal("architecture: zone references unknown SLM " +
+                  std::to_string(slm_id));
+    if (kind == ZoneKind::Entanglement && zone.slm_ids.size() != 2)
+        fatal("architecture: an entanglement zone needs exactly two SLM "
+              "arrays (the left/right traps of its Rydberg sites)");
+    if (kind == ZoneKind::Storage && zone.slm_ids.empty())
+        fatal("architecture: a storage zone needs at least one SLM");
+}
+
+void
+Architecture::finalize()
+{
+    if (finalized_)
+        return;
+    if (aods_.empty())
+        fatal("architecture: at least one AOD is required");
+    if (entangle_.empty())
+        fatal("architecture: at least one entanglement zone is required");
+
+    slmIsStorage_.assign(slms_.size(), 0);
+    for (const ZoneSpec &z : storage_)
+        for (int slm_id : z.slm_ids)
+            slmIsStorage_[static_cast<std::size_t>(slm_id)] = 1;
+
+    // Derive Rydberg sites per entanglement zone.
+    sites_.clear();
+    zoneSiteBase_.clear();
+    for (std::size_t zi = 0; zi < entangle_.size(); ++zi) {
+        const ZoneSpec &zone = entangle_[zi];
+        const SlmSpec &s0 = slms_[static_cast<std::size_t>(zone.slm_ids[0])];
+        const SlmSpec &s1 = slms_[static_cast<std::size_t>(zone.slm_ids[1])];
+        if (s0.rows != s1.rows || s0.cols != s1.cols)
+            fatal("architecture: entanglement-zone SLM pair must have "
+                  "identical dimensions");
+        const bool first_is_left = s0.origin.x <= s1.origin.x;
+        const int left_id = zone.slm_ids[first_is_left ? 0 : 1];
+        const int right_id = zone.slm_ids[first_is_left ? 1 : 0];
+        const SlmSpec &left = slms_[static_cast<std::size_t>(left_id)];
+        zoneSiteBase_.push_back(static_cast<int>(sites_.size()));
+        for (int r = 0; r < left.rows; ++r) {
+            for (int c = 0; c < left.cols; ++c) {
+                RydbergSite site;
+                site.zone_index = static_cast<int>(zi);
+                site.r = r;
+                site.c = c;
+                site.left = {left_id, r, c};
+                site.right = {right_id, r, c};
+                site.pos_left = trapPosition(site.left);
+                site.pos_right = trapPosition(site.right);
+                sites_.push_back(site);
+            }
+        }
+    }
+    finalized_ = true;
+}
+
+Point
+Architecture::trapPosition(TrapRef t) const
+{
+    if (t.slm < 0 || t.slm >= static_cast<int>(slms_.size()))
+        panic("architecture: invalid SLM in trap reference");
+    const SlmSpec &slm = slms_[static_cast<std::size_t>(t.slm)];
+    if (t.r < 0 || t.r >= slm.rows || t.c < 0 || t.c >= slm.cols)
+        panic("architecture: trap (" + std::to_string(t.r) + "," +
+              std::to_string(t.c) + ") out of range for SLM " +
+              std::to_string(t.slm));
+    return {slm.origin.x + t.c * slm.sep_x,
+            slm.origin.y + t.r * slm.sep_y};
+}
+
+const RydbergSite &
+Architecture::site(int id) const
+{
+    if (id < 0 || id >= numSites())
+        panic("architecture: site id out of range");
+    return sites_[static_cast<std::size_t>(id)];
+}
+
+int
+Architecture::siteIndex(int zone_index, int r, int c) const
+{
+    if (zone_index < 0 ||
+        zone_index >= static_cast<int>(entangle_.size()))
+        panic("architecture: entanglement zone index out of range");
+    const ZoneSpec &zone = entangle_[static_cast<std::size_t>(zone_index)];
+    const SlmSpec &slm =
+        slms_[static_cast<std::size_t>(zone.slm_ids[0])];
+    if (r < 0 || r >= slm.rows || c < 0 || c >= slm.cols)
+        return -1;
+    return zoneSiteBase_[static_cast<std::size_t>(zone_index)] +
+           r * slm.cols + c;
+}
+
+int
+Architecture::nearestSite(Point p) const
+{
+    int best = -1;
+    double best_d = std::numeric_limits<double>::max();
+    for (int i = 0; i < numSites(); ++i) {
+        const double d = distance(p, sites_[static_cast<std::size_t>(i)]
+                                         .pos_left);
+        if (d < best_d) {
+            best_d = d;
+            best = i;
+        }
+    }
+    return best;
+}
+
+int
+Architecture::numStorageTraps() const
+{
+    int n = 0;
+    for (const ZoneSpec &z : storage_)
+        for (int slm_id : z.slm_ids) {
+            const SlmSpec &s = slms_[static_cast<std::size_t>(slm_id)];
+            n += s.rows * s.cols;
+        }
+    return n;
+}
+
+bool
+Architecture::isStorageTrap(TrapRef t) const
+{
+    return t.valid() && t.slm < static_cast<int>(slmIsStorage_.size()) &&
+           slmIsStorage_[static_cast<std::size_t>(t.slm)] != 0;
+}
+
+std::vector<TrapRef>
+Architecture::allStorageTraps() const
+{
+    std::vector<TrapRef> out;
+    out.reserve(static_cast<std::size_t>(numStorageTraps()));
+    for (const ZoneSpec &z : storage_) {
+        for (int slm_id : z.slm_ids) {
+            const SlmSpec &s = slms_[static_cast<std::size_t>(slm_id)];
+            for (int r = 0; r < s.rows; ++r)
+                for (int c = 0; c < s.cols; ++c)
+                    out.push_back({slm_id, r, c});
+        }
+    }
+    return out;
+}
+
+TrapRef
+Architecture::nearestStorageTrap(Point p) const
+{
+    TrapRef best;
+    double best_d = std::numeric_limits<double>::max();
+    for (const ZoneSpec &z : storage_) {
+        for (int slm_id : z.slm_ids) {
+            const SlmSpec &s = slms_[static_cast<std::size_t>(slm_id)];
+            const double fx = (p.x - s.origin.x) / s.sep_x;
+            const double fy = (p.y - s.origin.y) / s.sep_y;
+            const int c = std::clamp(
+                static_cast<int>(std::lround(fx)), 0, s.cols - 1);
+            const int r = std::clamp(
+                static_cast<int>(std::lround(fy)), 0, s.rows - 1);
+            const TrapRef t{slm_id, r, c};
+            const double d = distance(p, trapPosition(t));
+            if (d < best_d) {
+                best_d = d;
+                best = t;
+            }
+        }
+    }
+    if (!best.valid())
+        fatal("architecture: no storage traps defined");
+    return best;
+}
+
+std::vector<TrapRef>
+Architecture::storageNeighbors(TrapRef t, int k) const
+{
+    if (!isStorageTrap(t))
+        panic("storageNeighbors: not a storage trap");
+    const SlmSpec &s = slms_[static_cast<std::size_t>(t.slm)];
+    std::vector<TrapRef> out;
+    for (int d = 1; d <= k; ++d) {
+        if (t.c - d >= 0)
+            out.push_back({t.slm, t.r, t.c - d});
+        if (t.c + d < s.cols)
+            out.push_back({t.slm, t.r, t.c + d});
+        if (t.r - d >= 0)
+            out.push_back({t.slm, t.r - d, t.c});
+        if (t.r + d < s.rows)
+            out.push_back({t.slm, t.r + d, t.c});
+    }
+    return out;
+}
+
+std::vector<TrapRef>
+Architecture::storageTrapsInBox(const std::vector<Point> &anchors) const
+{
+    std::vector<TrapRef> out;
+    if (anchors.empty())
+        return out;
+    double min_x = anchors[0].x, max_x = anchors[0].x;
+    double min_y = anchors[0].y, max_y = anchors[0].y;
+    for (const Point &p : anchors) {
+        min_x = std::min(min_x, p.x);
+        max_x = std::max(max_x, p.x);
+        min_y = std::min(min_y, p.y);
+        max_y = std::max(max_y, p.y);
+    }
+    const double eps = 1e-9;
+    for (const ZoneSpec &z : storage_) {
+        for (int slm_id : z.slm_ids) {
+            const SlmSpec &s = slms_[static_cast<std::size_t>(slm_id)];
+            const int c_lo = std::max(
+                0, static_cast<int>(
+                       std::ceil((min_x - s.origin.x) / s.sep_x - eps)));
+            const int c_hi = std::min(
+                s.cols - 1,
+                static_cast<int>(
+                    std::floor((max_x - s.origin.x) / s.sep_x + eps)));
+            const int r_lo = std::max(
+                0, static_cast<int>(
+                       std::ceil((min_y - s.origin.y) / s.sep_y - eps)));
+            const int r_hi = std::min(
+                s.rows - 1,
+                static_cast<int>(
+                    std::floor((max_y - s.origin.y) / s.sep_y + eps)));
+            for (int r = r_lo; r <= r_hi; ++r)
+                for (int c = c_lo; c <= c_hi; ++c)
+                    out.push_back({slm_id, r, c});
+        }
+    }
+    return out;
+}
+
+bool
+Architecture::inEntanglementZone(Point p) const
+{
+    return entanglementZoneAt(p) >= 0;
+}
+
+int
+Architecture::entanglementZoneAt(Point p) const
+{
+    for (std::size_t i = 0; i < entangle_.size(); ++i) {
+        const ZoneSpec &z = entangle_[i];
+        if (p.x >= z.offset.x - 1e-9 &&
+            p.x <= z.offset.x + z.width + 1e-9 &&
+            p.y >= z.offset.y - 1e-9 &&
+            p.y <= z.offset.y + z.height + 1e-9)
+            return static_cast<int>(i);
+    }
+    return -1;
+}
+
+} // namespace zac

@@ -1,0 +1,59 @@
+/**
+ * @file
+ * Atomique-style baseline compiler for the monolithic architecture
+ * (Wang et al., ISCA'24; paper Sec. II / VII-A).
+ *
+ * Behavioural model: qubits are partitioned into a static SLM array and
+ * a mobile AOD array (greedy max-cut over the interaction graph).
+ * Inter-array gates execute by rigid whole-AOD translations — gates
+ * sharing the same displacement vector run in one Rydberg stage; no
+ * atom transfers ever happen. Intra-array gates first pay a SWAP
+ * (3 CZ + 1Q gates) to hop one operand across the arrays. Every pulse
+ * exposes the whole array.
+ */
+
+#ifndef ZAC_BASELINES_ATOMIQUE_HPP
+#define ZAC_BASELINES_ATOMIQUE_HPP
+
+#include "arch/spec.hpp"
+#include "circuit/circuit.hpp"
+#include "fidelity/model.hpp"
+
+namespace zac::baselines
+{
+
+/** Result of one Atomique compilation. */
+struct AtomiqueResult
+{
+    FidelityBreakdown fidelity;
+    int num_stages = 0;        ///< Rydberg stages after displacement grouping
+    int num_swaps = 0;         ///< SWAPs inserted for intra-array gates
+    int inter_array_gates = 0; ///< gates crossing the partition
+    double compile_seconds = 0.0;
+};
+
+/** Atomique-style compiler over a monolithic architecture. */
+class AtomiqueCompiler
+{
+  public:
+    explicit AtomiqueCompiler(Architecture arch);
+
+    const Architecture &arch() const { return arch_; }
+
+    AtomiqueResult compile(const Circuit &circuit) const;
+
+    /**
+     * Greedy max-cut partition of qubits into SLM (false) / AOD (true),
+     * maximizing the number of inter-array 2Q gates. Exposed for tests.
+     */
+    static std::vector<bool> partitionQubits(
+        int num_qubits,
+        const std::vector<std::pair<int, int>> &edges);
+
+  private:
+    Architecture arch_;
+};
+
+} // namespace zac::baselines
+
+#endif // ZAC_BASELINES_ATOMIQUE_HPP

@@ -1,0 +1,80 @@
+#include "baselines/enola.hpp"
+
+#include <chrono>
+
+#include "common/logging.hpp"
+#include "core/movement.hpp"
+#include "core/scheduler.hpp"
+#include "transpile/optimize.hpp"
+
+namespace zac::baselines
+{
+
+EnolaCompiler::EnolaCompiler(Architecture arch) : arch_(std::move(arch))
+{
+    if (!arch_.finalized())
+        fatal("EnolaCompiler: architecture must be finalized");
+    if (arch_.entanglementZones().size() != 1 ||
+        !arch_.storageZones().empty())
+        fatal("EnolaCompiler: expects a monolithic architecture "
+              "(one entanglement zone, no storage)");
+}
+
+EnolaResult
+EnolaCompiler::compile(const Circuit &circuit) const
+{
+    const auto start = std::chrono::steady_clock::now();
+
+    EnolaResult result;
+    const Circuit pre = preprocess(circuit);
+    result.staged = scheduleStages(pre, arch_.numSites());
+    const StagedCircuit &staged = result.staged;
+    if (staged.numQubits > arch_.numSites())
+        fatal("EnolaCompiler: more qubits than Rydberg sites");
+
+    const int num_stages = staged.numRydbergStages();
+    PlacementPlan plan;
+    plan.gate_sites.resize(static_cast<std::size_t>(num_stages));
+    plan.transitions.resize(static_cast<std::size_t>(num_stages));
+
+    // Every qubit homes at the left trap of its own site.
+    plan.initial.resize(static_cast<std::size_t>(staged.numQubits));
+    for (int q = 0; q < staged.numQubits; ++q)
+        plan.initial[static_cast<std::size_t>(q)] = arch_.site(q).left;
+
+    // Per stage: gate sits at the first operand's site; the second
+    // operand travels to the site's right trap and returns afterwards.
+    std::vector<Movement> pending_returns;
+    for (int t = 0; t < num_stages; ++t) {
+        const RydbergStage &stage =
+            staged.rydberg[static_cast<std::size_t>(t)];
+        auto &transition =
+            plan.transitions[static_cast<std::size_t>(t)];
+        transition.move_out = std::move(pending_returns);
+        pending_returns.clear();
+        for (const StagedGate &g : stage.gates) {
+            const int stationary = g.q0;
+            const int mover = g.q1;
+            const RydbergSite &site = arch_.site(stationary);
+            const TrapRef mover_home = arch_.site(mover).left;
+            plan.gate_sites[static_cast<std::size_t>(t)].push_back(
+                stationary);
+            transition.move_in.push_back(
+                {mover, mover_home, site.right});
+            if (t + 1 < num_stages)
+                pending_returns.push_back(
+                    {mover, site.right, mover_home});
+        }
+    }
+
+    checkPlacementPlan(arch_, staged, plan);
+    result.program = scheduleProgram(arch_, staged, plan);
+    result.fidelity = evaluateFidelity(result.program, arch_);
+
+    const auto end = std::chrono::steady_clock::now();
+    result.compile_seconds =
+        std::chrono::duration<double>(end - start).count();
+    return result;
+}
+
+} // namespace zac::baselines

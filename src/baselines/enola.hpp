@@ -1,0 +1,53 @@
+/**
+ * @file
+ * Enola-style baseline compiler for the monolithic architecture
+ * (Tan et al., arXiv:2405.15095; paper Sec. II / VII-A).
+ *
+ * Behavioural model: every qubit homes at the left trap of its own
+ * Rydberg site inside the single (monolithic) entanglement zone. For
+ * each Rydberg stage, one qubit of every gate travels to its partner's
+ * site (movements split into AOD jobs with the same maximal-independent-
+ * set machinery ZAC uses) and returns afterwards. Each Rydberg pulse
+ * exposes the whole array, so all idle qubits accrue excitation error —
+ * the monolithic architecture's defining cost.
+ */
+
+#ifndef ZAC_BASELINES_ENOLA_HPP
+#define ZAC_BASELINES_ENOLA_HPP
+
+#include "arch/spec.hpp"
+#include "circuit/circuit.hpp"
+#include "fidelity/model.hpp"
+#include "transpile/stages.hpp"
+#include "zair/program.hpp"
+
+namespace zac::baselines
+{
+
+/** Result of one Enola compilation. */
+struct EnolaResult
+{
+    StagedCircuit staged;
+    ZairProgram program;
+    FidelityBreakdown fidelity;
+    double compile_seconds = 0.0;
+};
+
+/** Enola-style compiler over a monolithic architecture. */
+class EnolaCompiler
+{
+  public:
+    /** @param arch a monolithic preset (single entanglement zone). */
+    explicit EnolaCompiler(Architecture arch);
+
+    const Architecture &arch() const { return arch_; }
+
+    EnolaResult compile(const Circuit &circuit) const;
+
+  private:
+    Architecture arch_;
+};
+
+} // namespace zac::baselines
+
+#endif // ZAC_BASELINES_ENOLA_HPP

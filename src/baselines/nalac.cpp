@@ -1,0 +1,178 @@
+#include "baselines/nalac.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <limits>
+
+#include "common/logging.hpp"
+#include "core/movement.hpp"
+#include "core/placement_state.hpp"
+#include "core/sa_placer.hpp"
+#include "core/scheduler.hpp"
+#include "transpile/optimize.hpp"
+
+namespace zac::baselines
+{
+
+NalacCompiler::NalacCompiler(Architecture arch, NalacOptions opts)
+    : arch_(std::move(arch)), opts_(opts)
+{
+    if (!arch_.finalized())
+        fatal("NalacCompiler: architecture must be finalized");
+    if (arch_.entanglementZones().empty() ||
+        arch_.storageZones().empty())
+        fatal("NalacCompiler: expects a zoned architecture");
+    // Gates live in row 0 of the first entanglement zone only.
+    const ZoneSpec &zone = arch_.entanglementZones().front();
+    const SlmSpec &slm =
+        arch_.slms()[static_cast<std::size_t>(zone.slm_ids[0])];
+    gate_row_sites_ = slm.cols;
+}
+
+NalacResult
+NalacCompiler::compile(const Circuit &circuit) const
+{
+    const auto start = std::chrono::steady_clock::now();
+
+    NalacResult result;
+    const Circuit pre = preprocess(circuit);
+    result.staged = scheduleStages(pre, gate_row_sites_);
+    const StagedCircuit &staged = result.staged;
+    const int num_stages = staged.numRydbergStages();
+
+    // Stage index of each qubit's next gate after stage t.
+    std::vector<std::vector<int>> gate_stages(
+        static_cast<std::size_t>(staged.numQubits));
+    for (int t = 0; t < num_stages; ++t)
+        for (const StagedGate &g :
+             staged.rydberg[static_cast<std::size_t>(t)].gates)
+            for (int q : {g.q0, g.q1})
+                gate_stages[static_cast<std::size_t>(q)].push_back(t);
+    auto next_gate_after = [&](int q, int t) {
+        for (int s : gate_stages[static_cast<std::size_t>(q)])
+            if (s > t)
+                return s;
+        return std::numeric_limits<int>::max();
+    };
+
+    PlacementState state(arch_, staged.numQubits);
+    PlacementPlan plan;
+    plan.initial = trivialInitialPlacement(arch_, staged.numQubits);
+    for (int q = 0; q < staged.numQubits; ++q)
+        state.place(q, plan.initial[static_cast<std::size_t>(q)]);
+    plan.gate_sites.resize(static_cast<std::size_t>(num_stages));
+    plan.transitions.resize(static_cast<std::size_t>(num_stages));
+
+    // Free parking trap (rows >= 1) nearest to x.
+    auto find_parking = [&](double x) -> TrapRef {
+        TrapRef best;
+        double best_d = std::numeric_limits<double>::max();
+        for (int s = 0; s < arch_.numSites(); ++s) {
+            const RydbergSite &site = arch_.site(s);
+            if (site.zone_index != 0 || site.r == 0)
+                continue;
+            for (const TrapRef &t : {site.left, site.right}) {
+                if (!state.isEmpty(t))
+                    continue;
+                const double d =
+                    std::abs(arch_.trapPosition(t).x - x) +
+                    arch_.trapPosition(t).y; // prefer lower rows
+                if (d < best_d) {
+                    best_d = d;
+                    best = t;
+                }
+            }
+        }
+        return best;
+    };
+
+    std::vector<Movement> pending_out;
+    for (int t = 0; t < num_stages; ++t) {
+        const RydbergStage &stage =
+            staged.rydberg[static_cast<std::size_t>(t)];
+        auto &transition =
+            plan.transitions[static_cast<std::size_t>(t)];
+        transition.move_out = std::move(pending_out);
+        pending_out.clear();
+        for (const Movement &m : transition.move_out)
+            state.place(m.qubit, m.to);
+
+        // Greedy left-to-right gate row assignment: order gates by the
+        // mean x of their qubits, then hand out columns 0, 1, 2, ...
+        std::vector<std::size_t> order(stage.gates.size());
+        for (std::size_t i = 0; i < order.size(); ++i)
+            order[i] = i;
+        std::stable_sort(
+            order.begin(), order.end(),
+            [&](std::size_t a, std::size_t b) {
+                const auto mean_x = [&](const StagedGate &g) {
+                    return (state.posOf(g.q0).x +
+                            state.posOf(g.q1).x) / 2.0;
+                };
+                return mean_x(stage.gates[a]) < mean_x(stage.gates[b]);
+            });
+        plan.gate_sites[static_cast<std::size_t>(t)].assign(
+            stage.gates.size(), -1);
+        int next_col = 0;
+        for (std::size_t oi : order) {
+            const int site_id = arch_.siteIndex(0, 0, next_col++);
+            plan.gate_sites[static_cast<std::size_t>(t)][oi] = site_id;
+        }
+
+        // Move-ins: both qubits to the site (left/right by x order).
+        for (std::size_t i = 0; i < stage.gates.size(); ++i) {
+            const StagedGate &g = stage.gates[i];
+            const RydbergSite &site = arch_.site(
+                plan.gate_sites[static_cast<std::size_t>(t)][i]);
+            const int left_q =
+                state.posOf(g.q0).x <= state.posOf(g.q1).x ? g.q0
+                                                           : g.q1;
+            const int right_q = left_q == g.q0 ? g.q1 : g.q0;
+            for (const auto &[q, dest] :
+                 {std::pair{left_q, site.left},
+                  std::pair{right_q, site.right}}) {
+                if (state.trapOf(q) == dest)
+                    continue;
+                transition.move_in.push_back(
+                    {q, state.trapOf(q), dest});
+            }
+        }
+        for (const Movement &m : transition.move_in)
+            state.place(m.qubit, m.to);
+
+        // Move-outs after the pulse: park if reused soon, else go home.
+        // Each choice is applied immediately so later choices see the
+        // updated occupancy, then all are rolled back (the plan replay
+        // re-applies them at the start of stage t+1).
+        for (const StagedGate &g : stage.gates) {
+            for (int q : {g.q0, g.q1}) {
+                if (t + 1 >= num_stages)
+                    continue; // final stage: stay put
+                const int next = next_gate_after(q, t);
+                TrapRef dest;
+                if (next != std::numeric_limits<int>::max() &&
+                    next <= t + opts_.reuse_window)
+                    dest = find_parking(state.posOf(q).x);
+                if (!dest.valid())
+                    dest = state.homeOf(q);
+                pending_out.push_back({q, state.trapOf(q), dest});
+                state.place(q, dest);
+            }
+        }
+        for (auto it = pending_out.rbegin(); it != pending_out.rend();
+             ++it)
+            state.place(it->qubit, it->from);
+    }
+
+    checkPlacementPlan(arch_, staged, plan);
+    result.program = scheduleProgram(arch_, staged, plan);
+    result.fidelity = evaluateFidelity(result.program, arch_);
+    result.parked_qubit_pulses = result.fidelity.n_excitation;
+
+    const auto end = std::chrono::steady_clock::now();
+    result.compile_seconds =
+        std::chrono::duration<double>(end - start).count();
+    return result;
+}
+
+} // namespace zac::baselines

@@ -1,0 +1,64 @@
+/**
+ * @file
+ * NALAC-style baseline compiler for zoned architectures
+ * (Stade et al., arXiv:2405.08068; paper Sec. II / VII-A).
+ *
+ * Behavioural model capturing the three properties the paper measures
+ * against:
+ *  - gates are placed only in the first row of the entanglement zone,
+ *    capping each Rydberg stage at one row's worth of sites and forcing
+ *    long horizontal "slide" moves inside the zone;
+ *  - qubit reuse is aggressive: any qubit with another gate within the
+ *    lookahead window stays parked in the zone's upper rows, where every
+ *    Rydberg pulse exposes it to excitation error;
+ *  - placement is greedy (first-fit), not matching-based.
+ */
+
+#ifndef ZAC_BASELINES_NALAC_HPP
+#define ZAC_BASELINES_NALAC_HPP
+
+#include "arch/spec.hpp"
+#include "circuit/circuit.hpp"
+#include "fidelity/model.hpp"
+#include "transpile/stages.hpp"
+#include "zair/program.hpp"
+
+namespace zac::baselines
+{
+
+/** Tuning of the NALAC behavioural model. */
+struct NalacOptions
+{
+    /** Stages a qubit may idle in-zone while awaiting its next gate. */
+    int reuse_window = 4;
+};
+
+/** Result of one NALAC compilation. */
+struct NalacResult
+{
+    StagedCircuit staged;
+    ZairProgram program;
+    FidelityBreakdown fidelity;
+    int parked_qubit_pulses = 0; ///< in-zone idle exposures
+    double compile_seconds = 0.0;
+};
+
+/** NALAC-style compiler over a zoned architecture. */
+class NalacCompiler
+{
+  public:
+    explicit NalacCompiler(Architecture arch, NalacOptions opts = {});
+
+    const Architecture &arch() const { return arch_; }
+
+    NalacResult compile(const Circuit &circuit) const;
+
+  private:
+    Architecture arch_;
+    NalacOptions opts_;
+    int gate_row_sites_ = 0; ///< sites in row 0 of the first zone
+};
+
+} // namespace zac::baselines
+
+#endif // ZAC_BASELINES_NALAC_HPP

@@ -1,0 +1,139 @@
+#include "baselines/sc/coupling.hpp"
+
+#include <algorithm>
+#include <queue>
+
+#include "common/logging.hpp"
+
+namespace zac::baselines
+{
+
+std::vector<std::vector<int>>
+CouplingGraph::adjacency() const
+{
+    std::vector<std::vector<int>> adj(
+        static_cast<std::size_t>(num_qubits));
+    for (const auto &[a, b] : edges) {
+        adj[static_cast<std::size_t>(a)].push_back(b);
+        adj[static_cast<std::size_t>(b)].push_back(a);
+    }
+    return adj;
+}
+
+std::vector<std::vector<int>>
+CouplingGraph::distances() const
+{
+    const auto adj = adjacency();
+    std::vector<std::vector<int>> dist(
+        static_cast<std::size_t>(num_qubits),
+        std::vector<int>(static_cast<std::size_t>(num_qubits), -1));
+    for (int s = 0; s < num_qubits; ++s) {
+        auto &d = dist[static_cast<std::size_t>(s)];
+        d[static_cast<std::size_t>(s)] = 0;
+        std::queue<int> queue;
+        queue.push(s);
+        while (!queue.empty()) {
+            const int u = queue.front();
+            queue.pop();
+            for (int v : adj[static_cast<std::size_t>(u)]) {
+                if (d[static_cast<std::size_t>(v)] == -1) {
+                    d[static_cast<std::size_t>(v)] =
+                        d[static_cast<std::size_t>(u)] + 1;
+                    queue.push(v);
+                }
+            }
+        }
+    }
+    return dist;
+}
+
+bool
+CouplingGraph::hasEdge(int a, int b) const
+{
+    for (const auto &[x, y] : edges)
+        if ((x == a && y == b) || (x == b && y == a))
+            return true;
+    return false;
+}
+
+CouplingGraph
+heavyHex127()
+{
+    CouplingGraph g;
+    // Qubit rows: row 0 has 14 qubits (cols 0..13), rows 1..5 have 15
+    // (cols 0..14), row 6 has 14 (cols 1..14). Connector rows of 4 sit
+    // between them at alternating column sets.
+    std::vector<std::vector<int>> row_qubit(7);
+    std::vector<int> row_first_col(7, 0);
+    int next = 0;
+    std::vector<int> row_cols = {14, 15, 15, 15, 15, 15, 14};
+    row_first_col[6] = 1;
+    std::vector<std::vector<int>> connector(6);
+
+    // Interleave: qubit row, then its connector row, in id order.
+    std::vector<int> col_of(127, -1);
+    for (int r = 0; r < 7; ++r) {
+        for (int c = 0; c < row_cols[static_cast<std::size_t>(r)]; ++c) {
+            row_qubit[static_cast<std::size_t>(r)].push_back(next);
+            col_of[static_cast<std::size_t>(next)] =
+                row_first_col[static_cast<std::size_t>(r)] + c;
+            ++next;
+        }
+        if (r < 6)
+            for (int k = 0; k < 4; ++k)
+                connector[static_cast<std::size_t>(r)].push_back(next++);
+    }
+    g.num_qubits = next;
+    if (next != 127)
+        panic("heavyHex127: generated " + std::to_string(next) +
+              " qubits");
+
+    // Horizontal chains within qubit rows.
+    for (const auto &row : row_qubit)
+        for (std::size_t i = 0; i + 1 < row.size(); ++i)
+            g.edges.emplace_back(row[i], row[i + 1]);
+
+    // Vertical connectors: columns {0,4,8,12} for even connector rows,
+    // {2,6,10,14} for odd ones.
+    auto qubit_at_col = [&](int r, int col) -> int {
+        for (int q : row_qubit[static_cast<std::size_t>(r)])
+            if (col_of[static_cast<std::size_t>(q)] == col)
+                return q;
+        return -1;
+    };
+    for (int r = 0; r < 6; ++r) {
+        const int base = (r % 2 == 0) ? 0 : 2;
+        for (int k = 0; k < 4; ++k) {
+            const int col = base + 4 * k;
+            const int c_qubit =
+                connector[static_cast<std::size_t>(r)]
+                         [static_cast<std::size_t>(k)];
+            const int above = qubit_at_col(r, col);
+            const int below = qubit_at_col(r + 1, col);
+            if (above >= 0)
+                g.edges.emplace_back(above, c_qubit);
+            if (below >= 0)
+                g.edges.emplace_back(c_qubit, below);
+        }
+    }
+    return g;
+}
+
+CouplingGraph
+grid(int rows, int cols)
+{
+    CouplingGraph g;
+    g.num_qubits = rows * cols;
+    for (int r = 0; r < rows; ++r) {
+        for (int c = 0; c < cols; ++c) {
+            const int q = r * cols + c;
+            if (c + 1 < cols)
+                g.edges.emplace_back(q, q + 1);
+            if (r + 1 < rows)
+                g.edges.emplace_back(q, q + cols);
+        }
+    }
+    return g;
+}
+
+} // namespace zac::baselines

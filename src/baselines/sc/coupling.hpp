@@ -1,0 +1,44 @@
+/**
+ * @file
+ * Superconducting coupling graphs (paper Sec. VII-A): IBM's 127-qubit
+ * heavy-hexagon lattice (Heron / ibm_torino class) and an 11x11 grid
+ * (Google Sycamore class).
+ */
+
+#ifndef ZAC_BASELINES_SC_COUPLING_HPP
+#define ZAC_BASELINES_SC_COUPLING_HPP
+
+#include <utility>
+#include <vector>
+
+namespace zac::baselines
+{
+
+/** An undirected device coupling graph. */
+struct CouplingGraph
+{
+    int num_qubits = 0;
+    std::vector<std::pair<int, int>> edges;
+
+    /** Adjacency lists (built on demand by helpers). */
+    std::vector<std::vector<int>> adjacency() const;
+
+    /** All-pairs shortest-path distances (BFS per vertex). */
+    std::vector<std::vector<int>> distances() const;
+
+    bool hasEdge(int a, int b) const;
+};
+
+/**
+ * IBM 127-qubit heavy-hexagon lattice: seven 14/15-qubit rows joined by
+ * four-qubit connector rows whose columns alternate {0,4,8,12} and
+ * {2,6,10,14} (the ibm_washington / ibm_torino layout).
+ */
+CouplingGraph heavyHex127();
+
+/** Rectangular grid coupling (rows x cols), e.g. 11x11 = 121 qubits. */
+CouplingGraph grid(int rows, int cols);
+
+} // namespace zac::baselines
+
+#endif // ZAC_BASELINES_SC_COUPLING_HPP

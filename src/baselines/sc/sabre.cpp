@@ -1,0 +1,384 @@
+#include "baselines/sc/sabre.hpp"
+
+#include <algorithm>
+#include <set>
+
+#include "common/logging.hpp"
+#include "common/rng.hpp"
+
+namespace zac::baselines
+{
+
+namespace
+{
+
+/** Dependency DAG over the circuit's gates (per-qubit chains). */
+struct GateNode
+{
+    const Gate *gate;
+    int unresolved = 0;          ///< predecessors not yet executed
+    std::vector<int> successors;
+};
+
+} // namespace
+
+SabreResult
+sabreRoute(const Circuit &circuit, const CouplingGraph &graph,
+           const SabreOptions &opts)
+{
+    const int n_logical = circuit.numQubits();
+    const int n_physical = graph.num_qubits;
+    if (n_logical > n_physical)
+        fatal("sabreRoute: circuit needs " + std::to_string(n_logical) +
+              " qubits, device has " + std::to_string(n_physical));
+    for (const Gate &g : circuit.gates())
+        if (g.op != Op::CZ && g.op != Op::U3)
+            fatal("sabreRoute: circuit must be preprocessed to {CZ,U3}");
+
+    const auto dist = graph.distances();
+    for (int q = 1; q < n_physical; ++q)
+        if (dist[0][static_cast<std::size_t>(q)] < 0)
+            fatal("sabreRoute: coupling graph is disconnected");
+
+    // Build the dependency DAG.
+    std::vector<GateNode> nodes;
+    nodes.reserve(circuit.size());
+    {
+        std::vector<int> last_on(
+            static_cast<std::size_t>(n_logical), -1);
+        for (const Gate &g : circuit.gates()) {
+            GateNode node;
+            node.gate = &g;
+            const int id = static_cast<int>(nodes.size());
+            for (int q : g.qubits) {
+                const int prev = last_on[static_cast<std::size_t>(q)];
+                if (prev >= 0) {
+                    nodes[static_cast<std::size_t>(prev)]
+                        .successors.push_back(id);
+                    ++node.unresolved;
+                }
+                last_on[static_cast<std::size_t>(q)] = id;
+            }
+            nodes.push_back(std::move(node));
+        }
+    }
+
+    // Layout: logical -> physical and inverse.
+    std::vector<int> l2p(static_cast<std::size_t>(n_logical));
+    std::vector<int> p2l(static_cast<std::size_t>(n_physical), -1);
+    if (!opts.initial_layout.empty()) {
+        if (static_cast<int>(opts.initial_layout.size()) != n_logical)
+            fatal("sabreRoute: initial layout size mismatch");
+        for (int q = 0; q < n_logical; ++q) {
+            const int p = opts.initial_layout[static_cast<std::size_t>(q)];
+            if (p < 0 || p >= n_physical ||
+                p2l[static_cast<std::size_t>(p)] != -1)
+                fatal("sabreRoute: invalid initial layout");
+            l2p[static_cast<std::size_t>(q)] = p;
+            p2l[static_cast<std::size_t>(p)] = q;
+        }
+    } else {
+        for (int q = 0; q < n_logical; ++q) {
+            l2p[static_cast<std::size_t>(q)] = q;
+            p2l[static_cast<std::size_t>(q)] = q;
+        }
+    }
+
+    SabreResult result;
+    result.routed = Circuit(n_physical, circuit.name());
+    Rng rng(opts.seed);
+    std::vector<double> decay(static_cast<std::size_t>(n_physical), 1.0);
+    int rounds_since_reset = 0;
+
+    // Front layer: gate ids with no unresolved predecessors.
+    std::set<int> front;
+    for (std::size_t i = 0; i < nodes.size(); ++i)
+        if (nodes[i].unresolved == 0)
+            front.insert(static_cast<int>(i));
+
+    auto resolve = [&](int id) {
+        front.erase(id);
+        for (int succ : nodes[static_cast<std::size_t>(id)].successors)
+            if (--nodes[static_cast<std::size_t>(succ)].unresolved == 0)
+                front.insert(succ);
+    };
+
+    auto emit_swap = [&](int pa, int pb) {
+        // SWAP = 3 CX = 3 CZ + 4 surviving H (U3) in the CZ basis.
+        auto h_on = [&](int p) {
+            result.routed.u3(p, 1.5707963267948966, 0.0,
+                             3.141592653589793);
+        };
+        h_on(pb);
+        result.routed.cz(pa, pb);
+        h_on(pb);
+        h_on(pa);
+        result.routed.cz(pb, pa);
+        h_on(pa);
+        h_on(pb);
+        result.routed.cz(pa, pb);
+        h_on(pb);
+        ++result.num_swaps;
+        const int la = p2l[static_cast<std::size_t>(pa)];
+        const int lb = p2l[static_cast<std::size_t>(pb)];
+        if (la >= 0)
+            l2p[static_cast<std::size_t>(la)] = pb;
+        if (lb >= 0)
+            l2p[static_cast<std::size_t>(lb)] = pa;
+        std::swap(p2l[static_cast<std::size_t>(pa)],
+                  p2l[static_cast<std::size_t>(pb)]);
+    };
+
+    while (!front.empty()) {
+        // Execute everything executable.
+        bool executed = true;
+        while (executed) {
+            executed = false;
+            for (auto it = front.begin(); it != front.end();) {
+                const int id = *it;
+                const Gate &g =
+                    *nodes[static_cast<std::size_t>(id)].gate;
+                if (g.op == Op::U3) {
+                    result.routed.add(
+                        Op::U3,
+                        {l2p[static_cast<std::size_t>(g.qubits[0])]},
+                        g.params);
+                    ++it;
+                    resolve(id);
+                    executed = true;
+                    continue;
+                }
+                const int pa =
+                    l2p[static_cast<std::size_t>(g.qubits[0])];
+                const int pb =
+                    l2p[static_cast<std::size_t>(g.qubits[1])];
+                if (dist[static_cast<std::size_t>(pa)]
+                        [static_cast<std::size_t>(pb)] == 1) {
+                    result.routed.cz(pa, pb);
+                    ++it;
+                    resolve(id);
+                    executed = true;
+                    continue;
+                }
+                ++it;
+            }
+        }
+        if (front.empty())
+            break;
+
+        // Extended set: the next opts.ext_size 2Q gates past the front.
+        std::vector<const Gate *> extended;
+        {
+            std::vector<int> frontier(front.begin(), front.end());
+            std::set<int> seen(front.begin(), front.end());
+            std::size_t cursor = 0;
+            while (cursor < frontier.size() &&
+                   static_cast<int>(extended.size()) < opts.ext_size) {
+                const int id = frontier[cursor++];
+                for (int succ :
+                     nodes[static_cast<std::size_t>(id)].successors) {
+                    if (!seen.insert(succ).second)
+                        continue;
+                    const Gate &g =
+                        *nodes[static_cast<std::size_t>(succ)].gate;
+                    if (g.op == Op::CZ)
+                        extended.push_back(&g);
+                    frontier.push_back(succ);
+                }
+            }
+        }
+
+        // Candidate swaps: edges touching a front-gate qubit.
+        std::set<std::pair<int, int>> candidates;
+        for (int id : front) {
+            const Gate &g = *nodes[static_cast<std::size_t>(id)].gate;
+            if (g.op != Op::CZ)
+                continue;
+            for (int lq : g.qubits) {
+                const int p = l2p[static_cast<std::size_t>(lq)];
+                for (const auto &[a, b] : graph.edges) {
+                    if (a == p || b == p)
+                        candidates.insert(
+                            {std::min(a, b), std::max(a, b)});
+                }
+            }
+        }
+        if (candidates.empty())
+            panic("sabreRoute: no candidate swaps with a blocked front");
+
+        auto score_layout = [&](const std::vector<int> &layout) {
+            double front_term = 0.0;
+            int front_count = 0;
+            for (int id : front) {
+                const Gate &g =
+                    *nodes[static_cast<std::size_t>(id)].gate;
+                if (g.op != Op::CZ)
+                    continue;
+                front_term += dist[static_cast<std::size_t>(
+                    layout[static_cast<std::size_t>(g.qubits[0])])]
+                    [static_cast<std::size_t>(layout[
+                        static_cast<std::size_t>(g.qubits[1])])];
+                ++front_count;
+            }
+            if (front_count > 0)
+                front_term /= front_count;
+            double ext_term = 0.0;
+            for (const Gate *g : extended)
+                ext_term += dist[static_cast<std::size_t>(
+                    layout[static_cast<std::size_t>(g->qubits[0])])]
+                    [static_cast<std::size_t>(layout[
+                        static_cast<std::size_t>(g->qubits[1])])];
+            if (!extended.empty())
+                ext_term /= static_cast<double>(extended.size());
+            return front_term + opts.ext_weight * ext_term;
+        };
+
+        double best_score = std::numeric_limits<double>::max();
+        std::vector<std::pair<int, int>> best_swaps;
+        for (const auto &[pa, pb] : candidates) {
+            std::vector<int> layout = l2p;
+            const int la = p2l[static_cast<std::size_t>(pa)];
+            const int lb = p2l[static_cast<std::size_t>(pb)];
+            if (la >= 0)
+                layout[static_cast<std::size_t>(la)] = pb;
+            if (lb >= 0)
+                layout[static_cast<std::size_t>(lb)] = pa;
+            const double decay_factor =
+                std::max(decay[static_cast<std::size_t>(pa)],
+                         decay[static_cast<std::size_t>(pb)]);
+            const double s = decay_factor * score_layout(layout);
+            if (s < best_score - 1e-12) {
+                best_score = s;
+                best_swaps = {{pa, pb}};
+            } else if (s < best_score + 1e-12) {
+                best_swaps.emplace_back(pa, pb);
+            }
+        }
+        const auto [pa, pb] =
+            best_swaps[rng.nextBelow(best_swaps.size())];
+        emit_swap(pa, pb);
+        decay[static_cast<std::size_t>(pa)] += opts.decay_delta;
+        decay[static_cast<std::size_t>(pb)] += opts.decay_delta;
+        if (++rounds_since_reset >= opts.decay_reset) {
+            std::fill(decay.begin(), decay.end(), 1.0);
+            rounds_since_reset = 0;
+        }
+    }
+
+    result.final_layout = l2p;
+    return result;
+}
+
+namespace
+{
+
+/**
+ * Seed layout: map the circuit's interaction-graph BFS order onto a
+ * greedy low-degree-first DFS path of the device, so chain-like
+ * circuits (GHZ, BV, QFT ladders) start almost routed. SabreLayout's
+ * forward/backward passes then refine it.
+ */
+std::vector<int>
+pathSeedLayout(const Circuit &circuit, const CouplingGraph &graph)
+{
+    const int n_logical = circuit.numQubits();
+    const int n_physical = graph.num_qubits;
+
+    // Logical order: BFS over the interaction graph.
+    std::vector<std::vector<int>> inter(
+        static_cast<std::size_t>(n_logical));
+    for (const auto &[a, b] : circuit.interactionEdges()) {
+        inter[static_cast<std::size_t>(a)].push_back(b);
+        inter[static_cast<std::size_t>(b)].push_back(a);
+    }
+    std::vector<int> logical_order;
+    std::vector<bool> seen(static_cast<std::size_t>(n_logical), false);
+    for (int root = 0; root < n_logical; ++root) {
+        if (seen[static_cast<std::size_t>(root)])
+            continue;
+        std::vector<int> queue{root};
+        seen[static_cast<std::size_t>(root)] = true;
+        for (std::size_t head = 0; head < queue.size(); ++head) {
+            const int u = queue[head];
+            logical_order.push_back(u);
+            for (int v : inter[static_cast<std::size_t>(u)]) {
+                if (!seen[static_cast<std::size_t>(v)]) {
+                    seen[static_cast<std::size_t>(v)] = true;
+                    queue.push_back(v);
+                }
+            }
+        }
+    }
+
+    // Physical order: DFS preferring low-degree unvisited neighbours,
+    // which snakes along paths of the lattice.
+    const auto adj = graph.adjacency();
+    std::vector<int> physical_order;
+    std::vector<bool> visited(static_cast<std::size_t>(n_physical),
+                              false);
+    std::vector<int> stack{0};
+    visited[0] = true;
+    while (!stack.empty()) {
+        const int u = stack.back();
+        stack.pop_back();
+        physical_order.push_back(u);
+        int best = -1;
+        std::size_t best_deg = static_cast<std::size_t>(-1);
+        for (int v : adj[static_cast<std::size_t>(u)]) {
+            if (visited[static_cast<std::size_t>(v)])
+                continue;
+            if (adj[static_cast<std::size_t>(v)].size() < best_deg) {
+                best_deg = adj[static_cast<std::size_t>(v)].size();
+                best = v;
+            }
+        }
+        if (best >= 0) {
+            // Defer the remaining neighbours, walk the path first.
+            for (int v : adj[static_cast<std::size_t>(u)]) {
+                if (!visited[static_cast<std::size_t>(v)] &&
+                    v != best) {
+                    visited[static_cast<std::size_t>(v)] = true;
+                    stack.push_back(v);
+                }
+            }
+            visited[static_cast<std::size_t>(best)] = true;
+            stack.push_back(best);
+        }
+    }
+    for (int p = 0; p < n_physical; ++p)
+        if (!visited[static_cast<std::size_t>(p)])
+            physical_order.push_back(p);
+
+    std::vector<int> layout(static_cast<std::size_t>(n_logical));
+    for (std::size_t i = 0; i < logical_order.size(); ++i)
+        layout[static_cast<std::size_t>(logical_order[i])] =
+            physical_order[i];
+    return layout;
+}
+
+} // namespace
+
+SabreResult
+sabreLayoutAndRoute(const Circuit &circuit, const CouplingGraph &graph,
+                    const SabreOptions &opts, int iterations)
+{
+    // Reversed circuit (CZ and U3 are order-symmetric for routing
+    // purposes: only the 2Q adjacency pattern matters).
+    Circuit reversed(circuit.numQubits(), circuit.name());
+    for (auto it = circuit.gates().rbegin(); it != circuit.gates().rend();
+         ++it)
+        reversed.add(*it);
+
+    SabreOptions cur = opts;
+    if (cur.initial_layout.empty())
+        cur.initial_layout = pathSeedLayout(circuit, graph);
+    for (int i = 0; i < iterations; ++i) {
+        const SabreResult fwd = sabreRoute(circuit, graph, cur);
+        cur.initial_layout = fwd.final_layout;
+        const SabreResult bwd = sabreRoute(reversed, graph, cur);
+        cur.initial_layout = bwd.final_layout;
+    }
+    return sabreRoute(circuit, graph, cur);
+}
+
+} // namespace zac::baselines

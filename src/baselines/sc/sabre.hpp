@@ -1,0 +1,69 @@
+/**
+ * @file
+ * SABRE qubit routing (Li, Ding, Xie, ASPLOS'19), used for the
+ * superconducting baselines (paper Sec. VII-A compiles with "the
+ * default Qiskit transpiler with Sabre").
+ *
+ * Given a {CZ, U3} circuit and a coupling graph, inserts SWAPs (3 CZ
+ * each) so every 2Q gate acts on coupled qubits. Heuristic: front-layer
+ * distance sum plus a discounted extended-set lookahead, with a decay
+ * factor discouraging repeated swaps on the same qubit.
+ */
+
+#ifndef ZAC_BASELINES_SC_SABRE_HPP
+#define ZAC_BASELINES_SC_SABRE_HPP
+
+#include <cstdint>
+
+#include "baselines/sc/coupling.hpp"
+#include "circuit/circuit.hpp"
+
+namespace zac::baselines
+{
+
+/** SABRE tuning parameters (standard values). */
+struct SabreOptions
+{
+    double ext_weight = 0.5;  ///< weight of the extended-set term
+    int ext_size = 20;        ///< gates in the extended set
+    double decay_delta = 0.001;
+    int decay_reset = 5;      ///< rounds between decay resets
+    std::uint64_t seed = 7;   ///< tie-break seed
+    /**
+     * Initial layout (logical -> physical); empty = trivial. Filled in
+     * by sabreLayoutAndRoute's forward/backward passes.
+     */
+    std::vector<int> initial_layout;
+};
+
+/** Routing output. */
+struct SabreResult
+{
+    Circuit routed;           ///< CZ/U3 circuit on physical qubits
+    int num_swaps = 0;
+    std::vector<int> final_layout; ///< logical -> physical
+};
+
+/**
+ * Route @p circuit onto @p graph starting from the trivial layout.
+ *
+ * @param circuit must be in the {CZ, U3} basis (run zac::preprocess).
+ */
+SabreResult sabreRoute(const Circuit &circuit, const CouplingGraph &graph,
+                       const SabreOptions &opts = {});
+
+/**
+ * SABRE layout + routing: forward/backward routing passes refine the
+ * initial layout (the SabreLayout algorithm), then a final forward
+ * pass produces the routed circuit.
+ *
+ * @param iterations forward/backward refinement round count.
+ */
+SabreResult sabreLayoutAndRoute(const Circuit &circuit,
+                                const CouplingGraph &graph,
+                                const SabreOptions &opts = {},
+                                int iterations = 2);
+
+} // namespace zac::baselines
+
+#endif // ZAC_BASELINES_SC_SABRE_HPP

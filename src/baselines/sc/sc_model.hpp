@@ -1,0 +1,59 @@
+/**
+ * @file
+ * Superconducting baseline: SABRE routing plus the Table I fidelity
+ * model for the Heron (heavy-hex) and grid architectures.
+ */
+
+#ifndef ZAC_BASELINES_SC_SC_MODEL_HPP
+#define ZAC_BASELINES_SC_SC_MODEL_HPP
+
+#include "baselines/sc/coupling.hpp"
+#include "baselines/sc/sabre.hpp"
+#include "circuit/circuit.hpp"
+#include "fidelity/params.hpp"
+
+namespace zac::baselines
+{
+
+/** Result of one superconducting compilation. */
+struct ScResult
+{
+    double f_1q = 1.0;
+    double f_2q = 1.0;
+    double f_decoherence = 1.0;
+    double total = 1.0;
+    int g1 = 0;
+    int g2 = 0;
+    int num_swaps = 0;
+    double duration_us = 0.0;
+    double compile_seconds = 0.0;
+};
+
+/** A superconducting device: coupling graph + hardware parameters. */
+class ScCompiler
+{
+  public:
+    ScCompiler(CouplingGraph graph, ScParams params);
+
+    /** The 127-qubit Heron heavy-hex device. */
+    static ScCompiler heron();
+    /** The 11x11 grid device. */
+    static ScCompiler sycamoreGrid();
+
+    const CouplingGraph &graph() const { return graph_; }
+    const ScParams &params() const { return params_; }
+
+    /**
+     * Route with SABRE, schedule ASAP with Table I durations, and
+     * apply f = f1^g1 * f2^g2 * prod_q (1 - tq/T2).
+     */
+    ScResult compile(const Circuit &circuit) const;
+
+  private:
+    CouplingGraph graph_;
+    ScParams params_;
+};
+
+} // namespace zac::baselines
+
+#endif // ZAC_BASELINES_SC_SC_MODEL_HPP

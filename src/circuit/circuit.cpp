@@ -1,0 +1,313 @@
+#include "circuit/circuit.hpp"
+
+#include <algorithm>
+#include <array>
+#include <cstdio>
+#include <sstream>
+
+#include "common/logging.hpp"
+
+namespace zac
+{
+
+namespace
+{
+
+struct OpInfo
+{
+    Op op;
+    const char *name;
+    int arity;       // 0 = variadic (barrier)
+    int params;
+};
+
+constexpr std::array<OpInfo, 33> kOpTable{{
+    {Op::I, "id", 1, 0},
+    {Op::X, "x", 1, 0},
+    {Op::Y, "y", 1, 0},
+    {Op::Z, "z", 1, 0},
+    {Op::H, "h", 1, 0},
+    {Op::S, "s", 1, 0},
+    {Op::Sdg, "sdg", 1, 0},
+    {Op::T, "t", 1, 0},
+    {Op::Tdg, "tdg", 1, 0},
+    {Op::SX, "sx", 1, 0},
+    {Op::SXdg, "sxdg", 1, 0},
+    {Op::RX, "rx", 1, 1},
+    {Op::RY, "ry", 1, 1},
+    {Op::RZ, "rz", 1, 1},
+    {Op::P, "p", 1, 1},
+    {Op::U1, "u1", 1, 1},
+    {Op::U2, "u2", 1, 2},
+    {Op::U3, "u3", 1, 3},
+    {Op::CX, "cx", 2, 0},
+    {Op::CY, "cy", 2, 0},
+    {Op::CZ, "cz", 2, 0},
+    {Op::CH, "ch", 2, 0},
+    {Op::SWAP, "swap", 2, 0},
+    {Op::CP, "cp", 2, 1},
+    {Op::CU1, "cu1", 2, 1},
+    {Op::CRX, "crx", 2, 1},
+    {Op::CRY, "cry", 2, 1},
+    {Op::CRZ, "crz", 2, 1},
+    {Op::RZZ, "rzz", 2, 1},
+    {Op::RXX, "rxx", 2, 1},
+    {Op::CCX, "ccx", 3, 0},
+    {Op::CSWAP, "cswap", 3, 0},
+    {Op::Barrier, "barrier", 0, 0},
+}};
+
+const OpInfo &
+info(Op op)
+{
+    for (const OpInfo &i : kOpTable)
+        if (i.op == op)
+            return i;
+    // Measure / Reset are handled out of table.
+    static OpInfo measure{Op::Measure, "measure", 1, 0};
+    static OpInfo reset{Op::Reset, "reset", 1, 0};
+    if (op == Op::Measure)
+        return measure;
+    if (op == Op::Reset)
+        return reset;
+    panic("unknown opcode");
+}
+
+} // namespace
+
+const char *
+opName(Op op)
+{
+    return info(op).name;
+}
+
+bool
+opFromName(const std::string &name, Op &out)
+{
+    for (const OpInfo &i : kOpTable) {
+        if (name == i.name) {
+            out = i.op;
+            return true;
+        }
+    }
+    if (name == "measure") {
+        out = Op::Measure;
+        return true;
+    }
+    if (name == "reset") {
+        out = Op::Reset;
+        return true;
+    }
+    // qelib1 aliases
+    if (name == "u") {
+        out = Op::U3;
+        return true;
+    }
+    if (name == "cnot") {
+        out = Op::CX;
+        return true;
+    }
+    if (name == "toffoli") {
+        out = Op::CCX;
+        return true;
+    }
+    return false;
+}
+
+int
+opArity(Op op)
+{
+    return info(op).arity;
+}
+
+int
+opParamCount(Op op)
+{
+    return info(op).params;
+}
+
+bool
+opIs1Q(Op op)
+{
+    return op >= Op::I && op <= Op::U3;
+}
+
+bool
+opIs2Q(Op op)
+{
+    return op >= Op::CX && op <= Op::RXX;
+}
+
+bool
+opIs3Q(Op op)
+{
+    return op == Op::CCX || op == Op::CSWAP;
+}
+
+std::string
+Gate::str() const
+{
+    std::ostringstream ss;
+    ss << opName(op);
+    if (!params.empty()) {
+        ss << '(';
+        for (std::size_t i = 0; i < params.size(); ++i) {
+            if (i)
+                ss << ',';
+            char buf[32];
+            std::snprintf(buf, sizeof(buf), "%.10g", params[i]);
+            ss << buf;
+        }
+        ss << ')';
+    }
+    ss << ' ';
+    for (std::size_t i = 0; i < qubits.size(); ++i) {
+        if (i)
+            ss << ',';
+        ss << "q[" << qubits[i] << ']';
+    }
+    return ss.str();
+}
+
+Circuit::Circuit(int num_qubits, std::string name)
+    : numQubits_(num_qubits), name_(std::move(name))
+{
+    if (num_qubits < 0)
+        fatal("circuit: negative qubit count");
+}
+
+void
+Circuit::add(Gate g)
+{
+    const int arity = opArity(g.op);
+    if (arity != 0 && static_cast<int>(g.qubits.size()) != arity)
+        fatal("circuit: " + std::string(opName(g.op)) + " expects " +
+              std::to_string(arity) + " qubits, got " +
+              std::to_string(g.qubits.size()));
+    const int nparams = opParamCount(g.op);
+    if (static_cast<int>(g.params.size()) != nparams)
+        fatal("circuit: " + std::string(opName(g.op)) + " expects " +
+              std::to_string(nparams) + " params, got " +
+              std::to_string(g.params.size()));
+    for (int q : g.qubits) {
+        if (q < 0 || q >= numQubits_)
+            fatal("circuit: qubit index " + std::to_string(q) +
+                  " out of range [0," + std::to_string(numQubits_) + ")");
+    }
+    if (g.qubits.size() > 1) {
+        for (std::size_t i = 0; i < g.qubits.size(); ++i)
+            for (std::size_t j = i + 1; j < g.qubits.size(); ++j)
+                if (g.qubits[i] == g.qubits[j])
+                    fatal("circuit: duplicate qubit operand in " +
+                          g.str());
+    }
+    gates_.push_back(std::move(g));
+}
+
+void
+Circuit::add(Op op, std::vector<int> qubits, std::vector<double> ps)
+{
+    add(Gate(op, std::move(qubits), std::move(ps)));
+}
+
+int
+Circuit::count1Q() const
+{
+    int n = 0;
+    for (const Gate &g : gates_)
+        if (g.is1Q())
+            ++n;
+    return n;
+}
+
+int
+Circuit::count2Q() const
+{
+    int n = 0;
+    for (const Gate &g : gates_)
+        if (g.is2Q())
+            ++n;
+    return n;
+}
+
+int
+Circuit::count3Q() const
+{
+    int n = 0;
+    for (const Gate &g : gates_)
+        if (g.is3Q())
+            ++n;
+    return n;
+}
+
+int
+Circuit::depth() const
+{
+    std::vector<int> level(static_cast<std::size_t>(numQubits_), 0);
+    int max_level = 0;
+    for (const Gate &g : gates_) {
+        if (!g.isUnitary())
+            continue;
+        int lv = 0;
+        for (int q : g.qubits)
+            lv = std::max(lv, level[static_cast<std::size_t>(q)]);
+        ++lv;
+        for (int q : g.qubits)
+            level[static_cast<std::size_t>(q)] = lv;
+        max_level = std::max(max_level, lv);
+    }
+    return max_level;
+}
+
+std::vector<std::pair<int, int>>
+Circuit::interactionEdges() const
+{
+    std::vector<std::pair<int, int>> edges;
+    for (const Gate &g : gates_)
+        if (g.is2Q())
+            edges.emplace_back(g.qubits[0], g.qubits[1]);
+    return edges;
+}
+
+std::string
+Circuit::toQasm() const
+{
+    std::ostringstream ss;
+    ss << "OPENQASM 2.0;\n";
+    ss << "include \"qelib1.inc\";\n";
+    ss << "qreg q[" << numQubits_ << "];\n";
+    ss << "creg c[" << numQubits_ << "];\n";
+    for (const Gate &g : gates_) {
+        if (g.op == Op::Barrier) {
+            ss << "barrier q;\n";
+            continue;
+        }
+        if (g.op == Op::Measure) {
+            ss << "measure q[" << g.qubits[0] << "] -> c["
+               << g.qubits[0] << "];\n";
+            continue;
+        }
+        ss << opName(g.op);
+        if (!g.params.empty()) {
+            ss << '(';
+            for (std::size_t i = 0; i < g.params.size(); ++i) {
+                if (i)
+                    ss << ',';
+                char buf[32];
+                std::snprintf(buf, sizeof(buf), "%.12g", g.params[i]);
+                ss << buf;
+            }
+            ss << ')';
+        }
+        ss << ' ';
+        for (std::size_t i = 0; i < g.qubits.size(); ++i) {
+            if (i)
+                ss << ',';
+            ss << "q[" << g.qubits[i] << ']';
+        }
+        ss << ";\n";
+    }
+    return ss.str();
+}
+
+} // namespace zac

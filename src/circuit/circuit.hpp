@@ -1,0 +1,92 @@
+/**
+ * @file
+ * The quantum circuit container used across the compiler.
+ */
+
+#ifndef ZAC_CIRCUIT_CIRCUIT_HPP
+#define ZAC_CIRCUIT_CIRCUIT_HPP
+
+#include <string>
+#include <vector>
+
+#include "circuit/gate.hpp"
+
+namespace zac
+{
+
+/**
+ * An ordered list of gates over a fixed set of qubits.
+ *
+ * Qubits are dense integers [0, numQubits). The builder methods validate
+ * operand indices and arity so malformed circuits fail at construction.
+ */
+class Circuit
+{
+  public:
+    Circuit() = default;
+    explicit Circuit(int num_qubits, std::string name = "");
+
+    int numQubits() const { return numQubits_; }
+    const std::string &name() const { return name_; }
+    void setName(std::string n) { name_ = std::move(n); }
+
+    const std::vector<Gate> &gates() const { return gates_; }
+    std::size_t size() const { return gates_.size(); }
+    const Gate &operator[](std::size_t i) const { return gates_[i]; }
+
+    /** Append a gate after validating operands. */
+    void add(Gate g);
+    void add(Op op, std::vector<int> qubits, std::vector<double> ps = {});
+
+    // Convenience builders for common gates.
+    void h(int q) { add(Op::H, {q}); }
+    void x(int q) { add(Op::X, {q}); }
+    void y(int q) { add(Op::Y, {q}); }
+    void z(int q) { add(Op::Z, {q}); }
+    void s(int q) { add(Op::S, {q}); }
+    void sdg(int q) { add(Op::Sdg, {q}); }
+    void t(int q) { add(Op::T, {q}); }
+    void tdg(int q) { add(Op::Tdg, {q}); }
+    void rx(int q, double a) { add(Op::RX, {q}, {a}); }
+    void ry(int q, double a) { add(Op::RY, {q}, {a}); }
+    void rz(int q, double a) { add(Op::RZ, {q}, {a}); }
+    void u3(int q, double th, double ph, double la)
+    {
+        add(Op::U3, {q}, {th, ph, la});
+    }
+    void cx(int c, int t) { add(Op::CX, {c, t}); }
+    void cz(int a, int b) { add(Op::CZ, {a, b}); }
+    void cp(int a, int b, double th) { add(Op::CP, {a, b}, {th}); }
+    void swap(int a, int b) { add(Op::SWAP, {a, b}); }
+    void ccx(int a, int b, int t) { add(Op::CCX, {a, b, t}); }
+    void cswap(int c, int a, int b) { add(Op::CSWAP, {c, a, b}); }
+    void barrier() { add(Op::Barrier, {}); }
+    void measure(int q) { add(Op::Measure, {q}); }
+
+    /** Count of 1-qubit unitary gates. */
+    int count1Q() const;
+    /** Count of 2-qubit unitary gates. */
+    int count2Q() const;
+    /** Count of 3-qubit unitary gates. */
+    int count3Q() const;
+
+    /** Circuit depth counting unitary gates only (barriers ignored). */
+    int depth() const;
+
+    /**
+     * The qubit-interaction multigraph as (q, q') pairs, one per 2Q gate.
+     */
+    std::vector<std::pair<int, int>> interactionEdges() const;
+
+    /** Render as an OpenQASM 2.0 program. */
+    std::string toQasm() const;
+
+  private:
+    int numQubits_ = 0;
+    std::string name_;
+    std::vector<Gate> gates_;
+};
+
+} // namespace zac
+
+#endif // ZAC_CIRCUIT_CIRCUIT_HPP

@@ -1,0 +1,83 @@
+/**
+ * @file
+ * Gate and opcode definitions for the circuit IR.
+ *
+ * The IR supports the standard OpenQASM 2.0 (qelib1) gate vocabulary so
+ * QASMBench circuits parse directly; the transpile module lowers all of it
+ * to the neutral-atom hardware set {CZ, U3}.
+ */
+
+#ifndef ZAC_CIRCUIT_GATE_HPP
+#define ZAC_CIRCUIT_GATE_HPP
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace zac
+{
+
+/** Opcode for a circuit operation. */
+enum class Op : std::uint8_t
+{
+    // 1-qubit gates
+    I, X, Y, Z, H, S, Sdg, T, Tdg, SX, SXdg,
+    RX, RY, RZ, P, U1, U2, U3,
+    // 2-qubit gates
+    CX, CY, CZ, CH, SWAP, CP, CU1, CRX, CRY, CRZ, RZZ, RXX,
+    // 3-qubit gates
+    CCX, CSWAP,
+    // non-unitary / structural
+    Barrier, Measure, Reset,
+};
+
+/** @return the lowercase OpenQASM name for @p op. */
+const char *opName(Op op);
+
+/** @return the opcode for a qelib1 gate name, or nullopt-like failure. */
+bool opFromName(const std::string &name, Op &out);
+
+/** Number of qubit operands the opcode requires (0 = variadic). */
+int opArity(Op op);
+
+/** Number of angle parameters the opcode requires. */
+int opParamCount(Op op);
+
+/** @return true for 1-qubit unitary opcodes. */
+bool opIs1Q(Op op);
+
+/** @return true for 2-qubit unitary opcodes. */
+bool opIs2Q(Op op);
+
+/** @return true for 3-qubit unitary opcodes. */
+bool opIs3Q(Op op);
+
+/**
+ * One circuit operation: an opcode, its qubit operands (global indices)
+ * and its real-valued parameters (angles in radians).
+ */
+struct Gate
+{
+    Op op = Op::I;
+    std::vector<int> qubits;
+    std::vector<double> params;
+
+    Gate() = default;
+    Gate(Op o, std::vector<int> qs, std::vector<double> ps = {})
+        : op(o), qubits(std::move(qs)), params(std::move(ps)) {}
+
+    bool is1Q() const { return opIs1Q(op); }
+    bool is2Q() const { return opIs2Q(op); }
+    bool is3Q() const { return opIs3Q(op); }
+    bool isUnitary() const
+    {
+        return op != Op::Barrier && op != Op::Measure && op != Op::Reset;
+    }
+
+    /** Human-readable rendering, e.g. "cx q[0],q[3]". */
+    std::string str() const;
+};
+
+} // namespace zac
+
+#endif // ZAC_CIRCUIT_GATE_HPP

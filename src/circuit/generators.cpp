@@ -1,0 +1,339 @@
+#include "circuit/generators.hpp"
+
+#include <cmath>
+#include <numbers>
+
+#include "common/logging.hpp"
+
+namespace zac::bench_circuits
+{
+
+namespace
+{
+
+constexpr double kPi = std::numbers::pi;
+
+/** Deterministic secret with @p ones ones spread across @p bits bits. */
+std::vector<bool>
+spreadSecret(int bits, int ones)
+{
+    std::vector<bool> secret(static_cast<std::size_t>(bits), false);
+    // Bresenham-style even spread so the circuit looks organic but is
+    // fully deterministic.
+    int acc = 0;
+    for (int i = 0; i < bits; ++i) {
+        acc += ones;
+        if (acc >= bits) {
+            acc -= bits;
+            secret[static_cast<std::size_t>(i)] = true;
+        }
+    }
+    return secret;
+}
+
+/** Standard 6-CX Toffoli decomposition appended to @p c. */
+void
+appendCcx(Circuit &c, int a, int b, int t)
+{
+    c.h(t);
+    c.cx(b, t);
+    c.tdg(t);
+    c.cx(a, t);
+    c.t(t);
+    c.cx(b, t);
+    c.tdg(t);
+    c.cx(a, t);
+    c.t(b);
+    c.t(t);
+    c.h(t);
+    c.cx(a, b);
+    c.t(a);
+    c.tdg(b);
+    c.cx(a, b);
+}
+
+/** Fredkin (controlled-SWAP) via CX + CCX + CX. */
+void
+appendCswap(Circuit &c, int ctrl, int a, int b)
+{
+    c.cx(b, a);
+    appendCcx(c, ctrl, a, b);
+    c.cx(b, a);
+}
+
+} // namespace
+
+Circuit
+bernsteinVazirani(int num_qubits, const std::vector<bool> &secret)
+{
+    if (static_cast<int>(secret.size()) != num_qubits - 1)
+        fatal("bv: secret must have num_qubits-1 bits");
+    Circuit c(num_qubits, "bv_n" + std::to_string(num_qubits));
+    const int anc = num_qubits - 1;
+    c.x(anc);
+    c.h(anc);
+    for (int i = 0; i < anc; ++i)
+        c.h(i);
+    for (int i = 0; i < anc; ++i)
+        if (secret[static_cast<std::size_t>(i)])
+            c.cx(i, anc);
+    for (int i = 0; i < anc; ++i)
+        c.h(i);
+    c.h(anc);
+    return c;
+}
+
+Circuit
+ghz(int num_qubits)
+{
+    Circuit c(num_qubits, "ghz_n" + std::to_string(num_qubits));
+    c.h(0);
+    for (int i = 0; i + 1 < num_qubits; ++i)
+        c.cx(i, i + 1);
+    return c;
+}
+
+Circuit
+cat(int num_qubits)
+{
+    Circuit c = ghz(num_qubits);
+    c.setName("cat_n" + std::to_string(num_qubits));
+    return c;
+}
+
+Circuit
+ising(int num_qubits)
+{
+    Circuit c(num_qubits, "ising_n" + std::to_string(num_qubits));
+    const double h_field = 2.0;
+    const double jz = 1.0;
+    const double dt = 0.1;
+    // Transverse-field layer.
+    for (int q = 0; q < num_qubits; ++q)
+        c.rx(q, 2.0 * h_field * dt);
+    // ZZ couplings: even bonds then odd bonds, each CX-RZ-CX.
+    for (int parity = 0; parity < 2; ++parity) {
+        for (int i = parity; i + 1 < num_qubits; i += 2) {
+            c.cx(i, i + 1);
+            c.rz(i + 1, 2.0 * jz * dt);
+            c.cx(i, i + 1);
+        }
+    }
+    // Closing field layer.
+    for (int q = 0; q < num_qubits; ++q)
+        c.rx(q, 2.0 * h_field * dt);
+    return c;
+}
+
+Circuit
+qft(int num_qubits)
+{
+    Circuit c(num_qubits, "qft_n" + std::to_string(num_qubits));
+    for (int i = 0; i < num_qubits; ++i) {
+        c.h(i);
+        for (int j = i + 1; j < num_qubits; ++j)
+            c.cp(j, i, kPi / std::pow(2.0, j - i));
+    }
+    return c;
+}
+
+Circuit
+wstate(int num_qubits)
+{
+    Circuit c(num_qubits, "wstate_n" + std::to_string(num_qubits));
+    const int n = num_qubits;
+    c.x(n - 1);
+    // F-block cascade: RY / CZ / RY rotations distribute the excitation.
+    for (int i = n - 1; i > 0; --i) {
+        const double theta =
+            std::acos(std::sqrt(1.0 / static_cast<double>(i + 1)));
+        c.ry(i - 1, -theta);
+        c.cz(i, i - 1);
+        c.ry(i - 1, theta);
+    }
+    // CX chain completes the W state.
+    for (int i = 0; i + 1 < n; ++i)
+        c.cx(i, i + 1);
+    return c;
+}
+
+Circuit
+swapTest(int num_qubits)
+{
+    if (num_qubits % 2 == 0)
+        fatal("swap_test: qubit count must be odd (anc + two registers)");
+    const int m = (num_qubits - 1) / 2;
+    Circuit c(num_qubits, "swap_test_n" + std::to_string(num_qubits));
+    const int anc = 0;
+    c.h(anc);
+    // Prepare |psi> on register A so the test is nontrivial.
+    for (int i = 0; i < m; ++i)
+        c.ry(1 + i, 0.3 * (i + 1));
+    for (int i = 0; i < m; ++i)
+        appendCswap(c, anc, 1 + i, 1 + m + i);
+    c.h(anc);
+    return c;
+}
+
+Circuit
+knn(int num_qubits)
+{
+    if (num_qubits % 2 == 0)
+        fatal("knn: qubit count must be odd (anc + two registers)");
+    const int m = (num_qubits - 1) / 2;
+    Circuit c(num_qubits, "knn_n" + std::to_string(num_qubits));
+    const int anc = 0;
+    // Encode the training / test feature vectors.
+    for (int i = 0; i < m; ++i) {
+        c.ry(1 + i, 0.7 + 0.1 * i);
+        c.ry(1 + m + i, 0.4 + 0.1 * i);
+    }
+    c.h(anc);
+    for (int i = 0; i < m; ++i)
+        appendCswap(c, anc, 1 + i, 1 + m + i);
+    c.h(anc);
+    return c;
+}
+
+Circuit
+multiply(int num_qubits)
+{
+    if (num_qubits < 13)
+        fatal("multiply: needs at least 13 qubits");
+    // 3-bit a, 2-bit b, 5-bit product, 3 carries = 13 qubits.
+    Circuit c(num_qubits, "multiply_n" + std::to_string(num_qubits));
+    const int a0 = 0, b0 = 3, p0 = 5, c0 = 10;
+    // Load operands a=5 (101), b=3 (11).
+    c.x(a0 + 0);
+    c.x(a0 + 2);
+    c.x(b0 + 0);
+    c.x(b0 + 1);
+    // Schoolbook partial products (six Toffolis) ...
+    for (int j = 0; j < 2; ++j)
+        for (int i = 0; i < 3; ++i)
+            appendCcx(c, a0 + i, b0 + j, p0 + i + j);
+    // ... plus a ripple-carry cleanup across the product columns.
+    c.cx(p0 + 1, c0 + 0);
+    c.cx(c0 + 0, p0 + 2);
+    c.cx(p0 + 2, c0 + 1);
+    c.cx(c0 + 1, p0 + 3);
+    return c;
+}
+
+Circuit
+seca(int num_qubits)
+{
+    if (num_qubits < 11)
+        fatal("seca: needs at least 11 qubits");
+    Circuit c(num_qubits, "seca_n" + std::to_string(num_qubits));
+    // Two rounds of Shor [[9,1,3]] encode / decode with majority-vote
+    // correction (qubit 9, 10 spare/flag qubits as in QASMBench).
+    for (int round = 0; round < 2; ++round) {
+        // Phase-flip encode.
+        c.cx(0, 3);
+        c.cx(0, 6);
+        c.h(0);
+        c.h(3);
+        c.h(6);
+        // Bit-flip encode within each block.
+        for (int b : {0, 3, 6}) {
+            c.cx(b, b + 1);
+            c.cx(b, b + 2);
+        }
+        // Channel: a deterministic error for the round.
+        if (round == 0)
+            c.z(4);
+        else
+            c.x(7);
+        // Bit-flip decode + majority vote.
+        for (int b : {0, 3, 6}) {
+            c.cx(b, b + 1);
+            c.cx(b, b + 2);
+            appendCcx(c, b + 2, b + 1, b);
+        }
+        c.h(0);
+        c.h(3);
+        c.h(6);
+        c.cx(0, 3);
+        c.cx(0, 6);
+        appendCcx(c, 6, 3, 0);
+    }
+    return c;
+}
+
+const std::vector<BenchmarkRecord> &
+paperBenchmarkRecords()
+{
+    static const std::vector<BenchmarkRecord> records = {
+        {"bv_n14", 13, 28},
+        {"bv_n19", 18, 38},
+        {"bv_n30", 18, 38},
+        {"bv_n70", 36, 107},
+        {"cat_n22", 21, 43},
+        {"cat_n35", 34, 69},
+        {"ghz_n23", 22, 45},
+        {"ghz_n40", 39, 79},
+        {"ghz_n78", 77, 155},
+        {"ising_n42", 82, 144},
+        {"ising_n98", 194, 340},
+        {"knn_n31", 105, 153},
+        {"multiply_n13", 40, 53},
+        {"qft_n18", 306, 324},
+        {"seca_n11", 80, 100},
+        {"swap_test_n25", 84, 123},
+        {"wstate_n27", 52, 105},
+    };
+    return records;
+}
+
+Circuit
+paperBenchmark(const std::string &name)
+{
+    if (name == "bv_n14")
+        return bernsteinVazirani(14, spreadSecret(13, 13));
+    if (name == "bv_n19")
+        return bernsteinVazirani(19, spreadSecret(18, 18));
+    if (name == "bv_n30")
+        return bernsteinVazirani(30, spreadSecret(29, 18));
+    if (name == "bv_n70")
+        return bernsteinVazirani(70, spreadSecret(69, 36));
+    if (name == "cat_n22")
+        return cat(22);
+    if (name == "cat_n35")
+        return cat(35);
+    if (name == "ghz_n23")
+        return ghz(23);
+    if (name == "ghz_n40")
+        return ghz(40);
+    if (name == "ghz_n78")
+        return ghz(78);
+    if (name == "ising_n42")
+        return ising(42);
+    if (name == "ising_n98")
+        return ising(98);
+    if (name == "knn_n31")
+        return knn(31);
+    if (name == "multiply_n13")
+        return multiply(13);
+    if (name == "qft_n18")
+        return qft(18);
+    if (name == "seca_n11")
+        return seca(11);
+    if (name == "swap_test_n25")
+        return swapTest(25);
+    if (name == "wstate_n27")
+        return wstate(27);
+    fatal("unknown paper benchmark '" + name + "'");
+}
+
+std::vector<Circuit>
+allPaperBenchmarks()
+{
+    std::vector<Circuit> out;
+    out.reserve(paperBenchmarkRecords().size());
+    for (const BenchmarkRecord &rec : paperBenchmarkRecords())
+        out.push_back(paperBenchmark(rec.name));
+    return out;
+}
+
+} // namespace zac::bench_circuits

@@ -1,0 +1,86 @@
+/**
+ * @file
+ * Programmatic generators for the paper's benchmark circuits.
+ *
+ * The paper evaluates on 17 circuits from QASMBench (Li et al., 2023).
+ * Those .qasm files are not redistributable here, so each family is
+ * generated from its published construction, sized to the qubit counts
+ * (and, as closely as the construction allows, the 2Q/1Q gate counts)
+ * reported in the paper's Fig. 8. Measured counts for every circuit are
+ * recorded in EXPERIMENTS.md.
+ */
+
+#ifndef ZAC_CIRCUIT_GENERATORS_HPP
+#define ZAC_CIRCUIT_GENERATORS_HPP
+
+#include <string>
+#include <vector>
+
+#include "circuit/circuit.hpp"
+
+namespace zac::bench_circuits
+{
+
+/**
+ * Bernstein–Vazirani with an explicit secret string.
+ * Qubits: data bits [0, n-2], ancilla n-1.
+ */
+Circuit bernsteinVazirani(int num_qubits, const std::vector<bool> &secret);
+
+/** GHZ state: H then a CX chain. */
+Circuit ghz(int num_qubits);
+
+/** Cat state (same construction as GHZ in QASMBench). */
+Circuit cat(int num_qubits);
+
+/**
+ * One first-order Trotter step of a 1D transverse-field Ising model:
+ * RX/RZ layers and a ZZ interaction (CX-RZ-CX) on every neighbour pair.
+ * Highly parallel: ~n/2 simultaneous 2Q gates.
+ */
+Circuit ising(int num_qubits);
+
+/** Quantum Fourier transform (no terminal swaps, as in QASMBench). */
+Circuit qft(int num_qubits);
+
+/** W state via the RY/CZ/RY F-block cascade plus a CX chain. */
+Circuit wstate(int num_qubits);
+
+/**
+ * SWAP test between two (n-1)/2-qubit registers with one ancilla.
+ * Uses the CX+CCX+CX Fredkin decomposition.
+ */
+Circuit swapTest(int num_qubits);
+
+/** Quantum k-nearest-neighbour kernel (SWAP-test based, as QASMBench). */
+Circuit knn(int num_qubits);
+
+/** Small schoolbook multiplier (CCX partial products + CX adder). */
+Circuit multiply(int num_qubits);
+
+/** Shor [[9,1,3]] error-correction encode/decode cycles ("seca"). */
+Circuit seca(int num_qubits);
+
+/** The paper's published (2Q, 1Q) gate counts after preprocessing. */
+struct BenchmarkRecord
+{
+    std::string name;   ///< e.g. "bv_n14"
+    int paper_2q;       ///< 2Q count reported in Fig. 8
+    int paper_1q;       ///< 1Q count reported in Fig. 8
+};
+
+/** Names + published gate counts for the 17 evaluation circuits. */
+const std::vector<BenchmarkRecord> &paperBenchmarkRecords();
+
+/**
+ * Build one of the paper's 17 benchmarks by name (e.g. "ghz_n40").
+ * @throws zac::FatalError on an unknown name.
+ */
+Circuit paperBenchmark(const std::string &name);
+
+/** Build all 17 paper benchmarks in Fig. 8 order. */
+std::vector<Circuit> allPaperBenchmarks();
+
+} // namespace zac::bench_circuits
+
+#endif // ZAC_CIRCUIT_GENERATORS_HPP

@@ -1,0 +1,120 @@
+#include "circuit/qasm_lexer.hpp"
+
+#include <cctype>
+
+#include "common/logging.hpp"
+
+namespace zac::qasm
+{
+
+std::vector<Token>
+lex(const std::string &source)
+{
+    std::vector<Token> tokens;
+    int line = 1;
+    int col = 1;
+    std::size_t i = 0;
+    const std::size_t n = source.size();
+
+    auto advance = [&](std::size_t count) {
+        for (std::size_t k = 0; k < count; ++k) {
+            if (source[i + k] == '\n') {
+                ++line;
+                col = 1;
+            } else {
+                ++col;
+            }
+        }
+        i += count;
+    };
+
+    while (i < n) {
+        const char c = source[i];
+        if (c == ' ' || c == '\t' || c == '\r' || c == '\n') {
+            advance(1);
+            continue;
+        }
+        if (c == '/' && i + 1 < n && source[i + 1] == '/') {
+            while (i < n && source[i] != '\n')
+                advance(1);
+            continue;
+        }
+        Token tok;
+        tok.line = line;
+        tok.col = col;
+        if (std::isalpha(static_cast<unsigned char>(c)) || c == '_') {
+            std::size_t j = i;
+            while (j < n &&
+                   (std::isalnum(static_cast<unsigned char>(source[j])) ||
+                    source[j] == '_'))
+                ++j;
+            tok.kind = TokKind::Identifier;
+            tok.text = source.substr(i, j - i);
+            advance(j - i);
+        } else if (std::isdigit(static_cast<unsigned char>(c)) ||
+                   (c == '.' && i + 1 < n &&
+                    std::isdigit(static_cast<unsigned char>(source[i + 1])))) {
+            std::size_t j = i;
+            bool is_real = false;
+            while (j < n &&
+                   std::isdigit(static_cast<unsigned char>(source[j])))
+                ++j;
+            if (j < n && source[j] == '.') {
+                is_real = true;
+                ++j;
+                while (j < n &&
+                       std::isdigit(static_cast<unsigned char>(source[j])))
+                    ++j;
+            }
+            if (j < n && (source[j] == 'e' || source[j] == 'E')) {
+                is_real = true;
+                ++j;
+                if (j < n && (source[j] == '+' || source[j] == '-'))
+                    ++j;
+                while (j < n &&
+                       std::isdigit(static_cast<unsigned char>(source[j])))
+                    ++j;
+            }
+            tok.kind = is_real ? TokKind::Real : TokKind::Integer;
+            tok.text = source.substr(i, j - i);
+            advance(j - i);
+        } else if (c == '"') {
+            std::size_t j = i + 1;
+            while (j < n && source[j] != '"')
+                ++j;
+            if (j >= n)
+                fatal("qasm lex: unterminated string at line " +
+                      std::to_string(line));
+            tok.kind = TokKind::String;
+            tok.text = source.substr(i + 1, j - i - 1);
+            advance(j - i + 1);
+        } else if (c == '-' && i + 1 < n && source[i + 1] == '>') {
+            tok.kind = TokKind::Symbol;
+            tok.text = "->";
+            advance(2);
+        } else if (c == '=' && i + 1 < n && source[i + 1] == '=') {
+            tok.kind = TokKind::Symbol;
+            tok.text = "==";
+            advance(2);
+        } else if (std::string(";,()[]{}+-*/^").find(c) !=
+                   std::string::npos) {
+            tok.kind = TokKind::Symbol;
+            tok.text = std::string(1, c);
+            advance(1);
+        } else {
+            fatal("qasm lex: unexpected character '" + std::string(1, c) +
+                  "' at line " + std::to_string(line) + ", col " +
+                  std::to_string(col));
+        }
+        tokens.push_back(std::move(tok));
+    }
+
+    Token end;
+    end.kind = TokKind::End;
+    end.line = line;
+    end.col = col;
+    tokens.push_back(end);
+    return tokens;
+}
+
+} // namespace zac::qasm

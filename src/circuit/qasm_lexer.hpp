@@ -1,0 +1,45 @@
+/**
+ * @file
+ * Tokenizer for OpenQASM 2.0 source text.
+ */
+
+#ifndef ZAC_CIRCUIT_QASM_LEXER_HPP
+#define ZAC_CIRCUIT_QASM_LEXER_HPP
+
+#include <string>
+#include <vector>
+
+namespace zac::qasm
+{
+
+/** Token categories produced by the lexer. */
+enum class TokKind
+{
+    Identifier,   // qreg, gate names, register names, keywords
+    Real,         // 1.5, .25, 2e-3
+    Integer,      // 42
+    String,       // "qelib1.inc"
+    Symbol,       // one of ; , ( ) [ ] { } + - * / ^ ->  ==
+    End,
+};
+
+/** A single token with source position for diagnostics. */
+struct Token
+{
+    TokKind kind = TokKind::End;
+    std::string text;
+    int line = 0;
+    int col = 0;
+};
+
+/**
+ * Tokenize OpenQASM 2.0 text.
+ *
+ * Strips // line comments. Throws zac::FatalError on invalid characters.
+ * The final token is always TokKind::End.
+ */
+std::vector<Token> lex(const std::string &source);
+
+} // namespace zac::qasm
+
+#endif // ZAC_CIRCUIT_QASM_LEXER_HPP

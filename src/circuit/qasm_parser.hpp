@@ -1,0 +1,41 @@
+/**
+ * @file
+ * OpenQASM 2.0 parser producing a flattened zac::Circuit.
+ *
+ * Supported: OPENQASM header, include (qelib1.inc is built in, other
+ * includes are ignored), qreg/creg, all qelib1 gates, user gate
+ * definitions (expanded inline), barrier, measure, reset, and full
+ * parameter expressions (pi, + - * / ^, unary minus, parentheses,
+ * sin/cos/tan/exp/ln/sqrt).
+ *
+ * Not supported (rejected with a clear error): opaque gates and `if`
+ * statements, which do not occur in the QASMBench subset the paper uses.
+ */
+
+#ifndef ZAC_CIRCUIT_QASM_PARSER_HPP
+#define ZAC_CIRCUIT_QASM_PARSER_HPP
+
+#include <string>
+
+#include "circuit/circuit.hpp"
+
+namespace zac::qasm
+{
+
+/**
+ * Parse OpenQASM 2.0 source into a circuit.
+ *
+ * Multiple quantum registers are flattened into a single dense qubit
+ * index space in declaration order.
+ *
+ * @param source the program text.
+ * @param name   the name to give the resulting circuit.
+ */
+Circuit parse(const std::string &source, const std::string &name = "");
+
+/** Parse the OpenQASM 2.0 file at @p path. */
+Circuit parseFile(const std::string &path);
+
+} // namespace zac::qasm
+
+#endif // ZAC_CIRCUIT_QASM_PARSER_HPP

@@ -1,0 +1,71 @@
+/**
+ * @file
+ * Basic 2D geometry and physical unit conventions shared by the whole
+ * library.
+ *
+ * Conventions (documented in DESIGN.md):
+ *  - distances are in micrometres (um)
+ *  - times are in microseconds (us)
+ *  - AOD movement follows the constant-jerk profile reported by
+ *    Bluvstein et al. [Nature 604, 451 (2022)]: d / t^2 = 2750 m/s^2,
+ *    i.e. t_us = sqrt(d_um / 2.75e-3).
+ */
+
+#ifndef ZAC_COMMON_GEOMETRY_HPP
+#define ZAC_COMMON_GEOMETRY_HPP
+
+#include <cmath>
+
+namespace zac
+{
+
+/** Effective AOD movement acceleration in um/us^2 (2750 m/s^2). */
+inline constexpr double kMoveAccelUmPerUs2 = 2.75e-3;
+
+/** A point (or displacement) in the plane, in micrometres. */
+struct Point
+{
+    double x = 0.0;
+    double y = 0.0;
+
+    friend Point operator+(Point a, Point b) { return {a.x + b.x, a.y + b.y}; }
+    friend Point operator-(Point a, Point b) { return {a.x - b.x, a.y - b.y}; }
+    friend bool operator==(Point a, Point b) { return a.x == b.x && a.y == b.y; }
+};
+
+/** Euclidean distance between two points in um. */
+inline double
+distance(Point a, Point b)
+{
+    const double dx = a.x - b.x;
+    const double dy = a.y - b.y;
+    return std::sqrt(dx * dx + dy * dy);
+}
+
+/**
+ * Duration of an AOD move covering @p dist_um micrometres, in us.
+ *
+ * Uses the square-root law t = sqrt(d / a). The paper's worked ZAIR
+ * example (appendix H) moves 33.5 um in 110.4 us, which this reproduces.
+ */
+inline double
+moveDurationUs(double dist_um)
+{
+    if (dist_um <= 0.0)
+        return 0.0;
+    return std::sqrt(dist_um / kMoveAccelUmPerUs2);
+}
+
+/**
+ * Movement-cost kernel used throughout placement: the square root of the
+ * distance, which is proportional to the movement duration (Eq. 1).
+ */
+inline double
+sqrtDistance(Point a, Point b)
+{
+    return std::sqrt(distance(a, b));
+}
+
+} // namespace zac
+
+#endif // ZAC_COMMON_GEOMETRY_HPP

@@ -1,0 +1,51 @@
+#include "common/logging.hpp"
+
+#include <atomic>
+#include <cstdio>
+
+namespace zac
+{
+
+namespace
+{
+std::atomic<bool> verbose_flag{false};
+} // namespace
+
+void
+fatal(const std::string &msg)
+{
+    throw FatalError("fatal: " + msg);
+}
+
+void
+panic(const std::string &msg)
+{
+    throw PanicError("panic: " + msg);
+}
+
+void
+warn(const std::string &msg)
+{
+    std::fprintf(stderr, "warn: %s\n", msg.c_str());
+}
+
+void
+inform(const std::string &msg)
+{
+    if (verbose_flag.load(std::memory_order_relaxed))
+        std::fprintf(stderr, "info: %s\n", msg.c_str());
+}
+
+void
+setVerbose(bool on)
+{
+    verbose_flag.store(on, std::memory_order_relaxed);
+}
+
+bool
+verbose()
+{
+    return verbose_flag.load(std::memory_order_relaxed);
+}
+
+} // namespace zac

@@ -1,0 +1,55 @@
+/**
+ * @file
+ * Minimal logging and error-reporting helpers.
+ *
+ * Follows the gem5 fatal/panic distinction:
+ *  - fatal():  user error (bad input, invalid configuration); throws
+ *              zac::FatalError so callers and tests can catch it.
+ *  - panic():  internal invariant violation (a library bug); also throws,
+ *              as aborting inside a library is hostile to embedders.
+ */
+
+#ifndef ZAC_COMMON_LOGGING_HPP
+#define ZAC_COMMON_LOGGING_HPP
+
+#include <stdexcept>
+#include <string>
+
+namespace zac
+{
+
+/** Exception thrown by fatal(): the condition is the caller's fault. */
+class FatalError : public std::runtime_error
+{
+  public:
+    using std::runtime_error::runtime_error;
+};
+
+/** Exception thrown by panic(): the condition is a library bug. */
+class PanicError : public std::logic_error
+{
+  public:
+    using std::logic_error::logic_error;
+};
+
+/** Report an unrecoverable user error. */
+[[noreturn]] void fatal(const std::string &msg);
+
+/** Report an internal invariant violation. */
+[[noreturn]] void panic(const std::string &msg);
+
+/** Emit a warning to stderr (never throws). */
+void warn(const std::string &msg);
+
+/** Emit an informational message to stderr when verbose logging is on. */
+void inform(const std::string &msg);
+
+/** Globally enable/disable inform() output (default: off). */
+void setVerbose(bool on);
+
+/** @return whether inform() output is enabled. */
+bool verbose();
+
+} // namespace zac
+
+#endif // ZAC_COMMON_LOGGING_HPP

@@ -1,0 +1,100 @@
+/**
+ * @file
+ * Deterministic random number generation.
+ *
+ * Every stochastic component of the library (simulated annealing, circuit
+ * generators, property tests) takes an explicit Rng so runs are exactly
+ * reproducible from a seed.
+ */
+
+#ifndef ZAC_COMMON_RNG_HPP
+#define ZAC_COMMON_RNG_HPP
+
+#include <cstdint>
+#include <limits>
+
+namespace zac
+{
+
+/**
+ * Small, fast, deterministic PRNG (xoshiro256**).
+ *
+ * We intentionally avoid std::mt19937 plus distribution objects because
+ * libstdc++ distributions are not portable across versions; this generator
+ * produces identical streams everywhere.
+ */
+class Rng
+{
+  public:
+    explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ull)
+    {
+        // SplitMix64 seeding as recommended by the xoshiro authors.
+        std::uint64_t x = seed;
+        for (auto &word : state_) {
+            x += 0x9e3779b97f4a7c15ull;
+            std::uint64_t z = x;
+            z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+            z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+            word = z ^ (z >> 31);
+        }
+    }
+
+    /** Next raw 64-bit value. */
+    std::uint64_t
+    next()
+    {
+        const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
+        const std::uint64_t t = state_[1] << 17;
+        state_[2] ^= state_[0];
+        state_[3] ^= state_[1];
+        state_[1] ^= state_[2];
+        state_[0] ^= state_[3];
+        state_[2] ^= t;
+        state_[3] = rotl(state_[3], 45);
+        return result;
+    }
+
+    /** Uniform integer in [0, bound). @p bound must be > 0. */
+    std::uint64_t
+    nextBelow(std::uint64_t bound)
+    {
+        // Lemire's nearly-divisionless method is overkill here; simple
+        // modulo bias is negligible for our bounds (< 2^32).
+        return next() % bound;
+    }
+
+    /** Uniform integer in [lo, hi] inclusive. */
+    int
+    nextInt(int lo, int hi)
+    {
+        return lo + static_cast<int>(nextBelow(
+            static_cast<std::uint64_t>(hi - lo + 1)));
+    }
+
+    /** Uniform double in [0, 1). */
+    double
+    nextDouble()
+    {
+        return static_cast<double>(next() >> 11) * 0x1.0p-53;
+    }
+
+    /** Bernoulli trial with probability p. */
+    bool
+    nextBool(double p = 0.5)
+    {
+        return nextDouble() < p;
+    }
+
+  private:
+    static std::uint64_t
+    rotl(std::uint64_t x, int k)
+    {
+        return (x << k) | (x >> (64 - k));
+    }
+
+    std::uint64_t state_[4];
+};
+
+} // namespace zac
+
+#endif // ZAC_COMMON_RNG_HPP

@@ -1,0 +1,63 @@
+#include "core/compiler.hpp"
+
+#include <chrono>
+
+#include "common/logging.hpp"
+#include "core/sa_placer.hpp"
+#include "core/scheduler.hpp"
+#include "transpile/optimize.hpp"
+
+namespace zac
+{
+
+ZacCompiler::ZacCompiler(Architecture arch, ZacOptions opts)
+    : arch_(std::move(arch)), opts_(opts)
+{
+    if (!arch_.finalized())
+        fatal("ZacCompiler: architecture must be finalized");
+    if (arch_.storageZones().empty())
+        fatal("ZacCompiler: a zoned architecture needs a storage zone");
+}
+
+ZacResult
+ZacCompiler::compile(const Circuit &circuit) const
+{
+    const Circuit pre = preprocess(circuit);
+    StagedCircuit staged = scheduleStages(pre, arch_.numSites());
+    return compileStaged(staged);
+}
+
+ZacResult
+ZacCompiler::compileStaged(const StagedCircuit &staged) const
+{
+    if (staged.numQubits > arch_.numStorageTraps())
+        fatal("ZacCompiler: more qubits than storage traps");
+    for (const RydbergStage &s : staged.rydberg)
+        if (static_cast<int>(s.gates.size()) > arch_.numSites())
+            fatal("ZacCompiler: a stage exceeds the Rydberg site count; "
+                  "re-stage with the architecture's capacity");
+
+    const auto start = std::chrono::steady_clock::now();
+
+    ZacResult result;
+    result.staged = staged;
+
+    SaOptions sa;
+    sa.max_iterations = opts_.sa_iterations;
+    sa.seed = opts_.seed;
+    const std::vector<TrapRef> initial =
+        opts_.use_sa_init
+            ? saInitialPlacement(arch_, staged, sa)
+            : trivialInitialPlacement(arch_, staged.numQubits);
+
+    result.plan = runDynamicPlacement(arch_, staged, initial, opts_);
+    result.program = scheduleProgram(arch_, staged, result.plan);
+    result.fidelity = evaluateFidelity(result.program, arch_);
+
+    const auto end = std::chrono::steady_clock::now();
+    result.compile_seconds =
+        std::chrono::duration<double>(end - start).count();
+    return result;
+}
+
+} // namespace zac

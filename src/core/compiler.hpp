@@ -1,0 +1,66 @@
+/**
+ * @file
+ * ZAC: the zoned-architecture compiler (paper Sec. IV).
+ *
+ * Pipeline: preprocessing (resynthesis to {CZ, U3}, 1Q optimization,
+ * ASAP staging) -> reuse-aware placement -> load-balancing scheduling ->
+ * timed ZAIR program + fidelity report.
+ */
+
+#ifndef ZAC_CORE_COMPILER_HPP
+#define ZAC_CORE_COMPILER_HPP
+
+#include <string>
+
+#include "arch/spec.hpp"
+#include "circuit/circuit.hpp"
+#include "core/movement.hpp"
+#include "core/options.hpp"
+#include "fidelity/model.hpp"
+#include "transpile/stages.hpp"
+#include "zair/program.hpp"
+
+namespace zac
+{
+
+/** Everything produced by one compilation. */
+struct ZacResult
+{
+    StagedCircuit staged;          ///< preprocessed, staged circuit
+    PlacementPlan plan;            ///< placement decisions
+    ZairProgram program;           ///< timed ZAIR output
+    FidelityBreakdown fidelity;    ///< five-term fidelity estimate
+    double compile_seconds = 0.0;  ///< wall-clock compilation time
+};
+
+/**
+ * The ZAC compiler, bound to one architecture and option set.
+ *
+ * Thread-compatible: compile() is const and re-entrant, so multiple
+ * circuits may be compiled concurrently from different threads.
+ */
+class ZacCompiler
+{
+  public:
+    explicit ZacCompiler(Architecture arch, ZacOptions opts = {});
+
+    const Architecture &arch() const { return arch_; }
+    const ZacOptions &options() const { return opts_; }
+
+    /** Full pipeline from a raw (any gate set) circuit. */
+    ZacResult compile(const Circuit &circuit) const;
+
+    /**
+     * Pipeline from an already-staged circuit (used by the FTQC logical
+     * compilation, which stages transversal gates itself).
+     */
+    ZacResult compileStaged(const StagedCircuit &staged) const;
+
+  private:
+    Architecture arch_;
+    ZacOptions opts_;
+};
+
+} // namespace zac
+
+#endif // ZAC_CORE_COMPILER_HPP

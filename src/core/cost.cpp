@@ -1,0 +1,54 @@
+#include "core/cost.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.hpp"
+
+namespace zac
+{
+
+double
+gateCost(Point site_pos, Point m_q, Point m_q2)
+{
+    const double c0 = sqrtDistance(site_pos, m_q);
+    const double c1 = sqrtDistance(site_pos, m_q2);
+    if (std::abs(m_q.y - m_q2.y) < kSameRowTolUm)
+        return std::max(c0, c1);
+    return c0 + c1;
+}
+
+int
+nearestSiteForGate(const Architecture &arch, Point m_q, Point m_q2)
+{
+    const int s0 = arch.nearestSite(m_q);
+    const int s1 = arch.nearestSite(m_q2);
+    if (s0 < 0 || s1 < 0)
+        panic("nearestSiteForGate: architecture has no sites");
+    const RydbergSite &a = arch.site(s0);
+    const RydbergSite &b = arch.site(s1);
+    if (a.zone_index == b.zone_index) {
+        const int r = (a.r + b.r) / 2;
+        const int c = (a.c + b.c) / 2;
+        const int mid = arch.siteIndex(a.zone_index, r, c);
+        if (mid >= 0)
+            return mid;
+    }
+    // Different zones (or degenerate grid): take the site nearest the
+    // midpoint of the two qubits.
+    const Point mid_point{(m_q.x + m_q2.x) / 2.0,
+                          (m_q.y + m_q2.y) / 2.0};
+    return arch.nearestSite(mid_point);
+}
+
+double
+transitionCost(const std::vector<double> &move_dists_um,
+               double t_transfer_us)
+{
+    double cost = 0.0;
+    for (double d : move_dists_um)
+        cost += 2.0 * t_transfer_us + moveDurationUs(d);
+    return cost;
+}
+
+} // namespace zac

@@ -1,0 +1,85 @@
+#include "core/gate_placer.hpp"
+
+#include <algorithm>
+
+#include "common/logging.hpp"
+#include "core/cost.hpp"
+#include "matching/jonker_volgenant.hpp"
+
+namespace zac
+{
+
+std::vector<int>
+placeGates(const PlacementState &state, const GatePlacementRequest &req)
+{
+    const Architecture &arch = state.arch();
+    const std::vector<StagedGate> &gates = *req.gates;
+    const std::size_t num_gates = gates.size();
+    if (req.pinned_site.size() != num_gates ||
+        req.lookahead.size() != num_gates)
+        panic("placeGates: request vectors out of shape");
+
+    std::vector<int> result(num_gates, -1);
+    std::vector<char> site_taken(
+        static_cast<std::size_t>(arch.numSites()), 0);
+    std::vector<int> free_gates;
+    for (std::size_t i = 0; i < num_gates; ++i) {
+        const int pin = req.pinned_site[i];
+        if (pin >= 0) {
+            if (pin >= arch.numSites())
+                panic("placeGates: pinned site out of range");
+            if (site_taken[static_cast<std::size_t>(pin)])
+                panic("placeGates: two gates pinned to one site");
+            site_taken[static_cast<std::size_t>(pin)] = 1;
+            result[i] = pin;
+        } else {
+            free_gates.push_back(static_cast<int>(i));
+        }
+    }
+    if (free_gates.empty())
+        return result;
+
+    // Columns: all sites not occupied by reuse (Omega_cand = near sites
+    // minus Omega_reuse; we use the full site set, which subsumes every
+    // expansion of the paper's candidate window).
+    std::vector<int> free_sites;
+    for (int s = 0; s < arch.numSites(); ++s)
+        if (!site_taken[static_cast<std::size_t>(s)])
+            free_sites.push_back(s);
+    if (free_sites.size() < free_gates.size())
+        fatal("placeGates: stage has " +
+              std::to_string(free_gates.size()) +
+              " unpinned gates but only " +
+              std::to_string(free_sites.size()) + " free sites");
+
+    CostMatrix cost(static_cast<int>(free_gates.size()),
+                    static_cast<int>(free_sites.size()));
+    for (std::size_t gi = 0; gi < free_gates.size(); ++gi) {
+        const StagedGate &g =
+            gates[static_cast<std::size_t>(free_gates[gi])];
+        const Point p0 = state.posOf(g.q0);
+        const Point p1 = state.posOf(g.q1);
+        const auto &look =
+            req.lookahead[static_cast<std::size_t>(free_gates[gi])];
+        for (std::size_t si = 0; si < free_sites.size(); ++si) {
+            const Point site_pos = arch.sitePosition(free_sites[si]);
+            double w = gateCost(site_pos, p0, p1);
+            if (look.has_value())
+                w += sqrtDistance(site_pos, *look);
+            cost.at(static_cast<int>(gi), static_cast<int>(si)) = w;
+        }
+    }
+
+    const Assignment assign = minWeightFullMatching(cost);
+    if (!assign.feasible)
+        panic("placeGates: full site matrix must be feasible");
+    for (std::size_t gi = 0; gi < free_gates.size(); ++gi) {
+        const int site =
+            free_sites[static_cast<std::size_t>(
+                assign.row_to_col[gi])];
+        result[static_cast<std::size_t>(free_gates[gi])] = site;
+    }
+    return result;
+}
+
+} // namespace zac

@@ -1,0 +1,52 @@
+/**
+ * @file
+ * Gate placement: assigning each 2Q gate of a Rydberg stage to a
+ * Rydberg site (paper Sec. V-B2).
+ *
+ * Unpinned gates are matched to sites with a Jonker–Volgenant
+ * minimum-weight full matching whose edge weight is the Eq. 1 movement
+ * cost plus the reuse-lookahead cost (the distance of the next stage's
+ * incoming partner qubit to the candidate site).
+ */
+
+#ifndef ZAC_CORE_GATE_PLACER_HPP
+#define ZAC_CORE_GATE_PLACER_HPP
+
+#include <optional>
+#include <vector>
+
+#include "core/placement_state.hpp"
+#include "transpile/stages.hpp"
+
+namespace zac
+{
+
+/** Placement request for the gates of one Rydberg stage. */
+struct GatePlacementRequest
+{
+    /** The stage's gates. */
+    const std::vector<StagedGate> *gates = nullptr;
+    /**
+     * Per gate: pinned site id (reuse inherits the matched gate's site)
+     * or -1 for free gates the matcher may place anywhere.
+     */
+    std::vector<int> pinned_site;
+    /**
+     * Per gate: position of the next stage's incoming partner qubit
+     * q'' if this gate is reused next stage (adds sqrt(d(site, q''))
+     * to the edge weight), or nullopt.
+     */
+    std::vector<std::optional<Point>> lookahead;
+};
+
+/**
+ * Compute the site id for every gate of the stage.
+ *
+ * @throws zac::FatalError if the stage has more gates than sites.
+ */
+std::vector<int> placeGates(const PlacementState &state,
+                            const GatePlacementRequest &request);
+
+} // namespace zac
+
+#endif // ZAC_CORE_GATE_PLACER_HPP

@@ -1,0 +1,52 @@
+#include "core/jobs.hpp"
+
+#include "common/logging.hpp"
+#include "matching/independent_set.hpp"
+#include "zair/machine.hpp"
+
+namespace zac
+{
+
+std::vector<std::vector<Movement>>
+splitIntoJobs(const Architecture &arch,
+              const std::vector<Movement> &movements)
+{
+    const std::size_t n = movements.size();
+    if (n == 0)
+        return {};
+
+    std::vector<Point> begin(n), end(n);
+    for (std::size_t i = 0; i < n; ++i) {
+        begin[i] = arch.trapPosition(movements[i].from);
+        end[i] = arch.trapPosition(movements[i].to);
+    }
+
+    // Pairwise conflict graph; the AOD ordering constraints are pairwise
+    // conditions, so pairwise compatibility implies group compatibility.
+    std::vector<std::vector<int>> adj(n);
+    for (std::size_t i = 0; i < n; ++i) {
+        for (std::size_t j = i + 1; j < n; ++j) {
+            const std::vector<Point> b{begin[i], begin[j]};
+            const std::vector<Point> e{end[i], end[j]};
+            if (!movementsAodCompatible(b, e)) {
+                adj[i].push_back(static_cast<int>(j));
+                adj[j].push_back(static_cast<int>(i));
+            }
+        }
+    }
+
+    const std::vector<std::vector<int>> groups =
+        partitionIntoIndependentSets(static_cast<int>(n), adj);
+    std::vector<std::vector<Movement>> jobs;
+    jobs.reserve(groups.size());
+    for (const std::vector<int> &group : groups) {
+        std::vector<Movement> job;
+        job.reserve(group.size());
+        for (int idx : group)
+            job.push_back(movements[static_cast<std::size_t>(idx)]);
+        jobs.push_back(std::move(job));
+    }
+    return jobs;
+}
+
+} // namespace zac

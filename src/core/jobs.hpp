@@ -1,0 +1,32 @@
+/**
+ * @file
+ * Rearrangement-job generation (paper Sec. VI, following Enola).
+ *
+ * Movements between the same pair of zones are split into jobs by
+ * repeatedly extracting maximal independent sets of the movement
+ * conflict graph; two movements conflict when one AOD cannot execute
+ * both (order reversal or row/column merging).
+ */
+
+#ifndef ZAC_CORE_JOBS_HPP
+#define ZAC_CORE_JOBS_HPP
+
+#include <vector>
+
+#include "core/movement.hpp"
+
+namespace zac
+{
+
+/**
+ * Partition @p movements into AOD-compatible groups (jobs).
+ *
+ * Every returned group satisfies movementsAodCompatible, so it can be
+ * executed by a single AOD as one rearrangement job.
+ */
+std::vector<std::vector<Movement>> splitIntoJobs(
+    const Architecture &arch, const std::vector<Movement> &movements);
+
+} // namespace zac
+
+#endif // ZAC_CORE_JOBS_HPP

@@ -1,0 +1,364 @@
+#include "core/movement.hpp"
+
+#include <algorithm>
+#include <optional>
+#include <set>
+
+#include "common/logging.hpp"
+#include "core/cost.hpp"
+#include "core/gate_placer.hpp"
+#include "core/qubit_placer.hpp"
+#include "core/reuse.hpp"
+
+namespace zac
+{
+
+namespace
+{
+
+/** Everything produced while building one boundary variant. */
+struct BoundaryResult
+{
+    std::vector<Movement> move_out;
+    std::vector<Movement> move_in;
+    std::vector<int> gate_sites;  ///< for the entering stage
+    double cost = 0.0;
+    int reused = 0;
+    int direct = 0;               ///< direct in-zone moves (extension)
+    std::vector<TrapRef> state_after;
+};
+
+/** The 2Q partner of @p q in @p stage, or -1. */
+int
+partnerInStage(const RydbergStage &stage, int q)
+{
+    for (const StagedGate &g : stage.gates)
+        if (g.touches(q))
+            return g.other(q);
+    return -1;
+}
+
+/**
+ * Build the movements bringing the gates of stage @p t into their
+ * sites. Qubits already sitting at a trap of their target site stay.
+ */
+std::vector<Movement>
+buildMoveIns(PlacementState &state, const RydbergStage &stage,
+             const std::vector<int> &sites)
+{
+    const Architecture &arch = state.arch();
+    std::vector<Movement> moves;
+    for (std::size_t i = 0; i < stage.gates.size(); ++i) {
+        const StagedGate &g = stage.gates[i];
+        const RydbergSite &site =
+            arch.site(sites[i]);
+        const TrapRef t0 = state.trapOf(g.q0);
+        const TrapRef t1 = state.trapOf(g.q1);
+        const bool q0_here = t0 == site.left || t0 == site.right;
+        const bool q1_here = t1 == site.left || t1 == site.right;
+        if (q0_here && q1_here)
+            continue;
+        if (q0_here || q1_here) {
+            // One qubit is reused in place; the partner takes the
+            // other trap of the site.
+            const int stay = q0_here ? g.q0 : g.q1;
+            const int move = q0_here ? g.q1 : g.q0;
+            const TrapRef stay_trap = state.trapOf(stay);
+            const TrapRef dest =
+                stay_trap == site.left ? site.right : site.left;
+            moves.push_back({move, state.trapOf(move), dest});
+            continue;
+        }
+        // Fresh gate: left/right by current x order to avoid crossing.
+        const Point p0 = state.posOf(g.q0);
+        const Point p1 = state.posOf(g.q1);
+        const int left_q = p0.x <= p1.x ? g.q0 : g.q1;
+        const int right_q = left_q == g.q0 ? g.q1 : g.q0;
+        moves.push_back({left_q, state.trapOf(left_q), site.left});
+        moves.push_back({right_q, state.trapOf(right_q), site.right});
+    }
+    // Apply as a permutation: vacate every source first so in-zone
+    // direct moves may target traps other movers are leaving.
+    for (const Movement &m : moves)
+        state.liftQubit(m.qubit);
+    for (const Movement &m : moves)
+        state.place(m.qubit, m.to);
+    return moves;
+}
+
+double
+movementCostUs(const Architecture &arch,
+               const std::vector<Movement> &out,
+               const std::vector<Movement> &in)
+{
+    std::vector<double> dists;
+    dists.reserve(out.size() + in.size());
+    for (const Movement &m : out)
+        dists.push_back(distance(arch.trapPosition(m.from),
+                                 arch.trapPosition(m.to)));
+    for (const Movement &m : in)
+        dists.push_back(distance(arch.trapPosition(m.from),
+                                 arch.trapPosition(m.to)));
+    return transitionCost(dists, arch.params().t_transfer_us);
+}
+
+/**
+ * Build one boundary variant: move stage @p t's non-staying qubits to
+ * storage, then place and move in the gates of stage t+1 (or stage 0
+ * when @p t < 0). Mutates @p state; the caller snapshots/restores.
+ *
+ * @param matching reuse matching between stages t and t+1 (empty for
+ *                 the no-reuse variant or the first stage).
+ * @param next_matching reuse matching between stages t+1 and t+2, used
+ *                 for the gate-placement lookahead.
+ */
+BoundaryResult
+buildBoundary(PlacementState &state, const StagedCircuit &staged,
+              int t, const ReuseMatching &matching,
+              const ReuseMatching &next_matching,
+              const std::vector<int> &cur_sites, const ZacOptions &opts)
+{
+    const Architecture &arch = state.arch();
+    const int next_t = t + 1;
+    const RydbergStage &next_stage =
+        staged.rydberg[static_cast<std::size_t>(next_t)];
+    BoundaryResult result;
+
+    // ---- qubits staying at their sites across the boundary.
+    std::vector<char> stays(
+        static_cast<std::size_t>(staged.numQubits), 0);
+    if (t >= 0) {
+        const RydbergStage &cur_stage =
+            staged.rydberg[static_cast<std::size_t>(t)];
+        for (int q : reusedQubits(cur_stage, next_stage, matching)) {
+            stays[static_cast<std::size_t>(q)] = 1;
+            ++result.reused;
+        }
+
+        // ---- non-reuse qubit placement (move-out).
+        QubitPlacementRequest qreq;
+        qreq.k = opts.candidate_k;
+        qreq.alpha = opts.lookahead_alpha;
+        for (const StagedGate &g : cur_stage.gates) {
+            for (int q : {g.q0, g.q1}) {
+                if (stays[static_cast<std::size_t>(q)])
+                    continue;
+                const int partner = partnerInStage(next_stage, q);
+                if (opts.use_direct_reuse && partner >= 0) {
+                    // Sec. X extension: active in both stages — stay
+                    // in the zone and move site-to-site during the
+                    // next move-in, skipping the storage round trip.
+                    ++result.direct;
+                    continue;
+                }
+                qreq.leaving.push_back(q);
+                if (partner >= 0)
+                    qreq.related.emplace_back(state.posOf(partner));
+                else
+                    qreq.related.emplace_back(std::nullopt);
+            }
+        }
+        const std::vector<TrapRef> dests =
+            opts.use_dynamic_placement
+                ? placeQubitsInStorage(state, qreq)
+                : returnQubitsHome(state, qreq.leaving);
+        for (std::size_t i = 0; i < qreq.leaving.size(); ++i) {
+            const int q = qreq.leaving[i];
+            result.move_out.push_back({q, state.trapOf(q), dests[i]});
+            state.place(q, dests[i]);
+        }
+    }
+
+    // ---- gate placement for the entering stage.
+    GatePlacementRequest greq;
+    greq.gates = &next_stage.gates;
+    greq.pinned_site.assign(next_stage.gates.size(), -1);
+    greq.lookahead.assign(next_stage.gates.size(), std::nullopt);
+    if (t >= 0 && !matching.next_of_cur.empty()) {
+        for (std::size_t i = 0; i < matching.next_of_cur.size(); ++i) {
+            const int j = matching.next_of_cur[i];
+            if (j >= 0)
+                greq.pinned_site[static_cast<std::size_t>(j)] =
+                    cur_sites[i];
+        }
+    }
+    if (next_matching.size > 0 &&
+        next_t + 1 < staged.numRydbergStages()) {
+        // If gate g(q,q') of stage t+1 is reused by g'(q,q'') in stage
+        // t+2, add q'''s distance to the candidate site (Sec. V-B2).
+        const RydbergStage &after =
+            staged.rydberg[static_cast<std::size_t>(next_t) + 1];
+        for (std::size_t i = 0; i < next_matching.next_of_cur.size();
+             ++i) {
+            const int j = next_matching.next_of_cur[i];
+            if (j < 0)
+                continue;
+            const StagedGate &g = next_stage.gates[i];
+            const StagedGate &g2 =
+                after.gates[static_cast<std::size_t>(j)];
+            const int shared = g2.touches(g.q0) ? g.q0 : g.q1;
+            const int incoming = g2.other(shared);
+            greq.lookahead[i] = state.posOf(incoming);
+        }
+    }
+    result.gate_sites = placeGates(state, greq);
+    result.move_in = buildMoveIns(state, next_stage, result.gate_sites);
+
+    result.cost = movementCostUs(arch, result.move_out, result.move_in);
+    result.state_after = state.snapshot();
+    return result;
+}
+
+} // namespace
+
+PlacementPlan
+runDynamicPlacement(const Architecture &arch, const StagedCircuit &staged,
+                    const std::vector<TrapRef> &initial,
+                    const ZacOptions &opts)
+{
+    if (static_cast<int>(initial.size()) != staged.numQubits)
+        fatal("runDynamicPlacement: initial placement size mismatch");
+    const int num_stages = staged.numRydbergStages();
+
+    PlacementPlan plan;
+    plan.initial = initial;
+    plan.gate_sites.resize(static_cast<std::size_t>(num_stages));
+    plan.transitions.resize(static_cast<std::size_t>(num_stages));
+    if (num_stages == 0)
+        return plan;
+
+    PlacementState state(arch, staged.numQubits);
+    for (int q = 0; q < staged.numQubits; ++q)
+        state.place(q, initial[static_cast<std::size_t>(q)]);
+
+    const ReuseMatching no_match = emptyReuseMatching(0, 0);
+
+    // Reuse matchings are combinatorial, so the boundary t -> t+1 can
+    // use the (t+1) -> (t+2) matching for its lookahead.
+    auto matching_at = [&](int t) -> ReuseMatching {
+        if (!opts.use_reuse || t < 0 || t + 1 >= num_stages)
+            return emptyReuseMatching(
+                t >= 0 ? staged.rydberg[static_cast<std::size_t>(t)]
+                             .gates.size()
+                       : 0,
+                t + 1 < num_stages
+                    ? staged.rydberg[static_cast<std::size_t>(t) + 1]
+                          .gates.size()
+                    : 0);
+        return computeReuseMatching(
+            staged.rydberg[static_cast<std::size_t>(t)],
+            staged.rydberg[static_cast<std::size_t>(t) + 1]);
+    };
+
+    // ---- stage 0: no reuse possible (nothing is in the zone yet).
+    {
+        BoundaryResult r =
+            buildBoundary(state, staged, -1, no_match, matching_at(0),
+                          {}, opts);
+        plan.gate_sites[0] = r.gate_sites;
+        plan.transitions[0].move_in = std::move(r.move_in);
+    }
+
+    // ---- boundaries t -> t+1.
+    for (int t = 0; t + 1 < num_stages; ++t) {
+        const ReuseMatching with_reuse = matching_at(t);
+        const ReuseMatching lookahead = matching_at(t + 1);
+        const std::vector<TrapRef> before = state.snapshot();
+
+        std::optional<BoundaryResult> reuse_variant;
+        if (opts.use_reuse && !with_reuse.empty()) {
+            reuse_variant = buildBoundary(
+                state, staged, t, with_reuse, lookahead,
+                plan.gate_sites[static_cast<std::size_t>(t)], opts);
+            state.restore(before);
+        }
+        const ReuseMatching none = emptyReuseMatching(
+            staged.rydberg[static_cast<std::size_t>(t)].gates.size(),
+            staged.rydberg[static_cast<std::size_t>(t) + 1]
+                .gates.size());
+        BoundaryResult plain = buildBoundary(
+            state, staged, t, none, lookahead,
+            plan.gate_sites[static_cast<std::size_t>(t)], opts);
+
+        BoundaryResult *winner = &plain;
+        if (reuse_variant.has_value() &&
+            reuse_variant->cost <= plain.cost) {
+            winner = &*reuse_variant;
+            ++plan.reuse_boundaries;
+        }
+        state.restore(winner->state_after);
+        plan.reused_qubits += winner->reused;
+        plan.direct_moves += winner->direct;
+        plan.gate_sites[static_cast<std::size_t>(t) + 1] =
+            winner->gate_sites;
+        plan.transitions[static_cast<std::size_t>(t) + 1].move_out =
+            std::move(winner->move_out);
+        plan.transitions[static_cast<std::size_t>(t) + 1].move_in =
+            std::move(winner->move_in);
+    }
+
+    checkPlacementPlan(arch, staged, plan);
+    return plan;
+}
+
+void
+checkPlacementPlan(const Architecture &arch, const StagedCircuit &staged,
+                   const PlacementPlan &plan)
+{
+    const int num_stages = staged.numRydbergStages();
+    if (static_cast<int>(plan.gate_sites.size()) != num_stages ||
+        static_cast<int>(plan.transitions.size()) != num_stages)
+        panic("placement plan: stage count mismatch");
+
+    // Replay the plan, checking occupancy and gate co-location.
+    std::vector<TrapRef> pos(plan.initial);
+    std::set<TrapRef> occupied;
+    for (std::size_t q = 0; q < pos.size(); ++q) {
+        if (!pos[q].valid())
+            panic("placement plan: unplaced qubit");
+        if (!occupied.insert(pos[q]).second)
+            panic("placement plan: duplicate initial trap");
+    }
+
+    auto apply = [&](const std::vector<Movement> &moves) {
+        for (const Movement &m : moves) {
+            if (!(pos[static_cast<std::size_t>(m.qubit)] == m.from))
+                panic("placement plan: movement source mismatch");
+            occupied.erase(m.from);
+        }
+        for (const Movement &m : moves) {
+            if (!occupied.insert(m.to).second)
+                panic("placement plan: movement collision at target");
+            pos[static_cast<std::size_t>(m.qubit)] = m.to;
+        }
+    };
+
+    for (int t = 0; t < num_stages; ++t) {
+        apply(plan.transitions[static_cast<std::size_t>(t)].move_out);
+        apply(plan.transitions[static_cast<std::size_t>(t)].move_in);
+        const RydbergStage &stage =
+            staged.rydberg[static_cast<std::size_t>(t)];
+        const auto &sites =
+            plan.gate_sites[static_cast<std::size_t>(t)];
+        if (sites.size() != stage.gates.size())
+            panic("placement plan: gate/site count mismatch");
+        std::set<int> used_sites;
+        for (std::size_t i = 0; i < stage.gates.size(); ++i) {
+            if (!used_sites.insert(sites[i]).second)
+                panic("placement plan: two gates share a site");
+            const RydbergSite &site = arch.site(sites[i]);
+            const TrapRef t0 = pos[static_cast<std::size_t>(
+                stage.gates[i].q0)];
+            const TrapRef t1 = pos[static_cast<std::size_t>(
+                stage.gates[i].q1)];
+            const bool ok =
+                (t0 == site.left && t1 == site.right) ||
+                (t0 == site.right && t1 == site.left);
+            if (!ok)
+                panic("placement plan: gate qubits not at their site "
+                      "for stage " + std::to_string(t));
+        }
+    }
+}
+
+} // namespace zac

@@ -1,0 +1,78 @@
+/**
+ * @file
+ * The reuse-aware dynamic placement driver (paper Sec. V-B).
+ *
+ * Walks the Rydberg stages, producing for every stage a gate-to-site
+ * assignment and the qubit movements into and out of the entanglement
+ * zone. At every stage boundary two complete variants are built — one
+ * with qubit reuse and one without — and the cheaper one (by the
+ * transition-cost proxy) is committed, per the paper's "commit to the
+ * better solution between the two".
+ */
+
+#ifndef ZAC_CORE_MOVEMENT_HPP
+#define ZAC_CORE_MOVEMENT_HPP
+
+#include <vector>
+
+#include "arch/spec.hpp"
+#include "core/options.hpp"
+#include "core/placement_state.hpp"
+#include "transpile/stages.hpp"
+
+namespace zac
+{
+
+/** One qubit movement between two traps. */
+struct Movement
+{
+    int qubit = -1;
+    TrapRef from;
+    TrapRef to;
+};
+
+/** The movements surrounding one Rydberg stage. */
+struct StageTransition
+{
+    /** Entanglement -> storage moves executed after the previous stage. */
+    std::vector<Movement> move_out;
+    /** Storage -> entanglement moves executed before this stage. */
+    std::vector<Movement> move_in;
+};
+
+/** The full placement plan consumed by the scheduler. */
+struct PlacementPlan
+{
+    /** Initial storage trap per qubit. */
+    std::vector<TrapRef> initial;
+    /** Per stage, per in-stage gate index: assigned Rydberg site. */
+    std::vector<std::vector<int>> gate_sites;
+    /** transitions[t] precedes Rydberg stage t. */
+    std::vector<StageTransition> transitions;
+    /** Number of qubit reuses committed (for reports). */
+    int reused_qubits = 0;
+    /** Stage boundaries where the reuse variant won the comparison. */
+    int reuse_boundaries = 0;
+    /** Direct site-to-site moves (the Sec. X extension), if enabled. */
+    int direct_moves = 0;
+};
+
+/**
+ * Run initial + dynamic placement for @p staged on @p arch.
+ *
+ * @param initial  the initial storage placement (from the SA or trivial
+ *                 placer; one trap per qubit).
+ */
+PlacementPlan runDynamicPlacement(const Architecture &arch,
+                                  const StagedCircuit &staged,
+                                  const std::vector<TrapRef> &initial,
+                                  const ZacOptions &opts);
+
+/** Validate a plan against its staged circuit (testing hook). */
+void checkPlacementPlan(const Architecture &arch,
+                        const StagedCircuit &staged,
+                        const PlacementPlan &plan);
+
+} // namespace zac
+
+#endif // ZAC_CORE_MOVEMENT_HPP

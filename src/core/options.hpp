@@ -1,0 +1,83 @@
+/**
+ * @file
+ * Compiler options for ZAC, including the ablation switches of Fig. 11.
+ */
+
+#ifndef ZAC_CORE_OPTIONS_HPP
+#define ZAC_CORE_OPTIONS_HPP
+
+#include <cstdint>
+
+namespace zac
+{
+
+/** Configuration of one ZAC compilation. */
+struct ZacOptions
+{
+    /** SA-based initial placement ('SA' in Fig. 11); else trivial. */
+    bool use_sa_init = true;
+    /**
+     * Dynamic non-reuse qubit placement ('dynPlace'); when false every
+     * qubit returns to its home storage trap (the 'Vanilla' behaviour).
+     */
+    bool use_dynamic_placement = true;
+    /** Reuse-aware placement ('reuse'). */
+    bool use_reuse = true;
+    /**
+     * Extension (paper Sec. X future work): qubits active in two
+     * consecutive Rydberg stages move directly between their Rydberg
+     * sites instead of detouring through storage, saving two atom
+     * transfers each. Off by default to match the paper's ZAC.
+     */
+    bool use_direct_reuse = false;
+
+    /** SA iteration limit (paper Sec. V-A uses 1000). */
+    int sa_iterations = 1000;
+    /** RNG seed for SA. */
+    std::uint64_t seed = 1;
+    /** k-hop neighbourhood for storage-trap candidates (Sec. V-B3). */
+    int candidate_k = 2;
+    /** Lookahead weight alpha in Eq. 3. */
+    double lookahead_alpha = 0.1;
+
+    /** Named ablation presets matching Fig. 11. */
+    static ZacOptions
+    vanilla()
+    {
+        ZacOptions o;
+        o.use_sa_init = false;
+        o.use_dynamic_placement = false;
+        o.use_reuse = false;
+        return o;
+    }
+
+    static ZacOptions
+    dynPlace()
+    {
+        ZacOptions o;
+        o.use_sa_init = false;
+        o.use_dynamic_placement = true;
+        o.use_reuse = false;
+        return o;
+    }
+
+    static ZacOptions
+    dynPlaceReuse()
+    {
+        ZacOptions o;
+        o.use_sa_init = false;
+        o.use_dynamic_placement = true;
+        o.use_reuse = true;
+        return o;
+    }
+
+    static ZacOptions
+    full()
+    {
+        return ZacOptions{};
+    }
+};
+
+} // namespace zac
+
+#endif // ZAC_CORE_OPTIONS_HPP

@@ -1,0 +1,107 @@
+#include "core/placement_state.hpp"
+
+#include "common/logging.hpp"
+
+namespace zac
+{
+
+PlacementState::PlacementState(const Architecture &arch, int num_qubits)
+    : arch_(&arch), numQubits_(num_qubits),
+      trap_(static_cast<std::size_t>(num_qubits)),
+      home_(static_cast<std::size_t>(num_qubits))
+{
+    if (!arch.finalized())
+        panic("placement state: architecture not finalized");
+}
+
+TrapRef
+PlacementState::trapOf(int q) const
+{
+    return trap_[static_cast<std::size_t>(q)];
+}
+
+Point
+PlacementState::posOf(int q) const
+{
+    const TrapRef t = trapOf(q);
+    if (!t.valid())
+        panic("placement state: qubit " + std::to_string(q) +
+              " is unplaced");
+    return arch_->trapPosition(t);
+}
+
+int
+PlacementState::occupant(TrapRef t) const
+{
+    auto it = occupant_.find(t);
+    return it == occupant_.end() ? -1 : it->second;
+}
+
+TrapRef
+PlacementState::homeOf(int q) const
+{
+    return home_[static_cast<std::size_t>(q)];
+}
+
+void
+PlacementState::place(int q, TrapRef t)
+{
+    const int occ = occupant(t);
+    if (occ != -1 && occ != q)
+        panic("placement state: trap already occupied by qubit " +
+              std::to_string(occ));
+    const TrapRef old = trap_[static_cast<std::size_t>(q)];
+    if (old.valid())
+        occupant_.erase(old);
+    trap_[static_cast<std::size_t>(q)] = t;
+    occupant_[t] = q;
+    if (arch_->isStorageTrap(t))
+        home_[static_cast<std::size_t>(q)] = t;
+}
+
+void
+PlacementState::swapQubits(int a, int b)
+{
+    const TrapRef ta = trap_[static_cast<std::size_t>(a)];
+    const TrapRef tb = trap_[static_cast<std::size_t>(b)];
+    if (!ta.valid() || !tb.valid())
+        panic("placement state: swap of unplaced qubit");
+    occupant_.erase(ta);
+    occupant_.erase(tb);
+    trap_[static_cast<std::size_t>(a)] = tb;
+    trap_[static_cast<std::size_t>(b)] = ta;
+    occupant_[tb] = a;
+    occupant_[ta] = b;
+    if (arch_->isStorageTrap(tb))
+        home_[static_cast<std::size_t>(a)] = tb;
+    if (arch_->isStorageTrap(ta))
+        home_[static_cast<std::size_t>(b)] = ta;
+}
+
+void
+PlacementState::liftQubit(int q)
+{
+    const TrapRef old = trap_[static_cast<std::size_t>(q)];
+    if (!old.valid())
+        panic("placement state: lift of unplaced qubit");
+    occupant_.erase(old);
+    trap_[static_cast<std::size_t>(q)] = TrapRef{};
+}
+
+void
+PlacementState::restore(const std::vector<TrapRef> &snap)
+{
+    if (snap.size() != trap_.size())
+        panic("placement state: snapshot size mismatch");
+    occupant_.clear();
+    for (std::size_t q = 0; q < snap.size(); ++q) {
+        trap_[q] = snap[q];
+        if (snap[q].valid()) {
+            occupant_[snap[q]] = static_cast<int>(q);
+            if (arch_->isStorageTrap(snap[q]))
+                home_[q] = snap[q];
+        }
+    }
+}
+
+} // namespace zac

@@ -1,0 +1,73 @@
+/**
+ * @file
+ * Mutable qubit-to-trap placement state used by the placement pipeline.
+ */
+
+#ifndef ZAC_CORE_PLACEMENT_STATE_HPP
+#define ZAC_CORE_PLACEMENT_STATE_HPP
+
+#include <map>
+#include <vector>
+
+#include "arch/spec.hpp"
+
+namespace zac
+{
+
+/**
+ * Tracks which trap every qubit occupies, the reverse occupancy map,
+ * and each qubit's "home" trap (its most recent storage location, used
+ * as a guaranteed-feasible candidate in non-reuse qubit placement).
+ */
+class PlacementState
+{
+  public:
+    PlacementState(const Architecture &arch, int num_qubits);
+
+    int numQubits() const { return numQubits_; }
+
+    /** Current trap of @p q. */
+    TrapRef trapOf(int q) const;
+    /** Current position of @p q in um. */
+    Point posOf(int q) const;
+    /** Occupant of @p t, or -1 when empty. */
+    int occupant(TrapRef t) const;
+    bool isEmpty(TrapRef t) const { return occupant(t) == -1; }
+
+    /** Last storage trap @p q occupied. */
+    TrapRef homeOf(int q) const;
+
+    /**
+     * Move @p q to empty trap @p t (frees its old trap). Updates the
+     * home trap when @p t is a storage trap.
+     * @throws zac::PanicError if @p t is occupied.
+     */
+    void place(int q, TrapRef t);
+
+    /** Exchange the traps of two qubits (used by simulated annealing). */
+    void swapQubits(int a, int b);
+
+    /**
+     * Vacate @p q's trap without assigning a new one (used to apply a
+     * permutation of qubits over traps: lift all, then place all).
+     */
+    void liftQubit(int q);
+
+    /** Snapshot the full placement (for variant roll-back). */
+    std::vector<TrapRef> snapshot() const { return trap_; }
+    /** Restore a snapshot taken from this state. */
+    void restore(const std::vector<TrapRef> &snap);
+
+    const Architecture &arch() const { return *arch_; }
+
+  private:
+    const Architecture *arch_;
+    int numQubits_;
+    std::vector<TrapRef> trap_;
+    std::vector<TrapRef> home_;
+    std::map<TrapRef, int> occupant_;
+};
+
+} // namespace zac
+
+#endif // ZAC_CORE_PLACEMENT_STATE_HPP

@@ -1,0 +1,170 @@
+#include "core/qubit_placer.hpp"
+
+#include <algorithm>
+#include <map>
+#include <set>
+
+#include "common/logging.hpp"
+#include "core/cost.hpp"
+#include "matching/jonker_volgenant.hpp"
+
+namespace zac
+{
+
+namespace
+{
+
+/** Candidate traps for one leaving qubit at one expansion level. */
+std::vector<TrapRef>
+candidateTraps(const PlacementState &state, int q,
+               const std::optional<Point> &related, int k)
+{
+    const Architecture &arch = state.arch();
+    const Point cur = state.posOf(q);
+    std::vector<Point> anchors;
+
+    // (i) original (home) storage trap.
+    const TrapRef home = state.homeOf(q);
+    if (home.valid())
+        anchors.push_back(arch.trapPosition(home));
+    // (ii) nearest storage trap to the current Rydberg site.
+    const TrapRef near_cur = arch.nearestStorageTrap(cur);
+    anchors.push_back(arch.trapPosition(near_cur));
+    // (iii) nearest storage trap to the related qubit.
+    if (related.has_value())
+        anchors.push_back(
+            arch.trapPosition(arch.nearestStorageTrap(*related)));
+
+    std::set<TrapRef> cands;
+    for (const TrapRef &t : arch.storageTrapsInBox(anchors))
+        cands.insert(t);
+    // k-neighbourhood of the nearest trap (may extend beyond the box).
+    cands.insert(near_cur);
+    for (const TrapRef &t : arch.storageNeighbors(near_cur, k))
+        cands.insert(t);
+    if (home.valid())
+        cands.insert(home);
+
+    std::vector<TrapRef> out;
+    for (const TrapRef &t : cands)
+        if (state.isEmpty(t))
+            out.push_back(t);
+    return out;
+}
+
+/** Nearest empty storage traps to @p p (fallback expansion). */
+std::vector<TrapRef>
+nearestEmptyTraps(const PlacementState &state, Point p, std::size_t count)
+{
+    const Architecture &arch = state.arch();
+    std::vector<std::pair<double, TrapRef>> ranked;
+    for (const TrapRef &t : arch.allStorageTraps())
+        if (state.isEmpty(t))
+            ranked.emplace_back(distance(arch.trapPosition(t), p), t);
+    std::sort(ranked.begin(), ranked.end(),
+              [](const auto &a, const auto &b) {
+                  if (a.first != b.first)
+                      return a.first < b.first;
+                  return a.second < b.second;
+              });
+    if (ranked.size() > count)
+        ranked.resize(count);
+    std::vector<TrapRef> out;
+    out.reserve(ranked.size());
+    for (auto &[d, t] : ranked)
+        out.push_back(t);
+    return out;
+}
+
+} // namespace
+
+std::vector<TrapRef>
+placeQubitsInStorage(const PlacementState &state,
+                     const QubitPlacementRequest &req)
+{
+    const Architecture &arch = state.arch();
+    const std::size_t n = req.leaving.size();
+    if (req.related.size() != n)
+        panic("placeQubitsInStorage: request vectors out of shape");
+    if (n == 0)
+        return {};
+
+    int k = req.k;
+    for (int attempt = 0; attempt < 8; ++attempt, k *= 2) {
+        // Per-qubit candidates and the union column space.
+        std::vector<std::vector<TrapRef>> cands(n);
+        std::map<TrapRef, int> col_of;
+        for (std::size_t i = 0; i < n; ++i) {
+            cands[i] = candidateTraps(state, req.leaving[i],
+                                      req.related[i], k);
+            if (attempt > 0) {
+                // Expansion: add globally nearest empty traps too.
+                const auto extra = nearestEmptyTraps(
+                    state, state.posOf(req.leaving[i]),
+                    n * static_cast<std::size_t>(attempt + 1));
+                cands[i].insert(cands[i].end(), extra.begin(),
+                                extra.end());
+                std::sort(cands[i].begin(), cands[i].end());
+                cands[i].erase(
+                    std::unique(cands[i].begin(), cands[i].end()),
+                    cands[i].end());
+            }
+            for (const TrapRef &t : cands[i])
+                col_of.emplace(t, 0);
+        }
+        if (col_of.size() < n)
+            continue;
+        int next_col = 0;
+        std::vector<TrapRef> cols(col_of.size());
+        for (auto &[t, idx] : col_of) {
+            idx = next_col;
+            cols[static_cast<std::size_t>(next_col)] = t;
+            ++next_col;
+        }
+
+        CostMatrix cost(static_cast<int>(n),
+                        static_cast<int>(cols.size()));
+        for (std::size_t i = 0; i < n; ++i) {
+            const Point cur = state.posOf(req.leaving[i]);
+            for (const TrapRef &t : cands[i]) {
+                const Point tp = arch.trapPosition(t);
+                double w = sqrtDistance(tp, cur);
+                if (req.related[i].has_value())
+                    w += req.alpha *
+                         sqrtDistance(tp, *req.related[i]);
+                cost.at(static_cast<int>(i), col_of.at(t)) = w;
+            }
+        }
+        const Assignment assign = minWeightFullMatching(cost);
+        if (!assign.feasible)
+            continue;
+        std::vector<TrapRef> out(n);
+        for (std::size_t i = 0; i < n; ++i)
+            out[i] = cols[static_cast<std::size_t>(
+                assign.row_to_col[i])];
+        return out;
+    }
+    fatal("placeQubitsInStorage: no feasible assignment after "
+          "candidate expansion (storage zone too full)");
+}
+
+std::vector<TrapRef>
+returnQubitsHome(const PlacementState &state,
+                 const std::vector<int> &leaving)
+{
+    std::vector<TrapRef> out;
+    out.reserve(leaving.size());
+    for (int q : leaving) {
+        const TrapRef home = state.homeOf(q);
+        if (!home.valid())
+            panic("returnQubitsHome: qubit " + std::to_string(q) +
+                  " has no home trap");
+        if (!state.isEmpty(home))
+            panic("returnQubitsHome: home trap of qubit " +
+                  std::to_string(q) + " is occupied");
+        out.push_back(home);
+    }
+    return out;
+}
+
+} // namespace zac

@@ -1,0 +1,58 @@
+/**
+ * @file
+ * Non-reuse dynamic qubit placement (paper Sec. V-B3): returning the
+ * qubits that leave the entanglement zone to storage traps.
+ *
+ * Candidate traps per qubit are (i) its original (home) storage trap,
+ * (ii) the k-neighbourhood of the storage trap nearest its current
+ * Rydberg site, and (iii) the storage trap nearest its related qubit,
+ * closed under the bounding box of those anchors. Costs follow Eq. 3
+ * with the alpha-weighted lookahead term, solved as a minimum-weight
+ * full matching.
+ */
+
+#ifndef ZAC_CORE_QUBIT_PLACER_HPP
+#define ZAC_CORE_QUBIT_PLACER_HPP
+
+#include <optional>
+#include <vector>
+
+#include "core/placement_state.hpp"
+
+namespace zac
+{
+
+/** Request to return a set of qubits to storage. */
+struct QubitPlacementRequest
+{
+    /** Qubits leaving the entanglement zone. */
+    std::vector<int> leaving;
+    /**
+     * Per leaving qubit: current position of its related qubit (its 2Q
+     * partner in the next Rydberg stage), if any.
+     */
+    std::vector<std::optional<Point>> related;
+    /** Neighbourhood radius k for candidate traps. */
+    int k = 2;
+    /** Lookahead weight alpha in Eq. 3. */
+    double alpha = 0.1;
+};
+
+/**
+ * Choose a distinct empty storage trap for every leaving qubit,
+ * minimizing the total Eq. 3 cost. Candidate sets are expanded until a
+ * full matching exists.
+ */
+std::vector<TrapRef> placeQubitsInStorage(
+    const PlacementState &state, const QubitPlacementRequest &request);
+
+/**
+ * The static alternative ('Vanilla' ablation): every leaving qubit
+ * returns to its home storage trap.
+ */
+std::vector<TrapRef> returnQubitsHome(const PlacementState &state,
+                                      const std::vector<int> &leaving);
+
+} // namespace zac
+
+#endif // ZAC_CORE_QUBIT_PLACER_HPP

@@ -1,0 +1,64 @@
+#include "core/reuse.hpp"
+
+#include <algorithm>
+
+#include "matching/hopcroft_karp.hpp"
+
+namespace zac
+{
+
+ReuseMatching
+emptyReuseMatching(std::size_t num_cur, std::size_t num_next)
+{
+    ReuseMatching m;
+    m.next_of_cur.assign(num_cur, -1);
+    m.cur_of_next.assign(num_next, -1);
+    m.size = 0;
+    return m;
+}
+
+ReuseMatching
+computeReuseMatching(const RydbergStage &cur, const RydbergStage &next)
+{
+    std::vector<std::vector<int>> adj(cur.gates.size());
+    for (std::size_t i = 0; i < cur.gates.size(); ++i) {
+        const StagedGate &g = cur.gates[i];
+        for (std::size_t j = 0; j < next.gates.size(); ++j) {
+            const StagedGate &h = next.gates[j];
+            if (h.touches(g.q0) || h.touches(g.q1))
+                adj[i].push_back(static_cast<int>(j));
+        }
+    }
+    const BipartiteMatching hk =
+        hopcroftKarp(static_cast<int>(cur.gates.size()),
+                     static_cast<int>(next.gates.size()), adj);
+    ReuseMatching m;
+    m.next_of_cur = hk.left_match;
+    m.cur_of_next = hk.right_match;
+    m.size = hk.size;
+    return m;
+}
+
+std::vector<int>
+reusedQubits(const RydbergStage &cur, const RydbergStage &next,
+             const ReuseMatching &matching)
+{
+    std::vector<int> stay;
+    for (std::size_t i = 0; i < cur.gates.size(); ++i) {
+        const int j = matching.next_of_cur.empty()
+                          ? -1
+                          : matching.next_of_cur[i];
+        if (j < 0)
+            continue;
+        const StagedGate &g = cur.gates[i];
+        const StagedGate &h = next.gates[static_cast<std::size_t>(j)];
+        for (int q : {g.q0, g.q1})
+            if (h.touches(q))
+                stay.push_back(q);
+    }
+    std::sort(stay.begin(), stay.end());
+    stay.erase(std::unique(stay.begin(), stay.end()), stay.end());
+    return stay;
+}
+
+} // namespace zac

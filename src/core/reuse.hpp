@@ -1,0 +1,54 @@
+/**
+ * @file
+ * Qubit reuse strategy (paper Sec. V-B1).
+ *
+ * Gates of stage t and stage t+1 form a bipartite graph with an edge
+ * whenever they share a qubit; a maximum-cardinality matching
+ * (Hopcroft–Karp) selects which stage-(t+1) gates inherit the Rydberg
+ * site of a stage-t gate, keeping the shared qubit in place.
+ */
+
+#ifndef ZAC_CORE_REUSE_HPP
+#define ZAC_CORE_REUSE_HPP
+
+#include <vector>
+
+#include "transpile/stages.hpp"
+
+namespace zac
+{
+
+/** The reuse matching between two consecutive Rydberg stages. */
+struct ReuseMatching
+{
+    /** Per gate index of the earlier stage: matched later-stage gate
+     *  index, or -1. */
+    std::vector<int> next_of_cur;
+    /** Per gate index of the later stage: matched earlier-stage gate
+     *  index, or -1. */
+    std::vector<int> cur_of_next;
+    /** Number of matched gate pairs (== number of reused qubits). */
+    int size = 0;
+
+    bool empty() const { return size == 0; }
+};
+
+/** An all-unmatched placeholder for the no-reuse variant. */
+ReuseMatching emptyReuseMatching(std::size_t num_cur,
+                                 std::size_t num_next);
+
+/** Maximum-cardinality reuse matching between two stages' gates. */
+ReuseMatching computeReuseMatching(const RydbergStage &cur,
+                                   const RydbergStage &next);
+
+/**
+ * The qubits that stay in the entanglement zone across the boundary:
+ * for each matched pair, the qubit(s) shared by the two gates.
+ */
+std::vector<int> reusedQubits(const RydbergStage &cur,
+                              const RydbergStage &next,
+                              const ReuseMatching &matching);
+
+} // namespace zac
+
+#endif // ZAC_CORE_REUSE_HPP

@@ -1,0 +1,285 @@
+#include "core/sa_placer.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+#include <set>
+
+#include "common/logging.hpp"
+#include "common/rng.hpp"
+#include "core/cost.hpp"
+
+namespace zac
+{
+
+namespace
+{
+
+/** Weight of a gate scheduled at 1-based Rydberg stage @p stage. */
+double
+stageWeight(int stage)
+{
+    return std::max(0.1, 1.0 - 0.1 * (stage - 1));
+}
+
+/** Flattened 2Q gate list with stage weights. */
+struct WeightedGate
+{
+    int q0;
+    int q1;
+    double weight;
+};
+
+std::vector<WeightedGate>
+weightedGates(const StagedCircuit &staged)
+{
+    std::vector<WeightedGate> gates;
+    for (int t = 0; t < staged.numRydbergStages(); ++t)
+        for (const StagedGate &g :
+             staged.rydberg[static_cast<std::size_t>(t)].gates)
+            gates.push_back({g.q0, g.q1, stageWeight(t + 1)});
+    return gates;
+}
+
+/** Incremental Eq. 2 evaluator: caches per-gate costs per qubit. */
+class CostTracker
+{
+  public:
+    CostTracker(const Architecture &arch, const StagedCircuit &staged,
+                std::vector<TrapRef> traps)
+        : arch_(arch), gates_(weightedGates(staged)),
+          traps_(std::move(traps)),
+          gatesOf_(static_cast<std::size_t>(staged.numQubits)),
+          gateCost_(gates_.size(), 0.0)
+    {
+        for (std::size_t i = 0; i < gates_.size(); ++i) {
+            gatesOf_[static_cast<std::size_t>(gates_[i].q0)].push_back(
+                static_cast<int>(i));
+            gatesOf_[static_cast<std::size_t>(gates_[i].q1)].push_back(
+                static_cast<int>(i));
+        }
+        total_ = 0.0;
+        for (std::size_t i = 0; i < gates_.size(); ++i) {
+            gateCost_[i] = evalGate(static_cast<int>(i));
+            total_ += gateCost_[i];
+        }
+    }
+
+    double total() const { return total_; }
+    const std::vector<TrapRef> &traps() const { return traps_; }
+    TrapRef trapOf(int q) const
+    {
+        return traps_[static_cast<std::size_t>(q)];
+    }
+
+    /** Move @p q to @p t and return the cost delta. */
+    double
+    moveQubit(int q, TrapRef t)
+    {
+        traps_[static_cast<std::size_t>(q)] = t;
+        return refreshQubit(q);
+    }
+
+    /** Swap two qubits' traps and return the cost delta. */
+    double
+    swapQubits(int a, int b)
+    {
+        std::swap(traps_[static_cast<std::size_t>(a)],
+                  traps_[static_cast<std::size_t>(b)]);
+        return refreshQubit(a) + refreshQubit(b);
+    }
+
+  private:
+    double
+    evalGate(int i)
+    {
+        const WeightedGate &g = gates_[static_cast<std::size_t>(i)];
+        const Point p0 = arch_.trapPosition(
+            traps_[static_cast<std::size_t>(g.q0)]);
+        const Point p1 = arch_.trapPosition(
+            traps_[static_cast<std::size_t>(g.q1)]);
+        const int site = nearestSiteForGate(arch_, p0, p1);
+        return g.weight * gateCost(arch_.sitePosition(site), p0, p1);
+    }
+
+    /** Recompute all gates touching @p q; return the total delta. */
+    double
+    refreshQubit(int q)
+    {
+        double delta = 0.0;
+        for (int i : gatesOf_[static_cast<std::size_t>(q)]) {
+            const double fresh = evalGate(i);
+            delta += fresh - gateCost_[static_cast<std::size_t>(i)];
+            gateCost_[static_cast<std::size_t>(i)] = fresh;
+        }
+        total_ += delta;
+        return delta;
+    }
+
+    const Architecture &arch_;
+    std::vector<WeightedGate> gates_;
+    std::vector<TrapRef> traps_;
+    std::vector<std::vector<int>> gatesOf_;
+    std::vector<double> gateCost_;
+    double total_;
+};
+
+} // namespace
+
+std::vector<TrapRef>
+storageTrapsByProximity(const Architecture &arch)
+{
+    std::vector<TrapRef> traps = arch.allStorageTraps();
+    if (traps.empty())
+        fatal("storageTrapsByProximity: no storage traps");
+    // Row distance to the nearest Rydberg-site row decides the order;
+    // column index breaks ties so filling proceeds left to right.
+    std::vector<double> site_rows;
+    for (const RydbergSite &s : arch.sites())
+        site_rows.push_back(s.pos_left.y);
+    auto row_dist = [&](const TrapRef &t) {
+        const double y = arch.trapPosition(t).y;
+        double best = std::numeric_limits<double>::max();
+        for (double sy : site_rows)
+            best = std::min(best, std::abs(sy - y));
+        return best;
+    };
+    std::stable_sort(traps.begin(), traps.end(),
+                     [&](const TrapRef &a, const TrapRef &b) {
+                         const double da = row_dist(a);
+                         const double db = row_dist(b);
+                         if (std::abs(da - db) > 1e-9)
+                             return da < db;
+                         if (a.r != b.r)
+                             return a.r < b.r;
+                         return a.c < b.c;
+                     });
+    return traps;
+}
+
+std::vector<TrapRef>
+trivialInitialPlacement(const Architecture &arch, int num_qubits)
+{
+    std::vector<TrapRef> order = storageTrapsByProximity(arch);
+    if (static_cast<int>(order.size()) < num_qubits)
+        fatal("trivialInitialPlacement: " + std::to_string(num_qubits) +
+              " qubits exceed " + std::to_string(order.size()) +
+              " storage traps");
+    order.resize(static_cast<std::size_t>(num_qubits));
+    return order;
+}
+
+double
+initialPlacementCost(const Architecture &arch, const StagedCircuit &staged,
+                     const std::vector<TrapRef> &traps)
+{
+    double total = 0.0;
+    for (int t = 0; t < staged.numRydbergStages(); ++t) {
+        for (const StagedGate &g :
+             staged.rydberg[static_cast<std::size_t>(t)].gates) {
+            const Point p0 = arch.trapPosition(
+                traps[static_cast<std::size_t>(g.q0)]);
+            const Point p1 = arch.trapPosition(
+                traps[static_cast<std::size_t>(g.q1)]);
+            const int site = nearestSiteForGate(arch, p0, p1);
+            total += stageWeight(t + 1) *
+                     gateCost(arch.sitePosition(site), p0, p1);
+        }
+    }
+    return total;
+}
+
+std::vector<TrapRef>
+saInitialPlacement(const Architecture &arch, const StagedCircuit &staged,
+                   const SaOptions &opts)
+{
+    const int n = staged.numQubits;
+    std::vector<TrapRef> init = trivialInitialPlacement(arch, n);
+    if (staged.count2Q() == 0 || n < 2)
+        return init;
+
+    // Jump candidate pool: the traps closest to the entanglement zone
+    // (twice the qubit count, at least one full row).
+    std::vector<TrapRef> pool = storageTrapsByProximity(arch);
+    const std::size_t pool_size = std::min(
+        pool.size(),
+        static_cast<std::size_t>(std::max(2 * n, 100)));
+    pool.resize(pool_size);
+
+    CostTracker tracker(arch, staged, init);
+    std::set<TrapRef> occupied(init.begin(), init.end());
+    Rng rng(opts.seed);
+
+    // Adaptive initial temperature: the mean |delta| of a few probes.
+    double t0 = 0.0;
+    {
+        const double before = tracker.total();
+        CostTracker probe = tracker;
+        int samples = 0;
+        for (int i = 0; i < 16 && n >= 2; ++i) {
+            const int a = rng.nextInt(0, n - 1);
+            int b = rng.nextInt(0, n - 1);
+            if (a == b)
+                continue;
+            const double d = probe.swapQubits(a, b);
+            t0 += std::abs(d);
+            ++samples;
+        }
+        t0 = samples > 0 ? std::max(1e-6, t0 / samples) : 1.0;
+        (void)before;
+    }
+    const double t_end = t0 * opts.t_end_factor;
+    const double cooling =
+        std::pow(t_end / t0,
+                 1.0 / std::max(1, opts.max_iterations - 1));
+
+    double best_cost = tracker.total();
+    std::vector<TrapRef> best = tracker.traps();
+    double temp = t0;
+
+    for (int iter = 0; iter < opts.max_iterations; ++iter, temp *= cooling) {
+        const int q = rng.nextInt(0, n - 1);
+        double delta = 0.0;
+        bool did_swap = false;
+        int partner = -1;
+        TrapRef old_trap = tracker.trapOf(q);
+        TrapRef new_trap;
+
+        if (rng.nextBool(0.5) && n >= 2) {
+            // Swap with another qubit.
+            partner = rng.nextInt(0, n - 1);
+            if (partner == q)
+                continue;
+            delta = tracker.swapQubits(q, partner);
+            did_swap = true;
+        } else {
+            // Jump to a random empty trap in the pool.
+            new_trap = pool[rng.nextBelow(pool.size())];
+            if (occupied.count(new_trap))
+                continue;
+            delta = tracker.moveQubit(q, new_trap);
+        }
+
+        const bool accept =
+            delta <= 0.0 || rng.nextDouble() < std::exp(-delta / temp);
+        if (accept) {
+            if (!did_swap) {
+                occupied.erase(old_trap);
+                occupied.insert(new_trap);
+            }
+            if (tracker.total() < best_cost) {
+                best_cost = tracker.total();
+                best = tracker.traps();
+            }
+        } else {
+            // Undo.
+            if (did_swap)
+                tracker.swapQubits(q, partner);
+            else
+                tracker.moveQubit(q, old_trap);
+        }
+    }
+    return best;
+}
+
+} // namespace zac

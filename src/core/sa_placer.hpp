@@ -1,0 +1,58 @@
+/**
+ * @file
+ * Initial qubit placement (paper Sec. V-A).
+ *
+ * The trivial placement fills storage traps nearest the entanglement
+ * zone in index order (the 'Vanilla' ablation baseline and the SA
+ * starting point). Simulated annealing then minimizes the weighted sum
+ * of gate costs (Eq. 2) with qubit-swap and jump-to-empty-trap moves.
+ */
+
+#ifndef ZAC_CORE_SA_PLACER_HPP
+#define ZAC_CORE_SA_PLACER_HPP
+
+#include <cstdint>
+#include <vector>
+
+#include "arch/spec.hpp"
+#include "transpile/stages.hpp"
+
+namespace zac
+{
+
+/** Tuning knobs for the simulated-annealing initial placement. */
+struct SaOptions
+{
+    int max_iterations = 1000;  ///< paper's empirical iteration limit
+    std::uint64_t seed = 1;
+    double t_end_factor = 1e-3; ///< final temp as a fraction of initial
+};
+
+/**
+ * Storage traps ordered by proximity to the entanglement sites (row
+ * distance first, then column). Trap i hosts qubit i in the trivial
+ * placement; the prefix of length ~2n is the SA jump candidate pool.
+ */
+std::vector<TrapRef> storageTrapsByProximity(const Architecture &arch);
+
+/** Trivial initial placement: qubit i -> i-th trap by proximity. */
+std::vector<TrapRef> trivialInitialPlacement(const Architecture &arch,
+                                             int num_qubits);
+
+/**
+ * Evaluate the full initial-placement cost (Eq. 2) of @p traps:
+ * sum over 2Q gates of w_g * gCost(g, omega_near_g, M0) with
+ * w_g = max(0.1, 1 - 0.1 * (stage - 1)).
+ */
+double initialPlacementCost(const Architecture &arch,
+                            const StagedCircuit &staged,
+                            const std::vector<TrapRef> &traps);
+
+/** SA-optimized initial placement starting from the trivial one. */
+std::vector<TrapRef> saInitialPlacement(const Architecture &arch,
+                                        const StagedCircuit &staged,
+                                        const SaOptions &opts = {});
+
+} // namespace zac
+
+#endif // ZAC_CORE_SA_PLACER_HPP

@@ -1,0 +1,273 @@
+#include "core/scheduler.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+
+#include "common/logging.hpp"
+#include "core/jobs.hpp"
+#include "zair/machine.hpp"
+
+namespace zac
+{
+
+namespace
+{
+
+/** Book-keeping for the list scheduler. */
+struct SchedulerState
+{
+    const Architecture &arch;
+    ZairProgram &program;
+    std::vector<double> last_end;       ///< per qubit
+    std::vector<double> aod_avail;      ///< per AOD
+    std::map<TrapRef, double> vacate;   ///< trap -> pickup end time
+    double raman_avail = 0.0;           ///< sequential 1Q laser
+
+    SchedulerState(const Architecture &a, ZairProgram &p, int num_qubits)
+        : arch(a), program(p),
+          last_end(static_cast<std::size_t>(num_qubits), 0.0),
+          aod_avail(a.aods().size(), 0.0)
+    {
+    }
+
+    QLoc
+    qloc(int q, TrapRef t) const
+    {
+        return {q, t.slm, t.r, t.c};
+    }
+
+    /** Emit the 1Q stage as grouped OneQGate instructions. */
+    void
+    emitOneQStage(const OneQStage &stage,
+                  const std::vector<TrapRef> &pos)
+    {
+        if (stage.ops.empty())
+            return;
+        // Group by (rounded) unitary: one ZAIR 1qGate per distinct U3.
+        using Key = std::tuple<long long, long long, long long>;
+        auto key_of = [](const U3Angles &a) {
+            const double s = 1e9;
+            return Key{std::llround(a.theta * s),
+                       std::llround(a.phi * s),
+                       std::llround(a.lambda * s)};
+        };
+        std::map<Key, std::vector<const StagedU3 *>> groups;
+        for (const StagedU3 &op : stage.ops)
+            groups[key_of(op.angles)].push_back(&op);
+
+        for (const auto &[key, ops] : groups) {
+            ZairInstr in;
+            in.kind = ZairKind::OneQGate;
+            in.unitary = ops.front()->angles;
+            double ready = raman_avail;
+            for (const StagedU3 *op : ops) {
+                in.locs.push_back(qloc(
+                    op->qubit,
+                    pos[static_cast<std::size_t>(op->qubit)]));
+                ready = std::max(
+                    ready,
+                    last_end[static_cast<std::size_t>(op->qubit)]);
+            }
+            in.begin_time_us = ready;
+            in.end_time_us =
+                ready + arch.params().t_1q_us *
+                            static_cast<double>(ops.size());
+            raman_avail = in.end_time_us;
+            for (const StagedU3 *op : ops)
+                last_end[static_cast<std::size_t>(op->qubit)] =
+                    in.end_time_us;
+            program.instrs.push_back(std::move(in));
+        }
+    }
+
+    /**
+     * Emit one transition direction: split into jobs, then assign
+     * longest-first to the earliest available AOD.
+     */
+    void
+    emitJobs(const std::vector<Movement> &movements,
+             std::vector<TrapRef> &pos)
+    {
+        if (movements.empty())
+            return;
+        std::vector<std::vector<Movement>> jobs =
+            splitIntoJobs(arch, movements);
+
+        // Pre-lower each job to get its duration for load balancing.
+        struct Pending
+        {
+            ZairInstr instr;
+            JobPhases phases;
+        };
+        std::vector<Pending> pending;
+        pending.reserve(jobs.size());
+        for (const std::vector<Movement> &job : jobs) {
+            Pending p;
+            p.instr.kind = ZairKind::RearrangeJob;
+            for (const Movement &m : job) {
+                p.instr.begin_locs.push_back(qloc(m.qubit, m.from));
+                p.instr.end_locs.push_back(qloc(m.qubit, m.to));
+            }
+            p.phases = lowerRearrangeJob(p.instr, arch);
+            pending.push_back(std::move(p));
+        }
+        std::sort(pending.begin(), pending.end(),
+                  [](const Pending &a, const Pending &b) {
+                      return a.phases.total() > b.phases.total();
+                  });
+
+        // Intra-group trap dependencies (possible with direct in-zone
+        // reuse): a job occupying a trap that another job of this group
+        // vacates schedules after the vacating job, so the vacate map
+        // holds the constraint. Cycles (jobs exchanging traps) fall
+        // back to the longest-first order.
+        std::map<TrapRef, std::size_t> vacated_by;
+        for (std::size_t i = 0; i < pending.size(); ++i)
+            for (const QLoc &l : pending[i].instr.begin_locs)
+                vacated_by[l.trap()] = i;
+        std::vector<char> scheduled(pending.size(), 0);
+        std::vector<std::size_t> order;
+        while (order.size() < pending.size()) {
+            std::size_t chosen = pending.size();
+            for (std::size_t i = 0; i < pending.size(); ++i) {
+                if (scheduled[i])
+                    continue;
+                bool ready = true;
+                for (const QLoc &l : pending[i].instr.end_locs) {
+                    auto it = vacated_by.find(l.trap());
+                    if (it != vacated_by.end() && it->second != i &&
+                        !scheduled[it->second]) {
+                        ready = false;
+                        break;
+                    }
+                }
+                if (ready) {
+                    chosen = i;
+                    break;
+                }
+            }
+            if (chosen == pending.size()) {
+                // Dependency cycle: take the first unscheduled job.
+                for (std::size_t i = 0; i < pending.size(); ++i)
+                    if (!scheduled[i]) {
+                        chosen = i;
+                        break;
+                    }
+            }
+            scheduled[chosen] = 1;
+            order.push_back(chosen);
+        }
+
+        for (std::size_t oi : order) {
+            Pending &p = pending[oi];
+            // Earliest-available AOD (load balancing).
+            int best_aod = 0;
+            for (std::size_t a = 1; a < aod_avail.size(); ++a)
+                if (aod_avail[a] < aod_avail[static_cast<std::size_t>(
+                        best_aod)])
+                    best_aod = static_cast<int>(a);
+            p.instr.aod_id = best_aod;
+
+            double start =
+                aod_avail[static_cast<std::size_t>(best_aod)];
+            for (const QLoc &l : p.instr.begin_locs)
+                start = std::max(
+                    start, last_end[static_cast<std::size_t>(l.q)]);
+            // Trap dependency: move must end after the vacating pickup.
+            const double lead =
+                p.instr.move_done_us; // pickup + move (relative)
+            for (const QLoc &l : p.instr.end_locs) {
+                auto it = vacate.find(l.trap());
+                if (it != vacate.end())
+                    start = std::max(start, it->second - lead);
+            }
+
+            p.instr.begin_time_us = start;
+            p.instr.end_time_us = start + p.phases.total();
+            aod_avail[static_cast<std::size_t>(best_aod)] =
+                p.instr.end_time_us;
+            const double pickup_end = start + p.phases.pickup_us;
+            for (const QLoc &l : p.instr.begin_locs)
+                vacate[l.trap()] = pickup_end;
+            for (const QLoc &l : p.instr.end_locs) {
+                last_end[static_cast<std::size_t>(l.q)] =
+                    p.instr.end_time_us;
+                pos[static_cast<std::size_t>(l.q)] = l.trap();
+            }
+            program.instrs.push_back(std::move(p.instr));
+        }
+    }
+
+    /** Emit the Rydberg pulse(s) of one stage, one per zone used. */
+    void
+    emitRydberg(const RydbergStage &stage,
+                const std::vector<int> &sites)
+    {
+        std::map<int, std::vector<int>> zone_qubits;
+        for (std::size_t i = 0; i < stage.gates.size(); ++i) {
+            const int zone =
+                arch.site(sites[i]).zone_index;
+            zone_qubits[zone].push_back(stage.gates[i].q0);
+            zone_qubits[zone].push_back(stage.gates[i].q1);
+        }
+        for (auto &[zone, qubits] : zone_qubits) {
+            ZairInstr in;
+            in.kind = ZairKind::Rydberg;
+            in.zone_id = zone;
+            in.gate_qubits = qubits;
+            double ready = 0.0;
+            for (int q : qubits)
+                ready = std::max(
+                    ready, last_end[static_cast<std::size_t>(q)]);
+            in.begin_time_us = ready;
+            in.end_time_us = ready + arch.params().t_rydberg_us;
+            for (int q : qubits)
+                last_end[static_cast<std::size_t>(q)] =
+                    in.end_time_us;
+            program.instrs.push_back(std::move(in));
+        }
+    }
+};
+
+} // namespace
+
+ZairProgram
+scheduleProgram(const Architecture &arch, const StagedCircuit &staged,
+                const PlacementPlan &plan)
+{
+    ZairProgram program;
+    program.circuit_name = staged.name;
+    program.arch_name = arch.name();
+    program.num_qubits = staged.numQubits;
+
+    SchedulerState st(arch, program, staged.numQubits);
+
+    // Position tracking for 1Q qlocs.
+    std::vector<TrapRef> pos = plan.initial;
+
+    ZairInstr init;
+    init.kind = ZairKind::Init;
+    for (int q = 0; q < staged.numQubits; ++q)
+        init.init_locs.push_back(
+            st.qloc(q, plan.initial[static_cast<std::size_t>(q)]));
+    program.instrs.push_back(std::move(init));
+
+    const int num_stages = staged.numRydbergStages();
+    for (int t = 0; t < num_stages; ++t) {
+        st.emitJobs(
+            plan.transitions[static_cast<std::size_t>(t)].move_out,
+            pos);
+        st.emitOneQStage(staged.oneQ[static_cast<std::size_t>(t)], pos);
+        st.emitJobs(
+            plan.transitions[static_cast<std::size_t>(t)].move_in, pos);
+        st.emitRydberg(staged.rydberg[static_cast<std::size_t>(t)],
+                       plan.gate_sites[static_cast<std::size_t>(t)]);
+    }
+    st.emitOneQStage(staged.oneQ.back(), pos);
+
+    program.checkInvariants();
+    return program;
+}
+
+} // namespace zac

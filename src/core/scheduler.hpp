@@ -1,0 +1,41 @@
+/**
+ * @file
+ * Instruction scheduling with trap/qubit dependencies and multi-AOD
+ * load balancing (paper Sec. VI).
+ *
+ * Produces the final timed ZAIR program. Dependencies:
+ *  - qubit dependency: instructions on the same qubit never overlap;
+ *  - trap dependency: a job moving a qubit onto an SLM trap must finish
+ *    its move no earlier than the pickup of the job vacating that trap
+ *    (partial overlap allowed);
+ *  - the Raman (1Q) laser is a single sequential resource, matching the
+ *    paper's conservative sequential-1Q assumption;
+ *  - each rearrangement job occupies one AOD for its whole duration;
+ *    parallelizable jobs are assigned longest-first to the earliest
+ *    available AOD.
+ */
+
+#ifndef ZAC_CORE_SCHEDULER_HPP
+#define ZAC_CORE_SCHEDULER_HPP
+
+#include "core/movement.hpp"
+#include "transpile/stages.hpp"
+#include "zair/program.hpp"
+
+namespace zac
+{
+
+/**
+ * Schedule a placement plan into a timed ZAIR program.
+ *
+ * @param arch   the architecture (supplies AOD count and durations).
+ * @param staged the staged circuit.
+ * @param plan   the placement plan from runDynamicPlacement.
+ */
+ZairProgram scheduleProgram(const Architecture &arch,
+                            const StagedCircuit &staged,
+                            const PlacementPlan &plan);
+
+} // namespace zac
+
+#endif // ZAC_CORE_SCHEDULER_HPP

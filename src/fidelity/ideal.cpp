@@ -1,0 +1,271 @@
+#include "fidelity/ideal.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.hpp"
+#include "matching/hopcroft_karp.hpp"
+
+namespace zac
+{
+
+namespace
+{
+
+/**
+ * Per-boundary maxima of actual move durations, split into the
+ * move-out (ends in storage) and move-in (ends at a site) directions,
+ * extracted from the compiled program's job stream.
+ */
+struct BoundaryMoves
+{
+    std::vector<double> max_out_us; ///< indexed by preceding stage
+    std::vector<double> max_in_us;  ///< indexed by following stage
+};
+
+BoundaryMoves
+extractBoundaryMoves(const ZairProgram &compiled, const Architecture &arch,
+                     int num_stages)
+{
+    BoundaryMoves bm;
+    bm.max_out_us.assign(static_cast<std::size_t>(num_stages) + 1, 0.0);
+    bm.max_in_us.assign(static_cast<std::size_t>(num_stages) + 1, 0.0);
+    int stage = 0; // index of the next rydberg stage
+    for (const ZairInstr &in : compiled.instrs) {
+        if (in.kind == ZairKind::Rydberg) {
+            ++stage;
+            continue;
+        }
+        if (in.kind != ZairKind::RearrangeJob)
+            continue;
+        const double dur = in.move_done_us - in.pickup_done_us;
+        // Destination zone decides the direction.
+        const Point dest =
+            arch.trapPosition(in.end_locs.front().trap());
+        if (arch.inEntanglementZone(dest)) {
+            auto &slot =
+                bm.max_in_us[static_cast<std::size_t>(stage)];
+            slot = std::max(slot, dur);
+        } else {
+            auto &slot =
+                bm.max_out_us[static_cast<std::size_t>(stage)];
+            slot = std::max(slot, dur);
+        }
+    }
+    return bm;
+}
+
+/** Per-qubit transfer counts from the compiled program. */
+std::vector<int>
+transfersPerQubit(const ZairProgram &compiled)
+{
+    std::vector<int> t(static_cast<std::size_t>(compiled.num_qubits), 0);
+    for (const ZairInstr &in : compiled.instrs)
+        if (in.kind == ZairKind::RearrangeJob)
+            for (const QLoc &l : in.begin_locs)
+                t[static_cast<std::size_t>(l.q)] += 2;
+    return t;
+}
+
+FidelityBreakdown
+assemble(const StagedCircuit &staged, const NaHardwareParams &hw,
+         double makespan_us, const std::vector<int> &transfers)
+{
+    FidelityBreakdown out;
+    out.g1 = staged.count1Q();
+    out.g2 = staged.count2Q();
+    out.n_excitation = 0;
+    out.n_transfer = 0;
+    for (int t : transfers)
+        out.n_transfer += t;
+    out.duration_us = makespan_us;
+
+    // Per-qubit busy time.
+    std::vector<double> busy(
+        static_cast<std::size_t>(staged.numQubits), 0.0);
+    for (const OneQStage &s : staged.oneQ)
+        for (const StagedU3 &u : s.ops)
+            busy[static_cast<std::size_t>(u.qubit)] += hw.t_1q_us;
+    for (const RydbergStage &s : staged.rydberg) {
+        for (const StagedGate &g : s.gates) {
+            busy[static_cast<std::size_t>(g.q0)] += hw.t_rydberg_us;
+            busy[static_cast<std::size_t>(g.q1)] += hw.t_rydberg_us;
+        }
+    }
+    for (std::size_t q = 0; q < busy.size(); ++q)
+        busy[q] += transfers[q] * hw.t_transfer_us;
+
+    out.f_1q = std::pow(hw.f_1q, out.g1);
+    out.f_2q_gates = std::pow(hw.f_2q, out.g2);
+    out.f_excitation = 1.0;
+    out.f_2q = out.f_2q_gates;
+    out.f_transfer = std::pow(hw.f_transfer, out.n_transfer);
+    out.f_decoherence = 1.0;
+    for (std::size_t q = 0; q < busy.size(); ++q) {
+        const double idle = std::max(0.0, makespan_us - busy[q]);
+        out.f_decoherence *= std::max(0.0, 1.0 - idle / hw.t2_us);
+    }
+    out.total = out.f_1q * out.f_2q * out.f_transfer * out.f_decoherence;
+    return out;
+}
+
+} // namespace
+
+std::vector<int>
+maxReusePerBoundary(const StagedCircuit &staged)
+{
+    std::vector<int> reuse;
+    const int num_stages = staged.numRydbergStages();
+    for (int t = 0; t + 1 < num_stages; ++t) {
+        const auto &cur =
+            staged.rydberg[static_cast<std::size_t>(t)].gates;
+        const auto &nxt =
+            staged.rydberg[static_cast<std::size_t>(t) + 1].gates;
+        std::vector<std::vector<int>> adj(cur.size());
+        for (std::size_t i = 0; i < cur.size(); ++i)
+            for (std::size_t j = 0; j < nxt.size(); ++j)
+                if (nxt[j].touches(cur[i].q0) ||
+                    nxt[j].touches(cur[i].q1))
+                    adj[i].push_back(static_cast<int>(j));
+        reuse.push_back(hopcroftKarp(static_cast<int>(cur.size()),
+                                     static_cast<int>(nxt.size()), adj)
+                            .size);
+    }
+    return reuse;
+}
+
+IdealBounds
+computeIdealBounds(const StagedCircuit &staged, const ZairProgram &compiled,
+                   const Architecture &arch, double zone_sep_um)
+{
+    const NaHardwareParams &hw = arch.params();
+    const int num_stages = staged.numRydbergStages();
+
+    // Shared serial components: sequential 1Q gates and Rydberg pulses.
+    double fixed_us = 0.0;
+    for (const OneQStage &s : staged.oneQ)
+        fixed_us += hw.t_1q_us * static_cast<double>(s.ops.size());
+    fixed_us += hw.t_rydberg_us * static_cast<double>(num_stages);
+
+    const BoundaryMoves bm =
+        extractBoundaryMoves(compiled, arch, num_stages);
+    const std::vector<int> zac_transfers = transfersPerQubit(compiled);
+    const double layer_min_us =
+        2.0 * hw.t_transfer_us + moveDurationUs(zone_sep_um);
+    // The analytic makespans serialize the 1Q stages against the
+    // movement layers, which ZAC's scheduler may overlap; the bound
+    // never exceeds the schedule it idealizes.
+    const double actual_us = compiled.makespanUs();
+
+    IdealBounds bounds;
+
+    // ---- perfect movement: one job per direction per boundary, using
+    // the actual longest move of that direction.
+    {
+        double makespan = fixed_us;
+        for (std::size_t b = 0; b < bm.max_in_us.size(); ++b) {
+            if (bm.max_in_us[b] > 0.0)
+                makespan += 2.0 * hw.t_transfer_us + bm.max_in_us[b];
+            if (bm.max_out_us[b] > 0.0)
+                makespan += 2.0 * hw.t_transfer_us + bm.max_out_us[b];
+        }
+        bounds.perfect_movement = assemble(
+            staged, hw, std::min(makespan, actual_us), zac_transfers);
+    }
+
+    // ---- perfect placement: every layer takes the minimum duration.
+    double placement_makespan_us = 0.0;
+    {
+        double makespan = fixed_us;
+        for (std::size_t b = 0; b < bm.max_in_us.size(); ++b) {
+            if (bm.max_in_us[b] > 0.0)
+                makespan += layer_min_us;
+            if (bm.max_out_us[b] > 0.0)
+                makespan += layer_min_us;
+        }
+        placement_makespan_us = std::min(makespan, actual_us);
+        bounds.perfect_placement = assemble(
+            staged, hw, placement_makespan_us, zac_transfers);
+    }
+
+    // ---- perfect reuse: maximal matching keeps qubits in place.
+    {
+        const std::vector<int> reuse = maxReusePerBoundary(staged);
+        std::vector<int> transfers(
+            static_cast<std::size_t>(staged.numQubits), 0);
+        // reused_into[t]: qubits that stay at their site entering stage t.
+        std::vector<std::vector<char>> reused_into(
+            static_cast<std::size_t>(num_stages) + 1,
+            std::vector<char>(static_cast<std::size_t>(staged.numQubits),
+                              0));
+        for (int t = 0; t + 1 < num_stages; ++t) {
+            const auto &cur =
+                staged.rydberg[static_cast<std::size_t>(t)].gates;
+            const auto &nxt =
+                staged.rydberg[static_cast<std::size_t>(t) + 1].gates;
+            std::vector<std::vector<int>> adj(cur.size());
+            for (std::size_t i = 0; i < cur.size(); ++i)
+                for (std::size_t j = 0; j < nxt.size(); ++j)
+                    if (nxt[j].touches(cur[i].q0) ||
+                        nxt[j].touches(cur[i].q1))
+                        adj[i].push_back(static_cast<int>(j));
+            const BipartiteMatching m = hopcroftKarp(
+                static_cast<int>(cur.size()),
+                static_cast<int>(nxt.size()), adj);
+            for (std::size_t i = 0; i < cur.size(); ++i) {
+                const int j = m.left_match[i];
+                if (j < 0)
+                    continue;
+                const StagedGate &g = cur[i];
+                const StagedGate &g2 =
+                    nxt[static_cast<std::size_t>(j)];
+                // Same-pair gates keep both qubits in place.
+                for (int q : {g.q0, g.q1})
+                    if (g2.touches(q))
+                        reused_into[static_cast<std::size_t>(t) + 1]
+                                   [static_cast<std::size_t>(q)] = 1;
+            }
+        }
+        double makespan = fixed_us;
+        int boundary_in = 0, boundary_out = 0;
+        for (int t = 0; t < num_stages; ++t) {
+            const auto &gates =
+                staged.rydberg[static_cast<std::size_t>(t)].gates;
+            boundary_in = 0;
+            boundary_out = 0;
+            for (const StagedGate &g : gates) {
+                for (int q : {g.q0, g.q1}) {
+                    if (!reused_into[static_cast<std::size_t>(t)]
+                                    [static_cast<std::size_t>(q)]) {
+                        transfers[static_cast<std::size_t>(q)] += 2;
+                        ++boundary_in;
+                    }
+                    // Matching ZAC's convention, nothing returns to
+                    // storage after the final stage; before that, a
+                    // qubit reused into t+1 skips the return trip.
+                    if (t + 1 >= num_stages)
+                        continue;
+                    const bool stays =
+                        reused_into[static_cast<std::size_t>(t) + 1]
+                                   [static_cast<std::size_t>(q)];
+                    if (!stays) {
+                        transfers[static_cast<std::size_t>(q)] += 2;
+                        ++boundary_out;
+                    }
+                }
+            }
+            if (boundary_in > 0)
+                makespan += layer_min_us;
+            if (boundary_out > 0)
+                makespan += layer_min_us;
+        }
+        (void)reuse;
+        bounds.perfect_reuse = assemble(
+            staged, hw, std::min(makespan, placement_makespan_us),
+            transfers);
+    }
+
+    return bounds;
+}
+
+} // namespace zac

@@ -1,0 +1,60 @@
+/**
+ * @file
+ * Idealized fidelity upper bounds for the optimality study (Fig. 13).
+ *
+ * Three nested ideal scenarios, per Sec. VII-F:
+ *  - perfect movement:  all qubit movements between two Rydberg stages
+ *    are mutually compatible, so each direction collapses into a single
+ *    rearrangement job (duration 2*T_tran + the longest actual move).
+ *  - perfect placement: additionally, every storage<->site move covers
+ *    only the zone separation d_sep, so each rearrangement layer takes
+ *    the minimum possible 2*T_tran + sqrt(d_sep / a).
+ *  - perfect reuse:     additionally, maximal qubit reuse (a maximum
+ *    bipartite matching between consecutive stages) lets reused qubits
+ *    stay in place, eliminating their transfers and moves.
+ */
+
+#ifndef ZAC_FIDELITY_IDEAL_HPP
+#define ZAC_FIDELITY_IDEAL_HPP
+
+#include "arch/spec.hpp"
+#include "fidelity/model.hpp"
+#include "transpile/stages.hpp"
+#include "zair/program.hpp"
+
+namespace zac
+{
+
+/** The three ideal-case fidelity estimates. */
+struct IdealBounds
+{
+    FidelityBreakdown perfect_movement;
+    FidelityBreakdown perfect_placement;
+    FidelityBreakdown perfect_reuse;
+};
+
+/**
+ * Compute the ideal bounds for a circuit.
+ *
+ * @param staged      the staged circuit (defines stages and gate counts).
+ * @param compiled    ZAC's compiled program (supplies the actual move
+ *                    distances and transfer counts that perfect movement
+ *                    inherits).
+ * @param arch        the architecture (hardware parameters).
+ * @param zone_sep_um the zone separation d_sep (10 um by default).
+ */
+IdealBounds computeIdealBounds(const StagedCircuit &staged,
+                               const ZairProgram &compiled,
+                               const Architecture &arch,
+                               double zone_sep_um = 10.0);
+
+/**
+ * Maximum number of reusable qubits between consecutive Rydberg stages,
+ * via Hopcroft–Karp matching on the stage-to-stage gate graph.
+ * @return per stage boundary t (between stage t and t+1), the count.
+ */
+std::vector<int> maxReusePerBoundary(const StagedCircuit &staged);
+
+} // namespace zac
+
+#endif // ZAC_FIDELITY_IDEAL_HPP

@@ -1,0 +1,36 @@
+#include "fidelity/params.hpp"
+
+namespace zac
+{
+
+ScParams
+heronParams()
+{
+    ScParams p;
+    p.f_2q = 0.999;
+    p.f_1q = 0.9997;
+    p.t_2q_us = 0.068;
+    p.t_1q_us = 0.025;
+    p.t2_us = 311.0;
+    return p;
+}
+
+ScParams
+gridParams()
+{
+    ScParams p;
+    p.f_2q = 0.999;
+    p.f_1q = 0.9997;
+    p.t_2q_us = 0.042;
+    p.t_1q_us = 0.025;
+    p.t2_us = 89.0;
+    return p;
+}
+
+NaHardwareParams
+neutralAtomParams()
+{
+    return NaHardwareParams{};
+}
+
+} // namespace zac

@@ -1,0 +1,40 @@
+/**
+ * @file
+ * Hardware parameter sets from Table I of the paper.
+ *
+ * Neutral-atom parameters live on zac::NaHardwareParams (arch/spec.hpp,
+ * populated from the architecture JSON); this header adds the
+ * superconducting-qubit parameter sets used by the SC baselines and the
+ * Table I presets.
+ */
+
+#ifndef ZAC_FIDELITY_PARAMS_HPP
+#define ZAC_FIDELITY_PARAMS_HPP
+
+#include "arch/spec.hpp"
+
+namespace zac
+{
+
+/** Superconducting-qubit hardware parameters (Table I rows 2-3). */
+struct ScParams
+{
+    double f_2q = 0.999;      ///< 2Q gate fidelity
+    double f_1q = 0.9997;     ///< 1Q gate fidelity
+    double t_2q_us = 0.068;   ///< 2Q gate duration
+    double t_1q_us = 0.025;   ///< 1Q gate duration
+    double t2_us = 311.0;     ///< coherence time
+};
+
+/** IBM Heron (ibm_torino) parameters: T2 = 311 us, T2q = 68 ns. */
+ScParams heronParams();
+
+/** Google grid-architecture parameters: T2 = 89 us, T2q = 42 ns. */
+ScParams gridParams();
+
+/** Neutral-atom Table I row (the NaHardwareParams defaults). */
+NaHardwareParams neutralAtomParams();
+
+} // namespace zac
+
+#endif // ZAC_FIDELITY_PARAMS_HPP

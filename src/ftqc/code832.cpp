@@ -1,0 +1,45 @@
+#include "ftqc/code832.hpp"
+
+#include "common/logging.hpp"
+
+namespace zac::ftqc
+{
+
+std::pair<int, int>
+Code832::layout(int i)
+{
+    if (i < 0 || i >= kPhysicalQubits)
+        fatal("Code832::layout: qubit index out of range");
+    return {i / kCols, i % kCols};
+}
+
+std::vector<std::vector<int>>
+Code832::xStabilizers()
+{
+    // The [[8,3,2]] code is the cube code: one X stabilizer on all
+    // eight vertices.
+    return {{0, 1, 2, 3, 4, 5, 6, 7}};
+}
+
+std::vector<std::vector<int>>
+Code832::zStabilizers()
+{
+    // Z stabilizers on four faces of the cube (vertex numbering: qubit
+    // i = (row, col) with row-major layout; the cube is the 2x4 strip
+    // folded: faces {0,1,4,5}, {1,2,5,6}, {2,3,6,7}, {0,3,4,7}).
+    return {{0, 1, 4, 5}, {1, 2, 5, 6}, {2, 3, 6, 7}, {0, 3, 4, 7}};
+}
+
+std::vector<std::pair<int, int>>
+transversalCnotPairs(int a, int b, int block_size)
+{
+    if (a == b)
+        fatal("transversalCnotPairs: blocks must differ");
+    std::vector<std::pair<int, int>> pairs;
+    pairs.reserve(static_cast<std::size_t>(block_size));
+    for (int i = 0; i < block_size; ++i)
+        pairs.emplace_back(a * block_size + i, b * block_size + i);
+    return pairs;
+}
+
+} // namespace zac::ftqc

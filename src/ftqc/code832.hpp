@@ -1,0 +1,57 @@
+/**
+ * @file
+ * The [[8,3,2]] colour code block used in the paper's FTQC section
+ * (Sec. VIII, following Vasmer & Kubica and Bluvstein et al.).
+ *
+ * Eight physical qubits laid out 2 rows x 4 columns encode three
+ * logical qubits at distance 2. Two transversal operations matter here:
+ *  - in-block gate: physical T-dagger on all eight qubits implements a
+ *    combination of logical CCZ, CZ and Z;
+ *  - inter-block CNOT: transversal physical CNOTs between corresponding
+ *    qubits of two blocks implement logical CNOTs on corresponding
+ *    logical qubits.
+ */
+
+#ifndef ZAC_FTQC_CODE832_HPP
+#define ZAC_FTQC_CODE832_HPP
+
+#include <array>
+#include <utility>
+#include <vector>
+
+namespace zac::ftqc
+{
+
+/** Static description of one [[8,3,2]] code block. */
+struct Code832
+{
+    static constexpr int kPhysicalQubits = 8;
+    static constexpr int kLogicalQubits = 3;
+    static constexpr int kDistance = 2;
+    /** Physical layout within a block: 2 rows x 4 columns. */
+    static constexpr int kRows = 2;
+    static constexpr int kCols = 4;
+
+    /** (row, col) of physical qubit i within the block. */
+    static std::pair<int, int> layout(int i);
+
+    /**
+     * The stabilizer generators as qubit-index sets (X-type: the full
+     * cube face set; Z-type: the four faces), used by tests to check
+     * that transversal CNOT preserves the code space support pattern.
+     */
+    static std::vector<std::vector<int>> xStabilizers();
+    static std::vector<std::vector<int>> zStabilizers();
+};
+
+/**
+ * The physical qubit pairs of a transversal CNOT between block @p a and
+ * block @p b, given @p block_size physical qubits per block: qubit i of
+ * a controls qubit i of b.
+ */
+std::vector<std::pair<int, int>> transversalCnotPairs(int a, int b,
+                                                      int block_size);
+
+} // namespace zac::ftqc
+
+#endif // ZAC_FTQC_CODE832_HPP

@@ -1,0 +1,60 @@
+#include "ftqc/hiqp.hpp"
+
+#include "common/logging.hpp"
+
+namespace zac::ftqc
+{
+
+int
+HiqpCircuit::numInBlockLayers() const
+{
+    int n = 0;
+    for (const HiqpLayer &l : layers)
+        if (l.in_block)
+            ++n;
+    return n;
+}
+
+int
+HiqpCircuit::numCnotLayers() const
+{
+    return static_cast<int>(layers.size()) - numInBlockLayers();
+}
+
+int
+HiqpCircuit::numTransversalCnots() const
+{
+    int n = 0;
+    for (const HiqpLayer &l : layers)
+        n += static_cast<int>(l.cnots.size());
+    return n;
+}
+
+HiqpCircuit
+makeHiqpCircuit(int num_blocks)
+{
+    if (num_blocks < 2 || (num_blocks & (num_blocks - 1)) != 0)
+        fatal("makeHiqpCircuit: block count must be a power of two");
+
+    HiqpCircuit circuit;
+    circuit.num_blocks = num_blocks;
+
+    HiqpLayer in_block;
+    in_block.in_block = true;
+
+    circuit.layers.push_back(in_block);
+    for (int stride = 1; stride < num_blocks; stride *= 2) {
+        HiqpLayer cnot_layer;
+        // Pairs (i, i+stride) within groups of 2*stride: the stride-th
+        // dimension of the hypercube.
+        for (int base = 0; base < num_blocks; base += 2 * stride)
+            for (int i = 0; i < stride; ++i)
+                cnot_layer.cnots.emplace_back(base + i,
+                                              base + i + stride);
+        circuit.layers.push_back(std::move(cnot_layer));
+        circuit.layers.push_back(in_block);
+    }
+    return circuit;
+}
+
+} // namespace zac::ftqc

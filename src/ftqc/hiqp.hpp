@@ -1,0 +1,50 @@
+/**
+ * @file
+ * Hypercube instantaneous quantum polynomial (hIQP) circuits on
+ * [[8,3,2]] code blocks (paper Sec. VIII, Fig. 16b).
+ *
+ * For 2^k blocks: all logical qubits start in |+>, then k+1 in-block
+ * gate layers interleave with k inter-block CNOT layers whose stride
+ * doubles each time (hypercube connectivity), and everything is
+ * measured in the X basis.
+ */
+
+#ifndef ZAC_FTQC_HIQP_HPP
+#define ZAC_FTQC_HIQP_HPP
+
+#include <utility>
+#include <vector>
+
+namespace zac::ftqc
+{
+
+/** One transversal layer of the logical circuit. */
+struct HiqpLayer
+{
+    bool in_block = false;                     ///< T-dagger layer
+    std::vector<std::pair<int, int>> cnots;    ///< block pairs otherwise
+};
+
+/** The logical hIQP circuit over code blocks. */
+struct HiqpCircuit
+{
+    int num_blocks = 0;
+    std::vector<HiqpLayer> layers;
+
+    int numLogicalQubits() const { return 3 * num_blocks; }
+    int numInBlockLayers() const;
+    int numCnotLayers() const;
+    /** Total transversal inter-block gates (the paper counts 448). */
+    int numTransversalCnots() const;
+};
+
+/**
+ * Build the hIQP circuit on @p num_blocks blocks (must be a power of
+ * two >= 2). The paper's instance uses 128 blocks: 8 in-block layers,
+ * 7 CNOT layers with strides 1, 2, 4, ..., 64, 448 CNOTs in total.
+ */
+HiqpCircuit makeHiqpCircuit(int num_blocks = 128);
+
+} // namespace zac::ftqc
+
+#endif // ZAC_FTQC_HIQP_HPP

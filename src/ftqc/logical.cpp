@@ -1,0 +1,100 @@
+#include "ftqc/logical.hpp"
+
+#include <numbers>
+
+#include "common/logging.hpp"
+#include "ftqc/code832.hpp"
+
+namespace zac::ftqc
+{
+
+Circuit
+lowerHiqpToBlockCircuit(const HiqpCircuit &circuit)
+{
+    Circuit out(circuit.num_blocks, "hiqp_blocks" +
+                                        std::to_string(
+                                            circuit.num_blocks));
+    // The in-block layer applies physical T-dagger to all eight qubits;
+    // at block level it is a 1Q-like operation, encoded as a U3 with
+    // the T-dagger phase so the ZAIR output stays meaningful.
+    const double tdg_lambda = -std::numbers::pi / 4.0;
+    for (const HiqpLayer &layer : circuit.layers) {
+        if (layer.in_block) {
+            for (int b = 0; b < circuit.num_blocks; ++b)
+                out.u3(b, 0.0, 0.0, tdg_lambda);
+        } else {
+            for (const auto &[a, b] : layer.cnots)
+                out.cz(a, b);
+        }
+    }
+    return out;
+}
+
+StagedCircuit
+stageHiqpCircuit(const HiqpCircuit &circuit, int site_capacity)
+{
+    if (site_capacity < 1)
+        fatal("stageHiqpCircuit: capacity must be positive");
+    StagedCircuit staged;
+    staged.numQubits = circuit.num_blocks;
+    staged.name =
+        "hiqp_blocks" + std::to_string(circuit.num_blocks);
+
+    const double tdg_lambda = -std::numbers::pi / 4.0;
+    std::vector<StagedU3> pending; // in-block ops awaiting a stage
+    int gate_id = 0;
+    for (const HiqpLayer &layer : circuit.layers) {
+        if (layer.in_block) {
+            for (int b = 0; b < circuit.num_blocks; ++b)
+                pending.push_back({b, {0.0, 0.0, tdg_lambda}});
+            continue;
+        }
+        // Chunk the layer's CNOTs into capacity-sized Rydberg stages;
+        // the in-block layer before it lands in the first chunk's 1Q
+        // stage (it is a global pulse, so no interleaving).
+        for (std::size_t base = 0; base < layer.cnots.size();
+             base += static_cast<std::size_t>(site_capacity)) {
+            staged.oneQ.emplace_back();
+            if (base == 0) {
+                staged.oneQ.back().ops = std::move(pending);
+                pending.clear();
+            }
+            staged.rydberg.emplace_back();
+            const std::size_t end_idx =
+                std::min(layer.cnots.size(),
+                         base + static_cast<std::size_t>(site_capacity));
+            for (std::size_t i = base; i < end_idx; ++i) {
+                StagedGate g;
+                g.id = gate_id++;
+                g.q0 = layer.cnots[i].first;
+                g.q1 = layer.cnots[i].second;
+                staged.rydberg.back().gates.push_back(g);
+            }
+        }
+    }
+    staged.oneQ.emplace_back();
+    staged.oneQ.back().ops = std::move(pending);
+    staged.checkInvariants();
+    return staged;
+}
+
+FtqcResult
+compileHiqp(const HiqpCircuit &circuit, const Architecture &logical_arch,
+            const ZacOptions &opts)
+{
+    FtqcResult result;
+    result.transversal_cnots = circuit.numTransversalCnots();
+    result.physical_qubits =
+        circuit.num_blocks * Code832::kPhysicalQubits;
+    result.logical_sites = logical_arch.numSites();
+
+    const StagedCircuit staged =
+        stageHiqpCircuit(circuit, logical_arch.numSites());
+    ZacCompiler compiler(logical_arch, opts);
+    result.zac = compiler.compileStaged(staged);
+    result.rydberg_stages = result.zac.staged.numRydbergStages();
+    result.duration_ms = result.zac.fidelity.duration_us / 1000.0;
+    return result;
+}
+
+} // namespace zac::ftqc

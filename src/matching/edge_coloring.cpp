@@ -1,0 +1,78 @@
+#include "matching/edge_coloring.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+#include "common/logging.hpp"
+
+namespace zac
+{
+
+std::vector<int>
+greedyEdgeColoring(int num_vertices,
+                   const std::vector<std::pair<int, int>> &edges)
+{
+    for (const auto &[a, b] : edges) {
+        if (a < 0 || a >= num_vertices || b < 0 || b >= num_vertices)
+            fatal("greedyEdgeColoring: vertex out of range");
+        if (a == b)
+            fatal("greedyEdgeColoring: self-loop");
+    }
+
+    std::vector<int> degree(static_cast<std::size_t>(num_vertices), 0);
+    for (const auto &[a, b] : edges) {
+        ++degree[static_cast<std::size_t>(a)];
+        ++degree[static_cast<std::size_t>(b)];
+    }
+
+    // Process edges in non-increasing max-endpoint-degree order: high
+    // degree vertices are the binding constraint.
+    std::vector<std::size_t> order(edges.size());
+    std::iota(order.begin(), order.end(), 0u);
+    std::sort(order.begin(), order.end(),
+              [&](std::size_t x, std::size_t y) {
+                  const auto key = [&](std::size_t e) {
+                      return std::max(
+                          degree[static_cast<std::size_t>(edges[e].first)],
+                          degree[static_cast<std::size_t>(
+                              edges[e].second)]);
+                  };
+                  if (key(x) != key(y))
+                      return key(x) > key(y);
+                  return x < y;
+              });
+
+    // used[v] holds the colors incident to v as a bitset-of-ints.
+    std::vector<std::vector<char>> used(
+        static_cast<std::size_t>(num_vertices));
+    std::vector<int> color(edges.size(), -1);
+    for (std::size_t e : order) {
+        auto &ua = used[static_cast<std::size_t>(edges[e].first)];
+        auto &ub = used[static_cast<std::size_t>(edges[e].second)];
+        int c = 0;
+        while ((c < static_cast<int>(ua.size()) &&
+                ua[static_cast<std::size_t>(c)]) ||
+               (c < static_cast<int>(ub.size()) &&
+                ub[static_cast<std::size_t>(c)]))
+            ++c;
+        if (c >= static_cast<int>(ua.size()))
+            ua.resize(static_cast<std::size_t>(c) + 1, 0);
+        if (c >= static_cast<int>(ub.size()))
+            ub.resize(static_cast<std::size_t>(c) + 1, 0);
+        ua[static_cast<std::size_t>(c)] = 1;
+        ub[static_cast<std::size_t>(c)] = 1;
+        color[e] = c;
+    }
+    return color;
+}
+
+int
+numColors(const std::vector<int> &coloring)
+{
+    int max_c = -1;
+    for (int c : coloring)
+        max_c = std::max(max_c, c);
+    return max_c + 1;
+}
+
+} // namespace zac

@@ -1,0 +1,37 @@
+/**
+ * @file
+ * Greedy edge coloring of a multigraph.
+ *
+ * The Enola baseline (Tan et al., arXiv:2405.15095) schedules commuting
+ * 2Q gates into Rydberg stages by edge-coloring the interaction graph:
+ * every color class is a matching, hence a legal stage. Greedy coloring
+ * in non-increasing degree order uses at most 2*Delta - 1 colors and is
+ * optimal (Delta) on the paths/matchings occurring in the benchmark set.
+ */
+
+#ifndef ZAC_MATCHING_EDGE_COLORING_HPP
+#define ZAC_MATCHING_EDGE_COLORING_HPP
+
+#include <utility>
+#include <vector>
+
+namespace zac
+{
+
+/**
+ * Color edges so that no two edges sharing a vertex get the same color.
+ *
+ * @param num_vertices vertex count.
+ * @param edges        edge list (may contain parallel edges; parallel
+ *                     edges get distinct colors).
+ * @return color per edge, 0-based and dense.
+ */
+std::vector<int> greedyEdgeColoring(
+    int num_vertices, const std::vector<std::pair<int, int>> &edges);
+
+/** Number of colors used by a coloring (max + 1). */
+int numColors(const std::vector<int> &coloring);
+
+} // namespace zac
+
+#endif // ZAC_MATCHING_EDGE_COLORING_HPP

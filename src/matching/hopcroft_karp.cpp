@@ -1,0 +1,100 @@
+#include "matching/hopcroft_karp.hpp"
+
+#include <limits>
+#include <queue>
+
+#include "common/logging.hpp"
+
+namespace zac
+{
+
+namespace
+{
+
+constexpr int kInf = std::numeric_limits<int>::max();
+
+struct HkState
+{
+    const std::vector<std::vector<int>> &adj;
+    std::vector<int> &match_l;
+    std::vector<int> &match_r;
+    std::vector<int> dist;
+
+    bool
+    bfs()
+    {
+        std::queue<int> queue;
+        for (std::size_t u = 0; u < adj.size(); ++u) {
+            if (match_l[u] == -1) {
+                dist[u] = 0;
+                queue.push(static_cast<int>(u));
+            } else {
+                dist[u] = kInf;
+            }
+        }
+        bool found_free = false;
+        while (!queue.empty()) {
+            const int u = queue.front();
+            queue.pop();
+            for (int v : adj[static_cast<std::size_t>(u)]) {
+                const int w = match_r[static_cast<std::size_t>(v)];
+                if (w == -1) {
+                    found_free = true;
+                } else if (dist[static_cast<std::size_t>(w)] == kInf) {
+                    dist[static_cast<std::size_t>(w)] =
+                        dist[static_cast<std::size_t>(u)] + 1;
+                    queue.push(w);
+                }
+            }
+        }
+        return found_free;
+    }
+
+    bool
+    dfs(int u)
+    {
+        for (int v : adj[static_cast<std::size_t>(u)]) {
+            const int w = match_r[static_cast<std::size_t>(v)];
+            if (w == -1 ||
+                (dist[static_cast<std::size_t>(w)] ==
+                     dist[static_cast<std::size_t>(u)] + 1 &&
+                 dfs(w))) {
+                match_l[static_cast<std::size_t>(u)] = v;
+                match_r[static_cast<std::size_t>(v)] = u;
+                return true;
+            }
+        }
+        dist[static_cast<std::size_t>(u)] = kInf;
+        return false;
+    }
+};
+
+} // namespace
+
+BipartiteMatching
+hopcroftKarp(int num_left, int num_right,
+             const std::vector<std::vector<int>> &adj)
+{
+    if (static_cast<int>(adj.size()) != num_left)
+        fatal("hopcroftKarp: adjacency size != num_left");
+    for (const auto &nbrs : adj)
+        for (int v : nbrs)
+            if (v < 0 || v >= num_right)
+                fatal("hopcroftKarp: right vertex out of range");
+
+    BipartiteMatching result;
+    result.left_match.assign(static_cast<std::size_t>(num_left), -1);
+    result.right_match.assign(static_cast<std::size_t>(num_right), -1);
+
+    HkState state{adj, result.left_match, result.right_match,
+                  std::vector<int>(static_cast<std::size_t>(num_left))};
+    while (state.bfs()) {
+        for (int u = 0; u < num_left; ++u)
+            if (result.left_match[static_cast<std::size_t>(u)] == -1 &&
+                state.dfs(u))
+                ++result.size;
+    }
+    return result;
+}
+
+} // namespace zac

@@ -1,0 +1,41 @@
+/**
+ * @file
+ * Hopcroft–Karp maximum-cardinality bipartite matching.
+ *
+ * Used by the reuse strategy (paper Sec. V-B1) to match gates of one
+ * Rydberg stage to gates of the next that can share a qubit. Runs in
+ * O(E * sqrt(V)).
+ */
+
+#ifndef ZAC_MATCHING_HOPCROFT_KARP_HPP
+#define ZAC_MATCHING_HOPCROFT_KARP_HPP
+
+#include <vector>
+
+namespace zac
+{
+
+/** Result of a maximum bipartite matching. */
+struct BipartiteMatching
+{
+    /** For each left vertex, the matched right vertex or -1. */
+    std::vector<int> left_match;
+    /** For each right vertex, the matched left vertex or -1. */
+    std::vector<int> right_match;
+    /** Number of matched pairs. */
+    int size = 0;
+};
+
+/**
+ * Compute a maximum-cardinality matching.
+ *
+ * @param num_left  number of left vertices.
+ * @param num_right number of right vertices.
+ * @param adj       adj[u] lists right neighbours of left vertex u.
+ */
+BipartiteMatching hopcroftKarp(int num_left, int num_right,
+                               const std::vector<std::vector<int>> &adj);
+
+} // namespace zac
+
+#endif // ZAC_MATCHING_HOPCROFT_KARP_HPP

@@ -1,0 +1,90 @@
+#include "matching/independent_set.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+#include "common/logging.hpp"
+
+namespace zac
+{
+
+namespace
+{
+
+std::vector<int>
+misOnSubset(const std::vector<std::vector<int>> &adj,
+            const std::vector<char> &eligible)
+{
+    const std::size_t n = adj.size();
+    // Degree within the eligible subgraph.
+    std::vector<int> degree(n, 0);
+    for (std::size_t u = 0; u < n; ++u) {
+        if (!eligible[u])
+            continue;
+        for (int v : adj[u])
+            if (eligible[static_cast<std::size_t>(v)])
+                ++degree[u];
+    }
+    std::vector<int> order;
+    order.reserve(n);
+    for (std::size_t u = 0; u < n; ++u)
+        if (eligible[u])
+            order.push_back(static_cast<int>(u));
+    std::sort(order.begin(), order.end(), [&](int a, int b) {
+        if (degree[static_cast<std::size_t>(a)] !=
+            degree[static_cast<std::size_t>(b)])
+            return degree[static_cast<std::size_t>(a)] <
+                   degree[static_cast<std::size_t>(b)];
+        return a < b;
+    });
+
+    std::vector<char> blocked(n, 0);
+    std::vector<int> mis;
+    for (int u : order) {
+        if (blocked[static_cast<std::size_t>(u)])
+            continue;
+        mis.push_back(u);
+        blocked[static_cast<std::size_t>(u)] = 1;
+        for (int v : adj[static_cast<std::size_t>(u)])
+            blocked[static_cast<std::size_t>(v)] = 1;
+    }
+    std::sort(mis.begin(), mis.end());
+    return mis;
+}
+
+} // namespace
+
+std::vector<int>
+greedyMaximalIndependentSet(int num_vertices,
+                            const std::vector<std::vector<int>> &adj)
+{
+    if (static_cast<int>(adj.size()) != num_vertices)
+        fatal("greedyMaximalIndependentSet: adjacency size mismatch");
+    std::vector<char> eligible(static_cast<std::size_t>(num_vertices), 1);
+    return misOnSubset(adj, eligible);
+}
+
+std::vector<std::vector<int>>
+partitionIntoIndependentSets(int num_vertices,
+                             const std::vector<std::vector<int>> &adj)
+{
+    if (static_cast<int>(adj.size()) != num_vertices)
+        fatal("partitionIntoIndependentSets: adjacency size mismatch");
+    std::vector<char> eligible(static_cast<std::size_t>(num_vertices), 1);
+    int remaining = num_vertices;
+    std::vector<std::vector<int>> groups;
+    while (remaining > 0) {
+        std::vector<int> mis = misOnSubset(adj, eligible);
+        if (mis.empty())
+            panic("partitionIntoIndependentSets: empty MIS with "
+                  "vertices remaining");
+        for (int u : mis) {
+            eligible[static_cast<std::size_t>(u)] = 0;
+            --remaining;
+        }
+        groups.push_back(std::move(mis));
+    }
+    return groups;
+}
+
+} // namespace zac

@@ -1,0 +1,38 @@
+/**
+ * @file
+ * Greedy maximal independent set over a conflict graph.
+ *
+ * Used to split qubit movements into rearrangement jobs (paper Sec. VI,
+ * following Enola): vertices are movements, edges connect incompatible
+ * movements, and each extracted maximal independent set becomes one job
+ * executable by a single AOD.
+ */
+
+#ifndef ZAC_MATCHING_INDEPENDENT_SET_HPP
+#define ZAC_MATCHING_INDEPENDENT_SET_HPP
+
+#include <vector>
+
+namespace zac
+{
+
+/**
+ * Compute a maximal independent set greedily (minimum-degree-first).
+ *
+ * @param num_vertices vertex count.
+ * @param adj          symmetric adjacency lists of the conflict graph.
+ * @return vertex indices of the maximal independent set, ascending.
+ */
+std::vector<int> greedyMaximalIndependentSet(
+    int num_vertices, const std::vector<std::vector<int>> &adj);
+
+/**
+ * Repeatedly extract maximal independent sets until every vertex is
+ * covered: a partition of the vertices into conflict-free groups.
+ */
+std::vector<std::vector<int>> partitionIntoIndependentSets(
+    int num_vertices, const std::vector<std::vector<int>> &adj);
+
+} // namespace zac
+
+#endif // ZAC_MATCHING_INDEPENDENT_SET_HPP

@@ -1,0 +1,149 @@
+#include "matching/jonker_volgenant.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.hpp"
+
+namespace zac
+{
+
+namespace
+{
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+/**
+ * One Dijkstra-style augmenting-path search from @p start_row, following
+ * the SciPy rectangular LSAP implementation.
+ *
+ * @return the sink column, or -1 if no augmenting path exists.
+ */
+int
+augmentingPath(const CostMatrix &cost, std::vector<double> &u,
+               std::vector<double> &v, std::vector<int> &path,
+               const std::vector<int> &row4col,
+               std::vector<double> &shortest, std::vector<bool> &sr,
+               std::vector<bool> &sc, int start_row, double &min_val_out)
+{
+    const int nc = cost.cols();
+    double min_val = 0.0;
+    std::vector<int> remaining(static_cast<std::size_t>(nc));
+    for (int j = 0; j < nc; ++j)
+        remaining[static_cast<std::size_t>(j)] = nc - j - 1;
+    int num_remaining = nc;
+
+    std::fill(sr.begin(), sr.end(), false);
+    std::fill(sc.begin(), sc.end(), false);
+    std::fill(shortest.begin(), shortest.end(), kInf);
+
+    int sink = -1;
+    int i = start_row;
+    while (sink == -1) {
+        sr[static_cast<std::size_t>(i)] = true;
+        int index = -1;
+        double lowest = kInf;
+        for (int it = 0; it < num_remaining; ++it) {
+            const int j = remaining[static_cast<std::size_t>(it)];
+            const double edge = cost.at(i, j);
+            if (edge < kInf) {
+                const double r = min_val + edge -
+                                 u[static_cast<std::size_t>(i)] -
+                                 v[static_cast<std::size_t>(j)];
+                if (r < shortest[static_cast<std::size_t>(j)]) {
+                    path[static_cast<std::size_t>(j)] = i;
+                    shortest[static_cast<std::size_t>(j)] = r;
+                }
+            }
+            if (shortest[static_cast<std::size_t>(j)] < lowest ||
+                (shortest[static_cast<std::size_t>(j)] == lowest &&
+                 row4col[static_cast<std::size_t>(j)] == -1)) {
+                lowest = shortest[static_cast<std::size_t>(j)];
+                index = it;
+            }
+        }
+        min_val = lowest;
+        if (min_val == kInf)
+            return -1; // infeasible
+        const int j = remaining[static_cast<std::size_t>(index)];
+        if (row4col[static_cast<std::size_t>(j)] == -1)
+            sink = j;
+        else
+            i = row4col[static_cast<std::size_t>(j)];
+        sc[static_cast<std::size_t>(j)] = true;
+        remaining[static_cast<std::size_t>(index)] =
+            remaining[static_cast<std::size_t>(--num_remaining)];
+    }
+    min_val_out = min_val;
+    return sink;
+}
+
+} // namespace
+
+Assignment
+minWeightFullMatching(const CostMatrix &cost)
+{
+    const int nr = cost.rows();
+    const int nc = cost.cols();
+    if (nr > nc)
+        fatal("minWeightFullMatching: more rows than columns (" +
+              std::to_string(nr) + " > " + std::to_string(nc) + ")");
+
+    Assignment result;
+    if (nr == 0) {
+        result.feasible = true;
+        return result;
+    }
+
+    std::vector<double> u(static_cast<std::size_t>(nr), 0.0);
+    std::vector<double> v(static_cast<std::size_t>(nc), 0.0);
+    std::vector<double> shortest(static_cast<std::size_t>(nc), kInf);
+    std::vector<int> path(static_cast<std::size_t>(nc), -1);
+    std::vector<int> col4row(static_cast<std::size_t>(nr), -1);
+    std::vector<int> row4col(static_cast<std::size_t>(nc), -1);
+    std::vector<bool> sr(static_cast<std::size_t>(nr), false);
+    std::vector<bool> sc(static_cast<std::size_t>(nc), false);
+
+    for (int cur_row = 0; cur_row < nr; ++cur_row) {
+        double min_val = 0.0;
+        const int sink = augmentingPath(cost, u, v, path, row4col,
+                                        shortest, sr, sc, cur_row,
+                                        min_val);
+        if (sink < 0)
+            return result; // feasible == false
+
+        // Update dual variables.
+        u[static_cast<std::size_t>(cur_row)] += min_val;
+        for (int i = 0; i < nr; ++i) {
+            if (sr[static_cast<std::size_t>(i)] && i != cur_row)
+                u[static_cast<std::size_t>(i)] +=
+                    min_val -
+                    shortest[static_cast<std::size_t>(
+                        col4row[static_cast<std::size_t>(i)])];
+        }
+        for (int j = 0; j < nc; ++j) {
+            if (sc[static_cast<std::size_t>(j)])
+                v[static_cast<std::size_t>(j)] -=
+                    min_val - shortest[static_cast<std::size_t>(j)];
+        }
+
+        // Augment along the alternating path back to cur_row.
+        int j = sink;
+        while (true) {
+            const int i = path[static_cast<std::size_t>(j)];
+            row4col[static_cast<std::size_t>(j)] = i;
+            std::swap(col4row[static_cast<std::size_t>(i)], j);
+            if (i == cur_row)
+                break;
+        }
+    }
+
+    result.feasible = true;
+    result.row_to_col = std::move(col4row);
+    for (int i = 0; i < nr; ++i)
+        result.total_cost +=
+            cost.at(i, result.row_to_col[static_cast<std::size_t>(i)]);
+    return result;
+}
+
+} // namespace zac

@@ -1,0 +1,82 @@
+/**
+ * @file
+ * Jonker–Volgenant shortest-augmenting-path minimum-weight full matching
+ * for rectangular cost matrices.
+ *
+ * This is the algorithm the paper uses (via SciPy) for gate placement
+ * and non-reuse qubit placement (Sec. V-B2/V-B3). Every row (gate or
+ * qubit) must be assigned to a distinct column (site or trap); columns
+ * may outnumber rows. Runs in O(n^2 m).
+ */
+
+#ifndef ZAC_MATCHING_JONKER_VOLGENANT_HPP
+#define ZAC_MATCHING_JONKER_VOLGENANT_HPP
+
+#include <limits>
+#include <vector>
+
+namespace zac
+{
+
+/** Marker for a forbidden (row, column) pair. */
+inline constexpr double kAssignInfeasible =
+    std::numeric_limits<double>::infinity();
+
+/** Rectangular cost matrix, row-major, with infeasible entries = inf. */
+class CostMatrix
+{
+  public:
+    CostMatrix(int rows, int cols, double fill = kAssignInfeasible)
+        : rows_(rows), cols_(cols),
+          data_(static_cast<std::size_t>(rows) *
+                    static_cast<std::size_t>(cols),
+                fill)
+    {
+    }
+
+    int rows() const { return rows_; }
+    int cols() const { return cols_; }
+
+    double &
+    at(int r, int c)
+    {
+        return data_[static_cast<std::size_t>(r) *
+                         static_cast<std::size_t>(cols_) +
+                     static_cast<std::size_t>(c)];
+    }
+
+    double
+    at(int r, int c) const
+    {
+        return data_[static_cast<std::size_t>(r) *
+                         static_cast<std::size_t>(cols_) +
+                     static_cast<std::size_t>(c)];
+    }
+
+  private:
+    int rows_;
+    int cols_;
+    std::vector<double> data_;
+};
+
+/** Result of a minimum-weight full matching. */
+struct Assignment
+{
+    bool feasible = false;        ///< false if no full matching exists
+    std::vector<int> row_to_col;  ///< column index per row (when feasible)
+    double total_cost = 0.0;
+};
+
+/**
+ * Solve min-cost full assignment of all rows to distinct columns.
+ *
+ * @param cost rows() <= cols() required; infeasible pairs hold
+ *             kAssignInfeasible.
+ * @return Assignment with feasible == false when the feasible edges
+ *         admit no full matching (callers expand candidates and retry).
+ */
+Assignment minWeightFullMatching(const CostMatrix &cost);
+
+} // namespace zac
+
+#endif // ZAC_MATCHING_JONKER_VOLGENANT_HPP

@@ -1,0 +1,199 @@
+#include "transpile/basis.hpp"
+
+#include <numbers>
+
+#include "common/logging.hpp"
+
+namespace zac
+{
+
+namespace
+{
+
+constexpr double kPi = std::numbers::pi;
+
+class Lowerer
+{
+  public:
+    explicit Lowerer(const Circuit &in)
+        : out_(in.numQubits(), in.name()), in_(in)
+    {
+    }
+
+    Circuit
+    run()
+    {
+        std::vector<bool> measured(
+            static_cast<std::size_t>(in_.numQubits()), false);
+        for (const Gate &g : in_.gates()) {
+            if (g.op == Op::Measure) {
+                measured[static_cast<std::size_t>(g.qubits[0])] = true;
+                continue;
+            }
+            if (g.op == Op::Reset)
+                fatal("basis: reset is not supported on this target");
+            for (int q : g.qubits)
+                if (measured[static_cast<std::size_t>(q)])
+                    fatal("basis: mid-circuit measurement is not "
+                          "supported");
+            lower(g);
+        }
+        return std::move(out_);
+    }
+
+  private:
+    void cx(int c, int t)
+    {
+        out_.h(t);
+        out_.cz(c, t);
+        out_.h(t);
+    }
+
+    void
+    lower(const Gate &g)
+    {
+        switch (g.op) {
+          // 1Q gates and barriers pass through.
+          default:
+            if (g.is1Q() || g.op == Op::Barrier) {
+                out_.add(g);
+                return;
+            }
+            fatal("basis: unhandled opcode " + std::string(opName(g.op)));
+          case Op::CZ:
+            out_.add(g);
+            return;
+          case Op::CX:
+            cx(g.qubits[0], g.qubits[1]);
+            return;
+          case Op::CY: {
+            const int c = g.qubits[0], t = g.qubits[1];
+            out_.sdg(t);
+            cx(c, t);
+            out_.s(t);
+            return;
+          }
+          case Op::CH: {
+            const int c = g.qubits[0], t = g.qubits[1];
+            out_.s(t);
+            out_.h(t);
+            out_.t(t);
+            cx(c, t);
+            out_.tdg(t);
+            out_.h(t);
+            out_.sdg(t);
+            return;
+          }
+          case Op::SWAP: {
+            const int a = g.qubits[0], b = g.qubits[1];
+            cx(a, b);
+            cx(b, a);
+            cx(a, b);
+            return;
+          }
+          case Op::CP:
+          case Op::CU1: {
+            const int c = g.qubits[0], t = g.qubits[1];
+            const double th = g.params[0];
+            out_.rz(c, th / 2.0);
+            cx(c, t);
+            out_.rz(t, -th / 2.0);
+            cx(c, t);
+            out_.rz(t, th / 2.0);
+            return;
+          }
+          case Op::CRZ: {
+            const int c = g.qubits[0], t = g.qubits[1];
+            const double th = g.params[0];
+            out_.rz(t, th / 2.0);
+            cx(c, t);
+            out_.rz(t, -th / 2.0);
+            cx(c, t);
+            return;
+          }
+          case Op::CRY: {
+            const int c = g.qubits[0], t = g.qubits[1];
+            const double th = g.params[0];
+            out_.ry(t, th / 2.0);
+            cx(c, t);
+            out_.ry(t, -th / 2.0);
+            cx(c, t);
+            return;
+          }
+          case Op::CRX: {
+            const int c = g.qubits[0], t = g.qubits[1];
+            const double th = g.params[0];
+            out_.h(t);
+            out_.rz(t, th / 2.0);
+            cx(c, t);
+            out_.rz(t, -th / 2.0);
+            cx(c, t);
+            out_.h(t);
+            return;
+          }
+          case Op::RZZ: {
+            const int a = g.qubits[0], b = g.qubits[1];
+            cx(a, b);
+            out_.rz(b, g.params[0]);
+            cx(a, b);
+            return;
+          }
+          case Op::RXX: {
+            const int a = g.qubits[0], b = g.qubits[1];
+            out_.h(a);
+            out_.h(b);
+            cx(a, b);
+            out_.rz(b, g.params[0]);
+            cx(a, b);
+            out_.h(a);
+            out_.h(b);
+            return;
+          }
+          case Op::CCX: {
+            const int a = g.qubits[0], b = g.qubits[1], t = g.qubits[2];
+            out_.h(t);
+            cx(b, t);
+            out_.tdg(t);
+            cx(a, t);
+            out_.t(t);
+            cx(b, t);
+            out_.tdg(t);
+            cx(a, t);
+            out_.t(b);
+            out_.t(t);
+            out_.h(t);
+            cx(a, b);
+            out_.t(a);
+            out_.tdg(b);
+            cx(a, b);
+            return;
+          }
+          case Op::CSWAP: {
+            const int c = g.qubits[0], a = g.qubits[1], b = g.qubits[2];
+            cx(b, a);
+            lower(Gate(Op::CCX, {c, a, b}));
+            cx(b, a);
+            return;
+          }
+        }
+    }
+
+    Circuit out_;
+    const Circuit &in_;
+};
+
+} // namespace
+
+Circuit
+lowerToCzBasis(const Circuit &circuit)
+{
+    Lowerer lowerer(circuit);
+    Circuit out = lowerer.run();
+    // Validate the contract.
+    for (const Gate &g : out.gates())
+        if (g.is2Q() && g.op != Op::CZ)
+            panic("basis: non-CZ 2Q gate survived lowering");
+    return out;
+}
+
+} // namespace zac

@@ -1,0 +1,30 @@
+/**
+ * @file
+ * Lowering to the neutral-atom hardware gate set {CZ, U3}.
+ *
+ * Mirrors the "resynthesis" half of the paper's preprocessing (Sec. IV):
+ * every multi-qubit gate is decomposed into CZ plus 1Q gates. The 1Q
+ * gates are left in their original named form; merging them into single
+ * U3s is the optimizer's job (optimize.hpp).
+ */
+
+#ifndef ZAC_TRANSPILE_BASIS_HPP
+#define ZAC_TRANSPILE_BASIS_HPP
+
+#include "circuit/circuit.hpp"
+
+namespace zac
+{
+
+/**
+ * Decompose @p circuit into {CZ, 1Q gates, Barrier}.
+ *
+ * Measurements at the end of the circuit are dropped (the fidelity model
+ * does not charge for readout); a measurement followed by more gates is
+ * rejected since mid-circuit measurement is future work in the paper.
+ */
+Circuit lowerToCzBasis(const Circuit &circuit);
+
+} // namespace zac
+
+#endif // ZAC_TRANSPILE_BASIS_HPP

@@ -1,0 +1,144 @@
+#include "transpile/optimize.hpp"
+
+#include <optional>
+#include <vector>
+
+#include "common/logging.hpp"
+#include "transpile/basis.hpp"
+#include "transpile/u2_math.hpp"
+
+namespace zac
+{
+
+namespace
+{
+
+constexpr double kIdentityTol = 1e-9;
+
+class Optimizer
+{
+  public:
+    explicit Optimizer(const Circuit &in)
+        : in_(in),
+          pending_(static_cast<std::size_t>(in.numQubits()),
+                   U2Matrix::identity()),
+          hasPending_(static_cast<std::size_t>(in.numQubits()), false),
+          lastCz_(static_cast<std::size_t>(in.numQubits()), -1)
+    {
+    }
+
+    Circuit
+    run()
+    {
+        for (const Gate &g : in_.gates()) {
+            if (g.op == Op::Barrier) {
+                flushAll();
+                // A barrier also fences CZ cancellation.
+                for (auto &lc : lastCz_)
+                    lc = -1;
+                continue;
+            }
+            if (g.is1Q()) {
+                const auto q = static_cast<std::size_t>(g.qubits[0]);
+                pending_[q] = gateMatrix(g) * pending_[q];
+                hasPending_[q] = true;
+                continue;
+            }
+            if (g.op != Op::CZ)
+                fatal("optimize1Q: input must be in the {CZ,1Q} basis");
+            emitCz(g.qubits[0], g.qubits[1]);
+        }
+        flushAll();
+        Circuit result(in_.numQubits(), in_.name());
+        for (const std::optional<Gate> &g : out_)
+            if (g.has_value())
+                result.add(*g);
+        return result;
+    }
+
+  private:
+    void
+    flushQubit(int q)
+    {
+        const auto qi = static_cast<std::size_t>(q);
+        if (!hasPending_[qi])
+            return;
+        hasPending_[qi] = false;
+        const U2Matrix u = pending_[qi];
+        pending_[qi] = U2Matrix::identity();
+        if (u.isIdentity(kIdentityTol))
+            return;
+        const U3Angles a = extractU3(u);
+        out_.emplace_back(Gate(Op::U3, {q}, {a.theta, a.phi, a.lambda}));
+        lastCz_[qi] = -1;
+    }
+
+    void
+    flushAll()
+    {
+        for (int q = 0; q < in_.numQubits(); ++q)
+            flushQubit(q);
+    }
+
+    void
+    emitCz(int a, int b)
+    {
+        const auto ai = static_cast<std::size_t>(a);
+        const auto bi = static_cast<std::size_t>(b);
+        // CZ-CZ cancellation: if the immediately preceding emitted gate
+        // on both qubits is the same CZ and no 1Q gate intervenes
+        // (pending identity counts as no gate), drop the pair.
+        const bool a_clean =
+            !hasPending_[ai] || pending_[ai].isIdentity(kIdentityTol);
+        const bool b_clean =
+            !hasPending_[bi] || pending_[bi].isIdentity(kIdentityTol);
+        if (a_clean && b_clean && lastCz_[ai] >= 0 &&
+            lastCz_[ai] == lastCz_[bi]) {
+            // (identical adjacent CZ pair cancels)
+            const auto idx = static_cast<std::size_t>(lastCz_[ai]);
+            const Gate &prev = *out_[idx];
+            if ((prev.qubits[0] == a && prev.qubits[1] == b) ||
+                (prev.qubits[0] == b && prev.qubits[1] == a)) {
+                out_[idx].reset();
+                // Clear the no-op pendings accumulated since.
+                hasPending_[ai] = hasPending_[bi] = false;
+                pending_[ai] = U2Matrix::identity();
+                pending_[bi] = U2Matrix::identity();
+                lastCz_[ai] = lastCz_[bi] = -1;
+                return;
+            }
+        }
+        // Diagonal (RZ-like) pendings commute with CZ, so they can stay
+        // pending and keep merging with later 1Q gates (this is what
+        // collapses the RZ chains in QFT-style CP ladders).
+        if (hasPending_[ai] && !pending_[ai].isDiagonal(kIdentityTol))
+            flushQubit(a);
+        if (hasPending_[bi] && !pending_[bi].isDiagonal(kIdentityTol))
+            flushQubit(b);
+        out_.emplace_back(Gate(Op::CZ, {a, b}));
+        lastCz_[ai] = lastCz_[bi] = static_cast<int>(out_.size()) - 1;
+    }
+
+    const Circuit &in_;
+    std::vector<U2Matrix> pending_;
+    std::vector<char> hasPending_;
+    std::vector<int> lastCz_;
+    std::vector<std::optional<Gate>> out_;
+};
+
+} // namespace
+
+Circuit
+optimize1Q(const Circuit &circuit)
+{
+    Optimizer opt(circuit);
+    return opt.run();
+}
+
+Circuit
+preprocess(const Circuit &circuit)
+{
+    return optimize1Q(lowerToCzBasis(circuit));
+}
+
+} // namespace zac

@@ -1,0 +1,36 @@
+/**
+ * @file
+ * 1Q gate optimization over the {CZ, U3} basis.
+ *
+ * Mirrors the "single-qubit gate optimization" half of the paper's
+ * preprocessing (Sec. IV, Fig. 4): runs of 1Q gates between CZs are
+ * multiplied out and re-emitted as one U3; identities are dropped; pairs
+ * of identical adjacent CZs cancel.
+ */
+
+#ifndef ZAC_TRANSPILE_OPTIMIZE_HPP
+#define ZAC_TRANSPILE_OPTIMIZE_HPP
+
+#include "circuit/circuit.hpp"
+
+namespace zac
+{
+
+/**
+ * Optimize a circuit already lowered to {CZ, 1Q, Barrier}.
+ *
+ * Output contains only {CZ, U3}; barriers are honoured as optimization
+ * fences and then removed. At most one U3 appears on a qubit between
+ * consecutive CZs touching it.
+ *
+ * @throws zac::FatalError if @p circuit contains other 2Q gates
+ *         (run lowerToCzBasis first).
+ */
+Circuit optimize1Q(const Circuit &circuit);
+
+/** Convenience: lowerToCzBasis + optimize1Q. */
+Circuit preprocess(const Circuit &circuit);
+
+} // namespace zac
+
+#endif // ZAC_TRANSPILE_OPTIMIZE_HPP

@@ -1,0 +1,145 @@
+#include "transpile/stages.hpp"
+
+#include <algorithm>
+
+#include "common/logging.hpp"
+
+namespace zac
+{
+
+int
+StagedCircuit::count2Q() const
+{
+    int n = 0;
+    for (const RydbergStage &s : rydberg)
+        n += static_cast<int>(s.gates.size());
+    return n;
+}
+
+int
+StagedCircuit::count1Q() const
+{
+    int n = 0;
+    for (const OneQStage &s : oneQ)
+        n += static_cast<int>(s.ops.size());
+    return n;
+}
+
+const StagedGate *
+StagedCircuit::gateOn(int t, int q) const
+{
+    for (const StagedGate &g : rydberg[static_cast<std::size_t>(t)].gates)
+        if (g.touches(q))
+            return &g;
+    return nullptr;
+}
+
+void
+StagedCircuit::checkInvariants() const
+{
+    if (oneQ.size() != rydberg.size() + 1)
+        panic("staged circuit: oneQ/rydberg stage count mismatch");
+    std::vector<int> seen(static_cast<std::size_t>(numQubits), -1);
+    int expected_id = 0;
+    for (std::size_t t = 0; t < rydberg.size(); ++t) {
+        for (const StagedGate &g : rydberg[t].gates) {
+            if (g.id != expected_id++)
+                panic("staged circuit: gate ids not dense/in order");
+            if (g.q0 == g.q1)
+                panic("staged circuit: degenerate gate");
+            for (int q : {g.q0, g.q1}) {
+                if (q < 0 || q >= numQubits)
+                    panic("staged circuit: qubit out of range");
+                if (seen[static_cast<std::size_t>(q)] ==
+                    static_cast<int>(t))
+                    panic("staged circuit: qubit in two gates in stage");
+                seen[static_cast<std::size_t>(q)] = static_cast<int>(t);
+            }
+        }
+    }
+}
+
+StagedCircuit
+scheduleStages(const Circuit &circuit, int stage_capacity)
+{
+    if (stage_capacity < 1)
+        fatal("scheduleStages: capacity must be >= 1");
+
+    StagedCircuit out;
+    out.numQubits = circuit.numQubits();
+    out.name = circuit.name();
+
+    // next_stage[q]: earliest Rydberg stage the next gate on q may use.
+    std::vector<int> next_stage(
+        static_cast<std::size_t>(circuit.numQubits()), 0);
+    std::vector<int> stage_load; // gates per stage so far
+
+    // pending_u3[q]: U3 waiting to be attached to q's next Rydberg stage.
+    std::vector<std::vector<StagedU3>> pending(
+        static_cast<std::size_t>(circuit.numQubits()));
+
+    auto ensure_stage = [&](int t) {
+        while (static_cast<int>(out.rydberg.size()) <= t) {
+            out.rydberg.emplace_back();
+            out.oneQ.emplace_back();
+            stage_load.push_back(0);
+        }
+    };
+
+    int gate_id = 0;
+    for (const Gate &g : circuit.gates()) {
+        if (g.op == Op::U3) {
+            const auto q = static_cast<std::size_t>(g.qubits[0]);
+            pending[q].push_back(
+                {g.qubits[0],
+                 {g.params[0], g.params[1], g.params[2]}});
+            continue;
+        }
+        if (g.op != Op::CZ)
+            fatal("scheduleStages: input must be preprocessed to "
+                  "{CZ, U3}, found " + std::string(opName(g.op)));
+        const int a = g.qubits[0];
+        const int b = g.qubits[1];
+        int t = std::max(next_stage[static_cast<std::size_t>(a)],
+                         next_stage[static_cast<std::size_t>(b)]);
+        ensure_stage(t);
+        while (stage_load[static_cast<std::size_t>(t)] >= stage_capacity) {
+            ++t;
+            ensure_stage(t);
+        }
+        StagedGate sg;
+        sg.id = gate_id++;
+        sg.q0 = a;
+        sg.q1 = b;
+        out.rydberg[static_cast<std::size_t>(t)].gates.push_back(sg);
+        ++stage_load[static_cast<std::size_t>(t)];
+        // Attach any pending 1Q ops to the 1Q stage right before t.
+        for (int q : {a, b}) {
+            auto &pq = pending[static_cast<std::size_t>(q)];
+            for (StagedU3 &u : pq)
+                out.oneQ[static_cast<std::size_t>(t)].ops.push_back(u);
+            pq.clear();
+            next_stage[static_cast<std::size_t>(q)] = t + 1;
+        }
+    }
+
+    // Trailing 1Q stage.
+    out.oneQ.emplace_back();
+    for (auto &pq : pending) {
+        for (StagedU3 &u : pq)
+            out.oneQ.back().ops.push_back(u);
+        pq.clear();
+    }
+
+    // Gate ids must be dense in stage order; the ASAP loop assigns ids in
+    // program order which may interleave stages, so renumber.
+    int id = 0;
+    for (RydbergStage &s : out.rydberg)
+        for (StagedGate &g : s.gates)
+            g.id = id++;
+
+    out.checkInvariants();
+    return out;
+}
+
+} // namespace zac

@@ -1,0 +1,101 @@
+/**
+ * @file
+ * ASAP scheduling of a preprocessed circuit into gate stages (Fig. 4).
+ *
+ * The output alternates 1Q-gate stages and Rydberg stages:
+ *
+ *   oneQ[0], rydberg[0], oneQ[1], rydberg[1], ..., oneQ[T]
+ *
+ * oneQ[t] holds the U3s that must execute before rydberg[t]; the final
+ * oneQ[T] holds trailing U3s. Every qubit appears in at most one gate per
+ * Rydberg stage, and stages respect a site-capacity limit so stages never
+ * exceed the entanglement zone.
+ */
+
+#ifndef ZAC_TRANSPILE_STAGES_HPP
+#define ZAC_TRANSPILE_STAGES_HPP
+
+#include <limits>
+#include <vector>
+
+#include "circuit/circuit.hpp"
+#include "transpile/u2_math.hpp"
+
+namespace zac
+{
+
+/** One 2Q gate scheduled into a Rydberg stage. */
+struct StagedGate
+{
+    int id = -1;    ///< dense gate id, unique across the staged circuit
+    int q0 = -1;    ///< first qubit operand
+    int q1 = -1;    ///< second qubit operand
+
+    /** @return true if this gate acts on qubit @p q. */
+    bool touches(int q) const { return q0 == q || q1 == q; }
+    /** @return the other operand given one of the two. */
+    int other(int q) const { return q0 == q ? q1 : q0; }
+};
+
+/** One scheduled 1Q operation. */
+struct StagedU3
+{
+    int qubit = -1;
+    U3Angles angles;
+};
+
+/** A Rydberg stage: 2Q gates applied in one laser exposure. */
+struct RydbergStage
+{
+    std::vector<StagedGate> gates;
+};
+
+/** A 1Q stage: U3s executed between Rydberg exposures. */
+struct OneQStage
+{
+    std::vector<StagedU3> ops;
+};
+
+/** The staged circuit: the unit of work for placement and scheduling. */
+class StagedCircuit
+{
+  public:
+    int numQubits = 0;
+    std::string name;
+    /** oneQ.size() == rydberg.size() + 1; oneQ[t] precedes rydberg[t]. */
+    std::vector<OneQStage> oneQ;
+    std::vector<RydbergStage> rydberg;
+
+    /** Number of Rydberg stages. */
+    int numRydbergStages() const
+    {
+        return static_cast<int>(rydberg.size());
+    }
+
+    /** Total 2Q gate count. */
+    int count2Q() const;
+    /** Total 1Q gate count. */
+    int count1Q() const;
+
+    /** The gate acting on qubit @p q in stage @p t, or nullptr. */
+    const StagedGate *gateOn(int t, int q) const;
+
+    /** Validate structural invariants; throws PanicError on violation. */
+    void checkInvariants() const;
+};
+
+/**
+ * Schedule a preprocessed ({CZ, U3} only) circuit into stages, ASAP.
+ *
+ * @param circuit        preprocessed circuit (see zac::preprocess).
+ * @param stage_capacity max 2Q gates per Rydberg stage (the number of
+ *                       Rydberg sites in the target's entanglement
+ *                       zones); unlimited by default.
+ */
+StagedCircuit scheduleStages(
+    const Circuit &circuit,
+    int stage_capacity = std::numeric_limits<int>::max());
+
+} // namespace zac
+
+#endif // ZAC_TRANSPILE_STAGES_HPP

@@ -1,0 +1,238 @@
+#include "transpile/u2_math.hpp"
+
+#include <cmath>
+#include <numbers>
+
+#include "common/logging.hpp"
+
+namespace zac
+{
+
+namespace
+{
+
+constexpr double kPi = std::numbers::pi;
+using Cplx = std::complex<double>;
+
+const Cplx kI{0.0, 1.0};
+
+Cplx
+expI(double a)
+{
+    return {std::cos(a), std::sin(a)};
+}
+
+/** Normalize an angle to (-pi, pi]. */
+double
+wrapAngle(double a)
+{
+    a = std::fmod(a, 2.0 * kPi);
+    if (a <= -kPi)
+        a += 2.0 * kPi;
+    else if (a > kPi)
+        a -= 2.0 * kPi;
+    return a;
+}
+
+} // namespace
+
+U2Matrix
+U2Matrix::identity()
+{
+    U2Matrix u;
+    u.m[0][0] = 1.0;
+    u.m[0][1] = 0.0;
+    u.m[1][0] = 0.0;
+    u.m[1][1] = 1.0;
+    return u;
+}
+
+U2Matrix
+U2Matrix::operator*(const U2Matrix &rhs) const
+{
+    U2Matrix out;
+    for (int i = 0; i < 2; ++i)
+        for (int j = 0; j < 2; ++j)
+            out.m[i][j] = m[i][0] * rhs.m[0][j] + m[i][1] * rhs.m[1][j];
+    return out;
+}
+
+bool
+U2Matrix::isUnitary(double tol) const
+{
+    // U * U^dag
+    Cplx p00 = m[0][0] * std::conj(m[0][0]) + m[0][1] * std::conj(m[0][1]);
+    Cplx p01 = m[0][0] * std::conj(m[1][0]) + m[0][1] * std::conj(m[1][1]);
+    Cplx p11 = m[1][0] * std::conj(m[1][0]) + m[1][1] * std::conj(m[1][1]);
+    return std::abs(p00 - 1.0) < tol && std::abs(p01) < tol &&
+           std::abs(p11 - 1.0) < tol;
+}
+
+bool
+U2Matrix::isIdentity(double tol) const
+{
+    if (std::abs(m[0][1]) > tol || std::abs(m[1][0]) > tol)
+        return false;
+    // Diagonal entries must share a phase.
+    return std::abs(m[0][0] - m[1][1]) < tol &&
+           std::abs(std::abs(m[0][0]) - 1.0) < tol;
+}
+
+bool
+U2Matrix::isDiagonal(double tol) const
+{
+    return std::abs(m[0][1]) < tol && std::abs(m[1][0]) < tol;
+}
+
+double
+U2Matrix::phaseDistance(const U2Matrix &rhs) const
+{
+    // Align global phase on the largest-magnitude entry, then take the
+    // max elementwise distance.
+    int bi = 0, bj = 0;
+    double best = 0.0;
+    for (int i = 0; i < 2; ++i)
+        for (int j = 0; j < 2; ++j)
+            if (std::abs(m[i][j]) > best) {
+                best = std::abs(m[i][j]);
+                bi = i;
+                bj = j;
+            }
+    if (best < 1e-12 || std::abs(rhs.m[bi][bj]) < 1e-12)
+        return 1.0;
+    const Cplx phase = (m[bi][bj] / std::abs(m[bi][bj])) /
+                       (rhs.m[bi][bj] / std::abs(rhs.m[bi][bj]));
+    double dist = 0.0;
+    for (int i = 0; i < 2; ++i)
+        for (int j = 0; j < 2; ++j)
+            dist = std::max(dist, std::abs(m[i][j] - phase * rhs.m[i][j]));
+    return dist;
+}
+
+U2Matrix
+u3Matrix(double theta, double phi, double lambda)
+{
+    U2Matrix u;
+    const double c = std::cos(theta / 2.0);
+    const double s = std::sin(theta / 2.0);
+    u.m[0][0] = c;
+    u.m[0][1] = -expI(lambda) * s;
+    u.m[1][0] = expI(phi) * s;
+    u.m[1][1] = expI(phi + lambda) * c;
+    return u;
+}
+
+U2Matrix
+u3Matrix(const U3Angles &a)
+{
+    return u3Matrix(a.theta, a.phi, a.lambda);
+}
+
+U2Matrix
+gateMatrix(const Gate &g)
+{
+    if (!g.is1Q())
+        fatal("gateMatrix: " + std::string(opName(g.op)) +
+              " is not a 1Q gate");
+    const auto p = [&](std::size_t i) { return g.params[i]; };
+    switch (g.op) {
+      case Op::I:
+        return U2Matrix::identity();
+      case Op::X:
+        return u3Matrix(kPi, 0.0, kPi);
+      case Op::Y:
+        return u3Matrix(kPi, kPi / 2.0, kPi / 2.0);
+      case Op::Z:
+        return u3Matrix(0.0, 0.0, kPi);
+      case Op::H:
+        return u3Matrix(kPi / 2.0, 0.0, kPi);
+      case Op::S:
+        return u3Matrix(0.0, 0.0, kPi / 2.0);
+      case Op::Sdg:
+        return u3Matrix(0.0, 0.0, -kPi / 2.0);
+      case Op::T:
+        return u3Matrix(0.0, 0.0, kPi / 4.0);
+      case Op::Tdg:
+        return u3Matrix(0.0, 0.0, -kPi / 4.0);
+      case Op::SX: {
+        // sqrt(X) = e^{i pi/4} RX(pi/2)
+        U2Matrix u;
+        u.m[0][0] = Cplx(0.5, 0.5);
+        u.m[0][1] = Cplx(0.5, -0.5);
+        u.m[1][0] = Cplx(0.5, -0.5);
+        u.m[1][1] = Cplx(0.5, 0.5);
+        return u;
+      }
+      case Op::SXdg: {
+        U2Matrix u;
+        u.m[0][0] = Cplx(0.5, -0.5);
+        u.m[0][1] = Cplx(0.5, 0.5);
+        u.m[1][0] = Cplx(0.5, 0.5);
+        u.m[1][1] = Cplx(0.5, -0.5);
+        return u;
+      }
+      case Op::RX: {
+        U2Matrix u;
+        const double c = std::cos(p(0) / 2.0), s = std::sin(p(0) / 2.0);
+        u.m[0][0] = c;
+        u.m[0][1] = -kI * s;
+        u.m[1][0] = -kI * s;
+        u.m[1][1] = c;
+        return u;
+      }
+      case Op::RY:
+        return u3Matrix(p(0), 0.0, 0.0);
+      case Op::RZ: {
+        U2Matrix u;
+        u.m[0][0] = expI(-p(0) / 2.0);
+        u.m[0][1] = 0.0;
+        u.m[1][0] = 0.0;
+        u.m[1][1] = expI(p(0) / 2.0);
+        return u;
+      }
+      case Op::P:
+      case Op::U1:
+        return u3Matrix(0.0, 0.0, p(0));
+      case Op::U2:
+        return u3Matrix(kPi / 2.0, p(0), p(1));
+      case Op::U3:
+        return u3Matrix(p(0), p(1), p(2));
+      default:
+        fatal("gateMatrix: unhandled opcode");
+    }
+}
+
+U3Angles
+extractU3(const U2Matrix &u)
+{
+    if (!u.isUnitary(1e-6))
+        fatal("extractU3: matrix is not unitary");
+    // Remove global phase: scale so det == 1 (SU(2)).
+    const Cplx det = u.m[0][0] * u.m[1][1] - u.m[0][1] * u.m[1][0];
+    const double det_arg = std::arg(det);
+    const Cplx scale = expI(-det_arg / 2.0);
+    const Cplx a = scale * u.m[0][0];
+    const Cplx b = scale * u.m[1][0];
+    // SU(2): a = cos(t/2) e^{-i(phi+lambda)/2}, b = sin(t/2) e^{i(phi-lambda)/2}
+    U3Angles out;
+    const double abs_a = std::min(1.0, std::abs(a));
+    const double abs_b = std::min(1.0, std::abs(b));
+    out.theta = 2.0 * std::atan2(abs_b, abs_a);
+    if (abs_b < 1e-12) {
+        // Diagonal: only phi+lambda is defined; put it all in lambda.
+        out.phi = 0.0;
+        out.lambda = wrapAngle(-2.0 * std::arg(a));
+    } else if (abs_a < 1e-12) {
+        // Anti-diagonal: only phi-lambda is defined.
+        out.phi = wrapAngle(2.0 * std::arg(b));
+        out.lambda = 0.0;
+    } else {
+        const double sum = -2.0 * std::arg(a); // phi + lambda
+        const double diff = 2.0 * std::arg(b); // phi - lambda
+        out.phi = wrapAngle((sum + diff) / 2.0);
+        out.lambda = wrapAngle((sum - diff) / 2.0);
+    }
+    return out;
+}
+
+} // namespace zac

@@ -1,0 +1,71 @@
+/**
+ * @file
+ * 2x2 unitary arithmetic and U3 angle extraction.
+ *
+ * The neutral-atom hardware executes arbitrary single-qubit gates as
+ * U3(theta, phi, lambda); this module converts any product of qelib1
+ * 1Q gates into a single U3 (up to global phase).
+ */
+
+#ifndef ZAC_TRANSPILE_U2_MATH_HPP
+#define ZAC_TRANSPILE_U2_MATH_HPP
+
+#include <complex>
+
+#include "circuit/gate.hpp"
+
+namespace zac
+{
+
+/** Parameters of a U3 gate (angles in radians). */
+struct U3Angles
+{
+    double theta = 0.0;
+    double phi = 0.0;
+    double lambda = 0.0;
+};
+
+/** A 2x2 complex matrix (row-major), used for 1Q unitaries. */
+struct U2Matrix
+{
+    std::complex<double> m[2][2];
+
+    static U2Matrix identity();
+
+    /** Matrix product this * rhs. */
+    U2Matrix operator*(const U2Matrix &rhs) const;
+
+    /** @return true if unitary up to @p tol (U * U^dag == I). */
+    bool isUnitary(double tol = 1e-9) const;
+
+    /** @return true if proportional to the identity (global phase only). */
+    bool isIdentity(double tol = 1e-9) const;
+
+    /** @return true if diagonal (an RZ-like gate, commutes with CZ). */
+    bool isDiagonal(double tol = 1e-9) const;
+
+    /** Max-norm distance to @p rhs up to global phase. */
+    double phaseDistance(const U2Matrix &rhs) const;
+};
+
+/** The matrix of U3(theta, phi, lambda). */
+U2Matrix u3Matrix(double theta, double phi, double lambda);
+
+/** The matrix of U3(a). */
+U2Matrix u3Matrix(const U3Angles &a);
+
+/**
+ * The matrix of a 1Q opcode with its parameters.
+ * @throws zac::FatalError if @p g is not a 1Q unitary.
+ */
+U2Matrix gateMatrix(const Gate &g);
+
+/**
+ * Extract U3 angles reproducing @p u up to global phase.
+ * theta is normalized to [0, pi]; phi, lambda to (-pi, pi].
+ */
+U3Angles extractU3(const U2Matrix &u);
+
+} // namespace zac
+
+#endif // ZAC_TRANSPILE_U2_MATH_HPP

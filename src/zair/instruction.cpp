@@ -1,0 +1,9 @@
+#include "zair/instruction.hpp"
+
+// ZairInstr is a plain aggregate; its behaviour lives in program.cpp,
+// machine.cpp and serialize.cpp. This translation unit anchors vtable-
+// free emission of the header for build hygiene.
+
+namespace zac
+{
+} // namespace zac

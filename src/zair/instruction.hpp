@@ -1,0 +1,97 @@
+/**
+ * @file
+ * ZAIR: the zoned-architecture intermediate representation (paper
+ * Sec. IX, Fig. 17).
+ *
+ * Four instruction kinds: init, 1qGate, rydberg, and rearrangeJob. A
+ * rearrangement job is the unit of AOD work: it picks up a set of
+ * qubits, moves them in parallel, and drops them off, and is lowered to
+ * machine-level activate / move / deactivate instructions.
+ */
+
+#ifndef ZAC_ZAIR_INSTRUCTION_HPP
+#define ZAC_ZAIR_INSTRUCTION_HPP
+
+#include <string>
+#include <vector>
+
+#include "arch/spec.hpp"
+#include "transpile/u2_math.hpp"
+
+namespace zac
+{
+
+/**
+ * A qubit location: qubit @c q sits at row @c r, column @c c of SLM
+ * array @c a (the paper's 4-tuple (q, a, r, c)).
+ */
+struct QLoc
+{
+    int q = -1;
+    int a = -1;
+    int r = 0;
+    int c = 0;
+
+    TrapRef trap() const { return {a, r, c}; }
+    friend bool operator==(const QLoc &, const QLoc &) = default;
+};
+
+/** Machine-level AOD instruction kinds (paper Fig. 17b). */
+enum class MachineKind { Activate, Deactivate, Move };
+
+/** One machine-level AOD instruction inside a rearrangement job. */
+struct MachineInstr
+{
+    MachineKind kind = MachineKind::Activate;
+    std::vector<int> row_id;
+    std::vector<int> col_id;
+    /** Activate: trap row y / col x the AOD lines switch on at. */
+    std::vector<double> row_y;
+    std::vector<double> col_x;
+    /** Move: per-line begin/end coordinates. */
+    std::vector<double> row_y_begin, row_y_end;
+    std::vector<double> col_x_begin, col_x_end;
+    /** Duration of this machine instruction in us. */
+    double duration_us = 0.0;
+};
+
+/** Kind of a ZAIR instruction. */
+enum class ZairKind { Init, OneQGate, Rydberg, RearrangeJob };
+
+/** One ZAIR instruction (tagged by kind; unused fields stay empty). */
+struct ZairInstr
+{
+    ZairKind kind = ZairKind::Init;
+
+    // --- Init ---
+    std::vector<QLoc> init_locs;
+
+    // --- OneQGate: `unitary` applied to each of `locs` ---
+    U3Angles unitary;
+    std::vector<QLoc> locs;
+
+    // --- Rydberg ---
+    int zone_id = 0;
+    /** Qubits that participate in a 2Q gate during this pulse. */
+    std::vector<int> gate_qubits;
+
+    // --- RearrangeJob ---
+    int aod_id = 0;
+    std::vector<QLoc> begin_locs;
+    std::vector<QLoc> end_locs;
+    std::vector<MachineInstr> insts;
+    /** Relative end of the pickup phase within the job (us). */
+    double pickup_done_us = 0.0;
+    /** Relative end of the move phase within the job (us). */
+    double move_done_us = 0.0;
+
+    // --- timing, filled by the scheduler ---
+    double begin_time_us = 0.0;
+    double end_time_us = 0.0;
+
+    double durationUs() const { return end_time_us - begin_time_us; }
+};
+
+} // namespace zac
+
+#endif // ZAC_ZAIR_INSTRUCTION_HPP

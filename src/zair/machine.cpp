@@ -1,0 +1,180 @@
+#include "zair/machine.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+
+#include "common/logging.hpp"
+
+namespace zac
+{
+
+namespace
+{
+
+constexpr double kCoordTol = 1e-6;
+
+/** Map each distinct coordinate (within tolerance) to a dense index. */
+std::map<double, int>
+denseAxes(const std::vector<double> &coords)
+{
+    std::map<double, int> axes;
+    for (double c : coords)
+        axes.emplace(c, 0);
+    int idx = 0;
+    for (auto &[coord, id] : axes)
+        id = idx++;
+    return axes;
+}
+
+} // namespace
+
+bool
+movementsAodCompatible(const std::vector<Point> &begin,
+                       const std::vector<Point> &end)
+{
+    if (begin.size() != end.size())
+        panic("movementsAodCompatible: size mismatch");
+    const std::size_t n = begin.size();
+    for (std::size_t i = 0; i < n; ++i) {
+        for (std::size_t j = i + 1; j < n; ++j) {
+            const double bx = begin[i].x - begin[j].x;
+            const double ex = end[i].x - end[j].x;
+            const double by = begin[i].y - begin[j].y;
+            const double ey = end[i].y - end[j].y;
+            // Same begin column -> must share the end column; otherwise
+            // strict order must be preserved (no crossing / merging).
+            if (std::abs(bx) < kCoordTol) {
+                if (std::abs(ex) >= kCoordTol)
+                    return false;
+            } else if (bx * ex <= 0.0 || std::abs(ex) < kCoordTol) {
+                return false;
+            }
+            if (std::abs(by) < kCoordTol) {
+                if (std::abs(ey) >= kCoordTol)
+                    return false;
+            } else if (by * ey <= 0.0 || std::abs(ey) < kCoordTol) {
+                return false;
+            }
+        }
+    }
+    return true;
+}
+
+JobPhases
+lowerRearrangeJob(ZairInstr &job, const Architecture &arch)
+{
+    if (job.kind != ZairKind::RearrangeJob)
+        panic("lowerRearrangeJob: not a rearrange job");
+    const std::size_t n = job.begin_locs.size();
+    if (n == 0)
+        fatal("lowerRearrangeJob: empty job");
+    if (job.aod_id < 0 ||
+        job.aod_id >= static_cast<int>(arch.aods().size()))
+        fatal("lowerRearrangeJob: invalid AOD id");
+    const AodSpec &aod =
+        arch.aods()[static_cast<std::size_t>(job.aod_id)];
+    const NaHardwareParams &hw = arch.params();
+
+    std::vector<Point> begin(n), end(n);
+    for (std::size_t i = 0; i < n; ++i) {
+        begin[i] = arch.trapPosition(job.begin_locs[i].trap());
+        end[i] = arch.trapPosition(job.end_locs[i].trap());
+    }
+    if (!movementsAodCompatible(begin, end))
+        fatal("lowerRearrangeJob: movements violate AOD ordering "
+              "constraints; split into separate jobs");
+
+    // Dense AOD line indices from distinct begin coordinates.
+    std::vector<double> xs(n), ys(n);
+    for (std::size_t i = 0; i < n; ++i) {
+        xs[i] = begin[i].x;
+        ys[i] = begin[i].y;
+    }
+    const std::map<double, int> col_axis = denseAxes(xs);
+    const std::map<double, int> row_axis = denseAxes(ys);
+    const int num_rows = static_cast<int>(row_axis.size());
+    const int num_cols = static_cast<int>(col_axis.size());
+    if (num_rows > aod.max_rows || num_cols > aod.max_cols)
+        fatal("lowerRearrangeJob: job needs " + std::to_string(num_rows) +
+              "x" + std::to_string(num_cols) + " AOD lines, AOD has " +
+              std::to_string(aod.max_rows) + "x" +
+              std::to_string(aod.max_cols));
+
+    // Begin -> end coordinate per line (well-defined by compatibility).
+    std::map<int, double> row_end, col_end;
+    for (std::size_t i = 0; i < n; ++i) {
+        row_end[row_axis.at(ys[i])] = end[i].y;
+        col_end[col_axis.at(xs[i])] = end[i].x;
+    }
+
+    job.insts.clear();
+    JobPhases phases;
+    const double parking_dist = aod.min_sep / 2.0;
+    const double parking_us = moveDurationUs(parking_dist);
+
+    // ---- pickup: activate row by row (ascending y), parking between.
+    bool first_row = true;
+    for (const auto &[row_y, row_id] : row_axis) {
+        if (!first_row) {
+            // Parking micro-move so already-held qubits clear the next
+            // row's trap line (Fig. 18c).
+            MachineInstr park;
+            park.kind = MachineKind::Move;
+            park.duration_us = parking_us;
+            job.insts.push_back(park);
+            phases.pickup_us += parking_us;
+        }
+        first_row = false;
+        MachineInstr act;
+        act.kind = MachineKind::Activate;
+        act.row_id = {row_id};
+        act.row_y = {row_y};
+        for (std::size_t i = 0; i < n; ++i) {
+            if (std::abs(ys[i] - row_y) < kCoordTol) {
+                act.col_id.push_back(col_axis.at(xs[i]));
+                act.col_x.push_back(xs[i]);
+            }
+        }
+        act.duration_us = hw.t_transfer_us;
+        job.insts.push_back(act);
+        phases.pickup_us += hw.t_transfer_us;
+    }
+
+    // ---- move: one parallel translation of all lines.
+    MachineInstr move;
+    move.kind = MachineKind::Move;
+    for (const auto &[row_y, row_id] : row_axis) {
+        move.row_id.push_back(row_id);
+        move.row_y_begin.push_back(row_y);
+        move.row_y_end.push_back(row_end.at(row_id));
+    }
+    for (const auto &[col_x, col_id] : col_axis) {
+        move.col_id.push_back(col_id);
+        move.col_x_begin.push_back(col_x);
+        move.col_x_end.push_back(col_end.at(col_id));
+    }
+    double max_disp = 0.0;
+    for (std::size_t i = 0; i < n; ++i)
+        max_disp = std::max(max_disp, distance(begin[i], end[i]));
+    move.duration_us = moveDurationUs(max_disp);
+    phases.move_us = move.duration_us;
+    job.insts.push_back(move);
+
+    // ---- drop: one deactivate transfers every qubit to its SLM trap.
+    MachineInstr deact;
+    deact.kind = MachineKind::Deactivate;
+    for (const auto &[row_y, row_id] : row_axis)
+        deact.row_id.push_back(row_id);
+    for (const auto &[col_x, col_id] : col_axis)
+        deact.col_id.push_back(col_id);
+    deact.duration_us = hw.t_transfer_us;
+    phases.drop_us = hw.t_transfer_us;
+    job.insts.push_back(deact);
+
+    job.pickup_done_us = phases.pickup_us;
+    job.move_done_us = phases.pickup_us + phases.move_us;
+    return phases;
+}
+
+} // namespace zac

@@ -1,0 +1,54 @@
+/**
+ * @file
+ * Lowering of rearrangement jobs to machine-level AOD instructions.
+ *
+ * Follows the row-by-row pickup strategy of OLSQ-DPQA that the paper
+ * adopts (Sec. IX, Fig. 18): AOD rows are activated one at a time, with
+ * a small parking move between activations when the column pattern
+ * changes, so qubits that are not part of the job are never captured.
+ */
+
+#ifndef ZAC_ZAIR_MACHINE_HPP
+#define ZAC_ZAIR_MACHINE_HPP
+
+#include "arch/spec.hpp"
+#include "zair/instruction.hpp"
+
+namespace zac
+{
+
+/** Durations of the three phases of a rearrangement job, in us. */
+struct JobPhases
+{
+    double pickup_us = 0.0;
+    double move_us = 0.0;
+    double drop_us = 0.0;
+
+    double total() const { return pickup_us + move_us + drop_us; }
+};
+
+/**
+ * Check that a set of movements can be executed by one AOD: begin rows /
+ * columns map to end rows / columns preserving strict order, and equal
+ * coordinates stay equal (the AOD non-crossing constraint).
+ *
+ * @param begin,end matching lists of positions.
+ * @return true when compatible.
+ */
+bool movementsAodCompatible(const std::vector<Point> &begin,
+                            const std::vector<Point> &end);
+
+/**
+ * Populate @p job.insts with machine-level instructions and set its
+ * pickup_done_us / move_done_us phase markers.
+ *
+ * @param job  a RearrangeJob with begin_locs/end_locs filled in.
+ * @param arch the architecture (for trap positions and AOD limits).
+ * @return the phase durations.
+ * @throws zac::FatalError if the job violates AOD constraints.
+ */
+JobPhases lowerRearrangeJob(ZairInstr &job, const Architecture &arch);
+
+} // namespace zac
+
+#endif // ZAC_ZAIR_MACHINE_HPP

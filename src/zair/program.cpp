@@ -1,0 +1,92 @@
+#include "zair/program.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.hpp"
+
+namespace zac
+{
+
+ZairStats
+ZairProgram::stats() const
+{
+    ZairStats s;
+    for (const ZairInstr &in : instrs) {
+        switch (in.kind) {
+          case ZairKind::Init:
+            break;
+          case ZairKind::OneQGate:
+            ++s.num_zair_instrs;
+            ++s.num_machine_instrs;
+            s.num_1q_gates += static_cast<int>(in.locs.size());
+            break;
+          case ZairKind::Rydberg:
+            ++s.num_zair_instrs;
+            ++s.num_machine_instrs;
+            ++s.num_rydberg_stages;
+            s.num_2q_gates +=
+                static_cast<int>(in.gate_qubits.size()) / 2;
+            break;
+          case ZairKind::RearrangeJob: {
+            ++s.num_zair_instrs;
+            ++s.num_rearrange_jobs;
+            s.num_machine_instrs +=
+                static_cast<int>(in.insts.size());
+            s.num_atom_transfers +=
+                2 * static_cast<int>(in.begin_locs.size());
+            for (const MachineInstr &mi : in.insts) {
+                if (mi.kind != MachineKind::Move)
+                    continue;
+                double max_d = 0.0;
+                for (std::size_t i = 0; i < mi.row_id.size(); ++i)
+                    max_d = std::max(max_d,
+                                     std::abs(mi.row_y_end[i] -
+                                              mi.row_y_begin[i]));
+                for (std::size_t i = 0; i < mi.col_id.size(); ++i)
+                    max_d = std::max(max_d,
+                                     std::abs(mi.col_x_end[i] -
+                                              mi.col_x_begin[i]));
+                s.total_move_distance_um += max_d;
+            }
+            break;
+          }
+        }
+    }
+    s.makespan_us = makespanUs();
+    return s;
+}
+
+double
+ZairProgram::makespanUs() const
+{
+    double end = 0.0;
+    for (const ZairInstr &in : instrs)
+        end = std::max(end, in.end_time_us);
+    return end;
+}
+
+void
+ZairProgram::checkInvariants() const
+{
+    if (instrs.empty())
+        panic("zair: empty program");
+    if (instrs.front().kind != ZairKind::Init)
+        panic("zair: program must start with init");
+    for (std::size_t i = 1; i < instrs.size(); ++i)
+        if (instrs[i].kind == ZairKind::Init)
+            panic("zair: init must appear exactly once");
+    for (const ZairInstr &in : instrs) {
+        if (in.end_time_us + 1e-9 < in.begin_time_us)
+            panic("zair: instruction ends before it begins");
+        if (in.kind == ZairKind::RearrangeJob) {
+            if (in.begin_locs.size() != in.end_locs.size())
+                panic("zair: rearrange job begin/end size mismatch");
+            for (std::size_t i = 0; i < in.begin_locs.size(); ++i)
+                if (in.begin_locs[i].q != in.end_locs[i].q)
+                    panic("zair: rearrange job permutes qubit order");
+        }
+    }
+}
+
+} // namespace zac

@@ -1,0 +1,266 @@
+#include "zair/serialize.hpp"
+
+#include "common/logging.hpp"
+
+namespace zac
+{
+
+namespace
+{
+
+json::Value
+qlocToJson(const QLoc &loc)
+{
+    return json::Array{loc.q, loc.a, loc.r, loc.c};
+}
+
+json::Value
+qlocsToJson(const std::vector<QLoc> &locs)
+{
+    json::Array arr;
+    for (const QLoc &l : locs)
+        arr.push_back(qlocToJson(l));
+    return arr;
+}
+
+json::Value
+intsToJson(const std::vector<int> &v)
+{
+    json::Array arr;
+    for (int x : v)
+        arr.push_back(x);
+    return arr;
+}
+
+json::Value
+doublesToJson(const std::vector<double> &v)
+{
+    json::Array arr;
+    for (double x : v)
+        arr.push_back(x);
+    return arr;
+}
+
+json::Value
+machineToJson(const MachineInstr &mi)
+{
+    json::Object o;
+    switch (mi.kind) {
+      case MachineKind::Activate:
+        o["type"] = "activate";
+        o["row_id"] = intsToJson(mi.row_id);
+        o["row_y"] = doublesToJson(mi.row_y);
+        o["col_id"] = intsToJson(mi.col_id);
+        o["col_x"] = doublesToJson(mi.col_x);
+        break;
+      case MachineKind::Deactivate:
+        o["type"] = "deactivate";
+        o["row_id"] = intsToJson(mi.row_id);
+        o["col_id"] = intsToJson(mi.col_id);
+        break;
+      case MachineKind::Move:
+        o["type"] = "move";
+        o["row_id"] = intsToJson(mi.row_id);
+        o["row_y_begin"] = doublesToJson(mi.row_y_begin);
+        o["row_y_end"] = doublesToJson(mi.row_y_end);
+        o["col_id"] = intsToJson(mi.col_id);
+        o["col_x_begin"] = doublesToJson(mi.col_x_begin);
+        o["col_x_end"] = doublesToJson(mi.col_x_end);
+        break;
+    }
+    o["duration"] = mi.duration_us;
+    return o;
+}
+
+} // namespace
+
+json::Value
+zairInstrToJson(const ZairInstr &instr)
+{
+    json::Object o;
+    switch (instr.kind) {
+      case ZairKind::Init:
+        o["type"] = "init";
+        o["init_locs"] = qlocsToJson(instr.init_locs);
+        break;
+      case ZairKind::OneQGate:
+        o["type"] = "1qGate";
+        o["unitary"] = json::Array{instr.unitary.theta,
+                                   instr.unitary.phi,
+                                   instr.unitary.lambda};
+        o["locs"] = qlocsToJson(instr.locs);
+        break;
+      case ZairKind::Rydberg:
+        o["type"] = "rydberg";
+        o["zone_id"] = instr.zone_id;
+        // Not part of the paper's minimal schema, but kept so a loaded
+        // program can be re-evaluated by the fidelity model.
+        o["gate_qubits"] = intsToJson(instr.gate_qubits);
+        break;
+      case ZairKind::RearrangeJob: {
+        o["type"] = "rearrangeJob";
+        o["aod_id"] = instr.aod_id;
+        o["begin_locs"] = qlocsToJson(instr.begin_locs);
+        o["end_locs"] = qlocsToJson(instr.end_locs);
+        json::Array insts;
+        for (const MachineInstr &mi : instr.insts)
+            insts.push_back(machineToJson(mi));
+        o["insts"] = std::move(insts);
+        break;
+      }
+    }
+    o["begin_time"] = instr.begin_time_us;
+    o["end_time"] = instr.end_time_us;
+    return o;
+}
+
+json::Value
+zairProgramToJson(const ZairProgram &program)
+{
+    json::Object o;
+    o["circuit"] = program.circuit_name;
+    o["architecture"] = program.arch_name;
+    o["num_qubits"] = program.num_qubits;
+    json::Array instrs;
+    for (const ZairInstr &in : program.instrs)
+        instrs.push_back(zairInstrToJson(in));
+    o["instructions"] = std::move(instrs);
+    return o;
+}
+
+void
+saveZairProgram(const std::string &path, const ZairProgram &program)
+{
+    json::writeFile(path, zairProgramToJson(program));
+}
+
+namespace
+{
+
+QLoc
+qlocFromJson(const json::Value &v)
+{
+    QLoc loc;
+    loc.q = static_cast<int>(v.at(0).asInt());
+    loc.a = static_cast<int>(v.at(1).asInt());
+    loc.r = static_cast<int>(v.at(2).asInt());
+    loc.c = static_cast<int>(v.at(3).asInt());
+    return loc;
+}
+
+std::vector<QLoc>
+qlocsFromJson(const json::Value &v)
+{
+    std::vector<QLoc> out;
+    for (const json::Value &l : v.asArray())
+        out.push_back(qlocFromJson(l));
+    return out;
+}
+
+std::vector<int>
+intsFromJson(const json::Value &v)
+{
+    std::vector<int> out;
+    for (const json::Value &x : v.asArray())
+        out.push_back(static_cast<int>(x.asInt()));
+    return out;
+}
+
+std::vector<double>
+doublesFromJson(const json::Value &v)
+{
+    std::vector<double> out;
+    for (const json::Value &x : v.asArray())
+        out.push_back(x.asDouble());
+    return out;
+}
+
+MachineInstr
+machineFromJson(const json::Value &v)
+{
+    MachineInstr mi;
+    const std::string &type = v.at("type").asString();
+    if (type == "activate") {
+        mi.kind = MachineKind::Activate;
+        mi.row_id = intsFromJson(v.at("row_id"));
+        mi.row_y = doublesFromJson(v.at("row_y"));
+        mi.col_id = intsFromJson(v.at("col_id"));
+        mi.col_x = doublesFromJson(v.at("col_x"));
+    } else if (type == "deactivate") {
+        mi.kind = MachineKind::Deactivate;
+        mi.row_id = intsFromJson(v.at("row_id"));
+        mi.col_id = intsFromJson(v.at("col_id"));
+    } else if (type == "move") {
+        mi.kind = MachineKind::Move;
+        mi.row_id = intsFromJson(v.at("row_id"));
+        mi.row_y_begin = doublesFromJson(v.at("row_y_begin"));
+        mi.row_y_end = doublesFromJson(v.at("row_y_end"));
+        mi.col_id = intsFromJson(v.at("col_id"));
+        mi.col_x_begin = doublesFromJson(v.at("col_x_begin"));
+        mi.col_x_end = doublesFromJson(v.at("col_x_end"));
+    } else {
+        fatal("zair: unknown machine instruction type '" + type + "'");
+    }
+    mi.duration_us = v.numberOr("duration", 0.0);
+    return mi;
+}
+
+} // namespace
+
+ZairInstr
+zairInstrFromJson(const json::Value &v)
+{
+    ZairInstr in;
+    const std::string &type = v.at("type").asString();
+    if (type == "init") {
+        in.kind = ZairKind::Init;
+        in.init_locs = qlocsFromJson(v.at("init_locs"));
+    } else if (type == "1qGate") {
+        in.kind = ZairKind::OneQGate;
+        const json::Value &u = v.at("unitary");
+        in.unitary = {u.at(0).asDouble(), u.at(1).asDouble(),
+                      u.at(2).asDouble()};
+        in.locs = qlocsFromJson(v.at("locs"));
+    } else if (type == "rydberg") {
+        in.kind = ZairKind::Rydberg;
+        in.zone_id = static_cast<int>(v.at("zone_id").asInt());
+        if (v.contains("gate_qubits"))
+            in.gate_qubits = intsFromJson(v.at("gate_qubits"));
+    } else if (type == "rearrangeJob") {
+        in.kind = ZairKind::RearrangeJob;
+        in.aod_id = static_cast<int>(v.at("aod_id").asInt());
+        in.begin_locs = qlocsFromJson(v.at("begin_locs"));
+        in.end_locs = qlocsFromJson(v.at("end_locs"));
+        for (const json::Value &mi : v.at("insts").asArray())
+            in.insts.push_back(machineFromJson(mi));
+    } else {
+        fatal("zair: unknown instruction type '" + type + "'");
+    }
+    in.begin_time_us = v.numberOr("begin_time", 0.0);
+    in.end_time_us = v.numberOr("end_time", 0.0);
+    return in;
+}
+
+ZairProgram
+zairProgramFromJson(const json::Value &v)
+{
+    ZairProgram program;
+    program.circuit_name = v.contains("circuit")
+                               ? v.at("circuit").asString()
+                               : "";
+    program.arch_name = v.contains("architecture")
+                            ? v.at("architecture").asString()
+                            : "";
+    program.num_qubits = static_cast<int>(v.at("num_qubits").asInt());
+    for (const json::Value &iv : v.at("instructions").asArray())
+        program.instrs.push_back(zairInstrFromJson(iv));
+    return program;
+}
+
+ZairProgram
+loadZairProgram(const std::string &path)
+{
+    return zairProgramFromJson(json::parseFile(path));
+}
+
+} // namespace zac

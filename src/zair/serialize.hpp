@@ -1,0 +1,38 @@
+/**
+ * @file
+ * JSON serialization of ZAIR programs in the paper's artifact format
+ * (Fig. 17 / Fig. 19).
+ */
+
+#ifndef ZAC_ZAIR_SERIALIZE_HPP
+#define ZAC_ZAIR_SERIALIZE_HPP
+
+#include <string>
+
+#include "common/json.hpp"
+#include "zair/program.hpp"
+
+namespace zac
+{
+
+/** Serialize one instruction to its JSON object form. */
+json::Value zairInstrToJson(const ZairInstr &instr);
+
+/** Serialize a whole program (array of instruction objects + header). */
+json::Value zairProgramToJson(const ZairProgram &program);
+
+/** Write a program to @p path as pretty-printed JSON. */
+void saveZairProgram(const std::string &path, const ZairProgram &program);
+
+/** Parse one instruction from its JSON object form. */
+ZairInstr zairInstrFromJson(const json::Value &v);
+
+/** Parse a whole program (inverse of zairProgramToJson). */
+ZairProgram zairProgramFromJson(const json::Value &v);
+
+/** Load a program from a JSON file written by saveZairProgram. */
+ZairProgram loadZairProgram(const std::string &path);
+
+} // namespace zac
+
+#endif // ZAC_ZAIR_SERIALIZE_HPP

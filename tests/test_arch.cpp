@@ -1,0 +1,265 @@
+/**
+ * @file
+ * Unit tests for the architecture specification, presets, geometry
+ * queries, and JSON serialization (paper Sec. III, Fig. 20).
+ */
+
+#include <gtest/gtest.h>
+
+#include "arch/presets.hpp"
+#include "arch/serialize.hpp"
+#include "arch/spec.hpp"
+#include "common/logging.hpp"
+
+namespace zac
+{
+namespace
+{
+
+// ------------------------------------------------------------- presets
+
+TEST(ArchPresets, ReferenceZonedMatchesFig20)
+{
+    const Architecture arch = presets::referenceZoned();
+    // 7x20 Rydberg sites, 100x100 storage traps.
+    EXPECT_EQ(arch.numSites(), 140);
+    EXPECT_EQ(arch.numStorageTraps(), 10000);
+    ASSERT_EQ(arch.entanglementZones().size(), 1u);
+    ASSERT_EQ(arch.storageZones().size(), 1u);
+
+    // Entanglement SLM pair at (35,307) and (37,307), pitch 12 x 10.
+    const RydbergSite &s00 = arch.site(arch.siteIndex(0, 0, 0));
+    EXPECT_DOUBLE_EQ(s00.pos_left.x, 35.0);
+    EXPECT_DOUBLE_EQ(s00.pos_left.y, 307.0);
+    EXPECT_DOUBLE_EQ(s00.pos_right.x, 37.0);
+    const RydbergSite &s12 = arch.site(arch.siteIndex(0, 1, 2));
+    EXPECT_DOUBLE_EQ(s12.pos_left.x, 35.0 + 2 * 12.0);
+    EXPECT_DOUBLE_EQ(s12.pos_left.y, 307.0 + 10.0);
+
+    // Storage pitch 3 um from the origin; top row at y = 297.
+    const Point top = arch.trapPosition({0, 99, 0});
+    EXPECT_DOUBLE_EQ(top.y, 297.0);
+    EXPECT_DOUBLE_EQ(arch.trapPosition({0, 0, 5}).x, 15.0);
+}
+
+TEST(ArchPresets, MultiAodVariants)
+{
+    EXPECT_EQ(presets::referenceZoned(1).aods().size(), 1u);
+    EXPECT_EQ(presets::referenceZoned(4).aods().size(), 4u);
+}
+
+TEST(ArchPresets, MonolithicHasNoStorage)
+{
+    const Architecture arch = presets::monolithic();
+    EXPECT_EQ(arch.numSites(), 100);
+    EXPECT_EQ(arch.numStorageTraps(), 0);
+    EXPECT_TRUE(arch.storageZones().empty());
+}
+
+TEST(ArchPresets, MultiZoneArch2HasTwoEntanglementZones)
+{
+    const Architecture a1 = presets::multiZoneArch1();
+    const Architecture a2 = presets::multiZoneArch2();
+    EXPECT_EQ(a1.entanglementZones().size(), 1u);
+    EXPECT_EQ(a2.entanglementZones().size(), 2u);
+    // Same number of Rydberg sites for the Sec. VII-H comparison.
+    EXPECT_EQ(a1.numSites(), 60);
+    EXPECT_EQ(a2.numSites(), 60);
+    EXPECT_EQ(a1.numStorageTraps(), 120);
+    EXPECT_EQ(a2.numStorageTraps(), 120);
+}
+
+TEST(ArchPresets, LogicalArchSupports3x5Sites)
+{
+    const Architecture arch = presets::logicalBlockArch();
+    EXPECT_EQ(arch.numSites(), 15); // floor(7/2) x floor(20/4)
+    EXPECT_GE(arch.numStorageTraps(), 128);
+}
+
+// ---------------------------------------------------------- validation
+
+TEST(ArchSpec, EntanglementZoneNeedsTwoSlms)
+{
+    Architecture arch;
+    SlmSpec slm;
+    slm.rows = 2;
+    slm.cols = 2;
+    const int idx = arch.addSlm(slm);
+    ZoneSpec zone;
+    zone.slm_ids = {idx};
+    EXPECT_THROW(arch.addZone(ZoneKind::Entanglement, zone),
+                 FatalError);
+}
+
+TEST(ArchSpec, EntanglementSlmPairMustMatchDims)
+{
+    Architecture arch;
+    SlmSpec a;
+    a.rows = 2;
+    a.cols = 3;
+    SlmSpec b = a;
+    b.rows = 4;
+    b.origin = {2.0, 0.0};
+    ZoneSpec zone;
+    zone.slm_ids = {arch.addSlm(a), arch.addSlm(b)};
+    arch.addZone(ZoneKind::Entanglement, zone);
+    AodSpec aod;
+    arch.addAod(aod);
+    EXPECT_THROW(arch.finalize(), FatalError);
+}
+
+TEST(ArchSpec, FinalizeRequiresAodAndZone)
+{
+    Architecture arch;
+    EXPECT_THROW(arch.finalize(), FatalError);
+}
+
+TEST(ArchSpec, RejectsBadSlm)
+{
+    Architecture arch;
+    SlmSpec slm;
+    slm.rows = 0;
+    slm.cols = 5;
+    EXPECT_THROW(arch.addSlm(slm), FatalError);
+    slm.rows = 5;
+    slm.sep_x = -1.0;
+    EXPECT_THROW(arch.addSlm(slm), FatalError);
+}
+
+TEST(ArchSpec, TrapPositionBoundsChecked)
+{
+    const Architecture arch = presets::referenceZoned();
+    EXPECT_THROW(arch.trapPosition({0, 100, 0}), PanicError);
+    EXPECT_THROW(arch.trapPosition({99, 0, 0}), PanicError);
+}
+
+// -------------------------------------------------------------- queries
+
+TEST(ArchQueries, NearestSiteAndTrap)
+{
+    const Architecture arch = presets::referenceZoned();
+    // Right at site (0,0)'s left trap.
+    EXPECT_EQ(arch.nearestSite({35.0, 307.0}),
+              arch.siteIndex(0, 0, 0));
+    // Nearer to site (2,5).
+    EXPECT_EQ(arch.nearestSite({35.0 + 5 * 12.0 + 1.0,
+                                307.0 + 2 * 10.0 - 1.0}),
+              arch.siteIndex(0, 2, 5));
+    // Storage: clamped to the grid.
+    EXPECT_EQ(arch.nearestStorageTrap({-5.0, -5.0}),
+              (TrapRef{0, 0, 0}));
+    EXPECT_EQ(arch.nearestStorageTrap({7.4, 298.0}),
+              (TrapRef{0, 99, 2}));
+}
+
+TEST(ArchQueries, StorageNeighborsRespectBounds)
+{
+    const Architecture arch = presets::referenceZoned();
+    const auto corner = arch.storageNeighbors({0, 0, 0}, 2);
+    EXPECT_EQ(corner.size(), 4u); // only +x and +y directions
+    const auto middle = arch.storageNeighbors({0, 50, 50}, 1);
+    EXPECT_EQ(middle.size(), 4u);
+    const auto middle2 = arch.storageNeighbors({0, 50, 50}, 2);
+    EXPECT_EQ(middle2.size(), 8u);
+}
+
+TEST(ArchQueries, StorageTrapsInBox)
+{
+    const Architecture arch = presets::referenceZoned();
+    // Box spanning traps (0,0)..(1,2): 2 rows x 3 cols.
+    const auto traps =
+        arch.storageTrapsInBox({{0.0, 0.0}, {6.0, 3.0}});
+    EXPECT_EQ(traps.size(), 6u);
+    // Degenerate box: exactly one trap.
+    EXPECT_EQ(arch.storageTrapsInBox({{3.0, 3.0}}).size(), 1u);
+}
+
+TEST(ArchQueries, EntanglementZoneContainment)
+{
+    const Architecture arch = presets::referenceZoned();
+    EXPECT_TRUE(arch.inEntanglementZone({35.0, 307.0}));
+    EXPECT_TRUE(arch.inEntanglementZone({100.0, 340.0}));
+    EXPECT_FALSE(arch.inEntanglementZone({100.0, 200.0}));
+    EXPECT_EQ(arch.entanglementZoneAt({0.0, 0.0}), -1);
+
+    const Architecture arch2 = presets::multiZoneArch2();
+    EXPECT_EQ(arch2.entanglementZoneAt({10.0, 0.0}), 0);
+    EXPECT_EQ(arch2.entanglementZoneAt({10.0, 50.0}), 1);
+}
+
+TEST(ArchQueries, SiteIndexLayout)
+{
+    const Architecture arch = presets::referenceZoned();
+    EXPECT_EQ(arch.siteIndex(0, 0, 0), 0);
+    EXPECT_EQ(arch.siteIndex(0, 0, 19), 19);
+    EXPECT_EQ(arch.siteIndex(0, 1, 0), 20);
+    EXPECT_EQ(arch.siteIndex(0, 6, 19), 139);
+    EXPECT_EQ(arch.siteIndex(0, 7, 0), -1);
+    EXPECT_THROW(arch.siteIndex(1, 0, 0), PanicError);
+}
+
+// -------------------------------------------------------- serialization
+
+TEST(ArchSerialize, LoadsThePaperFig20Spec)
+{
+    // Abridged copy of the paper's Fig. 20 JSON (with its "dimenstion"
+    // typo preserved).
+    const char *spec = R"({
+      "name": "full_compute_store_architecture",
+      "operation_duration": {"rydberg": 0.36, "1qGate": 52,
+                             "atom_transfer": 15},
+      "operation_fidelity": {"two_qubit_gate": 0.995,
+                             "single_qubit_gate": 0.9997,
+                             "atom_transfer": 0.999},
+      "qubit_spec": {"T": 1.5e6},
+      "storage_zones": [{
+        "zone_id": 0,
+        "slms": [{"id": 0, "site_seperation": [3, 3],
+                  "r": 100, "c": 100, "location": [0, 0]}],
+        "offset": [0, 0], "dimenstion": [300, 300]}],
+      "entanglement_zones": [{
+        "zone_id": 0,
+        "slms": [{"id": 1, "site_seperation": [12, 10], "r": 7,
+                  "c": 20, "location": [35, 307]},
+                 {"id": 2, "site_seperation": [12, 10], "r": 7,
+                  "c": 20, "location": [37, 307]}],
+        "offset": [35, 307], "dimension": [240, 70]}],
+      "aods": [{"id": 0, "site_seperation": 2, "r": 100, "c": 100}]
+    })";
+    const Architecture arch = architectureFromJson(json::parse(spec));
+    EXPECT_EQ(arch.name(), "full_compute_store_architecture");
+    EXPECT_EQ(arch.numSites(), 140);
+    EXPECT_EQ(arch.numStorageTraps(), 10000);
+    EXPECT_DOUBLE_EQ(arch.params().t_rydberg_us, 0.36);
+    EXPECT_DOUBLE_EQ(arch.params().t_1q_us, 52.0);
+    EXPECT_DOUBLE_EQ(arch.params().f_2q, 0.995);
+    EXPECT_DOUBLE_EQ(arch.params().t2_us, 1.5e6);
+    EXPECT_DOUBLE_EQ(arch.site(0).pos_left.x, 35.0);
+}
+
+TEST(ArchSerialize, RoundTripsThroughJson)
+{
+    const Architecture arch = presets::referenceZoned(2);
+    const json::Value v = architectureToJson(arch);
+    const Architecture back = architectureFromJson(v);
+    EXPECT_EQ(back.numSites(), arch.numSites());
+    EXPECT_EQ(back.numStorageTraps(), arch.numStorageTraps());
+    EXPECT_EQ(back.aods().size(), arch.aods().size());
+    EXPECT_DOUBLE_EQ(back.site(37).pos_left.x,
+                     arch.site(37).pos_left.x);
+    EXPECT_DOUBLE_EQ(back.params().f_exc, arch.params().f_exc);
+}
+
+TEST(ArchSerialize, FileRoundTrip)
+{
+    const Architecture arch = presets::multiZoneArch2();
+    const std::string path =
+        ::testing::TempDir() + "/zac_arch_test.json";
+    saveArchitecture(path, arch);
+    const Architecture back = loadArchitecture(path);
+    EXPECT_EQ(back.entanglementZones().size(), 2u);
+    EXPECT_EQ(back.numSites(), 60);
+}
+
+} // namespace
+} // namespace zac

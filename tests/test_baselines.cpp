@@ -1,0 +1,323 @@
+/**
+ * @file
+ * Tests for the baseline compilers: Enola, Atomique, NALAC, the SC
+ * coupling graphs, SABRE routing, and the SC fidelity model.
+ */
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "arch/presets.hpp"
+#include "common/logging.hpp"
+#include "baselines/atomique.hpp"
+#include "baselines/enola.hpp"
+#include "baselines/nalac.hpp"
+#include "baselines/sc/coupling.hpp"
+#include "baselines/sc/sabre.hpp"
+#include "baselines/sc/sc_model.hpp"
+#include "circuit/generators.hpp"
+#include "core/compiler.hpp"
+#include "transpile/optimize.hpp"
+
+namespace zac
+{
+namespace
+{
+
+using namespace zac::baselines;
+
+// ----------------------------------------------------------------- Enola
+
+TEST(Enola, RequiresMonolithicArchitecture)
+{
+    EXPECT_THROW(EnolaCompiler(presets::referenceZoned()), FatalError);
+    EXPECT_NO_THROW(EnolaCompiler(presets::monolithic()));
+}
+
+TEST(Enola, AllIdleQubitsAreExcited)
+{
+    EnolaCompiler enola(presets::monolithic());
+    const Circuit c = bench_circuits::paperBenchmark("ghz_n23");
+    const EnolaResult r = enola.compile(c);
+    // Every stage exposes all 23 qubits; each stage has 1 gate, so
+    // 21 idle qubits per stage times 22 stages.
+    EXPECT_EQ(r.staged.numRydbergStages(), 22);
+    EXPECT_EQ(r.fidelity.n_excitation, 22 * 21);
+    EXPECT_GT(r.fidelity.n_transfer, 0);
+}
+
+TEST(Enola, ParallelCircuitsHaveFewExposures)
+{
+    EnolaCompiler enola(presets::monolithic());
+    const Circuit c = bench_circuits::paperBenchmark("ising_n98");
+    const EnolaResult r = enola.compile(c);
+    // 4 stages of 49/49/48/48 gates: only the 2-qubit gaps idle.
+    EXPECT_EQ(r.staged.numRydbergStages(), 4);
+    EXPECT_EQ(r.fidelity.n_excitation, 0 + 0 + 2 + 2);
+}
+
+TEST(Enola, ZonedBeatsMonolithicOnSequentialCircuits)
+{
+    EnolaCompiler enola(presets::monolithic());
+    ZacOptions opts;
+    opts.sa_iterations = 100;
+    ZacCompiler zac(presets::referenceZoned(), opts);
+    const Circuit c = bench_circuits::paperBenchmark("bv_n70");
+    const double f_enola = enola.compile(c).fidelity.total;
+    const double f_zac = zac.compile(c).fidelity.total;
+    // The paper reports a 635x gap for bv_n70; demand at least 50x.
+    EXPECT_GT(f_zac / f_enola, 50.0);
+}
+
+// -------------------------------------------------------------- Atomique
+
+TEST(Atomique, PartitionIsValidAndCutsEdges)
+{
+    // A path graph: optimal cut puts alternating sides.
+    std::vector<std::pair<int, int>> edges;
+    for (int i = 0; i + 1 < 10; ++i)
+        edges.emplace_back(i, i + 1);
+    const auto side = AtomiqueCompiler::partitionQubits(10, edges);
+    int cut = 0;
+    for (const auto &[a, b] : edges)
+        cut += side[static_cast<std::size_t>(a)] !=
+               side[static_cast<std::size_t>(b)];
+    EXPECT_GE(cut, 7); // greedy should keep most edges cut
+    // Both arrays populated.
+    const int on = static_cast<int>(
+        std::count(side.begin(), side.end(), true));
+    EXPECT_GT(on, 0);
+    EXPECT_LT(on, 10);
+}
+
+TEST(Atomique, NoTransfersEver)
+{
+    AtomiqueCompiler atomique{presets::monolithic()};
+    const AtomiqueResult r =
+        atomique.compile(bench_circuits::paperBenchmark("bv_n14"));
+    EXPECT_EQ(r.fidelity.n_transfer, 0);
+    EXPECT_DOUBLE_EQ(r.fidelity.f_transfer, 1.0);
+}
+
+TEST(Atomique, SwapsInflateGateCounts)
+{
+    AtomiqueCompiler atomique{presets::monolithic()};
+    const Circuit c = bench_circuits::paperBenchmark("qft_n18");
+    const AtomiqueResult r = atomique.compile(c);
+    const int base_2q = preprocess(c).count2Q();
+    EXPECT_GT(r.num_swaps, 0);
+    EXPECT_EQ(r.fidelity.g2, base_2q + 3 * r.num_swaps);
+}
+
+TEST(Atomique, InterArrayGatesNeedNoSwap)
+{
+    AtomiqueCompiler atomique{presets::monolithic()};
+    // GHZ chain: alternating partition makes every gate inter-array.
+    const AtomiqueResult r =
+        atomique.compile(bench_circuits::ghz(10));
+    EXPECT_EQ(r.num_swaps, 0);
+    EXPECT_EQ(r.inter_array_gates, 9);
+}
+
+// ----------------------------------------------------------------- NALAC
+
+TEST(Nalac, RequiresZonedArchitecture)
+{
+    EXPECT_THROW(NalacCompiler(presets::monolithic()), FatalError);
+}
+
+TEST(Nalac, SingleRowCapsStages)
+{
+    NalacCompiler nalac{presets::referenceZoned()};
+    const Circuit c = bench_circuits::paperBenchmark("ising_n98");
+    const NalacResult r = nalac.compile(c);
+    // 194 gates on a 20-site row: at least ceil(194/20) = 10 stages
+    // versus ZAC's 4.
+    EXPECT_GE(r.staged.numRydbergStages(), 10);
+    // Gates only in row 0 (site index < 20).
+    for (const ZairInstr &in : r.program.instrs) {
+        if (in.kind != ZairKind::RearrangeJob)
+            continue;
+        for (const QLoc &l : in.end_locs) {
+            if (l.a == 0)
+                continue; // storage
+        }
+    }
+}
+
+TEST(Nalac, ParkedQubitsPayExcitation)
+{
+    NalacCompiler nalac{presets::referenceZoned()};
+    const Circuit c = bench_circuits::paperBenchmark("qft_n18");
+    const NalacResult r = nalac.compile(c);
+    EXPECT_GT(r.parked_qubit_pulses, 0);
+    EXPECT_LT(r.fidelity.f_excitation, 1.0);
+}
+
+TEST(Nalac, ZacBeatsNalac)
+{
+    NalacCompiler nalac{presets::referenceZoned()};
+    ZacOptions opts;
+    opts.sa_iterations = 100;
+    ZacCompiler zac(presets::referenceZoned(), opts);
+    std::vector<double> ratios;
+    for (const char *name : {"ghz_n23", "qft_n18", "wstate_n27"}) {
+        const Circuit c = bench_circuits::paperBenchmark(name);
+        ratios.push_back(zac.compile(c).fidelity.total /
+                         nalac.compile(c).fidelity.total);
+    }
+    double prod = 1.0;
+    for (double r : ratios)
+        prod *= r;
+    EXPECT_GT(std::pow(prod, 1.0 / ratios.size()), 1.2);
+}
+
+// -------------------------------------------------------------- coupling
+
+TEST(Coupling, HeavyHexHas127QubitsDegreeAtMost3)
+{
+    const CouplingGraph g = heavyHex127();
+    EXPECT_EQ(g.num_qubits, 127);
+    std::vector<int> degree(127, 0);
+    for (const auto &[a, b] : g.edges) {
+        ++degree[static_cast<std::size_t>(a)];
+        ++degree[static_cast<std::size_t>(b)];
+    }
+    for (int d : degree) {
+        EXPECT_GE(d, 1);
+        EXPECT_LE(d, 3);
+    }
+    // Connected.
+    const auto dist = g.distances();
+    for (int q = 0; q < 127; ++q)
+        EXPECT_GE(dist[0][static_cast<std::size_t>(q)], 0);
+    // Heavy-hex edge count for this layout: 144.
+    EXPECT_EQ(g.edges.size(), 144u);
+}
+
+TEST(Coupling, GridStructure)
+{
+    const CouplingGraph g = grid(11, 11);
+    EXPECT_EQ(g.num_qubits, 121);
+    EXPECT_EQ(g.edges.size(), 2u * 11u * 10u);
+    EXPECT_TRUE(g.hasEdge(0, 1));
+    EXPECT_TRUE(g.hasEdge(0, 11));
+    EXPECT_FALSE(g.hasEdge(10, 11)); // row wrap is not an edge
+    const auto dist = g.distances();
+    EXPECT_EQ(dist[0][120], 20); // Manhattan corner to corner
+}
+
+// ----------------------------------------------------------------- SABRE
+
+/** All CZs in @p routed act on coupled pairs. */
+void
+checkRoutedLegal(const Circuit &routed, const CouplingGraph &g)
+{
+    const auto dist = g.distances();
+    for (const Gate &gate : routed.gates()) {
+        if (gate.op != Op::CZ)
+            continue;
+        EXPECT_EQ(dist[static_cast<std::size_t>(gate.qubits[0])]
+                      [static_cast<std::size_t>(gate.qubits[1])],
+                  1)
+            << gate.str();
+    }
+}
+
+TEST(Sabre, AdjacentGatesNeedNoSwaps)
+{
+    const CouplingGraph g = grid(3, 3);
+    Circuit c(4);
+    c.cz(0, 1);
+    c.cz(1, 2);
+    const Circuit pre = preprocess(c);
+    const SabreResult r = sabreRoute(pre, g);
+    EXPECT_EQ(r.num_swaps, 0);
+    checkRoutedLegal(r.routed, g);
+}
+
+TEST(Sabre, RoutesDistantGates)
+{
+    const CouplingGraph g = grid(4, 4);
+    Circuit c(16);
+    c.cz(0, 15); // opposite corners
+    const SabreResult r = sabreRoute(preprocess(c), g);
+    EXPECT_GT(r.num_swaps, 0);
+    checkRoutedLegal(r.routed, g);
+    // CZ count: 1 original + 3 per swap.
+    EXPECT_EQ(r.routed.count2Q(), 1 + 3 * r.num_swaps);
+}
+
+class SabreProperty : public ::testing::TestWithParam<const char *>
+{
+};
+
+TEST_P(SabreProperty, RoutedCircuitsAreLegalOnBothDevices)
+{
+    const Circuit pre =
+        preprocess(bench_circuits::paperBenchmark(GetParam()));
+    for (const CouplingGraph &g : {heavyHex127(), grid(11, 11)}) {
+        const SabreResult r = sabreLayoutAndRoute(pre, g);
+        checkRoutedLegal(r.routed, g);
+        EXPECT_EQ(r.routed.count2Q(),
+                  pre.count2Q() + 3 * r.num_swaps);
+        // 1Q gates survive routing (plus 6 H per swap, 2 per CX).
+        EXPECT_EQ(r.routed.count1Q(),
+                  pre.count1Q() + 6 * r.num_swaps);
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(PaperCircuits, SabreProperty,
+                         ::testing::Values("bv_n14", "ghz_n23",
+                                           "ising_n42", "qft_n18",
+                                           "multiply_n13"));
+
+TEST(Sabre, LayoutIterationsReduceSwaps)
+{
+    const Circuit pre =
+        preprocess(bench_circuits::paperBenchmark("ising_n42"));
+    const CouplingGraph g = heavyHex127();
+    const SabreResult plain = sabreRoute(pre, g);
+    const SabreResult improved = sabreLayoutAndRoute(pre, g);
+    EXPECT_LE(improved.num_swaps, plain.num_swaps);
+}
+
+TEST(Sabre, RejectsOversizedCircuits)
+{
+    const CouplingGraph g = grid(2, 2);
+    Circuit c(9);
+    c.cz(0, 8);
+    EXPECT_THROW(sabreRoute(preprocess(c), g), FatalError);
+}
+
+// -------------------------------------------------------------- SC model
+
+TEST(ScModel, IsingIsFastAndAccurate)
+{
+    // The paper: ising_n42 reaches ~0.6 on Heron (vs 0.37 on zoned).
+    const ScResult r = ScCompiler::heron().compile(
+        bench_circuits::paperBenchmark("ising_n42"));
+    EXPECT_GT(r.total, 0.45);
+    EXPECT_LT(r.duration_us, 50.0);
+}
+
+TEST(ScModel, GridHasShorterT2HenceLowerFidelityOnDeepCircuits)
+{
+    const Circuit c = bench_circuits::paperBenchmark("qft_n18");
+    const ScResult heron = ScCompiler::heron().compile(c);
+    const ScResult gridr = ScCompiler::sycamoreGrid().compile(c);
+    EXPECT_LT(gridr.f_decoherence, heron.f_decoherence);
+}
+
+TEST(ScModel, TermsMultiplyToTotal)
+{
+    const ScResult r = ScCompiler::heron().compile(
+        bench_circuits::paperBenchmark("bv_n14"));
+    EXPECT_NEAR(r.total, r.f_1q * r.f_2q * r.f_decoherence, 1e-12);
+    EXPECT_GT(r.g2, 0);
+    EXPECT_GT(r.duration_us, 0.0);
+}
+
+} // namespace
+} // namespace zac

@@ -1,0 +1,454 @@
+/**
+ * @file
+ * Unit tests for ZAC's placement components: placement state, cost
+ * functions (Eq. 1-3), SA initial placement, reuse matching, gate
+ * placement, qubit placement, and job splitting.
+ */
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "arch/presets.hpp"
+#include "common/logging.hpp"
+#include "circuit/generators.hpp"
+#include "common/rng.hpp"
+#include "core/cost.hpp"
+#include "core/gate_placer.hpp"
+#include "core/jobs.hpp"
+#include "core/placement_state.hpp"
+#include "core/qubit_placer.hpp"
+#include "core/reuse.hpp"
+#include "core/sa_placer.hpp"
+#include "transpile/optimize.hpp"
+#include "zair/machine.hpp"
+
+namespace zac
+{
+namespace
+{
+
+// ------------------------------------------------------ placement state
+
+TEST(PlacementState, PlaceSwapAndOccupancy)
+{
+    const Architecture arch = presets::referenceZoned();
+    PlacementState st(arch, 3);
+    st.place(0, {0, 99, 0});
+    st.place(1, {0, 99, 1});
+    st.place(2, {0, 98, 0});
+    EXPECT_EQ(st.occupant({0, 99, 1}), 1);
+    EXPECT_TRUE(st.isEmpty({0, 97, 5}));
+    st.swapQubits(0, 2);
+    EXPECT_EQ(st.trapOf(0), (TrapRef{0, 98, 0}));
+    EXPECT_EQ(st.occupant({0, 99, 0}), 2);
+    EXPECT_THROW(st.place(1, {0, 98, 0}), PanicError); // occupied
+}
+
+TEST(PlacementState, HomeTracksLastStorageTrap)
+{
+    const Architecture arch = presets::referenceZoned();
+    PlacementState st(arch, 1);
+    st.place(0, {0, 99, 0});
+    EXPECT_EQ(st.homeOf(0), (TrapRef{0, 99, 0}));
+    // Moving to a site keeps the storage home.
+    st.place(0, arch.site(0).left);
+    EXPECT_EQ(st.homeOf(0), (TrapRef{0, 99, 0}));
+    st.place(0, {0, 95, 7});
+    EXPECT_EQ(st.homeOf(0), (TrapRef{0, 95, 7}));
+}
+
+TEST(PlacementState, SnapshotRestore)
+{
+    const Architecture arch = presets::referenceZoned();
+    PlacementState st(arch, 2);
+    st.place(0, {0, 99, 0});
+    st.place(1, {0, 99, 1});
+    const auto snap = st.snapshot();
+    st.place(0, {0, 90, 5});
+    st.restore(snap);
+    EXPECT_EQ(st.trapOf(0), (TrapRef{0, 99, 0}));
+    EXPECT_EQ(st.occupant({0, 90, 5}), -1);
+}
+
+// ---------------------------------------------------------- cost (Eq 1)
+
+TEST(Cost, PaperWorkedExample)
+{
+    // Fig. 5: omega_0,0 at (0,19); q0 at (13,9), q1 at (1,9). Same SLM
+    // row, so the cost is max(sqrt(16.40), sqrt(10.05)) = 4.05.
+    const double c = gateCost({0.0, 19.0}, {13.0, 9.0}, {1.0, 9.0});
+    EXPECT_NEAR(c, 4.05, 0.005);
+}
+
+TEST(Cost, DifferentRowsSumSameRowMax)
+{
+    const Point site{0.0, 0.0};
+    const double same =
+        gateCost(site, {3.0, 4.0}, {6.0, 4.0}); // same row
+    EXPECT_NEAR(same, std::sqrt(std::hypot(6.0, 4.0)), 1e-12);
+    const double diff =
+        gateCost(site, {3.0, 4.0}, {6.0, 5.0}); // different rows
+    EXPECT_NEAR(diff,
+                std::sqrt(5.0) + std::sqrt(std::hypot(6.0, 5.0)),
+                1e-12);
+    EXPECT_GT(diff, same);
+}
+
+TEST(Cost, NearestSiteForGateUsesMiddleSite)
+{
+    const Architecture arch = presets::referenceZoned();
+    // Qubits directly under site columns 2 and 8 -> middle column 5.
+    const Point under_c2{35.0 + 2 * 12.0, 297.0};
+    const Point under_c8{35.0 + 8 * 12.0, 297.0};
+    EXPECT_EQ(nearestSiteForGate(arch, under_c2, under_c8),
+              arch.siteIndex(0, 0, 5));
+}
+
+TEST(Cost, TransitionCostAddsTransfersAndMoves)
+{
+    const double t = transitionCost({0.0, 10.0}, 15.0);
+    EXPECT_NEAR(t, 2 * 15.0 + (2 * 15.0 + moveDurationUs(10.0)),
+                1e-9);
+    EXPECT_DOUBLE_EQ(transitionCost({}, 15.0), 0.0);
+}
+
+// --------------------------------------------------- initial placement
+
+TEST(SaPlacer, TrivialPlacementFillsNearestRow)
+{
+    const Architecture arch = presets::referenceZoned();
+    const auto traps = trivialInitialPlacement(arch, 5);
+    for (int q = 0; q < 5; ++q) {
+        EXPECT_EQ(traps[static_cast<std::size_t>(q)],
+                  (TrapRef{0, 99, q}));
+    }
+    EXPECT_THROW(trivialInitialPlacement(arch, 10001), FatalError);
+}
+
+TEST(SaPlacer, ProximityOrderIsMonotone)
+{
+    const Architecture arch = presets::referenceZoned();
+    const auto order = storageTrapsByProximity(arch);
+    ASSERT_EQ(order.size(), 10000u);
+    // Distances to the nearest site row never decrease.
+    double prev = -1.0;
+    for (std::size_t i = 0; i < order.size(); i += 517) {
+        const double d = 307.0 - arch.trapPosition(order[i]).y;
+        EXPECT_GE(d + 1e-9, prev);
+        prev = d;
+    }
+}
+
+class SaImprovesProperty : public ::testing::TestWithParam<const char *>
+{
+};
+
+TEST_P(SaImprovesProperty, CostNeverWorseThanTrivial)
+{
+    const Architecture arch = presets::referenceZoned();
+    const Circuit pre =
+        preprocess(bench_circuits::paperBenchmark(GetParam()));
+    const StagedCircuit staged = scheduleStages(pre, arch.numSites());
+    const auto trivial =
+        trivialInitialPlacement(arch, staged.numQubits);
+    SaOptions opts;
+    opts.max_iterations = 300;
+    opts.seed = 5;
+    const auto sa = saInitialPlacement(arch, staged, opts);
+    EXPECT_LE(initialPlacementCost(arch, staged, sa),
+              initialPlacementCost(arch, staged, trivial) + 1e-9);
+    // Distinct traps.
+    std::set<TrapRef> seen(sa.begin(), sa.end());
+    EXPECT_EQ(seen.size(), sa.size());
+}
+
+INSTANTIATE_TEST_SUITE_P(PaperCircuits, SaImprovesProperty,
+                         ::testing::Values("bv_n14", "ghz_n23",
+                                           "ising_n42", "qft_n18",
+                                           "knn_n31"));
+
+TEST(SaPlacer, DeterministicPerSeed)
+{
+    const Architecture arch = presets::referenceZoned();
+    const Circuit pre =
+        preprocess(bench_circuits::paperBenchmark("wstate_n27"));
+    const StagedCircuit staged = scheduleStages(pre, arch.numSites());
+    SaOptions opts;
+    opts.max_iterations = 200;
+    opts.seed = 11;
+    const auto a = saInitialPlacement(arch, staged, opts);
+    const auto b = saInitialPlacement(arch, staged, opts);
+    EXPECT_EQ(a, b);
+}
+
+// ---------------------------------------------------------------- reuse
+
+TEST(Reuse, PaperFig6Example)
+{
+    // l2: g0(0,1), g1(3,4); l4: g2(1,2), g3(3,5), g4(0,4).
+    RydbergStage cur;
+    cur.gates = {{0, 0, 1}, {1, 3, 4}};
+    RydbergStage next;
+    next.gates = {{2, 1, 2}, {3, 3, 5}, {4, 0, 4}};
+    const ReuseMatching m = computeReuseMatching(cur, next);
+    EXPECT_EQ(m.size, 2);
+    // Every matched pair shares a qubit.
+    for (std::size_t i = 0; i < cur.gates.size(); ++i) {
+        const int j = m.next_of_cur[i];
+        ASSERT_GE(j, 0);
+        const StagedGate &g = cur.gates[i];
+        const StagedGate &h = next.gates[static_cast<std::size_t>(j)];
+        EXPECT_TRUE(h.touches(g.q0) || h.touches(g.q1));
+    }
+    const auto stay = reusedQubits(cur, next, m);
+    EXPECT_EQ(stay.size(), 2u);
+}
+
+TEST(Reuse, SamePairGateKeepsBothQubits)
+{
+    RydbergStage cur;
+    cur.gates = {{0, 0, 1}};
+    RydbergStage next;
+    next.gates = {{1, 1, 0}};
+    const ReuseMatching m = computeReuseMatching(cur, next);
+    EXPECT_EQ(m.size, 1);
+    EXPECT_EQ(reusedQubits(cur, next, m).size(), 2u);
+}
+
+TEST(Reuse, EmptyMatchingHasNoStays)
+{
+    RydbergStage cur;
+    cur.gates = {{0, 0, 1}};
+    RydbergStage next;
+    next.gates = {{1, 2, 3}};
+    const ReuseMatching m = computeReuseMatching(cur, next);
+    EXPECT_EQ(m.size, 0);
+    EXPECT_TRUE(reusedQubits(cur, next, m).empty());
+}
+
+// --------------------------------------------------------- gate placer
+
+TEST(GatePlacer, AssignsDistinctSitesAndRespectsPins)
+{
+    const Architecture arch = presets::referenceZoned();
+    PlacementState st(arch, 6);
+    for (int q = 0; q < 6; ++q)
+        st.place(q, {0, 99, q});
+    std::vector<StagedGate> gates = {{0, 0, 1}, {1, 2, 3}, {2, 4, 5}};
+    GatePlacementRequest req;
+    req.gates = &gates;
+    req.pinned_site = {-1, 42, -1};
+    req.lookahead.assign(3, std::nullopt);
+    const std::vector<int> sites = placeGates(st, req);
+    EXPECT_EQ(sites[1], 42);
+    std::set<int> uniq(sites.begin(), sites.end());
+    EXPECT_EQ(uniq.size(), 3u);
+    for (int s : sites) {
+        EXPECT_GE(s, 0);
+        EXPECT_LT(s, arch.numSites());
+    }
+}
+
+TEST(GatePlacer, PrefersNearbyColumns)
+{
+    const Architecture arch = presets::referenceZoned();
+    PlacementState st(arch, 2);
+    // Qubits near x of site column 10.
+    st.place(0, {0, 99, 58}); // x = 174
+    st.place(1, {0, 99, 60}); // x = 180
+    std::vector<StagedGate> gates = {{0, 0, 1}};
+    GatePlacementRequest req;
+    req.gates = &gates;
+    req.pinned_site = {-1};
+    req.lookahead = {std::nullopt};
+    const int site = placeGates(st, req)[0];
+    // Site row 0 (closest to storage), column near 174/12 - 35/12 ~ 11.
+    EXPECT_EQ(arch.site(site).r, 0);
+    EXPECT_NEAR(arch.site(site).c, 11, 1);
+}
+
+TEST(GatePlacer, LookaheadShiftsChoiceTowardPartner)
+{
+    const Architecture arch = presets::referenceZoned();
+    PlacementState st(arch, 3);
+    st.place(0, {0, 99, 50});
+    st.place(1, {0, 99, 52});
+    st.place(2, {0, 99, 0}); // far-left incoming partner
+    std::vector<StagedGate> gates = {{0, 0, 1}};
+    GatePlacementRequest plain;
+    plain.gates = &gates;
+    plain.pinned_site = {-1};
+    plain.lookahead = {std::nullopt};
+    const int without = placeGates(st, plain)[0];
+    GatePlacementRequest pull = plain;
+    pull.lookahead = {st.posOf(2)};
+    const int with = placeGates(st, pull)[0];
+    EXPECT_LE(arch.site(with).c, arch.site(without).c);
+}
+
+TEST(GatePlacer, FailsWhenMoreGatesThanSites)
+{
+    const Architecture arch = presets::multiZoneArch1(); // 60 sites
+    PlacementState st(arch, 10);
+    for (int q = 0; q < 10; ++q)
+        st.place(q, {0, 2, q});
+    std::vector<StagedGate> gates;
+    std::vector<int> pins;
+    for (int i = 0; i < 5; ++i) {
+        gates.push_back({i, 2 * i, 2 * i + 1});
+        pins.push_back(i); // all pinned...
+    }
+    GatePlacementRequest req;
+    req.gates = &gates;
+    req.pinned_site = pins;
+    req.pinned_site[0] = req.pinned_site[1]; // duplicate pin
+    req.lookahead.assign(5, std::nullopt);
+    EXPECT_THROW(placeGates(st, req), PanicError);
+}
+
+// -------------------------------------------------------- qubit placer
+
+TEST(QubitPlacer, ReturnsDistinctEmptyStorageTraps)
+{
+    const Architecture arch = presets::referenceZoned();
+    PlacementState st(arch, 4);
+    st.place(0, {0, 99, 0});
+    st.place(1, {0, 99, 1});
+    // Move 0 and 1 into the zone.
+    st.place(0, arch.site(5).left);
+    st.place(1, arch.site(5).right);
+    st.place(2, {0, 99, 2});
+    st.place(3, {0, 99, 3});
+    QubitPlacementRequest req;
+    req.leaving = {0, 1};
+    req.related = {std::nullopt, std::nullopt};
+    const auto traps = placeQubitsInStorage(st, req);
+    ASSERT_EQ(traps.size(), 2u);
+    EXPECT_NE(traps[0], traps[1]);
+    for (const TrapRef &t : traps) {
+        EXPECT_TRUE(arch.isStorageTrap(t));
+        EXPECT_TRUE(st.isEmpty(t));
+    }
+}
+
+TEST(QubitPlacer, RelatedQubitPullsPlacement)
+{
+    const Architecture arch = presets::referenceZoned();
+    PlacementState st(arch, 2);
+    st.place(0, {0, 99, 50});
+    st.place(0, arch.site(10).left); // home stays at col 50
+    st.place(1, {0, 99, 0});         // partner far left
+    QubitPlacementRequest plain;
+    plain.leaving = {0};
+    plain.related = {std::nullopt};
+    const TrapRef without = placeQubitsInStorage(st, plain)[0];
+    QubitPlacementRequest pulled = plain;
+    pulled.related = {st.posOf(1)};
+    const TrapRef with = placeQubitsInStorage(st, pulled)[0];
+    EXPECT_LE(arch.trapPosition(with).x,
+              arch.trapPosition(without).x + 1e-9);
+}
+
+TEST(QubitPlacer, HomeReturnIsStatic)
+{
+    const Architecture arch = presets::referenceZoned();
+    PlacementState st(arch, 2);
+    st.place(0, {0, 99, 4});
+    st.place(0, arch.site(3).left);
+    st.place(1, {0, 99, 5});
+    const auto homes = returnQubitsHome(st, {0});
+    EXPECT_EQ(homes[0], (TrapRef{0, 99, 4}));
+}
+
+TEST(QubitPlacer, ExpandsWhenNeighborhoodIsFull)
+{
+    // Small storage (arch1: 3x40): crowd the nearest traps and check
+    // the matcher still finds distinct homes for many leavers.
+    const Architecture arch = presets::multiZoneArch1();
+    const int n = 30;
+    PlacementState st(arch, n);
+    const auto init = trivialInitialPlacement(arch, n);
+    for (int q = 0; q < n; ++q)
+        st.place(q, init[static_cast<std::size_t>(q)]);
+    // Move 20 qubits into the zone, then bring them all back.
+    QubitPlacementRequest req;
+    for (int q = 0; q < 20; ++q) {
+        st.place(q, q % 2 == 0 ? arch.site(q / 2).left
+                               : arch.site(q / 2).right);
+        req.leaving.push_back(q);
+        req.related.emplace_back(std::nullopt);
+    }
+    const auto traps = placeQubitsInStorage(st, req);
+    std::set<TrapRef> uniq(traps.begin(), traps.end());
+    EXPECT_EQ(uniq.size(), traps.size());
+}
+
+// ----------------------------------------------------------------- jobs
+
+TEST(Jobs, CompatibleMovementsStayTogether)
+{
+    const Architecture arch = presets::referenceZoned();
+    std::vector<Movement> moves = {
+        {0, {0, 99, 0}, arch.site(0).left},
+        {1, {0, 99, 2}, arch.site(1).left},
+    };
+    const auto jobs = splitIntoJobs(arch, moves);
+    EXPECT_EQ(jobs.size(), 1u);
+    EXPECT_EQ(jobs[0].size(), 2u);
+}
+
+TEST(Jobs, CrossingMovementsSplit)
+{
+    const Architecture arch = presets::referenceZoned();
+    std::vector<Movement> moves = {
+        {0, {0, 99, 0}, arch.site(5).left},
+        {1, {0, 99, 20}, arch.site(0).left}, // crosses qubit 0
+    };
+    const auto jobs = splitIntoJobs(arch, moves);
+    EXPECT_EQ(jobs.size(), 2u);
+}
+
+class JobsProperty : public ::testing::TestWithParam<int>
+{
+};
+
+TEST_P(JobsProperty, GroupsAreAodCompatibleAndCoverAll)
+{
+    const Architecture arch = presets::referenceZoned();
+    Rng rng(static_cast<std::uint64_t>(GetParam()) * 17 + 1);
+    // Random storage -> site movements.
+    std::set<TrapRef> used_src;
+    std::set<int> used_site;
+    std::vector<Movement> moves;
+    for (int q = 0; q < 24; ++q) {
+        TrapRef src{0, 90 + static_cast<int>(rng.nextBelow(10)),
+                    static_cast<int>(rng.nextBelow(100))};
+        if (!used_src.insert(src).second)
+            continue;
+        int site = static_cast<int>(
+            rng.nextBelow(static_cast<std::uint64_t>(arch.numSites())));
+        if (!used_site.insert(site).second)
+            continue;
+        moves.push_back({q, src,
+                         rng.nextBool() ? arch.site(site).left
+                                        : arch.site(site).right});
+    }
+    const auto jobs = splitIntoJobs(arch, moves);
+    std::size_t covered = 0;
+    for (const auto &job : jobs) {
+        covered += job.size();
+        std::vector<Point> b, e;
+        for (const Movement &m : job) {
+            b.push_back(arch.trapPosition(m.from));
+            e.push_back(arch.trapPosition(m.to));
+        }
+        EXPECT_TRUE(movementsAodCompatible(b, e));
+    }
+    EXPECT_EQ(covered, moves.size());
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, JobsProperty, ::testing::Range(0, 20));
+
+} // namespace
+} // namespace zac

@@ -1,0 +1,212 @@
+/**
+ * @file
+ * Unit tests for the five-term fidelity model and the ideal bounds of
+ * the optimality study (Fig. 13).
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "arch/presets.hpp"
+#include "common/logging.hpp"
+#include "circuit/generators.hpp"
+#include "core/compiler.hpp"
+#include "fidelity/ideal.hpp"
+#include "fidelity/model.hpp"
+#include "fidelity/params.hpp"
+#include "zair/machine.hpp"
+
+namespace zac
+{
+namespace
+{
+
+/** Hand-built program: one job in, one pulse, with a third idle qubit
+ *  parked inside/outside the zone depending on @p idler_in_zone. */
+ZairProgram
+handProgram(const Architecture &arch, bool idler_in_zone)
+{
+    ZairProgram p;
+    p.num_qubits = 3;
+    p.circuit_name = "hand";
+    p.arch_name = arch.name();
+
+    ZairInstr init;
+    init.kind = ZairKind::Init;
+    init.init_locs = {{0, 0, 99, 0}, {1, 0, 99, 1}};
+    if (idler_in_zone)
+        init.init_locs.push_back({2, 1, 3, 3}); // inside zone 0
+    else
+        init.init_locs.push_back({2, 0, 99, 2});
+    p.instrs.push_back(init);
+
+    ZairInstr job;
+    job.kind = ZairKind::RearrangeJob;
+    job.begin_locs = {{0, 0, 99, 0}, {1, 0, 99, 1}};
+    job.end_locs = {{0, 1, 0, 0}, {1, 2, 0, 0}};
+    const JobPhases phases = lowerRearrangeJob(job, arch);
+    job.begin_time_us = 0.0;
+    job.end_time_us = phases.total();
+    p.instrs.push_back(job);
+
+    ZairInstr ryd;
+    ryd.kind = ZairKind::Rydberg;
+    ryd.zone_id = 0;
+    ryd.gate_qubits = {0, 1};
+    ryd.begin_time_us = job.end_time_us;
+    ryd.end_time_us = job.end_time_us + arch.params().t_rydberg_us;
+    p.instrs.push_back(ryd);
+    return p;
+}
+
+TEST(FidelityModel, CountsTermsExactly)
+{
+    const Architecture arch = presets::referenceZoned();
+    const NaHardwareParams &hw = arch.params();
+    const FidelityBreakdown f =
+        evaluateFidelity(handProgram(arch, false), arch);
+    EXPECT_EQ(f.g1, 0);
+    EXPECT_EQ(f.g2, 1);
+    EXPECT_EQ(f.n_excitation, 0);
+    EXPECT_EQ(f.n_transfer, 4);
+    EXPECT_DOUBLE_EQ(f.f_2q_gates, hw.f_2q);
+    EXPECT_DOUBLE_EQ(f.f_transfer, std::pow(hw.f_transfer, 4));
+    EXPECT_DOUBLE_EQ(f.f_excitation, 1.0);
+    // Decoherence: three qubits idle for most of the makespan.
+    EXPECT_LT(f.f_decoherence, 1.0);
+    EXPECT_GT(f.f_decoherence, 0.999); // ~140 us of 1.5 s
+    EXPECT_NEAR(f.total,
+                f.f_1q * f.f_2q * f.f_transfer * f.f_decoherence,
+                1e-12);
+}
+
+TEST(FidelityModel, ExcitationChargesInZoneIdlers)
+{
+    const Architecture arch = presets::referenceZoned();
+    const FidelityBreakdown in_zone =
+        evaluateFidelity(handProgram(arch, true), arch);
+    const FidelityBreakdown outside =
+        evaluateFidelity(handProgram(arch, false), arch);
+    EXPECT_EQ(in_zone.n_excitation, 1);
+    EXPECT_EQ(outside.n_excitation, 0);
+    EXPECT_DOUBLE_EQ(in_zone.f_excitation, arch.params().f_exc);
+    EXPECT_LT(in_zone.total, outside.total);
+}
+
+TEST(FidelityModel, DecoherenceScalesWithDuration)
+{
+    const Architecture arch = presets::referenceZoned();
+    ZairProgram p = handProgram(arch, false);
+    const FidelityBreakdown base = evaluateFidelity(p, arch);
+    // Stretch the makespan by a fake long instruction.
+    ZairInstr wait;
+    wait.kind = ZairKind::OneQGate;
+    wait.unitary = {0.1, 0.0, 0.0};
+    wait.locs = {{0, 1, 0, 0}};
+    wait.begin_time_us = 1e5;
+    wait.end_time_us = 1e5 + arch.params().t_1q_us;
+    p.instrs.push_back(wait);
+    const FidelityBreakdown slow = evaluateFidelity(p, arch);
+    EXPECT_LT(slow.f_decoherence, base.f_decoherence);
+    EXPECT_GT(slow.duration_us, base.duration_us);
+}
+
+TEST(FidelityModel, GeometricMean)
+{
+    EXPECT_DOUBLE_EQ(geometricMean({4.0, 1.0}), 2.0);
+    EXPECT_NEAR(geometricMean({0.1, 0.1, 0.1}), 0.1, 1e-12);
+    EXPECT_DOUBLE_EQ(geometricMean({0.0, 1.0}), 0.0);
+    EXPECT_THROW(geometricMean(std::vector<double>{}), FatalError);
+}
+
+TEST(FidelityModel, ZacProgramsHaveZeroExcitation)
+{
+    // The defining property of the zoned flow: idle qubits are never
+    // inside a pulsed zone.
+    const Architecture arch = presets::referenceZoned();
+    ZacOptions opts;
+    opts.sa_iterations = 100;
+    ZacCompiler compiler(arch, opts);
+    for (const char *name : {"bv_n14", "ising_n42", "wstate_n27"}) {
+        const ZacResult r =
+            compiler.compile(bench_circuits::paperBenchmark(name));
+        EXPECT_EQ(r.fidelity.n_excitation, 0) << name;
+    }
+}
+
+// --------------------------------------------------------- parameters
+
+TEST(Params, TableOneValues)
+{
+    const NaHardwareParams na = neutralAtomParams();
+    EXPECT_DOUBLE_EQ(na.f_2q, 0.995);
+    EXPECT_DOUBLE_EQ(na.f_1q, 0.9997);
+    EXPECT_DOUBLE_EQ(na.t2_us, 1.5e6);
+    EXPECT_DOUBLE_EQ(na.t_1q_us, 52.0);
+    EXPECT_DOUBLE_EQ(na.t_rydberg_us, 0.36);
+
+    const ScParams heron = heronParams();
+    EXPECT_DOUBLE_EQ(heron.f_2q, 0.999);
+    EXPECT_DOUBLE_EQ(heron.t2_us, 311.0);
+    EXPECT_DOUBLE_EQ(heron.t_2q_us, 0.068);
+
+    const ScParams g = gridParams();
+    EXPECT_DOUBLE_EQ(g.t2_us, 89.0);
+    EXPECT_DOUBLE_EQ(g.t_2q_us, 0.042);
+}
+
+// -------------------------------------------------------- ideal bounds
+
+TEST(IdealBounds, MaxReuseMatchesHandExample)
+{
+    // Stage 0: (0,1), (3,4); stage 1: (1,2), (3,5), (0,4) — the paper's
+    // running example (Fig. 6a): maximum matching has size 2.
+    Circuit c(6);
+    c.cz(0, 1);
+    c.cz(3, 4);
+    c.cz(1, 2);
+    c.cz(3, 5);
+    c.cz(0, 4);
+    const StagedCircuit staged = scheduleStages(c);
+    ASSERT_EQ(staged.numRydbergStages(), 2);
+    const std::vector<int> reuse = maxReusePerBoundary(staged);
+    ASSERT_EQ(reuse.size(), 1u);
+    EXPECT_EQ(reuse[0], 2);
+}
+
+class IdealBoundsProperty
+    : public ::testing::TestWithParam<const char *>
+{
+};
+
+TEST_P(IdealBoundsProperty, BoundsDominateZacInOrder)
+{
+    const Architecture arch = presets::referenceZoned();
+    ZacOptions opts;
+    opts.sa_iterations = 100;
+    ZacCompiler compiler(arch, opts);
+    const ZacResult r =
+        compiler.compile(bench_circuits::paperBenchmark(GetParam()));
+    const IdealBounds bounds =
+        computeIdealBounds(r.staged, r.program, arch);
+    // Nesting: reuse >= placement >= movement >= ZAC (small epsilon
+    // for floating error).
+    EXPECT_GE(bounds.perfect_reuse.total,
+              bounds.perfect_placement.total - 1e-9);
+    EXPECT_GE(bounds.perfect_placement.total,
+              bounds.perfect_movement.total - 1e-9);
+    EXPECT_GE(bounds.perfect_movement.total,
+              r.fidelity.total - 1e-9);
+    // Perfect reuse saves transfers.
+    EXPECT_LE(bounds.perfect_reuse.n_transfer,
+              bounds.perfect_placement.n_transfer);
+}
+
+INSTANTIATE_TEST_SUITE_P(PaperCircuits, IdealBoundsProperty,
+                         ::testing::Values("bv_n14", "ghz_n23",
+                                           "ising_n42", "qft_n18",
+                                           "wstate_n27"));
+
+} // namespace
+} // namespace zac

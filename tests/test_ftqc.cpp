@@ -1,0 +1,202 @@
+/**
+ * @file
+ * Tests for the FTQC support: [[8,3,2]] code metadata, hIQP circuit
+ * construction, staging with in-block fences, and logical compilation
+ * (paper Sec. VIII).
+ */
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "arch/presets.hpp"
+#include "common/logging.hpp"
+#include "ftqc/code832.hpp"
+#include "ftqc/hiqp.hpp"
+#include "ftqc/logical.hpp"
+
+namespace zac
+{
+namespace
+{
+
+using namespace zac::ftqc;
+
+// -------------------------------------------------------------- code832
+
+TEST(Code832, LayoutIs2x4)
+{
+    EXPECT_EQ(Code832::kPhysicalQubits, 8);
+    EXPECT_EQ(Code832::kLogicalQubits, 3);
+    EXPECT_EQ(Code832::layout(0), std::make_pair(0, 0));
+    EXPECT_EQ(Code832::layout(3), std::make_pair(0, 3));
+    EXPECT_EQ(Code832::layout(4), std::make_pair(1, 0));
+    EXPECT_EQ(Code832::layout(7), std::make_pair(1, 3));
+    EXPECT_THROW(Code832::layout(8), FatalError);
+}
+
+TEST(Code832, StabilizersHaveEvenOverlap)
+{
+    // CSS condition: every X stabilizer overlaps every Z stabilizer on
+    // an even number of qubits.
+    for (const auto &x : Code832::xStabilizers()) {
+        for (const auto &z : Code832::zStabilizers()) {
+            int overlap = 0;
+            for (int qx : x)
+                for (int qz : z)
+                    overlap += qx == qz;
+            EXPECT_EQ(overlap % 2, 0);
+        }
+    }
+}
+
+TEST(Code832, TransversalCnotPairsAreAligned)
+{
+    const auto pairs = transversalCnotPairs(2, 5, 8);
+    ASSERT_EQ(pairs.size(), 8u);
+    EXPECT_EQ(pairs[0], std::make_pair(16, 40));
+    EXPECT_EQ(pairs[7], std::make_pair(23, 47));
+    EXPECT_THROW(transversalCnotPairs(1, 1, 8), FatalError);
+}
+
+// ----------------------------------------------------------------- hIQP
+
+TEST(Hiqp, PaperInstanceStructure)
+{
+    const HiqpCircuit c = makeHiqpCircuit(128);
+    EXPECT_EQ(c.num_blocks, 128);
+    EXPECT_EQ(c.numLogicalQubits(), 384);
+    EXPECT_EQ(c.numInBlockLayers(), 8);
+    EXPECT_EQ(c.numCnotLayers(), 7);
+    EXPECT_EQ(c.numTransversalCnots(), 448); // 7 x 64
+}
+
+TEST(Hiqp, StridesDoubleAndCoverAllBlocks)
+{
+    const HiqpCircuit c = makeHiqpCircuit(16);
+    int stride = 1;
+    for (const HiqpLayer &layer : c.layers) {
+        if (layer.in_block)
+            continue;
+        EXPECT_EQ(layer.cnots.size(), 8u);
+        std::set<int> used;
+        for (const auto &[a, b] : layer.cnots) {
+            EXPECT_EQ(b - a, stride);
+            EXPECT_TRUE(used.insert(a).second);
+            EXPECT_TRUE(used.insert(b).second);
+        }
+        EXPECT_EQ(used.size(), 16u);
+        stride *= 2;
+    }
+    EXPECT_EQ(stride, 16);
+}
+
+TEST(Hiqp, FirstLayerPairsNeighbours)
+{
+    const HiqpCircuit c = makeHiqpCircuit(8);
+    const HiqpLayer &first = c.layers[1];
+    ASSERT_FALSE(first.in_block);
+    EXPECT_EQ(first.cnots[0], std::make_pair(0, 1));
+    EXPECT_EQ(first.cnots[1], std::make_pair(2, 3));
+}
+
+TEST(Hiqp, RejectsNonPowerOfTwo)
+{
+    EXPECT_THROW(makeHiqpCircuit(3), FatalError);
+    EXPECT_THROW(makeHiqpCircuit(0), FatalError);
+}
+
+// --------------------------------------------------------------- staging
+
+TEST(HiqpStaging, PaperInstanceGives35Stages)
+{
+    const HiqpCircuit c = makeHiqpCircuit(128);
+    // 15 logical sites, 64 CNOTs per layer: ceil(64/15) = 5 stages per
+    // layer, 7 layers -> 35 (the paper's number).
+    const StagedCircuit s = stageHiqpCircuit(c, 15);
+    EXPECT_EQ(s.numRydbergStages(), 35);
+    EXPECT_EQ(s.count2Q(), 448);
+    EXPECT_EQ(s.count1Q(), 8 * 128);
+    s.checkInvariants();
+}
+
+TEST(HiqpStaging, LayersDoNotInterleave)
+{
+    const HiqpCircuit c = makeHiqpCircuit(8);
+    const StagedCircuit s = stageHiqpCircuit(c, 2);
+    // Each 4-CNOT layer occupies exactly 2 stages; CNOTs of layer k
+    // (stride 2^k) never share a stage with another stride.
+    for (const RydbergStage &st : s.rydberg) {
+        std::set<int> strides;
+        for (const StagedGate &g : st.gates)
+            strides.insert(g.q1 - g.q0);
+        EXPECT_EQ(strides.size(), 1u);
+    }
+}
+
+TEST(HiqpStaging, CapacityOneSerializes)
+{
+    const HiqpCircuit c = makeHiqpCircuit(4);
+    const StagedCircuit s = stageHiqpCircuit(c, 1);
+    EXPECT_EQ(s.numRydbergStages(), c.numTransversalCnots());
+}
+
+// ------------------------------------------------------------- compile
+
+TEST(FtqcCompile, SmallInstanceEndToEnd)
+{
+    const HiqpCircuit c = makeHiqpCircuit(16);
+    ZacOptions opts;
+    opts.sa_iterations = 100;
+    const FtqcResult r =
+        compileHiqp(c, presets::logicalBlockArch(), opts);
+    EXPECT_EQ(r.transversal_cnots, 4 * 8);
+    EXPECT_EQ(r.physical_qubits, 128);
+    EXPECT_EQ(r.logical_sites, 15);
+    // 8 CNOTs per layer on 15 sites: 1 stage per layer, 4 layers.
+    EXPECT_EQ(r.rydberg_stages, 4);
+    EXPECT_GT(r.zac.fidelity.total, 0.0);
+    EXPECT_GT(r.duration_ms, 0.0);
+}
+
+TEST(FtqcCompile, PaperInstanceReproducesStageCount)
+{
+    const HiqpCircuit c = makeHiqpCircuit(128);
+    ZacOptions opts;
+    opts.use_sa_init = false; // keep this test fast
+    const FtqcResult r =
+        compileHiqp(c, presets::logicalBlockArch(), opts);
+    EXPECT_EQ(r.rydberg_stages, 35);     // paper: 35
+    EXPECT_EQ(r.transversal_cnots, 448); // paper: 448
+    EXPECT_EQ(r.physical_qubits, 1024);
+    // Duration lands in the paper's order of magnitude (117.847 ms).
+    EXPECT_GT(r.duration_ms, 50.0);
+    EXPECT_LT(r.duration_ms, 450.0);
+}
+
+} // namespace
+} // namespace zac
+
+// Coverage for the block-circuit lowering API.
+
+namespace zac
+{
+namespace
+{
+
+TEST(Hiqp, BlockCircuitLoweringMatchesLayerStructure)
+{
+    const ftqc::HiqpCircuit c = ftqc::makeHiqpCircuit(8);
+    const Circuit lowered = ftqc::lowerHiqpToBlockCircuit(c);
+    EXPECT_EQ(lowered.numQubits(), 8);
+    // 4 in-block layers x 8 blocks of U3 + 3 CNOT layers x 4 CZ.
+    EXPECT_EQ(lowered.count1Q(), 4 * 8);
+    EXPECT_EQ(lowered.count2Q(), 3 * 4);
+    for (const Gate &g : lowered.gates())
+        EXPECT_TRUE(g.op == Op::U3 || g.op == Op::CZ);
+    // The U3 carries the T-dagger phase.
+    EXPECT_NEAR(lowered[0].params[2], -3.14159265 / 4.0, 1e-6);
+}
+
+} // namespace
+} // namespace zac

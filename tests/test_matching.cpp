@@ -1,0 +1,352 @@
+/**
+ * @file
+ * Unit and property tests for the matching/graph algorithms, including
+ * brute-force cross-checks of Hopcroft–Karp and Jonker–Volgenant.
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "common/logging.hpp"
+#include "common/rng.hpp"
+#include "matching/edge_coloring.hpp"
+#include "matching/hopcroft_karp.hpp"
+#include "matching/independent_set.hpp"
+#include "matching/jonker_volgenant.hpp"
+
+namespace zac
+{
+namespace
+{
+
+// ----------------------------------------------------- brute force refs
+
+/** Exhaustive maximum matching size (small graphs only). */
+int
+bruteMaxMatching(int num_left, const std::vector<std::vector<int>> &adj,
+                 int u = 0, std::vector<bool> *used = nullptr)
+{
+    std::vector<bool> local;
+    if (!used) {
+        local.assign(64, false);
+        used = &local;
+    }
+    if (u == num_left)
+        return 0;
+    int best = bruteMaxMatching(num_left, adj, u + 1, used);
+    for (int v : adj[static_cast<std::size_t>(u)]) {
+        if ((*used)[static_cast<std::size_t>(v)])
+            continue;
+        (*used)[static_cast<std::size_t>(v)] = true;
+        best = std::max(
+            best, 1 + bruteMaxMatching(num_left, adj, u + 1, used));
+        (*used)[static_cast<std::size_t>(v)] = false;
+    }
+    return best;
+}
+
+/** Exhaustive min-cost full assignment over all column subsets. */
+double
+bruteAssignment(const CostMatrix &cost)
+{
+    std::vector<int> cols(static_cast<std::size_t>(cost.cols()));
+    std::iota(cols.begin(), cols.end(), 0);
+    double best = kAssignInfeasible;
+    std::vector<int> pick(static_cast<std::size_t>(cost.rows()));
+    // Permute over all injections rows -> cols via next_permutation of
+    // a selector; fine for rows <= 6, cols <= 7.
+    std::sort(cols.begin(), cols.end());
+    do {
+        double total = 0.0;
+        for (int r = 0; r < cost.rows(); ++r)
+            total += cost.at(r, cols[static_cast<std::size_t>(r)]);
+        best = std::min(best, total);
+    } while (std::next_permutation(cols.begin(), cols.end()));
+    return best;
+}
+
+// -------------------------------------------------------- Hopcroft-Karp
+
+TEST(HopcroftKarp, PerfectMatchingOnCompleteBipartite)
+{
+    std::vector<std::vector<int>> adj(4, {0, 1, 2, 3});
+    const BipartiteMatching m = hopcroftKarp(4, 4, adj);
+    EXPECT_EQ(m.size, 4);
+    // Consistency: left/right matches agree.
+    for (int u = 0; u < 4; ++u)
+        EXPECT_EQ(m.right_match[static_cast<std::size_t>(
+                      m.left_match[static_cast<std::size_t>(u)])],
+                  u);
+}
+
+TEST(HopcroftKarp, EmptyAndDegenerateGraphs)
+{
+    EXPECT_EQ(hopcroftKarp(0, 0, {}).size, 0);
+    EXPECT_EQ(hopcroftKarp(3, 5, {{}, {}, {}}).size, 0);
+    EXPECT_THROW(hopcroftKarp(2, 2, {{0}}), FatalError);
+    EXPECT_THROW(hopcroftKarp(1, 1, {{7}}), FatalError);
+}
+
+TEST(HopcroftKarp, AugmentingPathIsFound)
+{
+    // Greedy gets 1; the optimum is 2 via augmenting.
+    // L0 -> {R0, R1}, L1 -> {R0}
+    const BipartiteMatching m = hopcroftKarp(2, 2, {{0, 1}, {0}});
+    EXPECT_EQ(m.size, 2);
+}
+
+class HkRandomProperty : public ::testing::TestWithParam<int>
+{
+};
+
+TEST_P(HkRandomProperty, MatchesBruteForceSize)
+{
+    Rng rng(static_cast<std::uint64_t>(GetParam()) * 997 + 13);
+    const int nl = 1 + static_cast<int>(rng.nextBelow(7));
+    const int nr = 1 + static_cast<int>(rng.nextBelow(7));
+    std::vector<std::vector<int>> adj(static_cast<std::size_t>(nl));
+    for (int u = 0; u < nl; ++u)
+        for (int v = 0; v < nr; ++v)
+            if (rng.nextBool(0.4))
+                adj[static_cast<std::size_t>(u)].push_back(v);
+    const BipartiteMatching m = hopcroftKarp(nl, nr, adj);
+    EXPECT_EQ(m.size, bruteMaxMatching(nl, adj));
+    // Validity: matched edges exist in the graph.
+    for (int u = 0; u < nl; ++u) {
+        const int v = m.left_match[static_cast<std::size_t>(u)];
+        if (v >= 0) {
+            EXPECT_NE(std::find(adj[static_cast<std::size_t>(u)].begin(),
+                                adj[static_cast<std::size_t>(u)].end(),
+                                v),
+                      adj[static_cast<std::size_t>(u)].end());
+        }
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, HkRandomProperty,
+                         ::testing::Range(0, 30));
+
+// ------------------------------------------------------ Jonker-Volgenant
+
+TEST(JonkerVolgenant, SolvesKnownInstance)
+{
+    CostMatrix cost(3, 3, 0.0);
+    // Classic instance: optimal = 5 (0->1, 1->0, 2->2).
+    const double data[3][3] = {{4, 1, 3}, {2, 0, 5}, {3, 2, 2}};
+    for (int r = 0; r < 3; ++r)
+        for (int c = 0; c < 3; ++c)
+            cost.at(r, c) = data[r][c];
+    const Assignment a = minWeightFullMatching(cost);
+    ASSERT_TRUE(a.feasible);
+    EXPECT_DOUBLE_EQ(a.total_cost, 5.0);
+    EXPECT_EQ(a.row_to_col, (std::vector<int>{1, 0, 2}));
+}
+
+TEST(JonkerVolgenant, RectangularUsesCheapColumns)
+{
+    CostMatrix cost(2, 4, 100.0);
+    cost.at(0, 2) = 1.0;
+    cost.at(0, 3) = 2.0;
+    cost.at(1, 2) = 2.0;
+    cost.at(1, 3) = 30.0;
+    const Assignment a = minWeightFullMatching(cost);
+    ASSERT_TRUE(a.feasible);
+    // Optimal: row0->3 (2), row1->2 (2).
+    EXPECT_DOUBLE_EQ(a.total_cost, 4.0);
+}
+
+TEST(JonkerVolgenant, DetectsInfeasibility)
+{
+    CostMatrix cost(2, 2); // all infeasible
+    cost.at(0, 0) = 1.0;
+    cost.at(1, 0) = 1.0; // both rows need column 0
+    const Assignment a = minWeightFullMatching(cost);
+    EXPECT_FALSE(a.feasible);
+}
+
+TEST(JonkerVolgenant, RejectsMoreRowsThanCols)
+{
+    CostMatrix cost(3, 2, 1.0);
+    EXPECT_THROW(minWeightFullMatching(cost), FatalError);
+}
+
+TEST(JonkerVolgenant, EmptyProblemIsFeasible)
+{
+    CostMatrix cost(0, 5);
+    const Assignment a = minWeightFullMatching(cost);
+    EXPECT_TRUE(a.feasible);
+    EXPECT_DOUBLE_EQ(a.total_cost, 0.0);
+}
+
+class JvRandomProperty : public ::testing::TestWithParam<int>
+{
+};
+
+TEST_P(JvRandomProperty, MatchesBruteForceCost)
+{
+    Rng rng(static_cast<std::uint64_t>(GetParam()) * 7919 + 3);
+    const int rows = 1 + static_cast<int>(rng.nextBelow(5));
+    const int cols = rows + static_cast<int>(rng.nextBelow(3));
+    CostMatrix cost(rows, cols);
+    for (int r = 0; r < rows; ++r)
+        for (int c = 0; c < cols; ++c)
+            if (rng.nextBool(0.8))
+                cost.at(r, c) =
+                    std::floor(rng.nextDouble() * 100.0) / 10.0;
+    const Assignment a = minWeightFullMatching(cost);
+    const double brute = bruteAssignment(cost);
+    if (brute == kAssignInfeasible) {
+        EXPECT_FALSE(a.feasible);
+    } else {
+        ASSERT_TRUE(a.feasible);
+        EXPECT_NEAR(a.total_cost, brute, 1e-9);
+        // Distinct columns.
+        std::vector<int> sorted = a.row_to_col;
+        std::sort(sorted.begin(), sorted.end());
+        EXPECT_EQ(std::unique(sorted.begin(), sorted.end()),
+                  sorted.end());
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, JvRandomProperty,
+                         ::testing::Range(0, 40));
+
+// ------------------------------------------------------ independent set
+
+TEST(IndependentSet, OnTriangleAndPath)
+{
+    // Triangle: MIS size 1.
+    const std::vector<std::vector<int>> tri{{1, 2}, {0, 2}, {0, 1}};
+    EXPECT_EQ(greedyMaximalIndependentSet(3, tri).size(), 1u);
+    // Path 0-1-2-3-4: MIS {0,2,4}.
+    const std::vector<std::vector<int>> path{
+        {1}, {0, 2}, {1, 3}, {2, 4}, {3}};
+    EXPECT_EQ(greedyMaximalIndependentSet(5, path),
+              (std::vector<int>{0, 2, 4}));
+}
+
+TEST(IndependentSet, PartitionCoversAllVertices)
+{
+    const std::vector<std::vector<int>> tri{{1, 2}, {0, 2}, {0, 1}};
+    const auto groups = partitionIntoIndependentSets(3, tri);
+    EXPECT_EQ(groups.size(), 3u);
+    int covered = 0;
+    for (const auto &g : groups)
+        covered += static_cast<int>(g.size());
+    EXPECT_EQ(covered, 3);
+}
+
+class MisRandomProperty : public ::testing::TestWithParam<int>
+{
+};
+
+TEST_P(MisRandomProperty, SetsAreIndependentAndMaximal)
+{
+    Rng rng(static_cast<std::uint64_t>(GetParam()) * 31 + 5);
+    const int n = 2 + static_cast<int>(rng.nextBelow(20));
+    std::vector<std::vector<int>> adj(static_cast<std::size_t>(n));
+    for (int u = 0; u < n; ++u)
+        for (int v = u + 1; v < n; ++v)
+            if (rng.nextBool(0.3)) {
+                adj[static_cast<std::size_t>(u)].push_back(v);
+                adj[static_cast<std::size_t>(v)].push_back(u);
+            }
+    const std::vector<int> mis = greedyMaximalIndependentSet(n, adj);
+    std::vector<bool> in_set(static_cast<std::size_t>(n), false);
+    for (int u : mis)
+        in_set[static_cast<std::size_t>(u)] = true;
+    // Independence.
+    for (int u : mis)
+        for (int v : adj[static_cast<std::size_t>(u)])
+            EXPECT_FALSE(in_set[static_cast<std::size_t>(v)]);
+    // Maximality: every vertex outside has a neighbour inside.
+    for (int u = 0; u < n; ++u) {
+        if (in_set[static_cast<std::size_t>(u)])
+            continue;
+        bool blocked = false;
+        for (int v : adj[static_cast<std::size_t>(u)])
+            blocked |= in_set[static_cast<std::size_t>(v)];
+        EXPECT_TRUE(blocked) << "vertex " << u;
+    }
+    // Partition covers everything exactly once.
+    const auto groups = partitionIntoIndependentSets(n, adj);
+    std::vector<int> count(static_cast<std::size_t>(n), 0);
+    for (const auto &g : groups)
+        for (int u : g)
+            ++count[static_cast<std::size_t>(u)];
+    for (int c : count)
+        EXPECT_EQ(c, 1);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, MisRandomProperty,
+                         ::testing::Range(0, 25));
+
+// -------------------------------------------------------- edge coloring
+
+TEST(EdgeColoring, PathUsesTwoColors)
+{
+    const std::vector<std::pair<int, int>> path{{0, 1}, {1, 2}, {2, 3}};
+    const auto colors = greedyEdgeColoring(4, path);
+    EXPECT_EQ(numColors(colors), 2);
+}
+
+TEST(EdgeColoring, StarNeedsDegreeColors)
+{
+    const std::vector<std::pair<int, int>> star{
+        {0, 1}, {0, 2}, {0, 3}, {0, 4}};
+    EXPECT_EQ(numColors(greedyEdgeColoring(5, star)), 4);
+}
+
+TEST(EdgeColoring, RejectsBadEdges)
+{
+    EXPECT_THROW(greedyEdgeColoring(2, {{0, 0}}), FatalError);
+    EXPECT_THROW(greedyEdgeColoring(2, {{0, 5}}), FatalError);
+}
+
+class EdgeColoringProperty : public ::testing::TestWithParam<int>
+{
+};
+
+TEST_P(EdgeColoringProperty, ColoringIsProperAndBounded)
+{
+    Rng rng(static_cast<std::uint64_t>(GetParam()) * 101 + 7);
+    const int n = 3 + static_cast<int>(rng.nextBelow(15));
+    std::vector<std::pair<int, int>> edges;
+    for (int u = 0; u < n; ++u)
+        for (int v = u + 1; v < n; ++v)
+            if (rng.nextBool(0.3))
+                edges.emplace_back(u, v);
+    const auto colors = greedyEdgeColoring(n, edges);
+    // Proper: no two incident edges share a color.
+    for (std::size_t i = 0; i < edges.size(); ++i)
+        for (std::size_t j = i + 1; j < edges.size(); ++j) {
+            const bool incident =
+                edges[i].first == edges[j].first ||
+                edges[i].first == edges[j].second ||
+                edges[i].second == edges[j].first ||
+                edges[i].second == edges[j].second;
+            if (incident)
+                EXPECT_NE(colors[i], colors[j]);
+        }
+    // Bounded by 2*Delta - 1 (greedy bound) and at least Delta.
+    std::vector<int> degree(static_cast<std::size_t>(n), 0);
+    for (const auto &[a, b] : edges) {
+        ++degree[static_cast<std::size_t>(a)];
+        ++degree[static_cast<std::size_t>(b)];
+    }
+    const int delta =
+        *std::max_element(degree.begin(), degree.end());
+    if (!edges.empty()) {
+        EXPECT_GE(numColors(colors), delta);
+        EXPECT_LE(numColors(colors), 2 * delta - 1);
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, EdgeColoringProperty,
+                         ::testing::Range(0, 25));
+
+} // namespace
+} // namespace zac

@@ -1,0 +1,380 @@
+/**
+ * @file
+ * Unit and property tests for the transpile substrate: U(2) math,
+ * lowering to {CZ, U3}, 1Q optimization, and ASAP staging.
+ */
+
+#include <gtest/gtest.h>
+
+#include "circuit/generators.hpp"
+#include "common/logging.hpp"
+#include "common/rng.hpp"
+#include "transpile/basis.hpp"
+#include "transpile/optimize.hpp"
+#include "transpile/stages.hpp"
+#include "transpile/u2_math.hpp"
+
+namespace zac
+{
+namespace
+{
+
+constexpr double kPi = 3.14159265358979323846;
+
+// ------------------------------------------------------------- U2 math
+
+TEST(U2Math, KnownGateMatricesAreUnitary)
+{
+    for (Op op : {Op::I, Op::X, Op::Y, Op::Z, Op::H, Op::S, Op::Sdg,
+                  Op::T, Op::Tdg, Op::SX, Op::SXdg}) {
+        const U2Matrix m = gateMatrix(Gate(op, {0}));
+        EXPECT_TRUE(m.isUnitary()) << opName(op);
+    }
+    EXPECT_TRUE(gateMatrix(Gate(Op::RZ, {0}, {0.7})).isUnitary());
+    EXPECT_TRUE(
+        gateMatrix(Gate(Op::U3, {0}, {0.5, 1.0, -2.0})).isUnitary());
+}
+
+TEST(U2Math, HSquaredIsIdentity)
+{
+    const U2Matrix h = gateMatrix(Gate(Op::H, {0}));
+    EXPECT_TRUE((h * h).isIdentity(1e-12));
+    EXPECT_FALSE(h.isIdentity(1e-12));
+}
+
+TEST(U2Math, XEqualsHZH)
+{
+    const U2Matrix h = gateMatrix(Gate(Op::H, {0}));
+    const U2Matrix z = gateMatrix(Gate(Op::Z, {0}));
+    const U2Matrix x = gateMatrix(Gate(Op::X, {0}));
+    EXPECT_LT((h * z * h).phaseDistance(x), 1e-12);
+}
+
+TEST(U2Math, DiagonalDetection)
+{
+    EXPECT_TRUE(gateMatrix(Gate(Op::RZ, {0}, {1.2})).isDiagonal());
+    EXPECT_TRUE(gateMatrix(Gate(Op::T, {0})).isDiagonal());
+    EXPECT_FALSE(gateMatrix(Gate(Op::H, {0})).isDiagonal());
+    EXPECT_FALSE(gateMatrix(Gate(Op::RX, {0}, {0.3})).isDiagonal());
+}
+
+TEST(U2Math, ExtractU3RoundTripsNamedGates)
+{
+    for (Op op : {Op::X, Op::Y, Op::Z, Op::H, Op::S, Op::T, Op::SX}) {
+        const U2Matrix m = gateMatrix(Gate(op, {0}));
+        const U3Angles a = extractU3(m);
+        EXPECT_LT(u3Matrix(a).phaseDistance(m), 1e-9) << opName(op);
+    }
+}
+
+/** Property: extractU3 inverts u3Matrix over random gate products. */
+class ExtractU3Property : public ::testing::TestWithParam<int>
+{
+};
+
+TEST_P(ExtractU3Property, RandomProductRoundTrips)
+{
+    Rng rng(static_cast<std::uint64_t>(GetParam()));
+    U2Matrix m = U2Matrix::identity();
+    const int len = 1 + static_cast<int>(rng.nextBelow(8));
+    for (int i = 0; i < len; ++i) {
+        const double theta = rng.nextDouble() * 2 * kPi - kPi;
+        const double phi = rng.nextDouble() * 2 * kPi - kPi;
+        const double lambda = rng.nextDouble() * 2 * kPi - kPi;
+        m = u3Matrix(theta, phi, lambda) * m;
+    }
+    ASSERT_TRUE(m.isUnitary(1e-9));
+    const U3Angles a = extractU3(m);
+    EXPECT_GE(a.theta, 0.0);
+    EXPECT_LE(a.theta, kPi + 1e-9);
+    EXPECT_LT(u3Matrix(a).phaseDistance(m), 1e-8);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ExtractU3Property,
+                         ::testing::Range(0, 40));
+
+TEST(U2Math, ExtractU3RejectsNonUnitary)
+{
+    U2Matrix m = U2Matrix::identity();
+    m.m[0][0] = 2.0;
+    EXPECT_THROW(extractU3(m), FatalError);
+}
+
+// ------------------------------------------------------------ lowering
+
+TEST(Basis, LoweredCircuitHasOnlyCzAnd1Q)
+{
+    Circuit c(3);
+    c.h(0);
+    c.cx(0, 1);
+    c.swap(1, 2);
+    c.cp(0, 2, 0.3);
+    c.ccx(0, 1, 2);
+    c.cswap(0, 1, 2);
+    c.add(Op::CRZ, {0, 1}, {0.5});
+    c.add(Op::RZZ, {1, 2}, {0.25});
+    c.add(Op::RXX, {0, 1}, {0.75});
+    c.add(Op::CY, {0, 2});
+    c.add(Op::CH, {1, 2});
+    const Circuit low = lowerToCzBasis(c);
+    for (const Gate &g : low.gates()) {
+        EXPECT_TRUE(g.is1Q() || g.op == Op::CZ ||
+                    g.op == Op::Barrier)
+            << g.str();
+    }
+}
+
+TEST(Basis, CxBecomesHCzH)
+{
+    Circuit c(2);
+    c.cx(0, 1);
+    const Circuit low = lowerToCzBasis(c);
+    ASSERT_EQ(low.size(), 3u);
+    EXPECT_EQ(low[0].op, Op::H);
+    EXPECT_EQ(low[0].qubits[0], 1);
+    EXPECT_EQ(low[1].op, Op::CZ);
+    EXPECT_EQ(low[2].op, Op::H);
+}
+
+TEST(Basis, TrailingMeasurementsDroppedMidCircuitRejected)
+{
+    Circuit ok(2);
+    ok.h(0);
+    ok.measure(0);
+    EXPECT_EQ(lowerToCzBasis(ok).size(), 1u);
+
+    Circuit bad(2);
+    bad.measure(0);
+    bad.h(0);
+    EXPECT_THROW(lowerToCzBasis(bad), FatalError);
+}
+
+TEST(Basis, CcxUsesSixCz)
+{
+    Circuit c(3);
+    c.ccx(0, 1, 2);
+    EXPECT_EQ(lowerToCzBasis(c).count2Q(), 6);
+}
+
+// ----------------------------------------------------------- optimizer
+
+TEST(Optimize, MergesAdjacent1QGates)
+{
+    Circuit c(1);
+    c.h(0);
+    c.h(0); // identity, dropped
+    EXPECT_EQ(optimize1Q(c).size(), 0u);
+
+    Circuit c2(1);
+    c2.h(0);
+    c2.t(0);
+    c2.h(0);
+    const Circuit opt = optimize1Q(c2);
+    ASSERT_EQ(opt.size(), 1u);
+    EXPECT_EQ(opt[0].op, Op::U3);
+}
+
+TEST(Optimize, MergedU3IsUnitarilyEquivalent)
+{
+    Circuit c(1);
+    c.h(0);
+    c.t(0);
+    c.rx(0, 0.7);
+    c.sdg(0);
+    const Circuit opt = optimize1Q(c);
+    ASSERT_EQ(opt.size(), 1u);
+    U2Matrix want = U2Matrix::identity();
+    for (const Gate &g : c.gates())
+        want = gateMatrix(g) * want;
+    EXPECT_LT(gateMatrix(opt[0]).phaseDistance(want), 1e-9);
+}
+
+TEST(Optimize, CancelsAdjacentCzPairs)
+{
+    Circuit c(2);
+    c.cz(0, 1);
+    c.cz(1, 0); // same pair, reversed operands
+    EXPECT_EQ(optimize1Q(c).size(), 0u);
+
+    Circuit c2(3);
+    c2.cz(0, 1);
+    c2.cz(1, 2); // different pair: no cancellation
+    c2.cz(0, 1);
+    EXPECT_EQ(optimize1Q(c2).count2Q(), 3);
+}
+
+TEST(Optimize, NonDiagonal1QBlocksCzCancellation)
+{
+    Circuit c(2);
+    c.cz(0, 1);
+    c.h(0);
+    c.cz(0, 1);
+    EXPECT_EQ(optimize1Q(c).count2Q(), 2);
+}
+
+TEST(Optimize, DiagonalGatesCommuteThroughCz)
+{
+    // rz between two CZs on the same qubit merges with a later rz.
+    Circuit c(2);
+    c.rz(0, 0.3);
+    c.cz(0, 1);
+    c.rz(0, 0.4);
+    c.cz(0, 1);
+    c.rz(0, 0.5);
+    const Circuit opt = optimize1Q(c);
+    // The three rz merge into one U3 and the CZ pair cancels: the rz
+    // pendings were diagonal, so cancellation applies afterwards.
+    EXPECT_EQ(opt.count1Q(), 1);
+    EXPECT_LE(opt.count2Q(), 2);
+}
+
+TEST(Optimize, BarrierFencesMerging)
+{
+    Circuit c(1);
+    c.h(0);
+    c.barrier();
+    c.h(0);
+    const Circuit opt = optimize1Q(c);
+    // Barrier prevents h;h from cancelling: two separate U3s remain.
+    EXPECT_EQ(opt.count1Q(), 2);
+}
+
+TEST(Optimize, PreprocessMatchesPaperGateCounts)
+{
+    // 2Q counts must match the paper exactly for these families; 1Q
+    // counts within a small tolerance (Qiskit O3 differs slightly).
+    struct Expect
+    {
+        const char *name;
+        int exact_2q;
+        int paper_1q;
+        double tol_1q;
+    };
+    const Expect cases[] = {
+        {"bv_n14", 13, 28, 0.10},   {"bv_n19", 18, 38, 0.10},
+        {"bv_n30", 18, 38, 0.10},   {"cat_n22", 21, 43, 0.05},
+        {"ghz_n40", 39, 79, 0.05},  {"ghz_n78", 77, 155, 0.05},
+        {"ising_n42", 82, 144, 0.20}, {"qft_n18", 306, 324, 0.10},
+        {"wstate_n27", 52, 105, 0.05},
+    };
+    for (const Expect &e : cases) {
+        const Circuit pre =
+            preprocess(bench_circuits::paperBenchmark(e.name));
+        EXPECT_EQ(pre.count2Q(), e.exact_2q) << e.name;
+        EXPECT_NEAR(pre.count1Q(), e.paper_1q,
+                    e.paper_1q * e.tol_1q)
+            << e.name;
+        for (const Gate &g : pre.gates())
+            EXPECT_TRUE(g.op == Op::CZ || g.op == Op::U3) << e.name;
+    }
+}
+
+// ------------------------------------------------------------- staging
+
+TEST(Stages, SimpleChainStagesSequentially)
+{
+    Circuit c(3);
+    c.cz(0, 1);
+    c.cz(1, 2);
+    c.cz(0, 1);
+    const StagedCircuit s = scheduleStages(c);
+    EXPECT_EQ(s.numRydbergStages(), 3);
+    s.checkInvariants();
+}
+
+TEST(Stages, ParallelGatesShareAStage)
+{
+    Circuit c(4);
+    c.cz(0, 1);
+    c.cz(2, 3);
+    const StagedCircuit s = scheduleStages(c);
+    EXPECT_EQ(s.numRydbergStages(), 1);
+    EXPECT_EQ(s.rydberg[0].gates.size(), 2u);
+}
+
+TEST(Stages, CapacitySplitsStages)
+{
+    Circuit c(8);
+    for (int i = 0; i < 8; i += 2)
+        c.cz(i, i + 1);
+    EXPECT_EQ(scheduleStages(c, 2).numRydbergStages(), 2);
+    EXPECT_EQ(scheduleStages(c, 1).numRydbergStages(), 4);
+    EXPECT_THROW(scheduleStages(c, 0), FatalError);
+}
+
+TEST(Stages, OneQOpsAttachBeforeTheirNextGate)
+{
+    Circuit c(2);
+    c.u3(0, 0.1, 0.0, 0.0);
+    c.cz(0, 1);
+    c.u3(0, 0.2, 0.0, 0.0);
+    c.cz(0, 1);
+    c.u3(1, 0.3, 0.0, 0.0);
+    const StagedCircuit s = scheduleStages(c);
+    ASSERT_EQ(s.numRydbergStages(), 2);
+    ASSERT_EQ(s.oneQ.size(), 3u);
+    EXPECT_EQ(s.oneQ[0].ops.size(), 1u); // before stage 0
+    EXPECT_EQ(s.oneQ[1].ops.size(), 1u); // between stages
+    EXPECT_EQ(s.oneQ[2].ops.size(), 1u); // trailing
+    EXPECT_EQ(s.count1Q(), 3);
+    EXPECT_EQ(s.count2Q(), 2);
+}
+
+TEST(Stages, RejectsUnpreprocessedInput)
+{
+    Circuit c(2);
+    c.cx(0, 1);
+    EXPECT_THROW(scheduleStages(c), FatalError);
+}
+
+/** Property: staging preserves gate sets and per-qubit gate order. */
+class StagingProperty
+    : public ::testing::TestWithParam<const char *>
+{
+};
+
+TEST_P(StagingProperty, PreservesGatesAndOrder)
+{
+    const Circuit pre =
+        preprocess(bench_circuits::paperBenchmark(GetParam()));
+    const StagedCircuit s = scheduleStages(pre, 140);
+    s.checkInvariants();
+    EXPECT_EQ(s.count2Q(), pre.count2Q());
+    EXPECT_EQ(s.count1Q(), pre.count1Q());
+    // Per-qubit 2Q gate order is preserved.
+    std::vector<std::vector<int>> orig(
+        static_cast<std::size_t>(pre.numQubits()));
+    int idx = 0;
+    for (const Gate &g : pre.gates()) {
+        if (g.op != Op::CZ)
+            continue;
+        orig[static_cast<std::size_t>(g.qubits[0])].push_back(idx);
+        orig[static_cast<std::size_t>(g.qubits[1])].push_back(idx);
+        ++idx;
+    }
+    // Staged per-qubit stage indices must be strictly increasing.
+    std::vector<int> last_stage(
+        static_cast<std::size_t>(pre.numQubits()), -1);
+    for (int t = 0; t < s.numRydbergStages(); ++t) {
+        for (const StagedGate &g :
+             s.rydberg[static_cast<std::size_t>(t)].gates) {
+            for (int q : {g.q0, g.q1}) {
+                EXPECT_LT(last_stage[static_cast<std::size_t>(q)], t);
+                last_stage[static_cast<std::size_t>(q)] = t;
+            }
+        }
+    }
+    // Every stage respects the capacity.
+    for (const RydbergStage &st : s.rydberg)
+        EXPECT_LE(st.gates.size(), 140u);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    PaperCircuits, StagingProperty,
+    ::testing::Values("bv_n14", "bv_n70", "ghz_n23", "ising_n42",
+                      "ising_n98", "qft_n18", "knn_n31",
+                      "swap_test_n25", "wstate_n27", "seca_n11",
+                      "multiply_n13"));
+
+} // namespace
+} // namespace zac
