@@ -110,7 +110,131 @@ Architecture::finalize()
             }
         }
     }
+    buildTrapIndex();
     finalized_ = true;
+}
+
+void
+Architecture::buildTrapIndex()
+{
+    // Per-zone site grids, for O(#zones) nearestSite queries.
+    siteGrids_.clear();
+    for (std::size_t zi = 0; zi < entangle_.size(); ++zi) {
+        const ZoneSpec &zone = entangle_[zi];
+        const SlmSpec &s0 = slms_[static_cast<std::size_t>(zone.slm_ids[0])];
+        const SlmSpec &s1 = slms_[static_cast<std::size_t>(zone.slm_ids[1])];
+        const SlmSpec &left = s0.origin.x <= s1.origin.x ? s0 : s1;
+        siteGrids_.push_back({left.origin.x, left.origin.y, left.sep_x,
+                              left.sep_y, left.rows, left.cols,
+                              zoneSiteBase_[zi]});
+    }
+
+    // Dense trap ids over every SLM, in (slm, r, c) lexicographic order.
+    slmTrapBase_.assign(slms_.size(), 0);
+    numTraps_ = 0;
+    for (std::size_t s = 0; s < slms_.size(); ++s) {
+        slmTrapBase_[s] = numTraps_;
+        numTraps_ += slms_[s].rows * slms_[s].cols;
+    }
+    trapRefs_.clear();
+    trapPos_.clear();
+    trapIsStorage_.clear();
+    trapRefs_.reserve(static_cast<std::size_t>(numTraps_));
+    trapPos_.reserve(static_cast<std::size_t>(numTraps_));
+    trapIsStorage_.reserve(static_cast<std::size_t>(numTraps_));
+    for (std::size_t s = 0; s < slms_.size(); ++s) {
+        const SlmSpec &slm = slms_[s];
+        const char storage = slmIsStorage_[s];
+        for (int r = 0; r < slm.rows; ++r) {
+            for (int c = 0; c < slm.cols; ++c) {
+                const TrapRef t{static_cast<int>(s), r, c};
+                trapRefs_.push_back(t);
+                trapPos_.push_back(trapPosition(t));
+                trapIsStorage_.push_back(storage);
+            }
+        }
+    }
+
+    nearestSiteOfTrap_.resize(static_cast<std::size_t>(numTraps_));
+    for (int id = 0; id < numTraps_; ++id)
+        nearestSiteOfTrap_[static_cast<std::size_t>(id)] =
+            nearestSite(trapPos_[static_cast<std::size_t>(id)]);
+
+    // Storage-trap caches, in the storage-zone / SLM declaration order
+    // the on-demand enumeration used to produce.
+    storageSlmIds_.clear();
+    for (const ZoneSpec &z : storage_)
+        for (int slm_id : z.slm_ids)
+            storageSlmIds_.push_back(slm_id);
+    storageTraps_.clear();
+    storageTrapIds_.clear();
+    for (int slm_id : storageSlmIds_) {
+        const SlmSpec &s = slms_[static_cast<std::size_t>(slm_id)];
+        for (int r = 0; r < s.rows; ++r) {
+            for (int c = 0; c < s.cols; ++c) {
+                const TrapRef t{slm_id, r, c};
+                storageTraps_.push_back(t);
+                storageTrapIds_.push_back(trapId(t));
+            }
+        }
+    }
+}
+
+TrapId
+Architecture::trapId(TrapRef t) const
+{
+    if (t.slm < 0 || t.slm >= static_cast<int>(slms_.size()))
+        panic("architecture: invalid SLM in trap reference");
+    const SlmSpec &slm = slms_[static_cast<std::size_t>(t.slm)];
+    if (t.r < 0 || t.r >= slm.rows || t.c < 0 || t.c >= slm.cols)
+        panic("architecture: trap (" + std::to_string(t.r) + "," +
+              std::to_string(t.c) + ") out of range for SLM " +
+              std::to_string(t.slm));
+    return slmTrapBase_[static_cast<std::size_t>(t.slm)] +
+           t.r * slm.cols + t.c;
+}
+
+TrapId
+Architecture::tryTrapId(TrapRef t) const
+{
+    if (t.slm < 0 || t.slm >= static_cast<int>(slms_.size()))
+        return kInvalidTrapId;
+    const SlmSpec &slm = slms_[static_cast<std::size_t>(t.slm)];
+    if (t.r < 0 || t.r >= slm.rows || t.c < 0 || t.c >= slm.cols)
+        return kInvalidTrapId;
+    return slmTrapBase_[static_cast<std::size_t>(t.slm)] +
+           t.r * slm.cols + t.c;
+}
+
+TrapRef
+Architecture::trapRef(TrapId id) const
+{
+    if (id < 0 || id >= numTraps_)
+        panic("architecture: trap id out of range");
+    return trapRefs_[static_cast<std::size_t>(id)];
+}
+
+Point
+Architecture::trapPosition(TrapId id) const
+{
+    if (id < 0 || id >= numTraps_)
+        panic("architecture: trap id out of range");
+    return trapPos_[static_cast<std::size_t>(id)];
+}
+
+bool
+Architecture::isStorageTrap(TrapId id) const
+{
+    return id >= 0 && id < numTraps_ &&
+           trapIsStorage_[static_cast<std::size_t>(id)] != 0;
+}
+
+int
+Architecture::nearestSiteOfTrap(TrapId id) const
+{
+    if (id < 0 || id >= numTraps_)
+        panic("architecture: trap id out of range");
+    return nearestSiteOfTrap_[static_cast<std::size_t>(id)];
 }
 
 Point
@@ -153,14 +277,34 @@ Architecture::siteIndex(int zone_index, int r, int c) const
 int
 Architecture::nearestSite(Point p) const
 {
+    // Within one regular grid the nearest site's row (column) index is
+    // the clamped floor or ceil of the fractional index, so at most four
+    // candidates per zone need exact evaluation. Candidates are visited
+    // in ascending site-id order with strict less-than, reproducing the
+    // tie-breaking of a full ascending linear scan.
     int best = -1;
     double best_d = std::numeric_limits<double>::max();
-    for (int i = 0; i < numSites(); ++i) {
-        const double d = distance(p, sites_[static_cast<std::size_t>(i)]
-                                         .pos_left);
-        if (d < best_d) {
-            best_d = d;
-            best = i;
+    for (const SiteGrid &g : siteGrids_) {
+        const double fx = (p.x - g.ox) / g.sx;
+        const double fy = (p.y - g.oy) / g.sy;
+        const int c0 = std::clamp(
+            static_cast<int>(std::floor(fx)), 0, g.cols - 1);
+        const int c1 = std::clamp(
+            static_cast<int>(std::ceil(fx)), 0, g.cols - 1);
+        const int r0 = std::clamp(
+            static_cast<int>(std::floor(fy)), 0, g.rows - 1);
+        const int r1 = std::clamp(
+            static_cast<int>(std::ceil(fy)), 0, g.rows - 1);
+        for (int r = r0; r <= r1; r += std::max(1, r1 - r0)) {
+            for (int c = c0; c <= c1; c += std::max(1, c1 - c0)) {
+                const int id = g.base + r * g.cols + c;
+                const double d = distance(
+                    p, sites_[static_cast<std::size_t>(id)].pos_left);
+                if (d < best_d) {
+                    best_d = d;
+                    best = id;
+                }
+            }
         }
     }
     return best;
@@ -185,20 +329,16 @@ Architecture::isStorageTrap(TrapRef t) const
            slmIsStorage_[static_cast<std::size_t>(t.slm)] != 0;
 }
 
-std::vector<TrapRef>
+const std::vector<TrapRef> &
 Architecture::allStorageTraps() const
 {
-    std::vector<TrapRef> out;
-    out.reserve(static_cast<std::size_t>(numStorageTraps()));
-    for (const ZoneSpec &z : storage_) {
-        for (int slm_id : z.slm_ids) {
-            const SlmSpec &s = slms_[static_cast<std::size_t>(slm_id)];
-            for (int r = 0; r < s.rows; ++r)
-                for (int c = 0; c < s.cols; ++c)
-                    out.push_back({slm_id, r, c});
-        }
-    }
-    return out;
+    return storageTraps_;
+}
+
+const std::vector<TrapId> &
+Architecture::storageTrapIds() const
+{
+    return storageTrapIds_;
 }
 
 TrapRef
@@ -206,21 +346,19 @@ Architecture::nearestStorageTrap(Point p) const
 {
     TrapRef best;
     double best_d = std::numeric_limits<double>::max();
-    for (const ZoneSpec &z : storage_) {
-        for (int slm_id : z.slm_ids) {
-            const SlmSpec &s = slms_[static_cast<std::size_t>(slm_id)];
-            const double fx = (p.x - s.origin.x) / s.sep_x;
-            const double fy = (p.y - s.origin.y) / s.sep_y;
-            const int c = std::clamp(
-                static_cast<int>(std::lround(fx)), 0, s.cols - 1);
-            const int r = std::clamp(
-                static_cast<int>(std::lround(fy)), 0, s.rows - 1);
-            const TrapRef t{slm_id, r, c};
-            const double d = distance(p, trapPosition(t));
-            if (d < best_d) {
-                best_d = d;
-                best = t;
-            }
+    for (int slm_id : storageSlmIds_) {
+        const SlmSpec &s = slms_[static_cast<std::size_t>(slm_id)];
+        const double fx = (p.x - s.origin.x) / s.sep_x;
+        const double fy = (p.y - s.origin.y) / s.sep_y;
+        const int c = std::clamp(
+            static_cast<int>(std::lround(fx)), 0, s.cols - 1);
+        const int r = std::clamp(
+            static_cast<int>(std::lround(fy)), 0, s.rows - 1);
+        const TrapRef t{slm_id, r, c};
+        const double d = distance(p, trapPosition(t));
+        if (d < best_d) {
+            best_d = d;
+            best = t;
         }
     }
     if (!best.valid())
@@ -263,27 +401,25 @@ Architecture::storageTrapsInBox(const std::vector<Point> &anchors) const
         max_y = std::max(max_y, p.y);
     }
     const double eps = 1e-9;
-    for (const ZoneSpec &z : storage_) {
-        for (int slm_id : z.slm_ids) {
-            const SlmSpec &s = slms_[static_cast<std::size_t>(slm_id)];
-            const int c_lo = std::max(
-                0, static_cast<int>(
-                       std::ceil((min_x - s.origin.x) / s.sep_x - eps)));
-            const int c_hi = std::min(
-                s.cols - 1,
-                static_cast<int>(
-                    std::floor((max_x - s.origin.x) / s.sep_x + eps)));
-            const int r_lo = std::max(
-                0, static_cast<int>(
-                       std::ceil((min_y - s.origin.y) / s.sep_y - eps)));
-            const int r_hi = std::min(
-                s.rows - 1,
-                static_cast<int>(
-                    std::floor((max_y - s.origin.y) / s.sep_y + eps)));
-            for (int r = r_lo; r <= r_hi; ++r)
-                for (int c = c_lo; c <= c_hi; ++c)
-                    out.push_back({slm_id, r, c});
-        }
+    for (int slm_id : storageSlmIds_) {
+        const SlmSpec &s = slms_[static_cast<std::size_t>(slm_id)];
+        const int c_lo = std::max(
+            0, static_cast<int>(
+                   std::ceil((min_x - s.origin.x) / s.sep_x - eps)));
+        const int c_hi = std::min(
+            s.cols - 1,
+            static_cast<int>(
+                std::floor((max_x - s.origin.x) / s.sep_x + eps)));
+        const int r_lo = std::max(
+            0, static_cast<int>(
+                   std::ceil((min_y - s.origin.y) / s.sep_y - eps)));
+        const int r_hi = std::min(
+            s.rows - 1,
+            static_cast<int>(
+                std::floor((max_y - s.origin.y) / s.sep_y + eps)));
+        for (int r = r_lo; r <= r_hi; ++r)
+            for (int c = c_lo; c <= c_hi; ++c)
+                out.push_back({slm_id, r, c});
     }
     return out;
 }

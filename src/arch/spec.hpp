@@ -11,6 +11,7 @@
 #ifndef ZAC_ARCH_SPEC_HPP
 #define ZAC_ARCH_SPEC_HPP
 
+#include <cstdint>
 #include <string>
 #include <vector>
 
@@ -18,6 +19,18 @@
 
 namespace zac
 {
+
+/**
+ * Dense linearization of every SLM trap of an architecture (storage and
+ * entanglement alike): trap (slm, r, c) maps to
+ * slmTrapBase[slm] + r * cols + c. Ids are assigned in SLM order, then
+ * row-major, so TrapId order equals TrapRef (slm, r, c) lexicographic
+ * order. Used to key flat arrays in the placement/scheduling hot paths.
+ */
+using TrapId = std::int32_t;
+
+/** Sentinel for "no trap" in TrapId-keyed structures. */
+inline constexpr TrapId kInvalidTrapId = -1;
 
 /** An acousto-optic deflector array (<aodArray> in Fig. 3). */
 struct AodSpec
@@ -137,6 +150,26 @@ class Architecture
     /** Physical position of a trap. */
     Point trapPosition(TrapRef t) const;
 
+    // ----- flat trap ids ----------------------------------------------
+    /** Total number of traps across every SLM (storage + entanglement). */
+    int numTraps() const { return numTraps_; }
+    /** Dense id of @p t; O(1). @throws zac::PanicError out of range. */
+    TrapId trapId(TrapRef t) const;
+    /** Dense id of @p t, or kInvalidTrapId when out of range; O(1). */
+    TrapId tryTrapId(TrapRef t) const;
+    /** Inverse of trapId(); O(1). */
+    TrapRef trapRef(TrapId id) const;
+    /** Cached physical position of trap @p id; O(1). */
+    Point trapPosition(TrapId id) const;
+    /** @return true if trap @p id lies in a storage-zone SLM; O(1). */
+    bool isStorageTrap(TrapId id) const;
+    /**
+     * The Rydberg site nearest to trap @p id (by left-trap reference
+     * position), precomputed at finalize(); O(1). This is the table the
+     * SA placement hot loop reads for every gate-cost probe.
+     */
+    int nearestSiteOfTrap(TrapId id) const;
+
     // ----- Rydberg sites ----------------------------------------------
     int numSites() const { return static_cast<int>(sites_.size()); }
     const RydbergSite &site(int id) const;
@@ -145,7 +178,12 @@ class Architecture
     int siteIndex(int zone_index, int r, int c) const;
     /** Site reference position (left trap). */
     Point sitePosition(int id) const { return site(id).pos_left; }
-    /** The site whose reference position is nearest to @p p. */
+    /**
+     * The site whose reference position is nearest to @p p. Evaluated
+     * against the per-zone regular grids (O(#zones), not O(#sites));
+     * ties resolve to the lowest site id, exactly as a full ascending
+     * linear scan with strict less-than would.
+     */
     int nearestSite(Point p) const;
 
     // ----- storage traps ----------------------------------------------
@@ -153,8 +191,10 @@ class Architecture
     int numStorageTraps() const;
     /** @return true if @p t lies in a storage-zone SLM. */
     bool isStorageTrap(TrapRef t) const;
-    /** Enumerate every storage trap (row-major per SLM). */
-    std::vector<TrapRef> allStorageTraps() const;
+    /** Every storage trap (row-major per SLM), cached at finalize(). */
+    const std::vector<TrapRef> &allStorageTraps() const;
+    /** Dense ids of allStorageTraps(), in the same order. */
+    const std::vector<TrapId> &storageTrapIds() const;
     /** The storage trap nearest to @p p. */
     TrapRef nearestStorageTrap(Point p) const;
     /**
@@ -176,6 +216,7 @@ class Architecture
 
   private:
     void validateZone(const ZoneSpec &zone, ZoneKind kind) const;
+    void buildTrapIndex();
 
     std::string name_ = "unnamed";
     NaHardwareParams params_;
@@ -190,6 +231,27 @@ class Architecture
     /** sites_ base offset per entanglement zone. */
     std::vector<int> zoneSiteBase_;
     std::vector<char> slmIsStorage_;
+
+    // ----- spatial index (built by finalize) --------------------------
+    /** Regular grid of one entanglement zone's site reference positions. */
+    struct SiteGrid
+    {
+        double ox, oy;      ///< left-trap origin
+        double sx, sy;      ///< site pitch
+        int rows, cols;
+        int base;           ///< first site id of the zone
+    };
+
+    int numTraps_ = 0;
+    std::vector<int> slmTrapBase_;          ///< per SLM, first TrapId
+    std::vector<TrapRef> trapRefs_;         ///< TrapId -> TrapRef
+    std::vector<Point> trapPos_;            ///< TrapId -> position
+    std::vector<char> trapIsStorage_;       ///< TrapId -> storage flag
+    std::vector<int> nearestSiteOfTrap_;    ///< TrapId -> site id
+    std::vector<SiteGrid> siteGrids_;       ///< per entanglement zone
+    std::vector<int> storageSlmIds_;        ///< storage SLMs, zone order
+    std::vector<TrapRef> storageTraps_;     ///< cached allStorageTraps()
+    std::vector<TrapId> storageTrapIds_;    ///< same order as above
 };
 
 } // namespace zac

@@ -18,11 +18,14 @@ gateCost(Point site_pos, Point m_q, Point m_q2)
     return c0 + c1;
 }
 
-int
-nearestSiteForGate(const Architecture &arch, Point m_q, Point m_q2)
+namespace
 {
-    const int s0 = arch.nearestSite(m_q);
-    const int s1 = arch.nearestSite(m_q2);
+
+/** Shared tail of both nearestSiteForGate overloads. */
+int
+siteForQubitSites(const Architecture &arch, int s0, int s1, Point m_q,
+                  Point m_q2)
+{
     if (s0 < 0 || s1 < 0)
         panic("nearestSiteForGate: architecture has no sites");
     const RydbergSite &a = arch.site(s0);
@@ -39,6 +42,24 @@ nearestSiteForGate(const Architecture &arch, Point m_q, Point m_q2)
     const Point mid_point{(m_q.x + m_q2.x) / 2.0,
                           (m_q.y + m_q2.y) / 2.0};
     return arch.nearestSite(mid_point);
+}
+
+} // namespace
+
+int
+nearestSiteForGate(const Architecture &arch, Point m_q, Point m_q2)
+{
+    return siteForQubitSites(arch, arch.nearestSite(m_q),
+                             arch.nearestSite(m_q2), m_q, m_q2);
+}
+
+int
+nearestSiteForGate(const Architecture &arch, TrapId t0, TrapId t1)
+{
+    return siteForQubitSites(arch, arch.nearestSiteOfTrap(t0),
+                             arch.nearestSiteOfTrap(t1),
+                             arch.trapPosition(t0),
+                             arch.trapPosition(t1));
 }
 
 double

@@ -37,6 +37,14 @@ double gateCost(Point site_pos, Point m_q, Point m_q2);
 int nearestSiteForGate(const Architecture &arch, Point m_q, Point m_q2);
 
 /**
+ * nearestSiteForGate for qubits parked at traps @p t0 / @p t1: the two
+ * per-qubit nearest sites come from the Architecture's precomputed
+ * per-trap table (O(1)) instead of point queries. Identical result to
+ * the Point overload evaluated at the trap positions.
+ */
+int nearestSiteForGate(const Architecture &arch, TrapId t0, TrapId t1);
+
+/**
  * Stage-transition cost proxy used to commit reuse vs no-reuse: each
  * moved qubit contributes two atom transfers plus its move duration.
  *

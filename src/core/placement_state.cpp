@@ -8,7 +8,8 @@ namespace zac
 PlacementState::PlacementState(const Architecture &arch, int num_qubits)
     : arch_(&arch), numQubits_(num_qubits),
       trap_(static_cast<std::size_t>(num_qubits)),
-      home_(static_cast<std::size_t>(num_qubits))
+      home_(static_cast<std::size_t>(num_qubits)),
+      occupantByTrap_(static_cast<std::size_t>(arch.numTraps()), -1)
 {
     if (!arch.finalized())
         panic("placement state: architecture not finalized");
@@ -33,8 +34,10 @@ PlacementState::posOf(int q) const
 int
 PlacementState::occupant(TrapRef t) const
 {
-    auto it = occupant_.find(t);
-    return it == occupant_.end() ? -1 : it->second;
+    const TrapId id = arch_->tryTrapId(t);
+    return id == kInvalidTrapId
+               ? -1
+               : occupantByTrap_[static_cast<std::size_t>(id)];
 }
 
 TrapRef
@@ -52,9 +55,10 @@ PlacementState::place(int q, TrapRef t)
               std::to_string(occ));
     const TrapRef old = trap_[static_cast<std::size_t>(q)];
     if (old.valid())
-        occupant_.erase(old);
+        occupantByTrap_[static_cast<std::size_t>(arch_->trapId(old))] =
+            -1;
     trap_[static_cast<std::size_t>(q)] = t;
-    occupant_[t] = q;
+    occupantByTrap_[static_cast<std::size_t>(arch_->trapId(t))] = q;
     if (arch_->isStorageTrap(t))
         home_[static_cast<std::size_t>(q)] = t;
 }
@@ -66,12 +70,10 @@ PlacementState::swapQubits(int a, int b)
     const TrapRef tb = trap_[static_cast<std::size_t>(b)];
     if (!ta.valid() || !tb.valid())
         panic("placement state: swap of unplaced qubit");
-    occupant_.erase(ta);
-    occupant_.erase(tb);
     trap_[static_cast<std::size_t>(a)] = tb;
     trap_[static_cast<std::size_t>(b)] = ta;
-    occupant_[tb] = a;
-    occupant_[ta] = b;
+    occupantByTrap_[static_cast<std::size_t>(arch_->trapId(tb))] = a;
+    occupantByTrap_[static_cast<std::size_t>(arch_->trapId(ta))] = b;
     if (arch_->isStorageTrap(tb))
         home_[static_cast<std::size_t>(a)] = tb;
     if (arch_->isStorageTrap(ta))
@@ -84,7 +86,7 @@ PlacementState::liftQubit(int q)
     const TrapRef old = trap_[static_cast<std::size_t>(q)];
     if (!old.valid())
         panic("placement state: lift of unplaced qubit");
-    occupant_.erase(old);
+    occupantByTrap_[static_cast<std::size_t>(arch_->trapId(old))] = -1;
     trap_[static_cast<std::size_t>(q)] = TrapRef{};
 }
 
@@ -93,11 +95,16 @@ PlacementState::restore(const std::vector<TrapRef> &snap)
 {
     if (snap.size() != trap_.size())
         panic("placement state: snapshot size mismatch");
-    occupant_.clear();
+    // Vacate the currently occupied traps (O(#qubits), not O(#traps)).
+    for (const TrapRef &t : trap_)
+        if (t.valid())
+            occupantByTrap_[static_cast<std::size_t>(
+                arch_->trapId(t))] = -1;
     for (std::size_t q = 0; q < snap.size(); ++q) {
         trap_[q] = snap[q];
         if (snap[q].valid()) {
-            occupant_[snap[q]] = static_cast<int>(q);
+            occupantByTrap_[static_cast<std::size_t>(
+                arch_->trapId(snap[q]))] = static_cast<int>(q);
             if (arch_->isStorageTrap(snap[q]))
                 home_[q] = snap[q];
         }

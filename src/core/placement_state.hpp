@@ -6,7 +6,7 @@
 #ifndef ZAC_CORE_PLACEMENT_STATE_HPP
 #define ZAC_CORE_PLACEMENT_STATE_HPP
 
-#include <map>
+#include <cstdint>
 #include <vector>
 
 #include "arch/spec.hpp"
@@ -30,9 +30,15 @@ class PlacementState
     TrapRef trapOf(int q) const;
     /** Current position of @p q in um. */
     Point posOf(int q) const;
-    /** Occupant of @p t, or -1 when empty. */
+    /** Occupant of @p t, or -1 when empty or out of range. */
     int occupant(TrapRef t) const;
     bool isEmpty(TrapRef t) const { return occupant(t) == -1; }
+    /** Occupant of trap @p id, or -1 when empty (single array load). */
+    int occupant(TrapId id) const
+    {
+        return occupantByTrap_[static_cast<std::size_t>(id)];
+    }
+    bool isEmpty(TrapId id) const { return occupant(id) == -1; }
 
     /** Last storage trap @p q occupied. */
     TrapRef homeOf(int q) const;
@@ -65,7 +71,8 @@ class PlacementState
     int numQubits_;
     std::vector<TrapRef> trap_;
     std::vector<TrapRef> home_;
-    std::map<TrapRef, int> occupant_;
+    /** TrapId -> occupying qubit, -1 when empty (flat, O(1) lookups). */
+    std::vector<std::int32_t> occupantByTrap_;
 };
 
 } // namespace zac

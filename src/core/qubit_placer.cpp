@@ -1,8 +1,7 @@
 #include "core/qubit_placer.hpp"
 
 #include <algorithm>
-#include <map>
-#include <set>
+#include <cmath>
 
 #include "common/logging.hpp"
 #include "core/cost.hpp"
@@ -15,7 +14,7 @@ namespace
 {
 
 /** Candidate traps for one leaving qubit at one expansion level. */
-std::vector<TrapRef>
+std::vector<TrapId>
 candidateTraps(const PlacementState &state, int q,
                const std::optional<Point> &related, int k)
 {
@@ -35,48 +34,99 @@ candidateTraps(const PlacementState &state, int q,
         anchors.push_back(
             arch.trapPosition(arch.nearestStorageTrap(*related)));
 
-    std::set<TrapRef> cands;
+    std::vector<TrapId> cands;
     for (const TrapRef &t : arch.storageTrapsInBox(anchors))
-        cands.insert(t);
+        cands.push_back(arch.trapId(t));
     // k-neighbourhood of the nearest trap (may extend beyond the box).
-    cands.insert(near_cur);
+    cands.push_back(arch.trapId(near_cur));
     for (const TrapRef &t : arch.storageNeighbors(near_cur, k))
-        cands.insert(t);
+        cands.push_back(arch.trapId(t));
     if (home.valid())
-        cands.insert(home);
+        cands.push_back(arch.trapId(home));
 
-    std::vector<TrapRef> out;
-    for (const TrapRef &t : cands)
+    // TrapId order equals TrapRef (slm, r, c) order, so sort + unique
+    // yields the same candidate sequence the old std::set produced.
+    std::sort(cands.begin(), cands.end());
+    cands.erase(std::unique(cands.begin(), cands.end()), cands.end());
+
+    std::vector<TrapId> out;
+    for (TrapId t : cands)
         if (state.isEmpty(t))
             out.push_back(t);
     return out;
 }
 
-/** Nearest empty storage traps to @p p (fallback expansion). */
-std::vector<TrapRef>
+/** TrapId-returning core of nearestEmptyStorageTraps(). */
+std::vector<TrapId>
 nearestEmptyTraps(const PlacementState &state, Point p, std::size_t count)
 {
     const Architecture &arch = state.arch();
-    std::vector<std::pair<double, TrapRef>> ranked;
-    for (const TrapRef &t : arch.allStorageTraps())
-        if (state.isEmpty(t))
-            ranked.emplace_back(distance(arch.trapPosition(t), p), t);
+    const std::size_t num_storage = arch.allStorageTraps().size();
+    if (num_storage == 0)
+        return {};
+
+    double base_pitch = 3.0;
+    for (const ZoneSpec &z : arch.storageZones())
+        for (int slm_id : z.slm_ids) {
+            const SlmSpec &s =
+                arch.slms()[static_cast<std::size_t>(slm_id)];
+            base_pitch = std::max({base_pitch, s.sep_x, s.sep_y});
+        }
+
+    using Ranked = std::pair<double, TrapId>;
+    std::vector<Ranked> ranked;
+    double radius =
+        base_pitch * (std::sqrt(static_cast<double>(count)) + 2.0);
+    for (;;) {
+        ranked.clear();
+        const std::vector<TrapRef> box = arch.storageTrapsInBox(
+            {{p.x - radius, p.y - radius}, {p.x + radius, p.y + radius}});
+        std::size_t within = 0;
+        for (const TrapRef &t : box) {
+            if (!state.isEmpty(t))
+                continue;
+            const double d = distance(arch.trapPosition(t), p);
+            ranked.emplace_back(d, arch.trapId(t));
+            if (d <= radius)
+                ++within;
+        }
+        // Enough empties inside the search *disk* (not just the box)
+        // guarantees the k nearest are all collected; a box covering
+        // every storage trap degenerates to the full scan.
+        if (within >= count || box.size() == num_storage)
+            break;
+        radius *= 2.0;
+    }
+
     std::sort(ranked.begin(), ranked.end(),
-              [](const auto &a, const auto &b) {
+              [](const Ranked &a, const Ranked &b) {
                   if (a.first != b.first)
                       return a.first < b.first;
                   return a.second < b.second;
               });
     if (ranked.size() > count)
         ranked.resize(count);
-    std::vector<TrapRef> out;
+    std::vector<TrapId> out;
     out.reserve(ranked.size());
-    for (auto &[d, t] : ranked)
-        out.push_back(t);
+    for (const Ranked &r : ranked)
+        out.push_back(r.second);
     return out;
 }
 
 } // namespace
+
+std::vector<TrapRef>
+nearestEmptyStorageTraps(const PlacementState &state, Point p,
+                         std::size_t count)
+{
+    const Architecture &arch = state.arch();
+    const std::vector<TrapId> ids = nearestEmptyTraps(state, p, count);
+    std::vector<TrapRef> out;
+    out.reserve(ids.size());
+    for (TrapId t : ids)
+        out.push_back(arch.trapRef(t));
+    return out;
+}
 
 std::vector<TrapRef>
 placeQubitsInStorage(const PlacementState &state,
@@ -92,8 +142,8 @@ placeQubitsInStorage(const PlacementState &state,
     int k = req.k;
     for (int attempt = 0; attempt < 8; ++attempt, k *= 2) {
         // Per-qubit candidates and the union column space.
-        std::vector<std::vector<TrapRef>> cands(n);
-        std::map<TrapRef, int> col_of;
+        std::vector<std::vector<TrapId>> cands(n);
+        std::vector<TrapId> cols;
         for (std::size_t i = 0; i < n; ++i) {
             cands[i] = candidateTraps(state, req.leaving[i],
                                       req.related[i], k);
@@ -109,30 +159,29 @@ placeQubitsInStorage(const PlacementState &state,
                     std::unique(cands[i].begin(), cands[i].end()),
                     cands[i].end());
             }
-            for (const TrapRef &t : cands[i])
-                col_of.emplace(t, 0);
+            cols.insert(cols.end(), cands[i].begin(), cands[i].end());
         }
-        if (col_of.size() < n)
+        std::sort(cols.begin(), cols.end());
+        cols.erase(std::unique(cols.begin(), cols.end()), cols.end());
+        if (cols.size() < n)
             continue;
-        int next_col = 0;
-        std::vector<TrapRef> cols(col_of.size());
-        for (auto &[t, idx] : col_of) {
-            idx = next_col;
-            cols[static_cast<std::size_t>(next_col)] = t;
-            ++next_col;
-        }
+        auto colOf = [&cols](TrapId t) {
+            return static_cast<int>(
+                std::lower_bound(cols.begin(), cols.end(), t) -
+                cols.begin());
+        };
 
         CostMatrix cost(static_cast<int>(n),
                         static_cast<int>(cols.size()));
         for (std::size_t i = 0; i < n; ++i) {
             const Point cur = state.posOf(req.leaving[i]);
-            for (const TrapRef &t : cands[i]) {
+            for (TrapId t : cands[i]) {
                 const Point tp = arch.trapPosition(t);
                 double w = sqrtDistance(tp, cur);
                 if (req.related[i].has_value())
                     w += req.alpha *
                          sqrtDistance(tp, *req.related[i]);
-                cost.at(static_cast<int>(i), col_of.at(t)) = w;
+                cost.at(static_cast<int>(i), colOf(t)) = w;
             }
         }
         const Assignment assign = minWeightFullMatching(cost);
@@ -140,8 +189,8 @@ placeQubitsInStorage(const PlacementState &state,
             continue;
         std::vector<TrapRef> out(n);
         for (std::size_t i = 0; i < n; ++i)
-            out[i] = cols[static_cast<std::size_t>(
-                assign.row_to_col[i])];
+            out[i] = arch.trapRef(cols[static_cast<std::size_t>(
+                assign.row_to_col[i])]);
         return out;
     }
     fatal("placeQubitsInStorage: no feasible assignment after "

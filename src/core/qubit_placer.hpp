@@ -39,6 +39,16 @@ struct QubitPlacementRequest
 };
 
 /**
+ * The @p count empty storage traps nearest to @p p, ordered by
+ * ascending (distance, trap). Found by an expanding box search over the
+ * storage grids; returns every empty trap when fewer than @p count
+ * exist. Used as the candidate-expansion fallback of
+ * placeQubitsInStorage().
+ */
+std::vector<TrapRef> nearestEmptyStorageTraps(const PlacementState &state,
+                                              Point p, std::size_t count);
+
+/**
  * Choose a distinct empty storage trap for every leaving qubit,
  * minimizing the total Eq. 3 cost. Candidate sets are expanded until a
  * full matching exists.

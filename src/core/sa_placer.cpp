@@ -2,8 +2,8 @@
 
 #include <algorithm>
 #include <cmath>
-#include <map>
-#include <set>
+#include <cstdint>
+#include <limits>
 
 #include "common/logging.hpp"
 #include "common/rng.hpp"
@@ -41,23 +41,60 @@ weightedGates(const StagedCircuit &staged)
     return gates;
 }
 
-/** Incremental Eq. 2 evaluator: caches per-gate costs per qubit. */
+/**
+ * Weighted Eq. 2 cost of one gate whose qubits sit at traps
+ * @p t0 / @p t1. All geometry comes from the Architecture's precomputed
+ * tables; no site scan. Single evaluation path shared by the tracker
+ * and by initialPlacementCost().
+ */
+inline double
+weightedGateCost(const Architecture &arch, const WeightedGate &g,
+                 TrapId t0, TrapId t1)
+{
+    const Point p0 = arch.trapPosition(t0);
+    const Point p1 = arch.trapPosition(t1);
+    const int site = nearestSiteForGate(arch, t0, t1);
+    return g.weight * gateCost(arch.sitePosition(site), p0, p1);
+}
+
+/**
+ * Incremental Eq. 2 evaluator over flat TrapIds: caches per-gate costs
+ * and per-qubit gate lists (CSR layout). Supports an O(#gates) probe
+ * snapshot so the adaptive-temperature probe runs in place instead of
+ * deep-copying the tracker.
+ */
 class CostTracker
 {
   public:
     CostTracker(const Architecture &arch, const StagedCircuit &staged,
-                std::vector<TrapRef> traps)
+                const std::vector<TrapRef> &traps)
         : arch_(arch), gates_(weightedGates(staged)),
-          traps_(std::move(traps)),
-          gatesOf_(static_cast<std::size_t>(staged.numQubits)),
-          gateCost_(gates_.size(), 0.0)
+          trapOfQubit_(traps.size()), gateCost_(gates_.size(), 0.0)
     {
-        for (std::size_t i = 0; i < gates_.size(); ++i) {
-            gatesOf_[static_cast<std::size_t>(gates_[i].q0)].push_back(
-                static_cast<int>(i));
-            gatesOf_[static_cast<std::size_t>(gates_[i].q1)].push_back(
-                static_cast<int>(i));
+        for (std::size_t q = 0; q < traps.size(); ++q)
+            trapOfQubit_[q] = arch.trapId(traps[q]);
+
+        // CSR gate lists: count, prefix-sum, fill.
+        const std::size_t n = static_cast<std::size_t>(staged.numQubits);
+        gateOffsets_.assign(n + 1, 0);
+        for (const WeightedGate &g : gates_) {
+            ++gateOffsets_[static_cast<std::size_t>(g.q0) + 1];
+            ++gateOffsets_[static_cast<std::size_t>(g.q1) + 1];
         }
+        for (std::size_t q = 1; q <= n; ++q)
+            gateOffsets_[q] += gateOffsets_[q - 1];
+        gateList_.resize(gateOffsets_[n]);
+        std::vector<int> fill(gateOffsets_.begin(),
+                              gateOffsets_.end() - 1);
+        for (std::size_t i = 0; i < gates_.size(); ++i) {
+            gateList_[static_cast<std::size_t>(
+                fill[static_cast<std::size_t>(gates_[i].q0)]++)] =
+                static_cast<int>(i);
+            gateList_[static_cast<std::size_t>(
+                fill[static_cast<std::size_t>(gates_[i].q1)]++)] =
+                static_cast<int>(i);
+        }
+
         total_ = 0.0;
         for (std::size_t i = 0; i < gates_.size(); ++i) {
             gateCost_[i] = evalGate(static_cast<int>(i));
@@ -66,17 +103,17 @@ class CostTracker
     }
 
     double total() const { return total_; }
-    const std::vector<TrapRef> &traps() const { return traps_; }
-    TrapRef trapOf(int q) const
+    TrapId trapIdOf(int q) const
     {
-        return traps_[static_cast<std::size_t>(q)];
+        return trapOfQubit_[static_cast<std::size_t>(q)];
     }
+    const std::vector<TrapId> &trapIds() const { return trapOfQubit_; }
 
     /** Move @p q to @p t and return the cost delta. */
     double
-    moveQubit(int q, TrapRef t)
+    moveQubit(int q, TrapId t)
     {
-        traps_[static_cast<std::size_t>(q)] = t;
+        trapOfQubit_[static_cast<std::size_t>(q)] = t;
         return refreshQubit(q);
     }
 
@@ -84,9 +121,30 @@ class CostTracker
     double
     swapQubits(int a, int b)
     {
-        std::swap(traps_[static_cast<std::size_t>(a)],
-                  traps_[static_cast<std::size_t>(b)]);
+        std::swap(trapOfQubit_[static_cast<std::size_t>(a)],
+                  trapOfQubit_[static_cast<std::size_t>(b)]);
         return refreshQubit(a) + refreshQubit(b);
+    }
+
+    /**
+     * Snapshot the mutable state (trap assignment, per-gate costs,
+     * total) so a destructive probe can be rolled back bit-exactly.
+     */
+    void
+    saveProbeState()
+    {
+        probeTraps_ = trapOfQubit_;
+        probeGateCost_ = gateCost_;
+        probeTotal_ = total_;
+    }
+
+    /** Restore the snapshot taken by saveProbeState(). */
+    void
+    restoreProbeState()
+    {
+        trapOfQubit_ = probeTraps_;
+        gateCost_ = probeGateCost_;
+        total_ = probeTotal_;
     }
 
   private:
@@ -94,12 +152,9 @@ class CostTracker
     evalGate(int i)
     {
         const WeightedGate &g = gates_[static_cast<std::size_t>(i)];
-        const Point p0 = arch_.trapPosition(
-            traps_[static_cast<std::size_t>(g.q0)]);
-        const Point p1 = arch_.trapPosition(
-            traps_[static_cast<std::size_t>(g.q1)]);
-        const int site = nearestSiteForGate(arch_, p0, p1);
-        return g.weight * gateCost(arch_.sitePosition(site), p0, p1);
+        return weightedGateCost(
+            arch_, g, trapOfQubit_[static_cast<std::size_t>(g.q0)],
+            trapOfQubit_[static_cast<std::size_t>(g.q1)]);
     }
 
     /** Recompute all gates touching @p q; return the total delta. */
@@ -107,7 +162,11 @@ class CostTracker
     refreshQubit(int q)
     {
         double delta = 0.0;
-        for (int i : gatesOf_[static_cast<std::size_t>(q)]) {
+        const std::size_t lo = gateOffsets_[static_cast<std::size_t>(q)];
+        const std::size_t hi =
+            gateOffsets_[static_cast<std::size_t>(q) + 1];
+        for (std::size_t k = lo; k < hi; ++k) {
+            const int i = gateList_[k];
             const double fresh = evalGate(i);
             delta += fresh - gateCost_[static_cast<std::size_t>(i)];
             gateCost_[static_cast<std::size_t>(i)] = fresh;
@@ -118,10 +177,23 @@ class CostTracker
 
     const Architecture &arch_;
     std::vector<WeightedGate> gates_;
-    std::vector<TrapRef> traps_;
-    std::vector<std::vector<int>> gatesOf_;
+    std::vector<TrapId> trapOfQubit_;
+    std::vector<std::size_t> gateOffsets_; ///< CSR offsets, per qubit
+    std::vector<int> gateList_;            ///< CSR gate indices
     std::vector<double> gateCost_;
     double total_;
+
+    std::vector<TrapId> probeTraps_;
+    std::vector<double> probeGateCost_;
+    double probeTotal_ = 0.0;
+};
+
+/** One accepted SA move, journaled for best-state reconstruction. */
+struct AcceptedOp
+{
+    int q;             ///< moved qubit, or swap partner a
+    int partner;       ///< swap partner b, or -1 for a jump
+    TrapId old_trap;   ///< jump source trap (jumps only)
 };
 
 } // namespace
@@ -129,31 +201,46 @@ class CostTracker
 std::vector<TrapRef>
 storageTrapsByProximity(const Architecture &arch)
 {
-    std::vector<TrapRef> traps = arch.allStorageTraps();
-    if (traps.empty())
+    const std::vector<TrapRef> &all = arch.allStorageTraps();
+    if (all.empty())
         fatal("storageTrapsByProximity: no storage traps");
     // Row distance to the nearest Rydberg-site row decides the order;
-    // column index breaks ties so filling proceeds left to right.
+    // column index breaks ties so filling proceeds left to right. Site
+    // rows are deduplicated (a zone shares one y per row), and the
+    // per-trap distance is computed once up front rather than inside
+    // the sort comparator.
     std::vector<double> site_rows;
     for (const RydbergSite &s : arch.sites())
         site_rows.push_back(s.pos_left.y);
-    auto row_dist = [&](const TrapRef &t) {
+    std::sort(site_rows.begin(), site_rows.end());
+    site_rows.erase(std::unique(site_rows.begin(), site_rows.end()),
+                    site_rows.end());
+    struct Keyed
+    {
+        TrapRef t;
+        double d;
+    };
+    std::vector<Keyed> keyed;
+    keyed.reserve(all.size());
+    for (const TrapRef &t : all) {
         const double y = arch.trapPosition(t).y;
         double best = std::numeric_limits<double>::max();
         for (double sy : site_rows)
             best = std::min(best, std::abs(sy - y));
-        return best;
-    };
-    std::stable_sort(traps.begin(), traps.end(),
-                     [&](const TrapRef &a, const TrapRef &b) {
-                         const double da = row_dist(a);
-                         const double db = row_dist(b);
-                         if (std::abs(da - db) > 1e-9)
-                             return da < db;
-                         if (a.r != b.r)
-                             return a.r < b.r;
-                         return a.c < b.c;
+        keyed.push_back({t, best});
+    }
+    std::stable_sort(keyed.begin(), keyed.end(),
+                     [](const Keyed &a, const Keyed &b) {
+                         if (std::abs(a.d - b.d) > 1e-9)
+                             return a.d < b.d;
+                         if (a.t.r != b.t.r)
+                             return a.t.r < b.t.r;
+                         return a.t.c < b.t.c;
                      });
+    std::vector<TrapRef> traps;
+    traps.reserve(keyed.size());
+    for (const Keyed &k : keyed)
+        traps.push_back(k.t);
     return traps;
 }
 
@@ -174,18 +261,10 @@ initialPlacementCost(const Architecture &arch, const StagedCircuit &staged,
                      const std::vector<TrapRef> &traps)
 {
     double total = 0.0;
-    for (int t = 0; t < staged.numRydbergStages(); ++t) {
-        for (const StagedGate &g :
-             staged.rydberg[static_cast<std::size_t>(t)].gates) {
-            const Point p0 = arch.trapPosition(
-                traps[static_cast<std::size_t>(g.q0)]);
-            const Point p1 = arch.trapPosition(
-                traps[static_cast<std::size_t>(g.q1)]);
-            const int site = nearestSiteForGate(arch, p0, p1);
-            total += stageWeight(t + 1) *
-                     gateCost(arch.sitePosition(site), p0, p1);
-        }
-    }
+    for (const WeightedGate &g : weightedGates(staged))
+        total += weightedGateCost(
+            arch, g, arch.trapId(traps[static_cast<std::size_t>(g.q0)]),
+            arch.trapId(traps[static_cast<std::size_t>(g.q1)]));
     return total;
 }
 
@@ -194,47 +273,58 @@ saInitialPlacement(const Architecture &arch, const StagedCircuit &staged,
                    const SaOptions &opts)
 {
     const int n = staged.numQubits;
-    std::vector<TrapRef> init = trivialInitialPlacement(arch, n);
+    std::vector<TrapRef> order = storageTrapsByProximity(arch);
+    if (static_cast<int>(order.size()) < n)
+        fatal("saInitialPlacement: " + std::to_string(n) +
+              " qubits exceed " + std::to_string(order.size()) +
+              " storage traps");
+    std::vector<TrapRef> init(order.begin(), order.begin() + n);
     if (staged.count2Q() == 0 || n < 2)
         return init;
 
     // Jump candidate pool: the traps closest to the entanglement zone
     // (twice the qubit count, at least one full row).
-    std::vector<TrapRef> pool = storageTrapsByProximity(arch);
     const std::size_t pool_size = std::min(
-        pool.size(),
-        static_cast<std::size_t>(std::max(2 * n, 100)));
-    pool.resize(pool_size);
+        order.size(), static_cast<std::size_t>(std::max(2 * n, 100)));
+    std::vector<TrapId> pool(pool_size);
+    for (std::size_t i = 0; i < pool_size; ++i)
+        pool[i] = arch.trapId(order[i]);
 
     CostTracker tracker(arch, staged, init);
-    std::set<TrapRef> occupied(init.begin(), init.end());
+    std::vector<std::uint8_t> occupied(
+        static_cast<std::size_t>(arch.numTraps()), 0);
+    for (const TrapRef &t : init)
+        occupied[static_cast<std::size_t>(arch.trapId(t))] = 1;
     Rng rng(opts.seed);
 
-    // Adaptive initial temperature: the mean |delta| of a few probes.
+    // Adaptive initial temperature: the mean |delta| of a few probes,
+    // run destructively in place and rolled back bit-exactly.
     double t0 = 0.0;
     {
-        const double before = tracker.total();
-        CostTracker probe = tracker;
+        tracker.saveProbeState();
         int samples = 0;
         for (int i = 0; i < 16 && n >= 2; ++i) {
             const int a = rng.nextInt(0, n - 1);
             int b = rng.nextInt(0, n - 1);
             if (a == b)
                 continue;
-            const double d = probe.swapQubits(a, b);
+            const double d = tracker.swapQubits(a, b);
             t0 += std::abs(d);
             ++samples;
         }
+        tracker.restoreProbeState();
         t0 = samples > 0 ? std::max(1e-6, t0 / samples) : 1.0;
-        (void)before;
     }
     const double t_end = t0 * opts.t_end_factor;
     const double cooling =
         std::pow(t_end / t0,
                  1.0 / std::max(1, opts.max_iterations - 1));
 
+    // Instead of copying the whole trap vector on every improvement,
+    // journal the moves accepted since the best state; the best trap
+    // assignment is reconstructed at the end by rewinding the journal.
     double best_cost = tracker.total();
-    std::vector<TrapRef> best = tracker.traps();
+    std::vector<AcceptedOp> since_best;
     double temp = t0;
 
     for (int iter = 0; iter < opts.max_iterations; ++iter, temp *= cooling) {
@@ -242,8 +332,8 @@ saInitialPlacement(const Architecture &arch, const StagedCircuit &staged,
         double delta = 0.0;
         bool did_swap = false;
         int partner = -1;
-        TrapRef old_trap = tracker.trapOf(q);
-        TrapRef new_trap;
+        const TrapId old_trap = tracker.trapIdOf(q);
+        TrapId new_trap = kInvalidTrapId;
 
         if (rng.nextBool(0.5) && n >= 2) {
             // Swap with another qubit.
@@ -255,7 +345,7 @@ saInitialPlacement(const Architecture &arch, const StagedCircuit &staged,
         } else {
             // Jump to a random empty trap in the pool.
             new_trap = pool[rng.nextBelow(pool.size())];
-            if (occupied.count(new_trap))
+            if (occupied[static_cast<std::size_t>(new_trap)])
                 continue;
             delta = tracker.moveQubit(q, new_trap);
         }
@@ -264,21 +354,36 @@ saInitialPlacement(const Architecture &arch, const StagedCircuit &staged,
             delta <= 0.0 || rng.nextDouble() < std::exp(-delta / temp);
         if (accept) {
             if (!did_swap) {
-                occupied.erase(old_trap);
-                occupied.insert(new_trap);
+                occupied[static_cast<std::size_t>(old_trap)] = 0;
+                occupied[static_cast<std::size_t>(new_trap)] = 1;
             }
+            since_best.push_back({q, partner, old_trap});
             if (tracker.total() < best_cost) {
                 best_cost = tracker.total();
-                best = tracker.traps();
+                since_best.clear();
             }
         } else {
-            // Undo.
+            // Undo (same inverse-operation arithmetic as before the
+            // flat-index rewrite, so accept decisions are unchanged).
             if (did_swap)
                 tracker.swapQubits(q, partner);
             else
                 tracker.moveQubit(q, old_trap);
         }
     }
+
+    // Rewind the journal from the final state back to the best state.
+    std::vector<TrapId> best_ids = tracker.trapIds();
+    for (auto it = since_best.rbegin(); it != since_best.rend(); ++it) {
+        if (it->partner >= 0)
+            std::swap(best_ids[static_cast<std::size_t>(it->q)],
+                      best_ids[static_cast<std::size_t>(it->partner)]);
+        else
+            best_ids[static_cast<std::size_t>(it->q)] = it->old_trap;
+    }
+    std::vector<TrapRef> best(best_ids.size());
+    for (std::size_t i = 0; i < best_ids.size(); ++i)
+        best[i] = arch.trapRef(best_ids[i]);
     return best;
 }
 

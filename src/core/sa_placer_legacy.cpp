@@ -1,0 +1,347 @@
+#include "core/sa_placer_legacy.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <set>
+
+#include "common/logging.hpp"
+#include "common/rng.hpp"
+#include "core/cost.hpp"
+
+namespace zac::legacy
+{
+
+namespace
+{
+
+/** Per-call storage-trap enumeration, as before the cached span. */
+std::vector<TrapRef>
+allStorageTraps(const Architecture &arch)
+{
+    std::vector<TrapRef> out;
+    out.reserve(static_cast<std::size_t>(arch.numStorageTraps()));
+    for (const ZoneSpec &z : arch.storageZones()) {
+        for (int slm_id : z.slm_ids) {
+            const SlmSpec &s =
+                arch.slms()[static_cast<std::size_t>(slm_id)];
+            for (int r = 0; r < s.rows; ++r)
+                for (int c = 0; c < s.cols; ++c)
+                    out.push_back({slm_id, r, c});
+        }
+    }
+    return out;
+}
+
+/** Weight of a gate scheduled at 1-based Rydberg stage @p stage. */
+double
+stageWeight(int stage)
+{
+    return std::max(0.1, 1.0 - 0.1 * (stage - 1));
+}
+
+/** Flattened 2Q gate list with stage weights. */
+struct WeightedGate
+{
+    int q0;
+    int q1;
+    double weight;
+};
+
+std::vector<WeightedGate>
+weightedGates(const StagedCircuit &staged)
+{
+    std::vector<WeightedGate> gates;
+    for (int t = 0; t < staged.numRydbergStages(); ++t)
+        for (const StagedGate &g :
+             staged.rydberg[static_cast<std::size_t>(t)].gates)
+            gates.push_back({g.q0, g.q1, stageWeight(t + 1)});
+    return gates;
+}
+
+/** The pre-index incremental Eq. 2 evaluator (copy-heavy variant). */
+class CostTracker
+{
+  public:
+    CostTracker(const Architecture &arch, const StagedCircuit &staged,
+                std::vector<TrapRef> traps)
+        : arch_(arch), gates_(weightedGates(staged)),
+          traps_(std::move(traps)),
+          gatesOf_(static_cast<std::size_t>(staged.numQubits)),
+          gateCost_(gates_.size(), 0.0)
+    {
+        for (std::size_t i = 0; i < gates_.size(); ++i) {
+            gatesOf_[static_cast<std::size_t>(gates_[i].q0)].push_back(
+                static_cast<int>(i));
+            gatesOf_[static_cast<std::size_t>(gates_[i].q1)].push_back(
+                static_cast<int>(i));
+        }
+        total_ = 0.0;
+        for (std::size_t i = 0; i < gates_.size(); ++i) {
+            gateCost_[i] = evalGate(static_cast<int>(i));
+            total_ += gateCost_[i];
+        }
+    }
+
+    double total() const { return total_; }
+    const std::vector<TrapRef> &traps() const { return traps_; }
+    TrapRef trapOf(int q) const
+    {
+        return traps_[static_cast<std::size_t>(q)];
+    }
+
+    double
+    moveQubit(int q, TrapRef t)
+    {
+        traps_[static_cast<std::size_t>(q)] = t;
+        return refreshQubit(q);
+    }
+
+    double
+    swapQubits(int a, int b)
+    {
+        std::swap(traps_[static_cast<std::size_t>(a)],
+                  traps_[static_cast<std::size_t>(b)]);
+        return refreshQubit(a) + refreshQubit(b);
+    }
+
+  private:
+    double
+    evalGate(int i)
+    {
+        const WeightedGate &g = gates_[static_cast<std::size_t>(i)];
+        const Point p0 = arch_.trapPosition(
+            traps_[static_cast<std::size_t>(g.q0)]);
+        const Point p1 = arch_.trapPosition(
+            traps_[static_cast<std::size_t>(g.q1)]);
+        const int site = legacy::nearestSiteForGate(arch_, p0, p1);
+        return g.weight * gateCost(arch_.sitePosition(site), p0, p1);
+    }
+
+    double
+    refreshQubit(int q)
+    {
+        double delta = 0.0;
+        for (int i : gatesOf_[static_cast<std::size_t>(q)]) {
+            const double fresh = evalGate(i);
+            delta += fresh - gateCost_[static_cast<std::size_t>(i)];
+            gateCost_[static_cast<std::size_t>(i)] = fresh;
+        }
+        total_ += delta;
+        return delta;
+    }
+
+    const Architecture &arch_;
+    std::vector<WeightedGate> gates_;
+    std::vector<TrapRef> traps_;
+    std::vector<std::vector<int>> gatesOf_;
+    std::vector<double> gateCost_;
+    double total_;
+};
+
+} // namespace
+
+int
+nearestSite(const Architecture &arch, Point p)
+{
+    int best = -1;
+    double best_d = std::numeric_limits<double>::max();
+    for (int i = 0; i < arch.numSites(); ++i) {
+        const double d = distance(p, arch.site(i).pos_left);
+        if (d < best_d) {
+            best_d = d;
+            best = i;
+        }
+    }
+    return best;
+}
+
+TrapRef
+nearestStorageTrap(const Architecture &arch, Point p)
+{
+    TrapRef best;
+    double best_d = std::numeric_limits<double>::max();
+    for (const ZoneSpec &z : arch.storageZones()) {
+        for (int slm_id : z.slm_ids) {
+            const SlmSpec &s =
+                arch.slms()[static_cast<std::size_t>(slm_id)];
+            const double fx = (p.x - s.origin.x) / s.sep_x;
+            const double fy = (p.y - s.origin.y) / s.sep_y;
+            const int c = std::clamp(
+                static_cast<int>(std::lround(fx)), 0, s.cols - 1);
+            const int r = std::clamp(
+                static_cast<int>(std::lround(fy)), 0, s.rows - 1);
+            const TrapRef t{slm_id, r, c};
+            const double d = distance(p, arch.trapPosition(t));
+            if (d < best_d) {
+                best_d = d;
+                best = t;
+            }
+        }
+    }
+    if (!best.valid())
+        fatal("architecture: no storage traps defined");
+    return best;
+}
+
+int
+nearestSiteForGate(const Architecture &arch, Point m_q, Point m_q2)
+{
+    const int s0 = nearestSite(arch, m_q);
+    const int s1 = nearestSite(arch, m_q2);
+    if (s0 < 0 || s1 < 0)
+        panic("nearestSiteForGate: architecture has no sites");
+    const RydbergSite &a = arch.site(s0);
+    const RydbergSite &b = arch.site(s1);
+    if (a.zone_index == b.zone_index) {
+        const int r = (a.r + b.r) / 2;
+        const int c = (a.c + b.c) / 2;
+        const int mid = arch.siteIndex(a.zone_index, r, c);
+        if (mid >= 0)
+            return mid;
+    }
+    const Point mid_point{(m_q.x + m_q2.x) / 2.0,
+                          (m_q.y + m_q2.y) / 2.0};
+    return nearestSite(arch, mid_point);
+}
+
+std::vector<TrapRef>
+storageTrapsByProximity(const Architecture &arch)
+{
+    std::vector<TrapRef> traps = allStorageTraps(arch);
+    if (traps.empty())
+        fatal("storageTrapsByProximity: no storage traps");
+    std::vector<double> site_rows;
+    for (const RydbergSite &s : arch.sites())
+        site_rows.push_back(s.pos_left.y);
+    auto row_dist = [&](const TrapRef &t) {
+        const double y = arch.trapPosition(t).y;
+        double best = std::numeric_limits<double>::max();
+        for (double sy : site_rows)
+            best = std::min(best, std::abs(sy - y));
+        return best;
+    };
+    std::stable_sort(traps.begin(), traps.end(),
+                     [&](const TrapRef &a, const TrapRef &b) {
+                         const double da = row_dist(a);
+                         const double db = row_dist(b);
+                         if (std::abs(da - db) > 1e-9)
+                             return da < db;
+                         if (a.r != b.r)
+                             return a.r < b.r;
+                         return a.c < b.c;
+                     });
+    return traps;
+}
+
+double
+initialPlacementCost(const Architecture &arch, const StagedCircuit &staged,
+                     const std::vector<TrapRef> &traps)
+{
+    double total = 0.0;
+    for (int t = 0; t < staged.numRydbergStages(); ++t) {
+        for (const StagedGate &g :
+             staged.rydberg[static_cast<std::size_t>(t)].gates) {
+            const Point p0 = arch.trapPosition(
+                traps[static_cast<std::size_t>(g.q0)]);
+            const Point p1 = arch.trapPosition(
+                traps[static_cast<std::size_t>(g.q1)]);
+            const int site = legacy::nearestSiteForGate(arch, p0, p1);
+            total += stageWeight(t + 1) *
+                     gateCost(arch.sitePosition(site), p0, p1);
+        }
+    }
+    return total;
+}
+
+std::vector<TrapRef>
+saInitialPlacement(const Architecture &arch, const StagedCircuit &staged,
+                   const SaOptions &opts)
+{
+    const int n = staged.numQubits;
+    std::vector<TrapRef> init = legacy::storageTrapsByProximity(arch);
+    if (static_cast<int>(init.size()) < n)
+        fatal("saInitialPlacement: " + std::to_string(n) +
+              " qubits exceed " + std::to_string(init.size()) +
+              " storage traps");
+    init.resize(static_cast<std::size_t>(n));
+    if (staged.count2Q() == 0 || n < 2)
+        return init;
+
+    std::vector<TrapRef> pool = legacy::storageTrapsByProximity(arch);
+    const std::size_t pool_size = std::min(
+        pool.size(),
+        static_cast<std::size_t>(std::max(2 * n, 100)));
+    pool.resize(pool_size);
+
+    CostTracker tracker(arch, staged, init);
+    std::set<TrapRef> occupied(init.begin(), init.end());
+    Rng rng(opts.seed);
+
+    double t0 = 0.0;
+    {
+        CostTracker probe = tracker;
+        int samples = 0;
+        for (int i = 0; i < 16 && n >= 2; ++i) {
+            const int a = rng.nextInt(0, n - 1);
+            int b = rng.nextInt(0, n - 1);
+            if (a == b)
+                continue;
+            const double d = probe.swapQubits(a, b);
+            t0 += std::abs(d);
+            ++samples;
+        }
+        t0 = samples > 0 ? std::max(1e-6, t0 / samples) : 1.0;
+    }
+    const double t_end = t0 * opts.t_end_factor;
+    const double cooling =
+        std::pow(t_end / t0,
+                 1.0 / std::max(1, opts.max_iterations - 1));
+
+    double best_cost = tracker.total();
+    std::vector<TrapRef> best = tracker.traps();
+    double temp = t0;
+
+    for (int iter = 0; iter < opts.max_iterations; ++iter, temp *= cooling) {
+        const int q = rng.nextInt(0, n - 1);
+        double delta = 0.0;
+        bool did_swap = false;
+        int partner = -1;
+        TrapRef old_trap = tracker.trapOf(q);
+        TrapRef new_trap;
+
+        if (rng.nextBool(0.5) && n >= 2) {
+            partner = rng.nextInt(0, n - 1);
+            if (partner == q)
+                continue;
+            delta = tracker.swapQubits(q, partner);
+            did_swap = true;
+        } else {
+            new_trap = pool[rng.nextBelow(pool.size())];
+            if (occupied.count(new_trap))
+                continue;
+            delta = tracker.moveQubit(q, new_trap);
+        }
+
+        const bool accept =
+            delta <= 0.0 || rng.nextDouble() < std::exp(-delta / temp);
+        if (accept) {
+            if (!did_swap) {
+                occupied.erase(old_trap);
+                occupied.insert(new_trap);
+            }
+            if (tracker.total() < best_cost) {
+                best_cost = tracker.total();
+                best = tracker.traps();
+            }
+        } else {
+            if (did_swap)
+                tracker.swapQubits(q, partner);
+            else
+                tracker.moveQubit(q, old_trap);
+        }
+    }
+    return best;
+}
+
+} // namespace zac::legacy

@@ -1,0 +1,55 @@
+/**
+ * @file
+ * Pre-spatial-index reference implementations of the placement queries
+ * and the SA initial placement.
+ *
+ * These are verbatim retentions of the algorithms that shipped before
+ * the Architecture grew its flat-TrapId spatial index: nearestSite is a
+ * linear scan over every Rydberg site, storage enumeration rebuilds its
+ * vector per call, and the SA cost tracker deep-copies for the
+ * temperature probe and snapshots the full trap vector per improvement.
+ *
+ * They exist for two reasons and must not be used in production paths:
+ *  - equivalence + determinism tests pin the indexed implementations to
+ *    these semantics (the index must never change results, only speed);
+ *  - bench/perf_placement.cpp measures the indexed hot path against
+ *    them to track the speedup across PRs.
+ */
+
+#ifndef ZAC_CORE_SA_PLACER_LEGACY_HPP
+#define ZAC_CORE_SA_PLACER_LEGACY_HPP
+
+#include <vector>
+
+#include "arch/spec.hpp"
+#include "core/sa_placer.hpp"
+#include "transpile/stages.hpp"
+
+namespace zac::legacy
+{
+
+/** Linear-scan nearest Rydberg site (first minimum wins). */
+int nearestSite(const Architecture &arch, Point p);
+
+/** Per-storage-SLM clamp-and-round nearest storage trap. */
+TrapRef nearestStorageTrap(const Architecture &arch, Point p);
+
+/** nearestSiteForGate evaluated with the linear-scan nearestSite. */
+int nearestSiteForGate(const Architecture &arch, Point m_q, Point m_q2);
+
+/** Storage traps ordered by proximity (comparator-recomputed keys). */
+std::vector<TrapRef> storageTrapsByProximity(const Architecture &arch);
+
+/** Eq. 2 total evaluated with the linear-scan site query. */
+double initialPlacementCost(const Architecture &arch,
+                            const StagedCircuit &staged,
+                            const std::vector<TrapRef> &traps);
+
+/** The pre-index SA initial placement (identical RNG stream + moves). */
+std::vector<TrapRef> saInitialPlacement(const Architecture &arch,
+                                        const StagedCircuit &staged,
+                                        const SaOptions &opts = {});
+
+} // namespace zac::legacy
+
+#endif // ZAC_CORE_SA_PLACER_LEGACY_HPP

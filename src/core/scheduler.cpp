@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstdint>
 #include <map>
 
 #include "common/logging.hpp"
@@ -21,13 +22,22 @@ struct SchedulerState
     ZairProgram &program;
     std::vector<double> last_end;       ///< per qubit
     std::vector<double> aod_avail;      ///< per AOD
-    std::map<TrapRef, double> vacate;   ///< trap -> pickup end time
+    /**
+     * TrapId -> pickup end time of the job vacating that trap, 0.0 when
+     * never vacated (a zero entry can never constrain a start time, so
+     * no presence flag is needed).
+     */
+    std::vector<double> vacate;
+    /** Scratch for emitJobs' intra-group dependencies (TrapId-keyed). */
+    std::vector<std::int32_t> vacated_by_scratch;
     double raman_avail = 0.0;           ///< sequential 1Q laser
 
     SchedulerState(const Architecture &a, ZairProgram &p, int num_qubits)
         : arch(a), program(p),
           last_end(static_cast<std::size_t>(num_qubits), 0.0),
-          aod_avail(a.aods().size(), 0.0)
+          aod_avail(a.aods().size(), 0.0),
+          vacate(static_cast<std::size_t>(a.numTraps()), 0.0),
+          vacated_by_scratch(static_cast<std::size_t>(a.numTraps()), -1)
     {
     }
 
@@ -122,10 +132,15 @@ struct SchedulerState
         // vacates schedules after the vacating job, so the vacate map
         // holds the constraint. Cycles (jobs exchanging traps) fall
         // back to the longest-first order.
-        std::map<TrapRef, std::size_t> vacated_by;
+        std::vector<TrapId> touched;
         for (std::size_t i = 0; i < pending.size(); ++i)
-            for (const QLoc &l : pending[i].instr.begin_locs)
-                vacated_by[l.trap()] = i;
+            for (const QLoc &l : pending[i].instr.begin_locs) {
+                const TrapId t = arch.trapId(l.trap());
+                if (vacated_by_scratch[static_cast<std::size_t>(t)] < 0)
+                    touched.push_back(t);
+                vacated_by_scratch[static_cast<std::size_t>(t)] =
+                    static_cast<std::int32_t>(i);
+            }
         std::vector<char> scheduled(pending.size(), 0);
         std::vector<std::size_t> order;
         while (order.size() < pending.size()) {
@@ -135,9 +150,10 @@ struct SchedulerState
                     continue;
                 bool ready = true;
                 for (const QLoc &l : pending[i].instr.end_locs) {
-                    auto it = vacated_by.find(l.trap());
-                    if (it != vacated_by.end() && it->second != i &&
-                        !scheduled[it->second]) {
+                    const std::int32_t v = vacated_by_scratch[
+                        static_cast<std::size_t>(arch.trapId(l.trap()))];
+                    if (v >= 0 && static_cast<std::size_t>(v) != i &&
+                        !scheduled[static_cast<std::size_t>(v)]) {
                         ready = false;
                         break;
                     }
@@ -158,6 +174,8 @@ struct SchedulerState
             scheduled[chosen] = 1;
             order.push_back(chosen);
         }
+        for (TrapId t : touched)
+            vacated_by_scratch[static_cast<std::size_t>(t)] = -1;
 
         for (std::size_t oi : order) {
             Pending &p = pending[oi];
@@ -178,9 +196,9 @@ struct SchedulerState
             const double lead =
                 p.instr.move_done_us; // pickup + move (relative)
             for (const QLoc &l : p.instr.end_locs) {
-                auto it = vacate.find(l.trap());
-                if (it != vacate.end())
-                    start = std::max(start, it->second - lead);
+                const double v = vacate[static_cast<std::size_t>(
+                    arch.trapId(l.trap()))];
+                start = std::max(start, v - lead);
             }
 
             p.instr.begin_time_us = start;
@@ -189,7 +207,8 @@ struct SchedulerState
                 p.instr.end_time_us;
             const double pickup_end = start + p.phases.pickup_us;
             for (const QLoc &l : p.instr.begin_locs)
-                vacate[l.trap()] = pickup_end;
+                vacate[static_cast<std::size_t>(
+                    arch.trapId(l.trap()))] = pickup_end;
             for (const QLoc &l : p.instr.end_locs) {
                 last_end[static_cast<std::size_t>(l.q)] =
                     p.instr.end_time_us;

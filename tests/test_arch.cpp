@@ -6,15 +6,60 @@
 
 #include <gtest/gtest.h>
 
+#include <limits>
+
 #include "arch/presets.hpp"
 #include "arch/serialize.hpp"
 #include "arch/spec.hpp"
 #include "common/logging.hpp"
+#include "common/rng.hpp"
+#include "core/sa_placer_legacy.hpp"
 
 namespace zac
 {
 namespace
 {
+
+/** Every preset architecture, for randomized equivalence sweeps. */
+std::vector<Architecture>
+allPresets()
+{
+    std::vector<Architecture> archs;
+    archs.push_back(presets::referenceZoned());
+    archs.push_back(presets::monolithic());
+    archs.push_back(presets::multiZoneArch1());
+    archs.push_back(presets::multiZoneArch2());
+    archs.push_back(presets::logicalBlockArch());
+    return archs;
+}
+
+/** Bounding box of every trap, padded, as a random-point domain. */
+void
+archBounds(const Architecture &arch, Point &lo, Point &hi)
+{
+    lo = {std::numeric_limits<double>::max(),
+          std::numeric_limits<double>::max()};
+    hi = {std::numeric_limits<double>::lowest(),
+          std::numeric_limits<double>::lowest()};
+    for (int id = 0; id < arch.numTraps(); ++id) {
+        const Point p = arch.trapPosition(static_cast<TrapId>(id));
+        lo.x = std::min(lo.x, p.x);
+        lo.y = std::min(lo.y, p.y);
+        hi.x = std::max(hi.x, p.x);
+        hi.y = std::max(hi.y, p.y);
+    }
+    lo.x -= 25.0;
+    lo.y -= 25.0;
+    hi.x += 25.0;
+    hi.y += 25.0;
+}
+
+Point
+randomPoint(Rng &rng, const Point &lo, const Point &hi)
+{
+    return {lo.x + rng.nextDouble() * (hi.x - lo.x),
+            lo.y + rng.nextDouble() * (hi.y - lo.y)};
+}
 
 // ------------------------------------------------------------- presets
 
@@ -196,6 +241,165 @@ TEST(ArchQueries, SiteIndexLayout)
     EXPECT_EQ(arch.siteIndex(0, 6, 19), 139);
     EXPECT_EQ(arch.siteIndex(0, 7, 0), -1);
     EXPECT_THROW(arch.siteIndex(1, 0, 0), PanicError);
+}
+
+// ------------------------------------------------------- spatial index
+
+TEST(ArchTrapIndex, RoundTripsAndTables)
+{
+    for (const Architecture &arch : allPresets()) {
+        int expected = 0;
+        for (const SlmSpec &s : arch.slms())
+            expected += s.rows * s.cols;
+        ASSERT_EQ(arch.numTraps(), expected) << arch.name();
+
+        for (int id = 0; id < arch.numTraps(); ++id) {
+            const TrapId tid = static_cast<TrapId>(id);
+            const TrapRef t = arch.trapRef(tid);
+            EXPECT_EQ(arch.trapId(t), tid);
+            EXPECT_EQ(arch.trapPosition(tid), arch.trapPosition(t));
+            EXPECT_EQ(arch.isStorageTrap(tid), arch.isStorageTrap(t));
+            EXPECT_EQ(arch.nearestSiteOfTrap(tid),
+                      arch.nearestSite(arch.trapPosition(tid)));
+        }
+
+        const auto &storage = arch.allStorageTraps();
+        const auto &storage_ids = arch.storageTrapIds();
+        ASSERT_EQ(storage.size(), storage_ids.size());
+        ASSERT_EQ(static_cast<int>(storage.size()),
+                  arch.numStorageTraps());
+        for (std::size_t i = 0; i < storage.size(); ++i) {
+            EXPECT_EQ(arch.trapId(storage[i]), storage_ids[i]);
+            EXPECT_TRUE(arch.isStorageTrap(storage_ids[i]));
+        }
+    }
+}
+
+TEST(ArchTrapIndex, TrapIdOrderEqualsTrapRefOrder)
+{
+    for (const Architecture &arch : allPresets()) {
+        for (int id = 1; id < arch.numTraps(); ++id) {
+            const TrapRef a =
+                arch.trapRef(static_cast<TrapId>(id - 1));
+            const TrapRef b = arch.trapRef(static_cast<TrapId>(id));
+            EXPECT_TRUE(a < b) << arch.name();
+        }
+    }
+}
+
+TEST(ArchTrapIndex, BoundsChecked)
+{
+    const Architecture arch = presets::referenceZoned();
+    EXPECT_THROW(arch.trapId({0, 100, 0}), PanicError);
+    EXPECT_THROW(arch.trapRef(static_cast<TrapId>(arch.numTraps())),
+                 PanicError);
+    EXPECT_THROW(arch.trapRef(kInvalidTrapId), PanicError);
+    EXPECT_FALSE(arch.isStorageTrap(kInvalidTrapId));
+}
+
+TEST(ArchQueryEquivalence, NearestSiteMatchesLinearScan)
+{
+    Rng rng(2024);
+    for (const Architecture &arch : allPresets()) {
+        Point lo, hi;
+        archBounds(arch, lo, hi);
+        for (int i = 0; i < 2000; ++i) {
+            const Point p = randomPoint(rng, lo, hi);
+            EXPECT_EQ(arch.nearestSite(p), legacy::nearestSite(arch, p))
+                << arch.name() << " at (" << p.x << "," << p.y << ")";
+        }
+    }
+}
+
+TEST(ArchQueryEquivalence, NearestStorageTrapMatchesReferences)
+{
+    Rng rng(77);
+    for (const Architecture &arch : allPresets()) {
+        if (arch.numStorageTraps() == 0)
+            continue;
+        Point lo, hi;
+        archBounds(arch, lo, hi);
+        for (int i = 0; i < 2000; ++i) {
+            const Point p = randomPoint(rng, lo, hi);
+            const TrapRef got = arch.nearestStorageTrap(p);
+            // Pre-index implementation.
+            EXPECT_EQ(got, legacy::nearestStorageTrap(arch, p));
+            // Brute-force first-minimum scan over every storage trap.
+            TrapRef best;
+            double best_d = std::numeric_limits<double>::max();
+            for (const TrapRef &t : arch.allStorageTraps()) {
+                const double d = distance(p, arch.trapPosition(t));
+                if (d < best_d) {
+                    best_d = d;
+                    best = t;
+                }
+            }
+            EXPECT_EQ(got, best) << arch.name();
+        }
+    }
+}
+
+TEST(ArchQueryEquivalence, StorageTrapsInBoxMatchesScan)
+{
+    Rng rng(31337);
+    for (const Architecture &arch : allPresets()) {
+        Point lo, hi;
+        archBounds(arch, lo, hi);
+        for (int i = 0; i < 300; ++i) {
+            std::vector<Point> anchors;
+            const int n_anchors = 1 + static_cast<int>(rng.nextBelow(3));
+            for (int a = 0; a < n_anchors; ++a)
+                anchors.push_back(randomPoint(rng, lo, hi));
+            double min_x = anchors[0].x, max_x = anchors[0].x;
+            double min_y = anchors[0].y, max_y = anchors[0].y;
+            for (const Point &p : anchors) {
+                min_x = std::min(min_x, p.x);
+                max_x = std::max(max_x, p.x);
+                min_y = std::min(min_y, p.y);
+                max_y = std::max(max_y, p.y);
+            }
+            std::vector<TrapRef> expected;
+            for (const TrapRef &t : arch.allStorageTraps()) {
+                const Point p = arch.trapPosition(t);
+                if (p.x >= min_x - 1e-9 && p.x <= max_x + 1e-9 &&
+                    p.y >= min_y - 1e-9 && p.y <= max_y + 1e-9)
+                    expected.push_back(t);
+            }
+            std::sort(expected.begin(), expected.end());
+            std::vector<TrapRef> got = arch.storageTrapsInBox(anchors);
+            std::sort(got.begin(), got.end());
+            EXPECT_EQ(got, expected) << arch.name();
+        }
+    }
+}
+
+TEST(ArchQueryEquivalence, StorageNeighborsMatchesReference)
+{
+    Rng rng(4242);
+    for (const Architecture &arch : allPresets()) {
+        if (arch.numStorageTraps() == 0)
+            continue;
+        const auto &storage = arch.allStorageTraps();
+        for (int i = 0; i < 200; ++i) {
+            const TrapRef t =
+                storage[rng.nextBelow(storage.size())];
+            const int k = 1 + static_cast<int>(rng.nextBelow(4));
+            const SlmSpec &s =
+                arch.slms()[static_cast<std::size_t>(t.slm)];
+            std::vector<TrapRef> expected;
+            for (int d = 1; d <= k; ++d) {
+                if (t.c - d >= 0)
+                    expected.push_back({t.slm, t.r, t.c - d});
+                if (t.c + d < s.cols)
+                    expected.push_back({t.slm, t.r, t.c + d});
+                if (t.r - d >= 0)
+                    expected.push_back({t.slm, t.r - d, t.c});
+                if (t.r + d < s.rows)
+                    expected.push_back({t.slm, t.r + d, t.c});
+            }
+            EXPECT_EQ(arch.storageNeighbors(t, k), expected);
+        }
+    }
 }
 
 // -------------------------------------------------------- serialization

@@ -20,6 +20,7 @@
 #include "core/qubit_placer.hpp"
 #include "core/reuse.hpp"
 #include "core/sa_placer.hpp"
+#include "core/sa_placer_legacy.hpp"
 #include "transpile/optimize.hpp"
 #include "zair/machine.hpp"
 
@@ -43,6 +44,10 @@ TEST(PlacementState, PlaceSwapAndOccupancy)
     EXPECT_EQ(st.trapOf(0), (TrapRef{0, 98, 0}));
     EXPECT_EQ(st.occupant({0, 99, 0}), 2);
     EXPECT_THROW(st.place(1, {0, 98, 0}), PanicError); // occupied
+    // Out-of-range refs read as empty rather than throwing.
+    EXPECT_EQ(st.occupant({0, 100, 0}), -1);
+    EXPECT_EQ(st.occupant(TrapRef{}), -1);
+    EXPECT_EQ(st.occupant(arch.trapId({0, 98, 0})), 0);
 }
 
 TEST(PlacementState, HomeTracksLastStorageTrap)
@@ -382,6 +387,124 @@ TEST(QubitPlacer, ExpandsWhenNeighborhoodIsFull)
     const auto traps = placeQubitsInStorage(st, req);
     std::set<TrapRef> uniq(traps.begin(), traps.end());
     EXPECT_EQ(uniq.size(), traps.size());
+}
+
+TEST(QubitPlacer, NearestEmptyTrapsMatchFullScan)
+{
+    // The expanding-box search must reproduce a full
+    // rank-every-empty-trap scan, including the (distance, trap)
+    // ordering, under random occupancy.
+    for (const Architecture &arch :
+         {presets::referenceZoned(), presets::multiZoneArch1()}) {
+        Rng rng(99);
+        const auto &storage = arch.allStorageTraps();
+        const int n = std::min<int>(
+            60, static_cast<int>(storage.size()) / 2);
+        PlacementState st(arch, n);
+        for (int q = 0; q < n; ++q) {
+            TrapRef t;
+            do {
+                t = storage[rng.nextBelow(storage.size())];
+            } while (!st.isEmpty(t));
+            st.place(q, t);
+        }
+        for (int i = 0; i < 40; ++i) {
+            const TrapRef anchor =
+                storage[rng.nextBelow(storage.size())];
+            const Point p = arch.trapPosition(anchor);
+            for (std::size_t count : {1u, 5u, 17u, 64u}) {
+                using Ranked = std::pair<double, TrapRef>;
+                std::vector<Ranked> ranked;
+                for (const TrapRef &t : storage)
+                    if (st.isEmpty(t))
+                        ranked.emplace_back(
+                            distance(arch.trapPosition(t), p), t);
+                std::sort(ranked.begin(), ranked.end(),
+                          [](const Ranked &a, const Ranked &b) {
+                              if (a.first != b.first)
+                                  return a.first < b.first;
+                              return a.second < b.second;
+                          });
+                if (ranked.size() > count)
+                    ranked.resize(count);
+                std::vector<TrapRef> expected;
+                for (const Ranked &r : ranked)
+                    expected.push_back(r.second);
+                EXPECT_EQ(nearestEmptyStorageTraps(st, p, count),
+                          expected)
+                    << arch.name() << " count=" << count;
+            }
+        }
+    }
+}
+
+// ------------------------------------------ indexed-vs-legacy semantics
+
+TEST(SaPlacer, ProximityOrderMatchesLegacy)
+{
+    for (const Architecture &arch :
+         {presets::referenceZoned(), presets::multiZoneArch1(),
+          presets::multiZoneArch2(), presets::logicalBlockArch()}) {
+        EXPECT_EQ(storageTrapsByProximity(arch),
+                  legacy::storageTrapsByProximity(arch))
+            << arch.name();
+    }
+}
+
+TEST(SaPlacer, InitialCostMatchesLegacyBitExactly)
+{
+    const Architecture arch = presets::referenceZoned();
+    for (const char *name : {"ghz_n23", "ising_n42", "qft_n18"}) {
+        const Circuit pre =
+            preprocess(bench_circuits::paperBenchmark(name));
+        const StagedCircuit staged =
+            scheduleStages(pre, arch.numSites());
+        const auto trivial =
+            trivialInitialPlacement(arch, staged.numQubits);
+        // Exact double equality: the indexed evaluation path must run
+        // the same arithmetic as the pre-index one.
+        EXPECT_EQ(initialPlacementCost(arch, staged, trivial),
+                  legacy::initialPlacementCost(arch, staged, trivial))
+            << name;
+    }
+}
+
+/**
+ * The acceptance gate of the flat-index rewrite: with a fixed seed the
+ * indexed SA must return the *bit-identical* trap assignment the
+ * pre-index implementation produced — speed must not change semantics.
+ */
+TEST(SaPlacer, FixedSeedOutputBitIdenticalToLegacy)
+{
+    {
+        const Architecture arch = presets::referenceZoned();
+        const Circuit pre =
+            preprocess(bench_circuits::paperBenchmark("ising_n42"));
+        const StagedCircuit staged =
+            scheduleStages(pre, arch.numSites());
+        for (std::uint64_t seed : {1ull, 7ull, 123ull}) {
+            SaOptions opts;
+            opts.max_iterations = 1000;
+            opts.seed = seed;
+            EXPECT_EQ(saInitialPlacement(arch, staged, opts),
+                      legacy::saInitialPlacement(arch, staged, opts))
+                << "seed " << seed;
+        }
+    }
+    {
+        // Two entanglement zones exercise the cross-zone midpoint
+        // branch of nearestSiteForGate.
+        const Architecture arch = presets::multiZoneArch2();
+        const Circuit pre =
+            preprocess(bench_circuits::paperBenchmark("qft_n18"));
+        const StagedCircuit staged =
+            scheduleStages(pre, arch.numSites());
+        SaOptions opts;
+        opts.max_iterations = 1000;
+        opts.seed = 42;
+        EXPECT_EQ(saInitialPlacement(arch, staged, opts),
+                  legacy::saInitialPlacement(arch, staged, opts));
+    }
 }
 
 // ----------------------------------------------------------------- jobs
