@@ -1,0 +1,227 @@
+/**
+ * @file
+ * Reproducible perf harness for the placement hot path (ISSUE 1).
+ *
+ * Three measurements, all on the reference zoned architecture and the
+ * 17 paper benchmark circuits:
+ *  - saInitialPlacement (1000 iterations, the paper's budget): the
+ *    spatially-indexed implementation against the retained pre-index
+ *    reference (zac::legacy), including a bit-identical output check;
+ *  - full ZacCompiler::compile wall time per circuit;
+ *  - batch throughput: N threads compiling the circuit list
+ *    concurrently, exploiting the documented re-entrancy of
+ *    compile() const.
+ *
+ * Results are written as machine-readable JSON (schema documented in
+ * bench/README.md) so successive PRs accumulate a perf trajectory.
+ *
+ * Usage: perf_placement [output.json] [--fast]
+ *   --fast  smoke mode for CI: a single repetition per measurement
+ *           and one batch round instead of two.
+ */
+
+#include <atomic>
+#include <chrono>
+#include <cstring>
+#include <limits>
+#include <thread>
+
+#include "bench_util.hpp"
+#include "common/json.hpp"
+#include "common/logging.hpp"
+#include "core/sa_placer_legacy.hpp"
+#include "transpile/optimize.hpp"
+
+using namespace zac;
+using namespace zac::bench;
+
+namespace
+{
+
+double
+nowSeconds()
+{
+    using clock = std::chrono::steady_clock;
+    return std::chrono::duration<double>(
+               clock::now().time_since_epoch())
+        .count();
+}
+
+/** Best-of-@p reps wall time of @p fn, in seconds. */
+template <typename Fn>
+double
+bestOf(int reps, Fn &&fn)
+{
+    double best = std::numeric_limits<double>::max();
+    for (int i = 0; i < reps; ++i) {
+        const double t0 = nowSeconds();
+        fn();
+        best = std::min(best, nowSeconds() - t0);
+    }
+    return best;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    std::string out_path = "BENCH_placement.json";
+    bool fast = false;
+    for (int i = 1; i < argc; ++i) {
+        if (std::strcmp(argv[i], "--fast") == 0)
+            fast = true;
+        else
+            out_path = argv[i];
+    }
+    const int sa_reps = fast ? 1 : 3;
+    const int compile_reps = fast ? 1 : 2;
+
+    banner("perf_placement",
+           "SA placement + compile + batch throughput trajectory");
+
+    const Architecture arch = presets::referenceZoned();
+    SaOptions sa_opts;
+    sa_opts.max_iterations = 1000;
+    sa_opts.seed = 1;
+
+    // Pre-stage every circuit once; staging is not under test.
+    struct Prepared
+    {
+        std::string name;
+        StagedCircuit staged;
+    };
+    std::vector<Prepared> circuits;
+    for (const std::string &name : circuitNames()) {
+        const Circuit pre =
+            preprocess(bench_circuits::paperBenchmark(name));
+        circuits.push_back(
+            {name, scheduleStages(pre, arch.numSites())});
+    }
+
+    // ---------------------------------------------- SA placement timing
+    json::Array sa_rows;
+    std::vector<double> speedups;
+    bool all_identical = true;
+    std::printf("%-16s %6s %8s %12s %12s %9s\n", "circuit", "qubits",
+                "2Q", "legacy (ms)", "indexed (ms)", "speedup");
+    for (const Prepared &c : circuits) {
+        std::vector<TrapRef> indexed_out, legacy_out;
+        const double t_indexed = bestOf(sa_reps, [&] {
+            indexed_out = saInitialPlacement(arch, c.staged, sa_opts);
+        });
+        const double t_legacy = bestOf(sa_reps, [&] {
+            legacy_out =
+                legacy::saInitialPlacement(arch, c.staged, sa_opts);
+        });
+        const bool identical = indexed_out == legacy_out;
+        all_identical = all_identical && identical;
+        const double speedup =
+            t_indexed > 0.0 ? t_legacy / t_indexed : 0.0;
+        speedups.push_back(speedup);
+        std::printf("%-16s %6d %8d %12.3f %12.3f %8.2fx%s\n",
+                    c.name.c_str(), c.staged.numQubits,
+                    c.staged.count2Q(), t_legacy * 1e3,
+                    t_indexed * 1e3, speedup,
+                    identical ? "" : "  OUTPUT MISMATCH");
+        json::Object row;
+        row["circuit"] = c.name;
+        row["num_qubits"] = c.staged.numQubits;
+        row["gates_2q"] = c.staged.count2Q();
+        row["legacy_seconds"] = t_legacy;
+        row["indexed_seconds"] = t_indexed;
+        row["speedup"] = speedup;
+        row["output_identical"] = identical;
+        sa_rows.push_back(std::move(row));
+    }
+    const double geomean_speedup = gmean(speedups);
+    std::printf("\nSA placement geomean speedup: %.2fx (outputs %s)\n",
+                geomean_speedup,
+                all_identical ? "bit-identical" : "MISMATCHED");
+
+    // --------------------------------------------- full compile timing
+    const ZacCompiler compiler(arch, defaultZacOptions());
+    json::Array compile_rows;
+    std::vector<double> compile_secs;
+    for (const Prepared &c : circuits) {
+        double fidelity = 0.0;
+        const double t = bestOf(compile_reps, [&] {
+            const ZacResult r = compiler.compileStaged(c.staged);
+            fidelity = r.fidelity.total;
+        });
+        compile_secs.push_back(t);
+        json::Object row;
+        row["circuit"] = c.name;
+        row["compile_seconds"] = t;
+        row["fidelity"] = fidelity;
+        compile_rows.push_back(std::move(row));
+    }
+    double compile_total = 0.0;
+    for (double s : compile_secs)
+        compile_total += s;
+    std::printf("full compile: %.3f s total over %zu circuits "
+                "(gmean %.4f s)\n",
+                compile_total, compile_secs.size(),
+                gmean(compile_secs));
+
+    // ----------------------------------------------- batch throughput
+    const unsigned hw = std::thread::hardware_concurrency();
+    const int num_threads =
+        static_cast<int>(std::min(8u, std::max(1u, hw)));
+    const int rounds = fast ? 1 : 2;
+    const int total_jobs =
+        rounds * num_threads * static_cast<int>(circuits.size());
+    std::atomic<int> next{0};
+    const double batch_t0 = nowSeconds();
+    {
+        std::vector<std::thread> workers;
+        for (int w = 0; w < num_threads; ++w) {
+            workers.emplace_back([&] {
+                for (;;) {
+                    const int job = next.fetch_add(1);
+                    if (job >= total_jobs)
+                        return;
+                    const Prepared &c = circuits[static_cast<
+                        std::size_t>(job) % circuits.size()];
+                    (void)compiler.compileStaged(c.staged);
+                }
+            });
+        }
+        for (std::thread &w : workers)
+            w.join();
+    }
+    const double batch_seconds = nowSeconds() - batch_t0;
+    const double throughput =
+        static_cast<double>(total_jobs) / batch_seconds;
+    std::printf("batch throughput: %d jobs on %d threads in %.3f s "
+                "= %.2f compiles/s\n",
+                total_jobs, num_threads, batch_seconds, throughput);
+
+    // ------------------------------------------------------ JSON dump
+    json::Object doc;
+    doc["schema"] = "zac.perf_placement.v1";
+    doc["arch"] = arch.name();
+    doc["sa_iterations"] = sa_opts.max_iterations;
+    doc["sa_seed"] = static_cast<std::int64_t>(sa_opts.seed);
+    doc["fast_mode"] = fast;
+    doc["sa_placement"] = std::move(sa_rows);
+    doc["sa_geomean_speedup"] = geomean_speedup;
+    doc["sa_outputs_identical"] = all_identical;
+    doc["compile"] = std::move(compile_rows);
+    doc["compile_total_seconds"] = compile_total;
+    doc["batch"] = json::Object{
+        {"threads", num_threads},
+        {"jobs", total_jobs},
+        {"seconds", batch_seconds},
+        {"compiles_per_second", throughput},
+    };
+    try {
+        json::writeFile(out_path, json::Value(std::move(doc)));
+    } catch (const FatalError &e) {
+        std::fprintf(stderr, "%s\n", e.what());
+        return 2;
+    }
+    std::printf("wrote %s\n", out_path.c_str());
+
+    return all_identical ? 0 : 1;
+}
