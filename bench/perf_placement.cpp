@@ -1,19 +1,26 @@
 /**
  * @file
- * Reproducible perf harness for the placement hot path (ISSUE 1).
+ * Reproducible perf harness for the placement hot path (ISSUE 1 + 2).
  *
- * Three measurements, all on the reference zoned architecture and the
- * 17 paper benchmark circuits:
+ * Measurements, all on the reference zoned architecture and the 17
+ * paper benchmark circuits:
  *  - saInitialPlacement (1000 iterations, the paper's budget): the
  *    spatially-indexed implementation against the retained pre-index
  *    reference (zac::legacy), including a bit-identical output check;
+ *  - runDynamicPlacement (the movement/gate-placement pipeline): the
+ *    flat-ID rewrite (windowed gate placement, journaled variant
+ *    rollback, cached reuse matchings) against the frozen pre-rewrite
+ *    driver (zac::legacy), including a bit-identical plan check;
+ *  - per-phase compile breakdown (SA, reuse matching, gate placement,
+ *    movement, scheduling, fidelity) via CompilePhaseTimings;
  *  - full ZacCompiler::compile wall time per circuit;
  *  - batch throughput: N threads compiling the circuit list
  *    concurrently, exploiting the documented re-entrancy of
  *    compile() const.
  *
- * Results are written as machine-readable JSON (schema documented in
- * bench/README.md) so successive PRs accumulate a perf trajectory.
+ * Results are written as machine-readable JSON (schema
+ * zac.perf_placement.v2, documented in bench/README.md) so successive
+ * PRs accumulate a perf trajectory.
  *
  * Usage: perf_placement [output.json] [--fast]
  *   --fast  smoke mode for CI: a single repetition per measurement
@@ -29,6 +36,7 @@
 #include "bench_util.hpp"
 #include "common/json.hpp"
 #include "common/logging.hpp"
+#include "core/movement_legacy.hpp"
 #include "core/sa_placer_legacy.hpp"
 #include "transpile/optimize.hpp"
 
@@ -75,34 +83,41 @@ main(int argc, char **argv)
             out_path = argv[i];
     }
     const int sa_reps = fast ? 1 : 3;
-    const int compile_reps = fast ? 1 : 2;
+    const int dyn_reps = fast ? 1 : 5;
+    // The compile column feeds the CI regression gate and one rep
+    // costs well under a second, so even fast mode keeps best-of-3 to
+    // damp shared-runner scheduler noise.
+    const int compile_reps = 3;
 
     banner("perf_placement",
-           "SA placement + compile + batch throughput trajectory");
+           "SA + dynamic placement + per-phase + batch trajectory");
 
     const Architecture arch = presets::referenceZoned();
     SaOptions sa_opts;
     sa_opts.max_iterations = 1000;
     sa_opts.seed = 1;
+    const ZacOptions zac_opts = defaultZacOptions();
 
     // Pre-stage every circuit once; staging is not under test.
     struct Prepared
     {
         std::string name;
         StagedCircuit staged;
+        std::vector<TrapRef> initial; ///< SA placement, computed once
     };
     std::vector<Prepared> circuits;
     for (const std::string &name : circuitNames()) {
         const Circuit pre =
             preprocess(bench_circuits::paperBenchmark(name));
-        circuits.push_back(
-            {name, scheduleStages(pre, arch.numSites())});
+        Prepared p{name, scheduleStages(pre, arch.numSites()), {}};
+        p.initial = saInitialPlacement(arch, p.staged, sa_opts);
+        circuits.push_back(std::move(p));
     }
 
     // ---------------------------------------------- SA placement timing
     json::Array sa_rows;
-    std::vector<double> speedups;
-    bool all_identical = true;
+    std::vector<double> sa_speedups;
+    bool sa_identical = true;
     std::printf("%-16s %6s %8s %12s %12s %9s\n", "circuit", "qubits",
                 "2Q", "legacy (ms)", "indexed (ms)", "speedup");
     for (const Prepared &c : circuits) {
@@ -115,10 +130,10 @@ main(int argc, char **argv)
                 legacy::saInitialPlacement(arch, c.staged, sa_opts);
         });
         const bool identical = indexed_out == legacy_out;
-        all_identical = all_identical && identical;
+        sa_identical = sa_identical && identical;
         const double speedup =
             t_indexed > 0.0 ? t_legacy / t_indexed : 0.0;
-        speedups.push_back(speedup);
+        sa_speedups.push_back(speedup);
         std::printf("%-16s %6d %8d %12.3f %12.3f %8.2fx%s\n",
                     c.name.c_str(), c.staged.numQubits,
                     c.staged.count2Q(), t_legacy * 1e3,
@@ -134,13 +149,107 @@ main(int argc, char **argv)
         row["output_identical"] = identical;
         sa_rows.push_back(std::move(row));
     }
-    const double geomean_speedup = gmean(speedups);
-    std::printf("\nSA placement geomean speedup: %.2fx (outputs %s)\n",
-                geomean_speedup,
-                all_identical ? "bit-identical" : "MISMATCHED");
+    const double sa_geomean = gmean(sa_speedups);
+    std::printf("\nSA placement geomean speedup: %.2fx (outputs %s)\n\n",
+                sa_geomean,
+                sa_identical ? "bit-identical" : "MISMATCHED");
+
+    // --------------------------- dynamic placement (movement pipeline)
+    json::Array dyn_rows;
+    std::vector<double> dyn_speedups;
+    bool dyn_identical = true;
+    std::printf("%-16s %12s %12s %9s  (dynamic placement)\n", "circuit",
+                "legacy (ms)", "flat (ms)", "speedup");
+    for (const Prepared &c : circuits) {
+        PlacementPlan fresh, reference;
+        const double t_fresh = bestOf(dyn_reps, [&] {
+            fresh = runDynamicPlacement(arch, c.staged, c.initial,
+                                        zac_opts);
+        });
+        const double t_legacy = bestOf(dyn_reps, [&] {
+            reference = legacy::runDynamicPlacement(arch, c.staged,
+                                                    c.initial, zac_opts);
+        });
+        const bool identical = fresh == reference;
+        dyn_identical = dyn_identical && identical;
+        const double speedup =
+            t_fresh > 0.0 ? t_legacy / t_fresh : 0.0;
+        dyn_speedups.push_back(speedup);
+        std::printf("%-16s %12.3f %12.3f %8.2fx%s\n", c.name.c_str(),
+                    t_legacy * 1e3, t_fresh * 1e3, speedup,
+                    identical ? "" : "  PLAN MISMATCH");
+        json::Object row;
+        row["circuit"] = c.name;
+        row["legacy_seconds"] = t_legacy;
+        row["indexed_seconds"] = t_fresh;
+        row["speedup"] = speedup;
+        row["plan_identical"] = identical;
+        dyn_rows.push_back(std::move(row));
+    }
+    const double dyn_geomean = gmean(dyn_speedups);
+    std::printf("\ndynamic placement geomean speedup: %.2fx (plans %s)"
+                "\n\n",
+                dyn_geomean,
+                dyn_identical ? "bit-identical" : "MISMATCHED");
+
+    // ------------------------------- per-phase compile breakdown
+    const ZacCompiler compiler(arch, zac_opts);
+    json::Array phase_rows;
+    double tot_sa = 0.0, tot_reuse = 0.0, tot_gate = 0.0;
+    double tot_move = 0.0, tot_sched = 0.0, tot_fid = 0.0;
+    GatePlacerStats gp_stats;
+    std::printf("%-16s %8s %8s %8s %8s %8s %8s %8s  (phase ms)\n",
+                "circuit", "sa", "reuse", "gate", "qubit", "build",
+                "check", "sched");
+    for (const Prepared &c : circuits) {
+        const ZacResult r = compiler.compileStaged(c.staged);
+        const CompilePhaseTimings &ph = r.phases;
+        const PlacementProfile &pp = ph.placement;
+        tot_sa += ph.sa_seconds;
+        tot_reuse += pp.reuse_matching_seconds;
+        tot_gate += pp.gate_placement_seconds;
+        tot_move += pp.movementSeconds();
+        tot_sched += ph.scheduling_seconds;
+        tot_fid += ph.fidelity_seconds;
+        gp_stats += pp.gate_placer;
+        std::printf("%-16s %8.3f %8.3f %8.3f %8.3f %8.3f %8.3f %8.3f\n",
+                    c.name.c_str(), ph.sa_seconds * 1e3,
+                    pp.reuse_matching_seconds * 1e3,
+                    pp.gate_placement_seconds * 1e3,
+                    pp.qubit_placement_seconds * 1e3,
+                    pp.move_build_seconds * 1e3,
+                    pp.check_seconds * 1e3,
+                    ph.scheduling_seconds * 1e3);
+        json::Object row;
+        row["circuit"] = c.name;
+        row["sa_seconds"] = ph.sa_seconds;
+        row["reuse_matching_seconds"] = pp.reuse_matching_seconds;
+        row["gate_placement_seconds"] = pp.gate_placement_seconds;
+        row["movement_seconds"] = pp.movementSeconds();
+        row["scheduling_seconds"] = ph.scheduling_seconds;
+        row["fidelity_seconds"] = ph.fidelity_seconds;
+        row["compile_seconds"] = r.compile_seconds;
+        phase_rows.push_back(std::move(row));
+    }
+    const double certified_share =
+        gp_stats.calls > 0
+            ? static_cast<double>(gp_stats.certified) /
+                  static_cast<double>(gp_stats.calls)
+            : 0.0;
+    const double cell_share =
+        gp_stats.full_cells > 0
+            ? static_cast<double>(gp_stats.window_cells) /
+                  static_cast<double>(gp_stats.full_cells)
+            : 0.0;
+    std::printf("\ngate placer: %lld calls, %.1f%% window-certified, "
+                "%.1f%% of dense cells costed, %lld dense-direct, "
+                "%lld fallbacks\n\n",
+                static_cast<long long>(gp_stats.calls),
+                100.0 * certified_share, 100.0 * cell_share,
+                static_cast<long long>(gp_stats.dense_direct),
+                static_cast<long long>(gp_stats.fallbacks));
 
     // --------------------------------------------- full compile timing
-    const ZacCompiler compiler(arch, defaultZacOptions());
     json::Array compile_rows;
     std::vector<double> compile_secs;
     for (const Prepared &c : circuits) {
@@ -199,14 +308,40 @@ main(int argc, char **argv)
 
     // ------------------------------------------------------ JSON dump
     json::Object doc;
-    doc["schema"] = "zac.perf_placement.v1";
+    doc["schema"] = "zac.perf_placement.v2";
     doc["arch"] = arch.name();
     doc["sa_iterations"] = sa_opts.max_iterations;
     doc["sa_seed"] = static_cast<std::int64_t>(sa_opts.seed);
     doc["fast_mode"] = fast;
     doc["sa_placement"] = std::move(sa_rows);
-    doc["sa_geomean_speedup"] = geomean_speedup;
-    doc["sa_outputs_identical"] = all_identical;
+    doc["sa_geomean_speedup"] = sa_geomean;
+    doc["sa_outputs_identical"] = sa_identical;
+    doc["dynamic_placement"] = std::move(dyn_rows);
+    doc["dynamic_geomean_speedup"] = dyn_geomean;
+    doc["dynamic_outputs_identical"] = dyn_identical;
+    doc["phases"] = std::move(phase_rows);
+    doc["phase_totals"] = json::Object{
+        {"sa_seconds", tot_sa},
+        {"reuse_matching_seconds", tot_reuse},
+        {"gate_placement_seconds", tot_gate},
+        {"movement_seconds", tot_move},
+        {"scheduling_seconds", tot_sched},
+        {"fidelity_seconds", tot_fid},
+    };
+    doc["gate_placer"] = json::Object{
+        {"calls", static_cast<std::int64_t>(gp_stats.calls)},
+        {"pruned_solves",
+         static_cast<std::int64_t>(gp_stats.pruned_solves)},
+        {"certified", static_cast<std::int64_t>(gp_stats.certified)},
+        {"window_growths",
+         static_cast<std::int64_t>(gp_stats.window_growths)},
+        {"dense_direct",
+         static_cast<std::int64_t>(gp_stats.dense_direct)},
+        {"fallbacks", static_cast<std::int64_t>(gp_stats.fallbacks)},
+        {"window_cells",
+         static_cast<std::int64_t>(gp_stats.window_cells)},
+        {"full_cells", static_cast<std::int64_t>(gp_stats.full_cells)},
+    };
     doc["compile"] = std::move(compile_rows);
     doc["compile_total_seconds"] = compile_total;
     doc["batch"] = json::Object{
@@ -223,5 +358,5 @@ main(int argc, char **argv)
     }
     std::printf("wrote %s\n", out_path.c_str());
 
-    return all_identical ? 0 : 1;
+    return (sa_identical && dyn_identical) ? 0 : 1;
 }

@@ -1,0 +1,75 @@
+#!/usr/bin/env python3
+"""Fail CI when the placement perf trajectory regresses.
+
+Usage: check_perf_regression.py COMMITTED.json FRESH.json [THRESHOLD]
+
+Compares a freshly measured BENCH_placement.json against the committed
+one and exits non-zero when ``compile_total_seconds`` regresses by more
+than THRESHOLD (default 1.25, i.e. +25%).
+
+The committed JSON is usually measured on different hardware than the
+CI runner, so raw seconds are not comparable. Per bench/README.md the
+frozen ``zac::legacy`` SA placement acts as a machine-speed control:
+its implementation never changes, so the ratio
+``compile_total_seconds / sum(sa legacy_seconds)`` cancels the
+machine factor and isolates genuine compiler regressions.
+
+Also fails when either run reports non-bit-identical outputs from the
+legacy-equivalence checks (speed must never change semantics).
+"""
+
+import json
+import sys
+
+
+def load(path):
+    with open(path) as f:
+        doc = json.load(f)
+    schema = doc.get("schema", "")
+    if not schema.startswith("zac.perf_placement"):
+        sys.exit(f"{path}: unexpected schema {schema!r}")
+    return doc
+
+
+def normalized_compile_seconds(doc):
+    legacy_total = sum(r["legacy_seconds"] for r in doc["sa_placement"])
+    if legacy_total <= 0.0:
+        sys.exit("degenerate legacy SA total; cannot normalize")
+    return doc["compile_total_seconds"] / legacy_total
+
+
+def main(argv):
+    if len(argv) < 3:
+        sys.exit(__doc__)
+    committed = load(argv[1])
+    fresh = load(argv[2])
+    threshold = float(argv[3]) if len(argv) > 3 else 1.25
+
+    ok = True
+    for key in ("sa_outputs_identical", "dynamic_outputs_identical"):
+        if not fresh.get(key, True):
+            print(f"FAIL: fresh run reports {key} == false")
+            ok = False
+
+    base = normalized_compile_seconds(committed)
+    now = normalized_compile_seconds(fresh)
+    ratio = now / base
+    print(
+        f"compile_total_seconds (legacy-SA-normalized): "
+        f"committed {base:.4f}, fresh {now:.4f}, ratio {ratio:.3f} "
+        f"(threshold {threshold:.2f})"
+    )
+    print(
+        f"raw compile_total_seconds: committed "
+        f"{committed['compile_total_seconds']:.4f}s, fresh "
+        f"{fresh['compile_total_seconds']:.4f}s"
+    )
+    if ratio > threshold:
+        print("FAIL: compile time regressed beyond the threshold")
+        ok = False
+
+    return 0 if ok else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

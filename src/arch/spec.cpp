@@ -9,6 +9,32 @@
 namespace zac
 {
 
+namespace
+{
+
+/**
+ * Indices of a regular 1-D grid (origin @p o, pitch @p sep, @p count
+ * points) falling inside [lo, hi], boundary-inclusive up to a small
+ * epsilon. Shared by every box/disk range query so the clamping and
+ * epsilon treatment cannot diverge between them.
+ */
+struct GridRange
+{
+    int lo, hi; ///< empty when lo > hi
+};
+
+GridRange
+gridRange(double lo, double hi, double o, double sep, int count)
+{
+    const double eps = 1e-9;
+    return {std::max(0, static_cast<int>(
+                            std::ceil((lo - o) / sep - eps))),
+            std::min(count - 1, static_cast<int>(
+                                    std::floor((hi - o) / sep + eps)))};
+}
+
+} // namespace
+
 int
 Architecture::addSlm(const SlmSpec &slm)
 {
@@ -310,6 +336,64 @@ Architecture::nearestSite(Point p) const
     return best;
 }
 
+void
+Architecture::sitesInDisk(Point center, double radius,
+                          std::vector<int> &out) const
+{
+    if (radius < 0.0)
+        return;
+    for (const SiteGrid &g : siteGrids_) {
+        const GridRange rows =
+            gridRange(center.y - radius, center.y + radius, g.oy, g.sy,
+                      g.rows);
+        for (int r = rows.lo; r <= rows.hi; ++r) {
+            const double dy = g.oy + r * g.sy - center.y;
+            const double span2 = radius * radius - dy * dy;
+            if (span2 < 0.0)
+                continue;
+            const double span = std::sqrt(span2);
+            const GridRange cols = gridRange(
+                center.x - span, center.x + span, g.ox, g.sx, g.cols);
+            for (int c = cols.lo; c <= cols.hi; ++c)
+                out.push_back(g.base + r * g.cols + c);
+        }
+    }
+}
+
+int
+Architecture::countSitesInDisk(Point center, double radius) const
+{
+    if (radius < 0.0)
+        return 0;
+    int count = 0;
+    for (const SiteGrid &g : siteGrids_) {
+        const GridRange rows =
+            gridRange(center.y - radius, center.y + radius, g.oy, g.sy,
+                      g.rows);
+        for (int r = rows.lo; r <= rows.hi; ++r) {
+            const double dy = g.oy + r * g.sy - center.y;
+            const double span2 = radius * radius - dy * dy;
+            if (span2 < 0.0)
+                continue;
+            const double span = std::sqrt(span2);
+            const GridRange cols = gridRange(
+                center.x - span, center.x + span, g.ox, g.sx, g.cols);
+            if (cols.hi >= cols.lo)
+                count += cols.hi - cols.lo + 1;
+        }
+    }
+    return count;
+}
+
+double
+Architecture::maxSitePitch() const
+{
+    double pitch = 0.0;
+    for (const SiteGrid &g : siteGrids_)
+        pitch = std::max({pitch, g.sx, g.sy});
+    return pitch;
+}
+
 int
 Architecture::numStorageTraps() const
 {
@@ -400,28 +484,37 @@ Architecture::storageTrapsInBox(const std::vector<Point> &anchors) const
         min_y = std::min(min_y, p.y);
         max_y = std::max(max_y, p.y);
     }
-    const double eps = 1e-9;
     for (int slm_id : storageSlmIds_) {
         const SlmSpec &s = slms_[static_cast<std::size_t>(slm_id)];
-        const int c_lo = std::max(
-            0, static_cast<int>(
-                   std::ceil((min_x - s.origin.x) / s.sep_x - eps)));
-        const int c_hi = std::min(
-            s.cols - 1,
-            static_cast<int>(
-                std::floor((max_x - s.origin.x) / s.sep_x + eps)));
-        const int r_lo = std::max(
-            0, static_cast<int>(
-                   std::ceil((min_y - s.origin.y) / s.sep_y - eps)));
-        const int r_hi = std::min(
-            s.rows - 1,
-            static_cast<int>(
-                std::floor((max_y - s.origin.y) / s.sep_y + eps)));
-        for (int r = r_lo; r <= r_hi; ++r)
-            for (int c = c_lo; c <= c_hi; ++c)
+        const GridRange cols =
+            gridRange(min_x, max_x, s.origin.x, s.sep_x, s.cols);
+        const GridRange rows =
+            gridRange(min_y, max_y, s.origin.y, s.sep_y, s.rows);
+        for (int r = rows.lo; r <= rows.hi; ++r)
+            for (int c = cols.lo; c <= cols.hi; ++c)
                 out.push_back({slm_id, r, c});
     }
     return out;
+}
+
+void
+Architecture::storageTrapIdsInBox(Point lo, Point hi,
+                                  std::vector<TrapId> &out) const
+{
+    for (int slm_id : storageSlmIds_) {
+        const SlmSpec &s = slms_[static_cast<std::size_t>(slm_id)];
+        const GridRange cols =
+            gridRange(lo.x, hi.x, s.origin.x, s.sep_x, s.cols);
+        const GridRange rows =
+            gridRange(lo.y, hi.y, s.origin.y, s.sep_y, s.rows);
+        const TrapId base =
+            slmTrapBase_[static_cast<std::size_t>(slm_id)];
+        for (int r = rows.lo; r <= rows.hi; ++r) {
+            const TrapId row_base = base + r * s.cols;
+            for (int c = cols.lo; c <= cols.hi; ++c)
+                out.push_back(row_base + c);
+        }
+    }
 }
 
 bool

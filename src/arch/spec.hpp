@@ -185,6 +185,21 @@ class Architecture
      * linear scan with strict less-than would.
      */
     int nearestSite(Point p) const;
+    /**
+     * Append every site whose reference position lies within Euclidean
+     * distance @p radius of @p center (boundary inclusive up to a small
+     * epsilon), walking the per-zone site grids row by row instead of
+     * scanning all sites. Ids are appended in ascending order within
+     * each zone; the output is globally ascending because zones are
+     * visited in id order. This is the candidate-window iterator of the
+     * pruned gate placement (paper Sec. V-B2's Omega_cand).
+     */
+    void sitesInDisk(Point center, double radius,
+                     std::vector<int> &out) const;
+    /** Count-only companion of sitesInDisk() (no allocation). */
+    int countSitesInDisk(Point center, double radius) const;
+    /** The maximum site pitch (x or y) over all entanglement zones. */
+    double maxSitePitch() const;
 
     // ----- storage traps ----------------------------------------------
     /** Total number of storage traps across all storage zones. */
@@ -208,6 +223,15 @@ class Architecture
      */
     std::vector<TrapRef> storageTrapsInBox(
         const std::vector<Point> &anchors) const;
+    /**
+     * Append the dense ids of every storage trap inside the box
+     * [lo, hi] (inclusive up to a small epsilon). Enumeration order is
+     * identical to storageTrapsInBox() — storage SLMs in zone order,
+     * row-major — with the ids computed arithmetically instead of one
+     * validating trapId() call per trap.
+     */
+    void storageTrapIdsInBox(Point lo, Point hi,
+                             std::vector<TrapId> &out) const;
 
     /** @return true if @p p lies within any entanglement zone bounds. */
     bool inEntanglementZone(Point p) const;

@@ -44,13 +44,31 @@ AtomiqueCompiler::partitionQubits(
     // cut size until a local optimum (a few passes suffice).
     for (int q = 0; q < num_qubits; ++q)
         side[static_cast<std::size_t>(q)] = (q % 2) == 1;
+    // Per-qubit neighbour lists (CSR) so each gain evaluation touches
+    // the qubit's own edges instead of scanning the full edge list.
+    std::vector<std::size_t> adj_off(
+        static_cast<std::size_t>(num_qubits) + 1, 0);
+    for (const auto &[a, b] : edges) {
+        ++adj_off[static_cast<std::size_t>(a) + 1];
+        ++adj_off[static_cast<std::size_t>(b) + 1];
+    }
+    for (int q = 0; q < num_qubits; ++q)
+        adj_off[static_cast<std::size_t>(q) + 1] +=
+            adj_off[static_cast<std::size_t>(q)];
+    std::vector<int> adj(adj_off[static_cast<std::size_t>(num_qubits)]);
+    {
+        std::vector<std::size_t> fill(adj_off.begin(),
+                                      adj_off.end() - 1);
+        for (const auto &[a, b] : edges) {
+            adj[fill[static_cast<std::size_t>(a)]++] = b;
+            adj[fill[static_cast<std::size_t>(b)]++] = a;
+        }
+    }
     auto gain = [&](int q) {
         int cut = 0, uncut = 0;
-        for (const auto &[a, b] : edges) {
-            if (a != q && b != q)
-                continue;
-            const int other = a == q ? b : a;
-            if (side[static_cast<std::size_t>(other)] !=
+        for (std::size_t e = adj_off[static_cast<std::size_t>(q)];
+             e < adj_off[static_cast<std::size_t>(q) + 1]; ++e) {
+            if (side[static_cast<std::size_t>(adj[e])] !=
                 side[static_cast<std::size_t>(q)])
                 ++cut;
             else

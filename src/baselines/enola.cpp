@@ -37,10 +37,20 @@ EnolaCompiler::compile(const Circuit &circuit) const
     plan.gate_sites.resize(static_cast<std::size_t>(num_stages));
     plan.transitions.resize(static_cast<std::size_t>(num_stages));
 
-    // Every qubit homes at the left trap of its own site.
+    // Every qubit homes at the left trap of its own site. The per-qubit
+    // home and site-right-trap tables are read in the stage loop below
+    // instead of re-deriving them from site records per gate.
     plan.initial.resize(static_cast<std::size_t>(staged.numQubits));
-    for (int q = 0; q < staged.numQubits; ++q)
-        plan.initial[static_cast<std::size_t>(q)] = arch_.site(q).left;
+    std::vector<TrapRef> home_of(
+        static_cast<std::size_t>(staged.numQubits));
+    std::vector<TrapRef> right_of(
+        static_cast<std::size_t>(staged.numQubits));
+    for (int q = 0; q < staged.numQubits; ++q) {
+        const RydbergSite &site = arch_.site(q);
+        home_of[static_cast<std::size_t>(q)] = site.left;
+        right_of[static_cast<std::size_t>(q)] = site.right;
+        plan.initial[static_cast<std::size_t>(q)] = site.left;
+    }
 
     // Per stage: gate sits at the first operand's site; the second
     // operand travels to the site's right trap and returns afterwards.
@@ -52,18 +62,21 @@ EnolaCompiler::compile(const Circuit &circuit) const
             plan.transitions[static_cast<std::size_t>(t)];
         transition.move_out = std::move(pending_returns);
         pending_returns.clear();
+        plan.gate_sites[static_cast<std::size_t>(t)].reserve(
+            stage.gates.size());
+        transition.move_in.reserve(stage.gates.size());
         for (const StagedGate &g : stage.gates) {
             const int stationary = g.q0;
             const int mover = g.q1;
-            const RydbergSite &site = arch_.site(stationary);
-            const TrapRef mover_home = arch_.site(mover).left;
+            const TrapRef dest =
+                right_of[static_cast<std::size_t>(stationary)];
+            const TrapRef mover_home =
+                home_of[static_cast<std::size_t>(mover)];
             plan.gate_sites[static_cast<std::size_t>(t)].push_back(
                 stationary);
-            transition.move_in.push_back(
-                {mover, mover_home, site.right});
+            transition.move_in.push_back({mover, mover_home, dest});
             if (t + 1 < num_stages)
-                pending_returns.push_back(
-                    {mover, site.right, mover_home});
+                pending_returns.push_back({mover, dest, mover_home});
         }
     }
 

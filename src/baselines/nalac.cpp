@@ -27,6 +27,18 @@ NalacCompiler::NalacCompiler(Architecture arch, NalacOptions opts)
     const SlmSpec &slm =
         arch_.slms()[static_cast<std::size_t>(zone.slm_ids[0])];
     gate_row_sites_ = slm.cols;
+
+    // Parking slots (rows >= 1 of zone 0), in the scan order the
+    // per-stage search visits them, with cached ids and positions.
+    for (int s = 0; s < arch_.numSites(); ++s) {
+        const RydbergSite &site = arch_.site(s);
+        if (site.zone_index != 0 || site.r == 0)
+            continue;
+        for (const TrapRef &t : {site.left, site.right}) {
+            const Point p = arch_.trapPosition(t);
+            parking_.push_back({t, arch_.trapId(t), p.x, p.y});
+        }
+    }
 }
 
 NalacResult
@@ -63,24 +75,20 @@ NalacCompiler::compile(const Circuit &circuit) const
     plan.gate_sites.resize(static_cast<std::size_t>(num_stages));
     plan.transitions.resize(static_cast<std::size_t>(num_stages));
 
-    // Free parking trap (rows >= 1) nearest to x.
+    // Free parking trap (rows >= 1) nearest to x: a flat scan over the
+    // cached slots (same visit order and tie-breaks as the original
+    // per-site point-query loop, so the choice is unchanged).
     auto find_parking = [&](double x) -> TrapRef {
         TrapRef best;
         double best_d = std::numeric_limits<double>::max();
-        for (int s = 0; s < arch_.numSites(); ++s) {
-            const RydbergSite &site = arch_.site(s);
-            if (site.zone_index != 0 || site.r == 0)
+        for (const ParkingSlot &slot : parking_) {
+            if (!state.isEmpty(slot.id))
                 continue;
-            for (const TrapRef &t : {site.left, site.right}) {
-                if (!state.isEmpty(t))
-                    continue;
-                const double d =
-                    std::abs(arch_.trapPosition(t).x - x) +
-                    arch_.trapPosition(t).y; // prefer lower rows
-                if (d < best_d) {
-                    best_d = d;
-                    best = t;
-                }
+            const double d =
+                std::abs(slot.x - x) + slot.y; // prefer lower rows
+            if (d < best_d) {
+                best_d = d;
+                best = slot.trap;
             }
         }
         return best;
@@ -99,18 +107,19 @@ NalacCompiler::compile(const Circuit &circuit) const
 
         // Greedy left-to-right gate row assignment: order gates by the
         // mean x of their qubits, then hand out columns 0, 1, 2, ...
+        // (keys computed once instead of twice per comparison).
+        std::vector<double> mean_x(stage.gates.size());
+        for (std::size_t i = 0; i < stage.gates.size(); ++i)
+            mean_x[i] = (state.posOf(stage.gates[i].q0).x +
+                         state.posOf(stage.gates[i].q1).x) /
+                        2.0;
         std::vector<std::size_t> order(stage.gates.size());
         for (std::size_t i = 0; i < order.size(); ++i)
             order[i] = i;
-        std::stable_sort(
-            order.begin(), order.end(),
-            [&](std::size_t a, std::size_t b) {
-                const auto mean_x = [&](const StagedGate &g) {
-                    return (state.posOf(g.q0).x +
-                            state.posOf(g.q1).x) / 2.0;
-                };
-                return mean_x(stage.gates[a]) < mean_x(stage.gates[b]);
-            });
+        std::stable_sort(order.begin(), order.end(),
+                         [&mean_x](std::size_t a, std::size_t b) {
+                             return mean_x[a] < mean_x[b];
+                         });
         plan.gate_sites[static_cast<std::size_t>(t)].assign(
             stage.gates.size(), -1);
         int next_col = 0;
@@ -131,10 +140,10 @@ NalacCompiler::compile(const Circuit &circuit) const
             for (const auto &[q, dest] :
                  {std::pair{left_q, site.left},
                   std::pair{right_q, site.right}}) {
-                if (state.trapOf(q) == dest)
+                const TrapRef from = state.trapOf(q);
+                if (from == dest)
                     continue;
-                transition.move_in.push_back(
-                    {q, state.trapOf(q), dest});
+                transition.move_in.push_back({q, from, dest});
             }
         }
         for (const Movement &m : transition.move_in)

@@ -54,9 +54,21 @@ class NalacCompiler
     NalacResult compile(const Circuit &circuit) const;
 
   private:
+    /** One parking slot (rows >= 1 of zone 0), cached at construction
+     *  with its dense id and position so the per-stage parking scan is
+     *  flat-array reads instead of point queries. */
+    struct ParkingSlot
+    {
+        TrapRef trap;
+        TrapId id = kInvalidTrapId;
+        double x = 0.0;
+        double y = 0.0;
+    };
+
     Architecture arch_;
     NalacOptions opts_;
     int gate_row_sites_ = 0; ///< sites in row 0 of the first zone
+    std::vector<ParkingSlot> parking_; ///< site-id order, left then right
 };
 
 } // namespace zac::baselines

@@ -37,7 +37,11 @@ ZacCompiler::compileStaged(const StagedCircuit &staged) const
             fatal("ZacCompiler: a stage exceeds the Rydberg site count; "
                   "re-stage with the architecture's capacity");
 
-    const auto start = std::chrono::steady_clock::now();
+    using clock = std::chrono::steady_clock;
+    auto seconds_since = [](clock::time_point t0, clock::time_point t1) {
+        return std::chrono::duration<double>(t1 - t0).count();
+    };
+    const auto start = clock::now();
 
     ZacResult result;
     result.staged = staged;
@@ -49,14 +53,21 @@ ZacCompiler::compileStaged(const StagedCircuit &staged) const
         opts_.use_sa_init
             ? saInitialPlacement(arch_, staged, sa)
             : trivialInitialPlacement(arch_, staged.numQubits);
+    const auto t_sa = clock::now();
 
-    result.plan = runDynamicPlacement(arch_, staged, initial, opts_);
+    result.plan = runDynamicPlacement(arch_, staged, initial, opts_,
+                                      &result.phases.placement);
+    const auto t_place = clock::now();
     result.program = scheduleProgram(arch_, staged, result.plan);
+    const auto t_sched = clock::now();
     result.fidelity = evaluateFidelity(result.program, arch_);
 
-    const auto end = std::chrono::steady_clock::now();
-    result.compile_seconds =
-        std::chrono::duration<double>(end - start).count();
+    const auto end = clock::now();
+    result.phases.sa_seconds = seconds_since(start, t_sa);
+    result.phases.placement_seconds = seconds_since(t_sa, t_place);
+    result.phases.scheduling_seconds = seconds_since(t_place, t_sched);
+    result.phases.fidelity_seconds = seconds_since(t_sched, end);
+    result.compile_seconds = seconds_since(start, end);
     return result;
 }
 

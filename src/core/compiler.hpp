@@ -23,6 +23,18 @@
 namespace zac
 {
 
+/** Wall-clock breakdown of one compilation (always filled). */
+struct CompilePhaseTimings
+{
+    double sa_seconds = 0.0;          ///< initial placement (SA/trivial)
+    double placement_seconds = 0.0;   ///< runDynamicPlacement total
+    double scheduling_seconds = 0.0;  ///< scheduleProgram
+    double fidelity_seconds = 0.0;    ///< evaluateFidelity
+    /** Fine-grained dynamic-placement breakdown (reuse matching, gate
+     *  placement, movement) measured inside runDynamicPlacement. */
+    PlacementProfile placement;
+};
+
 /** Everything produced by one compilation. */
 struct ZacResult
 {
@@ -31,6 +43,7 @@ struct ZacResult
     ZairProgram program;           ///< timed ZAIR output
     FidelityBreakdown fidelity;    ///< five-term fidelity estimate
     double compile_seconds = 0.0;  ///< wall-clock compilation time
+    CompilePhaseTimings phases;    ///< per-phase wall-clock breakdown
 };
 
 /**

@@ -1,6 +1,7 @@
 #include "core/gate_placer.hpp"
 
 #include <algorithm>
+#include <cmath>
 
 #include "common/logging.hpp"
 #include "core/cost.hpp"
@@ -9,8 +10,62 @@
 namespace zac
 {
 
-std::vector<int>
-placeGates(const PlacementState &state, const GatePlacementRequest &req)
+namespace
+{
+
+/**
+ * Strict-margin epsilon for the optimality/uniqueness certificate.
+ * Safely above the JV solver's accumulated floating-point noise and the
+ * disk iterator's boundary slop, and far below any genuine cost
+ * difference between distinct site geometries.
+ */
+constexpr double kCertEps = 1e-7;
+
+/** Windowed-solve rounds before handing the call to the reference. */
+constexpr int kMaxWindowAttempts = 3;
+
+/**
+ * Initial radius headroom, in sqrt-um cost units: the window admits
+ * every site whose cost lower bound is within this margin of the
+ * gate's near-site cost, absorbing moderate assignment conflicts
+ * without a growth round.
+ */
+constexpr double kCostMargin = 1.5;
+
+/**
+ * Dense problems where windowing cannot pay: below this many cells the
+ * dense solve is already cheap, and once the candidate union reaches
+ * this share of the free sites the "window" is the full problem plus
+ * overhead.
+ */
+constexpr std::size_t kDenseCellCutoff = 96;
+constexpr double kDenseUnionShare = 0.55;
+/** Window cells beyond this share of the dense matrix go dense too. */
+constexpr double kDenseWindowShare = 0.5;
+/**
+ * Stages with this many unpinned gates are contention-bound: the
+ * matching's duals grow with the conflicts, the windows they demand
+ * tile most of the zone, and the windowed rounds only delay the dense
+ * solve they end up needing.
+ */
+constexpr std::size_t kContestedGateCutoff = 16;
+
+/**
+ * Pin handling shared by the windowed and reference paths. Instances
+ * live in thread-local storage (the pipeline calls placeGates a few
+ * thousand times per compile and compile() is re-entrant per thread);
+ * `result` is moved out to the caller and reallocated per call.
+ */
+struct Prologue
+{
+    std::vector<int> result;       ///< per gate: site id (-1 pending)
+    std::vector<char> site_taken;  ///< per site: pinned by reuse
+    std::vector<int> free_gates;   ///< indices of unpinned gates
+};
+
+void
+applyPins(const PlacementState &state, const GatePlacementRequest &req,
+          Prologue &p)
 {
     const Architecture &arch = state.arch();
     const std::vector<StagedGate> &gates = *req.gates;
@@ -19,48 +74,57 @@ placeGates(const PlacementState &state, const GatePlacementRequest &req)
         req.lookahead.size() != num_gates)
         panic("placeGates: request vectors out of shape");
 
-    std::vector<int> result(num_gates, -1);
-    std::vector<char> site_taken(
-        static_cast<std::size_t>(arch.numSites()), 0);
-    std::vector<int> free_gates;
+    p.result.assign(num_gates, -1);
+    p.site_taken.assign(static_cast<std::size_t>(arch.numSites()), 0);
+    p.free_gates.clear();
     for (std::size_t i = 0; i < num_gates; ++i) {
         const int pin = req.pinned_site[i];
         if (pin >= 0) {
             if (pin >= arch.numSites())
                 panic("placeGates: pinned site out of range");
-            if (site_taken[static_cast<std::size_t>(pin)])
+            if (p.site_taken[static_cast<std::size_t>(pin)])
                 panic("placeGates: two gates pinned to one site");
-            site_taken[static_cast<std::size_t>(pin)] = 1;
-            result[i] = pin;
+            p.site_taken[static_cast<std::size_t>(pin)] = 1;
+            p.result[i] = pin;
         } else {
-            free_gates.push_back(static_cast<int>(i));
+            p.free_gates.push_back(static_cast<int>(i));
         }
     }
-    if (free_gates.empty())
-        return result;
+}
 
-    // Columns: all sites not occupied by reuse (Omega_cand = near sites
-    // minus Omega_reuse; we use the full site set, which subsumes every
-    // expansion of the paper's candidate window).
-    std::vector<int> free_sites;
+/**
+ * The original dense path: match the free gates over every free site
+ * (Omega_cand = the full site set minus Omega_reuse). Fills
+ * @p p.result for the free gates.
+ */
+void
+solveFullMatrix(const PlacementState &state,
+                const GatePlacementRequest &req, Prologue &p)
+{
+    const Architecture &arch = state.arch();
+    const std::vector<StagedGate> &gates = *req.gates;
+
+    thread_local std::vector<int> free_sites;
+    free_sites.clear();
     for (int s = 0; s < arch.numSites(); ++s)
-        if (!site_taken[static_cast<std::size_t>(s)])
+        if (!p.site_taken[static_cast<std::size_t>(s)])
             free_sites.push_back(s);
-    if (free_sites.size() < free_gates.size())
+    if (free_sites.size() < p.free_gates.size())
         fatal("placeGates: stage has " +
-              std::to_string(free_gates.size()) +
+              std::to_string(p.free_gates.size()) +
               " unpinned gates but only " +
               std::to_string(free_sites.size()) + " free sites");
 
-    CostMatrix cost(static_cast<int>(free_gates.size()),
-                    static_cast<int>(free_sites.size()));
-    for (std::size_t gi = 0; gi < free_gates.size(); ++gi) {
+    thread_local CostMatrix cost(0, 0);
+    cost.reset(static_cast<int>(p.free_gates.size()),
+               static_cast<int>(free_sites.size()));
+    for (std::size_t gi = 0; gi < p.free_gates.size(); ++gi) {
         const StagedGate &g =
-            gates[static_cast<std::size_t>(free_gates[gi])];
+            gates[static_cast<std::size_t>(p.free_gates[gi])];
         const Point p0 = state.posOf(g.q0);
         const Point p1 = state.posOf(g.q1);
         const auto &look =
-            req.lookahead[static_cast<std::size_t>(free_gates[gi])];
+            req.lookahead[static_cast<std::size_t>(p.free_gates[gi])];
         for (std::size_t si = 0; si < free_sites.size(); ++si) {
             const Point site_pos = arch.sitePosition(free_sites[si]);
             double w = gateCost(site_pos, p0, p1);
@@ -73,13 +137,416 @@ placeGates(const PlacementState &state, const GatePlacementRequest &req)
     const Assignment assign = minWeightFullMatching(cost);
     if (!assign.feasible)
         panic("placeGates: full site matrix must be feasible");
-    for (std::size_t gi = 0; gi < free_gates.size(); ++gi) {
+    for (std::size_t gi = 0; gi < p.free_gates.size(); ++gi) {
         const int site =
             free_sites[static_cast<std::size_t>(
                 assign.row_to_col[gi])];
-        result[static_cast<std::size_t>(free_gates[gi])] = site;
+        p.result[static_cast<std::size_t>(p.free_gates[gi])] = site;
     }
-    return result;
+}
+
+/** Candidate window of one free gate. */
+struct GateWindow
+{
+    Point p0, p1;
+    const std::optional<Point> *look = nullptr;
+    /**
+     * Divisor turning a cost bound into a disk radius: a site outside
+     * every disk of radius R is farther than R from both qubits and
+     * (when a lookahead exists) from the lookahead point, so its edge
+     * weight exceeds cost_k * sqrt(R) — max-combined qubit terms
+     * contribute one sqrt(R), sum-combined two, the lookahead one more.
+     */
+    double cost_k = 2.0;
+    double radius = 0.0;
+    std::vector<int> cand;    ///< free candidate sites, ascending
+    std::vector<int> col_idx; ///< per candidate: its column index
+    bool dirty = true;        ///< candidates need a rebuild
+
+    /** Radius that excludes every site costing more than @p bound. */
+    double
+    radiusForCost(double bound) const
+    {
+        const double root = bound / cost_k;
+        return root * root;
+    }
+};
+
+/**
+ * True if the eps-tight cell graph admits an optimal matching other
+ * than the one found. Complementary slackness forces every optimum
+ * onto tight cells and every column with a strictly negative dual to
+ * stay matched, so an alternative optimum exists exactly when the
+ * graph has an M-alternating cycle, or an M-alternating path from a
+ * releasable matched column (dual ~ 0) to an unmatched column.
+ * (A plain "any tight unmatched cell" test would reject almost every
+ * call: the shortest-path duals legitimately leave many tight cells
+ * that admit no alternating structure.)
+ *
+ * @param tight per row: tight column indices, excluding the matched one.
+ * @param row4col inverse matching (-1 for unmatched columns).
+ */
+bool
+hasAlternativeOptimum(const std::vector<std::vector<int>> &tight,
+                      const std::vector<int> &row_to_col,
+                      const std::vector<int> &row4col,
+                      const std::vector<double> &col_duals,
+                      double eps)
+{
+    const int nr = static_cast<int>(tight.size());
+
+    // (a) alternating cycle: DFS over the row graph (row -> tight col
+    // -> that col's matched row); a gray-on-gray hit is a cycle.
+    thread_local std::vector<int> color;
+    thread_local std::vector<std::pair<int, std::size_t>> stack;
+    color.assign(static_cast<std::size_t>(nr), 0);
+    stack.clear();
+    for (int r0 = 0; r0 < nr; ++r0) {
+        if (color[static_cast<std::size_t>(r0)] != 0)
+            continue;
+        color[static_cast<std::size_t>(r0)] = 1;
+        stack.push_back({r0, 0});
+        while (!stack.empty()) {
+            const int r = stack.back().first;
+            const auto &edges = tight[static_cast<std::size_t>(r)];
+            if (stack.back().second >= edges.size()) {
+                color[static_cast<std::size_t>(r)] = 2;
+                stack.pop_back();
+                continue;
+            }
+            const int j = edges[stack.back().second++];
+            const int nxt = row4col[static_cast<std::size_t>(j)];
+            if (nxt < 0)
+                continue; // unmatched column: handled in (b)
+            if (color[static_cast<std::size_t>(nxt)] == 1)
+                return true;
+            if (color[static_cast<std::size_t>(nxt)] == 0) {
+                color[static_cast<std::size_t>(nxt)] = 1;
+                stack.push_back({nxt, 0});
+            }
+        }
+    }
+
+    // (b) alternating path: BFS from every row whose matched column
+    // could be released (dual ~ 0) toward an unmatched column.
+    thread_local std::vector<char> seen;
+    thread_local std::vector<int> queue;
+    seen.assign(static_cast<std::size_t>(nr), 0);
+    queue.clear();
+    for (int r = 0; r < nr; ++r) {
+        const int m = row_to_col[static_cast<std::size_t>(r)];
+        if (col_duals[static_cast<std::size_t>(m)] >= -eps) {
+            seen[static_cast<std::size_t>(r)] = 1;
+            queue.push_back(r);
+        }
+    }
+    while (!queue.empty()) {
+        const int r = queue.back();
+        queue.pop_back();
+        for (int j : tight[static_cast<std::size_t>(r)]) {
+            const int nxt = row4col[static_cast<std::size_t>(j)];
+            if (nxt < 0)
+                return true; // reaches an unmatched column
+            if (!seen[static_cast<std::size_t>(nxt)]) {
+                seen[static_cast<std::size_t>(nxt)] = 1;
+                queue.push_back(nxt);
+            }
+        }
+    }
+    return false;
+}
+
+void
+buildCandidates(const Architecture &arch, const Prologue &p,
+                GateWindow &w, std::vector<int> &scratch)
+{
+    scratch.clear();
+    arch.sitesInDisk(w.p0, w.radius, scratch);
+    arch.sitesInDisk(w.p1, w.radius, scratch);
+    if (w.look->has_value())
+        arch.sitesInDisk(**w.look, w.radius, scratch);
+    std::sort(scratch.begin(), scratch.end());
+    scratch.erase(std::unique(scratch.begin(), scratch.end()),
+                  scratch.end());
+    w.cand.clear();
+    for (int s : scratch)
+        if (!p.site_taken[static_cast<std::size_t>(s)])
+            w.cand.push_back(s);
+    w.dirty = false;
+}
+
+} // namespace
+
+GatePlacerStats &
+GatePlacerStats::operator+=(const GatePlacerStats &o)
+{
+    calls += o.calls;
+    pruned_solves += o.pruned_solves;
+    certified += o.certified;
+    window_growths += o.window_growths;
+    dense_direct += o.dense_direct;
+    fallbacks += o.fallbacks;
+    window_cells += o.window_cells;
+    full_cells += o.full_cells;
+    return *this;
+}
+
+std::vector<int>
+placeGatesReference(const PlacementState &state,
+                    const GatePlacementRequest &req)
+{
+    thread_local Prologue p;
+    applyPins(state, req, p);
+    if (!p.free_gates.empty())
+        solveFullMatrix(state, req, p);
+    return std::move(p.result);
+}
+
+std::vector<int>
+placeGates(const PlacementState &state, const GatePlacementRequest &req,
+           GatePlacerStats *stats)
+{
+    const Architecture &arch = state.arch();
+    const std::vector<StagedGate> &gates = *req.gates;
+    thread_local Prologue p;
+    applyPins(state, req, p);
+    if (stats)
+        ++stats->calls;
+    if (p.free_gates.empty())
+        return std::move(p.result);
+
+    const std::size_t num_free = p.free_gates.size();
+    if (stats)
+        stats->full_cells += static_cast<std::int64_t>(num_free) *
+                             arch.numSites();
+    std::size_t num_free_sites = 0;
+    for (char taken : p.site_taken)
+        if (!taken)
+            ++num_free_sites;
+
+    // Problems where the window cannot pay go dense immediately.
+    const std::size_t dense_cells = num_free * num_free_sites;
+    bool dense = dense_cells <= kDenseCellCutoff ||
+                 num_free >= kContestedGateCutoff ||
+                 static_cast<double>(num_free) >
+                     kDenseUnionShare *
+                         static_cast<double>(num_free_sites);
+
+    // ---- initial windows: admit every site whose cost lower bound is
+    // within kCostMargin of the gate's near-site cost. A count-only
+    // pass estimates the total window size first, so saturated stages
+    // (windows tiling the whole zone) skip construction entirely.
+    thread_local std::vector<GateWindow> wins;
+    // Count-only estimate of the total window size at the current
+    // radii, so saturated stages (windows tiling most of the zone)
+    // skip window construction — both up front and after any growth.
+    auto windowsLookDense = [&]() {
+        const double limit =
+            kDenseWindowShare * static_cast<double>(dense_cells);
+        std::size_t est_cells = 0;
+        for (const GateWindow &w : wins) {
+            std::size_t est =
+                static_cast<std::size_t>(
+                    arch.countSitesInDisk(w.p0, w.radius)) +
+                static_cast<std::size_t>(
+                    arch.countSitesInDisk(w.p1, w.radius));
+            if (w.look->has_value())
+                est += static_cast<std::size_t>(
+                    arch.countSitesInDisk(**w.look, w.radius));
+            est_cells += std::min(est, num_free_sites);
+            if (static_cast<double>(est_cells) > limit)
+                return true;
+        }
+        return false;
+    };
+    if (!dense) {
+        wins.resize(num_free);
+        for (std::size_t gi = 0; gi < num_free; ++gi) {
+            const StagedGate &g =
+                gates[static_cast<std::size_t>(p.free_gates[gi])];
+            GateWindow &w = wins[gi];
+            w.p0 = state.posOf(g.q0);
+            w.p1 = state.posOf(g.q1);
+            w.look = &req.lookahead[static_cast<std::size_t>(
+                p.free_gates[gi])];
+            const bool same_row =
+                std::abs(w.p0.y - w.p1.y) < kSameRowTolUm;
+            w.cost_k = (same_row ? 1.0 : 2.0) +
+                       (w.look->has_value() ? 1.0 : 0.0);
+            const int near = nearestSiteForGate(
+                arch, state.trapIdOf(g.q0), state.trapIdOf(g.q1));
+            const Point near_pos = arch.sitePosition(near);
+            double near_cost = gateCost(near_pos, w.p0, w.p1);
+            if (w.look->has_value())
+                near_cost += sqrtDistance(near_pos, **w.look);
+            w.radius = w.radiusForCost(near_cost + kCostMargin);
+            w.dirty = true; // thread-local reuse: invalidate candidates
+        }
+        dense = windowsLookDense();
+    }
+    if (dense) {
+        solveFullMatrix(state, req, p);
+        if (stats) {
+            ++stats->dense_direct;
+            stats->window_cells +=
+                static_cast<std::int64_t>(dense_cells);
+        }
+        return std::move(p.result);
+    }
+
+    thread_local std::vector<int> scratch, cols;
+    for (int attempt = 0; attempt < kMaxWindowAttempts; ++attempt) {
+        // ---- candidate columns (union of the per-gate windows).
+        cols.clear();
+        bool any_empty = false;
+        std::size_t total_cells = 0;
+        for (GateWindow &w : wins) {
+            if (w.dirty)
+                buildCandidates(arch, p, w, scratch);
+            if (w.cand.empty())
+                any_empty = true;
+            total_cells += w.cand.size();
+            cols.insert(cols.end(), w.cand.begin(), w.cand.end());
+        }
+        std::sort(cols.begin(), cols.end());
+        cols.erase(std::unique(cols.begin(), cols.end()), cols.end());
+        if (any_empty || cols.size() < num_free) {
+            for (GateWindow &w : wins) {
+                w.radius = std::max(2.0 * w.radius,
+                                    w.radius + arch.maxSitePitch());
+                w.dirty = true;
+            }
+            if (stats)
+                ++stats->window_growths;
+            if (windowsLookDense())
+                break;
+            continue;
+        }
+        // Windows that degenerated into (most of) the full problem
+        // can only add overhead on top of the dense solve.
+        if (static_cast<double>(cols.size()) >
+                kDenseUnionShare * static_cast<double>(num_free_sites) ||
+            static_cast<double>(total_cells) >
+                kDenseWindowShare *
+                    static_cast<double>(num_free * num_free_sites))
+            break;
+
+        // ---- windowed cost matrix (absent cells stay infeasible).
+        // cand and cols are both ascending, so a merge walk assigns
+        // column indices without binary searches.
+        thread_local CostMatrix cost(0, 0);
+        cost.reset(static_cast<int>(num_free),
+                   static_cast<int>(cols.size()));
+        for (std::size_t gi = 0; gi < num_free; ++gi) {
+            GateWindow &w = wins[gi];
+            w.col_idx.resize(w.cand.size());
+            std::size_t j = 0;
+            for (std::size_t ci = 0; ci < w.cand.size(); ++ci) {
+                const int s = w.cand[ci];
+                while (cols[j] != s)
+                    ++j;
+                w.col_idx[ci] = static_cast<int>(j);
+                const Point site_pos = arch.sitePosition(s);
+                double weight = gateCost(site_pos, w.p0, w.p1);
+                if (w.look->has_value())
+                    weight += sqrtDistance(site_pos, **w.look);
+                cost.at(static_cast<int>(gi), static_cast<int>(j)) =
+                    weight;
+            }
+            if (stats)
+                stats->window_cells +=
+                    static_cast<std::int64_t>(w.cand.size());
+        }
+
+        if (stats)
+            ++stats->pruned_solves;
+        const Assignment assign = minWeightFullMatching(cost);
+        if (!assign.feasible) {
+            for (GateWindow &w : wins) {
+                w.radius = std::max(2.0 * w.radius,
+                                    w.radius + arch.maxSitePitch());
+                w.dirty = true;
+            }
+            if (stats)
+                ++stats->window_growths;
+            if (windowsLookDense())
+                break;
+            continue;
+        }
+
+        // ---- certificate part 1: every site outside gate gi's window
+        // costs more than cost_k * sqrt(radius) (it is farther than
+        // radius from both qubits and from the lookahead point). With
+        // col_duals == 0 on those columns, u_i below that bound makes
+        // every out-of-window cell strictly slack. A violating row's
+        // window jumps directly to the radius its dual demands.
+        bool grew = false;
+        for (std::size_t gi = 0; gi < num_free; ++gi) {
+            GateWindow &w = wins[gi];
+            if (w.cand.size() == num_free_sites)
+                continue; // no excluded cells for this row
+            const double bound = w.cost_k * std::sqrt(w.radius);
+            if (!(assign.row_duals[gi] <= bound - kCertEps)) {
+                w.radius = w.radiusForCost(
+                    assign.row_duals[gi] + kCostMargin);
+                w.dirty = true;
+                grew = true;
+            }
+        }
+        if (grew) {
+            if (stats)
+                ++stats->window_growths;
+            if (windowsLookDense())
+                break;
+            continue;
+        }
+
+        // ---- certificate part 2: uniqueness inside the window. Any
+        // alternative optimum lives on eps-tight cells; if the tight
+        // graph admits no alternating cycle or release path, this
+        // matching is the unique optimum. Otherwise the reference's
+        // own tie-break must decide.
+        thread_local std::vector<std::vector<int>> tight;
+        thread_local std::vector<int> row4col;
+        tight.resize(num_free);
+        for (std::size_t gi = 0; gi < num_free; ++gi)
+            tight[gi].clear();
+        row4col.assign(cols.size(), -1);
+        for (std::size_t gi = 0; gi < num_free; ++gi)
+            row4col[static_cast<std::size_t>(assign.row_to_col[gi])] =
+                static_cast<int>(gi);
+        for (std::size_t gi = 0; gi < num_free; ++gi) {
+            const GateWindow &w = wins[gi];
+            const int chosen = assign.row_to_col[gi];
+            for (int j : w.col_idx) {
+                if (j == chosen)
+                    continue;
+                const double reduced =
+                    cost.at(static_cast<int>(gi), j) -
+                    assign.row_duals[gi] -
+                    assign.col_duals[static_cast<std::size_t>(j)];
+                if (reduced <= kCertEps)
+                    tight[gi].push_back(j);
+            }
+        }
+        if (hasAlternativeOptimum(tight, assign.row_to_col, row4col,
+                                  assign.col_duals, kCertEps))
+            break;
+
+        // Certified: the windowed matching is the unique optimum over
+        // the full free-site set, hence identical to the reference.
+        if (stats)
+            ++stats->certified;
+        for (std::size_t gi = 0; gi < num_free; ++gi)
+            p.result[static_cast<std::size_t>(p.free_gates[gi])] =
+                cols[static_cast<std::size_t>(assign.row_to_col[gi])];
+        return std::move(p.result);
+    }
+
+    if (stats)
+        ++stats->fallbacks;
+    solveFullMatrix(state, req, p);
+    return std::move(p.result);
 }
 
 } // namespace zac

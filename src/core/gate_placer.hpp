@@ -7,11 +7,26 @@
  * minimum-weight full matching whose edge weight is the Eq. 1 movement
  * cost plus the reuse-lookahead cost (the distance of the next stage's
  * incoming partner qubit to the candidate site).
+ *
+ * Two implementations share the semantics:
+ *  - placeGatesReference() builds the dense |gates| x |free sites|
+ *    matrix and matches over every free site (the original path, kept
+ *    as the semantic reference and tie-break fallback);
+ *  - placeGates() restricts each gate to a candidate window Omega_cand
+ *    (sites within an adaptive radius of the gate's qubits and its
+ *    lookahead point) and certifies via the matching's dual potentials
+ *    that the windowed optimum is the unique optimum of the full
+ *    problem, so its assignment is bit-identical to the reference.
+ *    When the certificate fails (window too small or a cost tie) the
+ *    window grows and, ultimately, the reference path decides — the
+ *    tie-break rule is therefore "the reference solver's" by
+ *    construction.
  */
 
 #ifndef ZAC_CORE_GATE_PLACER_HPP
 #define ZAC_CORE_GATE_PLACER_HPP
 
+#include <cstdint>
 #include <optional>
 #include <vector>
 
@@ -39,13 +54,38 @@ struct GatePlacementRequest
     std::vector<std::optional<Point>> lookahead;
 };
 
+/** Counters describing how the pruned placeGates() resolved its calls. */
+struct GatePlacerStats
+{
+    std::int64_t calls = 0;            ///< placeGates() invocations
+    std::int64_t pruned_solves = 0;    ///< windowed JV solves run
+    std::int64_t certified = 0;        ///< calls settled by the window
+    std::int64_t window_growths = 0;   ///< radius-growth rounds
+    std::int64_t dense_direct = 0;     ///< dense-by-choice calls (small
+                                       ///< or saturated problems)
+    std::int64_t fallbacks = 0;        ///< certificate failures decided
+                                       ///< by the reference
+    std::int64_t window_cells = 0;     ///< candidate cells costed
+    std::int64_t full_cells = 0;       ///< |free gates| x |free sites|
+
+    GatePlacerStats &operator+=(const GatePlacerStats &o);
+};
+
 /**
- * Compute the site id for every gate of the stage.
+ * Compute the site id for every gate of the stage (windowed path with
+ * certified fallback; the result is bit-identical to
+ * placeGatesReference()).
  *
+ * @param stats optional counters, accumulated across calls.
  * @throws zac::FatalError if the stage has more gates than sites.
  */
 std::vector<int> placeGates(const PlacementState &state,
-                            const GatePlacementRequest &request);
+                            const GatePlacementRequest &request,
+                            GatePlacerStats *stats = nullptr);
+
+/** The original dense full-matrix path (reference semantics). */
+std::vector<int> placeGatesReference(const PlacementState &state,
+                                     const GatePlacementRequest &request);
 
 } // namespace zac
 

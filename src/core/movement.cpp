@@ -1,12 +1,11 @@
 #include "core/movement.hpp"
 
 #include <algorithm>
+#include <chrono>
 #include <optional>
-#include <set>
 
 #include "common/logging.hpp"
 #include "core/cost.hpp"
-#include "core/gate_placer.hpp"
 #include "core/qubit_placer.hpp"
 #include "core/reuse.hpp"
 
@@ -15,6 +14,14 @@ namespace zac
 
 namespace
 {
+
+double
+nowSeconds()
+{
+    return std::chrono::duration<double>(
+               std::chrono::steady_clock::now().time_since_epoch())
+        .count();
+}
 
 /** Everything produced while building one boundary variant. */
 struct BoundaryResult
@@ -25,17 +32,23 @@ struct BoundaryResult
     double cost = 0.0;
     int reused = 0;
     int direct = 0;               ///< direct in-zone moves (extension)
-    std::vector<TrapRef> state_after;
 };
 
-/** The 2Q partner of @p q in @p stage, or -1. */
-int
-partnerInStage(const RydbergStage &stage, int q)
+/**
+ * Per-stage qubit -> 2Q-partner table replacing the O(#gates)
+ * partnerInStage() scans (each stage touches a qubit at most once, so
+ * a flat array keyed by qubit suffices).
+ */
+void
+buildPartnerTable(const RydbergStage &stage, std::vector<int> &partner)
 {
-    for (const StagedGate &g : stage.gates)
-        if (g.touches(q))
-            return g.other(q);
-    return -1;
+    std::fill(partner.begin(), partner.end(), -1);
+    for (const StagedGate &g : stage.gates) {
+        if (partner[static_cast<std::size_t>(g.q0)] == -1)
+            partner[static_cast<std::size_t>(g.q0)] = g.q1;
+        if (partner[static_cast<std::size_t>(g.q1)] == -1)
+            partner[static_cast<std::size_t>(g.q1)] = g.q0;
+    }
 }
 
 /**
@@ -48,6 +61,7 @@ buildMoveIns(PlacementState &state, const RydbergStage &stage,
 {
     const Architecture &arch = state.arch();
     std::vector<Movement> moves;
+    moves.reserve(2 * stage.gates.size());
     for (std::size_t i = 0; i < stage.gates.size(); ++i) {
         const StagedGate &g = stage.gates[i];
         const RydbergSite &site =
@@ -61,21 +75,23 @@ buildMoveIns(PlacementState &state, const RydbergStage &stage,
         if (q0_here || q1_here) {
             // One qubit is reused in place; the partner takes the
             // other trap of the site.
-            const int stay = q0_here ? g.q0 : g.q1;
+            const TrapRef stay_trap = q0_here ? t0 : t1;
             const int move = q0_here ? g.q1 : g.q0;
-            const TrapRef stay_trap = state.trapOf(stay);
+            const TrapRef move_trap = q0_here ? t1 : t0;
             const TrapRef dest =
                 stay_trap == site.left ? site.right : site.left;
-            moves.push_back({move, state.trapOf(move), dest});
+            moves.push_back({move, move_trap, dest});
             continue;
         }
         // Fresh gate: left/right by current x order to avoid crossing.
-        const Point p0 = state.posOf(g.q0);
-        const Point p1 = state.posOf(g.q1);
+        const Point p0 = arch.trapPosition(state.trapIdOf(g.q0));
+        const Point p1 = arch.trapPosition(state.trapIdOf(g.q1));
         const int left_q = p0.x <= p1.x ? g.q0 : g.q1;
+        const TrapRef left_t = left_q == g.q0 ? t0 : t1;
         const int right_q = left_q == g.q0 ? g.q1 : g.q0;
-        moves.push_back({left_q, state.trapOf(left_q), site.left});
-        moves.push_back({right_q, state.trapOf(right_q), site.right});
+        const TrapRef right_t = left_q == g.q0 ? t1 : t0;
+        moves.push_back({left_q, left_t, site.left});
+        moves.push_back({right_q, right_t, site.right});
     }
     // Apply as a permutation: vacate every source first so in-zone
     // direct moves may target traps other movers are leaving.
@@ -91,7 +107,8 @@ movementCostUs(const Architecture &arch,
                const std::vector<Movement> &out,
                const std::vector<Movement> &in)
 {
-    std::vector<double> dists;
+    thread_local std::vector<double> dists;
+    dists.clear();
     dists.reserve(out.size() + in.size());
     for (const Movement &m : out)
         dists.push_back(distance(arch.trapPosition(m.from),
@@ -105,18 +122,22 @@ movementCostUs(const Architecture &arch,
 /**
  * Build one boundary variant: move stage @p t's non-staying qubits to
  * storage, then place and move in the gates of stage t+1 (or stage 0
- * when @p t < 0). Mutates @p state; the caller snapshots/restores.
+ * when @p t < 0). Mutates @p state; the caller journals/undoes or
+ * keeps the mutations.
  *
  * @param matching reuse matching between stages t and t+1 (empty for
  *                 the no-reuse variant or the first stage).
  * @param next_matching reuse matching between stages t+1 and t+2, used
  *                 for the gate-placement lookahead.
+ * @param next_partner per qubit: its 2Q partner in stage t+1, or -1.
  */
 BoundaryResult
 buildBoundary(PlacementState &state, const StagedCircuit &staged,
               int t, const ReuseMatching &matching,
               const ReuseMatching &next_matching,
-              const std::vector<int> &cur_sites, const ZacOptions &opts)
+              const std::vector<int> &cur_sites,
+              const std::vector<int> &next_partner,
+              const ZacOptions &opts, PlacementProfile *profile)
 {
     const Architecture &arch = state.arch();
     const int next_t = t + 1;
@@ -125,25 +146,46 @@ buildBoundary(PlacementState &state, const StagedCircuit &staged,
     BoundaryResult result;
 
     // ---- qubits staying at their sites across the boundary.
-    std::vector<char> stays(
-        static_cast<std::size_t>(staged.numQubits), 0);
+    thread_local std::vector<char> stays;
+    stays.assign(static_cast<std::size_t>(staged.numQubits), 0);
     if (t >= 0) {
         const RydbergStage &cur_stage =
             staged.rydberg[static_cast<std::size_t>(t)];
-        for (int q : reusedQubits(cur_stage, next_stage, matching)) {
-            stays[static_cast<std::size_t>(q)] = 1;
-            ++result.reused;
+        // Inlined reusedQubits(): the stays flags double as the dedup
+        // set, so the per-variant vector + sort/unique disappears.
+        for (std::size_t i = 0; i < cur_stage.gates.size(); ++i) {
+            const int j = matching.next_of_cur.empty()
+                              ? -1
+                              : matching.next_of_cur[i];
+            if (j < 0)
+                continue;
+            const StagedGate &g = cur_stage.gates[i];
+            const StagedGate &h =
+                next_stage.gates[static_cast<std::size_t>(j)];
+            for (int q : {g.q0, g.q1}) {
+                if (h.touches(q) &&
+                    !stays[static_cast<std::size_t>(q)]) {
+                    stays[static_cast<std::size_t>(q)] = 1;
+                    ++result.reused;
+                }
+            }
         }
 
         // ---- non-reuse qubit placement (move-out).
-        QubitPlacementRequest qreq;
+        const double t0 = profile ? nowSeconds() : 0.0;
+        thread_local QubitPlacementRequest qreq;
         qreq.k = opts.candidate_k;
         qreq.alpha = opts.lookahead_alpha;
+        qreq.leaving.clear();
+        qreq.related.clear();
+        qreq.leaving.reserve(2 * cur_stage.gates.size());
+        qreq.related.reserve(2 * cur_stage.gates.size());
         for (const StagedGate &g : cur_stage.gates) {
             for (int q : {g.q0, g.q1}) {
                 if (stays[static_cast<std::size_t>(q)])
                     continue;
-                const int partner = partnerInStage(next_stage, q);
+                const int partner =
+                    next_partner[static_cast<std::size_t>(q)];
                 if (opts.use_direct_reuse && partner >= 0) {
                     // Sec. X extension: active in both stages — stay
                     // in the zone and move site-to-site during the
@@ -162,15 +204,18 @@ buildBoundary(PlacementState &state, const StagedCircuit &staged,
             opts.use_dynamic_placement
                 ? placeQubitsInStorage(state, qreq)
                 : returnQubitsHome(state, qreq.leaving);
+        result.move_out.reserve(qreq.leaving.size());
         for (std::size_t i = 0; i < qreq.leaving.size(); ++i) {
             const int q = qreq.leaving[i];
             result.move_out.push_back({q, state.trapOf(q), dests[i]});
             state.place(q, dests[i]);
         }
+        if (profile)
+            profile->qubit_placement_seconds += nowSeconds() - t0;
     }
 
     // ---- gate placement for the entering stage.
-    GatePlacementRequest greq;
+    thread_local GatePlacementRequest greq;
     greq.gates = &next_stage.gates;
     greq.pinned_site.assign(next_stage.gates.size(), -1);
     greq.lookahead.assign(next_stage.gates.size(), std::nullopt);
@@ -201,11 +246,16 @@ buildBoundary(PlacementState &state, const StagedCircuit &staged,
             greq.lookahead[i] = state.posOf(incoming);
         }
     }
-    result.gate_sites = placeGates(state, greq);
+    const double t1 = profile ? nowSeconds() : 0.0;
+    result.gate_sites = placeGates(
+        state, greq, profile ? &profile->gate_placer : nullptr);
+    const double t2 = profile ? nowSeconds() : 0.0;
     result.move_in = buildMoveIns(state, next_stage, result.gate_sites);
-
     result.cost = movementCostUs(arch, result.move_out, result.move_in);
-    result.state_after = state.snapshot();
+    if (profile) {
+        profile->gate_placement_seconds += t2 - t1;
+        profile->move_build_seconds += nowSeconds() - t2;
+    }
     return result;
 }
 
@@ -214,7 +264,7 @@ buildBoundary(PlacementState &state, const StagedCircuit &staged,
 PlacementPlan
 runDynamicPlacement(const Architecture &arch, const StagedCircuit &staged,
                     const std::vector<TrapRef> &initial,
-                    const ZacOptions &opts)
+                    const ZacOptions &opts, PlacementProfile *profile)
 {
     if (static_cast<int>(initial.size()) != staged.numQubits)
         fatal("runDynamicPlacement: initial placement size mismatch");
@@ -234,70 +284,104 @@ runDynamicPlacement(const Architecture &arch, const StagedCircuit &staged,
     const ReuseMatching no_match = emptyReuseMatching(0, 0);
 
     // Reuse matchings are combinatorial, so the boundary t -> t+1 can
-    // use the (t+1) -> (t+2) matching for its lookahead.
-    auto matching_at = [&](int t) -> ReuseMatching {
-        if (!opts.use_reuse || t < 0 || t + 1 >= num_stages)
-            return emptyReuseMatching(
-                t >= 0 ? staged.rydberg[static_cast<std::size_t>(t)]
-                             .gates.size()
-                       : 0,
-                t + 1 < num_stages
-                    ? staged.rydberg[static_cast<std::size_t>(t) + 1]
-                          .gates.size()
-                    : 0);
-        return computeReuseMatching(
-            staged.rydberg[static_cast<std::size_t>(t)],
-            staged.rydberg[static_cast<std::size_t>(t) + 1]);
+    // use the (t+1) -> (t+2) matching for its lookahead. They depend
+    // only on the staged circuit: compute each once up front instead of
+    // twice per boundary (as the reuse variant and the next boundary's
+    // lookahead both ask for the same matching), and hand out const
+    // references instead of vector copies. Without reuse the cache
+    // holds the right-sized all-unmatched placeholders.
+    std::vector<ReuseMatching> matchings;
+    {
+        const double t0 = profile ? nowSeconds() : 0.0;
+        matchings.reserve(static_cast<std::size_t>(
+            std::max(0, num_stages - 1)));
+        for (int t = 0; t + 1 < num_stages; ++t) {
+            if (opts.use_reuse)
+                matchings.push_back(computeReuseMatching(
+                    staged.rydberg[static_cast<std::size_t>(t)],
+                    staged.rydberg[static_cast<std::size_t>(t) + 1]));
+            else
+                matchings.push_back(emptyReuseMatching(
+                    staged.rydberg[static_cast<std::size_t>(t)]
+                        .gates.size(),
+                    staged.rydberg[static_cast<std::size_t>(t) + 1]
+                        .gates.size()));
+        }
+        if (profile)
+            profile->reuse_matching_seconds += nowSeconds() - t0;
+    }
+    auto matching_at = [&](int t) -> const ReuseMatching & {
+        if (t < 0 || t + 1 >= num_stages)
+            return no_match;
+        return matchings[static_cast<std::size_t>(t)];
     };
+
+    std::vector<int> next_partner(
+        static_cast<std::size_t>(staged.numQubits), -1);
 
     // ---- stage 0: no reuse possible (nothing is in the zone yet).
     {
         BoundaryResult r =
             buildBoundary(state, staged, -1, no_match, matching_at(0),
-                          {}, opts);
-        plan.gate_sites[0] = r.gate_sites;
+                          {}, next_partner, opts, profile);
+        plan.gate_sites[0] = std::move(r.gate_sites);
         plan.transitions[0].move_in = std::move(r.move_in);
     }
 
     // ---- boundaries t -> t+1.
+    std::vector<TrapRef> reuse_after;
     for (int t = 0; t + 1 < num_stages; ++t) {
-        const ReuseMatching with_reuse = matching_at(t);
-        const ReuseMatching lookahead = matching_at(t + 1);
-        const std::vector<TrapRef> before = state.snapshot();
+        const ReuseMatching &with_reuse = matching_at(t);
+        const ReuseMatching &lookahead = matching_at(t + 1);
+        buildPartnerTable(
+            staged.rydberg[static_cast<std::size_t>(t) + 1],
+            next_partner);
 
+        // The reuse variant runs journaled and is rolled back in place
+        // (no full-trap-vector snapshot/restore round trip); only its
+        // final placement is captured in case it wins the comparison.
         std::optional<BoundaryResult> reuse_variant;
         if (opts.use_reuse && !with_reuse.empty()) {
+            state.journalBegin();
             reuse_variant = buildBoundary(
                 state, staged, t, with_reuse, lookahead,
-                plan.gate_sites[static_cast<std::size_t>(t)], opts);
-            state.restore(before);
+                plan.gate_sites[static_cast<std::size_t>(t)],
+                next_partner, opts, profile);
+            state.snapshotInto(reuse_after);
+            state.journalUndo();
         }
-        const ReuseMatching none = emptyReuseMatching(
-            staged.rydberg[static_cast<std::size_t>(t)].gates.size(),
-            staged.rydberg[static_cast<std::size_t>(t) + 1]
-                .gates.size());
+        // The no-reuse variant: the unsized all-unmatched placeholder
+        // behaves identically to a per-boundary sized one (no pins, no
+        // stays) without the two vector allocations.
         BoundaryResult plain = buildBoundary(
-            state, staged, t, none, lookahead,
-            plan.gate_sites[static_cast<std::size_t>(t)], opts);
+            state, staged, t, no_match, lookahead,
+            plan.gate_sites[static_cast<std::size_t>(t)], next_partner,
+            opts, profile);
 
         BoundaryResult *winner = &plain;
         if (reuse_variant.has_value() &&
             reuse_variant->cost <= plain.cost) {
             winner = &*reuse_variant;
             ++plan.reuse_boundaries;
+            // Jump from the plain variant's final placement to the
+            // reuse variant's (when plain wins the state is already
+            // final: the old restore(plain.state_after) was a no-op).
+            state.restore(reuse_after);
         }
-        state.restore(winner->state_after);
         plan.reused_qubits += winner->reused;
         plan.direct_moves += winner->direct;
         plan.gate_sites[static_cast<std::size_t>(t) + 1] =
-            winner->gate_sites;
+            std::move(winner->gate_sites);
         plan.transitions[static_cast<std::size_t>(t) + 1].move_out =
             std::move(winner->move_out);
         plan.transitions[static_cast<std::size_t>(t) + 1].move_in =
             std::move(winner->move_in);
     }
 
+    const double t0 = profile ? nowSeconds() : 0.0;
     checkPlacementPlan(arch, staged, plan);
+    if (profile)
+        profile->check_seconds += nowSeconds() - t0;
     return plan;
 }
 
@@ -310,29 +394,41 @@ checkPlacementPlan(const Architecture &arch, const StagedCircuit &staged,
         static_cast<int>(plan.transitions.size()) != num_stages)
         panic("placement plan: stage count mismatch");
 
-    // Replay the plan, checking occupancy and gate co-location.
-    std::vector<TrapRef> pos(plan.initial);
-    std::set<TrapRef> occupied;
-    for (std::size_t q = 0; q < pos.size(); ++q) {
-        if (!pos[q].valid())
+    // Replay the plan on flat TrapId/site bitmaps, checking occupancy
+    // and gate co-location.
+    std::vector<TrapId> pos(plan.initial.size(), kInvalidTrapId);
+    std::vector<char> occupied(static_cast<std::size_t>(arch.numTraps()),
+                               0);
+    for (std::size_t q = 0; q < plan.initial.size(); ++q) {
+        if (!plan.initial[q].valid())
             panic("placement plan: unplaced qubit");
-        if (!occupied.insert(pos[q]).second)
+        const TrapId id = arch.trapId(plan.initial[q]);
+        if (occupied[static_cast<std::size_t>(id)])
             panic("placement plan: duplicate initial trap");
+        occupied[static_cast<std::size_t>(id)] = 1;
+        pos[q] = id;
     }
 
     auto apply = [&](const std::vector<Movement> &moves) {
         for (const Movement &m : moves) {
-            if (!(pos[static_cast<std::size_t>(m.qubit)] == m.from))
+            const TrapId from = arch.trapId(m.from);
+            if (pos[static_cast<std::size_t>(m.qubit)] != from)
                 panic("placement plan: movement source mismatch");
-            occupied.erase(m.from);
+            occupied[static_cast<std::size_t>(from)] = 0;
         }
         for (const Movement &m : moves) {
-            if (!occupied.insert(m.to).second)
+            const TrapId to = arch.trapId(m.to);
+            if (occupied[static_cast<std::size_t>(to)])
                 panic("placement plan: movement collision at target");
-            pos[static_cast<std::size_t>(m.qubit)] = m.to;
+            occupied[static_cast<std::size_t>(to)] = 1;
+            pos[static_cast<std::size_t>(m.qubit)] = to;
         }
     };
 
+    // Per-site "used this stage" stamps (a flat array reused across
+    // stages instead of a per-stage std::set<int>).
+    std::vector<int> site_stamp(static_cast<std::size_t>(arch.numSites()),
+                                -1);
     for (int t = 0; t < num_stages; ++t) {
         apply(plan.transitions[static_cast<std::size_t>(t)].move_out);
         apply(plan.transitions[static_cast<std::size_t>(t)].move_in);
@@ -342,18 +438,19 @@ checkPlacementPlan(const Architecture &arch, const StagedCircuit &staged,
             plan.gate_sites[static_cast<std::size_t>(t)];
         if (sites.size() != stage.gates.size())
             panic("placement plan: gate/site count mismatch");
-        std::set<int> used_sites;
         for (std::size_t i = 0; i < stage.gates.size(); ++i) {
-            if (!used_sites.insert(sites[i]).second)
+            if (site_stamp[static_cast<std::size_t>(sites[i])] == t)
                 panic("placement plan: two gates share a site");
+            site_stamp[static_cast<std::size_t>(sites[i])] = t;
             const RydbergSite &site = arch.site(sites[i]);
-            const TrapRef t0 = pos[static_cast<std::size_t>(
+            const TrapId left = arch.trapId(site.left);
+            const TrapId right = arch.trapId(site.right);
+            const TrapId t0 = pos[static_cast<std::size_t>(
                 stage.gates[i].q0)];
-            const TrapRef t1 = pos[static_cast<std::size_t>(
+            const TrapId t1 = pos[static_cast<std::size_t>(
                 stage.gates[i].q1)];
-            const bool ok =
-                (t0 == site.left && t1 == site.right) ||
-                (t0 == site.right && t1 == site.left);
+            const bool ok = (t0 == left && t1 == right) ||
+                            (t0 == right && t1 == left);
             if (!ok)
                 panic("placement plan: gate qubits not at their site "
                       "for stage " + std::to_string(t));

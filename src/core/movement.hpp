@@ -16,6 +16,7 @@
 #include <vector>
 
 #include "arch/spec.hpp"
+#include "core/gate_placer.hpp"
 #include "core/options.hpp"
 #include "core/placement_state.hpp"
 #include "transpile/stages.hpp"
@@ -29,6 +30,8 @@ struct Movement
     int qubit = -1;
     TrapRef from;
     TrapRef to;
+
+    friend bool operator==(const Movement &, const Movement &) = default;
 };
 
 /** The movements surrounding one Rydberg stage. */
@@ -38,6 +41,9 @@ struct StageTransition
     std::vector<Movement> move_out;
     /** Storage -> entanglement moves executed before this stage. */
     std::vector<Movement> move_in;
+
+    friend bool operator==(const StageTransition &,
+                           const StageTransition &) = default;
 };
 
 /** The full placement plan consumed by the scheduler. */
@@ -55,6 +61,39 @@ struct PlacementPlan
     int reuse_boundaries = 0;
     /** Direct site-to-site moves (the Sec. X extension), if enabled. */
     int direct_moves = 0;
+
+    friend bool operator==(const PlacementPlan &,
+                           const PlacementPlan &) = default;
+};
+
+/**
+ * Wall-clock breakdown of one runDynamicPlacement() call, filled only
+ * when requested (a null profile adds zero work to the hot path).
+ * "Movement" in the bench schema is qubit_placement + move_build +
+ * check_seconds: everything the driver does besides the reuse matching
+ * and the gate-placement matching.
+ */
+struct PlacementProfile
+{
+    double reuse_matching_seconds = 0.0;  ///< Hopcroft–Karp matchings
+    double gate_placement_seconds = 0.0;  ///< placeGates (windowed JV)
+    double qubit_placement_seconds = 0.0; ///< storage placement / homes
+    double move_build_seconds = 0.0;      ///< move-ins + cost + rollback
+    double check_seconds = 0.0;           ///< final plan replay check
+    GatePlacerStats gate_placer;          ///< window/fallback counters
+
+    double
+    movementSeconds() const
+    {
+        return qubit_placement_seconds + move_build_seconds +
+               check_seconds;
+    }
+    double
+    totalSeconds() const
+    {
+        return reuse_matching_seconds + gate_placement_seconds +
+               movementSeconds();
+    }
 };
 
 /**
@@ -62,11 +101,13 @@ struct PlacementPlan
  *
  * @param initial  the initial storage placement (from the SA or trivial
  *                 placer; one trap per qubit).
+ * @param profile  optional per-phase timing accumulator.
  */
 PlacementPlan runDynamicPlacement(const Architecture &arch,
                                   const StagedCircuit &staged,
                                   const std::vector<TrapRef> &initial,
-                                  const ZacOptions &opts);
+                                  const ZacOptions &opts,
+                                  PlacementProfile *profile = nullptr);
 
 /** Validate a plan against its staged circuit (testing hook). */
 void checkPlacementPlan(const Architecture &arch,

@@ -1,0 +1,748 @@
+#include "core/movement_legacy.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <optional>
+#include <set>
+
+#include "common/logging.hpp"
+#include "core/cost.hpp"
+#include "core/gate_placer.hpp"
+#include "core/qubit_placer.hpp"
+#include "core/reuse.hpp"
+#include "matching/hopcroft_karp.hpp"
+#include "matching/jonker_volgenant.hpp"
+
+namespace zac::legacy
+{
+
+namespace
+{
+
+// ---- frozen pre-rewrite Jonker–Volgenant (dense augmenting search
+// scanning every column per pop, as the shared solver did before the
+// CSR-sparse relaxation) ----------------------------------------------
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+int
+augmentingPathLegacy(const CostMatrix &cost, std::vector<double> &u,
+                     std::vector<double> &v, std::vector<int> &path,
+                     const std::vector<int> &row4col,
+                     std::vector<double> &shortest,
+                     std::vector<bool> &sr, std::vector<bool> &sc,
+                     int start_row, double &min_val_out)
+{
+    const int nc = cost.cols();
+    double min_val = 0.0;
+    std::vector<int> remaining(static_cast<std::size_t>(nc));
+    for (int j = 0; j < nc; ++j)
+        remaining[static_cast<std::size_t>(j)] = nc - j - 1;
+    int num_remaining = nc;
+
+    std::fill(sr.begin(), sr.end(), false);
+    std::fill(sc.begin(), sc.end(), false);
+    std::fill(shortest.begin(), shortest.end(), kInf);
+
+    int sink = -1;
+    int i = start_row;
+    while (sink == -1) {
+        sr[static_cast<std::size_t>(i)] = true;
+        int index = -1;
+        double lowest = kInf;
+        for (int it = 0; it < num_remaining; ++it) {
+            const int j = remaining[static_cast<std::size_t>(it)];
+            const double edge = cost.at(i, j);
+            if (edge < kInf) {
+                const double r = min_val + edge -
+                                 u[static_cast<std::size_t>(i)] -
+                                 v[static_cast<std::size_t>(j)];
+                if (r < shortest[static_cast<std::size_t>(j)]) {
+                    path[static_cast<std::size_t>(j)] = i;
+                    shortest[static_cast<std::size_t>(j)] = r;
+                }
+            }
+            if (shortest[static_cast<std::size_t>(j)] < lowest ||
+                (shortest[static_cast<std::size_t>(j)] == lowest &&
+                 row4col[static_cast<std::size_t>(j)] == -1)) {
+                lowest = shortest[static_cast<std::size_t>(j)];
+                index = it;
+            }
+        }
+        min_val = lowest;
+        if (min_val == kInf)
+            return -1; // infeasible
+        const int j = remaining[static_cast<std::size_t>(index)];
+        if (row4col[static_cast<std::size_t>(j)] == -1)
+            sink = j;
+        else
+            i = row4col[static_cast<std::size_t>(j)];
+        sc[static_cast<std::size_t>(j)] = true;
+        remaining[static_cast<std::size_t>(index)] =
+            remaining[static_cast<std::size_t>(--num_remaining)];
+    }
+    min_val_out = min_val;
+    return sink;
+}
+
+Assignment
+minWeightFullMatchingLegacy(const CostMatrix &cost)
+{
+    const int nr = cost.rows();
+    const int nc = cost.cols();
+    if (nr > nc)
+        fatal("minWeightFullMatching: more rows than columns (" +
+              std::to_string(nr) + " > " + std::to_string(nc) + ")");
+
+    Assignment result;
+    if (nr == 0) {
+        result.feasible = true;
+        return result;
+    }
+
+    std::vector<double> u(static_cast<std::size_t>(nr), 0.0);
+    std::vector<double> v(static_cast<std::size_t>(nc), 0.0);
+    std::vector<double> shortest(static_cast<std::size_t>(nc), kInf);
+    std::vector<int> path(static_cast<std::size_t>(nc), -1);
+    std::vector<int> col4row(static_cast<std::size_t>(nr), -1);
+    std::vector<int> row4col(static_cast<std::size_t>(nc), -1);
+    std::vector<bool> sr(static_cast<std::size_t>(nr), false);
+    std::vector<bool> sc(static_cast<std::size_t>(nc), false);
+
+    for (int cur_row = 0; cur_row < nr; ++cur_row) {
+        double min_val = 0.0;
+        const int sink =
+            augmentingPathLegacy(cost, u, v, path, row4col, shortest,
+                                 sr, sc, cur_row, min_val);
+        if (sink < 0)
+            return result; // feasible == false
+
+        u[static_cast<std::size_t>(cur_row)] += min_val;
+        for (int i = 0; i < nr; ++i) {
+            if (sr[static_cast<std::size_t>(i)] && i != cur_row)
+                u[static_cast<std::size_t>(i)] +=
+                    min_val -
+                    shortest[static_cast<std::size_t>(
+                        col4row[static_cast<std::size_t>(i)])];
+        }
+        for (int j = 0; j < nc; ++j) {
+            if (sc[static_cast<std::size_t>(j)])
+                v[static_cast<std::size_t>(j)] -=
+                    min_val - shortest[static_cast<std::size_t>(j)];
+        }
+
+        int j = sink;
+        while (true) {
+            const int i = path[static_cast<std::size_t>(j)];
+            row4col[static_cast<std::size_t>(j)] = i;
+            std::swap(col4row[static_cast<std::size_t>(i)], j);
+            if (i == cur_row)
+                break;
+        }
+    }
+
+    result.feasible = true;
+    result.row_to_col = std::move(col4row);
+    for (int i = 0; i < nr; ++i)
+        result.total_cost +=
+            cost.at(i, result.row_to_col[static_cast<std::size_t>(i)]);
+    return result;
+}
+
+// ---- frozen pre-rewrite reuse matching (O(|cur| x |next|) adjacency
+// scan, before the per-qubit gate table) -------------------------------
+
+ReuseMatching
+computeReuseMatchingLegacy(const RydbergStage &cur,
+                           const RydbergStage &next)
+{
+    std::vector<std::vector<int>> adj(cur.gates.size());
+    for (std::size_t i = 0; i < cur.gates.size(); ++i) {
+        const StagedGate &g = cur.gates[i];
+        for (std::size_t j = 0; j < next.gates.size(); ++j) {
+            const StagedGate &h = next.gates[j];
+            if (h.touches(g.q0) || h.touches(g.q1))
+                adj[i].push_back(static_cast<int>(j));
+        }
+    }
+    const BipartiteMatching hk =
+        hopcroftKarp(static_cast<int>(cur.gates.size()),
+                     static_cast<int>(next.gates.size()), adj);
+    ReuseMatching m;
+    m.next_of_cur = hk.left_match;
+    m.cur_of_next = hk.right_match;
+    m.size = hk.size;
+    return m;
+}
+
+// ---- frozen pre-rewrite dense gate placement -------------------------
+
+std::vector<int>
+placeGatesLegacy(const PlacementState &state,
+                 const GatePlacementRequest &req)
+{
+    const Architecture &arch = state.arch();
+    const std::vector<StagedGate> &gates = *req.gates;
+    const std::size_t num_gates = gates.size();
+    if (req.pinned_site.size() != num_gates ||
+        req.lookahead.size() != num_gates)
+        panic("placeGates: request vectors out of shape");
+
+    std::vector<int> result(num_gates, -1);
+    std::vector<char> site_taken(
+        static_cast<std::size_t>(arch.numSites()), 0);
+    std::vector<int> free_gates;
+    for (std::size_t i = 0; i < num_gates; ++i) {
+        const int pin = req.pinned_site[i];
+        if (pin >= 0) {
+            if (pin >= arch.numSites())
+                panic("placeGates: pinned site out of range");
+            if (site_taken[static_cast<std::size_t>(pin)])
+                panic("placeGates: two gates pinned to one site");
+            site_taken[static_cast<std::size_t>(pin)] = 1;
+            result[i] = pin;
+        } else {
+            free_gates.push_back(static_cast<int>(i));
+        }
+    }
+    if (free_gates.empty())
+        return result;
+
+    std::vector<int> free_sites;
+    for (int s = 0; s < arch.numSites(); ++s)
+        if (!site_taken[static_cast<std::size_t>(s)])
+            free_sites.push_back(s);
+    if (free_sites.size() < free_gates.size())
+        fatal("placeGates: stage has " +
+              std::to_string(free_gates.size()) +
+              " unpinned gates but only " +
+              std::to_string(free_sites.size()) + " free sites");
+
+    CostMatrix cost(static_cast<int>(free_gates.size()),
+                    static_cast<int>(free_sites.size()));
+    for (std::size_t gi = 0; gi < free_gates.size(); ++gi) {
+        const StagedGate &g =
+            gates[static_cast<std::size_t>(free_gates[gi])];
+        const Point p0 = state.posOf(g.q0);
+        const Point p1 = state.posOf(g.q1);
+        const auto &look =
+            req.lookahead[static_cast<std::size_t>(free_gates[gi])];
+        for (std::size_t si = 0; si < free_sites.size(); ++si) {
+            const Point site_pos = arch.sitePosition(free_sites[si]);
+            double w = gateCost(site_pos, p0, p1);
+            if (look.has_value())
+                w += sqrtDistance(site_pos, *look);
+            cost.at(static_cast<int>(gi), static_cast<int>(si)) = w;
+        }
+    }
+
+    const Assignment assign = minWeightFullMatchingLegacy(cost);
+    if (!assign.feasible)
+        panic("placeGates: full site matrix must be feasible");
+    for (std::size_t gi = 0; gi < free_gates.size(); ++gi) {
+        const int site =
+            free_sites[static_cast<std::size_t>(
+                assign.row_to_col[gi])];
+        result[static_cast<std::size_t>(free_gates[gi])] = site;
+    }
+    return result;
+}
+
+// ---- frozen pre-rewrite qubit placement (candidate generation via
+// TrapRef box enumeration + per-trap trapId() conversion, per-call
+// vector allocations) -------------------------------------------------
+
+/** Candidate traps for one leaving qubit at one expansion level. */
+std::vector<TrapId>
+candidateTraps(const PlacementState &state, int q,
+               const std::optional<Point> &related, int k)
+{
+    const Architecture &arch = state.arch();
+    const Point cur = state.posOf(q);
+    std::vector<Point> anchors;
+
+    const TrapRef home = state.homeOf(q);
+    if (home.valid())
+        anchors.push_back(arch.trapPosition(home));
+    const TrapRef near_cur = arch.nearestStorageTrap(cur);
+    anchors.push_back(arch.trapPosition(near_cur));
+    if (related.has_value())
+        anchors.push_back(
+            arch.trapPosition(arch.nearestStorageTrap(*related)));
+
+    std::vector<TrapId> cands;
+    for (const TrapRef &t : arch.storageTrapsInBox(anchors))
+        cands.push_back(arch.trapId(t));
+    cands.push_back(arch.trapId(near_cur));
+    for (const TrapRef &t : arch.storageNeighbors(near_cur, k))
+        cands.push_back(arch.trapId(t));
+    if (home.valid())
+        cands.push_back(arch.trapId(home));
+
+    std::sort(cands.begin(), cands.end());
+    cands.erase(std::unique(cands.begin(), cands.end()), cands.end());
+
+    std::vector<TrapId> out;
+    for (TrapId t : cands)
+        if (state.isEmpty(t))
+            out.push_back(t);
+    return out;
+}
+
+/** TrapId-returning core of the frozen nearest-empty-trap search. */
+std::vector<TrapId>
+nearestEmptyTraps(const PlacementState &state, Point p, std::size_t count)
+{
+    const Architecture &arch = state.arch();
+    const std::size_t num_storage = arch.allStorageTraps().size();
+    if (num_storage == 0)
+        return {};
+
+    double base_pitch = 3.0;
+    for (const ZoneSpec &z : arch.storageZones())
+        for (int slm_id : z.slm_ids) {
+            const SlmSpec &s =
+                arch.slms()[static_cast<std::size_t>(slm_id)];
+            base_pitch = std::max({base_pitch, s.sep_x, s.sep_y});
+        }
+
+    using Ranked = std::pair<double, TrapId>;
+    std::vector<Ranked> ranked;
+    double radius =
+        base_pitch * (std::sqrt(static_cast<double>(count)) + 2.0);
+    for (;;) {
+        ranked.clear();
+        const std::vector<TrapRef> box = arch.storageTrapsInBox(
+            {{p.x - radius, p.y - radius}, {p.x + radius, p.y + radius}});
+        std::size_t within = 0;
+        for (const TrapRef &t : box) {
+            if (!state.isEmpty(t))
+                continue;
+            const double d = distance(arch.trapPosition(t), p);
+            ranked.emplace_back(d, arch.trapId(t));
+            if (d <= radius)
+                ++within;
+        }
+        if (within >= count || box.size() == num_storage)
+            break;
+        radius *= 2.0;
+    }
+
+    std::sort(ranked.begin(), ranked.end(),
+              [](const Ranked &a, const Ranked &b) {
+                  if (a.first != b.first)
+                      return a.first < b.first;
+                  return a.second < b.second;
+              });
+    if (ranked.size() > count)
+        ranked.resize(count);
+    std::vector<TrapId> out;
+    out.reserve(ranked.size());
+    for (const Ranked &r : ranked)
+        out.push_back(r.second);
+    return out;
+}
+
+/** Frozen pre-rewrite placeQubitsInStorage. */
+std::vector<TrapRef>
+placeQubitsInStorageLegacy(const PlacementState &state,
+                           const QubitPlacementRequest &req)
+{
+    const Architecture &arch = state.arch();
+    const std::size_t n = req.leaving.size();
+    if (req.related.size() != n)
+        panic("placeQubitsInStorage: request vectors out of shape");
+    if (n == 0)
+        return {};
+
+    int k = req.k;
+    for (int attempt = 0; attempt < 8; ++attempt, k *= 2) {
+        std::vector<std::vector<TrapId>> cands(n);
+        std::vector<TrapId> cols;
+        for (std::size_t i = 0; i < n; ++i) {
+            cands[i] = candidateTraps(state, req.leaving[i],
+                                      req.related[i], k);
+            if (attempt > 0) {
+                const auto extra = nearestEmptyTraps(
+                    state, state.posOf(req.leaving[i]),
+                    n * static_cast<std::size_t>(attempt + 1));
+                cands[i].insert(cands[i].end(), extra.begin(),
+                                extra.end());
+                std::sort(cands[i].begin(), cands[i].end());
+                cands[i].erase(
+                    std::unique(cands[i].begin(), cands[i].end()),
+                    cands[i].end());
+            }
+            cols.insert(cols.end(), cands[i].begin(), cands[i].end());
+        }
+        std::sort(cols.begin(), cols.end());
+        cols.erase(std::unique(cols.begin(), cols.end()), cols.end());
+        if (cols.size() < n)
+            continue;
+        auto colOf = [&cols](TrapId t) {
+            return static_cast<int>(
+                std::lower_bound(cols.begin(), cols.end(), t) -
+                cols.begin());
+        };
+
+        CostMatrix cost(static_cast<int>(n),
+                        static_cast<int>(cols.size()));
+        for (std::size_t i = 0; i < n; ++i) {
+            const Point cur = state.posOf(req.leaving[i]);
+            for (TrapId t : cands[i]) {
+                const Point tp = arch.trapPosition(t);
+                double w = sqrtDistance(tp, cur);
+                if (req.related[i].has_value())
+                    w += req.alpha *
+                         sqrtDistance(tp, *req.related[i]);
+                cost.at(static_cast<int>(i), colOf(t)) = w;
+            }
+        }
+        const Assignment assign = minWeightFullMatchingLegacy(cost);
+        if (!assign.feasible)
+            continue;
+        std::vector<TrapRef> out(n);
+        for (std::size_t i = 0; i < n; ++i)
+            out[i] = arch.trapRef(cols[static_cast<std::size_t>(
+                assign.row_to_col[i])]);
+        return out;
+    }
+    fatal("placeQubitsInStorage: no feasible assignment after "
+          "candidate expansion (storage zone too full)");
+}
+
+/** Everything produced while building one boundary variant. */
+struct BoundaryResult
+{
+    std::vector<Movement> move_out;
+    std::vector<Movement> move_in;
+    std::vector<int> gate_sites;  ///< for the entering stage
+    double cost = 0.0;
+    int reused = 0;
+    int direct = 0;               ///< direct in-zone moves (extension)
+    std::vector<TrapRef> state_after;
+};
+
+/** The 2Q partner of @p q in @p stage, or -1. */
+int
+partnerInStage(const RydbergStage &stage, int q)
+{
+    for (const StagedGate &g : stage.gates)
+        if (g.touches(q))
+            return g.other(q);
+    return -1;
+}
+
+/**
+ * Build the movements bringing the gates of stage @p t into their
+ * sites. Qubits already sitting at a trap of their target site stay.
+ */
+std::vector<Movement>
+buildMoveIns(PlacementState &state, const RydbergStage &stage,
+             const std::vector<int> &sites)
+{
+    const Architecture &arch = state.arch();
+    std::vector<Movement> moves;
+    for (std::size_t i = 0; i < stage.gates.size(); ++i) {
+        const StagedGate &g = stage.gates[i];
+        const RydbergSite &site =
+            arch.site(sites[i]);
+        const TrapRef t0 = state.trapOf(g.q0);
+        const TrapRef t1 = state.trapOf(g.q1);
+        const bool q0_here = t0 == site.left || t0 == site.right;
+        const bool q1_here = t1 == site.left || t1 == site.right;
+        if (q0_here && q1_here)
+            continue;
+        if (q0_here || q1_here) {
+            // One qubit is reused in place; the partner takes the
+            // other trap of the site.
+            const int stay = q0_here ? g.q0 : g.q1;
+            const int move = q0_here ? g.q1 : g.q0;
+            const TrapRef stay_trap = state.trapOf(stay);
+            const TrapRef dest =
+                stay_trap == site.left ? site.right : site.left;
+            moves.push_back({move, state.trapOf(move), dest});
+            continue;
+        }
+        // Fresh gate: left/right by current x order to avoid crossing.
+        const Point p0 = state.posOf(g.q0);
+        const Point p1 = state.posOf(g.q1);
+        const int left_q = p0.x <= p1.x ? g.q0 : g.q1;
+        const int right_q = left_q == g.q0 ? g.q1 : g.q0;
+        moves.push_back({left_q, state.trapOf(left_q), site.left});
+        moves.push_back({right_q, state.trapOf(right_q), site.right});
+    }
+    // Apply as a permutation: vacate every source first so in-zone
+    // direct moves may target traps other movers are leaving.
+    for (const Movement &m : moves)
+        state.liftQubit(m.qubit);
+    for (const Movement &m : moves)
+        state.place(m.qubit, m.to);
+    return moves;
+}
+
+double
+movementCostUs(const Architecture &arch,
+               const std::vector<Movement> &out,
+               const std::vector<Movement> &in)
+{
+    std::vector<double> dists;
+    dists.reserve(out.size() + in.size());
+    for (const Movement &m : out)
+        dists.push_back(distance(arch.trapPosition(m.from),
+                                 arch.trapPosition(m.to)));
+    for (const Movement &m : in)
+        dists.push_back(distance(arch.trapPosition(m.from),
+                                 arch.trapPosition(m.to)));
+    return transitionCost(dists, arch.params().t_transfer_us);
+}
+
+/**
+ * Build one boundary variant: move stage @p t's non-staying qubits to
+ * storage, then place and move in the gates of stage t+1 (or stage 0
+ * when @p t < 0). Mutates @p state; the caller snapshots/restores.
+ */
+BoundaryResult
+buildBoundary(PlacementState &state, const StagedCircuit &staged,
+              int t, const ReuseMatching &matching,
+              const ReuseMatching &next_matching,
+              const std::vector<int> &cur_sites, const ZacOptions &opts)
+{
+    const Architecture &arch = state.arch();
+    const int next_t = t + 1;
+    const RydbergStage &next_stage =
+        staged.rydberg[static_cast<std::size_t>(next_t)];
+    BoundaryResult result;
+
+    // ---- qubits staying at their sites across the boundary.
+    std::vector<char> stays(
+        static_cast<std::size_t>(staged.numQubits), 0);
+    if (t >= 0) {
+        const RydbergStage &cur_stage =
+            staged.rydberg[static_cast<std::size_t>(t)];
+        for (int q : reusedQubits(cur_stage, next_stage, matching)) {
+            stays[static_cast<std::size_t>(q)] = 1;
+            ++result.reused;
+        }
+
+        // ---- non-reuse qubit placement (move-out).
+        QubitPlacementRequest qreq;
+        qreq.k = opts.candidate_k;
+        qreq.alpha = opts.lookahead_alpha;
+        for (const StagedGate &g : cur_stage.gates) {
+            for (int q : {g.q0, g.q1}) {
+                if (stays[static_cast<std::size_t>(q)])
+                    continue;
+                const int partner = partnerInStage(next_stage, q);
+                if (opts.use_direct_reuse && partner >= 0) {
+                    ++result.direct;
+                    continue;
+                }
+                qreq.leaving.push_back(q);
+                if (partner >= 0)
+                    qreq.related.emplace_back(state.posOf(partner));
+                else
+                    qreq.related.emplace_back(std::nullopt);
+            }
+        }
+        const std::vector<TrapRef> dests =
+            opts.use_dynamic_placement
+                ? placeQubitsInStorageLegacy(state, qreq)
+                : returnQubitsHome(state, qreq.leaving);
+        for (std::size_t i = 0; i < qreq.leaving.size(); ++i) {
+            const int q = qreq.leaving[i];
+            result.move_out.push_back({q, state.trapOf(q), dests[i]});
+            state.place(q, dests[i]);
+        }
+    }
+
+    // ---- gate placement for the entering stage.
+    GatePlacementRequest greq;
+    greq.gates = &next_stage.gates;
+    greq.pinned_site.assign(next_stage.gates.size(), -1);
+    greq.lookahead.assign(next_stage.gates.size(), std::nullopt);
+    if (t >= 0 && !matching.next_of_cur.empty()) {
+        for (std::size_t i = 0; i < matching.next_of_cur.size(); ++i) {
+            const int j = matching.next_of_cur[i];
+            if (j >= 0)
+                greq.pinned_site[static_cast<std::size_t>(j)] =
+                    cur_sites[i];
+        }
+    }
+    if (next_matching.size > 0 &&
+        next_t + 1 < staged.numRydbergStages()) {
+        const RydbergStage &after =
+            staged.rydberg[static_cast<std::size_t>(next_t) + 1];
+        for (std::size_t i = 0; i < next_matching.next_of_cur.size();
+             ++i) {
+            const int j = next_matching.next_of_cur[i];
+            if (j < 0)
+                continue;
+            const StagedGate &g = next_stage.gates[i];
+            const StagedGate &g2 =
+                after.gates[static_cast<std::size_t>(j)];
+            const int shared = g2.touches(g.q0) ? g.q0 : g.q1;
+            const int incoming = g2.other(shared);
+            greq.lookahead[i] = state.posOf(incoming);
+        }
+    }
+    result.gate_sites = placeGatesLegacy(state, greq);
+    result.move_in = buildMoveIns(state, next_stage, result.gate_sites);
+
+    result.cost = movementCostUs(arch, result.move_out, result.move_in);
+    result.state_after = state.snapshot();
+    return result;
+}
+
+/** The original std::set-based plan replay check. */
+void
+checkPlacementPlanLegacy(const Architecture &arch,
+                         const StagedCircuit &staged,
+                         const PlacementPlan &plan)
+{
+    const int num_stages = staged.numRydbergStages();
+    if (static_cast<int>(plan.gate_sites.size()) != num_stages ||
+        static_cast<int>(plan.transitions.size()) != num_stages)
+        panic("placement plan: stage count mismatch");
+
+    std::vector<TrapRef> pos(plan.initial);
+    std::set<TrapRef> occupied;
+    for (std::size_t q = 0; q < pos.size(); ++q) {
+        if (!pos[q].valid())
+            panic("placement plan: unplaced qubit");
+        if (!occupied.insert(pos[q]).second)
+            panic("placement plan: duplicate initial trap");
+    }
+
+    auto apply = [&](const std::vector<Movement> &moves) {
+        for (const Movement &m : moves) {
+            if (!(pos[static_cast<std::size_t>(m.qubit)] == m.from))
+                panic("placement plan: movement source mismatch");
+            occupied.erase(m.from);
+        }
+        for (const Movement &m : moves) {
+            if (!occupied.insert(m.to).second)
+                panic("placement plan: movement collision at target");
+            pos[static_cast<std::size_t>(m.qubit)] = m.to;
+        }
+    };
+
+    for (int t = 0; t < num_stages; ++t) {
+        apply(plan.transitions[static_cast<std::size_t>(t)].move_out);
+        apply(plan.transitions[static_cast<std::size_t>(t)].move_in);
+        const RydbergStage &stage =
+            staged.rydberg[static_cast<std::size_t>(t)];
+        const auto &sites =
+            plan.gate_sites[static_cast<std::size_t>(t)];
+        if (sites.size() != stage.gates.size())
+            panic("placement plan: gate/site count mismatch");
+        std::set<int> used_sites;
+        for (std::size_t i = 0; i < stage.gates.size(); ++i) {
+            if (!used_sites.insert(sites[i]).second)
+                panic("placement plan: two gates share a site");
+            const RydbergSite &site = arch.site(sites[i]);
+            const TrapRef t0 = pos[static_cast<std::size_t>(
+                stage.gates[i].q0)];
+            const TrapRef t1 = pos[static_cast<std::size_t>(
+                stage.gates[i].q1)];
+            const bool ok =
+                (t0 == site.left && t1 == site.right) ||
+                (t0 == site.right && t1 == site.left);
+            if (!ok)
+                panic("placement plan: gate qubits not at their site "
+                      "for stage " + std::to_string(t));
+        }
+    }
+}
+
+} // namespace
+
+PlacementPlan
+runDynamicPlacement(const Architecture &arch, const StagedCircuit &staged,
+                    const std::vector<TrapRef> &initial,
+                    const ZacOptions &opts)
+{
+    if (static_cast<int>(initial.size()) != staged.numQubits)
+        fatal("runDynamicPlacement: initial placement size mismatch");
+    const int num_stages = staged.numRydbergStages();
+
+    PlacementPlan plan;
+    plan.initial = initial;
+    plan.gate_sites.resize(static_cast<std::size_t>(num_stages));
+    plan.transitions.resize(static_cast<std::size_t>(num_stages));
+    if (num_stages == 0)
+        return plan;
+
+    PlacementState state(arch, staged.numQubits);
+    for (int q = 0; q < staged.numQubits; ++q)
+        state.place(q, initial[static_cast<std::size_t>(q)]);
+
+    const ReuseMatching no_match = emptyReuseMatching(0, 0);
+
+    auto matching_at = [&](int t) -> ReuseMatching {
+        if (!opts.use_reuse || t < 0 || t + 1 >= num_stages)
+            return emptyReuseMatching(
+                t >= 0 ? staged.rydberg[static_cast<std::size_t>(t)]
+                             .gates.size()
+                       : 0,
+                t + 1 < num_stages
+                    ? staged.rydberg[static_cast<std::size_t>(t) + 1]
+                          .gates.size()
+                    : 0);
+        return computeReuseMatchingLegacy(
+            staged.rydberg[static_cast<std::size_t>(t)],
+            staged.rydberg[static_cast<std::size_t>(t) + 1]);
+    };
+
+    // ---- stage 0: no reuse possible (nothing is in the zone yet).
+    {
+        BoundaryResult r =
+            buildBoundary(state, staged, -1, no_match, matching_at(0),
+                          {}, opts);
+        plan.gate_sites[0] = r.gate_sites;
+        plan.transitions[0].move_in = std::move(r.move_in);
+    }
+
+    // ---- boundaries t -> t+1.
+    for (int t = 0; t + 1 < num_stages; ++t) {
+        const ReuseMatching with_reuse = matching_at(t);
+        const ReuseMatching lookahead = matching_at(t + 1);
+        const std::vector<TrapRef> before = state.snapshot();
+
+        std::optional<BoundaryResult> reuse_variant;
+        if (opts.use_reuse && !with_reuse.empty()) {
+            reuse_variant = buildBoundary(
+                state, staged, t, with_reuse, lookahead,
+                plan.gate_sites[static_cast<std::size_t>(t)], opts);
+            state.restore(before);
+        }
+        const ReuseMatching none = emptyReuseMatching(
+            staged.rydberg[static_cast<std::size_t>(t)].gates.size(),
+            staged.rydberg[static_cast<std::size_t>(t) + 1]
+                .gates.size());
+        BoundaryResult plain = buildBoundary(
+            state, staged, t, none, lookahead,
+            plan.gate_sites[static_cast<std::size_t>(t)], opts);
+
+        BoundaryResult *winner = &plain;
+        if (reuse_variant.has_value() &&
+            reuse_variant->cost <= plain.cost) {
+            winner = &*reuse_variant;
+            ++plan.reuse_boundaries;
+        }
+        state.restore(winner->state_after);
+        plan.reused_qubits += winner->reused;
+        plan.direct_moves += winner->direct;
+        plan.gate_sites[static_cast<std::size_t>(t) + 1] =
+            winner->gate_sites;
+        plan.transitions[static_cast<std::size_t>(t) + 1].move_out =
+            std::move(winner->move_out);
+        plan.transitions[static_cast<std::size_t>(t) + 1].move_in =
+            std::move(winner->move_in);
+    }
+
+    checkPlacementPlanLegacy(arch, staged, plan);
+    return plan;
+}
+
+} // namespace zac::legacy

@@ -1,0 +1,30 @@
+/**
+ * @file
+ * Frozen pre-optimization reference of the dynamic-placement driver
+ * (the state of src/core/movement.cpp before the flat-ID pipeline
+ * rewrite: full snapshot/restore per boundary variant, per-qubit
+ * partnerInStage scans, per-boundary reuse-matching recomputation, and
+ * the dense full-matrix gate placement via placeGatesReference()).
+ *
+ * Like zac::legacy::saInitialPlacement, this pins the semantics for the
+ * equivalence/determinism tests and provides the speedup denominator
+ * for bench/perf_placement. Do not "optimize" it.
+ */
+
+#ifndef ZAC_CORE_MOVEMENT_LEGACY_HPP
+#define ZAC_CORE_MOVEMENT_LEGACY_HPP
+
+#include "core/movement.hpp"
+
+namespace zac::legacy
+{
+
+/** Pre-rewrite runDynamicPlacement; bit-identical plans to zac's. */
+PlacementPlan runDynamicPlacement(const Architecture &arch,
+                                  const StagedCircuit &staged,
+                                  const std::vector<TrapRef> &initial,
+                                  const ZacOptions &opts);
+
+} // namespace zac::legacy
+
+#endif // ZAC_CORE_MOVEMENT_LEGACY_HPP

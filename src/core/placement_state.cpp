@@ -8,6 +8,7 @@ namespace zac
 PlacementState::PlacementState(const Architecture &arch, int num_qubits)
     : arch_(&arch), numQubits_(num_qubits),
       trap_(static_cast<std::size_t>(num_qubits)),
+      trapId_(static_cast<std::size_t>(num_qubits), kInvalidTrapId),
       home_(static_cast<std::size_t>(num_qubits)),
       occupantByTrap_(static_cast<std::size_t>(arch.numTraps()), -1)
 {
@@ -24,11 +25,11 @@ PlacementState::trapOf(int q) const
 Point
 PlacementState::posOf(int q) const
 {
-    const TrapRef t = trapOf(q);
-    if (!t.valid())
+    const TrapId id = trapId_[static_cast<std::size_t>(q)];
+    if (id == kInvalidTrapId)
         panic("placement state: qubit " + std::to_string(q) +
               " is unplaced");
-    return arch_->trapPosition(t);
+    return arch_->trapPosition(id);
 }
 
 int
@@ -54,26 +55,36 @@ PlacementState::place(int q, TrapRef t)
         panic("placement state: trap already occupied by qubit " +
               std::to_string(occ));
     const TrapRef old = trap_[static_cast<std::size_t>(q)];
+    if (journaling_)
+        journal_.push_back({q, old});
     if (old.valid())
-        occupantByTrap_[static_cast<std::size_t>(arch_->trapId(old))] =
-            -1;
+        occupantByTrap_[static_cast<std::size_t>(
+            trapId_[static_cast<std::size_t>(q)])] = -1;
+    const TrapId id = arch_->trapId(t);
     trap_[static_cast<std::size_t>(q)] = t;
-    occupantByTrap_[static_cast<std::size_t>(arch_->trapId(t))] = q;
-    if (arch_->isStorageTrap(t))
+    trapId_[static_cast<std::size_t>(q)] = id;
+    occupantByTrap_[static_cast<std::size_t>(id)] = q;
+    if (arch_->isStorageTrap(id))
         home_[static_cast<std::size_t>(q)] = t;
 }
 
 void
 PlacementState::swapQubits(int a, int b)
 {
+    if (journaling_)
+        panic("placement state: swapQubits while journaling");
     const TrapRef ta = trap_[static_cast<std::size_t>(a)];
     const TrapRef tb = trap_[static_cast<std::size_t>(b)];
     if (!ta.valid() || !tb.valid())
         panic("placement state: swap of unplaced qubit");
     trap_[static_cast<std::size_t>(a)] = tb;
     trap_[static_cast<std::size_t>(b)] = ta;
-    occupantByTrap_[static_cast<std::size_t>(arch_->trapId(tb))] = a;
-    occupantByTrap_[static_cast<std::size_t>(arch_->trapId(ta))] = b;
+    std::swap(trapId_[static_cast<std::size_t>(a)],
+              trapId_[static_cast<std::size_t>(b)]);
+    occupantByTrap_[static_cast<std::size_t>(
+        trapId_[static_cast<std::size_t>(a)])] = a;
+    occupantByTrap_[static_cast<std::size_t>(
+        trapId_[static_cast<std::size_t>(b)])] = b;
     if (arch_->isStorageTrap(tb))
         home_[static_cast<std::size_t>(a)] = tb;
     if (arch_->isStorageTrap(ta))
@@ -86,8 +97,63 @@ PlacementState::liftQubit(int q)
     const TrapRef old = trap_[static_cast<std::size_t>(q)];
     if (!old.valid())
         panic("placement state: lift of unplaced qubit");
-    occupantByTrap_[static_cast<std::size_t>(arch_->trapId(old))] = -1;
+    if (journaling_)
+        journal_.push_back({q, old});
+    occupantByTrap_[static_cast<std::size_t>(
+        trapId_[static_cast<std::size_t>(q)])] = -1;
     trap_[static_cast<std::size_t>(q)] = TrapRef{};
+    trapId_[static_cast<std::size_t>(q)] = kInvalidTrapId;
+}
+
+void
+PlacementState::journalBegin()
+{
+    if (journaling_)
+        panic("placement state: journalBegin while journaling");
+    journaling_ = true;
+    journal_.clear();
+}
+
+void
+PlacementState::journalUndo()
+{
+    if (!journaling_)
+        panic("placement state: journalUndo without journalBegin");
+    // Reverse replay: when an entry is undone the state equals the
+    // post-state of its operation, so occupantByTrap_[trap_[q]] == q.
+    for (auto it = journal_.rbegin(); it != journal_.rend(); ++it) {
+        const std::size_t q = static_cast<std::size_t>(it->q);
+        if (trap_[q].valid())
+            occupantByTrap_[static_cast<std::size_t>(trapId_[q])] = -1;
+        trap_[q] = it->prev;
+        if (it->prev.valid()) {
+            const TrapId id = arch_->trapId(it->prev);
+            trapId_[q] = id;
+            occupantByTrap_[static_cast<std::size_t>(id)] = it->q;
+        } else {
+            trapId_[q] = kInvalidTrapId;
+        }
+    }
+    // Home traps: restore(snap) sets home_[q] = snap[q] exactly for the
+    // qubits whose snapshot trap is a storage trap (a qubit sitting at a
+    // storage trap always has it as home, so untouched qubits need no
+    // correction) and leaves every other home at its mutated value.
+    for (const JournalEntry &e : journal_) {
+        const TrapRef t = trap_[static_cast<std::size_t>(e.q)];
+        if (t.valid() && arch_->isStorageTrap(t))
+            home_[static_cast<std::size_t>(e.q)] = t;
+    }
+    journal_.clear();
+    journaling_ = false;
+}
+
+void
+PlacementState::journalCommit()
+{
+    if (!journaling_)
+        panic("placement state: journalCommit without journalBegin");
+    journal_.clear();
+    journaling_ = false;
 }
 
 void
@@ -96,17 +162,20 @@ PlacementState::restore(const std::vector<TrapRef> &snap)
     if (snap.size() != trap_.size())
         panic("placement state: snapshot size mismatch");
     // Vacate the currently occupied traps (O(#qubits), not O(#traps)).
-    for (const TrapRef &t : trap_)
-        if (t.valid())
-            occupantByTrap_[static_cast<std::size_t>(
-                arch_->trapId(t))] = -1;
+    for (std::size_t q = 0; q < trap_.size(); ++q)
+        if (trap_[q].valid())
+            occupantByTrap_[static_cast<std::size_t>(trapId_[q])] = -1;
     for (std::size_t q = 0; q < snap.size(); ++q) {
         trap_[q] = snap[q];
         if (snap[q].valid()) {
-            occupantByTrap_[static_cast<std::size_t>(
-                arch_->trapId(snap[q]))] = static_cast<int>(q);
-            if (arch_->isStorageTrap(snap[q]))
+            const TrapId id = arch_->trapId(snap[q]);
+            trapId_[q] = id;
+            occupantByTrap_[static_cast<std::size_t>(id)] =
+                static_cast<int>(q);
+            if (arch_->isStorageTrap(id))
                 home_[q] = snap[q];
+        } else {
+            trapId_[q] = kInvalidTrapId;
         }
     }
 }

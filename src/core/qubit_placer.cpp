@@ -13,47 +13,95 @@ namespace zac
 namespace
 {
 
-/** Candidate traps for one leaving qubit at one expansion level. */
-std::vector<TrapId>
+/**
+ * Candidate traps for one leaving qubit at one expansion level,
+ * written into @p out (reused scratch). Candidate ids come straight
+ * from the arithmetic box enumerator; the candidate *set* — anchor
+ * box, k-neighbourhood of the nearest trap, home trap, sorted and
+ * deduplicated — is identical to the original TrapRef-based builder.
+ */
+void
 candidateTraps(const PlacementState &state, int q,
-               const std::optional<Point> &related, int k)
+               const std::optional<Point> &related, int k,
+               std::vector<TrapId> &out)
 {
     const Architecture &arch = state.arch();
     const Point cur = state.posOf(q);
-    std::vector<Point> anchors;
 
     // (i) original (home) storage trap.
     const TrapRef home = state.homeOf(q);
-    if (home.valid())
-        anchors.push_back(arch.trapPosition(home));
     // (ii) nearest storage trap to the current Rydberg site.
     const TrapRef near_cur = arch.nearestStorageTrap(cur);
-    anchors.push_back(arch.trapPosition(near_cur));
+    const Point near_pos = arch.trapPosition(near_cur);
+    Point lo = near_pos, hi = near_pos;
+    auto widen = [&lo, &hi](Point p) {
+        lo.x = std::min(lo.x, p.x);
+        lo.y = std::min(lo.y, p.y);
+        hi.x = std::max(hi.x, p.x);
+        hi.y = std::max(hi.y, p.y);
+    };
+    if (home.valid())
+        widen(arch.trapPosition(home));
     // (iii) nearest storage trap to the related qubit.
     if (related.has_value())
-        anchors.push_back(
-            arch.trapPosition(arch.nearestStorageTrap(*related)));
+        widen(arch.trapPosition(arch.nearestStorageTrap(*related)));
 
-    std::vector<TrapId> cands;
-    for (const TrapRef &t : arch.storageTrapsInBox(anchors))
-        cands.push_back(arch.trapId(t));
-    // k-neighbourhood of the nearest trap (may extend beyond the box).
-    cands.push_back(arch.trapId(near_cur));
-    for (const TrapRef &t : arch.storageNeighbors(near_cur, k))
-        cands.push_back(arch.trapId(t));
+    // The box enumeration is ascending whenever the storage SLM bases
+    // are (the common single-storage-SLM case), so only the small
+    // near/ring/home tail needs sorting; one merge walk then emits the
+    // deduplicated, empty-only candidates without sorting the box.
+    thread_local std::vector<TrapId> box, tail;
+    box.clear();
+    arch.storageTrapIdsInBox(lo, hi, box);
+    // k-neighbourhood of the nearest trap (may extend beyond the box),
+    // by id arithmetic on the trap's SLM grid.
+    const TrapId near_id = arch.trapId(near_cur);
+    const SlmSpec &slm =
+        arch.slms()[static_cast<std::size_t>(near_cur.slm)];
+    tail.clear();
+    tail.push_back(near_id);
+    for (int d = 1; d <= k; ++d) {
+        if (near_cur.c - d >= 0)
+            tail.push_back(near_id - d);
+        if (near_cur.c + d < slm.cols)
+            tail.push_back(near_id + d);
+        if (near_cur.r - d >= 0)
+            tail.push_back(near_id - d * slm.cols);
+        if (near_cur.r + d < slm.rows)
+            tail.push_back(near_id + d * slm.cols);
+    }
     if (home.valid())
-        cands.push_back(arch.trapId(home));
+        tail.push_back(arch.trapId(home));
+    std::sort(tail.begin(), tail.end());
 
-    // TrapId order equals TrapRef (slm, r, c) order, so sort + unique
-    // yields the same candidate sequence the old std::set produced.
-    std::sort(cands.begin(), cands.end());
-    cands.erase(std::unique(cands.begin(), cands.end()), cands.end());
-
-    std::vector<TrapId> out;
-    for (TrapId t : cands)
+    // TrapId order equals TrapRef (slm, r, c) order, so the merged
+    // ascending walk yields the same candidate sequence the old
+    // sort + unique + filter produced.
+    out.clear();
+    if (!std::is_sorted(box.begin(), box.end())) {
+        box.insert(box.end(), tail.begin(), tail.end());
+        std::sort(box.begin(), box.end());
+        box.erase(std::unique(box.begin(), box.end()), box.end());
+        for (TrapId t : box)
+            if (state.isEmpty(t))
+                out.push_back(t);
+        return;
+    }
+    std::size_t bi = 0, ti = 0;
+    TrapId last = kInvalidTrapId;
+    while (bi < box.size() || ti < tail.size()) {
+        TrapId t;
+        if (ti >= tail.size() ||
+            (bi < box.size() && box[bi] <= tail[ti]))
+            t = box[bi++];
+        else
+            t = tail[ti++];
+        if (t == last)
+            continue;
+        last = t;
         if (state.isEmpty(t))
             out.push_back(t);
-    return out;
+    }
 }
 
 /** TrapId-returning core of nearestEmptyStorageTraps(). */
@@ -74,19 +122,21 @@ nearestEmptyTraps(const PlacementState &state, Point p, std::size_t count)
         }
 
     using Ranked = std::pair<double, TrapId>;
-    std::vector<Ranked> ranked;
+    thread_local std::vector<Ranked> ranked;
+    thread_local std::vector<TrapId> box;
     double radius =
         base_pitch * (std::sqrt(static_cast<double>(count)) + 2.0);
     for (;;) {
         ranked.clear();
-        const std::vector<TrapRef> box = arch.storageTrapsInBox(
-            {{p.x - radius, p.y - radius}, {p.x + radius, p.y + radius}});
+        box.clear();
+        arch.storageTrapIdsInBox({p.x - radius, p.y - radius},
+                                 {p.x + radius, p.y + radius}, box);
         std::size_t within = 0;
-        for (const TrapRef &t : box) {
+        for (TrapId t : box) {
             if (!state.isEmpty(t))
                 continue;
             const double d = distance(arch.trapPosition(t), p);
-            ranked.emplace_back(d, arch.trapId(t));
+            ranked.emplace_back(d, t);
             if (d <= radius)
                 ++within;
         }
@@ -140,13 +190,16 @@ placeQubitsInStorage(const PlacementState &state,
         return {};
 
     int k = req.k;
+    thread_local std::vector<std::vector<TrapId>> cands;
+    thread_local std::vector<TrapId> cols;
+    cands.resize(std::max(cands.size(), n));
     for (int attempt = 0; attempt < 8; ++attempt, k *= 2) {
         // Per-qubit candidates and the union column space.
-        std::vector<std::vector<TrapId>> cands(n);
-        std::vector<TrapId> cols;
+        cols.clear();
+        std::size_t total = 0;
         for (std::size_t i = 0; i < n; ++i) {
-            cands[i] = candidateTraps(state, req.leaving[i],
-                                      req.related[i], k);
+            candidateTraps(state, req.leaving[i], req.related[i], k,
+                           cands[i]);
             if (attempt > 0) {
                 // Expansion: add globally nearest empty traps too.
                 const auto extra = nearestEmptyTraps(
@@ -159,29 +212,32 @@ placeQubitsInStorage(const PlacementState &state,
                     std::unique(cands[i].begin(), cands[i].end()),
                     cands[i].end());
             }
-            cols.insert(cols.end(), cands[i].begin(), cands[i].end());
+            total += cands[i].size();
         }
+        cols.reserve(total);
+        for (std::size_t i = 0; i < n; ++i)
+            cols.insert(cols.end(), cands[i].begin(), cands[i].end());
         std::sort(cols.begin(), cols.end());
         cols.erase(std::unique(cols.begin(), cols.end()), cols.end());
         if (cols.size() < n)
             continue;
-        auto colOf = [&cols](TrapId t) {
-            return static_cast<int>(
-                std::lower_bound(cols.begin(), cols.end(), t) -
-                cols.begin());
-        };
 
-        CostMatrix cost(static_cast<int>(n),
-                        static_cast<int>(cols.size()));
+        thread_local CostMatrix cost(0, 0);
+        cost.reset(static_cast<int>(n), static_cast<int>(cols.size()));
         for (std::size_t i = 0; i < n; ++i) {
             const Point cur = state.posOf(req.leaving[i]);
+            // cands[i] and cols are both ascending: a merge walk
+            // replaces the per-candidate binary search.
+            std::size_t j = 0;
             for (TrapId t : cands[i]) {
+                while (cols[j] != t)
+                    ++j;
                 const Point tp = arch.trapPosition(t);
                 double w = sqrtDistance(tp, cur);
                 if (req.related[i].has_value())
                     w += req.alpha *
                          sqrtDistance(tp, *req.related[i]);
-                cost.at(static_cast<int>(i), colOf(t)) = w;
+                cost.at(static_cast<int>(i), static_cast<int>(j)) = w;
             }
         }
         const Assignment assign = minWeightFullMatching(cost);

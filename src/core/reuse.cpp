@@ -20,14 +20,34 @@ emptyReuseMatching(std::size_t num_cur, std::size_t num_next)
 ReuseMatching
 computeReuseMatching(const RydbergStage &cur, const RydbergStage &next)
 {
+    // A qubit appears in at most one gate per stage, so a flat
+    // qubit -> next-gate table replaces the O(|cur| x |next|) scan.
+    // The adjacency lists stay in ascending j order with duplicates
+    // removed, exactly as the scan produced them.
+    int max_q = -1;
+    for (const StagedGate &g : cur.gates)
+        max_q = std::max({max_q, g.q0, g.q1});
+    for (const StagedGate &h : next.gates)
+        max_q = std::max({max_q, h.q0, h.q1});
+    std::vector<int> gate_of(static_cast<std::size_t>(max_q + 1), -1);
+    for (std::size_t j = 0; j < next.gates.size(); ++j) {
+        const StagedGate &h = next.gates[j];
+        for (int q : {h.q0, h.q1})
+            if (gate_of[static_cast<std::size_t>(q)] == -1)
+                gate_of[static_cast<std::size_t>(q)] =
+                    static_cast<int>(j);
+    }
     std::vector<std::vector<int>> adj(cur.gates.size());
     for (std::size_t i = 0; i < cur.gates.size(); ++i) {
         const StagedGate &g = cur.gates[i];
-        for (std::size_t j = 0; j < next.gates.size(); ++j) {
-            const StagedGate &h = next.gates[j];
-            if (h.touches(g.q0) || h.touches(g.q1))
-                adj[i].push_back(static_cast<int>(j));
-        }
+        const int j0 = gate_of[static_cast<std::size_t>(g.q0)];
+        const int j1 = gate_of[static_cast<std::size_t>(g.q1)];
+        const int lo = std::min(j0, j1);
+        const int hi = std::max(j0, j1);
+        if (lo >= 0)
+            adj[i].push_back(lo);
+        if (hi >= 0 && hi != lo)
+            adj[i].push_back(hi);
     }
     const BipartiteMatching hk =
         hopcroftKarp(static_cast<int>(cur.gates.size()),

@@ -15,7 +15,11 @@ constexpr double kInf = std::numeric_limits<double>::infinity();
 
 /**
  * One Dijkstra-style augmenting-path search from @p start_row, following
- * the SciPy rectangular LSAP implementation.
+ * the SciPy rectangular LSAP implementation. Relaxation and column
+ * selection share one fused pass over the unscanned columns: splitting
+ * them (a CSR edge walk plus a selection pass) measured slower on the
+ * pipeline's matrices, and a heap would change the tie-breaking pop
+ * order (and hence which of several equal-cost optima is returned).
  *
  * @return the sink column, or -1 if no augmenting path exists.
  */
@@ -24,11 +28,11 @@ augmentingPath(const CostMatrix &cost, std::vector<double> &u,
                std::vector<double> &v, std::vector<int> &path,
                const std::vector<int> &row4col,
                std::vector<double> &shortest, std::vector<bool> &sr,
-               std::vector<bool> &sc, int start_row, double &min_val_out)
+               std::vector<bool> &sc, std::vector<int> &remaining,
+               int start_row, double &min_val_out)
 {
     const int nc = cost.cols();
     double min_val = 0.0;
-    std::vector<int> remaining(static_cast<std::size_t>(nc));
     for (int j = 0; j < nc; ++j)
         remaining[static_cast<std::size_t>(j)] = nc - j - 1;
     int num_remaining = nc;
@@ -95,20 +99,29 @@ minWeightFullMatching(const CostMatrix &cost)
         return result;
     }
 
+    // Per-thread scratch: the placement pipeline solves thousands of
+    // small matchings per compile, and compile() is re-entrant across
+    // threads, so thread-local buffers drop the per-call allocations
+    // without any shared state. u/v/col4row move into the result and
+    // stay call-local.
+    thread_local std::vector<double> shortest;
+    thread_local std::vector<int> path, row4col, remaining;
+    thread_local std::vector<bool> sr, sc;
     std::vector<double> u(static_cast<std::size_t>(nr), 0.0);
     std::vector<double> v(static_cast<std::size_t>(nc), 0.0);
-    std::vector<double> shortest(static_cast<std::size_t>(nc), kInf);
-    std::vector<int> path(static_cast<std::size_t>(nc), -1);
     std::vector<int> col4row(static_cast<std::size_t>(nr), -1);
-    std::vector<int> row4col(static_cast<std::size_t>(nc), -1);
-    std::vector<bool> sr(static_cast<std::size_t>(nr), false);
-    std::vector<bool> sc(static_cast<std::size_t>(nc), false);
+    shortest.assign(static_cast<std::size_t>(nc), kInf);
+    path.assign(static_cast<std::size_t>(nc), -1);
+    row4col.assign(static_cast<std::size_t>(nc), -1);
+    remaining.resize(static_cast<std::size_t>(nc));
+    sr.assign(static_cast<std::size_t>(nr), false);
+    sc.assign(static_cast<std::size_t>(nc), false);
 
     for (int cur_row = 0; cur_row < nr; ++cur_row) {
         double min_val = 0.0;
         const int sink = augmentingPath(cost, u, v, path, row4col,
-                                        shortest, sr, sc, cur_row,
-                                        min_val);
+                                        shortest, sr, sc, remaining,
+                                        cur_row, min_val);
         if (sink < 0)
             return result; // feasible == false
 
@@ -143,6 +156,8 @@ minWeightFullMatching(const CostMatrix &cost)
     for (int i = 0; i < nr; ++i)
         result.total_cost +=
             cost.at(i, result.row_to_col[static_cast<std::size_t>(i)]);
+    result.row_duals = std::move(u);
+    result.col_duals = std::move(v);
     return result;
 }
 

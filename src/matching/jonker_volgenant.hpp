@@ -37,6 +37,17 @@ class CostMatrix
     int rows() const { return rows_; }
     int cols() const { return cols_; }
 
+    /** Re-shape in place, keeping the buffer capacity (scratch reuse). */
+    void
+    reset(int rows, int cols, double fill = kAssignInfeasible)
+    {
+        rows_ = rows;
+        cols_ = cols;
+        data_.assign(static_cast<std::size_t>(rows) *
+                         static_cast<std::size_t>(cols),
+                     fill);
+    }
+
     double &
     at(int r, int c)
     {
@@ -59,12 +70,24 @@ class CostMatrix
     std::vector<double> data_;
 };
 
-/** Result of a minimum-weight full matching. */
+/**
+ * Result of a minimum-weight full matching.
+ *
+ * The dual potentials certify optimality: at termination
+ * cost(r,c) - row_duals[r] - col_duals[c] >= 0 for every feasible pair,
+ * with equality on matched pairs, col_duals <= 0 everywhere, and
+ * col_duals == 0 on unmatched columns (an unmatched column is only ever
+ * scanned as the augmenting-path sink, which matches it). Callers use
+ * them to certify that a solution over a pruned column subset is also
+ * optimal — and unique, hence identical — over the full column set.
+ */
 struct Assignment
 {
     bool feasible = false;        ///< false if no full matching exists
     std::vector<int> row_to_col;  ///< column index per row (when feasible)
     double total_cost = 0.0;
+    std::vector<double> row_duals; ///< u, one per row (when feasible)
+    std::vector<double> col_duals; ///< v, one per column (when feasible)
 };
 
 /**

