@@ -1,0 +1,287 @@
+/**
+ * @file
+ * Throughput harness for the batch compile service (ISSUE 3).
+ *
+ * Measurements, on the reference zoned architecture and the 17 paper
+ * benchmark circuits:
+ *  - sequential baseline: single-threaded ZacCompiler::compile over the
+ *    whole job list (the denominator for every scaling figure);
+ *  - jobs/sec vs. worker count (cache disabled, so every job is a real
+ *    compile) with queue-wait latency percentiles per worker count;
+ *  - cache round-trip: the job list submitted twice with the cache
+ *    enabled — the second round must be served entirely from the cache;
+ *  - output identity: every service result (every worker count, and
+ *    every cache-served result) must be bit-identical to the sequential
+ *    reference, compared by serialized ZAIR program and the fidelity
+ *    bit pattern.
+ *
+ * Results are written as machine-readable JSON (schema
+ * zac.perf_service.v1, documented in bench/README.md). The CI gate
+ * reads `scaling_overhead` — parallel seconds at the largest worker
+ * count, normalized by the ideal-scaling expectation
+ * sequential/min(workers, cores) — which is machine-portable because
+ * both measurements come from the same run.
+ *
+ * Usage: perf_service [output.json] [--fast]
+ *   --fast  CI smoke mode: fewer repeat rounds per measurement.
+ */
+
+#include <algorithm>
+#include <bit>
+#include <chrono>
+#include <cstring>
+#include <map>
+#include <sstream>
+#include <thread>
+
+#include "bench_util.hpp"
+#include "common/json.hpp"
+#include "common/logging.hpp"
+#include "service/service.hpp"
+#include "zair/serialize.hpp"
+
+using namespace zac;
+using namespace zac::bench;
+using namespace zac::service;
+
+namespace
+{
+
+double
+nowSeconds()
+{
+    using clock = std::chrono::steady_clock;
+    return std::chrono::duration<double>(
+               clock::now().time_since_epoch())
+        .count();
+}
+
+/** Canonical byte string of one compile result (for identity checks). */
+std::string
+resultSignature(const ZacResult &r)
+{
+    std::ostringstream ss;
+    streamZairProgram(ss, r.program, /*indent=*/0);
+    ss << '|' << std::bit_cast<std::uint64_t>(r.fidelity.total);
+    return ss.str();
+}
+
+double
+percentile(std::vector<double> sorted, double p)
+{
+    if (sorted.empty())
+        return 0.0;
+    const std::size_t idx = static_cast<std::size_t>(
+        p * static_cast<double>(sorted.size() - 1) + 0.5);
+    return sorted[std::min(idx, sorted.size() - 1)];
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    std::string out_path = "BENCH_service.json";
+    bool fast = false;
+    for (int i = 1; i < argc; ++i) {
+        if (std::strcmp(argv[i], "--fast") == 0)
+            fast = true;
+        else
+            out_path = argv[i];
+    }
+
+    banner("perf_service",
+           "batch compile service: jobs/sec scaling, queue latency, "
+           "cache");
+
+    const Architecture arch = presets::referenceZoned();
+    const ZacOptions opts = defaultZacOptions();
+    const int rounds = fast ? 2 : 6;
+
+    // The job list: every paper circuit, `rounds` times over.
+    std::vector<Circuit> circuits;
+    for (const std::string &name : circuitNames())
+        circuits.push_back(bench_circuits::paperBenchmark(name));
+    const int jobs_per_round = static_cast<int>(circuits.size());
+    const int total_jobs = jobs_per_round * rounds;
+
+    // ------------------------------------------- sequential baseline
+    const ZacCompiler compiler(arch, opts);
+    std::map<std::string, std::string> reference; // name -> signature
+    const double seq_t0 = nowSeconds();
+    for (int round = 0; round < rounds; ++round) {
+        for (const Circuit &c : circuits) {
+            const ZacResult r = compiler.compile(c);
+            if (round == 0)
+                reference[c.name()] = resultSignature(r);
+        }
+    }
+    const double sequential_seconds = nowSeconds() - seq_t0;
+    const double sequential_jps =
+        static_cast<double>(total_jobs) / sequential_seconds;
+    std::printf("sequential: %d jobs in %.3f s = %.2f jobs/s\n\n",
+                total_jobs, sequential_seconds, sequential_jps);
+
+    // --------------------------------------- jobs/sec vs worker count
+    const unsigned hw =
+        std::max(1u, std::thread::hardware_concurrency());
+    std::vector<int> worker_counts{1, 2, 4};
+    if (hw > 4)
+        worker_counts.push_back(static_cast<int>(hw));
+
+    bool outputs_identical = true;
+    json::Array scaling_rows;
+    double parallel_seconds_at_max = sequential_seconds;
+    int max_workers = 1;
+    std::printf("%8s %10s %12s %9s %12s %12s  (scaling)\n", "workers",
+                "seconds", "jobs/s", "speedup", "queue p50", "queue p99");
+    for (int workers : worker_counts) {
+        std::vector<double> queue_waits;
+        std::uint64_t mismatches = 0;
+        CompileService::Config config;
+        config.num_workers = workers;
+        config.queue_capacity = 64;
+        config.cache_capacity = 0; // raw compile throughput
+        CompileService svc(
+            {CompileTarget{"ref-full", arch, opts}}, config,
+            [&](const JobRecord &rec) {
+                queue_waits.push_back(rec.queue_seconds);
+                if (rec.status != JobStatus::Done ||
+                    resultSignature(*rec.result) !=
+                        reference[rec.name])
+                    ++mismatches;
+            });
+        const double t0 = nowSeconds();
+        for (int round = 0; round < rounds; ++round)
+            for (const Circuit &c : circuits)
+                svc.submit({c.name(), c, 0, {}, 0.0});
+        svc.drain();
+        const double seconds = nowSeconds() - t0;
+        svc.shutdown();
+
+        if (mismatches > 0)
+            outputs_identical = false;
+        const double jps = static_cast<double>(total_jobs) / seconds;
+        const double speedup = sequential_seconds / seconds;
+        std::sort(queue_waits.begin(), queue_waits.end());
+        const double p50 = percentile(queue_waits, 0.50);
+        const double p90 = percentile(queue_waits, 0.90);
+        const double p99 = percentile(queue_waits, 0.99);
+        const double pmax =
+            queue_waits.empty() ? 0.0 : queue_waits.back();
+        std::printf("%8d %10.3f %12.2f %8.2fx %10.3fms %10.3fms%s\n",
+                    workers, seconds, jps, speedup, p50 * 1e3,
+                    p99 * 1e3,
+                    mismatches ? "  OUTPUT MISMATCH" : "");
+
+        json::Object row;
+        row["workers"] = workers;
+        row["jobs"] = total_jobs;
+        row["seconds"] = seconds;
+        row["jobs_per_second"] = jps;
+        row["speedup_vs_sequential"] = speedup;
+        row["queue_p50_seconds"] = p50;
+        row["queue_p90_seconds"] = p90;
+        row["queue_p99_seconds"] = p99;
+        row["queue_max_seconds"] = pmax;
+        row["output_mismatches"] =
+            static_cast<std::int64_t>(mismatches);
+        scaling_rows.push_back(std::move(row));
+
+        if (workers >= max_workers) {
+            max_workers = workers;
+            parallel_seconds_at_max = seconds;
+        }
+    }
+    const double effective_cores = static_cast<double>(
+        std::min<unsigned>(static_cast<unsigned>(max_workers), hw));
+    const double scaling_overhead =
+        parallel_seconds_at_max * effective_cores / sequential_seconds;
+    std::printf("\nscaling overhead at %d workers (1.0 = ideal on %u "
+                "cores): %.3f\n\n",
+                max_workers, hw, scaling_overhead);
+
+    // -------------------------------------------------- cache round
+    std::uint64_t cache_mismatches = 0;
+    std::uint64_t second_round_hits = 0, second_round_jobs = 0;
+    bool in_second_round = false;
+    CompileService::Config cache_config;
+    cache_config.num_workers = static_cast<int>(std::min(4u, hw));
+    cache_config.cache_capacity = 1024;
+    {
+        CompileService svc(
+            {CompileTarget{"ref-full", arch, opts}}, cache_config,
+            [&](const JobRecord &rec) {
+                if (rec.status != JobStatus::Done ||
+                    resultSignature(*rec.result) !=
+                        reference[rec.name]) {
+                    ++cache_mismatches;
+                    return;
+                }
+                if (in_second_round) {
+                    ++second_round_jobs;
+                    if (rec.cache_hit)
+                        ++second_round_hits;
+                }
+            });
+        for (const Circuit &c : circuits)
+            svc.submit({c.name(), c, 0, {}, 0.0});
+        svc.drain();
+        in_second_round = true;
+        for (const Circuit &c : circuits)
+            svc.submit({c.name(), c, 0, {}, 0.0});
+        svc.drain();
+        const ResultCache::Stats cs = svc.cacheStats();
+        svc.shutdown();
+
+        if (cache_mismatches > 0)
+            outputs_identical = false;
+        const bool second_all_hits =
+            second_round_jobs ==
+                static_cast<std::uint64_t>(jobs_per_round) &&
+            second_round_hits == second_round_jobs;
+        std::printf("cache: %llu/%llu second-round hits (rate %.2f, "
+                    "%zu entries), results %s\n",
+                    static_cast<unsigned long long>(second_round_hits),
+                    static_cast<unsigned long long>(second_round_jobs),
+                    cs.hitRate(), cs.entries,
+                    cache_mismatches ? "MISMATCHED"
+                                     : "bit-identical");
+
+        // ------------------------------------------------- JSON dump
+        json::Object doc;
+        doc["schema"] = "zac.perf_service.v1";
+        doc["arch"] = arch.name();
+        doc["fast_mode"] = fast;
+        doc["hardware_concurrency"] =
+            static_cast<std::int64_t>(hw);
+        doc["rounds"] = rounds;
+        doc["jobs_per_round"] = jobs_per_round;
+        doc["total_jobs"] = total_jobs;
+        doc["sequential_seconds"] = sequential_seconds;
+        doc["sequential_jobs_per_second"] = sequential_jps;
+        doc["scaling"] = std::move(scaling_rows);
+        doc["max_workers"] = max_workers;
+        doc["parallel_seconds_at_max"] = parallel_seconds_at_max;
+        doc["scaling_overhead"] = scaling_overhead;
+        doc["cache"] = json::Object{
+            {"submitted",
+             static_cast<std::int64_t>(cs.hits + cs.misses)},
+            {"hits", static_cast<std::int64_t>(cs.hits)},
+            {"misses", static_cast<std::int64_t>(cs.misses)},
+            {"hit_rate", cs.hitRate()},
+            {"entries", cs.entries},
+            {"second_round_all_hits", second_all_hits},
+        };
+        doc["outputs_identical"] = outputs_identical;
+        try {
+            json::writeFile(out_path, json::Value(std::move(doc)));
+        } catch (const FatalError &e) {
+            std::fprintf(stderr, "%s\n", e.what());
+            return 2;
+        }
+        std::printf("wrote %s\n", out_path.c_str());
+
+        return (outputs_identical && second_all_hits) ? 0 : 1;
+    }
+}

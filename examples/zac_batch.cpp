@@ -1,0 +1,226 @@
+/**
+ * @file
+ * zac_batch: the batch-compile frontend over the CompileService.
+ *
+ * Reads a JSON manifest of circuits (QASM paths or built-in paper
+ * benchmarks) and compile targets (architecture + option presets),
+ * drives the work-queue service, and streams one JSONL record per
+ * finished job — results are written as workers complete them, not
+ * after the batch ends. See docs/zac_batch.md for the manifest format
+ * and protocol.
+ *
+ *   usage: zac_batch <manifest.json> [options]
+ *     --out <file>    write JSONL records to a file (default stdout)
+ *     --workers N     worker threads (default: hardware concurrency)
+ *     --queue N       job-queue bound (default 256)
+ *     --cache N       result-cache entries, 0 disables (default 1024)
+ *     --repeat N      run the whole manifest N times, draining between
+ *                     rounds (round 2+ should be served by the cache)
+ *     --dedup         drop exact duplicate jobs within a round (same
+ *                     circuit content hash, target, seed, timeout)
+ *     --no-zair       omit the ZAIR program from result records
+ *     --echo-submit   also write a "submit" record per accepted job
+ */
+
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <map>
+#include <mutex>
+#include <set>
+#include <tuple>
+
+#include "common/logging.hpp"
+#include "service/manifest.hpp"
+#include "service/protocol.hpp"
+#include "service/service.hpp"
+
+namespace
+{
+
+void
+usage()
+{
+    std::fprintf(
+        stderr,
+        "usage: zac_batch <manifest.json> [--out file] [--workers N]\n"
+        "                 [--queue N] [--cache N] [--repeat N]\n"
+        "                 [--dedup] [--no-zair] [--echo-submit]\n");
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    using namespace zac;
+    using namespace zac::service;
+
+    if (argc < 2) {
+        usage();
+        return 1;
+    }
+    std::string manifest_path = argv[1];
+    std::string out_path;
+    int workers = 0;
+    std::size_t queue_capacity = 256;
+    std::size_t cache_capacity = 1024;
+    int rounds = 1;
+    bool dedup = false;
+    bool include_zair = true;
+    bool echo_submit = false;
+    for (int i = 2; i < argc; ++i) {
+        const std::string arg = argv[i];
+        if (arg == "--out" && i + 1 < argc)
+            out_path = argv[++i];
+        else if (arg == "--workers" && i + 1 < argc)
+            workers = std::atoi(argv[++i]);
+        else if (arg == "--queue" && i + 1 < argc)
+            queue_capacity =
+                static_cast<std::size_t>(std::atoll(argv[++i]));
+        else if (arg == "--cache" && i + 1 < argc)
+            cache_capacity =
+                static_cast<std::size_t>(std::atoll(argv[++i]));
+        else if (arg == "--repeat" && i + 1 < argc)
+            rounds = std::atoi(argv[++i]);
+        else if (arg == "--dedup")
+            dedup = true;
+        else if (arg == "--no-zair")
+            include_zair = false;
+        else if (arg == "--echo-submit")
+            echo_submit = true;
+        else {
+            usage();
+            return 1;
+        }
+    }
+    if (rounds < 1)
+        rounds = 1;
+
+    try {
+        Manifest manifest = loadManifest(manifest_path);
+
+        std::ofstream file;
+        if (!out_path.empty()) {
+            file.open(out_path);
+            if (!file)
+                fatal("zac_batch: cannot open output file " + out_path);
+        }
+        std::ostream &out = out_path.empty() ? std::cout : file;
+
+        std::vector<std::string> target_names;
+        for (const CompileTarget &t : manifest.targets)
+            target_names.push_back(t.name);
+
+        // Tallies, updated from the sink. The service serializes sink
+        // calls against each other, but with --echo-submit the main
+        // thread also writes to `out` concurrently, so every write
+        // (and tally) goes through this mutex.
+        std::mutex out_mutex;
+        std::uint64_t n_done = 0, n_failed = 0, n_cancelled = 0;
+        std::uint64_t n_timed_out = 0, n_cache_hits = 0;
+
+        CompileService::Config config;
+        config.num_workers = workers;
+        config.queue_capacity = queue_capacity;
+        config.cache_capacity = cache_capacity;
+        CompileService svc(
+            manifest.targets, config,
+            [&](const JobRecord &r) {
+                std::lock_guard<std::mutex> lock(out_mutex);
+                switch (r.status) {
+                  case JobStatus::Done: ++n_done; break;
+                  case JobStatus::Failed: ++n_failed; break;
+                  case JobStatus::Cancelled: ++n_cancelled; break;
+                  case JobStatus::TimedOut: ++n_timed_out; break;
+                }
+                if (r.cache_hit)
+                    ++n_cache_hits;
+                writeJobRecordJsonl(
+                    out, r,
+                    target_names[static_cast<std::size_t>(r.target)],
+                    include_zair);
+                out.flush();
+            });
+
+        // Pre-hash each manifest job once: used for dedup and the
+        // optional submit records.
+        std::vector<std::uint64_t> job_hashes;
+        for (const ManifestJob &j : manifest.jobs)
+            job_hashes.push_back(j.circuit.contentHash());
+
+        const auto t0 = std::chrono::steady_clock::now();
+        std::uint64_t submitted = 0, deduped = 0;
+        for (int round = 0; round < rounds; ++round) {
+            // (hash, target, has-seed, seed, timeout) per round.
+            std::set<std::tuple<std::uint64_t, int, bool,
+                                std::uint64_t, double>>
+                seen;
+            for (std::size_t ji = 0; ji < manifest.jobs.size(); ++ji) {
+                const ManifestJob &j = manifest.jobs[ji];
+                for (int rep = 0; rep < j.repeat; ++rep) {
+                    if (dedup) {
+                        const auto key = std::make_tuple(
+                            job_hashes[ji], j.target,
+                            j.seed.has_value(),
+                            j.seed.value_or(0),
+                            j.timeout_seconds);
+                        if (!seen.insert(key).second) {
+                            ++deduped;
+                            continue;
+                        }
+                    }
+                    CompileService::Submission s;
+                    s.name = j.label;
+                    s.circuit = j.circuit;
+                    s.target = j.target;
+                    s.seed = j.seed;
+                    s.timeout_seconds = j.timeout_seconds;
+                    const std::uint64_t id = svc.submit(std::move(s));
+                    ++submitted;
+                    if (echo_submit) {
+                        std::lock_guard<std::mutex> lock(out_mutex);
+                        out << toJsonl(makeSubmitRecord(
+                            id, j.label,
+                            target_names[static_cast<std::size_t>(
+                                j.target)],
+                            job_hashes[ji]));
+                        out.flush();
+                    }
+                }
+            }
+            // Drain between rounds so later rounds hit the cache of
+            // earlier ones deterministically.
+            svc.drain();
+        }
+        svc.shutdown();
+        const double wall = std::chrono::duration<double>(
+                                std::chrono::steady_clock::now() - t0)
+                                .count();
+
+        const ResultCache::Stats cs = svc.cacheStats();
+        std::fprintf(
+            stderr,
+            "zac_batch: %llu jobs (%d round%s, %llu deduped) on %d "
+            "workers in %.3f s = %.2f jobs/s\n"
+            "           done %llu, failed %llu, cancelled %llu, "
+            "timed out %llu; cache hits %llu (rate %.2f, %zu "
+            "entries)\n",
+            static_cast<unsigned long long>(submitted), rounds,
+            rounds == 1 ? "" : "s",
+            static_cast<unsigned long long>(deduped),
+            svc.numWorkers(), wall,
+            wall > 0.0 ? static_cast<double>(submitted) / wall : 0.0,
+            static_cast<unsigned long long>(n_done),
+            static_cast<unsigned long long>(n_failed),
+            static_cast<unsigned long long>(n_cancelled),
+            static_cast<unsigned long long>(n_timed_out),
+            static_cast<unsigned long long>(n_cache_hits),
+            cs.hitRate(), cs.entries);
+        return n_failed == 0 ? 0 : 1;
+    } catch (const FatalError &e) {
+        std::fprintf(stderr, "zac_batch: %s\n", e.what());
+        return 2;
+    }
+}

@@ -1,71 +1,215 @@
 #!/usr/bin/env python3
-"""Fail CI when the placement perf trajectory regresses.
+"""Fail CI when a benchmark perf trajectory regresses.
 
-Usage: check_perf_regression.py COMMITTED.json FRESH.json [THRESHOLD]
+Usage:
+    check_perf_regression.py [--schema SCHEMA] COMMITTED.json FRESH.json
+                             [THRESHOLD]
 
-Compares a freshly measured BENCH_placement.json against the committed
-one and exits non-zero when ``compile_total_seconds`` regresses by more
-than THRESHOLD (default 1.25, i.e. +25%).
+Compares a freshly measured benchmark JSON against the committed one
+and exits non-zero when the schema's gated metric regresses by more
+than THRESHOLD (default 1.25, i.e. +25%), or when either run reports
+non-bit-identical outputs (speed must never change semantics).
 
-The committed JSON is usually measured on different hardware than the
-CI runner, so raw seconds are not comparable. Per bench/README.md the
-frozen ``zac::legacy`` SA placement acts as a machine-speed control:
-its implementation never changes, so the ratio
-``compile_total_seconds / sum(sa legacy_seconds)`` cancels the
-machine factor and isolates genuine compiler regressions.
+Supported schemas (--schema selects one explicitly; without the flag
+the committed file's own schema tag is used, and both files must
+carry the same tag either way):
 
-Also fails when either run reports non-bit-identical outputs from the
-legacy-equivalence checks (speed must never change semantics).
+  zac.perf_placement.v2 (and v1)
+      Metric: ``compile_total_seconds`` normalized by the frozen
+      ``zac::legacy`` SA total. The committed JSON is usually measured
+      on different hardware than the CI runner, so raw seconds are not
+      comparable; the legacy SA implementation never changes, making
+      the ratio a machine-speed control that isolates genuine compiler
+      regressions. Also gates on ``sa_outputs_identical`` and
+      ``dynamic_outputs_identical``.
+
+  zac.perf_service.v1
+      Metric: ``scaling_overhead`` — wall seconds of the batch
+      compile-service run at the largest worker count, normalized by
+      the ideal-scaling expectation sequential/min(workers, cores)
+      measured in the same run (1.0 = perfect scaling on that
+      machine's cores, so the figure is machine-portable). Also gates
+      on ``outputs_identical`` and ``cache.second_round_all_hits``.
+
+Exit codes: 0 ok, 1 regression/semantics failure, 2 bad input
+(missing file, malformed JSON, schema mismatch).
 """
 
+import argparse
 import json
+import os
 import sys
 
+PLACEMENT_SCHEMAS = ("zac.perf_placement.v1", "zac.perf_placement.v2")
+SERVICE_SCHEMAS = ("zac.perf_service.v1",)
+KNOWN_SCHEMAS = PLACEMENT_SCHEMAS + SERVICE_SCHEMAS
 
-def load(path):
-    with open(path) as f:
-        doc = json.load(f)
-    schema = doc.get("schema", "")
-    if not schema.startswith("zac.perf_placement"):
-        sys.exit(f"{path}: unexpected schema {schema!r}")
+
+def fail_input(msg):
+    """Report a usage/input problem (not a perf regression) and exit."""
+    print(f"error: {msg}", file=sys.stderr)
+    sys.exit(2)
+
+
+def load(path, want_schema):
+    """Load one benchmark JSON, failing with a clear message (never a
+    traceback) when the file is missing, malformed, or carries an
+    unexpected schema tag."""
+    if not os.path.exists(path):
+        fail_input(
+            f"{path}: baseline/benchmark JSON not found. Generate it "
+            f"with ./build/perf_placement or ./build/perf_service "
+            f"(see bench/README.md) and commit the baseline."
+        )
+    try:
+        with open(path) as f:
+            doc = json.load(f)
+    except json.JSONDecodeError as e:
+        fail_input(f"{path}: not valid JSON ({e})")
+    if not isinstance(doc, dict):
+        fail_input(f"{path}: expected a JSON object at top level")
+
+    schema = doc.get("schema")
+    if schema is None:
+        fail_input(f"{path}: missing 'schema' field")
+    if want_schema is not None:
+        if schema != want_schema:
+            fail_input(
+                f"{path}: schema mismatch: found {schema!r}, expected "
+                f"{want_schema!r} (is this the right baseline file, or "
+                f"does the baseline predate a schema bump? regenerate "
+                f"and re-commit it if so)"
+            )
+    elif schema not in KNOWN_SCHEMAS:
+        fail_input(
+            f"{path}: unknown schema {schema!r}; this script "
+            f"understands {', '.join(KNOWN_SCHEMAS)}"
+        )
     return doc
 
 
-def normalized_compile_seconds(doc):
-    legacy_total = sum(r["legacy_seconds"] for r in doc["sa_placement"])
+def require(doc, path, key):
+    if key not in doc:
+        fail_input(
+            f"{path}: missing key {key!r} required by schema "
+            f"{doc.get('schema')!r}"
+        )
+    return doc[key]
+
+
+def placement_metric(doc, path):
+    """Legacy-SA-normalized compile seconds (lower is better)."""
+    rows = require(doc, path, "sa_placement")
+    try:
+        legacy_total = sum(r["legacy_seconds"] for r in rows)
+        metric = require(doc, path, "compile_total_seconds")
+    except (KeyError, TypeError) as e:
+        fail_input(
+            f"{path}: malformed sa_placement rows for schema "
+            f"{doc.get('schema')!r} ({e!r}); regenerate the file with "
+            f"./build/perf_placement"
+        )
     if legacy_total <= 0.0:
-        sys.exit("degenerate legacy SA total; cannot normalize")
-    return doc["compile_total_seconds"] / legacy_total
+        fail_input(f"{path}: degenerate legacy SA total; cannot "
+                   "normalize")
+    if not isinstance(metric, (int, float)) or metric < 0:
+        fail_input(f"{path}: compile_total_seconds is not a "
+                   "non-negative number")
+    return metric / legacy_total
+
+
+def placement_flags(doc):
+    return {
+        "sa_outputs_identical": doc.get("sa_outputs_identical", True),
+        "dynamic_outputs_identical": doc.get(
+            "dynamic_outputs_identical", True
+        ),
+    }
+
+
+def service_metric(doc, path):
+    """Ideal-scaling-normalized parallel seconds (lower is better)."""
+    metric = require(doc, path, "scaling_overhead")
+    if not isinstance(metric, (int, float)) or metric <= 0.0:
+        fail_input(f"{path}: scaling_overhead is not a positive "
+                   "number")
+    return metric
+
+
+def service_flags(doc):
+    cache = doc.get("cache", {})
+    return {
+        "outputs_identical": doc.get("outputs_identical", True),
+        "cache.second_round_all_hits": cache.get(
+            "second_round_all_hits", True
+        ),
+    }
 
 
 def main(argv):
-    if len(argv) < 3:
-        sys.exit(__doc__)
-    committed = load(argv[1])
-    fresh = load(argv[2])
-    threshold = float(argv[3]) if len(argv) > 3 else 1.25
+    parser = argparse.ArgumentParser(
+        description=__doc__,
+        formatter_class=argparse.RawDescriptionHelpFormatter,
+    )
+    parser.add_argument(
+        "--schema",
+        help="require this exact schema tag in both files "
+        "(default: the committed file's tag)",
+    )
+    parser.add_argument("committed", help="committed baseline JSON")
+    parser.add_argument("fresh", help="freshly measured JSON")
+    parser.add_argument(
+        "threshold",
+        nargs="?",
+        type=float,
+        default=1.25,
+        help="max allowed fresh/committed metric ratio (default 1.25)",
+    )
+    args = parser.parse_args(argv[1:])
+
+    if args.schema is not None and args.schema not in KNOWN_SCHEMAS:
+        fail_input(
+            f"--schema {args.schema!r} is not supported; choose from "
+            f"{', '.join(KNOWN_SCHEMAS)}"
+        )
+
+    committed = load(args.committed, args.schema)
+    # Both files must agree on the schema even without --schema.
+    fresh = load(args.fresh, args.schema or committed["schema"])
+
+    if committed["schema"] in PLACEMENT_SCHEMAS:
+        metric_of, flags_of, metric_name = (
+            placement_metric,
+            placement_flags,
+            "compile_total_seconds (legacy-SA-normalized)",
+        )
+    else:
+        metric_of, flags_of, metric_name = (
+            service_metric,
+            service_flags,
+            "scaling_overhead (ideal-scaling-normalized)",
+        )
 
     ok = True
-    for key in ("sa_outputs_identical", "dynamic_outputs_identical"):
-        if not fresh.get(key, True):
+    for key, value in flags_of(fresh).items():
+        if not value:
             print(f"FAIL: fresh run reports {key} == false")
             ok = False
 
-    base = normalized_compile_seconds(committed)
-    now = normalized_compile_seconds(fresh)
+    base = metric_of(committed, args.committed)
+    now = metric_of(fresh, args.fresh)
+    if base <= 0.0:
+        fail_input(
+            f"{args.committed}: committed metric is {base}; cannot "
+            f"compute a regression ratio — regenerate the baseline"
+        )
     ratio = now / base
     print(
-        f"compile_total_seconds (legacy-SA-normalized): "
-        f"committed {base:.4f}, fresh {now:.4f}, ratio {ratio:.3f} "
-        f"(threshold {threshold:.2f})"
+        f"{metric_name}: committed {base:.4f}, fresh {now:.4f}, "
+        f"ratio {ratio:.3f} (threshold {args.threshold:.2f})"
     )
-    print(
-        f"raw compile_total_seconds: committed "
-        f"{committed['compile_total_seconds']:.4f}s, fresh "
-        f"{fresh['compile_total_seconds']:.4f}s"
-    )
-    if ratio > threshold:
-        print("FAIL: compile time regressed beyond the threshold")
+    if ratio > args.threshold:
+        print("FAIL: perf metric regressed beyond the threshold")
         ok = False
 
     return 0 if ok else 1

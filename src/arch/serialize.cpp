@@ -1,5 +1,6 @@
 #include "arch/serialize.hpp"
 
+#include "common/hash.hpp"
 #include "common/logging.hpp"
 
 namespace zac
@@ -179,6 +180,12 @@ void
 saveArchitecture(const std::string &path, const Architecture &arch)
 {
     json::writeFile(path, architectureToJson(arch));
+}
+
+std::uint64_t
+architectureFingerprint(const Architecture &arch)
+{
+    return fnv1a(architectureToJson(arch).dump());
 }
 
 } // namespace zac

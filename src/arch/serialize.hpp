@@ -7,6 +7,7 @@
 #ifndef ZAC_ARCH_SERIALIZE_HPP
 #define ZAC_ARCH_SERIALIZE_HPP
 
+#include <cstdint>
 #include <string>
 
 #include "arch/spec.hpp"
@@ -32,6 +33,17 @@ json::Value architectureToJson(const Architecture &arch);
 
 /** Save an architecture spec as JSON. */
 void saveArchitecture(const std::string &path, const Architecture &arch);
+
+/**
+ * Deterministic 64-bit fingerprint of an architecture specification.
+ *
+ * Hashes the compact serialization of architectureToJson() — SLMs, AODs,
+ * zones, hardware parameters and the name — so two specs fingerprint
+ * equally iff they serialize identically (json::Object keeps keys
+ * sorted, making the serialization canonical). The compile-service
+ * result cache uses this as the architecture component of its key.
+ */
+std::uint64_t architectureFingerprint(const Architecture &arch);
 
 } // namespace zac
 

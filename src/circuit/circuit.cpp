@@ -5,6 +5,7 @@
 #include <cstdio>
 #include <sstream>
 
+#include "common/hash.hpp"
 #include "common/logging.hpp"
 
 namespace zac
@@ -267,6 +268,24 @@ Circuit::interactionEdges() const
         if (g.is2Q())
             edges.emplace_back(g.qubits[0], g.qubits[1]);
     return edges;
+}
+
+std::uint64_t
+Circuit::contentHash() const
+{
+    Fnv1a h;
+    h.u64(static_cast<std::uint64_t>(numQubits_));
+    h.u64(gates_.size());
+    for (const Gate &g : gates_) {
+        h.u8(static_cast<std::uint8_t>(g.op));
+        h.u64(g.qubits.size());
+        for (int q : g.qubits)
+            h.i64(q);
+        h.u64(g.params.size());
+        for (double p : g.params)
+            h.f64(p);
+    }
+    return h.digest();
 }
 
 std::string

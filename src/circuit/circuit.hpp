@@ -6,6 +6,7 @@
 #ifndef ZAC_CIRCUIT_CIRCUIT_HPP
 #define ZAC_CIRCUIT_CIRCUIT_HPP
 
+#include <cstdint>
 #include <string>
 #include <vector>
 
@@ -80,6 +81,16 @@ class Circuit
 
     /** Render as an OpenQASM 2.0 program. */
     std::string toQasm() const;
+
+    /**
+     * Order-stable 64-bit content hash over qubit count, gate sequence
+     * (opcode, operands) and parameters (by canonicalized bit pattern).
+     * The circuit name is deliberately excluded, so two identically
+     * constructed circuits hash equally regardless of labeling. Used as
+     * the circuit component of the compile-service cache key and for
+     * batch-manifest deduplication.
+     */
+    std::uint64_t contentHash() const;
 
   private:
     int numQubits_ = 0;

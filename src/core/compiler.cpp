@@ -22,13 +22,28 @@ ZacCompiler::ZacCompiler(Architecture arch, ZacOptions opts)
 ZacResult
 ZacCompiler::compile(const Circuit &circuit) const
 {
+    return compile(circuit, CompileControl{});
+}
+
+ZacResult
+ZacCompiler::compile(const Circuit &circuit,
+                     const CompileControl &control) const
+{
+    control.checkpoint("preprocess");
     const Circuit pre = preprocess(circuit);
     StagedCircuit staged = scheduleStages(pre, arch_.numSites());
-    return compileStaged(staged);
+    return compileStaged(staged, control);
 }
 
 ZacResult
 ZacCompiler::compileStaged(const StagedCircuit &staged) const
+{
+    return compileStaged(staged, CompileControl{});
+}
+
+ZacResult
+ZacCompiler::compileStaged(const StagedCircuit &staged,
+                           const CompileControl &control) const
 {
     if (staged.numQubits > arch_.numStorageTraps())
         fatal("ZacCompiler: more qubits than storage traps");
@@ -46,6 +61,7 @@ ZacCompiler::compileStaged(const StagedCircuit &staged) const
     ZacResult result;
     result.staged = staged;
 
+    control.checkpoint("sa");
     SaOptions sa;
     sa.max_iterations = opts_.sa_iterations;
     sa.seed = opts_.seed;
@@ -55,11 +71,14 @@ ZacCompiler::compileStaged(const StagedCircuit &staged) const
             : trivialInitialPlacement(arch_, staged.numQubits);
     const auto t_sa = clock::now();
 
+    control.checkpoint("placement");
     result.plan = runDynamicPlacement(arch_, staged, initial, opts_,
                                       &result.phases.placement);
     const auto t_place = clock::now();
+    control.checkpoint("scheduling");
     result.program = scheduleProgram(arch_, staged, result.plan);
     const auto t_sched = clock::now();
+    control.checkpoint("fidelity");
     result.fidelity = evaluateFidelity(result.program, arch_);
 
     const auto end = clock::now();

@@ -10,6 +10,10 @@
 #ifndef ZAC_CORE_COMPILER_HPP
 #define ZAC_CORE_COMPILER_HPP
 
+#include <atomic>
+#include <chrono>
+#include <functional>
+#include <stdexcept>
 #include <string>
 
 #include "arch/spec.hpp"
@@ -22,6 +26,65 @@
 
 namespace zac
 {
+
+/**
+ * Thrown by compile()/compileStaged() when a CompileControl reports
+ * cancellation or an expired deadline between pipeline phases. Distinct
+ * from FatalError/PanicError: the inputs and the compiler are both fine,
+ * the caller simply asked for the work to stop.
+ */
+class CompileCancelled : public std::runtime_error
+{
+  public:
+    explicit CompileCancelled(bool timed_out)
+        : std::runtime_error(timed_out ? "compile deadline exceeded"
+                                       : "compile cancelled"),
+          timed_out_(timed_out)
+    {
+    }
+
+    /** @return true when the deadline (not an explicit cancel) fired. */
+    bool timedOut() const { return timed_out_; }
+
+  private:
+    bool timed_out_;
+};
+
+/**
+ * Cooperative control handle for one compilation, checked at phase
+ * boundaries (preprocess, SA, placement, scheduling, fidelity). The
+ * granularity is deliberately coarse: phases are short (milliseconds on
+ * the paper circuits), and checking only between them keeps the hot
+ * paths free of any synchronization.
+ *
+ * The pointed-to flag must outlive the compile call; the compile-service
+ * worker owns one per job.
+ */
+struct CompileControl
+{
+    using Clock = std::chrono::steady_clock;
+
+    /** When non-null and true, the compile aborts with CompileCancelled. */
+    const std::atomic<bool> *cancel = nullptr;
+    /** Absolute deadline; Clock::time_point::max() means none. */
+    Clock::time_point deadline = Clock::time_point::max();
+    /** Invoked on entry to each phase with its name (may be empty). */
+    std::function<void(const char *phase)> on_phase;
+
+    /** Throw CompileCancelled if cancelled or past the deadline. */
+    void
+    checkpoint(const char *phase) const
+    {
+        if (cancel != nullptr &&
+            cancel->load(std::memory_order_relaxed))
+            throw CompileCancelled(false);
+        if (deadline != Clock::time_point::max() &&
+            Clock::now() > deadline)
+            throw CompileCancelled(true);
+        if (on_phase)
+            on_phase(phase);
+    }
+};
 
 /** Wall-clock breakdown of one compilation (always filled). */
 struct CompilePhaseTimings
@@ -64,10 +127,22 @@ class ZacCompiler
     ZacResult compile(const Circuit &circuit) const;
 
     /**
+     * Full pipeline with a cooperative control handle: @p control is
+     * checkpointed between phases and may cancel the compile (throws
+     * CompileCancelled) or observe phase progress.
+     */
+    ZacResult compile(const Circuit &circuit,
+                      const CompileControl &control) const;
+
+    /**
      * Pipeline from an already-staged circuit (used by the FTQC logical
      * compilation, which stages transversal gates itself).
      */
     ZacResult compileStaged(const StagedCircuit &staged) const;
+
+    /** Staged-circuit pipeline with a cooperative control handle. */
+    ZacResult compileStaged(const StagedCircuit &staged,
+                            const CompileControl &control) const;
 
   private:
     Architecture arch_;

@@ -8,6 +8,8 @@
 
 #include <cstdint>
 
+#include "common/hash.hpp"
+
 namespace zac
 {
 
@@ -39,6 +41,27 @@ struct ZacOptions
     int candidate_k = 2;
     /** Lookahead weight alpha in Eq. 3. */
     double lookahead_alpha = 0.1;
+
+    /**
+     * Deterministic 64-bit digest over every option field (including
+     * the seed, which changes SA output). The options component of the
+     * compile-service cache key: two option sets digest equally iff a
+     * compile with them is guaranteed to produce identical results.
+     */
+    std::uint64_t
+    digest() const
+    {
+        Fnv1a h;
+        h.u8(use_sa_init);
+        h.u8(use_dynamic_placement);
+        h.u8(use_reuse);
+        h.u8(use_direct_reuse);
+        h.i64(sa_iterations);
+        h.u64(seed);
+        h.i64(candidate_k);
+        h.f64(lookahead_alpha);
+        return h.digest();
+    }
 
     /** Named ablation presets matching Fig. 11. */
     static ZacOptions

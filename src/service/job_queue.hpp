@@ -1,0 +1,140 @@
+/**
+ * @file
+ * Bounded multi-producer/multi-consumer job queue for the compile
+ * service.
+ *
+ * Deliberately a classic mutex + two-condition-variable monitor rather
+ * than a lock-free ring: queue operations bracket whole compilations
+ * (milliseconds), so queue synchronization is nowhere near the critical
+ * path, and the monitor gives simple, provable close/drain semantics.
+ */
+
+#ifndef ZAC_SERVICE_JOB_QUEUE_HPP
+#define ZAC_SERVICE_JOB_QUEUE_HPP
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <mutex>
+#include <optional>
+#include <utility>
+
+namespace zac::service
+{
+
+/**
+ * A bounded FIFO queue shared by submitters and worker threads.
+ *
+ * push() blocks while the queue is full (backpressure toward the
+ * submitter); pop() blocks while it is empty. close() wakes everyone:
+ * subsequent pushes are refused and pops drain the remaining elements,
+ * then return nullopt — the canonical worker loop is
+ * `while (auto j = q.pop()) work(*j);`.
+ */
+template <typename T>
+class BoundedMpmcQueue
+{
+  public:
+    explicit BoundedMpmcQueue(std::size_t capacity)
+        : capacity_(capacity == 0 ? 1 : capacity)
+    {
+    }
+
+    BoundedMpmcQueue(const BoundedMpmcQueue &) = delete;
+    BoundedMpmcQueue &operator=(const BoundedMpmcQueue &) = delete;
+
+    /**
+     * Enqueue @p v, waiting for space if necessary.
+     * @return false if the queue was (or became) closed.
+     */
+    bool
+    push(T v)
+    {
+        std::unique_lock<std::mutex> lock(m_);
+        not_full_.wait(lock, [&] {
+            return closed_ || items_.size() < capacity_;
+        });
+        if (closed_)
+            return false;
+        items_.push_back(std::move(v));
+        lock.unlock();
+        not_empty_.notify_one();
+        return true;
+    }
+
+    /**
+     * Enqueue @p v only if space is immediately available.
+     * @return false when full or closed (@p v is left unmoved).
+     */
+    bool
+    tryPush(T &v)
+    {
+        {
+            std::lock_guard<std::mutex> lock(m_);
+            if (closed_ || items_.size() >= capacity_)
+                return false;
+            items_.push_back(std::move(v));
+        }
+        not_empty_.notify_one();
+        return true;
+    }
+
+    /**
+     * Dequeue the oldest element, waiting if the queue is empty.
+     * @return nullopt once the queue is closed and drained.
+     */
+    std::optional<T>
+    pop()
+    {
+        std::unique_lock<std::mutex> lock(m_);
+        not_empty_.wait(lock,
+                        [&] { return closed_ || !items_.empty(); });
+        if (items_.empty())
+            return std::nullopt;
+        std::optional<T> v(std::move(items_.front()));
+        items_.pop_front();
+        lock.unlock();
+        not_full_.notify_one();
+        return v;
+    }
+
+    /** Refuse new pushes and wake all waiters; idempotent. */
+    void
+    close()
+    {
+        {
+            std::lock_guard<std::mutex> lock(m_);
+            closed_ = true;
+        }
+        not_empty_.notify_all();
+        not_full_.notify_all();
+    }
+
+    bool
+    closed() const
+    {
+        std::lock_guard<std::mutex> lock(m_);
+        return closed_;
+    }
+
+    std::size_t
+    size() const
+    {
+        std::lock_guard<std::mutex> lock(m_);
+        return items_.size();
+    }
+
+    std::size_t capacity() const { return capacity_; }
+
+  private:
+    const std::size_t capacity_;
+    mutable std::mutex m_;
+    std::condition_variable not_full_;
+    std::condition_variable not_empty_;
+    std::deque<T> items_;
+    bool closed_ = false;
+};
+
+} // namespace zac::service
+
+#endif // ZAC_SERVICE_JOB_QUEUE_HPP

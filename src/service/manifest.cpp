@@ -1,0 +1,146 @@
+#include "service/manifest.hpp"
+
+#include "arch/presets.hpp"
+#include "arch/serialize.hpp"
+#include "circuit/generators.hpp"
+#include "circuit/qasm_parser.hpp"
+#include "common/logging.hpp"
+
+namespace zac::service
+{
+
+namespace
+{
+
+Architecture
+archFromRef(const std::string &ref, int aods)
+{
+    if (ref == "reference")
+        return presets::referenceZoned(aods);
+    if (ref == "monolithic")
+        return presets::monolithic();
+    if (ref == "arch1")
+        return presets::multiZoneArch1();
+    if (ref == "arch2")
+        return presets::multiZoneArch2();
+    // Anything else is a spec-JSON path.
+    return loadArchitecture(ref);
+}
+
+ZacOptions
+optionsFromPreset(const std::string &preset)
+{
+    if (preset == "full")
+        return ZacOptions::full();
+    if (preset == "vanilla")
+        return ZacOptions::vanilla();
+    if (preset == "dynplace")
+        return ZacOptions::dynPlace();
+    if (preset == "dynplace_reuse")
+        return ZacOptions::dynPlaceReuse();
+    fatal("manifest: unknown option preset '" + preset +
+          "' (expected full, vanilla, dynplace, dynplace_reuse)");
+}
+
+} // namespace
+
+Circuit
+resolveCircuit(const std::string &ref)
+{
+    const bool is_qasm =
+        ref.size() > 5 && ref.substr(ref.size() - 5) == ".qasm";
+    return is_qasm ? qasm::parseFile(ref)
+                   : bench_circuits::paperBenchmark(ref);
+}
+
+CompileTarget
+targetFromJson(const json::Value &v)
+{
+    CompileTarget t;
+    t.name = v.contains("name") ? v.at("name").asString() : "default";
+    const std::string arch_ref =
+        v.contains("arch") ? v.at("arch").asString() : "reference";
+    const int aods =
+        static_cast<int>(v.numberOr("aods", 1.0));
+    t.arch = archFromRef(arch_ref, aods);
+    t.opts = optionsFromPreset(
+        v.contains("preset") ? v.at("preset").asString() : "full");
+    if (v.contains("seed"))
+        t.opts.seed =
+            static_cast<std::uint64_t>(v.at("seed").asInt());
+    if (v.contains("sa_iterations"))
+        t.opts.sa_iterations =
+            static_cast<int>(v.at("sa_iterations").asInt());
+    return t;
+}
+
+Manifest
+manifestFromJson(const json::Value &v)
+{
+    Manifest m;
+
+    if (v.contains("targets")) {
+        for (const json::Value &tv : v.at("targets").asArray())
+            m.targets.push_back(targetFromJson(tv));
+        if (m.targets.empty())
+            fatal("manifest: 'targets' must not be empty");
+    } else {
+        CompileTarget t;
+        t.name = "default";
+        t.arch = presets::referenceZoned();
+        t.opts = ZacOptions::full();
+        m.targets.push_back(std::move(t));
+    }
+
+    if (!v.contains("jobs"))
+        fatal("manifest: missing 'jobs' array");
+    for (const json::Value &jv : v.at("jobs").asArray()) {
+        ManifestJob job;
+        const std::string ref = jv.at("circuit").asString();
+        job.circuit = resolveCircuit(ref);
+        job.label = jv.contains("label") ? jv.at("label").asString()
+                                         : job.circuit.name();
+        if (job.label.empty())
+            job.label = ref;
+
+        if (jv.contains("target")) {
+            const json::Value &tv = jv.at("target");
+            if (tv.isString()) {
+                const std::string &name = tv.asString();
+                int found = -1;
+                for (std::size_t i = 0; i < m.targets.size(); ++i)
+                    if (m.targets[i].name == name)
+                        found = static_cast<int>(i);
+                if (found < 0)
+                    fatal("manifest: job references unknown target '" +
+                          name + "'");
+                job.target = found;
+            } else {
+                job.target = static_cast<int>(tv.asInt());
+                if (job.target < 0 ||
+                    job.target >=
+                        static_cast<int>(m.targets.size()))
+                    fatal("manifest: job target index out of range");
+            }
+        }
+        job.repeat = static_cast<int>(jv.numberOr("repeat", 1.0));
+        if (job.repeat < 1)
+            fatal("manifest: job 'repeat' must be >= 1");
+        if (jv.contains("seed"))
+            job.seed =
+                static_cast<std::uint64_t>(jv.at("seed").asInt());
+        job.timeout_seconds = jv.numberOr("timeout_seconds", 0.0);
+        m.jobs.push_back(std::move(job));
+    }
+    if (m.jobs.empty())
+        fatal("manifest: 'jobs' must not be empty");
+    return m;
+}
+
+Manifest
+loadManifest(const std::string &path)
+{
+    return manifestFromJson(json::parseFile(path));
+}
+
+} // namespace zac::service

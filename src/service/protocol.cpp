@@ -1,0 +1,119 @@
+#include "service/protocol.hpp"
+
+#include <cinttypes>
+#include <cstdio>
+
+#include "zair/serialize.hpp"
+
+namespace zac::service
+{
+
+namespace
+{
+
+/**
+ * 64-bit hashes are emitted as fixed-width hex strings: the JSON layer
+ * stores numbers as double, which cannot represent every uint64.
+ */
+std::string
+hashString(std::uint64_t h)
+{
+    char buf[19];
+    std::snprintf(buf, sizeof(buf), "0x%016" PRIx64, h);
+    return buf;
+}
+
+} // namespace
+
+json::Value
+makeSubmitRecord(std::uint64_t job_id, const std::string &name,
+                 const std::string &target_name,
+                 std::uint64_t circuit_hash)
+{
+    json::Object o;
+    o["type"] = "submit";
+    o["job_id"] = static_cast<std::int64_t>(job_id);
+    o["circuit"] = name;
+    o["target"] = target_name;
+    o["circuit_hash"] = hashString(circuit_hash);
+    return o;
+}
+
+json::Value
+makeJobRecord(const JobRecord &record, const std::string &target_name,
+              bool include_zair)
+{
+    json::Object o;
+    o["job_id"] = static_cast<std::int64_t>(record.job_id);
+    o["circuit"] = record.name;
+    o["target"] = target_name;
+    o["status"] = jobStatusName(record.status);
+    o["cache_hit"] = record.cache_hit;
+    o["circuit_hash"] = hashString(record.circuit_hash);
+    o["queue_seconds"] = record.queue_seconds;
+    o["service_seconds"] = record.service_seconds;
+
+    if (record.status != JobStatus::Done) {
+        o["type"] = "error";
+        if (!record.error.empty())
+            o["error"] = record.error;
+        return o;
+    }
+
+    o["type"] = "result";
+    const ZacResult &r = *record.result;
+    o["compile_seconds"] = r.compile_seconds;
+    o["phase_seconds"] = json::Object{
+        {"sa", r.phases.sa_seconds},
+        {"placement", r.phases.placement_seconds},
+        {"scheduling", r.phases.scheduling_seconds},
+        {"fidelity", r.phases.fidelity_seconds},
+    };
+    o["fidelity"] = r.fidelity.total;
+    o["makespan_us"] = r.program.makespanUs();
+    const ZairStats stats = r.program.stats();
+    // Named "stats" (not "zair_stats") so "zair" is the
+    // lexicographically last key: writeJobRecordJsonl() relies on
+    // that to append the streamed program at the end of the line.
+    o["stats"] = json::Object{
+        {"instructions", stats.num_zair_instrs},
+        {"rydberg_stages", stats.num_rydberg_stages},
+        {"rearrange_jobs", stats.num_rearrange_jobs},
+        {"atom_transfers", stats.num_atom_transfers},
+        {"move_distance_um", stats.total_move_distance_um},
+    };
+    if (include_zair)
+        o["zair"] = zairProgramToJson(r.program);
+    return o;
+}
+
+void
+writeJobRecordJsonl(std::ostream &out, const JobRecord &record,
+                    const std::string &target_name, bool include_zair)
+{
+    const bool with_zair =
+        include_zair && record.status == JobStatus::Done;
+    // Build the (small) record DOM without the program, then stream
+    // the program itself straight into the line — workers never
+    // duplicate a whole ZairProgram as a JSON DOM. "zair" sorts after
+    // every other key, so appending it before the closing brace
+    // yields byte-identical output to the DOM path (unit-tested).
+    std::string head =
+        makeJobRecord(record, target_name, false).dump();
+    if (!with_zair) {
+        out << head << '\n';
+        return;
+    }
+    head.pop_back(); // drop '}'
+    out << head << ",\"zair\":";
+    streamZairProgram(out, record.result->program, /*indent=*/0);
+    out << "}\n";
+}
+
+std::string
+toJsonl(const json::Value &v)
+{
+    return v.dump() + "\n";
+}
+
+} // namespace zac::service

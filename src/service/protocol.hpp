@@ -1,0 +1,63 @@
+/**
+ * @file
+ * The JSONL batch protocol: one compact JSON record per line.
+ *
+ * Record types:
+ *  - "submit": echoes one accepted job (id, circuit label, target,
+ *    content hash) — written by frontends that log submissions;
+ *  - "result": one finished job with status "done", cache-hit flag,
+ *    queue/phase timings, fidelity, and (optionally) the full ZAIR
+ *    program;
+ *  - "error": one finished job whose status is not "done" (failed,
+ *    cancelled, timed_out) with the failure message.
+ *
+ * Records are self-describing ("type" field) and streamed in completion
+ * order, which is generally NOT submission order — consumers must key
+ * on "job_id".
+ */
+
+#ifndef ZAC_SERVICE_PROTOCOL_HPP
+#define ZAC_SERVICE_PROTOCOL_HPP
+
+#include <ostream>
+#include <string>
+
+#include "common/json.hpp"
+#include "service/service.hpp"
+
+namespace zac::service
+{
+
+/** Build a "submit" record for an accepted job. */
+json::Value makeSubmitRecord(std::uint64_t job_id,
+                             const std::string &name,
+                             const std::string &target_name,
+                             std::uint64_t circuit_hash);
+
+/**
+ * Build the terminal record for @p record: a "result" record when the
+ * job is Done (with phase timings, fidelity, ZAIR statistics and — when
+ * @p include_zair — the full program), an "error" record otherwise.
+ */
+json::Value makeJobRecord(const JobRecord &record,
+                          const std::string &target_name,
+                          bool include_zair);
+
+/** Serialize @p v as one JSONL line (compact dump + newline). */
+std::string toJsonl(const json::Value &v);
+
+/**
+ * Write the terminal JSONL line for @p record to @p out, streaming the
+ * embedded ZAIR program through ZairStreamWriter instead of copying it
+ * into a second DOM. Byte-identical to
+ * toJsonl(makeJobRecord(record, target_name, include_zair)); the
+ * caller must serialize concurrent writers to @p out (the
+ * CompileService sink lock already does).
+ */
+void writeJobRecordJsonl(std::ostream &out, const JobRecord &record,
+                         const std::string &target_name,
+                         bool include_zair);
+
+} // namespace zac::service
+
+#endif // ZAC_SERVICE_PROTOCOL_HPP

@@ -1,0 +1,95 @@
+#include "service/result_cache.hpp"
+
+namespace zac::service
+{
+
+ResultCache::ResultCache(std::size_t capacity, std::size_t num_shards)
+    : capacity_(capacity)
+{
+    if (num_shards == 0)
+        num_shards = 1;
+    // No point in more shards than entries.
+    if (capacity_ > 0 && num_shards > capacity_)
+        num_shards = capacity_;
+    shards_.reserve(num_shards);
+    for (std::size_t i = 0; i < num_shards; ++i)
+        shards_.push_back(std::make_unique<Shard>());
+    // Ceil-divide so the shard capacities sum to >= capacity_.
+    shard_capacity_ =
+        capacity_ == 0 ? 0 : (capacity_ + num_shards - 1) / num_shards;
+}
+
+ResultCache::Shard &
+ResultCache::shardFor(const CacheKey &key)
+{
+    return *shards_[static_cast<std::size_t>(key.mixed()) %
+                    shards_.size()];
+}
+
+std::shared_ptr<const ZacResult>
+ResultCache::find(const CacheKey &key)
+{
+    Shard &s = shardFor(key);
+    std::lock_guard<std::mutex> lock(s.m);
+    auto it = s.map.find(key);
+    if (it == s.map.end()) {
+        ++s.stats.misses;
+        return nullptr;
+    }
+    ++s.stats.hits;
+    // Refresh: move the entry to the MRU front.
+    s.lru.splice(s.lru.begin(), s.lru, it->second);
+    return s.lru.front().second;
+}
+
+std::shared_ptr<const ZacResult>
+ResultCache::insert(const CacheKey &key,
+                    std::shared_ptr<const ZacResult> result)
+{
+    if (!enabled())
+        return result;
+    Shard &s = shardFor(key);
+    std::lock_guard<std::mutex> lock(s.m);
+    auto it = s.map.find(key);
+    if (it != s.map.end()) {
+        // Lost a publish race; the incumbent (bit-identical) wins.
+        s.lru.splice(s.lru.begin(), s.lru, it->second);
+        return s.lru.front().second;
+    }
+    s.lru.emplace_front(key, std::move(result));
+    s.map.emplace(key, s.lru.begin());
+    ++s.stats.insertions;
+    while (s.lru.size() > shard_capacity_) {
+        s.map.erase(s.lru.back().first);
+        s.lru.pop_back();
+        ++s.stats.evictions;
+    }
+    return s.lru.front().second;
+}
+
+ResultCache::Stats
+ResultCache::stats() const
+{
+    Stats total;
+    for (const auto &sp : shards_) {
+        std::lock_guard<std::mutex> lock(sp->m);
+        total.hits += sp->stats.hits;
+        total.misses += sp->stats.misses;
+        total.insertions += sp->stats.insertions;
+        total.evictions += sp->stats.evictions;
+        total.entries += sp->lru.size();
+    }
+    return total;
+}
+
+void
+ResultCache::clear()
+{
+    for (const auto &sp : shards_) {
+        std::lock_guard<std::mutex> lock(sp->m);
+        sp->lru.clear();
+        sp->map.clear();
+    }
+}
+
+} // namespace zac::service

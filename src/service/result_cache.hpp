@@ -1,0 +1,141 @@
+/**
+ * @file
+ * Content-addressed cache of compile results for the compile service.
+ *
+ * Keyed by (canonical circuit hash, architecture fingerprint, options
+ * digest): three inputs that together determine a ZacResult bit for bit,
+ * because the compiler is deterministic. A hit therefore serves the
+ * exact bytes a recompile would produce.
+ */
+
+#ifndef ZAC_SERVICE_RESULT_CACHE_HPP
+#define ZAC_SERVICE_RESULT_CACHE_HPP
+
+#include <cstdint>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "common/hash.hpp"
+#include "core/compiler.hpp"
+
+namespace zac::service
+{
+
+/** The three-component content address of one compile result. */
+struct CacheKey
+{
+    std::uint64_t circuit_hash = 0;     ///< Circuit::contentHash()
+    std::uint64_t arch_fingerprint = 0; ///< architectureFingerprint()
+    std::uint64_t options_digest = 0;   ///< ZacOptions::digest()
+
+    friend bool operator==(const CacheKey &, const CacheKey &) = default;
+
+    /** Fold the three components into one 64-bit bucket hash. */
+    std::uint64_t
+    mixed() const
+    {
+        return hashCombine(hashCombine(circuit_hash, arch_fingerprint),
+                           options_digest);
+    }
+};
+
+/** std::unordered_map adaptor for CacheKey. */
+struct CacheKeyHash
+{
+    std::size_t
+    operator()(const CacheKey &k) const
+    {
+        return static_cast<std::size_t>(k.mixed());
+    }
+};
+
+/**
+ * Sharded LRU cache from CacheKey to an immutable shared ZacResult.
+ *
+ * Shards are independent (key -> shard by hash), so concurrent workers
+ * rarely contend on one mutex. Each shard evicts least-recently-used
+ * entries beyond its share of the capacity. Capacity 0 disables the
+ * cache entirely (every find misses, inserts are dropped), which the
+ * perf harness uses to measure raw compile throughput.
+ */
+class ResultCache
+{
+  public:
+    struct Stats
+    {
+        std::uint64_t hits = 0;
+        std::uint64_t misses = 0;
+        std::uint64_t insertions = 0;
+        std::uint64_t evictions = 0;
+        std::size_t entries = 0;
+
+        double
+        hitRate() const
+        {
+            const std::uint64_t total = hits + misses;
+            return total == 0
+                       ? 0.0
+                       : static_cast<double>(hits) /
+                             static_cast<double>(total);
+        }
+    };
+
+    /**
+     * @param capacity   max cached results across all shards (0 = off).
+     * @param num_shards lock shards; rounded up to at least 1.
+     */
+    explicit ResultCache(std::size_t capacity, std::size_t num_shards = 8);
+
+    bool enabled() const { return capacity_ > 0; }
+    std::size_t capacity() const { return capacity_; }
+
+    /**
+     * Look up @p key, refreshing its LRU position.
+     * @return the cached result, or nullptr on a miss.
+     */
+    std::shared_ptr<const ZacResult> find(const CacheKey &key);
+
+    /**
+     * Insert @p result under @p key.
+     *
+     * If another worker already published a result for the key, that
+     * first entry wins and is returned (results for equal keys are
+     * bit-identical anyway, so either object is correct — keeping the
+     * incumbent just preserves sharing with earlier consumers).
+     */
+    std::shared_ptr<const ZacResult> insert(
+        const CacheKey &key, std::shared_ptr<const ZacResult> result);
+
+    /** Aggregate statistics over all shards. */
+    Stats stats() const;
+
+    /** Drop every entry (statistics are kept). */
+    void clear();
+
+  private:
+    struct Shard
+    {
+        mutable std::mutex m;
+        /** MRU-first list of (key, result). */
+        std::list<std::pair<CacheKey, std::shared_ptr<const ZacResult>>>
+            lru;
+        std::unordered_map<CacheKey, decltype(lru)::iterator,
+                           CacheKeyHash>
+            map;
+        Stats stats;
+    };
+
+    Shard &shardFor(const CacheKey &key);
+
+    std::size_t capacity_;
+    std::size_t shard_capacity_;
+    std::vector<std::unique_ptr<Shard>> shards_;
+};
+
+} // namespace zac::service
+
+#endif // ZAC_SERVICE_RESULT_CACHE_HPP

@@ -1,0 +1,276 @@
+#include "service/service.hpp"
+
+#include <algorithm>
+
+#include "arch/serialize.hpp"
+#include "common/logging.hpp"
+
+namespace zac::service
+{
+
+namespace
+{
+
+double
+secondsSince(std::chrono::steady_clock::time_point t0,
+             std::chrono::steady_clock::time_point t1)
+{
+    return std::chrono::duration<double>(t1 - t0).count();
+}
+
+} // namespace
+
+const char *
+jobStatusName(JobStatus s)
+{
+    switch (s) {
+      case JobStatus::Done: return "done";
+      case JobStatus::Cancelled: return "cancelled";
+      case JobStatus::TimedOut: return "timed_out";
+      case JobStatus::Failed: return "failed";
+    }
+    return "?";
+}
+
+CompileService::CompileService(std::vector<CompileTarget> targets,
+                               Config config, ResultSink sink)
+    : config_(config), sink_(std::move(sink)),
+      queue_(config.queue_capacity),
+      cache_(config.cache_capacity, config.cache_shards)
+{
+    if (targets.empty())
+        fatal("CompileService: at least one compile target required");
+    targets_.reserve(targets.size());
+    for (CompileTarget &t : targets) {
+        TargetState st;
+        st.arch_fingerprint = architectureFingerprint(t.arch);
+        st.options_digest = t.opts.digest();
+        st.compiler =
+            std::make_shared<const ZacCompiler>(t.arch, t.opts);
+        st.target = std::move(t);
+        targets_.push_back(std::move(st));
+    }
+
+    num_workers_ = config_.num_workers > 0
+                       ? config_.num_workers
+                       : static_cast<int>(std::max(
+                             1u, std::thread::hardware_concurrency()));
+    workers_.reserve(static_cast<std::size_t>(num_workers_));
+    for (int i = 0; i < num_workers_; ++i)
+        workers_.emplace_back([this] { workerLoop(); });
+}
+
+CompileService::~CompileService()
+{
+    shutdown();
+}
+
+const CompileTarget &
+CompileService::target(int index) const
+{
+    if (index < 0 || index >= numTargets())
+        fatal("CompileService::target: index out of range");
+    return targets_[static_cast<std::size_t>(index)].target;
+}
+
+std::uint64_t
+CompileService::submit(Submission s)
+{
+    if (s.target < 0 ||
+        s.target >= static_cast<int>(targets_.size()))
+        fatal("CompileService::submit: invalid target index " +
+              std::to_string(s.target));
+
+    Job job;
+    job.name = s.name.empty() ? s.circuit.name() : std::move(s.name);
+    job.circuit = std::move(s.circuit);
+    job.target = s.target;
+    job.seed = s.seed;
+    job.timeout_seconds = s.timeout_seconds;
+    job.cancel_flag = std::make_shared<std::atomic<bool>>(false);
+
+    {
+        std::lock_guard<std::mutex> lock(state_mutex_);
+        if (shutdown_)
+            fatal("CompileService::submit: service is shut down");
+        job.id = next_job_id_++;
+        ++submitted_;
+        live_jobs_.emplace(job.id, job.cancel_flag);
+    }
+    const std::uint64_t id = job.id;
+    job.submit_time = std::chrono::steady_clock::now();
+    if (!queue_.push(std::move(job))) {
+        // Closed between the check and the push: roll the books back.
+        std::lock_guard<std::mutex> lock(state_mutex_);
+        --submitted_;
+        live_jobs_.erase(id);
+        fatal("CompileService::submit: service is shut down");
+    }
+    return id;
+}
+
+bool
+CompileService::cancel(std::uint64_t job_id)
+{
+    std::lock_guard<std::mutex> lock(state_mutex_);
+    auto it = live_jobs_.find(job_id);
+    if (it == live_jobs_.end())
+        return false;
+    it->second->store(true, std::memory_order_relaxed);
+    return true;
+}
+
+void
+CompileService::drain()
+{
+    std::unique_lock<std::mutex> lock(state_mutex_);
+    all_done_.wait(lock, [&] { return delivered_ == submitted_; });
+}
+
+void
+CompileService::shutdown()
+{
+    {
+        std::lock_guard<std::mutex> lock(state_mutex_);
+        if (shutdown_)
+            return;
+        shutdown_ = true;
+    }
+    drain();
+    queue_.close();
+    for (std::thread &w : workers_)
+        if (w.joinable())
+            w.join();
+}
+
+ResultCache::Stats
+CompileService::cacheStats() const
+{
+    return cache_.stats();
+}
+
+void
+CompileService::workerLoop()
+{
+    while (std::optional<Job> job = queue_.pop())
+        runJob(*job);
+}
+
+void
+CompileService::runJob(Job &job)
+{
+    using clock = std::chrono::steady_clock;
+    const clock::time_point picked_up = clock::now();
+
+    const TargetState &ts = targets_[static_cast<std::size_t>(
+        job.target)];
+
+    JobRecord record;
+    record.job_id = job.id;
+    record.name = job.name;
+    record.target = job.target;
+    record.circuit_hash = job.circuit.contentHash();
+    record.queue_seconds = secondsSince(job.submit_time, picked_up);
+
+    // Per-job deterministic seed: the effective options are fixed at
+    // submit time and independent of worker scheduling.
+    ZacOptions opts = ts.target.opts;
+    if (job.seed)
+        opts.seed = *job.seed;
+    const CacheKey key{record.circuit_hash, ts.arch_fingerprint,
+                       opts.digest()};
+
+    if (job.cancel_flag->load(std::memory_order_relaxed)) {
+        record.status = JobStatus::Cancelled;
+        deliver(record, job.submit_time);
+        return;
+    }
+
+    if (cache_.enabled()) {
+        if (std::shared_ptr<const ZacResult> hit = cache_.find(key)) {
+            record.status = JobStatus::Done;
+            record.cache_hit = true;
+            // The key is name-blind (Circuit::contentHash ignores
+            // names), but the result embeds the compiled circuit's
+            // name in staged.name / program.circuit_name. Those are
+            // pure metadata — nothing else in the result derives from
+            // them — so when a content-equal circuit arrives under a
+            // different name, rebind the name fields to reproduce a
+            // fresh compile of *this* submission bit for bit.
+            if (hit->program.circuit_name != job.circuit.name()) {
+                auto rebound = std::make_shared<ZacResult>(*hit);
+                rebound->staged.name = job.circuit.name();
+                rebound->program.circuit_name = job.circuit.name();
+                record.result = std::move(rebound);
+            } else {
+                record.result = std::move(hit);
+            }
+            deliver(record, job.submit_time);
+            return;
+        }
+    }
+
+    CompileControl control;
+    control.cancel = job.cancel_flag.get();
+    if (job.timeout_seconds > 0.0)
+        control.deadline =
+            job.submit_time +
+            std::chrono::duration_cast<clock::duration>(
+                std::chrono::duration<double>(job.timeout_seconds));
+
+    try {
+        ZacResult result;
+        if (job.seed) {
+            // Seed override: a per-job compiler bound to the derived
+            // options (copies the architecture; rare path by design).
+            const ZacCompiler compiler(ts.target.arch, opts);
+            result = compiler.compile(job.circuit, control);
+        } else {
+            result = ts.compiler->compile(job.circuit, control);
+        }
+        auto shared =
+            std::make_shared<const ZacResult>(std::move(result));
+        record.result = cache_.enabled()
+                            ? cache_.insert(key, std::move(shared))
+                            : std::move(shared);
+        record.status = JobStatus::Done;
+    } catch (const CompileCancelled &c) {
+        record.status = c.timedOut() ? JobStatus::TimedOut
+                                     : JobStatus::Cancelled;
+    } catch (const std::exception &e) {
+        // FatalError (bad input for the target), PanicError (library
+        // bug), bad_alloc, ... — a batch engine must outlive any one
+        // job, and drain() depends on every job being delivered.
+        record.status = JobStatus::Failed;
+        record.error = e.what();
+    }
+    deliver(record, job.submit_time);
+}
+
+void
+CompileService::deliver(JobRecord &record,
+                        std::chrono::steady_clock::time_point
+                            submit_time)
+{
+    record.service_seconds =
+        secondsSince(submit_time, std::chrono::steady_clock::now());
+    if (sink_) {
+        std::lock_guard<std::mutex> lock(sink_mutex_);
+        try {
+            sink_(record);
+        } catch (const std::exception &e) {
+            // A throwing sink must not kill the worker (std::terminate)
+            // or skip the bookkeeping below, which drain() depends on.
+            warn(std::string("CompileService: result sink threw: ") +
+                 e.what());
+        }
+    }
+    {
+        std::lock_guard<std::mutex> lock(state_mutex_);
+        live_jobs_.erase(record.job_id);
+        ++delivered_;
+    }
+    all_done_.notify_all();
+}
+
+} // namespace zac::service

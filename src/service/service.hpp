@@ -1,0 +1,215 @@
+/**
+ * @file
+ * The batch compile service: a work-queue engine that shards
+ * zac::compile() calls across a worker pool.
+ *
+ * This is the server mode called for by the heavy-traffic north star:
+ * accept many circuits, compile them concurrently (compile() is const
+ * and re-entrant since the per-thread-scratch rewrite), serve repeated
+ * submissions from a content-addressed result cache, and stream results
+ * out through a sink as workers finish — no global barrier, no
+ * buffering of whole batches.
+ *
+ * Determinism: a compilation is a pure function of (circuit,
+ * architecture, options incl. seed). Workers never share mutable state
+ * with a compile in flight, so results are bit-identical regardless of
+ * worker count, scheduling order, or whether they were served from the
+ * cache. The perf harness and tests assert this.
+ */
+
+#ifndef ZAC_SERVICE_SERVICE_HPP
+#define ZAC_SERVICE_SERVICE_HPP
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "circuit/circuit.hpp"
+#include "core/compiler.hpp"
+#include "core/options.hpp"
+#include "service/job_queue.hpp"
+#include "service/result_cache.hpp"
+
+namespace zac::service
+{
+
+/**
+ * One (architecture, options) pair jobs can target. The service
+ * precomputes the architecture fingerprint and a shared ZacCompiler per
+ * target at construction, so per-job work is just a hash of the circuit.
+ */
+struct CompileTarget
+{
+    std::string name;  ///< label echoed into protocol records
+    Architecture arch; ///< finalized architecture
+    ZacOptions opts;   ///< compile options (seed included)
+};
+
+/** Terminal state of one job. */
+enum class JobStatus
+{
+    Done,      ///< compiled (or cache-served) successfully
+    Cancelled, ///< cancel() hit the job before/while it ran
+    TimedOut,  ///< the per-job deadline expired mid-compile
+    Failed,    ///< compile threw (bad circuit for the target, etc.)
+};
+
+/** @return the lowercase protocol name for @p s (e.g. "done"). */
+const char *jobStatusName(JobStatus s);
+
+/** Everything the service reports about one finished job. */
+struct JobRecord
+{
+    std::uint64_t job_id = 0;
+    std::string name;          ///< submission label (circuit name)
+    int target = 0;            ///< index into targets()
+    JobStatus status = JobStatus::Failed;
+    bool cache_hit = false;
+    std::string error;         ///< failure message when Failed
+
+    /** Compile output; non-null iff status == Done. Shared with the
+     *  cache — treat as immutable. */
+    std::shared_ptr<const ZacResult> result;
+
+    std::uint64_t circuit_hash = 0; ///< circuit key component
+    double queue_seconds = 0.0;     ///< submit -> worker pickup
+    double service_seconds = 0.0;   ///< submit -> delivery
+};
+
+/**
+ * The compile-service engine: bounded MPMC job queue, worker pool,
+ * result cache, per-job cancellation and timeout.
+ *
+ * Results are delivered through the sink callback, invoked from worker
+ * threads as each job finishes. The service serializes sink invocations
+ * (one at a time, under an internal mutex), so the sink may write to a
+ * shared stream without further locking; it must not call back into the
+ * service except via cancel().
+ */
+class CompileService
+{
+  public:
+    struct Config
+    {
+        /** Worker threads; 0 = hardware concurrency. */
+        int num_workers = 0;
+        /** Job-queue bound (backpressure on submit). */
+        std::size_t queue_capacity = 256;
+        /** Result-cache entries (0 disables caching). */
+        std::size_t cache_capacity = 1024;
+        /** Cache lock shards. */
+        std::size_t cache_shards = 8;
+    };
+
+    using ResultSink = std::function<void(const JobRecord &)>;
+
+    /** One job submission. */
+    struct Submission
+    {
+        std::string name;    ///< label (defaults to circuit name)
+        Circuit circuit;
+        int target = 0;      ///< index into targets()
+        /** Per-job deterministic seed override; when set, the target's
+         *  options are re-digested with this seed (distinct cache
+         *  entry, reproducible independent of submission order). */
+        std::optional<std::uint64_t> seed;
+        /** Per-job wall-clock timeout; <= 0 means none. */
+        double timeout_seconds = 0.0;
+    };
+
+    CompileService(std::vector<CompileTarget> targets, Config config,
+                   ResultSink sink);
+    ~CompileService();
+
+    CompileService(const CompileService &) = delete;
+    CompileService &operator=(const CompileService &) = delete;
+
+    int numTargets() const { return static_cast<int>(targets_.size()); }
+    /** The target @p index jobs can reference in Submission::target. */
+    const CompileTarget &target(int index) const;
+    int numWorkers() const { return num_workers_; }
+
+    /**
+     * Enqueue one job; blocks while the queue is full.
+     * @return the job id (also echoed in the JobRecord).
+     * @throws FatalError on an invalid target index or after shutdown.
+     */
+    std::uint64_t submit(Submission s);
+
+    /**
+     * Request cancellation of a pending or running job. Queued jobs are
+     * dropped at pickup; running jobs stop at the next compile phase
+     * boundary. Either way the sink still receives a (Cancelled)
+     * record.
+     * @return false if the job already completed (or never existed).
+     */
+    bool cancel(std::uint64_t job_id);
+
+    /** Block until every job submitted so far has been delivered. */
+    void drain();
+
+    /** Drain, stop the workers, and close the queue; idempotent. */
+    void shutdown();
+
+    ResultCache::Stats cacheStats() const;
+
+  private:
+    struct TargetState
+    {
+        CompileTarget target;
+        std::shared_ptr<const ZacCompiler> compiler;
+        std::uint64_t arch_fingerprint = 0;
+        std::uint64_t options_digest = 0;
+    };
+
+    struct Job
+    {
+        std::uint64_t id = 0;
+        std::string name;
+        Circuit circuit;
+        int target = 0;
+        std::optional<std::uint64_t> seed;
+        double timeout_seconds = 0.0;
+        std::chrono::steady_clock::time_point submit_time;
+        std::shared_ptr<std::atomic<bool>> cancel_flag;
+    };
+
+    void workerLoop();
+    void runJob(Job &job);
+    void deliver(JobRecord &record,
+                 std::chrono::steady_clock::time_point submit_time);
+
+    std::vector<TargetState> targets_;
+    Config config_;
+    ResultSink sink_;
+    int num_workers_ = 1;
+
+    BoundedMpmcQueue<Job> queue_;
+    ResultCache cache_;
+    std::vector<std::thread> workers_;
+
+    std::mutex sink_mutex_;
+
+    std::mutex state_mutex_;
+    std::condition_variable all_done_;
+    std::uint64_t next_job_id_ = 1;
+    std::uint64_t submitted_ = 0;
+    std::uint64_t delivered_ = 0;
+    bool shutdown_ = false;
+    /** Cancel flags of jobs not yet delivered, by job id. */
+    std::unordered_map<std::uint64_t,
+                       std::shared_ptr<std::atomic<bool>>>
+        live_jobs_;
+};
+
+} // namespace zac::service
+
+#endif // ZAC_SERVICE_SERVICE_HPP

@@ -263,4 +263,137 @@ loadZairProgram(const std::string &path)
     return zairProgramFromJson(json::parseFile(path));
 }
 
+// ------------------------------------------------------ streaming writer
+
+namespace
+{
+
+/**
+ * Re-indent a standalone dump() so it reads as if emitted at @p depth
+ * inside an enclosing document. json::Value indentation is linear in
+ * depth and escaped strings never contain raw newlines, so inserting
+ * indent*depth spaces after every newline reproduces the nested bytes
+ * exactly.
+ */
+void
+writeReindented(std::ostream &out, const std::string &dumped, int indent,
+                int depth)
+{
+    if (indent <= 0) {
+        out << dumped;
+        return;
+    }
+    const std::string pad(static_cast<std::size_t>(indent) *
+                              static_cast<std::size_t>(depth),
+                          ' ');
+    std::size_t start = 0;
+    for (;;) {
+        const std::size_t nl = dumped.find('\n', start);
+        if (nl == std::string::npos) {
+            out.write(dumped.data() + start,
+                      static_cast<std::streamsize>(dumped.size() -
+                                                   start));
+            return;
+        }
+        out.write(dumped.data() + start,
+                  static_cast<std::streamsize>(nl + 1 - start));
+        out << pad;
+        start = nl + 1;
+    }
+}
+
+} // namespace
+
+ZairStreamWriter::ZairStreamWriter(std::ostream &out, int indent)
+    : out_(out), indent_(indent)
+{
+    if (indent_ < 0)
+        indent_ = 0;
+}
+
+void
+ZairStreamWriter::begin(const std::string &circuit_name,
+                        const std::string &arch_name, int num_qubits)
+{
+    if (begun_)
+        panic("ZairStreamWriter: begin() called twice");
+    begun_ = true;
+    num_qubits_ = num_qubits;
+
+    // Mirror zairProgramToJson(): json::Object orders its keys
+    // lexicographically, so the header is architecture, circuit,
+    // instructions (streamed), with num_qubits after the array.
+    const char *colon = indent_ > 0 ? ": " : ":";
+    const auto member = [&](const char *key) {
+        if (indent_ > 0)
+            out_ << '\n' << std::string(
+                static_cast<std::size_t>(indent_), ' ');
+        out_ << '"' << key << '"' << colon;
+    };
+    out_ << '{';
+    member("architecture");
+    out_ << json::Value(arch_name).dump();
+    out_ << ',';
+    member("circuit");
+    out_ << json::Value(circuit_name).dump();
+    out_ << ',';
+    member("instructions");
+    // '[' is written lazily by add()/end() so an empty program emits
+    // the same "[]" a DOM dump would.
+}
+
+void
+ZairStreamWriter::add(const ZairInstr &instr)
+{
+    if (!begun_ || ended_)
+        panic("ZairStreamWriter: add() outside begin()/end()");
+    if (count_ == 0)
+        out_ << '[';
+    else
+        out_ << ',';
+    if (indent_ > 0)
+        out_ << '\n' << std::string(
+            static_cast<std::size_t>(indent_) * 2, ' ');
+    writeReindented(out_, zairInstrToJson(instr).dump(indent_), indent_,
+                    2);
+    ++count_;
+}
+
+void
+ZairStreamWriter::end()
+{
+    if (!begun_ || ended_)
+        panic("ZairStreamWriter: end() outside begin()");
+    ended_ = true;
+    if (count_ == 0) {
+        out_ << "[]";
+    } else {
+        if (indent_ > 0)
+            out_ << '\n' << std::string(
+                static_cast<std::size_t>(indent_), ' ');
+        out_ << ']';
+    }
+    out_ << ',';
+    if (indent_ > 0)
+        out_ << '\n' << std::string(
+            static_cast<std::size_t>(indent_), ' ');
+    out_ << "\"num_qubits\"" << (indent_ > 0 ? ": " : ":")
+         << json::Value(num_qubits_).dump();
+    if (indent_ > 0)
+        out_ << '\n';
+    out_ << '}';
+}
+
+void
+streamZairProgram(std::ostream &out, const ZairProgram &program,
+                  int indent)
+{
+    ZairStreamWriter w(out, indent);
+    w.begin(program.circuit_name, program.arch_name,
+            program.num_qubits);
+    for (const ZairInstr &in : program.instrs)
+        w.add(in);
+    w.end();
+}
+
 } // namespace zac

@@ -7,6 +7,7 @@
 #ifndef ZAC_ZAIR_SERIALIZE_HPP
 #define ZAC_ZAIR_SERIALIZE_HPP
 
+#include <ostream>
 #include <string>
 
 #include "common/json.hpp"
@@ -32,6 +33,49 @@ ZairProgram zairProgramFromJson(const json::Value &v);
 
 /** Load a program from a JSON file written by saveZairProgram. */
 ZairProgram loadZairProgram(const std::string &path);
+
+/**
+ * Incremental ZAIR/JSON writer: streams a program to an std::ostream one
+ * instruction at a time, so a compile-service worker can emit output as
+ * instructions are produced instead of buffering the whole program DOM.
+ *
+ * The byte stream is exactly what zairProgramToJson(p).dump(indent)
+ * would produce for the same program — verified by unit test — so
+ * streamed and buffered outputs can be compared bit-for-bit.
+ *
+ * Usage: begin(...); add(instr) for each instruction; end().
+ */
+class ZairStreamWriter
+{
+  public:
+    /**
+     * @param out    destination stream (kept by reference).
+     * @param indent pretty-print width; 0 writes one compact line.
+     */
+    explicit ZairStreamWriter(std::ostream &out, int indent = 2);
+
+    /** Write the program header and open the instruction array. */
+    void begin(const std::string &circuit_name,
+               const std::string &arch_name, int num_qubits);
+
+    /** Append one instruction. */
+    void add(const ZairInstr &instr);
+
+    /** Close the instruction array and the document. */
+    void end();
+
+  private:
+    std::ostream &out_;
+    int indent_;
+    int num_qubits_ = 0;
+    bool begun_ = false;
+    bool ended_ = false;
+    std::size_t count_ = 0;
+};
+
+/** Stream a whole program through a ZairStreamWriter. */
+void streamZairProgram(std::ostream &out, const ZairProgram &program,
+                       int indent = 2);
 
 } // namespace zac
 

@@ -46,6 +46,71 @@ TEST(Circuit, CountsAndDepth)
     EXPECT_EQ(c.depth(), 4);
 }
 
+TEST(Circuit, ContentHashIsOrderStableAndNameBlind)
+{
+    Circuit a(3, "first");
+    a.h(0);
+    a.cx(0, 1);
+    a.rz(2, 0.5);
+    Circuit b(3, "second"); // same gates, different name
+    b.h(0);
+    b.cx(0, 1);
+    b.rz(2, 0.5);
+    EXPECT_EQ(a.contentHash(), b.contentHash());
+    EXPECT_EQ(a.contentHash(), a.contentHash()); // deterministic
+
+    Circuit reordered(3);
+    reordered.cx(0, 1); // same multiset of gates, different order
+    reordered.h(0);
+    reordered.rz(2, 0.5);
+    EXPECT_NE(a.contentHash(), reordered.contentHash());
+}
+
+TEST(Circuit, ContentHashSeparatesContent)
+{
+    Circuit base(3);
+    base.h(0);
+    base.rz(1, 0.5);
+
+    Circuit param(3); // parameter change
+    param.h(0);
+    param.rz(1, 0.25);
+    EXPECT_NE(base.contentHash(), param.contentHash());
+
+    Circuit operand(3); // operand change
+    operand.h(0);
+    operand.rz(2, 0.5);
+    EXPECT_NE(base.contentHash(), operand.contentHash());
+
+    Circuit opcode(3); // opcode change
+    opcode.h(0);
+    opcode.rx(1, 0.5);
+    EXPECT_NE(base.contentHash(), opcode.contentHash());
+
+    Circuit wider(4); // qubit-count change, same gates
+    wider.h(0);
+    wider.rz(1, 0.5);
+    EXPECT_NE(base.contentHash(), wider.contentHash());
+
+    EXPECT_NE(Circuit(3).contentHash(), Circuit(4).contentHash());
+}
+
+TEST(Circuit, ContentHashMatchesAcrossConstructionRoutes)
+{
+    // The generator and a manual rebuild of the same gate list agree.
+    const Circuit gen = bench_circuits::ghz(5);
+    Circuit manual(5, "renamed");
+    manual.h(0);
+    for (int q = 0; q < 4; ++q)
+        manual.cx(q, q + 1);
+    EXPECT_EQ(gen.contentHash(), manual.contentHash());
+    // Zero params hash equally regardless of sign (canonicalized).
+    Circuit z1(1), z2(1);
+    z1.rz(0, 0.0);
+    z2.rz(0, -0.0);
+    EXPECT_EQ(z1.contentHash(), z2.contentHash());
+}
+
 TEST(Circuit, InteractionEdges)
 {
     Circuit c(4);

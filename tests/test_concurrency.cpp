@@ -1,0 +1,107 @@
+/**
+ * @file
+ * Stress test for the documented re-entrancy of ZacCompiler::compile():
+ * N threads concurrently compiling across every option preset must
+ * produce bit-identical ZAIR programs and fidelity values to a
+ * single-threaded reference run. This locks in the per-thread-scratch
+ * guarantee the placement hot paths rely on (and that the compile
+ * service builds on).
+ */
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <bit>
+#include <cstdint>
+#include <map>
+#include <sstream>
+#include <thread>
+#include <vector>
+
+#include "arch/presets.hpp"
+#include "circuit/generators.hpp"
+#include "core/compiler.hpp"
+#include "zair/serialize.hpp"
+
+namespace zac
+{
+namespace
+{
+
+/** Canonical bytes of one compile result (ZAIR + fidelity bits). */
+std::string
+signatureOf(const ZacResult &r)
+{
+    std::ostringstream ss;
+    streamZairProgram(ss, r.program, 0);
+    // Exact bit patterns, not 6-sig-digit ostream formatting: the
+    // whole point is catching low-order-bit divergence.
+    ss << '|' << std::bit_cast<std::uint64_t>(r.fidelity.total) << '|'
+       << std::bit_cast<std::uint64_t>(r.fidelity.duration_us);
+    return ss.str();
+}
+
+TEST(CompileReentrancy, BitIdenticalAcrossThreadsAndPresets)
+{
+    const Architecture arch = presets::referenceZoned();
+    const std::vector<std::pair<const char *, ZacOptions>> presets_{
+        {"vanilla", ZacOptions::vanilla()},
+        {"dynplace", ZacOptions::dynPlace()},
+        {"dynplace_reuse", ZacOptions::dynPlaceReuse()},
+        {"full", ZacOptions::full()},
+    };
+    const std::vector<std::string> circuits{"ghz_n23", "qft_n18",
+                                            "ising_n42"};
+
+    // One compiler per preset, shared by every thread (compile() is
+    // const and documented re-entrant).
+    std::vector<ZacCompiler> compilers;
+    for (const auto &[name, opts] : presets_)
+        compilers.emplace_back(arch, opts);
+
+    // Single-threaded reference signatures.
+    std::map<std::pair<int, std::string>, std::string> reference;
+    for (std::size_t p = 0; p < presets_.size(); ++p)
+        for (const std::string &c : circuits)
+            reference[{static_cast<int>(p), c}] = signatureOf(
+                compilers[p].compile(
+                    bench_circuits::paperBenchmark(c)));
+
+    constexpr int kThreads = 8;
+    constexpr int kRepsPerThread = 2;
+    std::atomic<int> mismatches{0};
+    std::vector<std::thread> threads;
+    for (int t = 0; t < kThreads; ++t) {
+        threads.emplace_back([&, t] {
+            // Each thread walks the (preset, circuit) grid from a
+            // different offset so distinct presets overlap in time.
+            const int n =
+                static_cast<int>(presets_.size() * circuits.size());
+            for (int rep = 0; rep < kRepsPerThread; ++rep) {
+                for (int k = 0; k < n; ++k) {
+                    const int i = (k + t) % n;
+                    const int p =
+                        i / static_cast<int>(circuits.size());
+                    const std::string &c =
+                        circuits[static_cast<std::size_t>(i) %
+                                 circuits.size()];
+                    const ZacResult r = compilers[
+                        static_cast<std::size_t>(p)]
+                        .compile(bench_circuits::paperBenchmark(c));
+                    // .at(): a concurrent-read-safe const lookup
+                    // (operator[] could default-insert, a data race).
+                    if (signatureOf(r) != reference.at({p, c}))
+                        ++mismatches;
+                }
+            }
+        });
+    }
+    for (std::thread &th : threads)
+        th.join();
+    EXPECT_EQ(mismatches.load(), 0)
+        << "concurrent compile() output diverged from the "
+           "single-threaded reference";
+}
+
+} // namespace
+} // namespace zac

@@ -1,0 +1,694 @@
+/**
+ * @file
+ * Unit and end-to-end tests for the batch compile service: the bounded
+ * MPMC queue, the content-addressed result cache and its key
+ * components, the streaming ZAIR writer, the JSONL protocol, the batch
+ * manifest, and the CompileService engine itself (sharding, cache hits,
+ * cancellation, timeout, determinism).
+ */
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdio>
+#include <fstream>
+#include <map>
+#include <set>
+#include <sstream>
+#include <thread>
+
+#include "arch/presets.hpp"
+#include "arch/serialize.hpp"
+#include "circuit/generators.hpp"
+#include "common/logging.hpp"
+#include "service/job_queue.hpp"
+#include "service/manifest.hpp"
+#include "service/protocol.hpp"
+#include "service/result_cache.hpp"
+#include "service/service.hpp"
+#include "zair/serialize.hpp"
+
+namespace zac
+{
+namespace
+{
+
+using service::BoundedMpmcQueue;
+using service::CacheKey;
+using service::CompileService;
+using service::CompileTarget;
+using service::JobRecord;
+using service::JobStatus;
+using service::ResultCache;
+
+// ------------------------------------------------------- job queue
+
+TEST(JobQueue, FifoOrderAndSize)
+{
+    BoundedMpmcQueue<int> q(4);
+    EXPECT_TRUE(q.push(1));
+    EXPECT_TRUE(q.push(2));
+    EXPECT_TRUE(q.push(3));
+    EXPECT_EQ(q.size(), 3u);
+    EXPECT_EQ(q.pop().value(), 1);
+    EXPECT_EQ(q.pop().value(), 2);
+    EXPECT_EQ(q.pop().value(), 3);
+    EXPECT_EQ(q.size(), 0u);
+}
+
+TEST(JobQueue, TryPushRespectsCapacity)
+{
+    BoundedMpmcQueue<int> q(2);
+    int a = 1, b = 2, c = 3;
+    EXPECT_TRUE(q.tryPush(a));
+    EXPECT_TRUE(q.tryPush(b));
+    EXPECT_FALSE(q.tryPush(c)); // full
+    q.close();
+    EXPECT_FALSE(q.tryPush(c)); // closed
+}
+
+TEST(JobQueue, CloseDrainsThenStops)
+{
+    BoundedMpmcQueue<int> q(8);
+    ASSERT_TRUE(q.push(7));
+    q.close();
+    EXPECT_FALSE(q.push(8));              // refused after close
+    EXPECT_EQ(q.pop().value(), 7);        // drains the remainder
+    EXPECT_FALSE(q.pop().has_value());    // then reports end
+}
+
+TEST(JobQueue, BlockingPushUnblocksOnPop)
+{
+    BoundedMpmcQueue<int> q(1);
+    ASSERT_TRUE(q.push(1));
+    std::atomic<bool> pushed{false};
+    std::thread producer([&] {
+        ASSERT_TRUE(q.push(2)); // blocks until the consumer pops
+        pushed = true;
+    });
+    EXPECT_EQ(q.pop().value(), 1);
+    producer.join();
+    EXPECT_TRUE(pushed);
+    EXPECT_EQ(q.pop().value(), 2);
+}
+
+TEST(JobQueue, ConcurrentProducersConsumersLoseNothing)
+{
+    constexpr int kProducers = 4, kPerProducer = 250;
+    BoundedMpmcQueue<int> q(16);
+    std::vector<std::thread> producers;
+    for (int p = 0; p < kProducers; ++p) {
+        producers.emplace_back([&q, p] {
+            for (int i = 0; i < kPerProducer; ++i)
+                ASSERT_TRUE(q.push(p * kPerProducer + i));
+        });
+    }
+    std::mutex m;
+    std::set<int> seen;
+    std::vector<std::thread> consumers;
+    for (int c = 0; c < 3; ++c) {
+        consumers.emplace_back([&] {
+            while (auto v = q.pop()) {
+                std::lock_guard<std::mutex> lock(m);
+                seen.insert(*v);
+            }
+        });
+    }
+    for (auto &t : producers)
+        t.join();
+    q.close();
+    for (auto &t : consumers)
+        t.join();
+    EXPECT_EQ(seen.size(),
+              static_cast<std::size_t>(kProducers * kPerProducer));
+}
+
+// ----------------------------------------------- cache key components
+
+TEST(CacheKeyComponents, ArchitectureFingerprintIsStable)
+{
+    const Architecture a = presets::referenceZoned();
+    const Architecture b = presets::referenceZoned();
+    EXPECT_EQ(architectureFingerprint(a), architectureFingerprint(b));
+    EXPECT_NE(architectureFingerprint(a),
+              architectureFingerprint(presets::multiZoneArch1()));
+    EXPECT_NE(architectureFingerprint(presets::referenceZoned(1)),
+              architectureFingerprint(presets::referenceZoned(2)));
+}
+
+TEST(CacheKeyComponents, OptionsDigestCoversEveryKnob)
+{
+    const ZacOptions base;
+    EXPECT_EQ(base.digest(), ZacOptions().digest());
+    EXPECT_NE(base.digest(), ZacOptions::vanilla().digest());
+    EXPECT_NE(ZacOptions::dynPlace().digest(),
+              ZacOptions::dynPlaceReuse().digest());
+    ZacOptions seeded;
+    seeded.seed = 2;
+    EXPECT_NE(base.digest(), seeded.digest());
+    ZacOptions iters;
+    iters.sa_iterations = 999;
+    EXPECT_NE(base.digest(), iters.digest());
+    ZacOptions alpha;
+    alpha.lookahead_alpha = 0.2;
+    EXPECT_NE(base.digest(), alpha.digest());
+    ZacOptions direct;
+    direct.use_direct_reuse = true;
+    EXPECT_NE(base.digest(), direct.digest());
+    ZacOptions khop;
+    khop.candidate_k = 3;
+    EXPECT_NE(base.digest(), khop.digest());
+}
+
+// ---------------------------------------------------- result cache
+
+std::shared_ptr<const ZacResult>
+dummyResult(double marker)
+{
+    auto r = std::make_shared<ZacResult>();
+    r->compile_seconds = marker;
+    return r;
+}
+
+TEST(ResultCacheTest, InsertFindAndStats)
+{
+    ResultCache cache(8, 2);
+    const CacheKey k{1, 2, 3};
+    EXPECT_EQ(cache.find(k), nullptr);
+    cache.insert(k, dummyResult(1.0));
+    auto hit = cache.find(k);
+    ASSERT_NE(hit, nullptr);
+    EXPECT_EQ(hit->compile_seconds, 1.0);
+    const ResultCache::Stats s = cache.stats();
+    EXPECT_EQ(s.hits, 1u);
+    EXPECT_EQ(s.misses, 1u);
+    EXPECT_EQ(s.insertions, 1u);
+    EXPECT_EQ(s.entries, 1u);
+    EXPECT_DOUBLE_EQ(s.hitRate(), 0.5);
+}
+
+TEST(ResultCacheTest, FirstInsertWinsOnRace)
+{
+    ResultCache cache(8, 1);
+    const CacheKey k{9, 9, 9};
+    auto first = cache.insert(k, dummyResult(1.0));
+    auto second = cache.insert(k, dummyResult(2.0));
+    EXPECT_EQ(first.get(), second.get()); // incumbent kept
+    EXPECT_EQ(second->compile_seconds, 1.0);
+}
+
+TEST(ResultCacheTest, LruEvictionAtCapacity)
+{
+    ResultCache cache(2, 1); // one shard, two entries
+    const CacheKey a{1, 0, 0}, b{2, 0, 0}, c{3, 0, 0};
+    cache.insert(a, dummyResult(1.0));
+    cache.insert(b, dummyResult(2.0));
+    ASSERT_NE(cache.find(a), nullptr); // refresh a: b is now LRU
+    cache.insert(c, dummyResult(3.0)); // evicts b
+    EXPECT_NE(cache.find(a), nullptr);
+    EXPECT_EQ(cache.find(b), nullptr);
+    EXPECT_NE(cache.find(c), nullptr);
+    EXPECT_EQ(cache.stats().evictions, 1u);
+}
+
+TEST(ResultCacheTest, ZeroCapacityDisables)
+{
+    ResultCache cache(0);
+    EXPECT_FALSE(cache.enabled());
+    const CacheKey k{1, 2, 3};
+    cache.insert(k, dummyResult(1.0));
+    EXPECT_EQ(cache.find(k), nullptr);
+    EXPECT_EQ(cache.stats().entries, 0u);
+}
+
+// ---------------------------------------------- streaming ZAIR writer
+
+TEST(ZairStreamWriterTest, ByteIdenticalToDomDump)
+{
+    const Architecture arch = presets::referenceZoned();
+    const ZacCompiler compiler(arch, ZacOptions::full());
+    const ZacResult r =
+        compiler.compile(bench_circuits::paperBenchmark("ghz_n23"));
+    for (int indent : {0, 2, 4}) {
+        std::ostringstream streamed;
+        streamZairProgram(streamed, r.program, indent);
+        EXPECT_EQ(streamed.str(),
+                  zairProgramToJson(r.program).dump(indent))
+            << "indent=" << indent;
+    }
+}
+
+TEST(ZairStreamWriterTest, EmptyProgramMatchesDomDump)
+{
+    ZairProgram p;
+    p.circuit_name = "empty";
+    p.arch_name = "none";
+    p.num_qubits = 0;
+    for (int indent : {0, 2}) {
+        std::ostringstream streamed;
+        streamZairProgram(streamed, p, indent);
+        EXPECT_EQ(streamed.str(), zairProgramToJson(p).dump(indent));
+    }
+}
+
+TEST(ZairStreamWriterTest, StreamedOutputRoundTrips)
+{
+    const Architecture arch = presets::referenceZoned();
+    const ZacCompiler compiler(arch, ZacOptions::full());
+    const ZacResult r =
+        compiler.compile(bench_circuits::paperBenchmark("ghz_n23"));
+    std::ostringstream streamed;
+    streamZairProgram(streamed, r.program, 0);
+    const ZairProgram loaded =
+        zairProgramFromJson(json::parse(streamed.str()));
+    EXPECT_EQ(loaded.num_qubits, r.program.num_qubits);
+    EXPECT_EQ(loaded.instrs.size(), r.program.instrs.size());
+    EXPECT_DOUBLE_EQ(loaded.makespanUs(), r.program.makespanUs());
+}
+
+// ------------------------------------------------------- protocol
+
+TEST(Protocol, ResultRecordShape)
+{
+    const Architecture arch = presets::referenceZoned();
+    const ZacCompiler compiler(arch, ZacOptions::full());
+    JobRecord rec;
+    rec.job_id = 42;
+    rec.name = "ghz_n23";
+    rec.status = JobStatus::Done;
+    rec.cache_hit = true;
+    rec.circuit_hash = 0xdeadbeefull;
+    rec.result = std::make_shared<const ZacResult>(
+        compiler.compile(bench_circuits::paperBenchmark("ghz_n23")));
+
+    const std::string line =
+        service::toJsonl(service::makeJobRecord(rec, "ref", true));
+    EXPECT_EQ(line.back(), '\n');
+    EXPECT_EQ(line.find('\n'), line.size() - 1); // one line
+    const json::Value v = json::parse(line);
+    EXPECT_EQ(v.at("type").asString(), "result");
+    EXPECT_EQ(v.at("job_id").asInt(), 42);
+    EXPECT_EQ(v.at("status").asString(), "done");
+    EXPECT_TRUE(v.at("cache_hit").asBool());
+    EXPECT_EQ(v.at("circuit_hash").asString(), "0x00000000deadbeef");
+    EXPECT_TRUE(v.contains("phase_seconds"));
+    EXPECT_TRUE(v.contains("stats"));
+    EXPECT_TRUE(v.contains("zair"));
+    // The embedded program must parse back.
+    const ZairProgram p = zairProgramFromJson(v.at("zair"));
+    EXPECT_EQ(p.num_qubits, rec.result->program.num_qubits);
+
+    // The streaming emitter produces the identical line without
+    // copying the program into a DOM.
+    for (bool with_zair : {true, false}) {
+        std::ostringstream streamed;
+        service::writeJobRecordJsonl(streamed, rec, "ref", with_zair);
+        EXPECT_EQ(streamed.str(),
+                  service::toJsonl(service::makeJobRecord(
+                      rec, "ref", with_zair)))
+            << "with_zair=" << with_zair;
+    }
+}
+
+TEST(Protocol, ErrorRecordShape)
+{
+    JobRecord rec;
+    rec.job_id = 7;
+    rec.name = "bad";
+    rec.status = JobStatus::TimedOut;
+    const json::Value v =
+        json::parse(service::toJsonl(service::makeJobRecord(
+            rec, "ref", true)));
+    EXPECT_EQ(v.at("type").asString(), "error");
+    EXPECT_EQ(v.at("status").asString(), "timed_out");
+    EXPECT_FALSE(v.contains("zair"));
+}
+
+// ------------------------------------------------------- manifest
+
+TEST(ManifestTest, ParsesTargetsAndJobs)
+{
+    const std::string doc = R"({
+      "targets": [
+        {"name": "a", "arch": "reference", "preset": "full", "seed": 3},
+        {"name": "b", "arch": "arch1", "preset": "vanilla"}
+      ],
+      "jobs": [
+        {"circuit": "ghz_n23", "target": "b", "repeat": 2,
+         "timeout_seconds": 1.5, "seed": 11},
+        {"circuit": "qft_n18"}
+      ]
+    })";
+    const service::Manifest m =
+        service::manifestFromJson(json::parse(doc));
+    ASSERT_EQ(m.targets.size(), 2u);
+    EXPECT_EQ(m.targets[0].opts.seed, 3u);
+    EXPECT_FALSE(m.targets[1].opts.use_sa_init);
+    ASSERT_EQ(m.jobs.size(), 2u);
+    EXPECT_EQ(m.jobs[0].target, 1);
+    EXPECT_EQ(m.jobs[0].repeat, 2);
+    EXPECT_DOUBLE_EQ(m.jobs[0].timeout_seconds, 1.5);
+    ASSERT_TRUE(m.jobs[0].seed.has_value());
+    EXPECT_EQ(*m.jobs[0].seed, 11u);
+    EXPECT_EQ(m.jobs[1].target, 0);
+    EXPECT_EQ(m.jobs[1].circuit.name(), "qft_n18");
+}
+
+TEST(ManifestTest, DefaultTargetAndErrors)
+{
+    const service::Manifest m = service::manifestFromJson(
+        json::parse(R"({"jobs": [{"circuit": "ghz_n23"}]})"));
+    ASSERT_EQ(m.targets.size(), 1u);
+    EXPECT_EQ(m.targets[0].name, "default");
+
+    EXPECT_THROW(service::manifestFromJson(json::parse("{}")),
+                 FatalError);
+    EXPECT_THROW(
+        service::manifestFromJson(json::parse(
+            R"({"jobs": [{"circuit": "ghz_n23", "target": "nope"}]})")),
+        FatalError);
+    EXPECT_THROW(service::manifestFromJson(json::parse(
+                     R"({"jobs": [{"circuit": "no_such_bench"}]})")),
+                 FatalError);
+}
+
+// --------------------------------------------- compile control hooks
+
+TEST(CompileControlTest, PreCancelledCompileThrows)
+{
+    const Architecture arch = presets::referenceZoned();
+    const ZacCompiler compiler(arch, ZacOptions::full());
+    std::atomic<bool> cancel{true};
+    CompileControl control;
+    control.cancel = &cancel;
+    EXPECT_THROW(compiler.compile(
+                     bench_circuits::paperBenchmark("ghz_n23"),
+                     control),
+                 CompileCancelled);
+}
+
+TEST(CompileControlTest, ExpiredDeadlineThrowsTimedOut)
+{
+    const Architecture arch = presets::referenceZoned();
+    const ZacCompiler compiler(arch, ZacOptions::full());
+    CompileControl control;
+    control.deadline = CompileControl::Clock::now() -
+                       std::chrono::milliseconds(1);
+    try {
+        compiler.compile(bench_circuits::paperBenchmark("ghz_n23"),
+                         control);
+        FAIL() << "expected CompileCancelled";
+    } catch (const CompileCancelled &e) {
+        EXPECT_TRUE(e.timedOut());
+    }
+}
+
+TEST(CompileControlTest, PhaseHookSeesPipelineOrder)
+{
+    const Architecture arch = presets::referenceZoned();
+    const ZacCompiler compiler(arch, ZacOptions::full());
+    std::vector<std::string> phases;
+    CompileControl control;
+    control.on_phase = [&](const char *p) { phases.push_back(p); };
+    (void)compiler.compile(bench_circuits::paperBenchmark("ghz_n23"),
+                           control);
+    const std::vector<std::string> expected{
+        "preprocess", "sa", "placement", "scheduling", "fidelity"};
+    EXPECT_EQ(phases, expected);
+}
+
+// --------------------------------------------------- compile service
+
+/** Collect all records, keyed by job id. */
+struct RecordCollector
+{
+    std::map<std::uint64_t, JobRecord> records;
+
+    CompileService::ResultSink
+    sink()
+    {
+        // The service serializes sink calls; no locking needed.
+        return [this](const JobRecord &r) { records[r.job_id] = r; };
+    }
+};
+
+std::string
+signatureOf(const ZacResult &r)
+{
+    std::ostringstream ss;
+    streamZairProgram(ss, r.program, 0);
+    return ss.str();
+}
+
+TEST(CompileServiceTest, ShardedResultsMatchSequential)
+{
+    const Architecture arch = presets::referenceZoned();
+    const ZacOptions opts = ZacOptions::full();
+    const std::vector<std::string> names{"ghz_n23", "qft_n18",
+                                         "ising_n42", "wstate_n27"};
+
+    const ZacCompiler sequential(arch, opts);
+    std::map<std::string, std::string> expected;
+    std::map<std::string, double> expected_fid;
+    for (const std::string &n : names) {
+        const ZacResult r =
+            sequential.compile(bench_circuits::paperBenchmark(n));
+        expected[n] = signatureOf(r);
+        expected_fid[n] = r.fidelity.total;
+    }
+
+    RecordCollector collector;
+    CompileService::Config config;
+    config.num_workers = 4;
+    config.cache_capacity = 0;
+    CompileService svc({CompileTarget{"ref", arch, opts}}, config,
+                       collector.sink());
+    for (int rep = 0; rep < 3; ++rep)
+        for (const std::string &n : names)
+            svc.submit({n, bench_circuits::paperBenchmark(n), 0, {},
+                        0.0});
+    svc.drain();
+    svc.shutdown();
+
+    ASSERT_EQ(collector.records.size(), names.size() * 3);
+    for (const auto &[id, rec] : collector.records) {
+        ASSERT_EQ(rec.status, JobStatus::Done) << rec.error;
+        EXPECT_FALSE(rec.cache_hit);
+        ASSERT_NE(rec.result, nullptr);
+        EXPECT_EQ(signatureOf(*rec.result), expected[rec.name]);
+        EXPECT_EQ(rec.result->fidelity.total, expected_fid[rec.name]);
+        EXPECT_GE(rec.queue_seconds, 0.0);
+        EXPECT_GE(rec.service_seconds, rec.queue_seconds);
+    }
+}
+
+TEST(CompileServiceTest, ResubmissionHitsCacheWithIdenticalResult)
+{
+    const Architecture arch = presets::referenceZoned();
+    RecordCollector collector;
+    CompileService::Config config;
+    config.num_workers = 2;
+    config.cache_capacity = 64;
+    CompileService svc(
+        {CompileTarget{"ref", arch, ZacOptions::full()}}, config,
+        collector.sink());
+
+    const std::uint64_t first =
+        svc.submit({"ghz", bench_circuits::paperBenchmark("ghz_n23"),
+                    0, {}, 0.0});
+    svc.drain();
+    const std::uint64_t second =
+        svc.submit({"ghz", bench_circuits::paperBenchmark("ghz_n23"),
+                    0, {}, 0.0});
+    svc.drain();
+    svc.shutdown();
+
+    const JobRecord &a = collector.records.at(first);
+    const JobRecord &b = collector.records.at(second);
+    EXPECT_FALSE(a.cache_hit);
+    EXPECT_TRUE(b.cache_hit);
+    // The cache serves the exact same immutable object.
+    EXPECT_EQ(a.result.get(), b.result.get());
+    EXPECT_EQ(a.circuit_hash, b.circuit_hash);
+
+    const ResultCache::Stats stats = svc.cacheStats();
+    EXPECT_EQ(stats.hits, 1u);
+    EXPECT_EQ(stats.insertions, 1u);
+}
+
+TEST(CompileServiceTest, CacheHitUnderDifferentNameRebindsMetadata)
+{
+    // contentHash() is name-blind, so a content-equal circuit under a
+    // new name hits the cache — but the served result must still be
+    // bit-identical to a fresh compile of *this* submission,
+    // including the name metadata embedded in the ZAIR program.
+    const Architecture arch = presets::referenceZoned();
+    Circuit renamed = bench_circuits::paperBenchmark("ghz_n23");
+    renamed.setName("ghz_n23_alias");
+
+    RecordCollector collector;
+    CompileService::Config config;
+    config.num_workers = 1;
+    config.cache_capacity = 16;
+    CompileService svc(
+        {CompileTarget{"ref", arch, ZacOptions::full()}}, config,
+        collector.sink());
+    const std::uint64_t original = svc.submit(
+        {"", bench_circuits::paperBenchmark("ghz_n23"), 0, {}, 0.0});
+    svc.drain();
+    const std::uint64_t alias = svc.submit({"", renamed, 0, {}, 0.0});
+    svc.drain();
+    svc.shutdown();
+
+    const JobRecord &a = collector.records.at(original);
+    const JobRecord &b = collector.records.at(alias);
+    ASSERT_TRUE(b.cache_hit);
+    EXPECT_EQ(a.circuit_hash, b.circuit_hash);
+    EXPECT_EQ(b.result->program.circuit_name, "ghz_n23_alias");
+    EXPECT_EQ(b.result->staged.name, "ghz_n23_alias");
+    // Everything except the rebound name matches a fresh compile.
+    const ZacCompiler sequential(arch, ZacOptions::full());
+    const ZacResult fresh = sequential.compile(renamed);
+    EXPECT_EQ(signatureOf(*b.result), signatureOf(fresh));
+    EXPECT_EQ(b.result->fidelity.total, fresh.fidelity.total);
+}
+
+TEST(CompileServiceTest, SeedOverrideChangesKeyDeterministically)
+{
+    const Architecture arch = presets::referenceZoned();
+    RecordCollector collector;
+    CompileService::Config config;
+    config.num_workers = 2;
+    config.cache_capacity = 64;
+    CompileService svc(
+        {CompileTarget{"ref", arch, ZacOptions::full()}}, config,
+        collector.sink());
+
+    // Drain between submissions so every cache expectation below is
+    // deterministic (concurrent equal-key jobs may legitimately race
+    // for which one misses).
+    const Circuit c = bench_circuits::paperBenchmark("ghz_n23");
+    const std::uint64_t base = svc.submit({"a", c, 0, {}, 0.0});
+    svc.drain();
+    const std::uint64_t seeded =
+        svc.submit({"b", c, 0, std::uint64_t{99}, 0.0});
+    svc.drain();
+    // A different seed must not be served from the base entry...
+    EXPECT_FALSE(collector.records.at(seeded).cache_hit);
+    // ...but resubmitting the same seed hits.
+    const std::uint64_t seeded_again =
+        svc.submit({"c", c, 0, std::uint64_t{99}, 0.0});
+    svc.drain();
+    EXPECT_TRUE(collector.records.at(seeded_again).cache_hit);
+    // Seeded results are deterministic: identical across submissions.
+    EXPECT_EQ(signatureOf(*collector.records.at(seeded).result),
+              signatureOf(*collector.records.at(seeded_again).result));
+    // And the base (unseeded) result was not disturbed.
+    EXPECT_EQ(collector.records.at(base).status, JobStatus::Done);
+    svc.shutdown();
+}
+
+TEST(CompileServiceTest, CancelBeforePickupDeliversCancelled)
+{
+    const Architecture arch = presets::referenceZoned();
+    RecordCollector collector;
+    CompileService::Config config;
+    config.num_workers = 1;
+    config.cache_capacity = 0;
+    CompileService svc(
+        {CompileTarget{"ref", arch, ZacOptions::full()}}, config,
+        collector.sink());
+
+    // Occupy the single worker, then cancel a queued job before it is
+    // picked up.
+    std::vector<std::uint64_t> ids;
+    for (int i = 0; i < 4; ++i)
+        ids.push_back(svc.submit(
+            {"job" + std::to_string(i),
+             bench_circuits::paperBenchmark("qft_n18"), 0, {}, 0.0}));
+    const bool accepted = svc.cancel(ids.back());
+    svc.drain();
+    svc.shutdown();
+
+    // cancel() raced the worker: either it landed (Cancelled) or the
+    // job finished first (cancel returned false).
+    const JobRecord &last = collector.records.at(ids.back());
+    if (accepted && last.status == JobStatus::Cancelled) {
+        EXPECT_EQ(last.result, nullptr);
+    } else {
+        EXPECT_EQ(last.status, JobStatus::Done);
+    }
+    EXPECT_FALSE(svc.cancel(ids.front())); // long gone
+}
+
+TEST(CompileServiceTest, ZeroTimeoutTimesOut)
+{
+    const Architecture arch = presets::referenceZoned();
+    RecordCollector collector;
+    CompileService::Config config;
+    config.num_workers = 1;
+    config.cache_capacity = 0;
+    CompileService svc(
+        {CompileTarget{"ref", arch, ZacOptions::full()}}, config,
+        collector.sink());
+    const std::uint64_t id = svc.submit(
+        {"t", bench_circuits::paperBenchmark("qft_n18"), 0, {},
+         1e-9});
+    svc.drain();
+    svc.shutdown();
+    EXPECT_EQ(collector.records.at(id).status, JobStatus::TimedOut);
+}
+
+TEST(CompileServiceTest, OversizedCircuitFailsCleanly)
+{
+    // More qubits than the reference arch has storage traps: the
+    // compile fatals, the service reports Failed and keeps running.
+    const Architecture arch = presets::multiZoneArch1(); // 120 traps
+    Circuit big(121, "too_big");
+    for (int q = 1; q < 121; ++q)
+        big.cx(0, q);
+
+    RecordCollector collector;
+    CompileService::Config config;
+    config.num_workers = 2;
+    CompileService svc(
+        {CompileTarget{"a1", arch, ZacOptions::full()}}, config,
+        collector.sink());
+    const std::uint64_t bad = svc.submit({"big", big, 0, {}, 0.0});
+    const std::uint64_t good = svc.submit(
+        {"ok", bench_circuits::paperBenchmark("ghz_n23"), 0, {}, 0.0});
+    svc.drain();
+    svc.shutdown();
+    EXPECT_EQ(collector.records.at(bad).status, JobStatus::Failed);
+    EXPECT_FALSE(collector.records.at(bad).error.empty());
+    EXPECT_EQ(collector.records.at(good).status, JobStatus::Done);
+}
+
+TEST(CompileServiceTest, SubmitAfterShutdownThrows)
+{
+    const Architecture arch = presets::referenceZoned();
+    CompileService svc(
+        {CompileTarget{"ref", arch, ZacOptions::full()}}, {},
+        nullptr);
+    svc.shutdown();
+    EXPECT_THROW(svc.submit({"x",
+                             bench_circuits::paperBenchmark("ghz_n23"),
+                             0, {}, 0.0}),
+                 FatalError);
+}
+
+TEST(CompileServiceTest, InvalidTargetRejected)
+{
+    const Architecture arch = presets::referenceZoned();
+    CompileService svc(
+        {CompileTarget{"ref", arch, ZacOptions::full()}}, {},
+        nullptr);
+    EXPECT_THROW(svc.submit({"x",
+                             bench_circuits::paperBenchmark("ghz_n23"),
+                             1, {}, 0.0}),
+                 FatalError);
+    svc.shutdown();
+}
+
+} // namespace
+} // namespace zac
