@@ -1,6 +1,7 @@
 /**
  * @file
- * Reproducible perf harness for the placement hot path (ISSUE 1 + 2).
+ * Reproducible perf harness for the placement hot path (ISSUE 1 + 2)
+ * and the scheduler/fidelity critical path (ISSUE 4).
  *
  * Measurements, all on the reference zoned architecture and the 17
  * paper benchmark circuits:
@@ -11,6 +12,12 @@
  *    flat-ID rewrite (windowed gate placement, journaled variant
  *    rollback, cached reuse matchings) against the frozen pre-rewrite
  *    driver (zac::legacy), including a bit-identical plan check;
+ *  - scheduleProgram + evaluateFidelity: the flat-ID scheduler
+ *    (single-resolution TrapIds, topological trap-dependency worklist,
+ *    sorted grouping, scratch-based splitting/lowering) and the
+ *    incremental-occupancy fidelity model against the frozen
+ *    zac::legacy pair, including a bit-identical program + breakdown
+ *    check;
  *  - per-phase compile breakdown (SA, reuse matching, gate placement,
  *    movement, scheduling, fidelity) via CompilePhaseTimings;
  *  - full ZacCompiler::compile wall time per circuit;
@@ -19,7 +26,7 @@
  *    compile() const.
  *
  * Results are written as machine-readable JSON (schema
- * zac.perf_placement.v2, documented in bench/README.md) so successive
+ * zac.perf_placement.v3, documented in bench/README.md) so successive
  * PRs accumulate a perf trajectory.
  *
  * Usage: perf_placement [output.json] [--fast]
@@ -38,7 +45,11 @@
 #include "common/logging.hpp"
 #include "core/movement_legacy.hpp"
 #include "core/sa_placer_legacy.hpp"
+#include "core/scheduler.hpp"
+#include "core/scheduler_legacy.hpp"
+#include "fidelity/model_legacy.hpp"
 #include "transpile/optimize.hpp"
+#include "zair/serialize.hpp"
 
 using namespace zac;
 using namespace zac::bench;
@@ -104,13 +115,16 @@ main(int argc, char **argv)
         std::string name;
         StagedCircuit staged;
         std::vector<TrapRef> initial; ///< SA placement, computed once
+        PlacementPlan plan;           ///< input of the scheduler timing
     };
     std::vector<Prepared> circuits;
     for (const std::string &name : circuitNames()) {
         const Circuit pre =
             preprocess(bench_circuits::paperBenchmark(name));
-        Prepared p{name, scheduleStages(pre, arch.numSites()), {}};
+        Prepared p{name, scheduleStages(pre, arch.numSites()), {}, {}};
         p.initial = saInitialPlacement(arch, p.staged, sa_opts);
+        p.plan = runDynamicPlacement(arch, p.staged, p.initial,
+                                     zac_opts);
         circuits.push_back(std::move(p));
     }
 
@@ -191,6 +205,61 @@ main(int argc, char **argv)
                 "\n\n",
                 dyn_geomean,
                 dyn_identical ? "bit-identical" : "MISMATCHED");
+
+    // -------------------- scheduler + fidelity (the post-placement
+    // critical path): flat-ID rewrite vs. the frozen legacy pair.
+    json::Array sched_rows;
+    std::vector<double> sched_speedups;
+    bool sched_identical = true;
+    std::printf("%-16s %12s %12s %9s  (scheduler + fidelity)\n",
+                "circuit", "legacy (ms)", "flat (ms)", "speedup");
+    for (const Prepared &c : circuits) {
+        ZairProgram fresh_prog, legacy_prog;
+        FidelityBreakdown fresh_fid, legacy_fid;
+        const double t_fresh = bestOf(dyn_reps, [&] {
+            fresh_prog = scheduleProgram(arch, c.staged, c.plan);
+            fresh_fid = evaluateFidelity(fresh_prog, arch);
+        });
+        const double t_legacy = bestOf(dyn_reps, [&] {
+            legacy_prog =
+                legacy::scheduleProgram(arch, c.staged, c.plan);
+            legacy_fid = legacy::evaluateFidelity(legacy_prog, arch);
+        });
+        const bool identical =
+            zairProgramToJson(fresh_prog).dump() ==
+                zairProgramToJson(legacy_prog).dump() &&
+            fresh_fid.g1 == legacy_fid.g1 &&
+            fresh_fid.g2 == legacy_fid.g2 &&
+            fresh_fid.n_excitation == legacy_fid.n_excitation &&
+            fresh_fid.n_transfer == legacy_fid.n_transfer &&
+            fresh_fid.f_1q == legacy_fid.f_1q &&
+            fresh_fid.f_2q_gates == legacy_fid.f_2q_gates &&
+            fresh_fid.f_excitation == legacy_fid.f_excitation &&
+            fresh_fid.f_2q == legacy_fid.f_2q &&
+            fresh_fid.f_transfer == legacy_fid.f_transfer &&
+            fresh_fid.f_decoherence == legacy_fid.f_decoherence &&
+            fresh_fid.duration_us == legacy_fid.duration_us &&
+            fresh_fid.total == legacy_fid.total;
+        sched_identical = sched_identical && identical;
+        const double speedup =
+            t_fresh > 0.0 ? t_legacy / t_fresh : 0.0;
+        sched_speedups.push_back(speedup);
+        std::printf("%-16s %12.3f %12.3f %8.2fx%s\n", c.name.c_str(),
+                    t_legacy * 1e3, t_fresh * 1e3, speedup,
+                    identical ? "" : "  OUTPUT MISMATCH");
+        json::Object row;
+        row["circuit"] = c.name;
+        row["legacy_seconds"] = t_legacy;
+        row["indexed_seconds"] = t_fresh;
+        row["speedup"] = speedup;
+        row["output_identical"] = identical;
+        sched_rows.push_back(std::move(row));
+    }
+    const double sched_geomean = gmean(sched_speedups);
+    std::printf("\nscheduler+fidelity geomean speedup: %.2fx "
+                "(programs %s)\n\n",
+                sched_geomean,
+                sched_identical ? "bit-identical" : "MISMATCHED");
 
     // ------------------------------- per-phase compile breakdown
     const ZacCompiler compiler(arch, zac_opts);
@@ -308,7 +377,7 @@ main(int argc, char **argv)
 
     // ------------------------------------------------------ JSON dump
     json::Object doc;
-    doc["schema"] = "zac.perf_placement.v2";
+    doc["schema"] = "zac.perf_placement.v3";
     doc["arch"] = arch.name();
     doc["sa_iterations"] = sa_opts.max_iterations;
     doc["sa_seed"] = static_cast<std::int64_t>(sa_opts.seed);
@@ -319,6 +388,9 @@ main(int argc, char **argv)
     doc["dynamic_placement"] = std::move(dyn_rows);
     doc["dynamic_geomean_speedup"] = dyn_geomean;
     doc["dynamic_outputs_identical"] = dyn_identical;
+    doc["scheduler_fidelity"] = std::move(sched_rows);
+    doc["sched_fid_geomean_speedup"] = sched_geomean;
+    doc["sched_fid_outputs_identical"] = sched_identical;
     doc["phases"] = std::move(phase_rows);
     doc["phase_totals"] = json::Object{
         {"sa_seconds", tot_sa},
@@ -358,5 +430,5 @@ main(int argc, char **argv)
     }
     std::printf("wrote %s\n", out_path.c_str());
 
-    return (sa_identical && dyn_identical) ? 0 : 1;
+    return (sa_identical && dyn_identical && sched_identical) ? 0 : 1;
 }

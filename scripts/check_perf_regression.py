@@ -14,14 +14,15 @@ Supported schemas (--schema selects one explicitly; without the flag
 the committed file's own schema tag is used, and both files must
 carry the same tag either way):
 
-  zac.perf_placement.v2 (and v1)
+  zac.perf_placement.v3 (and v2, v1)
       Metric: ``compile_total_seconds`` normalized by the frozen
       ``zac::legacy`` SA total. The committed JSON is usually measured
       on different hardware than the CI runner, so raw seconds are not
       comparable; the legacy SA implementation never changes, making
       the ratio a machine-speed control that isolates genuine compiler
-      regressions. Also gates on ``sa_outputs_identical`` and
-      ``dynamic_outputs_identical``.
+      regressions. Also gates on ``sa_outputs_identical``,
+      ``dynamic_outputs_identical`` and (v3)
+      ``sched_fid_outputs_identical``.
 
   zac.perf_service.v1
       Metric: ``scaling_overhead`` — wall seconds of the batch
@@ -40,7 +41,11 @@ import json
 import os
 import sys
 
-PLACEMENT_SCHEMAS = ("zac.perf_placement.v1", "zac.perf_placement.v2")
+PLACEMENT_SCHEMAS = (
+    "zac.perf_placement.v1",
+    "zac.perf_placement.v2",
+    "zac.perf_placement.v3",
+)
 SERVICE_SCHEMAS = ("zac.perf_service.v1",)
 KNOWN_SCHEMAS = PLACEMENT_SCHEMAS + SERVICE_SCHEMAS
 
@@ -123,6 +128,9 @@ def placement_flags(doc):
         "sa_outputs_identical": doc.get("sa_outputs_identical", True),
         "dynamic_outputs_identical": doc.get(
             "dynamic_outputs_identical", True
+        ),
+        "sched_fid_outputs_identical": doc.get(
+            "sched_fid_outputs_identical", True
         ),
     }
 

@@ -186,6 +186,11 @@ Architecture::buildTrapIndex()
         nearestSiteOfTrap_[static_cast<std::size_t>(id)] =
             nearestSite(trapPos_[static_cast<std::size_t>(id)]);
 
+    entZoneOfTrap_.resize(static_cast<std::size_t>(numTraps_));
+    for (int id = 0; id < numTraps_; ++id)
+        entZoneOfTrap_[static_cast<std::size_t>(id)] =
+            entanglementZoneAt(trapPos_[static_cast<std::size_t>(id)]);
+
     // Storage-trap caches, in the storage-zone / SLM declaration order
     // the on-demand enumeration used to produce.
     storageSlmIds_.clear();
@@ -261,6 +266,14 @@ Architecture::nearestSiteOfTrap(TrapId id) const
     if (id < 0 || id >= numTraps_)
         panic("architecture: trap id out of range");
     return nearestSiteOfTrap_[static_cast<std::size_t>(id)];
+}
+
+int
+Architecture::entanglementZoneOfTrap(TrapId id) const
+{
+    if (id < 0 || id >= numTraps_)
+        panic("architecture: trap id out of range");
+    return entZoneOfTrap_[static_cast<std::size_t>(id)];
 }
 
 Point

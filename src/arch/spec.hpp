@@ -169,6 +169,13 @@ class Architecture
      * SA placement hot loop reads for every gate-cost probe.
      */
     int nearestSiteOfTrap(TrapId id) const;
+    /**
+     * Index of the entanglement zone containing trap @p id, or -1 for
+     * traps outside every entanglement zone; precomputed at finalize()
+     * so the fidelity excitation accounting never resolves positions.
+     * Equals entanglementZoneAt(trapPosition(id)); O(1).
+     */
+    int entanglementZoneOfTrap(TrapId id) const;
 
     // ----- Rydberg sites ----------------------------------------------
     int numSites() const { return static_cast<int>(sites_.size()); }
@@ -272,6 +279,7 @@ class Architecture
     std::vector<Point> trapPos_;            ///< TrapId -> position
     std::vector<char> trapIsStorage_;       ///< TrapId -> storage flag
     std::vector<int> nearestSiteOfTrap_;    ///< TrapId -> site id
+    std::vector<int> entZoneOfTrap_;        ///< TrapId -> ent zone / -1
     std::vector<SiteGrid> siteGrids_;       ///< per entanglement zone
     std::vector<int> storageSlmIds_;        ///< storage SLMs, zone order
     std::vector<TrapRef> storageTraps_;     ///< cached allStorageTraps()

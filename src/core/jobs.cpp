@@ -7,39 +7,69 @@
 namespace zac
 {
 
-std::vector<std::vector<Movement>>
-splitIntoJobs(const Architecture &arch,
-              const std::vector<Movement> &movements)
+int
+splitIntoJobGroups(const Architecture &arch,
+                   const std::vector<Movement> &movements,
+                   JobSplitScratch &scratch)
 {
     const std::size_t n = movements.size();
     if (n == 0)
-        return {};
+        return 0;
 
-    std::vector<Point> begin(n), end(n);
+    scratch.begin.resize(n);
+    scratch.end.resize(n);
     for (std::size_t i = 0; i < n; ++i) {
-        begin[i] = arch.trapPosition(movements[i].from);
-        end[i] = arch.trapPosition(movements[i].to);
+        scratch.begin[i] = arch.trapPosition(movements[i].from);
+        scratch.end[i] = arch.trapPosition(movements[i].to);
     }
+    return splitIntoJobGroupsPrepared(n, scratch);
+}
+
+int
+splitIntoJobGroupsPrepared(std::size_t num_movements,
+                           JobSplitScratch &scratch)
+{
+    const std::size_t n = num_movements;
+    if (n == 0)
+        return 0;
+    if (scratch.begin.size() != n || scratch.end.size() != n)
+        panic("splitIntoJobGroups: prepared positions size mismatch");
 
     // Pairwise conflict graph; the AOD ordering constraints are pairwise
     // conditions, so pairwise compatibility implies group compatibility.
-    std::vector<std::vector<int>> adj(n);
+    if (scratch.adj.size() < n)
+        scratch.adj.resize(n);
+    for (std::size_t i = 0; i < n; ++i)
+        scratch.adj[i].clear();
     for (std::size_t i = 0; i < n; ++i) {
         for (std::size_t j = i + 1; j < n; ++j) {
-            const std::vector<Point> b{begin[i], begin[j]};
-            const std::vector<Point> e{end[i], end[j]};
-            if (!movementsAodCompatible(b, e)) {
-                adj[i].push_back(static_cast<int>(j));
-                adj[j].push_back(static_cast<int>(i));
+            if (!movementPairAodCompatible(scratch.begin[i],
+                                           scratch.end[i],
+                                           scratch.begin[j],
+                                           scratch.end[j])) {
+                scratch.adj[i].push_back(static_cast<int>(j));
+                scratch.adj[j].push_back(static_cast<int>(i));
             }
         }
     }
 
-    const std::vector<std::vector<int>> groups =
-        partitionIntoIndependentSets(static_cast<int>(n), adj);
+    return partitionIntoIndependentSets(static_cast<int>(n),
+                                        scratch.adj, scratch.mis,
+                                        scratch.groups);
+}
+
+std::vector<std::vector<Movement>>
+splitIntoJobs(const Architecture &arch,
+              const std::vector<Movement> &movements)
+{
+    JobSplitScratch scratch;
+    const int num_groups =
+        splitIntoJobGroups(arch, movements, scratch);
     std::vector<std::vector<Movement>> jobs;
-    jobs.reserve(groups.size());
-    for (const std::vector<int> &group : groups) {
+    jobs.reserve(static_cast<std::size_t>(num_groups));
+    for (int g = 0; g < num_groups; ++g) {
+        const std::vector<int> &group =
+            scratch.groups[static_cast<std::size_t>(g)];
         std::vector<Movement> job;
         job.reserve(group.size());
         for (int idx : group)

@@ -14,9 +14,52 @@
 #include <vector>
 
 #include "core/movement.hpp"
+#include "matching/independent_set.hpp"
 
 namespace zac
 {
+
+/**
+ * Reusable buffers for splitIntoJobGroups. One instance per scheduler
+ * keeps the conflict-graph build and the greedy MIS partition
+ * allocation-free across transitions. After a call, the index groups
+ * live in groups[0 .. <returned count>).
+ */
+struct JobSplitScratch
+{
+    std::vector<Point> begin;
+    std::vector<Point> end;
+    std::vector<std::vector<int>> adj;
+    MisPartitionScratch mis;
+    /** Output: grown monotonically, valid prefix per the return value. */
+    std::vector<std::vector<int>> groups;
+};
+
+/**
+ * As splitIntoJobGroups below, with @p scratch.begin / @p scratch.end
+ * already holding one begin/end position per movement (callers that
+ * carry flat TrapIds resolve each position exactly once and share it
+ * between the split and the job lowering).
+ */
+int splitIntoJobGroupsPrepared(std::size_t num_movements,
+                               JobSplitScratch &scratch);
+
+/**
+ * Partition @p movements into AOD-compatible groups (jobs), written
+ * as index groups into @p scratch.groups.
+ *
+ * Identical grouping to splitIntoJobs (same conflict graph, same
+ * greedy minimum-degree-first maximal-independent-set partition)
+ * without copying the movements and without per-call allocations: the
+ * pairwise AOD ordering constraint is evaluated inline on positions
+ * resolved once per movement, and every buffer including the output
+ * groups is reused across calls.
+ *
+ * @return the number of groups (the valid prefix of scratch.groups).
+ */
+int splitIntoJobGroups(const Architecture &arch,
+                       const std::vector<Movement> &movements,
+                       JobSplitScratch &scratch);
 
 /**
  * Partition @p movements into AOD-compatible groups (jobs).

@@ -3,7 +3,9 @@
 #include <algorithm>
 #include <cmath>
 #include <cstdint>
-#include <map>
+#include <numeric>
+#include <queue>
+#include <tuple>
 
 #include "common/logging.hpp"
 #include "core/jobs.hpp"
@@ -15,30 +17,68 @@ namespace zac
 namespace
 {
 
-/** Book-keeping for the list scheduler. */
+/**
+ * Book-keeping for the list scheduler.
+ *
+ * This is the flat-ID rewrite of the pre-PR-4 scheduler (frozen as
+ * zac::legacy::scheduleProgram): every TrapId is resolved once when a
+ * job is lowered and carried alongside its QLocs, the intra-group
+ * trap-dependency resolution is an indegree-counted topological
+ * worklist instead of an O(n^2) ready-scan per pick, 1Q-gate and
+ * Rydberg grouping run on sorted scratch instead of std::map, and the
+ * AOD availability is a min-tracked heap instead of a linear argmin.
+ * Emitted programs are bit-identical to the legacy scheduler's.
+ */
 struct SchedulerState
 {
     const Architecture &arch;
     ZairProgram &program;
     std::vector<double> last_end;       ///< per qubit
-    std::vector<double> aod_avail;      ///< per AOD
+    /**
+     * Min-tracked AOD availability: one (available-at, aod id) entry
+     * per AOD at all times. Ties pop the lowest id, exactly like the
+     * strict-less linear argmin it replaces.
+     */
+    std::priority_queue<std::pair<double, int>,
+                        std::vector<std::pair<double, int>>,
+                        std::greater<std::pair<double, int>>>
+        aod_avail;
     /**
      * TrapId -> pickup end time of the job vacating that trap, 0.0 when
      * never vacated (a zero entry can never constrain a start time, so
      * no presence flag is needed).
      */
     std::vector<double> vacate;
-    /** Scratch for emitJobs' intra-group dependencies (TrapId-keyed). */
+    /** TrapId -> sorted job position vacating it (-1 outside emitJobs). */
     std::vector<std::int32_t> vacated_by_scratch;
     double raman_avail = 0.0;           ///< sequential 1Q laser
+
+    // ---- scratch reused across stages (grouping, dependencies) ----
+    using U3Key = std::tuple<long long, long long, long long>;
+    std::vector<std::pair<U3Key, int>> oneq_keys;
+    std::vector<std::vector<int>> zone_qubits;  ///< per ent zone
+    std::vector<int> zones_touched;
+    JobSplitScratch split_scratch;
+    RearrangeLowerScratch lower_scratch;
+    std::vector<int> sort_idx;
+    std::vector<int> dep_count;
+    std::vector<std::vector<int>> dep_succ;
+    std::vector<char> scheduled;
+    std::vector<int> order;
+    std::vector<int> ready_heap;
+    std::vector<TrapId> touched;
+    std::vector<TrapId> move_from_ids;
+    std::vector<TrapId> move_to_ids;
 
     SchedulerState(const Architecture &a, ZairProgram &p, int num_qubits)
         : arch(a), program(p),
           last_end(static_cast<std::size_t>(num_qubits), 0.0),
-          aod_avail(a.aods().size(), 0.0),
           vacate(static_cast<std::size_t>(a.numTraps()), 0.0),
-          vacated_by_scratch(static_cast<std::size_t>(a.numTraps()), -1)
+          vacated_by_scratch(static_cast<std::size_t>(a.numTraps()), -1),
+          zone_qubits(a.entanglementZones().size())
     {
+        for (int id = 0; id < static_cast<int>(a.aods().size()); ++id)
+            aod_avail.push({0.0, id});
     }
 
     QLoc
@@ -55,39 +95,55 @@ struct SchedulerState
         if (stage.ops.empty())
             return;
         // Group by (rounded) unitary: one ZAIR 1qGate per distinct U3.
-        using Key = std::tuple<long long, long long, long long>;
+        // Sorting (key, op index) pairs yields the groups in ascending
+        // key order with ops in encounter order inside each group —
+        // the exact iteration order of the std::map this replaces.
         auto key_of = [](const U3Angles &a) {
             const double s = 1e9;
-            return Key{std::llround(a.theta * s),
-                       std::llround(a.phi * s),
-                       std::llround(a.lambda * s)};
+            return U3Key{std::llround(a.theta * s),
+                         std::llround(a.phi * s),
+                         std::llround(a.lambda * s)};
         };
-        std::map<Key, std::vector<const StagedU3 *>> groups;
-        for (const StagedU3 &op : stage.ops)
-            groups[key_of(op.angles)].push_back(&op);
+        oneq_keys.clear();
+        for (std::size_t i = 0; i < stage.ops.size(); ++i)
+            oneq_keys.emplace_back(key_of(stage.ops[i].angles),
+                                   static_cast<int>(i));
+        std::sort(oneq_keys.begin(), oneq_keys.end());
 
-        for (const auto &[key, ops] : groups) {
+        for (std::size_t lo = 0; lo < oneq_keys.size();) {
+            std::size_t hi = lo;
+            while (hi < oneq_keys.size() &&
+                   oneq_keys[hi].first == oneq_keys[lo].first)
+                ++hi;
             ZairInstr in;
             in.kind = ZairKind::OneQGate;
-            in.unitary = ops.front()->angles;
+            in.unitary =
+                stage.ops[static_cast<std::size_t>(
+                              oneq_keys[lo].second)]
+                    .angles;
+            in.locs.reserve(hi - lo);
             double ready = raman_avail;
-            for (const StagedU3 *op : ops) {
+            for (std::size_t k = lo; k < hi; ++k) {
+                const StagedU3 &op = stage.ops[static_cast<std::size_t>(
+                    oneq_keys[k].second)];
                 in.locs.push_back(qloc(
-                    op->qubit,
-                    pos[static_cast<std::size_t>(op->qubit)]));
+                    op.qubit, pos[static_cast<std::size_t>(op.qubit)]));
                 ready = std::max(
                     ready,
-                    last_end[static_cast<std::size_t>(op->qubit)]);
+                    last_end[static_cast<std::size_t>(op.qubit)]);
             }
             in.begin_time_us = ready;
             in.end_time_us =
                 ready + arch.params().t_1q_us *
-                            static_cast<double>(ops.size());
+                            static_cast<double>(hi - lo);
             raman_avail = in.end_time_us;
-            for (const StagedU3 *op : ops)
-                last_end[static_cast<std::size_t>(op->qubit)] =
-                    in.end_time_us;
+            for (std::size_t k = lo; k < hi; ++k)
+                last_end[static_cast<std::size_t>(
+                    stage.ops[static_cast<std::size_t>(
+                                  oneq_keys[k].second)]
+                        .qubit)] = in.end_time_us;
             program.instrs.push_back(std::move(in));
+            lo = hi;
         }
     }
 
@@ -101,114 +157,183 @@ struct SchedulerState
     {
         if (movements.empty())
             return;
-        std::vector<std::vector<Movement>> jobs =
-            splitIntoJobs(arch, movements);
+        // Resolve every movement endpoint exactly once: flat TrapId
+        // plus its cached position, shared by the conflict-graph split
+        // below and the per-job lowering.
+        const std::size_t nm = movements.size();
+        move_from_ids.resize(nm);
+        move_to_ids.resize(nm);
+        split_scratch.begin.resize(nm);
+        split_scratch.end.resize(nm);
+        for (std::size_t i = 0; i < nm; ++i) {
+            const Movement &m = movements[i];
+            move_from_ids[i] = arch.trapId(m.from);
+            move_to_ids[i] = arch.trapId(m.to);
+            split_scratch.begin[i] = arch.trapPosition(move_from_ids[i]);
+            split_scratch.end[i] = arch.trapPosition(move_to_ids[i]);
+        }
+        const int num_groups =
+            splitIntoJobGroupsPrepared(nm, split_scratch);
 
         // Pre-lower each job to get its duration for load balancing.
+        // The resolved TrapIds are carried next to the QLocs so no
+        // later loop re-derives them.
         struct Pending
         {
             ZairInstr instr;
             JobPhases phases;
+            std::vector<TrapId> begin_ids;
+            std::vector<TrapId> end_ids;
         };
         std::vector<Pending> pending;
-        pending.reserve(jobs.size());
-        for (const std::vector<Movement> &job : jobs) {
+        pending.reserve(static_cast<std::size_t>(num_groups));
+        for (int g = 0; g < num_groups; ++g) {
+            const std::vector<int> &group =
+                split_scratch.groups[static_cast<std::size_t>(g)];
             Pending p;
             p.instr.kind = ZairKind::RearrangeJob;
-            for (const Movement &m : job) {
+            p.instr.begin_locs.reserve(group.size());
+            p.instr.end_locs.reserve(group.size());
+            p.begin_ids.reserve(group.size());
+            p.end_ids.reserve(group.size());
+            lower_scratch.begin.resize(group.size());
+            lower_scratch.end.resize(group.size());
+            for (std::size_t k = 0; k < group.size(); ++k) {
+                const std::size_t mi =
+                    static_cast<std::size_t>(group[k]);
+                const Movement &m = movements[mi];
                 p.instr.begin_locs.push_back(qloc(m.qubit, m.from));
                 p.instr.end_locs.push_back(qloc(m.qubit, m.to));
+                p.begin_ids.push_back(move_from_ids[mi]);
+                p.end_ids.push_back(move_to_ids[mi]);
+                lower_scratch.begin[k] = split_scratch.begin[mi];
+                lower_scratch.end[k] = split_scratch.end[mi];
             }
-            p.phases = lowerRearrangeJob(p.instr, arch);
+            p.phases =
+                lowerRearrangeJobPrepared(p.instr, arch, lower_scratch);
             pending.push_back(std::move(p));
         }
-        std::sort(pending.begin(), pending.end(),
-                  [](const Pending &a, const Pending &b) {
-                      return a.phases.total() > b.phases.total();
+        // Longest-first. Sorting positions with the same comparator
+        // outcomes performs the exact permutation std::sort applied to
+        // the job structs in the legacy scheduler (ties included).
+        const std::size_t nj = pending.size();
+        sort_idx.resize(nj);
+        std::iota(sort_idx.begin(), sort_idx.end(), 0);
+        std::sort(sort_idx.begin(), sort_idx.end(),
+                  [&pending](int a, int b) {
+                      return pending[static_cast<std::size_t>(a)]
+                                 .phases.total() >
+                             pending[static_cast<std::size_t>(b)]
+                                 .phases.total();
                   });
+        auto at = [&](std::size_t i) -> Pending & {
+            return pending[static_cast<std::size_t>(
+                sort_idx[static_cast<std::size_t>(i)])];
+        };
 
         // Intra-group trap dependencies (possible with direct in-zone
         // reuse): a job occupying a trap that another job of this group
-        // vacates schedules after the vacating job, so the vacate map
-        // holds the constraint. Cycles (jobs exchanging traps) fall
-        // back to the longest-first order.
-        std::vector<TrapId> touched;
-        for (std::size_t i = 0; i < pending.size(); ++i)
-            for (const QLoc &l : pending[i].instr.begin_locs) {
-                const TrapId t = arch.trapId(l.trap());
+        // vacates schedules after the vacating job. An indegree-counted
+        // topological worklist replaces the legacy O(n^2) ready-scan;
+        // the min-heap pops the lowest ready position, which is exactly
+        // the job the ascending rescans used to pick. Cycles (jobs
+        // exchanging traps) fall back to the longest-first order: the
+        // lowest unscheduled position is force-scheduled, matching the
+        // legacy fallback pick.
+        touched.clear();
+        for (std::size_t i = 0; i < nj; ++i)
+            for (const TrapId t : at(i).begin_ids) {
                 if (vacated_by_scratch[static_cast<std::size_t>(t)] < 0)
                     touched.push_back(t);
                 vacated_by_scratch[static_cast<std::size_t>(t)] =
                     static_cast<std::int32_t>(i);
             }
-        std::vector<char> scheduled(pending.size(), 0);
-        std::vector<std::size_t> order;
-        while (order.size() < pending.size()) {
-            std::size_t chosen = pending.size();
-            for (std::size_t i = 0; i < pending.size(); ++i) {
-                if (scheduled[i])
-                    continue;
-                bool ready = true;
-                for (const QLoc &l : pending[i].instr.end_locs) {
-                    const std::int32_t v = vacated_by_scratch[
-                        static_cast<std::size_t>(arch.trapId(l.trap()))];
-                    if (v >= 0 && static_cast<std::size_t>(v) != i &&
-                        !scheduled[static_cast<std::size_t>(v)]) {
-                        ready = false;
-                        break;
-                    }
+        dep_count.assign(nj, 0);
+        if (dep_succ.size() < nj)
+            dep_succ.resize(nj);
+        for (std::size_t i = 0; i < nj; ++i)
+            dep_succ[i].clear();
+        for (std::size_t i = 0; i < nj; ++i)
+            for (const TrapId t : at(i).end_ids) {
+                const std::int32_t v =
+                    vacated_by_scratch[static_cast<std::size_t>(t)];
+                if (v >= 0 && static_cast<std::size_t>(v) != i) {
+                    ++dep_count[i];
+                    dep_succ[static_cast<std::size_t>(v)].push_back(
+                        static_cast<int>(i));
                 }
-                if (ready) {
-                    chosen = i;
+            }
+        for (const TrapId t : touched)
+            vacated_by_scratch[static_cast<std::size_t>(t)] = -1;
+
+        scheduled.assign(nj, 0);
+        order.clear();
+        ready_heap.clear();
+        const auto heap_cmp = std::greater<int>();
+        for (std::size_t i = 0; i < nj; ++i)
+            if (dep_count[i] == 0)
+                ready_heap.push_back(static_cast<int>(i));
+        std::make_heap(ready_heap.begin(), ready_heap.end(), heap_cmp);
+        // The smallest unscheduled position never decreases, so the
+        // cycle fallback advances a cursor instead of rescanning.
+        std::size_t cursor = 0;
+        while (order.size() < nj) {
+            int chosen = -1;
+            while (!ready_heap.empty()) {
+                std::pop_heap(ready_heap.begin(), ready_heap.end(),
+                              heap_cmp);
+                const int c = ready_heap.back();
+                ready_heap.pop_back();
+                if (!scheduled[static_cast<std::size_t>(c)]) {
+                    chosen = c;
                     break;
                 }
             }
-            if (chosen == pending.size()) {
+            if (chosen < 0) {
                 // Dependency cycle: take the first unscheduled job.
-                for (std::size_t i = 0; i < pending.size(); ++i)
-                    if (!scheduled[i]) {
-                        chosen = i;
-                        break;
-                    }
+                while (scheduled[cursor])
+                    ++cursor;
+                chosen = static_cast<int>(cursor);
             }
-            scheduled[chosen] = 1;
+            scheduled[static_cast<std::size_t>(chosen)] = 1;
             order.push_back(chosen);
+            for (const int s :
+                 dep_succ[static_cast<std::size_t>(chosen)]) {
+                if (--dep_count[static_cast<std::size_t>(s)] == 0 &&
+                    !scheduled[static_cast<std::size_t>(s)]) {
+                    ready_heap.push_back(s);
+                    std::push_heap(ready_heap.begin(),
+                                   ready_heap.end(), heap_cmp);
+                }
+            }
         }
-        for (TrapId t : touched)
-            vacated_by_scratch[static_cast<std::size_t>(t)] = -1;
 
-        for (std::size_t oi : order) {
-            Pending &p = pending[oi];
+        for (const int oi : order) {
+            Pending &p = at(static_cast<std::size_t>(oi));
             // Earliest-available AOD (load balancing).
-            int best_aod = 0;
-            for (std::size_t a = 1; a < aod_avail.size(); ++a)
-                if (aod_avail[a] < aod_avail[static_cast<std::size_t>(
-                        best_aod)])
-                    best_aod = static_cast<int>(a);
+            const auto [avail, best_aod] = aod_avail.top();
+            aod_avail.pop();
             p.instr.aod_id = best_aod;
 
-            double start =
-                aod_avail[static_cast<std::size_t>(best_aod)];
+            double start = avail;
             for (const QLoc &l : p.instr.begin_locs)
                 start = std::max(
                     start, last_end[static_cast<std::size_t>(l.q)]);
             // Trap dependency: move must end after the vacating pickup.
             const double lead =
                 p.instr.move_done_us; // pickup + move (relative)
-            for (const QLoc &l : p.instr.end_locs) {
-                const double v = vacate[static_cast<std::size_t>(
-                    arch.trapId(l.trap()))];
+            for (const TrapId t : p.end_ids) {
+                const double v =
+                    vacate[static_cast<std::size_t>(t)];
                 start = std::max(start, v - lead);
             }
 
             p.instr.begin_time_us = start;
             p.instr.end_time_us = start + p.phases.total();
-            aod_avail[static_cast<std::size_t>(best_aod)] =
-                p.instr.end_time_us;
+            aod_avail.push({p.instr.end_time_us, best_aod});
             const double pickup_end = start + p.phases.pickup_us;
-            for (const QLoc &l : p.instr.begin_locs)
-                vacate[static_cast<std::size_t>(
-                    arch.trapId(l.trap()))] = pickup_end;
+            for (const TrapId t : p.begin_ids)
+                vacate[static_cast<std::size_t>(t)] = pickup_end;
             for (const QLoc &l : p.instr.end_locs) {
                 last_end[static_cast<std::size_t>(l.q)] =
                     p.instr.end_time_us;
@@ -223,29 +348,38 @@ struct SchedulerState
     emitRydberg(const RydbergStage &stage,
                 const std::vector<int> &sites)
     {
-        std::map<int, std::vector<int>> zone_qubits;
         for (std::size_t i = 0; i < stage.gates.size(); ++i) {
-            const int zone =
-                arch.site(sites[i]).zone_index;
-            zone_qubits[zone].push_back(stage.gates[i].q0);
-            zone_qubits[zone].push_back(stage.gates[i].q1);
+            const int zone = arch.site(sites[i]).zone_index;
+            std::vector<int> &zq =
+                zone_qubits[static_cast<std::size_t>(zone)];
+            if (zq.empty())
+                zones_touched.push_back(zone);
+            zq.push_back(stage.gates[i].q0);
+            zq.push_back(stage.gates[i].q1);
         }
-        for (auto &[zone, qubits] : zone_qubits) {
+        // Ascending zone id, the iteration order of the std::map the
+        // per-zone scratch replaces.
+        std::sort(zones_touched.begin(), zones_touched.end());
+        for (const int zone : zones_touched) {
+            std::vector<int> &qubits =
+                zone_qubits[static_cast<std::size_t>(zone)];
             ZairInstr in;
             in.kind = ZairKind::Rydberg;
             in.zone_id = zone;
             in.gate_qubits = qubits;
             double ready = 0.0;
-            for (int q : qubits)
+            for (const int q : qubits)
                 ready = std::max(
                     ready, last_end[static_cast<std::size_t>(q)]);
             in.begin_time_us = ready;
             in.end_time_us = ready + arch.params().t_rydberg_us;
-            for (int q : qubits)
+            for (const int q : qubits)
                 last_end[static_cast<std::size_t>(q)] =
                     in.end_time_us;
             program.instrs.push_back(std::move(in));
+            qubits.clear();
         }
+        zones_touched.clear();
     }
 };
 

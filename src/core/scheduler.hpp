@@ -13,6 +13,13 @@
  *  - each rearrangement job occupies one AOD for its whole duration;
  *    parallelizable jobs are assigned longest-first to the earliest
  *    available AOD.
+ *
+ * The implementation is the flat-ID rewrite (single-resolution
+ * TrapIds, topological trap-dependency worklist, sorted grouping,
+ * scratch-based splitting/lowering, min-tracked AOD availability);
+ * its output is bit-identical to the frozen pre-rewrite reference
+ * zac::legacy::scheduleProgram (core/scheduler_legacy.hpp), which the
+ * equivalence suite in tests/test_scheduler.cpp enforces.
  */
 
 #ifndef ZAC_CORE_SCHEDULER_HPP

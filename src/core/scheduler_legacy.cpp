@@ -1,0 +1,481 @@
+#include "core/scheduler_legacy.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <map>
+
+#include "common/logging.hpp"
+#include "matching/independent_set.hpp"
+#include "zair/machine.hpp"
+
+namespace zac::legacy
+{
+
+namespace
+{
+
+// --------------------------------------------------------------------
+// Private copy of the pre-rewrite rearrange-job lowering (map-based
+// dense axes). The production lowerRearrangeJob was rewritten onto
+// sorted flat axes; this copy keeps the legacy scheduler measuring the
+// genuinely frozen end-to-end path.
+// --------------------------------------------------------------------
+
+constexpr double kCoordTol = 1e-6;
+
+/** Map each distinct coordinate (within tolerance) to a dense index. */
+std::map<double, int>
+denseAxes(const std::vector<double> &coords)
+{
+    std::map<double, int> axes;
+    for (double c : coords)
+        axes.emplace(c, 0);
+    int idx = 0;
+    for (auto &[coord, id] : axes)
+        id = idx++;
+    return axes;
+}
+
+JobPhases
+legacyLowerRearrangeJob(ZairInstr &job, const Architecture &arch)
+{
+    if (job.kind != ZairKind::RearrangeJob)
+        panic("lowerRearrangeJob: not a rearrange job");
+    const std::size_t n = job.begin_locs.size();
+    if (n == 0)
+        fatal("lowerRearrangeJob: empty job");
+    if (job.aod_id < 0 ||
+        job.aod_id >= static_cast<int>(arch.aods().size()))
+        fatal("lowerRearrangeJob: invalid AOD id");
+    const AodSpec &aod =
+        arch.aods()[static_cast<std::size_t>(job.aod_id)];
+    const NaHardwareParams &hw = arch.params();
+
+    std::vector<Point> begin(n), end(n);
+    for (std::size_t i = 0; i < n; ++i) {
+        begin[i] = arch.trapPosition(job.begin_locs[i].trap());
+        end[i] = arch.trapPosition(job.end_locs[i].trap());
+    }
+    if (!movementsAodCompatible(begin, end))
+        fatal("lowerRearrangeJob: movements violate AOD ordering "
+              "constraints; split into separate jobs");
+
+    // Dense AOD line indices from distinct begin coordinates.
+    std::vector<double> xs(n), ys(n);
+    for (std::size_t i = 0; i < n; ++i) {
+        xs[i] = begin[i].x;
+        ys[i] = begin[i].y;
+    }
+    const std::map<double, int> col_axis = denseAxes(xs);
+    const std::map<double, int> row_axis = denseAxes(ys);
+    const int num_rows = static_cast<int>(row_axis.size());
+    const int num_cols = static_cast<int>(col_axis.size());
+    if (num_rows > aod.max_rows || num_cols > aod.max_cols)
+        fatal("lowerRearrangeJob: job needs " + std::to_string(num_rows) +
+              "x" + std::to_string(num_cols) + " AOD lines, AOD has " +
+              std::to_string(aod.max_rows) + "x" +
+              std::to_string(aod.max_cols));
+
+    // Begin -> end coordinate per line (well-defined by compatibility).
+    std::map<int, double> row_end, col_end;
+    for (std::size_t i = 0; i < n; ++i) {
+        row_end[row_axis.at(ys[i])] = end[i].y;
+        col_end[col_axis.at(xs[i])] = end[i].x;
+    }
+
+    job.insts.clear();
+    JobPhases phases;
+    const double parking_dist = aod.min_sep / 2.0;
+    const double parking_us = moveDurationUs(parking_dist);
+
+    // ---- pickup: activate row by row (ascending y), parking between.
+    bool first_row = true;
+    for (const auto &[row_y, row_id] : row_axis) {
+        if (!first_row) {
+            // Parking micro-move so already-held qubits clear the next
+            // row's trap line (Fig. 18c).
+            MachineInstr park;
+            park.kind = MachineKind::Move;
+            park.duration_us = parking_us;
+            job.insts.push_back(park);
+            phases.pickup_us += parking_us;
+        }
+        first_row = false;
+        MachineInstr act;
+        act.kind = MachineKind::Activate;
+        act.row_id = {row_id};
+        act.row_y = {row_y};
+        for (std::size_t i = 0; i < n; ++i) {
+            if (std::abs(ys[i] - row_y) < kCoordTol) {
+                act.col_id.push_back(col_axis.at(xs[i]));
+                act.col_x.push_back(xs[i]);
+            }
+        }
+        act.duration_us = hw.t_transfer_us;
+        job.insts.push_back(act);
+        phases.pickup_us += hw.t_transfer_us;
+    }
+
+    // ---- move: one parallel translation of all lines.
+    MachineInstr move;
+    move.kind = MachineKind::Move;
+    for (const auto &[row_y, row_id] : row_axis) {
+        move.row_id.push_back(row_id);
+        move.row_y_begin.push_back(row_y);
+        move.row_y_end.push_back(row_end.at(row_id));
+    }
+    for (const auto &[col_x, col_id] : col_axis) {
+        move.col_id.push_back(col_id);
+        move.col_x_begin.push_back(col_x);
+        move.col_x_end.push_back(col_end.at(col_id));
+    }
+    double max_disp = 0.0;
+    for (std::size_t i = 0; i < n; ++i)
+        max_disp = std::max(max_disp, distance(begin[i], end[i]));
+    move.duration_us = moveDurationUs(max_disp);
+    phases.move_us = move.duration_us;
+    job.insts.push_back(move);
+
+    // ---- drop: one deactivate transfers every qubit to its SLM trap.
+    MachineInstr deact;
+    deact.kind = MachineKind::Deactivate;
+    for (const auto &[row_y, row_id] : row_axis)
+        deact.row_id.push_back(row_id);
+    for (const auto &[col_x, col_id] : col_axis)
+        deact.col_id.push_back(col_id);
+    deact.duration_us = hw.t_transfer_us;
+    phases.drop_us = hw.t_transfer_us;
+    job.insts.push_back(deact);
+
+    job.pickup_done_us = phases.pickup_us;
+    job.move_done_us = phases.pickup_us + phases.move_us;
+    return phases;
+}
+
+// --------------------------------------------------------------------
+// Private copy of the pre-rewrite splitIntoJobs (per-pair temporary
+// vectors through movementsAodCompatible).
+// --------------------------------------------------------------------
+
+std::vector<std::vector<Movement>>
+legacySplitIntoJobs(const Architecture &arch,
+                    const std::vector<Movement> &movements)
+{
+    const std::size_t n = movements.size();
+    if (n == 0)
+        return {};
+
+    std::vector<Point> begin(n), end(n);
+    for (std::size_t i = 0; i < n; ++i) {
+        begin[i] = arch.trapPosition(movements[i].from);
+        end[i] = arch.trapPosition(movements[i].to);
+    }
+
+    // Pairwise conflict graph; the AOD ordering constraints are pairwise
+    // conditions, so pairwise compatibility implies group compatibility.
+    std::vector<std::vector<int>> adj(n);
+    for (std::size_t i = 0; i < n; ++i) {
+        for (std::size_t j = i + 1; j < n; ++j) {
+            const std::vector<Point> b{begin[i], begin[j]};
+            const std::vector<Point> e{end[i], end[j]};
+            if (!movementsAodCompatible(b, e)) {
+                adj[i].push_back(static_cast<int>(j));
+                adj[j].push_back(static_cast<int>(i));
+            }
+        }
+    }
+
+    const std::vector<std::vector<int>> groups =
+        partitionIntoIndependentSets(static_cast<int>(n), adj);
+    std::vector<std::vector<Movement>> jobs;
+    jobs.reserve(groups.size());
+    for (const std::vector<int> &group : groups) {
+        std::vector<Movement> job;
+        job.reserve(group.size());
+        for (int idx : group)
+            job.push_back(movements[static_cast<std::size_t>(idx)]);
+        jobs.push_back(std::move(job));
+    }
+    return jobs;
+}
+
+// --------------------------------------------------------------------
+// The pre-rewrite list scheduler, verbatim.
+// --------------------------------------------------------------------
+
+/** Book-keeping for the list scheduler. */
+struct SchedulerState
+{
+    const Architecture &arch;
+    ZairProgram &program;
+    std::vector<double> last_end;       ///< per qubit
+    std::vector<double> aod_avail;      ///< per AOD
+    /**
+     * TrapId -> pickup end time of the job vacating that trap, 0.0 when
+     * never vacated (a zero entry can never constrain a start time, so
+     * no presence flag is needed).
+     */
+    std::vector<double> vacate;
+    /** Scratch for emitJobs' intra-group dependencies (TrapId-keyed). */
+    std::vector<std::int32_t> vacated_by_scratch;
+    double raman_avail = 0.0;           ///< sequential 1Q laser
+
+    SchedulerState(const Architecture &a, ZairProgram &p, int num_qubits)
+        : arch(a), program(p),
+          last_end(static_cast<std::size_t>(num_qubits), 0.0),
+          aod_avail(a.aods().size(), 0.0),
+          vacate(static_cast<std::size_t>(a.numTraps()), 0.0),
+          vacated_by_scratch(static_cast<std::size_t>(a.numTraps()), -1)
+    {
+    }
+
+    QLoc
+    qloc(int q, TrapRef t) const
+    {
+        return {q, t.slm, t.r, t.c};
+    }
+
+    /** Emit the 1Q stage as grouped OneQGate instructions. */
+    void
+    emitOneQStage(const OneQStage &stage,
+                  const std::vector<TrapRef> &pos)
+    {
+        if (stage.ops.empty())
+            return;
+        // Group by (rounded) unitary: one ZAIR 1qGate per distinct U3.
+        using Key = std::tuple<long long, long long, long long>;
+        auto key_of = [](const U3Angles &a) {
+            const double s = 1e9;
+            return Key{std::llround(a.theta * s),
+                       std::llround(a.phi * s),
+                       std::llround(a.lambda * s)};
+        };
+        std::map<Key, std::vector<const StagedU3 *>> groups;
+        for (const StagedU3 &op : stage.ops)
+            groups[key_of(op.angles)].push_back(&op);
+
+        for (const auto &[key, ops] : groups) {
+            ZairInstr in;
+            in.kind = ZairKind::OneQGate;
+            in.unitary = ops.front()->angles;
+            double ready = raman_avail;
+            for (const StagedU3 *op : ops) {
+                in.locs.push_back(qloc(
+                    op->qubit,
+                    pos[static_cast<std::size_t>(op->qubit)]));
+                ready = std::max(
+                    ready,
+                    last_end[static_cast<std::size_t>(op->qubit)]);
+            }
+            in.begin_time_us = ready;
+            in.end_time_us =
+                ready + arch.params().t_1q_us *
+                            static_cast<double>(ops.size());
+            raman_avail = in.end_time_us;
+            for (const StagedU3 *op : ops)
+                last_end[static_cast<std::size_t>(op->qubit)] =
+                    in.end_time_us;
+            program.instrs.push_back(std::move(in));
+        }
+    }
+
+    /**
+     * Emit one transition direction: split into jobs, then assign
+     * longest-first to the earliest available AOD.
+     */
+    void
+    emitJobs(const std::vector<Movement> &movements,
+             std::vector<TrapRef> &pos)
+    {
+        if (movements.empty())
+            return;
+        std::vector<std::vector<Movement>> jobs =
+            legacySplitIntoJobs(arch, movements);
+
+        // Pre-lower each job to get its duration for load balancing.
+        struct Pending
+        {
+            ZairInstr instr;
+            JobPhases phases;
+        };
+        std::vector<Pending> pending;
+        pending.reserve(jobs.size());
+        for (const std::vector<Movement> &job : jobs) {
+            Pending p;
+            p.instr.kind = ZairKind::RearrangeJob;
+            for (const Movement &m : job) {
+                p.instr.begin_locs.push_back(qloc(m.qubit, m.from));
+                p.instr.end_locs.push_back(qloc(m.qubit, m.to));
+            }
+            p.phases = legacyLowerRearrangeJob(p.instr, arch);
+            pending.push_back(std::move(p));
+        }
+        std::sort(pending.begin(), pending.end(),
+                  [](const Pending &a, const Pending &b) {
+                      return a.phases.total() > b.phases.total();
+                  });
+
+        // Intra-group trap dependencies (possible with direct in-zone
+        // reuse): a job occupying a trap that another job of this group
+        // vacates schedules after the vacating job, so the vacate map
+        // holds the constraint. Cycles (jobs exchanging traps) fall
+        // back to the longest-first order.
+        std::vector<TrapId> touched;
+        for (std::size_t i = 0; i < pending.size(); ++i)
+            for (const QLoc &l : pending[i].instr.begin_locs) {
+                const TrapId t = arch.trapId(l.trap());
+                if (vacated_by_scratch[static_cast<std::size_t>(t)] < 0)
+                    touched.push_back(t);
+                vacated_by_scratch[static_cast<std::size_t>(t)] =
+                    static_cast<std::int32_t>(i);
+            }
+        std::vector<char> scheduled(pending.size(), 0);
+        std::vector<std::size_t> order;
+        while (order.size() < pending.size()) {
+            std::size_t chosen = pending.size();
+            for (std::size_t i = 0; i < pending.size(); ++i) {
+                if (scheduled[i])
+                    continue;
+                bool ready = true;
+                for (const QLoc &l : pending[i].instr.end_locs) {
+                    const std::int32_t v = vacated_by_scratch[
+                        static_cast<std::size_t>(arch.trapId(l.trap()))];
+                    if (v >= 0 && static_cast<std::size_t>(v) != i &&
+                        !scheduled[static_cast<std::size_t>(v)]) {
+                        ready = false;
+                        break;
+                    }
+                }
+                if (ready) {
+                    chosen = i;
+                    break;
+                }
+            }
+            if (chosen == pending.size()) {
+                // Dependency cycle: take the first unscheduled job.
+                for (std::size_t i = 0; i < pending.size(); ++i)
+                    if (!scheduled[i]) {
+                        chosen = i;
+                        break;
+                    }
+            }
+            scheduled[chosen] = 1;
+            order.push_back(chosen);
+        }
+        for (TrapId t : touched)
+            vacated_by_scratch[static_cast<std::size_t>(t)] = -1;
+
+        for (std::size_t oi : order) {
+            Pending &p = pending[oi];
+            // Earliest-available AOD (load balancing).
+            int best_aod = 0;
+            for (std::size_t a = 1; a < aod_avail.size(); ++a)
+                if (aod_avail[a] < aod_avail[static_cast<std::size_t>(
+                        best_aod)])
+                    best_aod = static_cast<int>(a);
+            p.instr.aod_id = best_aod;
+
+            double start =
+                aod_avail[static_cast<std::size_t>(best_aod)];
+            for (const QLoc &l : p.instr.begin_locs)
+                start = std::max(
+                    start, last_end[static_cast<std::size_t>(l.q)]);
+            // Trap dependency: move must end after the vacating pickup.
+            const double lead =
+                p.instr.move_done_us; // pickup + move (relative)
+            for (const QLoc &l : p.instr.end_locs) {
+                const double v = vacate[static_cast<std::size_t>(
+                    arch.trapId(l.trap()))];
+                start = std::max(start, v - lead);
+            }
+
+            p.instr.begin_time_us = start;
+            p.instr.end_time_us = start + p.phases.total();
+            aod_avail[static_cast<std::size_t>(best_aod)] =
+                p.instr.end_time_us;
+            const double pickup_end = start + p.phases.pickup_us;
+            for (const QLoc &l : p.instr.begin_locs)
+                vacate[static_cast<std::size_t>(
+                    arch.trapId(l.trap()))] = pickup_end;
+            for (const QLoc &l : p.instr.end_locs) {
+                last_end[static_cast<std::size_t>(l.q)] =
+                    p.instr.end_time_us;
+                pos[static_cast<std::size_t>(l.q)] = l.trap();
+            }
+            program.instrs.push_back(std::move(p.instr));
+        }
+    }
+
+    /** Emit the Rydberg pulse(s) of one stage, one per zone used. */
+    void
+    emitRydberg(const RydbergStage &stage,
+                const std::vector<int> &sites)
+    {
+        std::map<int, std::vector<int>> zone_qubits;
+        for (std::size_t i = 0; i < stage.gates.size(); ++i) {
+            const int zone =
+                arch.site(sites[i]).zone_index;
+            zone_qubits[zone].push_back(stage.gates[i].q0);
+            zone_qubits[zone].push_back(stage.gates[i].q1);
+        }
+        for (auto &[zone, qubits] : zone_qubits) {
+            ZairInstr in;
+            in.kind = ZairKind::Rydberg;
+            in.zone_id = zone;
+            in.gate_qubits = qubits;
+            double ready = 0.0;
+            for (int q : qubits)
+                ready = std::max(
+                    ready, last_end[static_cast<std::size_t>(q)]);
+            in.begin_time_us = ready;
+            in.end_time_us = ready + arch.params().t_rydberg_us;
+            for (int q : qubits)
+                last_end[static_cast<std::size_t>(q)] =
+                    in.end_time_us;
+            program.instrs.push_back(std::move(in));
+        }
+    }
+};
+
+} // namespace
+
+ZairProgram
+scheduleProgram(const Architecture &arch, const StagedCircuit &staged,
+                const PlacementPlan &plan)
+{
+    ZairProgram program;
+    program.circuit_name = staged.name;
+    program.arch_name = arch.name();
+    program.num_qubits = staged.numQubits;
+
+    SchedulerState st(arch, program, staged.numQubits);
+
+    // Position tracking for 1Q qlocs.
+    std::vector<TrapRef> pos = plan.initial;
+
+    ZairInstr init;
+    init.kind = ZairKind::Init;
+    for (int q = 0; q < staged.numQubits; ++q)
+        init.init_locs.push_back(
+            st.qloc(q, plan.initial[static_cast<std::size_t>(q)]));
+    program.instrs.push_back(std::move(init));
+
+    const int num_stages = staged.numRydbergStages();
+    for (int t = 0; t < num_stages; ++t) {
+        st.emitJobs(
+            plan.transitions[static_cast<std::size_t>(t)].move_out,
+            pos);
+        st.emitOneQStage(staged.oneQ[static_cast<std::size_t>(t)], pos);
+        st.emitJobs(
+            plan.transitions[static_cast<std::size_t>(t)].move_in, pos);
+        st.emitRydberg(staged.rydberg[static_cast<std::size_t>(t)],
+                       plan.gate_sites[static_cast<std::size_t>(t)]);
+    }
+    st.emitOneQStage(staged.oneQ.back(), pos);
+
+    program.checkInvariants();
+    return program;
+}
+
+} // namespace zac::legacy

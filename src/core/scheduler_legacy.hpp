@@ -1,0 +1,31 @@
+/**
+ * @file
+ * Frozen pre-optimization reference of the instruction scheduler (the
+ * state of src/core/scheduler.cpp before the flat-ID rewrite:
+ * std::map grouping of 1Q gates and Rydberg pulses, TrapIds re-derived
+ * from TrapRefs on every constraint check, the O(n^2) intra-group
+ * ready-scan per transition, the linear argmin over AOD availability,
+ * and private copies of the pre-rewrite splitIntoJobs — per-pair
+ * temporary vectors — and the map-based rearrange-job lowering).
+ *
+ * Like zac::legacy::runDynamicPlacement, this pins the semantics for
+ * the scheduler equivalence tests and provides the speedup denominator
+ * for bench/perf_placement. Do not "optimize" it.
+ */
+
+#ifndef ZAC_CORE_SCHEDULER_LEGACY_HPP
+#define ZAC_CORE_SCHEDULER_LEGACY_HPP
+
+#include "core/scheduler.hpp"
+
+namespace zac::legacy
+{
+
+/** Pre-rewrite scheduleProgram; bit-identical programs to zac's. */
+ZairProgram scheduleProgram(const Architecture &arch,
+                            const StagedCircuit &staged,
+                            const PlacementPlan &plan);
+
+} // namespace zac::legacy
+
+#endif // ZAC_CORE_SCHEDULER_LEGACY_HPP

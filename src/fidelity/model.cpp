@@ -2,7 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
-#include <set>
+#include <cstdint>
 
 #include "common/logging.hpp"
 
@@ -20,9 +20,38 @@ evaluateFidelity(const ZairProgram &program, const Architecture &arch)
 
     // Busy time per qubit: gates + transfers; movement/waiting is idle.
     std::vector<double> busy_us(n, 0.0);
-    // Track each qubit's current trap for excitation accounting.
-    std::vector<TrapRef> pos(n);
+    // Incremental excitation accounting (the flat-ID rewrite of the
+    // legacy per-pulse O(n) scan, frozen as legacy::evaluateFidelity):
+    // each qubit's entanglement zone is maintained through init and
+    // every rearrange job via the cached entanglementZoneOfTrap table,
+    // together with a per-zone occupancy counter. A Rydberg pulse then
+    // charges
+    //   occupancy[zone] - (distinct gated qubits inside the zone)
+    // excitations, O(gated qubits) instead of O(n) point lookups.
+    //
+    // Zone codes: -2 = never placed (skipped by the legacy scan's
+    // pos-validity test), -1 = placed outside every entanglement zone
+    // (entanglementZoneAt's miss value), >= 0 = zone index. Occupancy
+    // counters cover [-1, #zones) shifted by one so the accounting
+    // matches the legacy scan for every zone_id, not just valid ones.
+    const int num_zones =
+        static_cast<int>(arch.entanglementZones().size());
+    std::vector<int> qubit_zone(n, -2);
+    std::vector<int> zone_occupancy(
+        static_cast<std::size_t>(num_zones) + 1, 0);
+    // Stamped bitmap deduplicating gate_qubits per pulse (replaces the
+    // per-pulse std::set of the legacy model).
+    std::vector<std::uint32_t> gated_stamp(n, 0);
+    std::uint32_t pulse_stamp = 0;
     bool saw_init = false;
+
+    auto move_to_zone = [&](std::size_t q, int zone) {
+        const int old_zone = qubit_zone[q];
+        if (old_zone >= -1)
+            --zone_occupancy[static_cast<std::size_t>(old_zone + 1)];
+        qubit_zone[q] = zone;
+        ++zone_occupancy[static_cast<std::size_t>(zone + 1)];
+    };
 
     for (const ZairInstr &in : program.instrs) {
         switch (in.kind) {
@@ -31,42 +60,69 @@ evaluateFidelity(const ZairProgram &program, const Architecture &arch)
             for (const QLoc &l : in.init_locs) {
                 if (l.q < 0 || l.q >= program.num_qubits)
                     panic("fidelity: init qubit out of range");
-                pos[static_cast<std::size_t>(l.q)] = l.trap();
+                move_to_zone(
+                    static_cast<std::size_t>(l.q),
+                    arch.entanglementZoneOfTrap(arch.trapId(l.trap())));
             }
             break;
           case ZairKind::OneQGate:
+            if (!saw_init)
+                panic("fidelity: 1q gate before init");
             out.g1 += static_cast<int>(in.locs.size());
-            for (const QLoc &l : in.locs)
+            for (const QLoc &l : in.locs) {
+                if (l.q < 0 || l.q >= program.num_qubits)
+                    panic("fidelity: 1q gate qubit out of range");
                 busy_us[static_cast<std::size_t>(l.q)] += hw.t_1q_us;
+            }
             break;
           case ZairKind::Rydberg: {
             if (!saw_init)
                 panic("fidelity: rydberg before init");
             out.g2 += static_cast<int>(in.gate_qubits.size()) / 2;
-            const std::set<int> gated(in.gate_qubits.begin(),
-                                      in.gate_qubits.end());
-            for (int q : in.gate_qubits)
+            for (const int q : in.gate_qubits) {
+                if (q < 0 || q >= program.num_qubits)
+                    panic("fidelity: rydberg qubit out of range");
                 busy_us[static_cast<std::size_t>(q)] += hw.t_rydberg_us;
+            }
             // Every non-gated qubit inside the pulsed zone is excited.
-            for (std::size_t q = 0; q < n; ++q) {
-                if (gated.count(static_cast<int>(q)))
-                    continue;
-                if (!pos[q].valid())
-                    continue;
-                const Point p = arch.trapPosition(pos[q]);
-                if (arch.entanglementZoneAt(p) == in.zone_id)
-                    ++out.n_excitation;
+            if (in.zone_id >= -1 && in.zone_id < num_zones) {
+                ++pulse_stamp;
+                int gated_in_zone = 0;
+                for (const int q : in.gate_qubits) {
+                    if (gated_stamp[static_cast<std::size_t>(q)] !=
+                        pulse_stamp) {
+                        gated_stamp[static_cast<std::size_t>(q)] =
+                            pulse_stamp;
+                        if (qubit_zone[static_cast<std::size_t>(q)] ==
+                            in.zone_id)
+                            ++gated_in_zone;
+                    }
+                }
+                out.n_excitation +=
+                    zone_occupancy[static_cast<std::size_t>(
+                        in.zone_id + 1)] -
+                    gated_in_zone;
             }
             break;
           }
           case ZairKind::RearrangeJob:
+            if (!saw_init)
+                panic("fidelity: rearrange job before init");
             out.n_transfer +=
                 2 * static_cast<int>(in.begin_locs.size());
-            for (const QLoc &l : in.begin_locs)
+            for (const QLoc &l : in.begin_locs) {
+                if (l.q < 0 || l.q >= program.num_qubits)
+                    panic("fidelity: rearrange qubit out of range");
                 busy_us[static_cast<std::size_t>(l.q)] +=
                     2.0 * hw.t_transfer_us;
-            for (const QLoc &l : in.end_locs)
-                pos[static_cast<std::size_t>(l.q)] = l.trap();
+            }
+            for (const QLoc &l : in.end_locs) {
+                if (l.q < 0 || l.q >= program.num_qubits)
+                    panic("fidelity: rearrange qubit out of range");
+                move_to_zone(
+                    static_cast<std::size_t>(l.q),
+                    arch.entanglementZoneOfTrap(arch.trapId(l.trap())));
+            }
             break;
         }
     }

@@ -9,6 +9,13 @@
  * half of a 2Q gate contributes one fexc factor. This makes the same
  * model serve ZAC (Nexc = 0), NALAC (in-zone idlers) and the monolithic
  * baselines (all idle qubits) without special cases.
+ *
+ * The evaluation maintains per-zone occupancy counters incrementally
+ * (via the cached Architecture::entanglementZoneOfTrap table), so a
+ * pulse costs O(gated qubits) instead of a scan over all qubits;
+ * results are bit-identical to the frozen pre-rewrite reference
+ * zac::legacy::evaluateFidelity (fidelity/model_legacy.hpp). Every
+ * instruction kind now panics uniformly when it precedes Init.
  */
 
 #ifndef ZAC_FIDELITY_MODEL_HPP

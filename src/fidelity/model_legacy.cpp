@@ -1,0 +1,95 @@
+#include "fidelity/model_legacy.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+
+#include "common/logging.hpp"
+
+namespace zac::legacy
+{
+
+FidelityBreakdown
+evaluateFidelity(const ZairProgram &program, const Architecture &arch)
+{
+    const NaHardwareParams &hw = arch.params();
+    const std::size_t n = static_cast<std::size_t>(program.num_qubits);
+
+    FidelityBreakdown out;
+    out.duration_us = program.makespanUs();
+
+    // Busy time per qubit: gates + transfers; movement/waiting is idle.
+    std::vector<double> busy_us(n, 0.0);
+    // Track each qubit's current trap for excitation accounting.
+    std::vector<TrapRef> pos(n);
+    bool saw_init = false;
+
+    for (const ZairInstr &in : program.instrs) {
+        switch (in.kind) {
+          case ZairKind::Init:
+            saw_init = true;
+            for (const QLoc &l : in.init_locs) {
+                if (l.q < 0 || l.q >= program.num_qubits)
+                    panic("fidelity: init qubit out of range");
+                pos[static_cast<std::size_t>(l.q)] = l.trap();
+            }
+            break;
+          case ZairKind::OneQGate:
+            out.g1 += static_cast<int>(in.locs.size());
+            for (const QLoc &l : in.locs)
+                busy_us[static_cast<std::size_t>(l.q)] += hw.t_1q_us;
+            break;
+          case ZairKind::Rydberg: {
+            if (!saw_init)
+                panic("fidelity: rydberg before init");
+            out.g2 += static_cast<int>(in.gate_qubits.size()) / 2;
+            const std::set<int> gated(in.gate_qubits.begin(),
+                                      in.gate_qubits.end());
+            for (int q : in.gate_qubits)
+                busy_us[static_cast<std::size_t>(q)] += hw.t_rydberg_us;
+            // Every non-gated qubit inside the pulsed zone is excited.
+            for (std::size_t q = 0; q < n; ++q) {
+                if (gated.count(static_cast<int>(q)))
+                    continue;
+                if (!pos[q].valid())
+                    continue;
+                const Point p = arch.trapPosition(pos[q]);
+                if (arch.entanglementZoneAt(p) == in.zone_id)
+                    ++out.n_excitation;
+            }
+            break;
+          }
+          case ZairKind::RearrangeJob:
+            out.n_transfer +=
+                2 * static_cast<int>(in.begin_locs.size());
+            for (const QLoc &l : in.begin_locs)
+                busy_us[static_cast<std::size_t>(l.q)] +=
+                    2.0 * hw.t_transfer_us;
+            for (const QLoc &l : in.end_locs)
+                pos[static_cast<std::size_t>(l.q)] = l.trap();
+            break;
+        }
+    }
+
+    out.f_1q = std::pow(hw.f_1q, out.g1);
+    out.f_2q_gates = std::pow(hw.f_2q, out.g2);
+    out.f_excitation = std::pow(hw.f_exc, out.n_excitation);
+    out.f_2q = out.f_2q_gates * out.f_excitation;
+    out.f_transfer = std::pow(hw.f_transfer, out.n_transfer);
+
+    out.f_decoherence = 1.0;
+    for (std::size_t q = 0; q < n; ++q) {
+        const double idle = std::max(0.0, out.duration_us - busy_us[q]);
+        const double factor = 1.0 - idle / hw.t2_us;
+        if (factor <= 0.0) {
+            out.f_decoherence = 0.0;
+            break;
+        }
+        out.f_decoherence *= factor;
+    }
+
+    out.total = out.f_1q * out.f_2q * out.f_transfer * out.f_decoherence;
+    return out;
+}
+
+} // namespace zac::legacy

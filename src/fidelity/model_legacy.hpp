@@ -1,0 +1,28 @@
+/**
+ * @file
+ * Frozen pre-optimization reference of the fidelity model (the state
+ * of src/fidelity/model.cpp before the incremental-occupancy rewrite:
+ * a std::set of gated qubits rebuilt per Rydberg pulse and an O(n)
+ * scan with per-qubit trapPosition/entanglementZoneAt point lookups
+ * for the excitation accounting).
+ *
+ * Like zac::legacy::scheduleProgram, this pins the semantics for the
+ * fidelity equivalence tests and provides the speedup denominator for
+ * bench/perf_placement. Do not "optimize" it.
+ */
+
+#ifndef ZAC_FIDELITY_MODEL_LEGACY_HPP
+#define ZAC_FIDELITY_MODEL_LEGACY_HPP
+
+#include "fidelity/model.hpp"
+
+namespace zac::legacy
+{
+
+/** Pre-rewrite evaluateFidelity; bit-identical breakdowns to zac's. */
+FidelityBreakdown evaluateFidelity(const ZairProgram &program,
+                                   const Architecture &arch);
+
+} // namespace zac::legacy
+
+#endif // ZAC_FIDELITY_MODEL_LEGACY_HPP

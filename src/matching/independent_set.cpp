@@ -11,26 +11,29 @@ namespace zac
 namespace
 {
 
-std::vector<int>
-misOnSubset(const std::vector<std::vector<int>> &adj,
-            const std::vector<char> &eligible)
+/**
+ * Greedy minimum-degree-first MIS over the eligible subset of the
+ * first @p n vertices, written into @p mis (ascending). The single
+ * algorithm definition behind every entry point of this module.
+ */
+void
+misOnSubsetInto(const std::vector<std::vector<int>> &adj, std::size_t n,
+                const std::vector<char> &eligible,
+                std::vector<int> &degree, std::vector<int> &order,
+                std::vector<char> &blocked, std::vector<int> &mis)
 {
-    const std::size_t n = adj.size();
     // Degree within the eligible subgraph.
-    std::vector<int> degree(n, 0);
+    degree.assign(n, 0);
+    order.clear();
     for (std::size_t u = 0; u < n; ++u) {
         if (!eligible[u])
             continue;
         for (int v : adj[u])
             if (eligible[static_cast<std::size_t>(v)])
                 ++degree[u];
+        order.push_back(static_cast<int>(u));
     }
-    std::vector<int> order;
-    order.reserve(n);
-    for (std::size_t u = 0; u < n; ++u)
-        if (eligible[u])
-            order.push_back(static_cast<int>(u));
-    std::sort(order.begin(), order.end(), [&](int a, int b) {
+    std::sort(order.begin(), order.end(), [&degree](int a, int b) {
         if (degree[static_cast<std::size_t>(a)] !=
             degree[static_cast<std::size_t>(b)])
             return degree[static_cast<std::size_t>(a)] <
@@ -38,8 +41,8 @@ misOnSubset(const std::vector<std::vector<int>> &adj,
         return a < b;
     });
 
-    std::vector<char> blocked(n, 0);
-    std::vector<int> mis;
+    blocked.assign(n, 0);
+    mis.clear();
     for (int u : order) {
         if (blocked[static_cast<std::size_t>(u)])
             continue;
@@ -49,7 +52,6 @@ misOnSubset(const std::vector<std::vector<int>> &adj,
             blocked[static_cast<std::size_t>(v)] = 1;
     }
     std::sort(mis.begin(), mis.end());
-    return mis;
 }
 
 } // namespace
@@ -60,8 +62,44 @@ greedyMaximalIndependentSet(int num_vertices,
 {
     if (static_cast<int>(adj.size()) != num_vertices)
         fatal("greedyMaximalIndependentSet: adjacency size mismatch");
-    std::vector<char> eligible(static_cast<std::size_t>(num_vertices), 1);
-    return misOnSubset(adj, eligible);
+    const std::size_t n = static_cast<std::size_t>(num_vertices);
+    MisPartitionScratch scratch;
+    scratch.eligible.assign(n, 1);
+    std::vector<int> mis;
+    misOnSubsetInto(adj, n, scratch.eligible, scratch.degree,
+                    scratch.order, scratch.blocked, mis);
+    return mis;
+}
+
+int
+partitionIntoIndependentSets(int num_vertices,
+                             const std::vector<std::vector<int>> &adj,
+                             MisPartitionScratch &scratch,
+                             std::vector<std::vector<int>> &groups)
+{
+    if (static_cast<int>(adj.size()) < num_vertices)
+        fatal("partitionIntoIndependentSets: adjacency size mismatch");
+    const std::size_t n = static_cast<std::size_t>(num_vertices);
+    scratch.eligible.assign(n, 1);
+    std::size_t remaining = n;
+    int num_groups = 0;
+    while (remaining > 0) {
+        if (groups.size() <= static_cast<std::size_t>(num_groups))
+            groups.emplace_back();
+        std::vector<int> &mis =
+            groups[static_cast<std::size_t>(num_groups)];
+        misOnSubsetInto(adj, n, scratch.eligible, scratch.degree,
+                        scratch.order, scratch.blocked, mis);
+        if (mis.empty())
+            panic("partitionIntoIndependentSets: empty MIS with "
+                  "vertices remaining");
+        for (int u : mis) {
+            scratch.eligible[static_cast<std::size_t>(u)] = 0;
+            --remaining;
+        }
+        ++num_groups;
+    }
+    return num_groups;
 }
 
 std::vector<std::vector<int>>
@@ -70,20 +108,11 @@ partitionIntoIndependentSets(int num_vertices,
 {
     if (static_cast<int>(adj.size()) != num_vertices)
         fatal("partitionIntoIndependentSets: adjacency size mismatch");
-    std::vector<char> eligible(static_cast<std::size_t>(num_vertices), 1);
-    int remaining = num_vertices;
+    MisPartitionScratch scratch;
     std::vector<std::vector<int>> groups;
-    while (remaining > 0) {
-        std::vector<int> mis = misOnSubset(adj, eligible);
-        if (mis.empty())
-            panic("partitionIntoIndependentSets: empty MIS with "
-                  "vertices remaining");
-        for (int u : mis) {
-            eligible[static_cast<std::size_t>(u)] = 0;
-            --remaining;
-        }
-        groups.push_back(std::move(mis));
-    }
+    const int num_groups =
+        partitionIntoIndependentSets(num_vertices, adj, scratch, groups);
+    groups.resize(static_cast<std::size_t>(num_groups));
     return groups;
 }
 

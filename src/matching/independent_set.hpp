@@ -33,6 +33,29 @@ std::vector<int> greedyMaximalIndependentSet(
 std::vector<std::vector<int>> partitionIntoIndependentSets(
     int num_vertices, const std::vector<std::vector<int>> &adj);
 
+/** Reusable buffers for the scratch partition overload below. */
+struct MisPartitionScratch
+{
+    std::vector<int> degree;
+    std::vector<int> order;
+    std::vector<char> blocked;
+    std::vector<char> eligible;
+};
+
+/**
+ * As partitionIntoIndependentSets, allocation-free for the scheduler
+ * hot path: the partition is written into @p groups (grown
+ * monotonically, inner vectors reused across calls) and the number of
+ * valid groups is returned. @p adj may be wider than @p num_vertices
+ * (a reused buffer); only the first @p num_vertices lists are read.
+ * The partition is identical to the allocating overload's — both run
+ * the same greedy minimum-degree-first extraction.
+ */
+int partitionIntoIndependentSets(int num_vertices,
+                                 const std::vector<std::vector<int>> &adj,
+                                 MisPartitionScratch &scratch,
+                                 std::vector<std::vector<int>> &groups);
+
 } // namespace zac
 
 #endif // ZAC_MATCHING_INDEPENDENT_SET_HPP

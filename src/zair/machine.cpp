@@ -2,7 +2,6 @@
 
 #include <algorithm>
 #include <cmath>
-#include <map>
 
 #include "common/logging.hpp"
 
@@ -12,19 +11,26 @@ namespace zac
 namespace
 {
 
-constexpr double kCoordTol = 1e-6;
-
-/** Map each distinct coordinate (within tolerance) to a dense index. */
-std::map<double, int>
-denseAxes(const std::vector<double> &coords)
+/**
+ * Distinct coordinates, ascending. Exact-equality dedup, matching the
+ * std::map<double, int> the lowering used before the flat-axis rewrite
+ * (trap coordinates are computed by identical arithmetic, so equal
+ * coordinates are bitwise equal).
+ */
+void
+denseAxis(const std::vector<double> &coords, std::vector<double> &axis)
 {
-    std::map<double, int> axes;
-    for (double c : coords)
-        axes.emplace(c, 0);
-    int idx = 0;
-    for (auto &[coord, id] : axes)
-        id = idx++;
-    return axes;
+    axis.assign(coords.begin(), coords.end());
+    std::sort(axis.begin(), axis.end());
+    axis.erase(std::unique(axis.begin(), axis.end()), axis.end());
+}
+
+/** Dense line index of @p c within a sorted distinct @p axis. */
+int
+axisIndex(const std::vector<double> &axis, double c)
+{
+    return static_cast<int>(
+        std::lower_bound(axis.begin(), axis.end(), c) - axis.begin());
 }
 
 } // namespace
@@ -36,33 +42,42 @@ movementsAodCompatible(const std::vector<Point> &begin,
     if (begin.size() != end.size())
         panic("movementsAodCompatible: size mismatch");
     const std::size_t n = begin.size();
-    for (std::size_t i = 0; i < n; ++i) {
-        for (std::size_t j = i + 1; j < n; ++j) {
-            const double bx = begin[i].x - begin[j].x;
-            const double ex = end[i].x - end[j].x;
-            const double by = begin[i].y - begin[j].y;
-            const double ey = end[i].y - end[j].y;
-            // Same begin column -> must share the end column; otherwise
-            // strict order must be preserved (no crossing / merging).
-            if (std::abs(bx) < kCoordTol) {
-                if (std::abs(ex) >= kCoordTol)
-                    return false;
-            } else if (bx * ex <= 0.0 || std::abs(ex) < kCoordTol) {
+    for (std::size_t i = 0; i < n; ++i)
+        for (std::size_t j = i + 1; j < n; ++j)
+            if (!movementPairAodCompatible(begin[i], end[i], begin[j],
+                                           end[j]))
                 return false;
-            }
-            if (std::abs(by) < kCoordTol) {
-                if (std::abs(ey) >= kCoordTol)
-                    return false;
-            } else if (by * ey <= 0.0 || std::abs(ey) < kCoordTol) {
-                return false;
-            }
-        }
-    }
     return true;
 }
 
 JobPhases
 lowerRearrangeJob(ZairInstr &job, const Architecture &arch)
+{
+    RearrangeLowerScratch scratch;
+    return lowerRearrangeJob(job, arch, scratch);
+}
+
+JobPhases
+lowerRearrangeJob(ZairInstr &job, const Architecture &arch,
+                  RearrangeLowerScratch &scratch)
+{
+    if (job.kind != ZairKind::RearrangeJob)
+        panic("lowerRearrangeJob: not a rearrange job");
+    if (job.begin_locs.size() != job.end_locs.size())
+        panic("lowerRearrangeJob: begin/end size mismatch");
+    const std::size_t n = job.begin_locs.size();
+    scratch.begin.resize(n);
+    scratch.end.resize(n);
+    for (std::size_t i = 0; i < n; ++i) {
+        scratch.begin[i] = arch.trapPosition(job.begin_locs[i].trap());
+        scratch.end[i] = arch.trapPosition(job.end_locs[i].trap());
+    }
+    return lowerRearrangeJobPrepared(job, arch, scratch);
+}
+
+JobPhases
+lowerRearrangeJobPrepared(ZairInstr &job, const Architecture &arch,
+                          RearrangeLowerScratch &scratch)
 {
     if (job.kind != ZairKind::RearrangeJob)
         panic("lowerRearrangeJob: not a rearrange job");
@@ -72,27 +87,33 @@ lowerRearrangeJob(ZairInstr &job, const Architecture &arch)
     if (job.aod_id < 0 ||
         job.aod_id >= static_cast<int>(arch.aods().size()))
         fatal("lowerRearrangeJob: invalid AOD id");
+    if (scratch.begin.size() != n || scratch.end.size() != n)
+        panic("lowerRearrangeJob: prepared positions size mismatch");
     const AodSpec &aod =
         arch.aods()[static_cast<std::size_t>(job.aod_id)];
     const NaHardwareParams &hw = arch.params();
 
-    std::vector<Point> begin(n), end(n);
-    for (std::size_t i = 0; i < n; ++i) {
-        begin[i] = arch.trapPosition(job.begin_locs[i].trap());
-        end[i] = arch.trapPosition(job.end_locs[i].trap());
-    }
+    std::vector<Point> &begin = scratch.begin;
+    std::vector<Point> &end = scratch.end;
     if (!movementsAodCompatible(begin, end))
         fatal("lowerRearrangeJob: movements violate AOD ordering "
               "constraints; split into separate jobs");
 
-    // Dense AOD line indices from distinct begin coordinates.
-    std::vector<double> xs(n), ys(n);
+    // Dense AOD line indices from distinct begin coordinates: sorted
+    // flat axes instead of ordered maps (identical index assignment —
+    // ascending coordinate order).
+    std::vector<double> &xs = scratch.xs;
+    std::vector<double> &ys = scratch.ys;
+    xs.resize(n);
+    ys.resize(n);
     for (std::size_t i = 0; i < n; ++i) {
         xs[i] = begin[i].x;
         ys[i] = begin[i].y;
     }
-    const std::map<double, int> col_axis = denseAxes(xs);
-    const std::map<double, int> row_axis = denseAxes(ys);
+    std::vector<double> &col_axis = scratch.col_axis;
+    std::vector<double> &row_axis = scratch.row_axis;
+    denseAxis(xs, col_axis);
+    denseAxis(ys, row_axis);
     const int num_rows = static_cast<int>(row_axis.size());
     const int num_cols = static_cast<int>(col_axis.size());
     if (num_rows > aod.max_rows || num_cols > aod.max_cols)
@@ -101,76 +122,96 @@ lowerRearrangeJob(ZairInstr &job, const Architecture &arch)
               std::to_string(aod.max_rows) + "x" +
               std::to_string(aod.max_cols));
 
-    // Begin -> end coordinate per line (well-defined by compatibility).
-    std::map<int, double> row_end, col_end;
+    // Begin -> end coordinate per line (well-defined by compatibility),
+    // plus each movement's column line, resolved once.
+    std::vector<double> &row_end = scratch.row_end;
+    std::vector<double> &col_end = scratch.col_end;
+    std::vector<int> &col_of = scratch.col_of;
+    row_end.resize(static_cast<std::size_t>(num_rows));
+    col_end.resize(static_cast<std::size_t>(num_cols));
+    col_of.resize(n);
     for (std::size_t i = 0; i < n; ++i) {
-        row_end[row_axis.at(ys[i])] = end[i].y;
-        col_end[col_axis.at(xs[i])] = end[i].x;
+        row_end[static_cast<std::size_t>(axisIndex(row_axis, ys[i]))] =
+            end[i].y;
+        col_of[i] = axisIndex(col_axis, xs[i]);
+        col_end[static_cast<std::size_t>(col_of[i])] = end[i].x;
     }
 
     job.insts.clear();
+    job.insts.reserve(2 * static_cast<std::size_t>(num_rows) + 1);
     JobPhases phases;
     const double parking_dist = aod.min_sep / 2.0;
     const double parking_us = moveDurationUs(parking_dist);
 
     // ---- pickup: activate row by row (ascending y), parking between.
-    bool first_row = true;
-    for (const auto &[row_y, row_id] : row_axis) {
-        if (!first_row) {
+    for (int row_id = 0; row_id < num_rows; ++row_id) {
+        const double row_y = row_axis[static_cast<std::size_t>(row_id)];
+        if (row_id > 0) {
             // Parking micro-move so already-held qubits clear the next
             // row's trap line (Fig. 18c).
             MachineInstr park;
             park.kind = MachineKind::Move;
             park.duration_us = parking_us;
-            job.insts.push_back(park);
+            job.insts.push_back(std::move(park));
             phases.pickup_us += parking_us;
         }
-        first_row = false;
         MachineInstr act;
         act.kind = MachineKind::Activate;
         act.row_id = {row_id};
         act.row_y = {row_y};
         for (std::size_t i = 0; i < n; ++i) {
-            if (std::abs(ys[i] - row_y) < kCoordTol) {
-                act.col_id.push_back(col_axis.at(xs[i]));
+            if (std::abs(ys[i] - row_y) < kAodCoordTolUm) {
+                act.col_id.push_back(col_of[i]);
                 act.col_x.push_back(xs[i]);
             }
         }
         act.duration_us = hw.t_transfer_us;
-        job.insts.push_back(act);
+        job.insts.push_back(std::move(act));
         phases.pickup_us += hw.t_transfer_us;
     }
 
     // ---- move: one parallel translation of all lines.
     MachineInstr move;
     move.kind = MachineKind::Move;
-    for (const auto &[row_y, row_id] : row_axis) {
+    move.row_id.reserve(static_cast<std::size_t>(num_rows));
+    move.row_y_begin.reserve(static_cast<std::size_t>(num_rows));
+    move.row_y_end.reserve(static_cast<std::size_t>(num_rows));
+    move.col_id.reserve(static_cast<std::size_t>(num_cols));
+    move.col_x_begin.reserve(static_cast<std::size_t>(num_cols));
+    move.col_x_end.reserve(static_cast<std::size_t>(num_cols));
+    for (int row_id = 0; row_id < num_rows; ++row_id) {
         move.row_id.push_back(row_id);
-        move.row_y_begin.push_back(row_y);
-        move.row_y_end.push_back(row_end.at(row_id));
+        move.row_y_begin.push_back(
+            row_axis[static_cast<std::size_t>(row_id)]);
+        move.row_y_end.push_back(
+            row_end[static_cast<std::size_t>(row_id)]);
     }
-    for (const auto &[col_x, col_id] : col_axis) {
+    for (int col_id = 0; col_id < num_cols; ++col_id) {
         move.col_id.push_back(col_id);
-        move.col_x_begin.push_back(col_x);
-        move.col_x_end.push_back(col_end.at(col_id));
+        move.col_x_begin.push_back(
+            col_axis[static_cast<std::size_t>(col_id)]);
+        move.col_x_end.push_back(
+            col_end[static_cast<std::size_t>(col_id)]);
     }
     double max_disp = 0.0;
     for (std::size_t i = 0; i < n; ++i)
         max_disp = std::max(max_disp, distance(begin[i], end[i]));
     move.duration_us = moveDurationUs(max_disp);
     phases.move_us = move.duration_us;
-    job.insts.push_back(move);
+    job.insts.push_back(std::move(move));
 
     // ---- drop: one deactivate transfers every qubit to its SLM trap.
     MachineInstr deact;
     deact.kind = MachineKind::Deactivate;
-    for (const auto &[row_y, row_id] : row_axis)
+    deact.row_id.reserve(static_cast<std::size_t>(num_rows));
+    deact.col_id.reserve(static_cast<std::size_t>(num_cols));
+    for (int row_id = 0; row_id < num_rows; ++row_id)
         deact.row_id.push_back(row_id);
-    for (const auto &[col_x, col_id] : col_axis)
+    for (int col_id = 0; col_id < num_cols; ++col_id)
         deact.col_id.push_back(col_id);
     deact.duration_us = hw.t_transfer_us;
     phases.drop_us = hw.t_transfer_us;
-    job.insts.push_back(deact);
+    job.insts.push_back(std::move(deact));
 
     job.pickup_done_us = phases.pickup_us;
     job.move_done_us = phases.pickup_us + phases.move_us;

@@ -11,6 +11,8 @@
 #ifndef ZAC_ZAIR_MACHINE_HPP
 #define ZAC_ZAIR_MACHINE_HPP
 
+#include <cmath>
+
 #include "arch/spec.hpp"
 #include "zair/instruction.hpp"
 
@@ -27,6 +29,39 @@ struct JobPhases
     double total() const { return pickup_us + move_us + drop_us; }
 };
 
+/** Tolerance for coincident trap coordinates in AOD checks (um). */
+inline constexpr double kAodCoordTolUm = 1e-6;
+
+/**
+ * The pairwise AOD ordering constraint: equal begin rows/columns must
+ * stay equal, distinct ones must keep their strict order (no crossing
+ * or merging). movementsAodCompatible is the conjunction of this
+ * predicate over all pairs; the job splitter negates it per pair to
+ * build the movement conflict graph.
+ */
+inline bool
+movementPairAodCompatible(const Point &begin_i, const Point &end_i,
+                          const Point &begin_j, const Point &end_j)
+{
+    const double bx = begin_i.x - begin_j.x;
+    const double ex = end_i.x - end_j.x;
+    if (std::abs(bx) < kAodCoordTolUm) {
+        if (std::abs(ex) >= kAodCoordTolUm)
+            return false;
+    } else if (bx * ex <= 0.0 || std::abs(ex) < kAodCoordTolUm) {
+        return false;
+    }
+    const double by = begin_i.y - begin_j.y;
+    const double ey = end_i.y - end_j.y;
+    if (std::abs(by) < kAodCoordTolUm) {
+        if (std::abs(ey) >= kAodCoordTolUm)
+            return false;
+    } else if (by * ey <= 0.0 || std::abs(ey) < kAodCoordTolUm) {
+        return false;
+    }
+    return true;
+}
+
 /**
  * Check that a set of movements can be executed by one AOD: begin rows /
  * columns map to end rows / columns preserving strict order, and equal
@@ -39,6 +74,24 @@ bool movementsAodCompatible(const std::vector<Point> &begin,
                             const std::vector<Point> &end);
 
 /**
+ * Reusable buffers for lowerRearrangeJob. One instance per scheduler
+ * keeps the lowering allocation-free across jobs (only the emitted
+ * MachineInstrs, which outlive the call, still allocate).
+ */
+struct RearrangeLowerScratch
+{
+    std::vector<Point> begin;
+    std::vector<Point> end;
+    std::vector<double> xs;
+    std::vector<double> ys;
+    std::vector<double> col_axis;
+    std::vector<double> row_axis;
+    std::vector<double> row_end;
+    std::vector<double> col_end;
+    std::vector<int> col_of;
+};
+
+/**
  * Populate @p job.insts with machine-level instructions and set its
  * pickup_done_us / move_done_us phase markers.
  *
@@ -48,6 +101,21 @@ bool movementsAodCompatible(const std::vector<Point> &begin,
  * @throws zac::FatalError if the job violates AOD constraints.
  */
 JobPhases lowerRearrangeJob(ZairInstr &job, const Architecture &arch);
+
+/** As above with caller-owned scratch (the scheduler hot path). */
+JobPhases lowerRearrangeJob(ZairInstr &job, const Architecture &arch,
+                            RearrangeLowerScratch &scratch);
+
+/**
+ * As above, with @p scratch.begin / @p scratch.end already holding the
+ * begin/end position of every movement of the job (one entry per
+ * begin_locs element, same order). Skips the per-loc position
+ * resolution so callers that already carry flat TrapIds resolve each
+ * position exactly once.
+ */
+JobPhases lowerRearrangeJobPrepared(ZairInstr &job,
+                                    const Architecture &arch,
+                                    RearrangeLowerScratch &scratch);
 
 } // namespace zac
 

@@ -14,6 +14,7 @@
 #include "core/compiler.hpp"
 #include "fidelity/ideal.hpp"
 #include "fidelity/model.hpp"
+#include "fidelity/model_legacy.hpp"
 #include "fidelity/params.hpp"
 #include "zair/machine.hpp"
 
@@ -134,6 +135,215 @@ TEST(FidelityModel, ZacProgramsHaveZeroExcitation)
         EXPECT_EQ(r.fidelity.n_excitation, 0) << name;
     }
 }
+
+TEST(FidelityModel, GoldenBreakdownOnHandProgram)
+{
+    // Every term of the five-factor model reproduced from first
+    // principles on the in-zone-idler hand program.
+    const Architecture arch = presets::referenceZoned();
+    const NaHardwareParams &hw = arch.params();
+    const ZairProgram p = handProgram(arch, true);
+    const FidelityBreakdown f = evaluateFidelity(p, arch);
+
+    EXPECT_EQ(f.g1, 0);
+    EXPECT_EQ(f.g2, 1);
+    EXPECT_EQ(f.n_excitation, 1);
+    EXPECT_EQ(f.n_transfer, 4);
+    EXPECT_DOUBLE_EQ(f.duration_us, p.makespanUs());
+
+    EXPECT_DOUBLE_EQ(f.f_1q, 1.0);
+    EXPECT_DOUBLE_EQ(f.f_2q_gates, hw.f_2q);
+    EXPECT_DOUBLE_EQ(f.f_excitation, hw.f_exc);
+    EXPECT_DOUBLE_EQ(f.f_2q, hw.f_2q * hw.f_exc);
+    EXPECT_DOUBLE_EQ(f.f_transfer, std::pow(hw.f_transfer, 4));
+
+    // Busy time: q0/q1 get two transfers plus the pulse, q2 idles the
+    // whole makespan.
+    const double busy01 = 2.0 * hw.t_transfer_us + hw.t_rydberg_us;
+    const double dec01 = 1.0 - (f.duration_us - busy01) / hw.t2_us;
+    const double dec2 = 1.0 - f.duration_us / hw.t2_us;
+    EXPECT_DOUBLE_EQ(f.f_decoherence, dec01 * dec01 * dec2);
+    EXPECT_DOUBLE_EQ(f.total, f.f_1q * f.f_2q * f.f_transfer *
+                                  f.f_decoherence);
+}
+
+TEST(FidelityModel, UnplacedQubitIsNeverExcited)
+{
+    // A qubit that the init never places (invalid pos in the legacy
+    // scan) cannot be charged an excitation, whatever zone is pulsed.
+    const Architecture arch = presets::referenceZoned();
+    ZairProgram p = handProgram(arch, false);
+    p.instrs[0].init_locs.pop_back(); // q2 now has no position
+    const FidelityBreakdown f = evaluateFidelity(p, arch);
+    EXPECT_EQ(f.n_excitation, 0);
+}
+
+TEST(FidelityModel, ExcitationRequiresThePulsedZone)
+{
+    // On a two-zone architecture an idler parked in zone 0 is excited
+    // by a zone-0 pulse but not by a zone-1 pulse.
+    const Architecture arch = presets::multiZoneArch2();
+    ASSERT_EQ(arch.entanglementZones().size(), 2u);
+    for (int pulsed_zone : {0, 1}) {
+        ZairProgram p;
+        p.num_qubits = 3;
+        ZairInstr init;
+        init.kind = ZairKind::Init;
+        const int site0 = arch.siteIndex(0, 0, 0); // zone 0
+        const int gate_site =
+            arch.siteIndex(pulsed_zone, 0, 3); // pulsed zone
+        init.init_locs = {
+            {0, arch.site(gate_site).left.slm,
+             arch.site(gate_site).left.r, arch.site(gate_site).left.c},
+            {1, arch.site(gate_site).right.slm,
+             arch.site(gate_site).right.r,
+             arch.site(gate_site).right.c},
+            {2, arch.site(site0).left.slm, arch.site(site0).left.r,
+             arch.site(site0).left.c + 1}, // zone-0 idler
+        };
+        p.instrs.push_back(init);
+        ZairInstr ryd;
+        ryd.kind = ZairKind::Rydberg;
+        ryd.zone_id = pulsed_zone;
+        ryd.gate_qubits = {0, 1};
+        ryd.end_time_us = arch.params().t_rydberg_us;
+        p.instrs.push_back(ryd);
+
+        const FidelityBreakdown f = evaluateFidelity(p, arch);
+        EXPECT_EQ(f.n_excitation, pulsed_zone == 0 ? 1 : 0)
+            << "pulsed zone " << pulsed_zone;
+        const FidelityBreakdown l = legacy::evaluateFidelity(p, arch);
+        EXPECT_EQ(f.n_excitation, l.n_excitation);
+        EXPECT_EQ(f.total, l.total);
+    }
+}
+
+TEST(FidelityModel, DecoherenceClampsToZero)
+{
+    // Idle time beyond T2 must clamp f_decoherence (and the total) to
+    // exactly zero rather than going negative.
+    Architecture arch = presets::referenceZoned();
+    arch.params().t2_us = 10.0; // far below the ~140 us makespan
+    const FidelityBreakdown f =
+        evaluateFidelity(handProgram(arch, false), arch);
+    EXPECT_EQ(f.f_decoherence, 0.0);
+    EXPECT_EQ(f.total, 0.0);
+    const FidelityBreakdown l =
+        legacy::evaluateFidelity(handProgram(arch, false), arch);
+    EXPECT_EQ(l.f_decoherence, 0.0);
+    EXPECT_EQ(f.total, l.total);
+}
+
+TEST(FidelityModel, UniformBeforeInitPanics)
+{
+    // The legacy model panicked on Rydberg before init but silently
+    // accepted 1Q gates and rearrange jobs; the check is now uniform.
+    const Architecture arch = presets::referenceZoned();
+
+    ZairProgram ryd_first;
+    ryd_first.num_qubits = 2;
+    ZairInstr ryd;
+    ryd.kind = ZairKind::Rydberg;
+    ryd.gate_qubits = {0, 1};
+    ryd_first.instrs.push_back(ryd);
+    EXPECT_THROW(evaluateFidelity(ryd_first, arch), PanicError);
+
+    ZairProgram oneq_first;
+    oneq_first.num_qubits = 2;
+    ZairInstr oneq;
+    oneq.kind = ZairKind::OneQGate;
+    oneq.locs = {{0, 0, 99, 0}};
+    oneq_first.instrs.push_back(oneq);
+    EXPECT_THROW(evaluateFidelity(oneq_first, arch), PanicError);
+
+    ZairProgram job_first;
+    job_first.num_qubits = 2;
+    ZairInstr job;
+    job.kind = ZairKind::RearrangeJob;
+    job.begin_locs = {{0, 0, 99, 0}};
+    job.end_locs = {{0, 0, 98, 0}};
+    job_first.instrs.push_back(job);
+    EXPECT_THROW(evaluateFidelity(job_first, arch), PanicError);
+}
+
+TEST(FidelityModel, OutOfRangeQubitsPanic)
+{
+    const Architecture arch = presets::referenceZoned();
+
+    ZairProgram init_bad = handProgram(arch, false);
+    init_bad.instrs[0].init_locs[0].q = 99;
+    EXPECT_THROW(evaluateFidelity(init_bad, arch), PanicError);
+
+    ZairProgram ryd_bad = handProgram(arch, false);
+    ryd_bad.instrs[2].gate_qubits[0] = -1;
+    EXPECT_THROW(evaluateFidelity(ryd_bad, arch), PanicError);
+
+    ZairProgram job_bad = handProgram(arch, false);
+    job_bad.instrs[1].begin_locs[0].q = 5;
+    job_bad.instrs[1].end_locs[0].q = 5;
+    EXPECT_THROW(evaluateFidelity(job_bad, arch), PanicError);
+}
+
+TEST(FidelityModel, HandProgramsMatchLegacyBitwise)
+{
+    const Architecture arch = presets::referenceZoned();
+    for (bool idler : {false, true}) {
+        const ZairProgram p = handProgram(arch, idler);
+        const FidelityBreakdown f = evaluateFidelity(p, arch);
+        const FidelityBreakdown l = legacy::evaluateFidelity(p, arch);
+        EXPECT_EQ(f.g1, l.g1);
+        EXPECT_EQ(f.g2, l.g2);
+        EXPECT_EQ(f.n_excitation, l.n_excitation);
+        EXPECT_EQ(f.n_transfer, l.n_transfer);
+        EXPECT_EQ(f.f_1q, l.f_1q);
+        EXPECT_EQ(f.f_2q_gates, l.f_2q_gates);
+        EXPECT_EQ(f.f_excitation, l.f_excitation);
+        EXPECT_EQ(f.f_2q, l.f_2q);
+        EXPECT_EQ(f.f_transfer, l.f_transfer);
+        EXPECT_EQ(f.f_decoherence, l.f_decoherence);
+        EXPECT_EQ(f.duration_us, l.duration_us);
+        EXPECT_EQ(f.total, l.total);
+    }
+}
+
+// -------------------------------------- legacy equivalence, full sweep
+
+class FidelityEquivPaper : public ::testing::TestWithParam<const char *>
+{
+};
+
+TEST_P(FidelityEquivPaper, BitIdenticalToLegacyOnCompiledProgram)
+{
+    const Architecture arch = presets::referenceZoned();
+    ZacOptions opts;
+    opts.sa_iterations = 100;
+    const ZacCompiler compiler(arch, opts);
+    const ZacResult r =
+        compiler.compile(bench_circuits::paperBenchmark(GetParam()));
+    const FidelityBreakdown f = evaluateFidelity(r.program, arch);
+    const FidelityBreakdown l =
+        legacy::evaluateFidelity(r.program, arch);
+    EXPECT_EQ(f.g1, l.g1);
+    EXPECT_EQ(f.g2, l.g2);
+    EXPECT_EQ(f.n_excitation, l.n_excitation);
+    EXPECT_EQ(f.n_transfer, l.n_transfer);
+    EXPECT_EQ(f.f_1q, l.f_1q);
+    EXPECT_EQ(f.f_2q, l.f_2q);
+    EXPECT_EQ(f.f_transfer, l.f_transfer);
+    EXPECT_EQ(f.f_decoherence, l.f_decoherence);
+    EXPECT_EQ(f.duration_us, l.duration_us);
+    EXPECT_EQ(f.total, l.total);
+    // The compiler's own breakdown is the same evaluation.
+    EXPECT_EQ(r.fidelity.total, f.total);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    PaperCircuits, FidelityEquivPaper,
+    ::testing::Values("bv_n14", "bv_n19", "bv_n30", "bv_n70", "cat_n22",
+                      "cat_n35", "ghz_n23", "ghz_n40", "ghz_n78",
+                      "ising_n42", "ising_n98", "knn_n31",
+                      "multiply_n13", "qft_n18", "seca_n11",
+                      "swap_test_n25", "wstate_n27"));
 
 // --------------------------------------------------------- parameters
 

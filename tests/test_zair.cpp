@@ -214,6 +214,128 @@ TEST(ZairProgram, InvariantsCatchCorruption)
     EXPECT_THROW(p3.checkInvariants(), PanicError);
 }
 
+TEST(ZairProgram, InvariantsRejectEmptyProgram)
+{
+    EXPECT_THROW(ZairProgram{}.checkInvariants(), PanicError);
+}
+
+TEST(ZairProgram, InvariantsRejectRydbergBeforeInit)
+{
+    // A program whose first instruction is a Rydberg pulse — the shape
+    // scheduleProgram leans on checkInvariants to rule out.
+    ZairProgram p;
+    p.num_qubits = 2;
+    ZairInstr ryd;
+    ryd.kind = ZairKind::Rydberg;
+    ryd.gate_qubits = {0, 1};
+    ryd.end_time_us = 0.36;
+    p.instrs.push_back(ryd);
+    EXPECT_THROW(p.checkInvariants(), PanicError);
+}
+
+TEST(ZairProgram, InvariantsRejectSecondInit)
+{
+    const Architecture arch = presets::referenceZoned();
+    ZairProgram p = tinyProgram(arch);
+    ZairInstr init;
+    init.kind = ZairKind::Init;
+    init.init_locs = {{0, 0, 99, 0}};
+    p.instrs.push_back(init);
+    EXPECT_THROW(p.checkInvariants(), PanicError);
+}
+
+TEST(ZairProgram, InvariantsRejectOutOfRangeQubits)
+{
+    const Architecture arch = presets::referenceZoned();
+
+    ZairProgram init_bad = tinyProgram(arch);
+    init_bad.instrs[0].init_locs[0].q = 5; // num_qubits == 2
+    EXPECT_THROW(init_bad.checkInvariants(), PanicError);
+
+    ZairProgram oneq_bad = tinyProgram(arch);
+    oneq_bad.instrs[3].locs[0].q = -1;
+    EXPECT_THROW(oneq_bad.checkInvariants(), PanicError);
+
+    ZairProgram ryd_bad = tinyProgram(arch);
+    ryd_bad.instrs[2].gate_qubits[1] = 7;
+    EXPECT_THROW(ryd_bad.checkInvariants(), PanicError);
+
+    ZairProgram job_bad = tinyProgram(arch);
+    job_bad.instrs[1].begin_locs[0].q = 2;
+    job_bad.instrs[1].end_locs[0].q = 2;
+    EXPECT_THROW(job_bad.checkInvariants(), PanicError);
+}
+
+TEST(ZairProgram, InvariantsRejectTimeOrderingViolations)
+{
+    const Architecture arch = presets::referenceZoned();
+
+    // An instruction that ends before it begins.
+    ZairProgram backwards = tinyProgram(arch);
+    backwards.instrs[2].end_time_us =
+        backwards.instrs[2].begin_time_us - 1.0;
+    EXPECT_THROW(backwards.checkInvariants(), PanicError);
+
+    // An instruction scheduled before time zero.
+    ZairProgram negative = tinyProgram(arch);
+    negative.instrs[1].begin_time_us = -5.0;
+    EXPECT_THROW(negative.checkInvariants(), PanicError);
+}
+
+TEST(ZairProgram, InvariantsAcceptScheduledPrograms)
+{
+    const Architecture arch = presets::referenceZoned();
+    tinyProgram(arch).checkInvariants();
+}
+
+// ----------------------------------------- prepared lowering variant
+
+TEST(JobLowering, PreparedVariantMatchesSelfResolvingLowering)
+{
+    const Architecture arch = presets::referenceZoned();
+    ZairInstr a = makeJob({{0, 0, 99, 0}, {1, 0, 99, 1}, {2, 0, 98, 3}},
+                          {{0, 1, 1, 0}, {1, 2, 1, 0}, {2, 1, 0, 1}});
+    ZairInstr b = a;
+    const JobPhases pa = lowerRearrangeJob(a, arch);
+
+    RearrangeLowerScratch scratch;
+    scratch.begin.resize(b.begin_locs.size());
+    scratch.end.resize(b.end_locs.size());
+    for (std::size_t i = 0; i < b.begin_locs.size(); ++i) {
+        scratch.begin[i] = arch.trapPosition(b.begin_locs[i].trap());
+        scratch.end[i] = arch.trapPosition(b.end_locs[i].trap());
+    }
+    const JobPhases pb = lowerRearrangeJobPrepared(b, arch, scratch);
+
+    EXPECT_EQ(pa.pickup_us, pb.pickup_us);
+    EXPECT_EQ(pa.move_us, pb.move_us);
+    EXPECT_EQ(pa.drop_us, pb.drop_us);
+    EXPECT_EQ(a.pickup_done_us, b.pickup_done_us);
+    EXPECT_EQ(a.move_done_us, b.move_done_us);
+    ASSERT_EQ(a.insts.size(), b.insts.size());
+    for (std::size_t i = 0; i < a.insts.size(); ++i) {
+        EXPECT_EQ(a.insts[i].kind, b.insts[i].kind);
+        EXPECT_EQ(a.insts[i].row_id, b.insts[i].row_id);
+        EXPECT_EQ(a.insts[i].col_id, b.insts[i].col_id);
+        EXPECT_EQ(a.insts[i].row_y, b.insts[i].row_y);
+        EXPECT_EQ(a.insts[i].col_x, b.insts[i].col_x);
+        EXPECT_EQ(a.insts[i].row_y_begin, b.insts[i].row_y_begin);
+        EXPECT_EQ(a.insts[i].row_y_end, b.insts[i].row_y_end);
+        EXPECT_EQ(a.insts[i].col_x_begin, b.insts[i].col_x_begin);
+        EXPECT_EQ(a.insts[i].col_x_end, b.insts[i].col_x_end);
+        EXPECT_EQ(a.insts[i].duration_us, b.insts[i].duration_us);
+    }
+
+    // The prepared variant insists on one position per movement.
+    RearrangeLowerScratch short_scratch;
+    short_scratch.begin.resize(1);
+    short_scratch.end.resize(1);
+    ZairInstr c = makeJob({{0, 0, 99, 0}, {1, 0, 99, 1}},
+                          {{0, 1, 0, 0}, {1, 2, 0, 0}});
+    EXPECT_THROW(lowerRearrangeJobPrepared(c, arch, short_scratch),
+                 PanicError);
+}
+
 // ------------------------------------------------------ serialization
 
 TEST(ZairSerialize, EmitsPaperShapedJson)
