@@ -25,8 +25,13 @@
  *    concurrently, exploiting the documented re-entrancy of
  *    compile() const.
  *
+ *  - the multi-seed SA batch (ISSUE 5): per-seed exact costs, the
+ *    winning stream, the best-of-N cost gain over stream 0, and a
+ *    worker-count determinism check (serial vs. parallel batch must
+ *    match bit-for-bit);
+ *
  * Results are written as machine-readable JSON (schema
- * zac.perf_placement.v3, documented in bench/README.md) so successive
+ * zac.perf_placement.v4, documented in bench/README.md) so successive
  * PRs accumulate a perf trajectory.
  *
  * Usage: perf_placement [output.json] [--fast]
@@ -167,6 +172,78 @@ main(int argc, char **argv)
     std::printf("\nSA placement geomean speedup: %.2fx (outputs %s)\n\n",
                 sa_geomean,
                 sa_identical ? "bit-identical" : "MISMATCHED");
+
+    // ------------------------------- multi-seed SA batch (ISSUE 5)
+    // Per-seed exact costs and the best-of-N gain, plus the
+    // worker-count determinism contract: a serial batch and a
+    // hardware-concurrency batch must agree bit-for-bit.
+    const int ms_seeds = 4;
+    json::Array ms_rows;
+    bool ms_deterministic = true;
+    std::vector<double> ms_gains;
+    std::printf("%-16s %10s %10s %8s %9s %9s  (multi-seed SA, %d "
+                "seeds)\n",
+                "circuit", "seed0", "best", "seed", "serial", "par",
+                ms_seeds);
+    for (const Prepared &c : circuits) {
+        SaOptions ms = sa_opts;
+        ms.num_seeds = ms_seeds;
+        ms.num_threads = 1;
+        SaSeedReport serial_rep;
+        std::vector<TrapRef> serial_out;
+        const double t_serial = bestOf(sa_reps, [&] {
+            serial_out = saInitialPlacement(arch, c.staged, ms, {},
+                                            &serial_rep);
+        });
+        ms.num_threads = 0; // hardware concurrency
+        SaSeedReport par_rep;
+        std::vector<TrapRef> par_out;
+        const double t_par = bestOf(sa_reps, [&] {
+            par_out = saInitialPlacement(arch, c.staged, ms, {},
+                                         &par_rep);
+        });
+        const bool identical =
+            serial_out == par_out &&
+            serial_rep.seed_costs == par_rep.seed_costs &&
+            serial_rep.best_seed == par_rep.best_seed;
+        ms_deterministic = ms_deterministic && identical;
+        const double seed0 = serial_rep.seed_costs.empty()
+                                 ? 0.0
+                                 : serial_rep.seed_costs[0];
+        const double best_cost =
+            serial_rep.seed_costs.empty()
+                ? 0.0
+                : serial_rep.seed_costs[static_cast<std::size_t>(
+                      serial_rep.best_seed)];
+        // Best-of-N cost gain over the single-seed stream, as a
+        // fraction of stream 0 (0 = no gain).
+        const double gain =
+            seed0 > 0.0 ? (seed0 - best_cost) / seed0 : 0.0;
+        ms_gains.push_back(1.0 + gain);
+        std::printf("%-16s %10.3f %10.3f %8d %8.3f %8.3f%s\n",
+                    c.name.c_str(), seed0, best_cost,
+                    serial_rep.best_seed, t_serial * 1e3, t_par * 1e3,
+                    identical ? "" : "  WORKER-COUNT MISMATCH");
+        json::Object row;
+        row["circuit"] = c.name;
+        json::Array costs;
+        for (double cost : serial_rep.seed_costs)
+            costs.push_back(cost);
+        row["seed_costs"] = std::move(costs);
+        row["best_seed"] = serial_rep.best_seed;
+        row["seed0_cost"] = seed0;
+        row["best_cost"] = best_cost;
+        row["cost_gain"] = gain;
+        row["serial_seconds"] = t_serial;
+        row["parallel_seconds"] = t_par;
+        row["identical_across_workers"] = identical;
+        ms_rows.push_back(std::move(row));
+    }
+    const double ms_gain_geomean = gmean(ms_gains) - 1.0;
+    std::printf("\nmulti-seed SA: best-of-%d geomean cost gain %.2f%% "
+                "(worker-count determinism %s)\n\n",
+                ms_seeds, 100.0 * ms_gain_geomean,
+                ms_deterministic ? "OK" : "VIOLATED");
 
     // --------------------------- dynamic placement (movement pipeline)
     json::Array dyn_rows;
@@ -377,14 +454,24 @@ main(int argc, char **argv)
 
     // ------------------------------------------------------ JSON dump
     json::Object doc;
-    doc["schema"] = "zac.perf_placement.v3";
+    doc["schema"] = "zac.perf_placement.v4";
     doc["arch"] = arch.name();
     doc["sa_iterations"] = sa_opts.max_iterations;
     doc["sa_seed"] = static_cast<std::int64_t>(sa_opts.seed);
     doc["fast_mode"] = fast;
     doc["sa_placement"] = std::move(sa_rows);
     doc["sa_geomean_speedup"] = sa_geomean;
+    // The ISSUE 5 headline figure: the incremental propose/commit SA
+    // engine vs. the frozen zac::legacy full-evaluator reference
+    // (gated >= 2x by check_perf_regression.py for schema v4).
+    doc["sa_incremental_speedup"] = sa_geomean;
     doc["sa_outputs_identical"] = sa_identical;
+    doc["sa_multi_seed"] = json::Object{
+        {"num_seeds", ms_seeds},
+        {"per_circuit", std::move(ms_rows)},
+        {"cost_gain_geomean", ms_gain_geomean},
+    };
+    doc["sa_multi_seed_deterministic"] = ms_deterministic;
     doc["dynamic_placement"] = std::move(dyn_rows);
     doc["dynamic_geomean_speedup"] = dyn_geomean;
     doc["dynamic_outputs_identical"] = dyn_identical;
@@ -430,5 +517,8 @@ main(int argc, char **argv)
     }
     std::printf("wrote %s\n", out_path.c_str());
 
-    return (sa_identical && dyn_identical && sched_identical) ? 0 : 1;
+    return (sa_identical && dyn_identical && sched_identical &&
+            ms_deterministic)
+               ? 0
+               : 1;
 }

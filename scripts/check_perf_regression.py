@@ -14,15 +14,24 @@ Supported schemas (--schema selects one explicitly; without the flag
 the committed file's own schema tag is used, and both files must
 carry the same tag either way):
 
-  zac.perf_placement.v3 (and v2, v1)
+  zac.perf_placement.v4 (and v3, v2, v1)
       Metric: ``compile_total_seconds`` normalized by the frozen
       ``zac::legacy`` SA total. The committed JSON is usually measured
       on different hardware than the CI runner, so raw seconds are not
       comparable; the legacy SA implementation never changes, making
       the ratio a machine-speed control that isolates genuine compiler
       regressions. Also gates on ``sa_outputs_identical``,
-      ``dynamic_outputs_identical`` and (v3)
-      ``sched_fid_outputs_identical``.
+      ``dynamic_outputs_identical``, (v3+)
+      ``sched_fid_outputs_identical``, and (v4)
+      ``sa_multi_seed_deterministic`` plus a floor of 2.0x on
+      ``sa_incremental_speedup`` (the incremental SA engine vs. the
+      frozen legacy reference).
+
+When the ``GITHUB_STEP_SUMMARY`` environment variable is set (GitHub
+Actions), a markdown comparison table — headline metrics plus
+per-phase timings for the placement schema — is appended to it so
+perf drift is visible in the run summary without downloading
+artifacts.
 
   zac.perf_service.v1
       Metric: ``scaling_overhead`` — wall seconds of the batch
@@ -45,7 +54,12 @@ PLACEMENT_SCHEMAS = (
     "zac.perf_placement.v1",
     "zac.perf_placement.v2",
     "zac.perf_placement.v3",
+    "zac.perf_placement.v4",
 )
+
+# Floor on the v4 incremental-SA headline figure (ISSUE 5 acceptance:
+# >= 2x geomean vs. the frozen zac::legacy reference).
+SA_INCREMENTAL_SPEEDUP_FLOOR = 2.0
 SERVICE_SCHEMAS = ("zac.perf_service.v1",)
 KNOWN_SCHEMAS = PLACEMENT_SCHEMAS + SERVICE_SCHEMAS
 
@@ -132,6 +146,9 @@ def placement_flags(doc):
         "sched_fid_outputs_identical": doc.get(
             "sched_fid_outputs_identical", True
         ),
+        "sa_multi_seed_deterministic": doc.get(
+            "sa_multi_seed_deterministic", True
+        ),
     }
 
 
@@ -152,6 +169,106 @@ def service_flags(doc):
             "second_round_all_hits", True
         ),
     }
+
+
+def fmt_ratio(committed, fresh):
+    """Fresh/committed as a cell, or n/a when not comparable."""
+    if (
+        isinstance(committed, (int, float))
+        and isinstance(fresh, (int, float))
+        and committed > 0
+    ):
+        return f"{fresh / committed:.3f}"
+    return "n/a"
+
+
+def summary_rows_placement(committed, fresh):
+    """(section, rows) pairs for the placement step-summary table."""
+    headline = [
+        ("compile_total_seconds", "compile_total_seconds"),
+        ("sa_geomean_speedup", "sa_geomean_speedup"),
+        ("sa_incremental_speedup", "sa_incremental_speedup"),
+        ("dynamic_geomean_speedup", "dynamic_geomean_speedup"),
+        ("sched_fid_geomean_speedup", "sched_fid_geomean_speedup"),
+    ]
+    rows = []
+    for label, key in headline:
+        if key in committed or key in fresh:
+            rows.append((label, committed.get(key), fresh.get(key)))
+    phase_keys = (
+        "sa_seconds",
+        "reuse_matching_seconds",
+        "gate_placement_seconds",
+        "movement_seconds",
+        "scheduling_seconds",
+        "fidelity_seconds",
+    )
+    cp = committed.get("phase_totals", {})
+    fp = fresh.get("phase_totals", {})
+    for key in phase_keys:
+        if key in cp or key in fp:
+            rows.append((f"phase: {key}", cp.get(key), fp.get(key)))
+    return rows
+
+
+def summary_rows_service(committed, fresh):
+    rows = [
+        (
+            "scaling_overhead",
+            committed.get("scaling_overhead"),
+            fresh.get("scaling_overhead"),
+        ),
+        (
+            "sequential_jobs_per_second",
+            committed.get("sequential_jobs_per_second"),
+            fresh.get("sequential_jobs_per_second"),
+        ),
+        (
+            "parallel_seconds_at_max",
+            committed.get("parallel_seconds_at_max"),
+            fresh.get("parallel_seconds_at_max"),
+        ),
+    ]
+    return [r for r in rows if r[1] is not None or r[2] is not None]
+
+
+def write_step_summary(schema, committed, fresh, metric_name, base, now,
+                       threshold, ok):
+    """Append a markdown comparison table to $GITHUB_STEP_SUMMARY (no-op
+    outside GitHub Actions) so perf drift is visible in the run summary
+    without downloading artifacts."""
+    path = os.environ.get("GITHUB_STEP_SUMMARY")
+    if not path:
+        return
+    if schema in PLACEMENT_SCHEMAS:
+        rows = summary_rows_placement(committed, fresh)
+        flags = placement_flags(fresh)
+    else:
+        rows = summary_rows_service(committed, fresh)
+        flags = service_flags(fresh)
+    lines = [
+        f"### Perf gate: `{schema}` — {'PASS' if ok else 'FAIL'}",
+        "",
+        f"Gated metric **{metric_name}**: committed {base:.4f}, "
+        f"fresh {now:.4f}, ratio {now / base:.3f} "
+        f"(threshold {threshold:.2f})",
+        "",
+        "| metric | committed | fresh | fresh/committed |",
+        "| --- | ---: | ---: | ---: |",
+    ]
+    for label, c, f in rows:
+        c_cell = f"{c:.4f}" if isinstance(c, (int, float)) else "—"
+        f_cell = f"{f:.4f}" if isinstance(f, (int, float)) else "—"
+        lines.append(
+            f"| {label} | {c_cell} | {f_cell} | {fmt_ratio(c, f)} |"
+        )
+    flag_cells = ", ".join(
+        f"`{k}`={'true' if v else '**false**'}"
+        for k, v in flags.items()
+    )
+    lines += ["", f"Semantics flags (fresh run): {flag_cells}", ""]
+    with open(path, "a") as f:
+        f.write("\n".join(lines) + "\n")
 
 
 def main(argv):
@@ -219,6 +336,33 @@ def main(argv):
     if ratio > args.threshold:
         print("FAIL: perf metric regressed beyond the threshold")
         ok = False
+
+    # v4 additionally floors the incremental-SA headline figure.
+    if committed["schema"] == "zac.perf_placement.v4":
+        speedup = require(fresh, args.fresh, "sa_incremental_speedup")
+        if not isinstance(speedup, (int, float)) or isinstance(
+            speedup, bool
+        ):
+            fail_input(
+                f"{args.fresh}: sa_incremental_speedup is not a "
+                f"number; regenerate the file with ./build/"
+                f"perf_placement"
+            )
+        print(
+            f"sa_incremental_speedup: fresh {speedup:.2f}x "
+            f"(floor {SA_INCREMENTAL_SPEEDUP_FLOOR:.1f}x)"
+        )
+        if speedup < SA_INCREMENTAL_SPEEDUP_FLOOR:
+            print(
+                "FAIL: incremental SA speedup fell below the "
+                f"{SA_INCREMENTAL_SPEEDUP_FLOOR:.1f}x floor"
+            )
+            ok = False
+
+    write_step_summary(
+        committed["schema"], committed, fresh, metric_name, base, now,
+        args.threshold, ok,
+    )
 
     return 0 if ok else 1
 

@@ -16,6 +16,24 @@
 namespace zac
 {
 
+/** The SplitMix64 increment (golden-ratio gamma). */
+inline constexpr std::uint64_t kSplitMix64Gamma =
+    0x9e3779b97f4a7c15ull;
+
+/**
+ * The SplitMix64 output finalizer: the mixing applied to each
+ * gamma-advanced state word. Shared by Rng seeding and by derived-seed
+ * schemes (e.g. the multi-seed SA streams) so the constants live in
+ * one place.
+ */
+inline std::uint64_t
+splitMix64Mix(std::uint64_t z)
+{
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+    return z ^ (z >> 31);
+}
+
 /**
  * Small, fast, deterministic PRNG (xoshiro256**).
  *
@@ -31,11 +49,8 @@ class Rng
         // SplitMix64 seeding as recommended by the xoshiro authors.
         std::uint64_t x = seed;
         for (auto &word : state_) {
-            x += 0x9e3779b97f4a7c15ull;
-            std::uint64_t z = x;
-            z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
-            z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
-            word = z ^ (z >> 31);
+            x += kSplitMix64Gamma;
+            word = splitMix64Mix(x);
         }
     }
 

@@ -65,9 +65,14 @@ ZacCompiler::compileStaged(const StagedCircuit &staged,
     SaOptions sa;
     sa.max_iterations = opts_.sa_iterations;
     sa.seed = opts_.seed;
+    sa.num_seeds = opts_.sa_num_seeds;
+    sa.num_threads = opts_.sa_threads;
+    // The per-seed poll keeps multi-seed SA batches cancellable at
+    // seed granularity without re-announcing the phase.
     const std::vector<TrapRef> initial =
         opts_.use_sa_init
-            ? saInitialPlacement(arch_, staged, sa)
+            ? saInitialPlacement(arch_, staged, sa,
+                                 [&control] { control.poll(); })
             : trivialInitialPlacement(arch_, staged.numQubits);
     const auto t_sa = clock::now();
 

@@ -75,14 +75,25 @@ struct CompileControl
     void
     checkpoint(const char *phase) const
     {
+        poll();
+        if (on_phase)
+            on_phase(phase);
+    }
+
+    /**
+     * Cancellation/deadline check without a phase announcement: used
+     * for intra-phase checks (e.g. between SA seed-batch streams)
+     * where on_phase must keep firing once per phase.
+     */
+    void
+    poll() const
+    {
         if (cancel != nullptr &&
             cancel->load(std::memory_order_relaxed))
             throw CompileCancelled(false);
         if (deadline != Clock::time_point::max() &&
             Clock::now() > deadline)
             throw CompileCancelled(true);
-        if (on_phase)
-            on_phase(phase);
     }
 };
 

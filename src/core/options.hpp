@@ -37,6 +37,18 @@ struct ZacOptions
     int sa_iterations = 1000;
     /** RNG seed for SA. */
     std::uint64_t seed = 1;
+    /**
+     * Independent SA restarts (seed streams derived from `seed`); the
+     * best-cost placement wins with a deterministic tie-break. 1
+     * reproduces the classic single-seed output exactly.
+     */
+    int sa_num_seeds = 1;
+    /**
+     * Worker threads for the SA seed batch; 0 = hardware concurrency.
+     * Never changes the output (excluded from digest()) — set to 1
+     * when compiles already run on a saturated worker pool.
+     */
+    int sa_threads = 0;
     /** k-hop neighbourhood for storage-trap candidates (Sec. V-B3). */
     int candidate_k = 2;
     /** Lookahead weight alpha in Eq. 3. */
@@ -58,6 +70,10 @@ struct ZacOptions
         h.u8(use_direct_reuse);
         h.i64(sa_iterations);
         h.u64(seed);
+        h.i64(sa_num_seeds);
+        // sa_threads is deliberately omitted: the worker count never
+        // changes the chosen placement (see the multi-seed
+        // determinism tests), so it must not split cache entries.
         h.i64(candidate_k);
         h.f64(lookahead_alpha);
         return h.digest();

@@ -1,9 +1,12 @@
 #include "core/sa_placer.hpp"
 
 #include <algorithm>
+#include <atomic>
 #include <cmath>
 #include <cstdint>
+#include <exception>
 #include <limits>
+#include <thread>
 
 #include "common/logging.hpp"
 #include "common/rng.hpp"
@@ -44,7 +47,7 @@ weightedGates(const StagedCircuit &staged)
 /**
  * Weighted Eq. 2 cost of one gate whose qubits sit at traps
  * @p t0 / @p t1. All geometry comes from the Architecture's precomputed
- * tables; no site scan. Single evaluation path shared by the tracker
+ * tables; no site scan. Single evaluation path shared by the annealer
  * and by initialPlacementCost().
  */
 inline double
@@ -58,143 +61,405 @@ weightedGateCost(const Architecture &arch, const WeightedGate &g,
 }
 
 /**
- * Incremental Eq. 2 evaluator over flat TrapIds: caches per-gate costs
- * and per-qubit gate lists (CSR layout). Supports an O(#gates) probe
- * snapshot so the adaptive-temperature probe runs in place instead of
- * deep-copying the tracker.
+ * Everything about one SA problem instance that is independent of the
+ * seed: the weighted gate list, the per-qubit CSR incidence, the jump
+ * candidate pool, the trivial initial placement, and the baseline
+ * per-gate costs/total of that placement. Built once, shared read-only
+ * by every seed stream of a batch.
  */
-class CostTracker
+struct SaShared
 {
-  public:
-    CostTracker(const Architecture &arch, const StagedCircuit &staged,
-                const std::vector<TrapRef> &traps)
-        : arch_(arch), gates_(weightedGates(staged)),
-          trapOfQubit_(traps.size()), gateCost_(gates_.size(), 0.0)
-    {
-        for (std::size_t q = 0; q < traps.size(); ++q)
-            trapOfQubit_[q] = arch.trapId(traps[q]);
+    const Architecture &arch;
+    std::vector<WeightedGate> gates;
+    std::vector<std::size_t> gate_offsets; ///< CSR offsets, per qubit
+    std::vector<int> gate_list;            ///< CSR gate indices
+    std::vector<TrapId> init_traps;        ///< trivial placement, by qubit
+    std::vector<TrapId> pool;              ///< jump candidates
+    std::vector<double> init_gate_cost;    ///< Eq. 2 terms at init
+    double init_total = 0.0;
+    std::vector<std::uint8_t> init_occupied; ///< by TrapId
+    int num_qubits = 0;
 
-        // CSR gate lists: count, prefix-sum, fill.
-        const std::size_t n = static_cast<std::size_t>(staged.numQubits);
-        gateOffsets_.assign(n + 1, 0);
-        for (const WeightedGate &g : gates_) {
-            ++gateOffsets_[static_cast<std::size_t>(g.q0) + 1];
-            ++gateOffsets_[static_cast<std::size_t>(g.q1) + 1];
+    SaShared(const Architecture &arch_in, const StagedCircuit &staged,
+             const std::vector<TrapRef> &init,
+             const std::vector<TrapRef> &order)
+        : arch(arch_in), gates(weightedGates(staged)),
+          init_traps(init.size()),
+          init_gate_cost(gates.size(), 0.0),
+          init_occupied(static_cast<std::size_t>(arch_in.numTraps()), 0),
+          num_qubits(staged.numQubits)
+    {
+        for (std::size_t q = 0; q < init.size(); ++q) {
+            init_traps[q] = arch.trapId(init[q]);
+            init_occupied[static_cast<std::size_t>(init_traps[q])] = 1;
+        }
+
+        // Jump candidate pool: the traps closest to the entanglement
+        // zone (twice the qubit count, at least one full row).
+        const std::size_t pool_size = std::min(
+            order.size(),
+            static_cast<std::size_t>(std::max(2 * num_qubits, 100)));
+        pool.resize(pool_size);
+        for (std::size_t i = 0; i < pool_size; ++i)
+            pool[i] = arch.trapId(order[i]);
+
+        // CSR gate lists: count, prefix-sum, fill. Per-qubit gate
+        // order is ascending gate index, matching the legacy
+        // per-qubit push_back order so delta summation order (and
+        // therefore every accept decision) is unchanged.
+        const std::size_t n = static_cast<std::size_t>(num_qubits);
+        gate_offsets.assign(n + 1, 0);
+        for (const WeightedGate &g : gates) {
+            ++gate_offsets[static_cast<std::size_t>(g.q0) + 1];
+            ++gate_offsets[static_cast<std::size_t>(g.q1) + 1];
         }
         for (std::size_t q = 1; q <= n; ++q)
-            gateOffsets_[q] += gateOffsets_[q - 1];
-        gateList_.resize(gateOffsets_[n]);
-        std::vector<int> fill(gateOffsets_.begin(),
-                              gateOffsets_.end() - 1);
-        for (std::size_t i = 0; i < gates_.size(); ++i) {
-            gateList_[static_cast<std::size_t>(
-                fill[static_cast<std::size_t>(gates_[i].q0)]++)] =
+            gate_offsets[q] += gate_offsets[q - 1];
+        gate_list.resize(gate_offsets[n]);
+        std::vector<int> fill(gate_offsets.begin(),
+                              gate_offsets.end() - 1);
+        for (std::size_t i = 0; i < gates.size(); ++i) {
+            gate_list[static_cast<std::size_t>(
+                fill[static_cast<std::size_t>(gates[i].q0)]++)] =
                 static_cast<int>(i);
-            gateList_[static_cast<std::size_t>(
-                fill[static_cast<std::size_t>(gates_[i].q1)]++)] =
+            gate_list[static_cast<std::size_t>(
+                fill[static_cast<std::size_t>(gates[i].q1)]++)] =
                 static_cast<int>(i);
         }
 
-        total_ = 0.0;
-        for (std::size_t i = 0; i < gates_.size(); ++i) {
-            gateCost_[i] = evalGate(static_cast<int>(i));
-            total_ += gateCost_[i];
+        // Baseline costs of the trivial placement, summed in gate
+        // order exactly like the legacy tracker constructor.
+        for (std::size_t i = 0; i < gates.size(); ++i) {
+            init_gate_cost[i] = weightedGateCost(
+                arch, gates[i],
+                init_traps[static_cast<std::size_t>(gates[i].q0)],
+                init_traps[static_cast<std::size_t>(gates[i].q1)]);
+            init_total += init_gate_cost[i];
         }
     }
 
-    double total() const { return total_; }
-    TrapId trapIdOf(int q) const
-    {
-        return trapOfQubit_[static_cast<std::size_t>(q)];
-    }
-    const std::vector<TrapId> &trapIds() const { return trapOfQubit_; }
-
-    /** Move @p q to @p t and return the cost delta. */
+    /** Exact Eq. 2 total of @p traps, summed in gate order. */
     double
-    moveQubit(int q, TrapId t)
+    exactCost(const std::vector<TrapId> &traps) const
     {
-        trapOfQubit_[static_cast<std::size_t>(q)] = t;
-        return refreshQubit(q);
+        double total = 0.0;
+        for (const WeightedGate &g : gates)
+            total += weightedGateCost(
+                arch, g, traps[static_cast<std::size_t>(g.q0)],
+                traps[static_cast<std::size_t>(g.q1)]);
+        return total;
     }
-
-    /** Swap two qubits' traps and return the cost delta. */
-    double
-    swapQubits(int a, int b)
-    {
-        std::swap(trapOfQubit_[static_cast<std::size_t>(a)],
-                  trapOfQubit_[static_cast<std::size_t>(b)]);
-        return refreshQubit(a) + refreshQubit(b);
-    }
-
-    /**
-     * Snapshot the mutable state (trap assignment, per-gate costs,
-     * total) so a destructive probe can be rolled back bit-exactly.
-     */
-    void
-    saveProbeState()
-    {
-        probeTraps_ = trapOfQubit_;
-        probeGateCost_ = gateCost_;
-        probeTotal_ = total_;
-    }
-
-    /** Restore the snapshot taken by saveProbeState(). */
-    void
-    restoreProbeState()
-    {
-        trapOfQubit_ = probeTraps_;
-        gateCost_ = probeGateCost_;
-        total_ = probeTotal_;
-    }
-
-  private:
-    double
-    evalGate(int i)
-    {
-        const WeightedGate &g = gates_[static_cast<std::size_t>(i)];
-        return weightedGateCost(
-            arch_, g, trapOfQubit_[static_cast<std::size_t>(g.q0)],
-            trapOfQubit_[static_cast<std::size_t>(g.q1)]);
-    }
-
-    /** Recompute all gates touching @p q; return the total delta. */
-    double
-    refreshQubit(int q)
-    {
-        double delta = 0.0;
-        const std::size_t lo = gateOffsets_[static_cast<std::size_t>(q)];
-        const std::size_t hi =
-            gateOffsets_[static_cast<std::size_t>(q) + 1];
-        for (std::size_t k = lo; k < hi; ++k) {
-            const int i = gateList_[k];
-            const double fresh = evalGate(i);
-            delta += fresh - gateCost_[static_cast<std::size_t>(i)];
-            gateCost_[static_cast<std::size_t>(i)] = fresh;
-        }
-        total_ += delta;
-        return delta;
-    }
-
-    const Architecture &arch_;
-    std::vector<WeightedGate> gates_;
-    std::vector<TrapId> trapOfQubit_;
-    std::vector<std::size_t> gateOffsets_; ///< CSR offsets, per qubit
-    std::vector<int> gateList_;            ///< CSR gate indices
-    std::vector<double> gateCost_;
-    double total_;
-
-    std::vector<TrapId> probeTraps_;
-    std::vector<double> probeGateCost_;
-    double probeTotal_ = 0.0;
 };
 
 /** One accepted SA move, journaled for best-state reconstruction. */
 struct AcceptedOp
 {
-    int q;             ///< moved qubit, or swap partner a
-    int partner;       ///< swap partner b, or -1 for a jump
-    TrapId old_trap;   ///< jump source trap (jumps only)
+    int q;           ///< moved qubit, or swap partner a
+    int partner;     ///< swap partner b, or -1 for a jump
+    TrapId old_trap; ///< jump source trap (jumps only)
 };
+
+/**
+ * One annealing stream over the shared instance, with propose/commit/
+ * revert move evaluation: a proposed move computes only the touched
+ * gates' cost deltas into pending scratch; committing writes them to
+ * the flat per-gate cache, reverting restores the integer trap state
+ * and rewinds the running total by the recorded partial deltas — no
+ * second cost evaluation, no cache writes on the (majority) rejected
+ * moves.
+ *
+ * Bit-exactness contract: the sequence of per-move deltas and running
+ * totals is identical to the apply-then-undo evaluator it replaces
+ * (and therefore to zac::legacy::saInitialPlacement). Per-qubit gate
+ * visit order is the CSR order (ascending gate index, = legacy), the
+ * two per-qubit partial deltas of a swap are produced by the same
+ * `peek(a) + peek(b)` expression shape so unspecified evaluation order
+ * matches the legacy `refreshQubit(a) + refreshQubit(b)` under the
+ * same compiler, and a revert adds the exact negations of the recorded
+ * partials in the recorded order — the same values the legacy undo
+ * re-derived by re-evaluating every touched gate.
+ *
+ * The scratch (pending costs, stamps, touched list) is reused across
+ * the seeds a worker runs; only resets between seeds copy O(#gates).
+ */
+class SeedAnnealer
+{
+  public:
+    SeedAnnealer(const SaShared &shared, const SaOptions &opts)
+        : shared_(shared), opts_(opts), traps_(shared.init_traps),
+          gate_cost_(shared.init_gate_cost),
+          occupied_(shared.init_occupied),
+          total_(shared.init_total),
+          pending_(shared.gates.size(), 0.0),
+          stamp_(shared.gates.size(), 0)
+    {
+        touched_.reserve(64);
+    }
+
+    /**
+     * Run one full annealing stream from the trivial placement.
+     * @param seed      RNG seed of this stream.
+     * @param best_out  receives the best trap assignment, by qubit.
+     * @return the exact (re-evaluated) Eq. 2 cost of @p best_out.
+     */
+    double
+    run(std::uint64_t seed, std::vector<TrapId> &best_out)
+    {
+        const int n = shared_.num_qubits;
+        Rng rng(seed);
+        reset();
+
+        // Adaptive initial temperature: the mean |delta| of a few
+        // destructive probe swaps, rolled back by re-resetting from
+        // the shared baseline (the probes start from it bit-exactly).
+        double t0 = 0.0;
+        {
+            int samples = 0;
+            for (int i = 0; i < 16 && n >= 2; ++i) {
+                const int a = rng.nextInt(0, n - 1);
+                int b = rng.nextInt(0, n - 1);
+                if (a == b)
+                    continue;
+                const double d = proposeSwap(a, b);
+                commit();
+                t0 += std::abs(d);
+                ++samples;
+            }
+            reset();
+            t0 = samples > 0 ? std::max(1e-6, t0 / samples) : 1.0;
+        }
+        const SaOptions &opts = opts_;
+        const double t_end = t0 * opts.t_end_factor;
+        const double cooling = std::pow(
+            t_end / t0, 1.0 / std::max(1, opts.max_iterations - 1));
+
+        // Instead of copying the whole trap vector on every
+        // improvement, journal the moves accepted since the best
+        // state; the best trap assignment is reconstructed at the end
+        // by rewinding the journal.
+        double best_cost = total_;
+        since_best_.clear();
+        double temp = t0;
+
+        for (int iter = 0; iter < opts.max_iterations;
+             ++iter, temp *= cooling) {
+            const int q = rng.nextInt(0, n - 1);
+            double delta = 0.0;
+            bool did_swap = false;
+            int partner = -1;
+            const TrapId old_trap = traps_[static_cast<std::size_t>(q)];
+            TrapId new_trap = kInvalidTrapId;
+
+            if (rng.nextBool(0.5) && n >= 2) {
+                // Swap with another qubit.
+                partner = rng.nextInt(0, n - 1);
+                if (partner == q)
+                    continue;
+                delta = proposeSwap(q, partner);
+                did_swap = true;
+            } else {
+                // Jump to a random empty trap in the pool.
+                new_trap = shared_.pool[rng.nextBelow(
+                    shared_.pool.size())];
+                if (occupied_[static_cast<std::size_t>(new_trap)])
+                    continue;
+                delta = proposeMove(q, new_trap);
+            }
+
+            const bool accept = delta <= 0.0 ||
+                                rng.nextDouble() <
+                                    std::exp(-delta / temp);
+            if (accept) {
+                commit();
+                if (!did_swap) {
+                    occupied_[static_cast<std::size_t>(old_trap)] = 0;
+                    occupied_[static_cast<std::size_t>(new_trap)] = 1;
+                }
+                since_best_.push_back({q, partner, old_trap});
+                if (total_ < best_cost) {
+                    best_cost = total_;
+                    since_best_.clear();
+                }
+            } else {
+                revert();
+            }
+        }
+
+        // Rewind the journal from the final state back to the best
+        // state.
+        best_out = traps_;
+        for (auto it = since_best_.rbegin(); it != since_best_.rend();
+             ++it) {
+            if (it->partner >= 0)
+                std::swap(
+                    best_out[static_cast<std::size_t>(it->q)],
+                    best_out[static_cast<std::size_t>(it->partner)]);
+            else
+                best_out[static_cast<std::size_t>(it->q)] =
+                    it->old_trap;
+        }
+        return shared_.exactCost(best_out);
+    }
+
+  private:
+    /** Restore the shared baseline state (trivial placement). */
+    void
+    reset()
+    {
+        traps_ = shared_.init_traps;
+        gate_cost_ = shared_.init_gate_cost;
+        occupied_ = shared_.init_occupied;
+        total_ = shared_.init_total;
+    }
+
+    inline double
+    evalGate(int i) const
+    {
+        const WeightedGate &g =
+            shared_.gates[static_cast<std::size_t>(i)];
+        return weightedGateCost(
+            shared_.arch, g, traps_[static_cast<std::size_t>(g.q0)],
+            traps_[static_cast<std::size_t>(g.q1)]);
+    }
+
+    /**
+     * Peek the cost delta of all gates touching @p q at the *current*
+     * (already mutated) trap assignment, without writing the per-gate
+     * cache: fresh values land in pending scratch, the partial delta
+     * is added to the running total and recorded for a later revert.
+     * Summation order and intermediate values match one legacy
+     * refreshQubit() call bitwise.
+     */
+    double
+    peekQubit(int q)
+    {
+        double delta = 0.0;
+        const std::size_t lo =
+            shared_.gate_offsets[static_cast<std::size_t>(q)];
+        const std::size_t hi =
+            shared_.gate_offsets[static_cast<std::size_t>(q) + 1];
+        for (std::size_t k = lo; k < hi; ++k) {
+            const int i = shared_.gate_list[k];
+            const double fresh = evalGate(i);
+            const double base =
+                stamp_[static_cast<std::size_t>(i)] == cur_stamp_
+                    ? pending_[static_cast<std::size_t>(i)]
+                    : gate_cost_[static_cast<std::size_t>(i)];
+            delta += fresh - base;
+            if (stamp_[static_cast<std::size_t>(i)] != cur_stamp_) {
+                stamp_[static_cast<std::size_t>(i)] = cur_stamp_;
+                touched_.push_back(i);
+            }
+            pending_[static_cast<std::size_t>(i)] = fresh;
+        }
+        total_ += delta;
+        part_delta_[num_parts_++] = delta;
+        return delta;
+    }
+
+    /** Propose swapping two qubits' traps; returns the move delta. */
+    double
+    proposeSwap(int a, int b)
+    {
+        std::swap(traps_[static_cast<std::size_t>(a)],
+                  traps_[static_cast<std::size_t>(b)]);
+        beginProposal();
+        prop_is_swap_ = true;
+        prop_a_ = a;
+        prop_b_ = b;
+        // Same expression shape as the legacy
+        // `refreshQubit(a) + refreshQubit(b)`: whatever operand order
+        // the compiler picks there, it picks here, so the partial
+        // deltas and the two running-total updates match bitwise.
+        return peekQubit(a) + peekQubit(b);
+    }
+
+    /** Propose moving @p q to empty trap @p t; returns the delta. */
+    double
+    proposeMove(int q, TrapId t)
+    {
+        prop_old_trap_ = traps_[static_cast<std::size_t>(q)];
+        traps_[static_cast<std::size_t>(q)] = t;
+        beginProposal();
+        prop_is_swap_ = false;
+        prop_a_ = q;
+        return peekQubit(q);
+    }
+
+    /** Accept the outstanding proposal: publish the pending costs. */
+    void
+    commit()
+    {
+        for (int i : touched_)
+            gate_cost_[static_cast<std::size_t>(i)] =
+                pending_[static_cast<std::size_t>(i)];
+    }
+
+    /**
+     * Reject the outstanding proposal: restore the integer trap state
+     * and subtract the recorded partial deltas in recording order —
+     * bitwise the same totals the legacy undo produced by
+     * re-evaluating every touched gate at the restored positions
+     * (each undo partial is the exact negation of the forward one).
+     */
+    void
+    revert()
+    {
+        if (prop_is_swap_)
+            std::swap(traps_[static_cast<std::size_t>(prop_a_)],
+                      traps_[static_cast<std::size_t>(prop_b_)]);
+        else
+            traps_[static_cast<std::size_t>(prop_a_)] = prop_old_trap_;
+        for (int p = 0; p < num_parts_; ++p)
+            total_ += -part_delta_[p];
+    }
+
+    void
+    beginProposal()
+    {
+        ++cur_stamp_;
+        touched_.clear();
+        num_parts_ = 0;
+    }
+
+    const SaShared &shared_;
+    const SaOptions &opts_;
+
+    // Per-seed mutable state (reset() restores the shared baseline).
+    std::vector<TrapId> traps_;
+    std::vector<double> gate_cost_;
+    std::vector<std::uint8_t> occupied_;
+    double total_;
+    std::vector<AcceptedOp> since_best_;
+
+    // Proposal scratch, reused across moves and seeds.
+    std::vector<double> pending_;       ///< fresh costs, by gate
+    std::vector<std::uint64_t> stamp_;  ///< proposal stamps, by gate
+    std::uint64_t cur_stamp_ = 0;
+    std::vector<int> touched_;          ///< gates stamped this proposal
+    double part_delta_[2] = {0.0, 0.0}; ///< per-qubit partial deltas
+    int num_parts_ = 0;
+    bool prop_is_swap_ = false;
+    int prop_a_ = -1;
+    int prop_b_ = -1;
+    TrapId prop_old_trap_ = kInvalidTrapId;
+};
+
+/**
+ * RNG seed of stream @p s: stream 0 is the user seed itself (so a
+ * single-seed run reproduces the pre-batch output exactly), stream
+ * s > 0 is the s-th SplitMix64 output from that seed — decorrelated
+ * from stream 0 and from each other (the Rng constructor's own
+ * SplitMix seeding would make adjacent raw seeds share state words).
+ */
+std::uint64_t
+seedForStream(std::uint64_t seed, int s)
+{
+    if (s == 0)
+        return seed;
+    return splitMix64Mix(
+        seed + kSplitMix64Gamma * static_cast<std::uint64_t>(s));
+}
 
 } // namespace
 
@@ -272,115 +537,113 @@ std::vector<TrapRef>
 saInitialPlacement(const Architecture &arch, const StagedCircuit &staged,
                    const SaOptions &opts)
 {
+    return saInitialPlacement(arch, staged, opts, {}, nullptr);
+}
+
+std::vector<TrapRef>
+saInitialPlacement(const Architecture &arch, const StagedCircuit &staged,
+                   const SaOptions &opts,
+                   const std::function<void()> &checkpoint,
+                   SaSeedReport *report)
+{
     const int n = staged.numQubits;
-    std::vector<TrapRef> order = storageTrapsByProximity(arch);
+    const std::vector<TrapRef> order = storageTrapsByProximity(arch);
     if (static_cast<int>(order.size()) < n)
         fatal("saInitialPlacement: " + std::to_string(n) +
               " qubits exceed " + std::to_string(order.size()) +
               " storage traps");
     std::vector<TrapRef> init(order.begin(), order.begin() + n);
-    if (staged.count2Q() == 0 || n < 2)
+    const int num_seeds = std::max(1, opts.num_seeds);
+    if (staged.count2Q() == 0 || n < 2) {
+        if (report != nullptr) {
+            report->seed_costs.assign(
+                static_cast<std::size_t>(num_seeds), 0.0);
+            report->best_seed = 0;
+        }
         return init;
-
-    // Jump candidate pool: the traps closest to the entanglement zone
-    // (twice the qubit count, at least one full row).
-    const std::size_t pool_size = std::min(
-        order.size(), static_cast<std::size_t>(std::max(2 * n, 100)));
-    std::vector<TrapId> pool(pool_size);
-    for (std::size_t i = 0; i < pool_size; ++i)
-        pool[i] = arch.trapId(order[i]);
-
-    CostTracker tracker(arch, staged, init);
-    std::vector<std::uint8_t> occupied(
-        static_cast<std::size_t>(arch.numTraps()), 0);
-    for (const TrapRef &t : init)
-        occupied[static_cast<std::size_t>(arch.trapId(t))] = 1;
-    Rng rng(opts.seed);
-
-    // Adaptive initial temperature: the mean |delta| of a few probes,
-    // run destructively in place and rolled back bit-exactly.
-    double t0 = 0.0;
-    {
-        tracker.saveProbeState();
-        int samples = 0;
-        for (int i = 0; i < 16 && n >= 2; ++i) {
-            const int a = rng.nextInt(0, n - 1);
-            int b = rng.nextInt(0, n - 1);
-            if (a == b)
-                continue;
-            const double d = tracker.swapQubits(a, b);
-            t0 += std::abs(d);
-            ++samples;
-        }
-        tracker.restoreProbeState();
-        t0 = samples > 0 ? std::max(1e-6, t0 / samples) : 1.0;
-    }
-    const double t_end = t0 * opts.t_end_factor;
-    const double cooling =
-        std::pow(t_end / t0,
-                 1.0 / std::max(1, opts.max_iterations - 1));
-
-    // Instead of copying the whole trap vector on every improvement,
-    // journal the moves accepted since the best state; the best trap
-    // assignment is reconstructed at the end by rewinding the journal.
-    double best_cost = tracker.total();
-    std::vector<AcceptedOp> since_best;
-    double temp = t0;
-
-    for (int iter = 0; iter < opts.max_iterations; ++iter, temp *= cooling) {
-        const int q = rng.nextInt(0, n - 1);
-        double delta = 0.0;
-        bool did_swap = false;
-        int partner = -1;
-        const TrapId old_trap = tracker.trapIdOf(q);
-        TrapId new_trap = kInvalidTrapId;
-
-        if (rng.nextBool(0.5) && n >= 2) {
-            // Swap with another qubit.
-            partner = rng.nextInt(0, n - 1);
-            if (partner == q)
-                continue;
-            delta = tracker.swapQubits(q, partner);
-            did_swap = true;
-        } else {
-            // Jump to a random empty trap in the pool.
-            new_trap = pool[rng.nextBelow(pool.size())];
-            if (occupied[static_cast<std::size_t>(new_trap)])
-                continue;
-            delta = tracker.moveQubit(q, new_trap);
-        }
-
-        const bool accept =
-            delta <= 0.0 || rng.nextDouble() < std::exp(-delta / temp);
-        if (accept) {
-            if (!did_swap) {
-                occupied[static_cast<std::size_t>(old_trap)] = 0;
-                occupied[static_cast<std::size_t>(new_trap)] = 1;
-            }
-            since_best.push_back({q, partner, old_trap});
-            if (tracker.total() < best_cost) {
-                best_cost = tracker.total();
-                since_best.clear();
-            }
-        } else {
-            // Undo (same inverse-operation arithmetic as before the
-            // flat-index rewrite, so accept decisions are unchanged).
-            if (did_swap)
-                tracker.swapQubits(q, partner);
-            else
-                tracker.moveQubit(q, old_trap);
-        }
     }
 
-    // Rewind the journal from the final state back to the best state.
-    std::vector<TrapId> best_ids = tracker.trapIds();
-    for (auto it = since_best.rbegin(); it != since_best.rend(); ++it) {
-        if (it->partner >= 0)
-            std::swap(best_ids[static_cast<std::size_t>(it->q)],
-                      best_ids[static_cast<std::size_t>(it->partner)]);
-        else
-            best_ids[static_cast<std::size_t>(it->q)] = it->old_trap;
+    const SaShared shared(arch, staged, init, order);
+
+    std::vector<std::vector<TrapId>> bests(
+        static_cast<std::size_t>(num_seeds));
+    std::vector<double> costs(static_cast<std::size_t>(num_seeds), 0.0);
+
+    int workers = opts.num_threads > 0
+                      ? opts.num_threads
+                      : static_cast<int>(
+                            std::thread::hardware_concurrency());
+    workers = std::clamp(workers, 1, num_seeds);
+
+    if (checkpoint)
+        checkpoint();
+    if (workers == 1) {
+        SeedAnnealer annealer(shared, opts);
+        for (int s = 0; s < num_seeds; ++s) {
+            if (s > 0 && checkpoint)
+                checkpoint();
+            costs[static_cast<std::size_t>(s)] = annealer.run(
+                seedForStream(opts.seed, s),
+                bests[static_cast<std::size_t>(s)]);
+        }
+    } else {
+        // Lightweight internal pool: workers pull seed indices from a
+        // shared counter; every stream is independent and
+        // deterministic, so the outputs do not depend on which worker
+        // runs which seed. The checkpoint runs on each worker before
+        // every seed (it must be thread-safe here — the compiler's
+        // CompileControl::poll is an atomic load plus a clock read),
+        // so cancellation lands at seed granularity in the parallel
+        // batch too. Exceptions are captured and rethrown (the lowest
+        // seed index wins, deterministically).
+        std::atomic<int> next{0};
+        std::vector<std::exception_ptr> errors(
+            static_cast<std::size_t>(num_seeds));
+        std::vector<std::thread> pool;
+        pool.reserve(static_cast<std::size_t>(workers));
+        for (int w = 0; w < workers; ++w) {
+            pool.emplace_back([&] {
+                SeedAnnealer annealer(shared, opts);
+                for (;;) {
+                    const int s =
+                        next.fetch_add(1, std::memory_order_relaxed);
+                    if (s >= num_seeds)
+                        return;
+                    try {
+                        if (s > 0 && checkpoint)
+                            checkpoint();
+                        costs[static_cast<std::size_t>(s)] =
+                            annealer.run(
+                                seedForStream(opts.seed, s),
+                                bests[static_cast<std::size_t>(s)]);
+                    } catch (...) {
+                        errors[static_cast<std::size_t>(s)] =
+                            std::current_exception();
+                    }
+                }
+            });
+        }
+        for (std::thread &t : pool)
+            t.join();
+        for (const std::exception_ptr &e : errors)
+            if (e)
+                std::rethrow_exception(e);
     }
+
+    // Best cost wins; ties break to the lowest seed index (the strict
+    // '<' scan makes the selection independent of evaluation order).
+    int best_seed = 0;
+    for (int s = 1; s < num_seeds; ++s)
+        if (costs[static_cast<std::size_t>(s)] <
+            costs[static_cast<std::size_t>(best_seed)])
+            best_seed = s;
+    if (report != nullptr) {
+        report->seed_costs = costs;
+        report->best_seed = best_seed;
+    }
+
+    const std::vector<TrapId> &best_ids =
+        bests[static_cast<std::size_t>(best_seed)];
     std::vector<TrapRef> best(best_ids.size());
     for (std::size_t i = 0; i < best_ids.size(); ++i)
         best[i] = arch.trapRef(best_ids[i]);

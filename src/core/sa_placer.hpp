@@ -6,12 +6,25 @@
  * zone in index order (the 'Vanilla' ablation baseline and the SA
  * starting point). Simulated annealing then minimizes the weighted sum
  * of gate costs (Eq. 2) with qubit-swap and jump-to-empty-trap moves.
+ *
+ * The SA engine is incremental and batched:
+ *  - per-gate Eq. 2 cost terms live in a flat array indexed by gate,
+ *    with a per-qubit CSR incidence list, so a proposed move evaluates
+ *    only the touched gates' deltas (propose), and a rejected move
+ *    never writes the cost cache at all (commit/revert split);
+ *  - multiple annealing restarts (SaOptions::num_seeds) share the
+ *    immutable gate lists, candidate pool, and initial-cost baseline,
+ *    and run on an internal worker pool (SaOptions::num_threads); the
+ *    best-cost placement wins with a deterministic lowest-seed-index
+ *    tie-break, so results are bit-identical regardless of worker
+ *    count or interleaving.
  */
 
 #ifndef ZAC_CORE_SA_PLACER_HPP
 #define ZAC_CORE_SA_PLACER_HPP
 
 #include <cstdint>
+#include <functional>
 #include <vector>
 
 #include "arch/spec.hpp"
@@ -26,6 +39,30 @@ struct SaOptions
     int max_iterations = 1000;  ///< paper's empirical iteration limit
     std::uint64_t seed = 1;
     double t_end_factor = 1e-3; ///< final temp as a fraction of initial
+    /**
+     * Independent annealing restarts. Seed stream 0 is `seed` itself
+     * (so num_seeds = 1 reproduces the single-seed output exactly);
+     * stream s > 0 is a SplitMix64 derivation of (seed, s). The
+     * best-cost placement wins, ties broken by lowest stream index.
+     */
+    int num_seeds = 1;
+    /**
+     * Worker threads for the seed batch; 0 = hardware concurrency,
+     * clamped to num_seeds. Never changes the result, only the wall
+     * time (each stream is fully independent and deterministic).
+     */
+    int num_threads = 0;
+};
+
+/**
+ * Per-seed outcome of a batched SA run, for benchmarks and tests.
+ * Costs are exact Eq. 2 re-evaluations of each stream's best
+ * placement (not the annealer's drift-accumulated tracker value).
+ */
+struct SaSeedReport
+{
+    std::vector<double> seed_costs; ///< one exact cost per stream
+    int best_seed = 0;              ///< argmin, lowest index on ties
 };
 
 /**
@@ -52,6 +89,27 @@ double initialPlacementCost(const Architecture &arch,
 std::vector<TrapRef> saInitialPlacement(const Architecture &arch,
                                         const StagedCircuit &staged,
                                         const SaOptions &opts = {});
+
+/**
+ * saInitialPlacement with cooperative cancellation and per-seed
+ * reporting.
+ *
+ * @param checkpoint invoked before the batch (calling thread) and
+ *        before every subsequent seed — from the calling thread when
+ *        the batch runs sequentially, from pool workers when it runs
+ *        parallel, so it must be thread-safe whenever
+ *        SaOptions::num_threads != 1 (the compiler passes
+ *        CompileControl::poll, an atomic load plus a clock read). May
+ *        throw to abort the placement; seed-granular cancellation
+ *        works in both modes.
+ * @param report when non-null, receives one exact cost per seed
+ *        stream and the winning stream index.
+ */
+std::vector<TrapRef>
+saInitialPlacement(const Architecture &arch, const StagedCircuit &staged,
+                   const SaOptions &opts,
+                   const std::function<void()> &checkpoint,
+                   SaSeedReport *report = nullptr);
 
 } // namespace zac
 

@@ -71,6 +71,15 @@ targetFromJson(const json::Value &v)
     if (v.contains("sa_iterations"))
         t.opts.sa_iterations =
             static_cast<int>(v.at("sa_iterations").asInt());
+    if (v.contains("sa_num_seeds"))
+        t.opts.sa_num_seeds =
+            static_cast<int>(v.at("sa_num_seeds").asInt());
+    // Service workers already saturate the cores; default the nested
+    // SA seed batch to one thread unless the manifest asks otherwise.
+    t.opts.sa_threads = 1;
+    if (v.contains("sa_threads"))
+        t.opts.sa_threads =
+            static_cast<int>(v.at("sa_threads").asInt());
     return t;
 }
 
@@ -89,6 +98,7 @@ manifestFromJson(const json::Value &v)
         t.name = "default";
         t.arch = presets::referenceZoned();
         t.opts = ZacOptions::full();
+        t.opts.sa_threads = 1; // see targetFromJson
         m.targets.push_back(std::move(t));
     }
 

@@ -328,8 +328,9 @@ TEST_P(EdgeColoringProperty, ColoringIsProperAndBounded)
                 edges[i].first == edges[j].second ||
                 edges[i].second == edges[j].first ||
                 edges[i].second == edges[j].second;
-            if (incident)
+            if (incident) {
                 EXPECT_NE(colors[i], colors[j]);
+            }
         }
     // Bounded by 2*Delta - 1 (greedy bound) and at least Delta.
     std::vector<int> degree(static_cast<std::size_t>(n), 0);

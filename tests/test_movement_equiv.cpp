@@ -144,8 +144,9 @@ TEST(GatePlacerEquiv, WindowedMatchesReferenceOnAllPresets)
         // window must actually engage (not fall back every time); tiny
         // grids legitimately resolve almost everything densely. Calls
         // with every gate pinned settle before any counter.
-        if (arch.numSites() >= 100)
+        if (arch.numSites() >= 100) {
             EXPECT_GT(stats.certified, 0) << arch.name();
+        }
         EXPECT_LE(stats.certified + stats.fallbacks +
                       stats.dense_direct,
                   stats.calls)

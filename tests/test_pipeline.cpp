@@ -40,9 +40,10 @@ checkSchedule(const ZairProgram &p, const Architecture &arch)
 
     auto touch = [&](int q, double begin, double end) {
         auto it = qubit_free.find(q);
-        if (it != qubit_free.end())
+        if (it != qubit_free.end()) {
             EXPECT_GE(begin + eps, it->second)
                 << "qubit " << q << " overlaps";
+        }
         qubit_free[q] = end;
     };
 
@@ -70,9 +71,10 @@ checkSchedule(const ZairProgram &p, const Architecture &arch)
             break;
           case ZairKind::RearrangeJob: {
             auto it = aod_free.find(in.aod_id);
-            if (it != aod_free.end())
+            if (it != aod_free.end()) {
                 EXPECT_GE(in.begin_time_us + eps, it->second)
                     << "AOD " << in.aod_id << " overlaps";
+            }
             aod_free[in.aod_id] = in.end_time_us;
             EXPECT_GE(in.aod_id, 0);
             EXPECT_LT(in.aod_id,
@@ -85,8 +87,9 @@ checkSchedule(const ZairProgram &p, const Architecture &arch)
                 in.begin_time_us + in.move_done_us;
             for (const QLoc &l : in.end_locs) {
                 auto vit = vacate.find(l.trap());
-                if (vit != vacate.end())
+                if (vit != vacate.end()) {
                     EXPECT_GE(move_end + eps, vit->second);
+                }
             }
             const double pickup_end =
                 in.begin_time_us + in.pickup_done_us;

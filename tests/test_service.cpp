@@ -158,6 +158,14 @@ TEST(CacheKeyComponents, OptionsDigestCoversEveryKnob)
     ZacOptions khop;
     khop.candidate_k = 3;
     EXPECT_NE(base.digest(), khop.digest());
+    ZacOptions seeds;
+    seeds.sa_num_seeds = 4;
+    EXPECT_NE(base.digest(), seeds.digest());
+    // The SA worker count never changes the chosen placement, so it
+    // must NOT split cache entries.
+    ZacOptions threads;
+    threads.sa_threads = 3;
+    EXPECT_EQ(base.digest(), threads.digest());
 }
 
 // ---------------------------------------------------- result cache
@@ -330,7 +338,8 @@ TEST(ManifestTest, ParsesTargetsAndJobs)
 {
     const std::string doc = R"({
       "targets": [
-        {"name": "a", "arch": "reference", "preset": "full", "seed": 3},
+        {"name": "a", "arch": "reference", "preset": "full", "seed": 3,
+         "sa_num_seeds": 3, "sa_threads": 2},
         {"name": "b", "arch": "arch1", "preset": "vanilla"}
       ],
       "jobs": [
@@ -343,7 +352,12 @@ TEST(ManifestTest, ParsesTargetsAndJobs)
         service::manifestFromJson(json::parse(doc));
     ASSERT_EQ(m.targets.size(), 2u);
     EXPECT_EQ(m.targets[0].opts.seed, 3u);
+    EXPECT_EQ(m.targets[0].opts.sa_num_seeds, 3);
+    EXPECT_EQ(m.targets[0].opts.sa_threads, 2);
     EXPECT_FALSE(m.targets[1].opts.use_sa_init);
+    // Inside the service the SA seed batch defaults to one thread
+    // (the job workers already saturate the cores).
+    EXPECT_EQ(m.targets[1].opts.sa_threads, 1);
     ASSERT_EQ(m.jobs.size(), 2u);
     EXPECT_EQ(m.jobs[0].target, 1);
     EXPECT_EQ(m.jobs[0].repeat, 2);
