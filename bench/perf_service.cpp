@@ -1,6 +1,7 @@
 /**
  * @file
- * Throughput harness for the batch compile service (ISSUE 3).
+ * Throughput and fault-tolerance harness for the batch compile service
+ * (ISSUE 3, extended by ISSUE 6).
  *
  * Measurements, on the reference zoned architecture and the 17 paper
  * benchmark circuits:
@@ -13,30 +14,45 @@
  *  - output identity: every service result (every worker count, and
  *    every cache-served result) must be bit-identical to the sequential
  *    reference, compared by serialized ZAIR program and the fidelity
- *    bit pattern.
+ *    bit pattern;
+ *  - chaos soak: the job list run under a deterministic FaultPlan
+ *    (injected transient throws, mid-compile cancels, slow-worker
+ *    stalls) with retry, in-flight dedup, and a persistent cache
+ *    snapshot. Asserts the delivery invariant (every job EXACTLY ONE
+ *    terminal record), that every Done record is bit-identical to the
+ *    reference, that a restarted service warm-starts from the snapshot
+ *    (every snapshot record served as a cache hit, bit-identical), and
+ *    that every snapshot-corruption mode is tolerated by the loader.
  *
  * Results are written as machine-readable JSON (schema
- * zac.perf_service.v1, documented in bench/README.md). The CI gate
+ * zac.perf_service.v2, documented in bench/README.md). The CI gate
  * reads `scaling_overhead` — parallel seconds at the largest worker
  * count, normalized by the ideal-scaling expectation
- * sequential/min(workers, cores) — which is machine-portable because
- * both measurements come from the same run.
+ * sequential/min(workers, cores) — plus the chaos-soak invariant flags.
  *
- * Usage: perf_service [output.json] [--fast]
- *   --fast  CI smoke mode: fewer repeat rounds per measurement.
+ * Usage: perf_service [output.json] [--fast] [--chaos]
+ *   --fast   CI smoke mode: fewer repeat rounds per measurement.
+ *   --chaos  longer, more hostile chaos soak (more rounds, higher
+ *            fault rates); the soak itself always runs.
  */
 
 #include <algorithm>
 #include <bit>
 #include <chrono>
+#include <cstdint>
+#include <cstdio>
 #include <cstring>
+#include <fstream>
 #include <map>
 #include <sstream>
 #include <thread>
+#include <vector>
 
 #include "bench_util.hpp"
 #include "common/json.hpp"
 #include "common/logging.hpp"
+#include "service/cache_store.hpp"
+#include "service/fault_injection.hpp"
 #include "service/service.hpp"
 #include "zair/serialize.hpp"
 
@@ -76,6 +92,17 @@ percentile(std::vector<double> sorted, double p)
     return sorted[std::min(idx, sorted.size() - 1)];
 }
 
+/** Copy @p src over @p dst (binary, truncating). */
+void
+copyFile(const std::string &src, const std::string &dst)
+{
+    std::ifstream in(src, std::ios::binary);
+    std::ofstream out(dst, std::ios::binary | std::ios::trunc);
+    if (!in || !out)
+        fatal("perf_service: cannot copy " + src + " -> " + dst);
+    out << in.rdbuf();
+}
+
 } // namespace
 
 int
@@ -83,16 +110,19 @@ main(int argc, char **argv)
 {
     std::string out_path = "BENCH_service.json";
     bool fast = false;
+    bool chaos_mode = false;
     for (int i = 1; i < argc; ++i) {
         if (std::strcmp(argv[i], "--fast") == 0)
             fast = true;
+        else if (std::strcmp(argv[i], "--chaos") == 0)
+            chaos_mode = true;
         else
             out_path = argv[i];
     }
 
     banner("perf_service",
            "batch compile service: jobs/sec scaling, queue latency, "
-           "cache");
+           "cache, chaos soak");
 
     const Architecture arch = presets::referenceZoned();
     const ZacOptions opts = defaultZacOptions();
@@ -205,6 +235,7 @@ main(int argc, char **argv)
     std::uint64_t cache_mismatches = 0;
     std::uint64_t second_round_hits = 0, second_round_jobs = 0;
     bool in_second_round = false;
+    ResultCache::Stats cache_stats;
     CompileService::Config cache_config;
     cache_config.num_workers = static_cast<int>(std::min(4u, hw));
     cache_config.cache_capacity = 1024;
@@ -231,57 +262,288 @@ main(int argc, char **argv)
         for (const Circuit &c : circuits)
             svc.submit({c.name(), c, 0, {}, 0.0});
         svc.drain();
-        const ResultCache::Stats cs = svc.cacheStats();
+        cache_stats = svc.cacheStats();
         svc.shutdown();
-
-        if (cache_mismatches > 0)
-            outputs_identical = false;
-        const bool second_all_hits =
-            second_round_jobs ==
-                static_cast<std::uint64_t>(jobs_per_round) &&
-            second_round_hits == second_round_jobs;
-        std::printf("cache: %llu/%llu second-round hits (rate %.2f, "
-                    "%zu entries), results %s\n",
-                    static_cast<unsigned long long>(second_round_hits),
-                    static_cast<unsigned long long>(second_round_jobs),
-                    cs.hitRate(), cs.entries,
-                    cache_mismatches ? "MISMATCHED"
-                                     : "bit-identical");
-
-        // ------------------------------------------------- JSON dump
-        json::Object doc;
-        doc["schema"] = "zac.perf_service.v1";
-        doc["arch"] = arch.name();
-        doc["fast_mode"] = fast;
-        doc["hardware_concurrency"] =
-            static_cast<std::int64_t>(hw);
-        doc["rounds"] = rounds;
-        doc["jobs_per_round"] = jobs_per_round;
-        doc["total_jobs"] = total_jobs;
-        doc["sequential_seconds"] = sequential_seconds;
-        doc["sequential_jobs_per_second"] = sequential_jps;
-        doc["scaling"] = std::move(scaling_rows);
-        doc["max_workers"] = max_workers;
-        doc["parallel_seconds_at_max"] = parallel_seconds_at_max;
-        doc["scaling_overhead"] = scaling_overhead;
-        doc["cache"] = json::Object{
-            {"submitted",
-             static_cast<std::int64_t>(cs.hits + cs.misses)},
-            {"hits", static_cast<std::int64_t>(cs.hits)},
-            {"misses", static_cast<std::int64_t>(cs.misses)},
-            {"hit_rate", cs.hitRate()},
-            {"entries", cs.entries},
-            {"second_round_all_hits", second_all_hits},
-        };
-        doc["outputs_identical"] = outputs_identical;
-        try {
-            json::writeFile(out_path, json::Value(std::move(doc)));
-        } catch (const FatalError &e) {
-            std::fprintf(stderr, "%s\n", e.what());
-            return 2;
-        }
-        std::printf("wrote %s\n", out_path.c_str());
-
-        return (outputs_identical && second_all_hits) ? 0 : 1;
     }
+    if (cache_mismatches > 0)
+        outputs_identical = false;
+    const bool second_all_hits =
+        second_round_jobs ==
+            static_cast<std::uint64_t>(jobs_per_round) &&
+        second_round_hits == second_round_jobs;
+    std::printf("cache: %llu/%llu second-round hits (rate %.2f, "
+                "%zu entries), results %s\n\n",
+                static_cast<unsigned long long>(second_round_hits),
+                static_cast<unsigned long long>(second_round_jobs),
+                cache_stats.hitRate(), cache_stats.entries,
+                cache_mismatches ? "MISMATCHED" : "bit-identical");
+
+    // --------------------------------------------------- chaos soak
+    // Deterministic fault plan: the same seed replays the same faults
+    // regardless of how jobs land on workers, so invariant checks are
+    // exact, not probabilistic.
+    FaultPlan plan;
+    plan.seed = 0x5eedc0de;
+    plan.throw_rate = chaos_mode ? 0.35 : 0.20;
+    plan.cancel_rate = chaos_mode ? 0.20 : 0.10;
+    plan.stall_rate = chaos_mode ? 0.15 : 0.05;
+    plan.stall_ms = 1.0;
+    const int soak_rounds =
+        chaos_mode ? (fast ? 8 : 16) : (fast ? 3 : 6);
+    const std::string snapshot_path = out_path + ".chaos-snapshot";
+    std::remove(snapshot_path.c_str()); // cold start
+
+    std::map<std::uint64_t, int> terminal_counts;
+    std::uint64_t chaos_mismatches = 0;
+    std::uint64_t n_done = 0, n_cancelled = 0, n_failed = 0,
+                  n_timed_out = 0, n_overloaded = 0;
+    std::vector<std::uint64_t> soak_ids;
+    CompileService::Stats soak_stats;
+    {
+        CompileService::Config config;
+        config.num_workers = static_cast<int>(std::min(4u, hw));
+        config.cache_capacity = 1024;
+        config.max_retries = 2;
+        config.retry_backoff_ms = 0.1;
+        config.retry_backoff_max_ms = 2.0;
+        config.snapshot_path = snapshot_path;
+        config.faults = plan;
+        CompileService svc(
+            {CompileTarget{"ref-full", arch, opts}}, config,
+            [&](const JobRecord &rec) {
+                ++terminal_counts[rec.job_id];
+                switch (rec.status) {
+                  case JobStatus::Done:
+                    ++n_done;
+                    if (resultSignature(*rec.result) !=
+                        reference[rec.name])
+                        ++chaos_mismatches;
+                    break;
+                  case JobStatus::Cancelled: ++n_cancelled; break;
+                  case JobStatus::TimedOut: ++n_timed_out; break;
+                  case JobStatus::Failed: ++n_failed; break;
+                  case JobStatus::Overloaded: ++n_overloaded; break;
+                }
+            });
+        for (int round = 0; round < soak_rounds; ++round)
+            for (const Circuit &c : circuits)
+                soak_ids.push_back(
+                    svc.submit({c.name(), c, 0, {}, 0.0}));
+        svc.drainAndStop();
+        soak_stats = svc.stats();
+    }
+    bool exactly_once = terminal_counts.size() == soak_ids.size();
+    for (const std::uint64_t id : soak_ids) {
+        const auto it = terminal_counts.find(id);
+        if (it == terminal_counts.end() || it->second != 1)
+            exactly_once = false;
+    }
+    const bool chaos_identical = chaos_mismatches == 0;
+    std::printf(
+        "chaos: %zu jobs over %d rounds (throw %.2f, cancel %.2f, "
+        "stall %.2f)\n"
+        "       done %llu, cancelled %llu, timed out %llu, failed "
+        "%llu, overloaded %llu\n"
+        "       transient %llu, retries %llu (exhausted %llu), "
+        "coalesced %llu+%llu\n"
+        "       terminal records exactly once: %s; outputs %s\n",
+        soak_ids.size(), soak_rounds, plan.throw_rate,
+        plan.cancel_rate, plan.stall_rate,
+        static_cast<unsigned long long>(n_done),
+        static_cast<unsigned long long>(n_cancelled),
+        static_cast<unsigned long long>(n_timed_out),
+        static_cast<unsigned long long>(n_failed),
+        static_cast<unsigned long long>(n_overloaded),
+        static_cast<unsigned long long>(soak_stats.transient_failures),
+        static_cast<unsigned long long>(soak_stats.retries),
+        static_cast<unsigned long long>(soak_stats.retries_exhausted),
+        static_cast<unsigned long long>(soak_stats.coalesced_served),
+        static_cast<unsigned long long>(soak_stats.coalesced_requeued),
+        exactly_once ? "yes" : "NO",
+        chaos_identical ? "bit-identical" : "MISMATCHED");
+
+    // Warm start: a restarted service must reload the snapshot and
+    // serve every persisted record as a cache hit, bit-identical.
+    std::uint64_t warm_hits = 0, warm_done = 0;
+    std::uint64_t warm_mismatches = 0;
+    SnapshotLoadStats warm_load;
+    {
+        CompileService::Config config;
+        config.num_workers = static_cast<int>(std::min(4u, hw));
+        config.cache_capacity = 1024;
+        config.snapshot_path = snapshot_path;
+        config.faults = FaultPlan{}; // no faults on the warm run
+        CompileService svc(
+            {CompileTarget{"ref-full", arch, opts}}, config,
+            [&](const JobRecord &rec) {
+                if (rec.status != JobStatus::Done ||
+                    resultSignature(*rec.result) !=
+                        reference[rec.name]) {
+                    ++warm_mismatches;
+                    return;
+                }
+                ++warm_done;
+                if (rec.cache_hit)
+                    ++warm_hits;
+            });
+        warm_load = svc.snapshotLoadStats();
+        for (const Circuit &c : circuits)
+            svc.submit({c.name(), c, 0, {}, 0.0});
+        svc.drainAndStop();
+    }
+    const bool warm_served_from_snapshot =
+        warm_load.file_found && warm_load.header_ok &&
+        warm_load.skippedTotal() == 0 &&
+        soak_stats.snapshot_records_written ==
+            warm_load.records_loaded &&
+        warm_hits >= warm_load.records_loaded &&
+        warm_done == static_cast<std::uint64_t>(jobs_per_round) &&
+        warm_mismatches == 0;
+    std::printf("       warm start: %llu records loaded, %llu/%d "
+                "served as hits, outputs %s\n",
+                static_cast<unsigned long long>(
+                    warm_load.records_loaded),
+                static_cast<unsigned long long>(warm_hits),
+                jobs_per_round,
+                warm_mismatches ? "MISMATCHED" : "bit-identical");
+
+    // Corruption recovery: every damage mode must load without an
+    // exception, skipping (and counting) only what is damaged.
+    const struct
+    {
+        const char *name;
+        SnapshotCorruption mode;
+    } corruptions[] = {
+        {"truncate", SnapshotCorruption::Truncate},
+        {"flip_byte", SnapshotCorruption::FlipByte},
+        {"wrong_version", SnapshotCorruption::WrongVersion},
+        {"empty", SnapshotCorruption::Empty},
+    };
+    bool corruption_tolerated = true;
+    json::Object corruption_rows;
+    for (const auto &c : corruptions) {
+        const std::string damaged =
+            snapshot_path + "." + c.name;
+        bool ok = true;
+        SnapshotLoadStats st;
+        try {
+            copyFile(snapshot_path, damaged);
+            corruptSnapshotFile(damaged, c.mode, /*seed=*/7);
+            ResultCache scratch(1024);
+            st = loadCacheSnapshot(damaged, scratch);
+            // Damage must cost records, never correctness: loaded
+            // records plus skips must not exceed what was written,
+            // and damaged modes other than Truncate lose >= 1 record
+            // (Empty loses the header too).
+            if (st.records_loaded > warm_load.records_loaded)
+                ok = false;
+            if (c.mode != SnapshotCorruption::Truncate &&
+                warm_load.records_loaded > 0 &&
+                st.records_loaded >= warm_load.records_loaded)
+                ok = false;
+        } catch (const std::exception &e) {
+            std::fprintf(stderr,
+                         "chaos: corruption mode %s threw: %s\n",
+                         c.name, e.what());
+            ok = false;
+        }
+        std::remove(damaged.c_str());
+        if (!ok)
+            corruption_tolerated = false;
+        corruption_rows[c.name] = json::Object{
+            {"loaded", static_cast<std::int64_t>(st.records_loaded)},
+            {"skipped_checksum",
+             static_cast<std::int64_t>(st.skipped_checksum)},
+            {"skipped_corrupt",
+             static_cast<std::int64_t>(st.skipped_corrupt)},
+            {"skipped_version",
+             static_cast<std::int64_t>(st.skipped_version)},
+            {"tolerated", ok},
+        };
+        std::printf("       corruption %-13s loaded %zu, skipped "
+                    "%zu%s\n",
+                    c.name, st.records_loaded, st.skippedTotal(),
+                    ok ? "" : "  NOT TOLERATED");
+    }
+    std::remove(snapshot_path.c_str());
+
+    const bool chaos_ok = exactly_once && chaos_identical &&
+                          warm_served_from_snapshot &&
+                          corruption_tolerated;
+    if (chaos_mismatches || warm_mismatches)
+        outputs_identical = false;
+
+    // ------------------------------------------------- JSON dump
+    json::Object doc;
+    doc["schema"] = "zac.perf_service.v2";
+    doc["arch"] = arch.name();
+    doc["fast_mode"] = fast;
+    doc["chaos_mode"] = chaos_mode;
+    doc["hardware_concurrency"] = static_cast<std::int64_t>(hw);
+    doc["rounds"] = rounds;
+    doc["jobs_per_round"] = jobs_per_round;
+    doc["total_jobs"] = total_jobs;
+    doc["sequential_seconds"] = sequential_seconds;
+    doc["sequential_jobs_per_second"] = sequential_jps;
+    doc["scaling"] = std::move(scaling_rows);
+    doc["max_workers"] = max_workers;
+    doc["parallel_seconds_at_max"] = parallel_seconds_at_max;
+    doc["scaling_overhead"] = scaling_overhead;
+    doc["cache"] = json::Object{
+        {"submitted", static_cast<std::int64_t>(cache_stats.hits +
+                                                cache_stats.misses)},
+        {"hits", static_cast<std::int64_t>(cache_stats.hits)},
+        {"misses", static_cast<std::int64_t>(cache_stats.misses)},
+        {"hit_rate", cache_stats.hitRate()},
+        {"entries", cache_stats.entries},
+        {"second_round_all_hits", second_all_hits},
+    };
+    doc["chaos"] = json::Object{
+        {"soak_rounds", soak_rounds},
+        {"jobs", static_cast<std::int64_t>(soak_ids.size())},
+        {"fault_plan",
+         json::Object{
+             {"seed", static_cast<std::int64_t>(plan.seed)},
+             {"throw_rate", plan.throw_rate},
+             {"cancel_rate", plan.cancel_rate},
+             {"stall_rate", plan.stall_rate},
+         }},
+        {"done", static_cast<std::int64_t>(n_done)},
+        {"cancelled", static_cast<std::int64_t>(n_cancelled)},
+        {"timed_out", static_cast<std::int64_t>(n_timed_out)},
+        {"failed", static_cast<std::int64_t>(n_failed)},
+        {"overloaded", static_cast<std::int64_t>(n_overloaded)},
+        {"transient_failures",
+         static_cast<std::int64_t>(soak_stats.transient_failures)},
+        {"retries", static_cast<std::int64_t>(soak_stats.retries)},
+        {"retries_exhausted",
+         static_cast<std::int64_t>(soak_stats.retries_exhausted)},
+        {"coalesced_served",
+         static_cast<std::int64_t>(soak_stats.coalesced_served)},
+        {"coalesced_requeued",
+         static_cast<std::int64_t>(soak_stats.coalesced_requeued)},
+        {"snapshot_records_written",
+         static_cast<std::int64_t>(
+             soak_stats.snapshot_records_written)},
+        {"snapshot_records_loaded",
+         static_cast<std::int64_t>(warm_load.records_loaded)},
+        {"warm_cache_hits", static_cast<std::int64_t>(warm_hits)},
+        {"terminal_records_exactly_once", exactly_once},
+        {"outputs_identical", chaos_identical &&
+                                  warm_mismatches == 0},
+        {"warm_start_served_from_snapshot",
+         warm_served_from_snapshot},
+        {"corruption_tolerated", corruption_tolerated},
+        {"corruption", std::move(corruption_rows)},
+    };
+    doc["outputs_identical"] = outputs_identical;
+    try {
+        json::writeFile(out_path, json::Value(std::move(doc)));
+    } catch (const FatalError &e) {
+        std::fprintf(stderr, "%s\n", e.what());
+        return 2;
+    }
+    std::printf("wrote %s\n", out_path.c_str());
+
+    return (outputs_identical && second_all_hits && chaos_ok) ? 0 : 1;
 }

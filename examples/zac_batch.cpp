@@ -20,6 +20,18 @@
  *                     circuit content hash, target, seed, timeout)
  *     --no-zair       omit the ZAIR program from result records
  *     --echo-submit   also write a "submit" record per accepted job
+ *     --snapshot <f>  persist the result cache to <f> (loaded on
+ *                     start, flushed on drain — warm restarts)
+ *     --retries N     transient-failure retries per job (default 2)
+ *     --backoff-ms X  first retry backoff, doubling per attempt
+ *     --admission N   reject submissions past N undelivered jobs with
+ *                     an "overloaded" record (0 = block instead)
+ *     --drain-timeout S  graceful-stop deadline in seconds; in-flight
+ *                     jobs outlasting it are cancelled (0 = wait)
+ *
+ * When --out is a file, the written JSONL is re-read and verified after
+ * the drain: a malformed line or a job without exactly one terminal
+ * record is a hard error (exit 2), never a silent skip.
  */
 
 #include <cstdio>
@@ -31,6 +43,7 @@
 #include <set>
 #include <tuple>
 
+#include "common/json.hpp"
 #include "common/logging.hpp"
 #include "service/manifest.hpp"
 #include "service/protocol.hpp"
@@ -46,7 +59,68 @@ usage()
         stderr,
         "usage: zac_batch <manifest.json> [--out file] [--workers N]\n"
         "                 [--queue N] [--cache N] [--repeat N]\n"
-        "                 [--dedup] [--no-zair] [--echo-submit]\n");
+        "                 [--dedup] [--no-zair] [--echo-submit]\n"
+        "                 [--snapshot file] [--retries N]\n"
+        "                 [--backoff-ms X] [--admission N]\n"
+        "                 [--drain-timeout S]\n");
+}
+
+/**
+ * Re-read the JSONL stream zac_batch just wrote and check the delivery
+ * invariant end to end: every line parses, every record type is known,
+ * and every submitted job id has EXACTLY ONE terminal (result/error)
+ * record. Throws FatalError on the first violation — a half-written
+ * results file must fail the batch, not silently under-report.
+ */
+void
+verifyOutputFile(const std::string &path, std::uint64_t expected_jobs)
+{
+    using zac::json::Value;
+    std::ifstream in(path);
+    if (!in)
+        zac::fatal("zac_batch: cannot re-open " + path +
+                   " for verification");
+    std::map<std::uint64_t, int> terminal_counts;
+    std::string line;
+    std::size_t line_no = 0;
+    while (std::getline(in, line)) {
+        ++line_no;
+        if (line.empty())
+            zac::fatal("zac_batch: " + path + ":" +
+                       std::to_string(line_no) + ": empty JSONL line");
+        Value rec;
+        try {
+            rec = zac::json::parse(line);
+        } catch (const std::exception &e) {
+            zac::fatal("zac_batch: " + path + ":" +
+                       std::to_string(line_no) +
+                       ": malformed JSONL line: " + e.what());
+        }
+        const std::string &type = rec.at("type").asString();
+        if (type == "submit")
+            continue;
+        if (type != "result" && type != "error")
+            zac::fatal("zac_batch: " + path + ":" +
+                       std::to_string(line_no) +
+                       ": unknown record type '" + type + "'");
+        if (!zac::service::jobStatusFromName(
+                rec.at("status").asString()))
+            zac::fatal("zac_batch: " + path + ":" +
+                       std::to_string(line_no) +
+                       ": unknown job status '" +
+                       rec.at("status").asString() + "'");
+        const std::uint64_t id =
+            static_cast<std::uint64_t>(rec.at("job_id").asInt());
+        if (++terminal_counts[id] > 1)
+            zac::fatal("zac_batch: " + path + ": job " +
+                       std::to_string(id) +
+                       " has more than one terminal record");
+    }
+    if (terminal_counts.size() != expected_jobs)
+        zac::fatal("zac_batch: " + path + ": expected " +
+                   std::to_string(expected_jobs) +
+                   " terminal records, found " +
+                   std::to_string(terminal_counts.size()));
 }
 
 } // namespace
@@ -70,6 +144,11 @@ main(int argc, char **argv)
     bool dedup = false;
     bool include_zair = true;
     bool echo_submit = false;
+    std::string snapshot_path;
+    int max_retries = 2;
+    double backoff_ms = 1.0;
+    std::size_t admission = 0;
+    double drain_timeout = 0.0;
     for (int i = 2; i < argc; ++i) {
         const std::string arg = argv[i];
         if (arg == "--out" && i + 1 < argc)
@@ -84,6 +163,17 @@ main(int argc, char **argv)
                 static_cast<std::size_t>(std::atoll(argv[++i]));
         else if (arg == "--repeat" && i + 1 < argc)
             rounds = std::atoi(argv[++i]);
+        else if (arg == "--snapshot" && i + 1 < argc)
+            snapshot_path = argv[++i];
+        else if (arg == "--retries" && i + 1 < argc)
+            max_retries = std::atoi(argv[++i]);
+        else if (arg == "--backoff-ms" && i + 1 < argc)
+            backoff_ms = std::atof(argv[++i]);
+        else if (arg == "--admission" && i + 1 < argc)
+            admission =
+                static_cast<std::size_t>(std::atoll(argv[++i]));
+        else if (arg == "--drain-timeout" && i + 1 < argc)
+            drain_timeout = std::atof(argv[++i]);
         else if (arg == "--dedup")
             dedup = true;
         else if (arg == "--no-zair")
@@ -119,12 +209,17 @@ main(int argc, char **argv)
         // (and tally) goes through this mutex.
         std::mutex out_mutex;
         std::uint64_t n_done = 0, n_failed = 0, n_cancelled = 0;
-        std::uint64_t n_timed_out = 0, n_cache_hits = 0;
+        std::uint64_t n_timed_out = 0, n_overloaded = 0;
+        std::uint64_t n_cache_hits = 0;
 
         CompileService::Config config;
         config.num_workers = workers;
         config.queue_capacity = queue_capacity;
         config.cache_capacity = cache_capacity;
+        config.snapshot_path = snapshot_path;
+        config.max_retries = max_retries;
+        config.retry_backoff_ms = backoff_ms;
+        config.admission_high_water = admission;
         CompileService svc(
             manifest.targets, config,
             [&](const JobRecord &r) {
@@ -134,6 +229,7 @@ main(int argc, char **argv)
                   case JobStatus::Failed: ++n_failed; break;
                   case JobStatus::Cancelled: ++n_cancelled; break;
                   case JobStatus::TimedOut: ++n_timed_out; break;
+                  case JobStatus::Overloaded: ++n_overloaded; break;
                 }
                 if (r.cache_hit)
                     ++n_cache_hits;
@@ -194,19 +290,28 @@ main(int argc, char **argv)
             // earlier ones deterministically.
             svc.drain();
         }
-        svc.shutdown();
+        const bool drained_clean = svc.drainAndStop(drain_timeout);
+        if (!drained_clean)
+            std::fprintf(stderr,
+                         "zac_batch: drain deadline (%.3f s) expired; "
+                         "remaining jobs were cancelled\n",
+                         drain_timeout);
         const double wall = std::chrono::duration<double>(
                                 std::chrono::steady_clock::now() - t0)
                                 .count();
 
         const ResultCache::Stats cs = svc.cacheStats();
+        const CompileService::Stats ss = svc.stats();
         std::fprintf(
             stderr,
             "zac_batch: %llu jobs (%d round%s, %llu deduped) on %d "
             "workers in %.3f s = %.2f jobs/s\n"
             "           done %llu, failed %llu, cancelled %llu, "
-            "timed out %llu; cache hits %llu (rate %.2f, %zu "
-            "entries)\n",
+            "timed out %llu, overloaded %llu; cache hits %llu "
+            "(rate %.2f, %zu entries)\n"
+            "           retries %llu (exhausted %llu), coalesced "
+            "%llu served + %llu requeued; snapshot %llu loaded / "
+            "%llu skipped / %llu written\n",
             static_cast<unsigned long long>(submitted), rounds,
             rounds == 1 ? "" : "s",
             static_cast<unsigned long long>(deduped),
@@ -216,8 +321,25 @@ main(int argc, char **argv)
             static_cast<unsigned long long>(n_failed),
             static_cast<unsigned long long>(n_cancelled),
             static_cast<unsigned long long>(n_timed_out),
+            static_cast<unsigned long long>(n_overloaded),
             static_cast<unsigned long long>(n_cache_hits),
-            cs.hitRate(), cs.entries);
+            cs.hitRate(), cs.entries,
+            static_cast<unsigned long long>(ss.retries),
+            static_cast<unsigned long long>(ss.retries_exhausted),
+            static_cast<unsigned long long>(ss.coalesced_served),
+            static_cast<unsigned long long>(ss.coalesced_requeued),
+            static_cast<unsigned long long>(
+                ss.snapshot_records_loaded),
+            static_cast<unsigned long long>(
+                ss.snapshot_records_skipped),
+            static_cast<unsigned long long>(
+                ss.snapshot_records_written));
+
+        if (!out_path.empty()) {
+            out.flush();
+            file.close();
+            verifyOutputFile(out_path, submitted);
+        }
         return n_failed == 0 ? 0 : 1;
     } catch (const FatalError &e) {
         std::fprintf(stderr, "zac_batch: %s\n", e.what());

@@ -33,13 +33,21 @@ per-phase timings for the placement schema — is appended to it so
 perf drift is visible in the run summary without downloading
 artifacts.
 
-  zac.perf_service.v1
+  zac.perf_service.v2 (and v1)
       Metric: ``scaling_overhead`` — wall seconds of the batch
       compile-service run at the largest worker count, normalized by
       the ideal-scaling expectation sequential/min(workers, cores)
       measured in the same run (1.0 = perfect scaling on that
       machine's cores, so the figure is machine-portable). Also gates
-      on ``outputs_identical`` and ``cache.second_round_all_hits``.
+      on ``outputs_identical`` and ``cache.second_round_all_hits``;
+      v2 additionally gates on the chaos-soak invariants
+      ``chaos.terminal_records_exactly_once`` (every submitted job one
+      terminal record), ``chaos.outputs_identical`` (fault-injected
+      and snapshot-served results bit-identical to fresh compiles),
+      ``chaos.warm_start_served_from_snapshot`` (a restart reloads the
+      persisted cache and serves it as hits), and
+      ``chaos.corruption_tolerated`` (every snapshot-corruption mode
+      loads without failing).
 
 Exit codes: 0 ok, 1 regression/semantics failure, 2 bad input
 (missing file, malformed JSON, schema mismatch).
@@ -60,7 +68,7 @@ PLACEMENT_SCHEMAS = (
 # Floor on the v4 incremental-SA headline figure (ISSUE 5 acceptance:
 # >= 2x geomean vs. the frozen zac::legacy reference).
 SA_INCREMENTAL_SPEEDUP_FLOOR = 2.0
-SERVICE_SCHEMAS = ("zac.perf_service.v1",)
+SERVICE_SCHEMAS = ("zac.perf_service.v1", "zac.perf_service.v2")
 KNOWN_SCHEMAS = PLACEMENT_SCHEMAS + SERVICE_SCHEMAS
 
 
@@ -163,12 +171,22 @@ def service_metric(doc, path):
 
 def service_flags(doc):
     cache = doc.get("cache", {})
-    return {
+    flags = {
         "outputs_identical": doc.get("outputs_identical", True),
         "cache.second_round_all_hits": cache.get(
             "second_round_all_hits", True
         ),
     }
+    if doc.get("schema") == "zac.perf_service.v2":
+        chaos = doc.get("chaos", {})
+        for key in (
+            "terminal_records_exactly_once",
+            "outputs_identical",
+            "warm_start_served_from_snapshot",
+            "corruption_tolerated",
+        ):
+            flags[f"chaos.{key}"] = chaos.get(key, False)
+    return flags
 
 
 def fmt_ratio(committed, fresh):
@@ -229,6 +247,12 @@ def summary_rows_service(committed, fresh):
             fresh.get("parallel_seconds_at_max"),
         ),
     ]
+    cc = committed.get("chaos", {})
+    fc = fresh.get("chaos", {})
+    for key in ("retries", "coalesced_served",
+                "snapshot_records_loaded", "warm_cache_hits"):
+        if key in cc or key in fc:
+            rows.append((f"chaos: {key}", cc.get(key), fc.get(key)))
     return [r for r in rows if r[1] is not None or r[2] is not None]
 
 

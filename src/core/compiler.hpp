@@ -76,8 +76,14 @@ struct CompileControl
     checkpoint(const char *phase) const
     {
         poll();
-        if (on_phase)
+        if (on_phase) {
             on_phase(phase);
+            // The hook itself may request cancellation (the service's
+            // fault-injection harness flips the cancel flag from
+            // on_phase to test mid-compile aborts deterministically);
+            // honor it at this boundary, not one phase later.
+            poll();
+        }
     }
 
     /**

@@ -1,0 +1,217 @@
+#include "service/cache_store.hpp"
+
+#include <cinttypes>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "common/hash.hpp"
+#include "common/json.hpp"
+#include "common/logging.hpp"
+#include "zair/serialize.hpp"
+
+namespace zac::service
+{
+
+namespace
+{
+
+std::string
+hexString(std::uint64_t h)
+{
+    char buf[19];
+    std::snprintf(buf, sizeof(buf), "0x%016" PRIx64, h);
+    return buf;
+}
+
+std::uint64_t
+parseHex(const std::string &s)
+{
+    return std::strtoull(s.c_str(), nullptr, 16);
+}
+
+/**
+ * Record checksum over the key AND the payload bytes: a flipped bit in
+ * either must invalidate the record (a valid payload under a mutated
+ * key would serve the wrong bytes for that key, which is worse than a
+ * skip).
+ */
+std::uint64_t
+recordChecksum(const CacheKey &key, const std::string &payload)
+{
+    Fnv1a h;
+    h.u64(key.circuit_hash);
+    h.u64(key.arch_fingerprint);
+    h.u64(key.options_digest);
+    h.str(payload);
+    return h.digest();
+}
+
+/** The protocol-visible surface of one ZacResult as JSON. */
+json::Value
+payloadFromResult(const ZacResult &r)
+{
+    json::Object p;
+    p["compile_seconds"] = r.compile_seconds;
+    p["phases"] = json::Object{
+        {"sa", r.phases.sa_seconds},
+        {"placement", r.phases.placement_seconds},
+        {"scheduling", r.phases.scheduling_seconds},
+        {"fidelity", r.phases.fidelity_seconds},
+    };
+    const FidelityBreakdown &f = r.fidelity;
+    p["fidelity"] = json::Object{
+        {"f_1q", f.f_1q},
+        {"f_2q_gates", f.f_2q_gates},
+        {"f_excitation", f.f_excitation},
+        {"f_2q", f.f_2q},
+        {"f_transfer", f.f_transfer},
+        {"f_decoherence", f.f_decoherence},
+        {"total", f.total},
+        {"g1", f.g1},
+        {"g2", f.g2},
+        {"n_excitation", f.n_excitation},
+        {"n_transfer", f.n_transfer},
+        {"duration_us", f.duration_us},
+    };
+    p["staged_name"] = r.staged.name;
+    p["zair"] = zairProgramToJson(r.program);
+    return p;
+}
+
+/** Inverse of payloadFromResult; throws on shape mismatches. */
+std::shared_ptr<const ZacResult>
+resultFromPayload(const json::Value &p)
+{
+    auto r = std::make_shared<ZacResult>();
+    r->compile_seconds = p.at("compile_seconds").asDouble();
+    const json::Value &ph = p.at("phases");
+    r->phases.sa_seconds = ph.at("sa").asDouble();
+    r->phases.placement_seconds = ph.at("placement").asDouble();
+    r->phases.scheduling_seconds = ph.at("scheduling").asDouble();
+    r->phases.fidelity_seconds = ph.at("fidelity").asDouble();
+    const json::Value &f = p.at("fidelity");
+    r->fidelity.f_1q = f.at("f_1q").asDouble();
+    r->fidelity.f_2q_gates = f.at("f_2q_gates").asDouble();
+    r->fidelity.f_excitation = f.at("f_excitation").asDouble();
+    r->fidelity.f_2q = f.at("f_2q").asDouble();
+    r->fidelity.f_transfer = f.at("f_transfer").asDouble();
+    r->fidelity.f_decoherence = f.at("f_decoherence").asDouble();
+    r->fidelity.total = f.at("total").asDouble();
+    r->fidelity.g1 = static_cast<int>(f.at("g1").asInt());
+    r->fidelity.g2 = static_cast<int>(f.at("g2").asInt());
+    r->fidelity.n_excitation =
+        static_cast<int>(f.at("n_excitation").asInt());
+    r->fidelity.n_transfer =
+        static_cast<int>(f.at("n_transfer").asInt());
+    r->fidelity.duration_us = f.at("duration_us").asDouble();
+    r->program = zairProgramFromJson(p.at("zair"));
+    r->staged.name = p.at("staged_name").asString();
+    r->staged.numQubits = r->program.num_qubits;
+    return r;
+}
+
+} // namespace
+
+std::size_t
+saveCacheSnapshot(const std::string &path, const ResultCache &cache)
+{
+    const auto entries = cache.entries();
+    const std::string tmp = path + ".tmp";
+    {
+        std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+        if (!out)
+            fatal("saveCacheSnapshot: cannot write " + tmp);
+
+        json::Object header;
+        header["type"] = "zac_cache_snapshot";
+        header["version"] = kCacheSnapshotVersion;
+        header["records"] = entries.size();
+        out << json::Value(std::move(header)).dump() << '\n';
+
+        for (const auto &[key, result] : entries) {
+            const std::string payload =
+                payloadFromResult(*result).dump();
+            // Assemble the line around the pre-dumped payload so the
+            // checksum is computed over the exact bytes a loader will
+            // re-dump after parsing.
+            out << "{\"checksum\":\""
+                << hexString(recordChecksum(key, payload))
+                << "\",\"key\":[\"" << hexString(key.circuit_hash)
+                << "\",\"" << hexString(key.arch_fingerprint)
+                << "\",\"" << hexString(key.options_digest)
+                << "\"],\"payload\":" << payload
+                << ",\"type\":\"entry\"}\n";
+        }
+        out.flush();
+        if (!out)
+            fatal("saveCacheSnapshot: write failed for " + tmp);
+    }
+    if (std::rename(tmp.c_str(), path.c_str()) != 0)
+        fatal("saveCacheSnapshot: cannot rename " + tmp + " -> " +
+              path);
+    return entries.size();
+}
+
+SnapshotLoadStats
+loadCacheSnapshot(const std::string &path, ResultCache &cache)
+{
+    SnapshotLoadStats stats;
+    std::ifstream in(path, std::ios::binary);
+    if (!in)
+        return stats;
+    stats.file_found = true;
+
+    std::string line;
+    bool saw_header = false;
+    while (std::getline(in, line)) {
+        if (line.empty())
+            continue;
+        if (!saw_header) {
+            saw_header = true;
+            try {
+                const json::Value h = json::parse(line);
+                stats.header_ok =
+                    h.at("type").asString() == "zac_cache_snapshot" &&
+                    h.at("version").asInt() == kCacheSnapshotVersion;
+            } catch (const std::exception &) {
+                stats.header_ok = false;
+            }
+            if (!stats.header_ok) {
+                // Unknown version or damaged header: the record layout
+                // cannot be trusted, count the rest as skipped.
+                while (std::getline(in, line))
+                    if (!line.empty())
+                        ++stats.skipped_version;
+                break;
+            }
+            continue;
+        }
+        try {
+            const json::Value rec = json::parse(line);
+            if (rec.at("type").asString() != "entry") {
+                ++stats.skipped_corrupt;
+                continue;
+            }
+            const json::Value &payload = rec.at("payload");
+            const json::Value &k = rec.at("key");
+            const CacheKey key{parseHex(k.at(0).asString()),
+                               parseHex(k.at(1).asString()),
+                               parseHex(k.at(2).asString())};
+            if (parseHex(rec.at("checksum").asString()) !=
+                recordChecksum(key, payload.dump())) {
+                ++stats.skipped_checksum;
+                continue;
+            }
+            cache.insert(key, resultFromPayload(payload));
+            ++stats.records_loaded;
+        } catch (const std::exception &) {
+            // Parse error, missing field, or malformed program: a
+            // truncated tail lands here. Skip, count, keep loading.
+            ++stats.skipped_corrupt;
+        }
+    }
+    return stats;
+}
+
+} // namespace zac::service

@@ -1,0 +1,91 @@
+/**
+ * @file
+ * Disk persistence for the compile-service result cache: warm starts
+ * across restarts.
+ *
+ * The cache key (circuit content hash, architecture fingerprint,
+ * options digest) is relocatable — nothing in it refers to this
+ * process, machine, or run — so a snapshot written by one service
+ * instance can be loaded by any other and will serve the exact bytes a
+ * fresh compile would produce.
+ *
+ * Snapshot format: JSONL. Line 1 is a versioned header
+ *
+ *   {"type":"zac_cache_snapshot","version":1,"records":N}
+ *
+ * and every following line is one cache entry
+ *
+ *   {"type":"entry","key":["0x..","0x..","0x.."],
+ *    "checksum":"0x..","payload":{...}}
+ *
+ * where `checksum` is the FNV-1a digest of the compact-dumped payload.
+ * The payload restores the protocol-visible surface of a ZacResult:
+ * the full timed ZAIR program, the complete fidelity breakdown (exact
+ * bit patterns survive because numbers serialize with %.17g and parse
+ * back to the identical double), the phase timings of the original
+ * compile, and the staged-circuit name. The internal placement plan
+ * and staged gate lists are NOT persisted — no protocol consumer reads
+ * them from a cache hit, and omitting them keeps snapshots a few KB
+ * per entry.
+ *
+ * Writes are crash-safe: the snapshot is written to `<path>.tmp` and
+ * atomically renamed over the target, so readers only ever observe a
+ * complete old file or a complete new file. The loader is the reverse
+ * tolerance: a truncated tail, a corrupted record, or a stale header
+ * version skips (and counts) the damaged part instead of failing the
+ * service start — a broken snapshot costs warm-start hits, never
+ * availability.
+ */
+
+#ifndef ZAC_SERVICE_CACHE_STORE_HPP
+#define ZAC_SERVICE_CACHE_STORE_HPP
+
+#include <cstddef>
+#include <string>
+
+#include "service/result_cache.hpp"
+
+namespace zac::service
+{
+
+/** Snapshot-file format version written by saveCacheSnapshot(). */
+inline constexpr int kCacheSnapshotVersion = 1;
+
+/** What loadCacheSnapshot() found, loaded, and skipped. */
+struct SnapshotLoadStats
+{
+    bool file_found = false;  ///< the path existed and opened
+    bool header_ok = false;   ///< header parsed with a known version
+    std::size_t records_loaded = 0;   ///< entries inserted in the cache
+    std::size_t skipped_checksum = 0; ///< checksum mismatch (bit rot)
+    std::size_t skipped_corrupt = 0;  ///< unparseable/truncated lines
+    std::size_t skipped_version = 0;  ///< records under a stale header
+
+    std::size_t
+    skippedTotal() const
+    {
+        return skipped_checksum + skipped_corrupt + skipped_version;
+    }
+};
+
+/**
+ * Write every cache entry to @p path (write-temp-then-rename).
+ * @return the number of records written.
+ * @throws FatalError when the temp file cannot be written or renamed.
+ */
+std::size_t saveCacheSnapshot(const std::string &path,
+                              const ResultCache &cache);
+
+/**
+ * Load a snapshot into @p cache (insert-if-absent per entry; existing
+ * entries win). Never throws on damaged content: corrupt, truncated,
+ * checksum-mismatched, or stale-version records are skipped and
+ * counted in the returned stats, and a missing file is simply
+ * `file_found == false`.
+ */
+SnapshotLoadStats loadCacheSnapshot(const std::string &path,
+                                    ResultCache &cache);
+
+} // namespace zac::service
+
+#endif // ZAC_SERVICE_CACHE_STORE_HPP

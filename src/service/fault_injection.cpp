@@ -1,0 +1,172 @@
+#include "service/fault_injection.hpp"
+
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+
+#include "common/hash.hpp"
+#include "common/logging.hpp"
+
+namespace zac::service
+{
+
+namespace
+{
+
+/**
+ * One deterministic 64-bit draw for a (plan, job, attempt, channel)
+ * tuple. splitmix64 finalization on top of FNV gives well-mixed high
+ * bits, so the [0,1) mapping below is unbiased enough for rates.
+ */
+std::uint64_t
+draw(std::uint64_t seed, std::uint64_t job_id, int attempt,
+     std::uint64_t channel)
+{
+    Fnv1a h;
+    h.u64(seed);
+    h.u64(job_id);
+    h.i64(attempt);
+    h.u64(channel);
+    std::uint64_t z = h.digest() + 0x9e3779b97f4a7c15ull;
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+    return z ^ (z >> 31);
+}
+
+/** Map one draw to [0, 1). */
+double
+unit(std::uint64_t u)
+{
+    return static_cast<double>(u >> 11) * 0x1.0p-53;
+}
+
+} // namespace
+
+bool
+FaultPlan::shouldThrow(std::uint64_t job_id, int attempt) const
+{
+    return throw_rate > 0.0 &&
+           unit(draw(seed, job_id, attempt, 1)) < throw_rate;
+}
+
+bool
+FaultPlan::shouldCancel(std::uint64_t job_id, int attempt) const
+{
+    return cancel_rate > 0.0 &&
+           unit(draw(seed, job_id, attempt, 2)) < cancel_rate;
+}
+
+int
+FaultPlan::cancelPhase(std::uint64_t job_id, int attempt) const
+{
+    // The compile checkpoints five phases (preprocess, sa, placement,
+    // scheduling, fidelity); pick one uniformly.
+    return static_cast<int>(draw(seed, job_id, attempt, 3) % 5);
+}
+
+bool
+FaultPlan::shouldStall(std::uint64_t job_id, int attempt) const
+{
+    return stall_rate > 0.0 &&
+           unit(draw(seed, job_id, attempt, 4)) < stall_rate;
+}
+
+std::optional<FaultPlan>
+FaultPlan::fromEnv()
+{
+    const char *seed_s = std::getenv("ZAC_SERVICE_FAULT_SEED");
+    const char *throw_s = std::getenv("ZAC_SERVICE_FAULT_THROW_RATE");
+    const char *cancel_s = std::getenv("ZAC_SERVICE_FAULT_CANCEL_RATE");
+    const char *stall_s = std::getenv("ZAC_SERVICE_FAULT_STALL_RATE");
+    const char *stall_ms_s = std::getenv("ZAC_SERVICE_FAULT_STALL_MS");
+    if (!seed_s && !throw_s && !cancel_s && !stall_s && !stall_ms_s)
+        return std::nullopt;
+
+    FaultPlan plan;
+    if (seed_s)
+        plan.seed = std::strtoull(seed_s, nullptr, 0);
+    if (throw_s)
+        plan.throw_rate = std::strtod(throw_s, nullptr);
+    if (cancel_s)
+        plan.cancel_rate = std::strtod(cancel_s, nullptr);
+    if (stall_s)
+        plan.stall_rate = std::strtod(stall_s, nullptr);
+    if (stall_ms_s)
+        plan.stall_ms = std::strtod(stall_ms_s, nullptr);
+    warn("CompileService: ZAC_SERVICE_FAULT_* fault injection armed "
+         "(seed " + std::to_string(plan.seed) + ", throw " +
+         std::to_string(plan.throw_rate) + ", cancel " +
+         std::to_string(plan.cancel_rate) + ", stall " +
+         std::to_string(plan.stall_rate) + ")");
+    return plan;
+}
+
+void
+corruptSnapshotFile(const std::string &path, SnapshotCorruption mode,
+                    std::uint64_t seed)
+{
+    std::string bytes;
+    {
+        std::ifstream in(path, std::ios::binary);
+        if (!in)
+            fatal("corruptSnapshotFile: cannot read " + path);
+        std::ostringstream ss;
+        ss << in.rdbuf();
+        bytes = ss.str();
+    }
+
+    switch (mode) {
+      case SnapshotCorruption::Empty:
+        bytes.clear();
+        break;
+      case SnapshotCorruption::Truncate:
+        // Cut inside the last record, past the header line, as a crash
+        // mid-write would.
+        if (!bytes.empty())
+            bytes.resize(bytes.size() -
+                         std::min<std::size_t>(bytes.size() / 4 + 1,
+                                               bytes.size() - 1));
+        break;
+      case SnapshotCorruption::FlipByte: {
+        if (bytes.empty())
+            break;
+        // Flip a byte after the header line so the header still parses
+        // and the damage lands in a record's payload or checksum.
+        const std::size_t header_end = bytes.find('\n');
+        const std::size_t lo =
+            header_end == std::string::npos ? 0 : header_end + 1;
+        if (lo >= bytes.size())
+            break;
+        const std::size_t at =
+            lo + draw(seed, 0, 0, 5) % (bytes.size() - lo);
+        // XOR with 0x01, not 0x20: a case flip can be semantically
+        // invisible (hex strings parse case-insensitively, float
+        // exponents re-dump as 'e'), while the low bit always changes
+        // a digit's value or breaks the token. Avoid turning a newline
+        // into data (that would merge lines and hide the corruption as
+        // a parse error on a different record).
+        if (bytes[at] != '\n')
+            bytes[at] = static_cast<char>(bytes[at] ^ 0x01);
+        else if (at + 1 < bytes.size())
+            bytes[at + 1] = static_cast<char>(bytes[at + 1] ^ 0x01);
+        break;
+      }
+      case SnapshotCorruption::WrongVersion: {
+        const std::size_t header_end = bytes.find('\n');
+        const std::string rest = header_end == std::string::npos
+                                     ? std::string()
+                                     : bytes.substr(header_end + 1);
+        bytes = "{\"type\":\"zac_cache_snapshot\",\"version\":999}\n" +
+                rest;
+        break;
+      }
+    }
+
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    if (!out)
+        fatal("corruptSnapshotFile: cannot write " + path);
+    out.write(bytes.data(),
+              static_cast<std::streamsize>(bytes.size()));
+}
+
+} // namespace zac::service

@@ -1,0 +1,115 @@
+/**
+ * @file
+ * Deterministic fault injection for the compile service.
+ *
+ * A FaultPlan decides, as a pure function of (plan seed, job id,
+ * attempt), whether a worker should suffer an injected fault while
+ * running that job: a transient throw before the compile starts, a
+ * cooperative cancellation at a chosen pipeline phase boundary (driven
+ * through CompileControl::on_phase), or a slow-worker stall. The same
+ * plan therefore replays the same faults no matter how jobs land on
+ * workers, which is what lets the chaos soak and the unit tests assert
+ * exact outcomes (every job one terminal record, retries counted,
+ * served bytes bit-identical) instead of probabilistic ones.
+ *
+ * Plans come from three places:
+ *  - tests construct them directly;
+ *  - `perf_service --chaos` builds one per soak round;
+ *  - the `ZAC_SERVICE_FAULT_*` environment hook (fromEnv()) arms the
+ *    worker loop of ANY service-backed binary — e.g. zac_batch under a
+ *    soak script — without a code change.
+ *
+ * Snapshot corruption (the fourth fault class) is a file mutation, not
+ * a worker event; corruptSnapshotFile() applies one of the corruption
+ * modes the cache-store loader must survive.
+ */
+
+#ifndef ZAC_SERVICE_FAULT_INJECTION_HPP
+#define ZAC_SERVICE_FAULT_INJECTION_HPP
+
+#include <cstdint>
+#include <optional>
+#include <stdexcept>
+#include <string>
+
+namespace zac::service
+{
+
+/**
+ * An injected, retryable worker failure. The service classifies this
+ * exception (and only this exception) as transient: the job is
+ * re-enqueued with backoff instead of failing terminally, up to the
+ * configured retry budget.
+ */
+class TransientError : public std::runtime_error
+{
+  public:
+    explicit TransientError(const std::string &msg)
+        : std::runtime_error(msg)
+    {
+    }
+};
+
+/** Deterministic seeded fault plan for the service worker loop. */
+struct FaultPlan
+{
+    /** Base seed; every decision mixes it with (job id, attempt). */
+    std::uint64_t seed = 0;
+    /** Probability of a TransientError before the compile starts. */
+    double throw_rate = 0.0;
+    /** Probability of a cooperative cancel at a phase boundary. */
+    double cancel_rate = 0.0;
+    /** Probability of a slow-worker stall before the compile. */
+    double stall_rate = 0.0;
+    /** Stall duration when a stall fires. */
+    double stall_ms = 2.0;
+
+    /** @return whether any fault class can fire at all. */
+    bool
+    enabled() const
+    {
+        return throw_rate > 0.0 || cancel_rate > 0.0 ||
+               stall_rate > 0.0;
+    }
+
+    /** Transient throw for (job, attempt)? */
+    bool shouldThrow(std::uint64_t job_id, int attempt) const;
+    /** Cooperative mid-compile cancel for (job, attempt)? */
+    bool shouldCancel(std::uint64_t job_id, int attempt) const;
+    /**
+     * Pipeline phase boundary (0-based index into the compile's
+     * checkpoint sequence) at which the cancel fires; only meaningful
+     * when shouldCancel() is true.
+     */
+    int cancelPhase(std::uint64_t job_id, int attempt) const;
+    /** Slow-worker stall for (job, attempt)? */
+    bool shouldStall(std::uint64_t job_id, int attempt) const;
+
+    /**
+     * Build a plan from the ZAC_SERVICE_FAULT_* environment hook:
+     * ZAC_SERVICE_FAULT_SEED, _THROW_RATE, _CANCEL_RATE, _STALL_RATE,
+     * _STALL_MS. @return nullopt when none of the variables is set.
+     */
+    static std::optional<FaultPlan> fromEnv();
+};
+
+/** Ways corruptSnapshotFile() can damage a cache snapshot on disk. */
+enum class SnapshotCorruption
+{
+    Truncate,     ///< cut the file mid-record (simulated crash mid-write)
+    FlipByte,     ///< flip one payload byte (checksum must catch it)
+    WrongVersion, ///< rewrite the header with an unknown version
+    Empty,        ///< replace the file with zero bytes
+};
+
+/**
+ * Corrupt the snapshot at @p path in place. @p seed picks the damaged
+ * offset deterministically where the mode needs one.
+ * @throws FatalError when the file cannot be read or written.
+ */
+void corruptSnapshotFile(const std::string &path, SnapshotCorruption mode,
+                         std::uint64_t seed = 0);
+
+} // namespace zac::service
+
+#endif // ZAC_SERVICE_FAULT_INJECTION_HPP

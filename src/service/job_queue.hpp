@@ -80,6 +80,29 @@ class BoundedMpmcQueue
     }
 
     /**
+     * Enqueue @p v ignoring the capacity bound. Reserved for re-admitting
+     * work that already passed admission once (retries of transient
+     * failures, waiters re-queued after a coalesced leader failed):
+     * such jobs came *out* of the queue, so occupancy stays bounded by
+     * capacity plus the worker count, and a worker must never block on
+     * its own re-enqueue (all workers blocked pushing into a full queue
+     * would deadlock the pool).
+     * @return false only if the queue is closed (@p v is left unmoved).
+     */
+    bool
+    forcePush(T &v)
+    {
+        {
+            std::lock_guard<std::mutex> lock(m_);
+            if (closed_)
+                return false;
+            items_.push_back(std::move(v));
+        }
+        not_empty_.notify_one();
+        return true;
+    }
+
+    /**
      * Dequeue the oldest element, waiting if the queue is empty.
      * @return nullopt once the queue is closed and drained.
      */

@@ -1,5 +1,7 @@
 #include "service/manifest.hpp"
 
+#include <cmath>
+
 #include "arch/presets.hpp"
 #include "arch/serialize.hpp"
 #include "circuit/generators.hpp"
@@ -25,6 +27,27 @@ archFromRef(const std::string &ref, int aods)
         return presets::multiZoneArch2();
     // Anything else is a spec-JSON path.
     return loadArchitecture(ref);
+}
+
+/**
+ * Warn (once per key) about manifest keys the loader does not read: a
+ * typo like "sa_numseeds" would otherwise silently fall back to the
+ * default, which is the worst failure mode a config file can have.
+ */
+void
+warnUnknownKeys(const json::Value &v,
+                std::initializer_list<const char *> known,
+                const std::string &context)
+{
+    for (const auto &[key, value] : v.asObject()) {
+        bool ok = false;
+        for (const char *k : known)
+            if (key == k)
+                ok = true;
+        if (!ok)
+            warn("manifest: " + context + ": unknown key '" + key +
+                 "' is ignored");
+    }
 }
 
 ZacOptions
@@ -58,6 +81,10 @@ targetFromJson(const json::Value &v)
 {
     CompileTarget t;
     t.name = v.contains("name") ? v.at("name").asString() : "default";
+    warnUnknownKeys(v,
+                    {"name", "arch", "aods", "preset", "seed",
+                     "sa_iterations", "sa_num_seeds", "sa_threads"},
+                    "target '" + t.name + "'");
     const std::string arch_ref =
         v.contains("arch") ? v.at("arch").asString() : "reference";
     const int aods =
@@ -71,9 +98,17 @@ targetFromJson(const json::Value &v)
     if (v.contains("sa_iterations"))
         t.opts.sa_iterations =
             static_cast<int>(v.at("sa_iterations").asInt());
-    if (v.contains("sa_num_seeds"))
+    if (v.contains("sa_num_seeds")) {
         t.opts.sa_num_seeds =
             static_cast<int>(v.at("sa_num_seeds").asInt());
+        // The SA engine runs one independent chain per seed; zero
+        // chains compute nothing and hundreds burn hours per job.
+        if (t.opts.sa_num_seeds < 1 || t.opts.sa_num_seeds > 256)
+            fatal("manifest: target '" + t.name +
+                  "': sa_num_seeds " +
+                  std::to_string(t.opts.sa_num_seeds) +
+                  " out of range [1, 256]");
+    }
     // Service workers already saturate the cores; default the nested
     // SA seed batch to one thread unless the manifest asks otherwise.
     t.opts.sa_threads = 1;
@@ -87,6 +122,7 @@ Manifest
 manifestFromJson(const json::Value &v)
 {
     Manifest m;
+    warnUnknownKeys(v, {"targets", "jobs"}, "top level");
 
     if (v.contains("targets")) {
         for (const json::Value &tv : v.at("targets").asArray())
@@ -112,6 +148,10 @@ manifestFromJson(const json::Value &v)
                                          : job.circuit.name();
         if (job.label.empty())
             job.label = ref;
+        warnUnknownKeys(jv,
+                        {"circuit", "label", "target", "repeat",
+                         "seed", "timeout_seconds"},
+                        "job '" + job.label + "'");
 
         if (jv.contains("target")) {
             const json::Value &tv = jv.at("target");
@@ -140,6 +180,11 @@ manifestFromJson(const json::Value &v)
             job.seed =
                 static_cast<std::uint64_t>(jv.at("seed").asInt());
         job.timeout_seconds = jv.numberOr("timeout_seconds", 0.0);
+        if (!std::isfinite(job.timeout_seconds) ||
+            job.timeout_seconds < 0.0)
+            fatal("manifest: job '" + job.label +
+                  "': timeout_seconds must be a finite value >= 0 " +
+                  "(0 disables the timeout)");
         m.jobs.push_back(std::move(job));
     }
     if (m.jobs.empty())

@@ -48,6 +48,7 @@ makeJobRecord(const JobRecord &record, const std::string &target_name,
     o["circuit"] = record.name;
     o["target"] = target_name;
     o["status"] = jobStatusName(record.status);
+    o["attempts"] = record.attempts;
     o["cache_hit"] = record.cache_hit;
     o["circuit_hash"] = hashString(record.circuit_hash);
     o["queue_seconds"] = record.queue_seconds;

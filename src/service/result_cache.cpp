@@ -82,6 +82,19 @@ ResultCache::stats() const
     return total;
 }
 
+std::vector<std::pair<CacheKey, std::shared_ptr<const ZacResult>>>
+ResultCache::entries() const
+{
+    std::vector<std::pair<CacheKey, std::shared_ptr<const ZacResult>>>
+        out;
+    for (const auto &sp : shards_) {
+        std::lock_guard<std::mutex> lock(sp->m);
+        for (const auto &[key, result] : sp->lru)
+            out.emplace_back(key, result);
+    }
+    return out;
+}
+
 void
 ResultCache::clear()
 {

@@ -113,6 +113,15 @@ class ResultCache
     /** Aggregate statistics over all shards. */
     Stats stats() const;
 
+    /**
+     * Copy out every (key, result) pair, shard by shard, MRU first
+     * within each shard. The order is deterministic for a given access
+     * history; the cache-store snapshot writer relies on that so two
+     * snapshots of the same state are byte-identical.
+     */
+    std::vector<std::pair<CacheKey, std::shared_ptr<const ZacResult>>>
+    entries() const;
+
     /** Drop every entry (statistics are kept). */
     void clear();
 

@@ -1,6 +1,7 @@
 #include "service/service.hpp"
 
 #include <algorithm>
+#include <cmath>
 
 #include "arch/serialize.hpp"
 #include "common/logging.hpp"
@@ -28,8 +29,25 @@ jobStatusName(JobStatus s)
       case JobStatus::Cancelled: return "cancelled";
       case JobStatus::TimedOut: return "timed_out";
       case JobStatus::Failed: return "failed";
+      case JobStatus::Overloaded: return "overloaded";
     }
     return "?";
+}
+
+std::optional<JobStatus>
+jobStatusFromName(std::string_view name)
+{
+    if (name == "done")
+        return JobStatus::Done;
+    if (name == "cancelled")
+        return JobStatus::Cancelled;
+    if (name == "timed_out")
+        return JobStatus::TimedOut;
+    if (name == "failed")
+        return JobStatus::Failed;
+    if (name == "overloaded")
+        return JobStatus::Overloaded;
+    return std::nullopt;
 }
 
 CompileService::CompileService(std::vector<CompileTarget> targets,
@@ -49,6 +67,25 @@ CompileService::CompileService(std::vector<CompileTarget> targets,
             std::make_shared<const ZacCompiler>(t.arch, t.opts);
         st.target = std::move(t);
         targets_.push_back(std::move(st));
+    }
+
+    faults_ = config_.faults ? config_.faults : FaultPlan::fromEnv();
+
+    // Warm start: reload the persisted cache before any worker can
+    // race a compile against it. The loader is tolerant — a damaged
+    // snapshot costs hits, never construction.
+    if (!config_.snapshot_path.empty() && cache_.enabled()) {
+        snapshot_load_ =
+            loadCacheSnapshot(config_.snapshot_path, cache_);
+        stats_.snapshot_records_loaded = snapshot_load_.records_loaded;
+        stats_.snapshot_records_skipped = snapshot_load_.skippedTotal();
+        if (snapshot_load_.skippedTotal() > 0)
+            warn("CompileService: cache snapshot " +
+                 config_.snapshot_path + ": loaded " +
+                 std::to_string(snapshot_load_.records_loaded) +
+                 " records, skipped " +
+                 std::to_string(snapshot_load_.skippedTotal()) +
+                 " damaged");
     }
 
     num_workers_ = config_.num_workers > 0
@@ -89,20 +126,45 @@ CompileService::submit(Submission s)
     job.timeout_seconds = s.timeout_seconds;
     job.cancel_flag = std::make_shared<std::atomic<bool>>(false);
 
+    bool reject = false;
     {
         std::lock_guard<std::mutex> lock(state_mutex_);
         if (shutdown_)
             fatal("CompileService::submit: service is shut down");
         job.id = next_job_id_++;
-        ++submitted_;
-        live_jobs_.emplace(job.id, job.cancel_flag);
+        const std::uint64_t pending =
+            stats_.submitted - stats_.delivered;
+        reject = draining_ ||
+                 (config_.admission_high_water > 0 &&
+                  pending >= config_.admission_high_water);
+        ++stats_.submitted;
+        if (reject)
+            ++stats_.overloaded;
+        else
+            live_jobs_.emplace(job.id, job.cancel_flag);
     }
     const std::uint64_t id = job.id;
     job.submit_time = std::chrono::steady_clock::now();
+
+    if (reject) {
+        // Graceful degradation: shed load with an immediate terminal
+        // record from the submitting thread — the delivery invariant
+        // (one record per submit) holds even for rejected work.
+        JobRecord record;
+        record.job_id = id;
+        record.name = job.name;
+        record.target = job.target;
+        record.status = JobStatus::Overloaded;
+        record.circuit_hash = job.circuit.contentHash();
+        record.error = "rejected at admission: service overloaded";
+        deliver(record, job.submit_time);
+        return id;
+    }
+
     if (!queue_.push(std::move(job))) {
         // Closed between the check and the push: roll the books back.
         std::lock_guard<std::mutex> lock(state_mutex_);
-        --submitted_;
+        --stats_.submitted;
         live_jobs_.erase(id);
         fatal("CompileService::submit: service is shut down");
     }
@@ -124,29 +186,95 @@ void
 CompileService::drain()
 {
     std::unique_lock<std::mutex> lock(state_mutex_);
-    all_done_.wait(lock, [&] { return delivered_ == submitted_; });
+    all_done_.wait(
+        lock, [&] { return stats_.delivered == stats_.submitted; });
+}
+
+bool
+CompileService::drainAndStop(double deadline_seconds)
+{
+    // Serialize concurrent stop requests: the second caller blocks
+    // here until the first finished joining, then sees shutdown_.
+    std::lock_guard<std::mutex> stop_lock(stop_mutex_);
+    {
+        std::lock_guard<std::mutex> lock(state_mutex_);
+        if (shutdown_)
+            return true;
+        draining_ = true; // submissions from here on are rejected
+    }
+
+    bool clean = true;
+    {
+        std::unique_lock<std::mutex> lock(state_mutex_);
+        const auto done = [&] {
+            return stats_.delivered == stats_.submitted;
+        };
+        if (deadline_seconds > 0.0) {
+            if (!all_done_.wait_for(
+                    lock,
+                    std::chrono::duration<double>(deadline_seconds),
+                    done)) {
+                // Deadline expired: cancel every live job. Compiles
+                // stop at their next phase boundary, queued jobs drop
+                // at pickup, so this wait is bounded.
+                clean = false;
+                for (auto &[id, flag] : live_jobs_)
+                    flag->store(true, std::memory_order_relaxed);
+                all_done_.wait(lock, done);
+            }
+        } else {
+            all_done_.wait(lock, done);
+        }
+    }
+
+    flushSnapshot();
+    queue_.close();
+    for (std::thread &w : workers_)
+        if (w.joinable())
+            w.join();
+    {
+        std::lock_guard<std::mutex> lock(state_mutex_);
+        shutdown_ = true;
+    }
+    return clean;
 }
 
 void
 CompileService::shutdown()
 {
-    {
-        std::lock_guard<std::mutex> lock(state_mutex_);
-        if (shutdown_)
-            return;
-        shutdown_ = true;
-    }
-    drain();
-    queue_.close();
-    for (std::thread &w : workers_)
-        if (w.joinable())
-            w.join();
+    drainAndStop(0.0);
 }
 
 ResultCache::Stats
 CompileService::cacheStats() const
 {
     return cache_.stats();
+}
+
+CompileService::Stats
+CompileService::stats() const
+{
+    std::lock_guard<std::mutex> lock(state_mutex_);
+    return stats_;
+}
+
+void
+CompileService::flushSnapshot()
+{
+    if (config_.snapshot_path.empty() || !cache_.enabled())
+        return;
+    try {
+        const std::size_t n =
+            saveCacheSnapshot(config_.snapshot_path, cache_);
+        std::lock_guard<std::mutex> lock(state_mutex_);
+        stats_.snapshot_records_written = n;
+    } catch (const std::exception &e) {
+        // A failed flush loses warm-start hits, not results: every
+        // record was already delivered through the sink.
+        warn(std::string(
+                 "CompileService: cache snapshot flush failed: ") +
+             e.what());
+    }
 }
 
 void
@@ -156,11 +284,31 @@ CompileService::workerLoop()
         runJob(*job);
 }
 
+std::shared_ptr<const ZacResult>
+CompileService::reboundResult(std::shared_ptr<const ZacResult> hit,
+                              const std::string &circuit_name)
+{
+    // The cache key is name-blind (Circuit::contentHash ignores
+    // names), but the result embeds the compiled circuit's name in
+    // staged.name / program.circuit_name. Those are pure metadata —
+    // nothing else in the result derives from them — so when a
+    // content-equal circuit arrives under a different name, rebind the
+    // name fields to reproduce a fresh compile of *this* submission
+    // bit for bit.
+    if (hit->program.circuit_name == circuit_name)
+        return hit;
+    auto rebound = std::make_shared<ZacResult>(*hit);
+    rebound->staged.name = circuit_name;
+    rebound->program.circuit_name = circuit_name;
+    return rebound;
+}
+
 void
 CompileService::runJob(Job &job)
 {
     using clock = std::chrono::steady_clock;
     const clock::time_point picked_up = clock::now();
+    const clock::time_point submit_time = job.submit_time;
 
     const TargetState &ts = targets_[static_cast<std::size_t>(
         job.target)];
@@ -170,7 +318,7 @@ CompileService::runJob(Job &job)
     record.name = job.name;
     record.target = job.target;
     record.circuit_hash = job.circuit.contentHash();
-    record.queue_seconds = secondsSince(job.submit_time, picked_up);
+    record.queue_seconds = secondsSince(submit_time, picked_up);
 
     // Per-job deterministic seed: the effective options are fixed at
     // submit time and independent of worker scheduling.
@@ -182,7 +330,7 @@ CompileService::runJob(Job &job)
 
     if (job.cancel_flag->load(std::memory_order_relaxed)) {
         record.status = JobStatus::Cancelled;
-        deliver(record, job.submit_time);
+        finishJob(record, key, submit_time);
         return;
     }
 
@@ -190,35 +338,85 @@ CompileService::runJob(Job &job)
         if (std::shared_ptr<const ZacResult> hit = cache_.find(key)) {
             record.status = JobStatus::Done;
             record.cache_hit = true;
-            // The key is name-blind (Circuit::contentHash ignores
-            // names), but the result embeds the compiled circuit's
-            // name in staged.name / program.circuit_name. Those are
-            // pure metadata — nothing else in the result derives from
-            // them — so when a content-equal circuit arrives under a
-            // different name, rebind the name fields to reproduce a
-            // fresh compile of *this* submission bit for bit.
-            if (hit->program.circuit_name != job.circuit.name()) {
-                auto rebound = std::make_shared<ZacResult>(*hit);
-                rebound->staged.name = job.circuit.name();
-                rebound->program.circuit_name = job.circuit.name();
-                record.result = std::move(rebound);
-            } else {
-                record.result = std::move(hit);
-            }
-            deliver(record, job.submit_time);
+            record.result =
+                reboundResult(std::move(hit), job.circuit.name());
+            finishJob(record, key, submit_time);
             return;
         }
     }
+
+    // In-flight dedup: identical keys racing before the first cache
+    // insert coalesce onto one compile (the leader); everyone else
+    // parks as a waiter and is settled from the leader's terminal
+    // record. Only meaningful with the cache on — with the cache off
+    // every job is an intentional recompile (the perf harness measures
+    // raw throughput that way).
+    if (cache_.enabled() && config_.dedup_in_flight) {
+        bool is_waiter = false;
+        {
+            std::lock_guard<std::mutex> lock(inflight_mutex_);
+            auto it = inflight_.find(key);
+            if (it == inflight_.end()) {
+                inflight_.emplace(key, InflightEntry{job.id, {}});
+            } else if (it->second.leader_id != job.id) {
+                it->second.waiters.push_back(std::move(job));
+                is_waiter = true;
+            }
+            // leader_id == job.id: a retried leader coming back
+            // around — it stays the leader and compiles again.
+        }
+        if (is_waiter)
+            return; // the leader's terminal record settles this job
+        // Close the race with a previous leader that published and
+        // resolved between our cache miss and our registration.
+        if (std::shared_ptr<const ZacResult> hit = cache_.find(key)) {
+            record.status = JobStatus::Done;
+            record.cache_hit = true;
+            record.result =
+                reboundResult(std::move(hit), job.circuit.name());
+            finishJob(record, key, submit_time);
+            return;
+        }
+    }
+
+    record.attempts = job.attempt;
+
+    // Injected slow-worker stall; placed after leader registration so
+    // a stalled leader actually accumulates waiters to coalesce.
+    if (faults_ && faults_->shouldStall(job.id, job.attempt))
+        std::this_thread::sleep_for(
+            std::chrono::duration<double, std::milli>(
+                faults_->stall_ms));
 
     CompileControl control;
     control.cancel = job.cancel_flag.get();
     if (job.timeout_seconds > 0.0)
         control.deadline =
-            job.submit_time +
+            submit_time +
             std::chrono::duration_cast<clock::duration>(
                 std::chrono::duration<double>(job.timeout_seconds));
 
+    // Injected mid-compile cancel: flip the job's own cancel flag at a
+    // deterministic phase boundary — exactly the code path a real
+    // cancel() during a compile takes.
+    int inject_cancel_phase = -1;
+    int phase_index = 0;
+    if (faults_ && faults_->shouldCancel(job.id, job.attempt))
+        inject_cancel_phase =
+            faults_->cancelPhase(job.id, job.attempt);
+    if (inject_cancel_phase >= 0)
+        control.on_phase = [&](const char *) {
+            if (phase_index++ == inject_cancel_phase)
+                job.cancel_flag->store(true,
+                                       std::memory_order_relaxed);
+        };
+
     try {
+        if (faults_ && faults_->shouldThrow(job.id, job.attempt))
+            throw TransientError(
+                "injected transient fault (job " +
+                std::to_string(job.id) + ", attempt " +
+                std::to_string(job.attempt) + ")");
         ZacResult result;
         if (job.seed) {
             // Seed override: a per-job compiler bound to the derived
@@ -237,14 +435,136 @@ CompileService::runJob(Job &job)
     } catch (const CompileCancelled &c) {
         record.status = c.timedOut() ? JobStatus::TimedOut
                                      : JobStatus::Cancelled;
+    } catch (const TransientError &e) {
+        {
+            std::lock_guard<std::mutex> lock(state_mutex_);
+            ++stats_.transient_failures;
+        }
+        if (job.attempt <= config_.max_retries) {
+            // Bounded exponential backoff, deterministic (no jitter —
+            // reproducibility beats decorrelation inside one pool).
+            const double backoff_ms = std::min(
+                config_.retry_backoff_max_ms,
+                config_.retry_backoff_ms *
+                    std::ldexp(1.0, job.attempt - 1));
+            {
+                std::lock_guard<std::mutex> lock(state_mutex_);
+                ++stats_.retries;
+            }
+            if (backoff_ms > 0.0)
+                std::this_thread::sleep_for(
+                    std::chrono::duration<double, std::milli>(
+                        backoff_ms));
+            Job retry = std::move(job);
+            ++retry.attempt;
+            // forcePush: the retry was admitted once already, and a
+            // worker must never block pushing into its own full queue
+            // (all workers doing so would deadlock the pool).
+            if (queue_.forcePush(retry))
+                return; // not terminal yet; still the inflight leader
+            record.status = JobStatus::Failed;
+            record.error =
+                std::string("service shut down during retry: ") +
+                e.what();
+        } else {
+            {
+                std::lock_guard<std::mutex> lock(state_mutex_);
+                ++stats_.retries_exhausted;
+            }
+            record.status = JobStatus::Failed;
+            record.error = "transient failure persisted after " +
+                           std::to_string(job.attempt) +
+                           " attempts: " + e.what();
+        }
     } catch (const std::exception &e) {
         // FatalError (bad input for the target), PanicError (library
-        // bug), bad_alloc, ... — a batch engine must outlive any one
-        // job, and drain() depends on every job being delivered.
+        // bug), bad_alloc, ... — permanent: a retry would fail the
+        // same way, and a batch engine must outlive any one job.
         record.status = JobStatus::Failed;
         record.error = e.what();
     }
-    deliver(record, job.submit_time);
+    finishJob(record, key, submit_time);
+}
+
+void
+CompileService::finishJob(JobRecord &record, const CacheKey &key,
+                          std::chrono::steady_clock::time_point
+                              submit_time)
+{
+    deliver(record, submit_time);
+
+    // If this job was the registered in-flight leader for its key,
+    // resolve the entry and settle everyone who coalesced behind it.
+    // Waiters that arrive after the erase find the result in the cache
+    // (the insert happened before delivery) or become a new leader.
+    std::vector<Job> waiters;
+    {
+        std::lock_guard<std::mutex> lock(inflight_mutex_);
+        auto it = inflight_.find(key);
+        if (it != inflight_.end() &&
+            it->second.leader_id == record.job_id) {
+            waiters = std::move(it->second.waiters);
+            inflight_.erase(it);
+        }
+    }
+    for (Job &w : waiters)
+        settleWaiter(w, record);
+}
+
+void
+CompileService::settleWaiter(Job &waiter, const JobRecord &leader)
+{
+    using clock = std::chrono::steady_clock;
+    JobRecord record;
+    record.job_id = waiter.id;
+    record.name = waiter.name;
+    record.target = waiter.target;
+    record.circuit_hash = leader.circuit_hash;
+    record.queue_seconds =
+        secondsSince(waiter.submit_time, clock::now());
+
+    if (waiter.cancel_flag->load(std::memory_order_relaxed)) {
+        record.status = JobStatus::Cancelled;
+        deliver(record, waiter.submit_time);
+        return;
+    }
+
+    if (leader.status == JobStatus::Done) {
+        if (waiter.timeout_seconds > 0.0 &&
+            clock::now() >=
+                waiter.submit_time +
+                    std::chrono::duration_cast<clock::duration>(
+                        std::chrono::duration<double>(
+                            waiter.timeout_seconds))) {
+            record.status = JobStatus::TimedOut;
+            deliver(record, waiter.submit_time);
+            return;
+        }
+        record.status = JobStatus::Done;
+        record.cache_hit = true;
+        record.result =
+            reboundResult(leader.result, waiter.circuit.name());
+        {
+            std::lock_guard<std::mutex> lock(state_mutex_);
+            ++stats_.coalesced_served;
+        }
+        deliver(record, waiter.submit_time);
+        return;
+    }
+
+    // The leader produced no result (cancelled / timed out / failed).
+    // Its outcome must not leak onto an unrelated submission — the
+    // waiter gets its own run.
+    {
+        std::lock_guard<std::mutex> lock(state_mutex_);
+        ++stats_.coalesced_requeued;
+    }
+    if (!queue_.forcePush(waiter)) {
+        record.status = JobStatus::Failed;
+        record.error =
+            "service shut down while re-queueing coalesced job";
+        deliver(record, waiter.submit_time);
+    }
 }
 
 void
@@ -268,7 +588,7 @@ CompileService::deliver(JobRecord &record,
     {
         std::lock_guard<std::mutex> lock(state_mutex_);
         live_jobs_.erase(record.job_id);
-        ++delivered_;
+        ++stats_.delivered;
     }
     all_done_.notify_all();
 }

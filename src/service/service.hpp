@@ -1,7 +1,7 @@
 /**
  * @file
- * The batch compile service: a work-queue engine that shards
- * zac::compile() calls across a worker pool.
+ * The batch compile service: a fault-tolerant work-queue engine that
+ * shards zac::compile() calls across a worker pool.
  *
  * This is the server mode called for by the heavy-traffic north star:
  * accept many circuits, compile them concurrently (compile() is const
@@ -10,11 +10,35 @@
  * out through a sink as workers finish — no global barrier, no
  * buffering of whole batches.
  *
+ * Fault tolerance (ISSUE 6) layers four guarantees on top:
+ *  - cache persistence: the result cache can spill to a JSONL snapshot
+ *    (atomic write-temp-then-rename, checksummed records) and reload it
+ *    on construction, so restarts start warm;
+ *  - retry with bounded exponential backoff: transient worker failures
+ *    (the injectable TransientError fault channel) re-enqueue the job
+ *    up to `max_retries` times; permanent failures (bad circuit for the
+ *    target) still fail fast;
+ *  - graceful degradation: past an admission high-water mark new
+ *    submissions are rejected with an `overloaded` terminal record
+ *    instead of growing the backlog without bound, identical in-flight
+ *    keys coalesce onto one compile (one compile, N records), and
+ *    drainAndStop() stops admission, finishes in-flight work against a
+ *    deadline, flushes the snapshot, and joins the workers;
+ *  - deterministic fault injection: a seeded FaultPlan (or the
+ *    ZAC_SERVICE_FAULT_* environment hook) drives throws, mid-compile
+ *    cancellations, and stalls from tests and the chaos soak.
+ *
+ * Delivery invariant: every submit() leads to EXACTLY ONE terminal
+ * JobRecord through the sink — compiled, cache-served, coalesced,
+ * cancelled, timed out, failed (after retries), or rejected as
+ * overloaded. drain() and the chaos harness are built on it.
+ *
  * Determinism: a compilation is a pure function of (circuit,
  * architecture, options incl. seed). Workers never share mutable state
  * with a compile in flight, so results are bit-identical regardless of
  * worker count, scheduling order, or whether they were served from the
- * cache. The perf harness and tests assert this.
+ * cache, a coalesced leader, or a reloaded snapshot. The perf harness
+ * and tests assert this.
  */
 
 #ifndef ZAC_SERVICE_SERVICE_HPP
@@ -28,6 +52,7 @@
 #include <mutex>
 #include <optional>
 #include <string>
+#include <string_view>
 #include <thread>
 #include <unordered_map>
 #include <vector>
@@ -35,6 +60,8 @@
 #include "circuit/circuit.hpp"
 #include "core/compiler.hpp"
 #include "core/options.hpp"
+#include "service/cache_store.hpp"
+#include "service/fault_injection.hpp"
 #include "service/job_queue.hpp"
 #include "service/result_cache.hpp"
 
@@ -56,14 +83,18 @@ struct CompileTarget
 /** Terminal state of one job. */
 enum class JobStatus
 {
-    Done,      ///< compiled (or cache-served) successfully
-    Cancelled, ///< cancel() hit the job before/while it ran
-    TimedOut,  ///< the per-job deadline expired mid-compile
-    Failed,    ///< compile threw (bad circuit for the target, etc.)
+    Done,       ///< compiled (or cache-served) successfully
+    Cancelled,  ///< cancel() hit the job before/while it ran
+    TimedOut,   ///< the per-job deadline expired mid-compile
+    Failed,     ///< compile threw (bad circuit, retries exhausted, ...)
+    Overloaded, ///< rejected at admission: backlog past the high-water
 };
 
 /** @return the lowercase protocol name for @p s (e.g. "done"). */
 const char *jobStatusName(JobStatus s);
+
+/** Inverse of jobStatusName(). @return nullopt for unknown names. */
+std::optional<JobStatus> jobStatusFromName(std::string_view name);
 
 /** Everything the service reports about one finished job. */
 struct JobRecord
@@ -73,6 +104,10 @@ struct JobRecord
     int target = 0;            ///< index into targets()
     JobStatus status = JobStatus::Failed;
     bool cache_hit = false;
+    /** Compile attempts consumed: 1 for a clean compile, 1+k after k
+     *  transient retries, 0 when no compile ran (cache hit, coalesced
+     *  serve, overloaded rejection, cancel before pickup). */
+    int attempts = 0;
     std::string error;         ///< failure message when Failed
 
     /** Compile output; non-null iff status == Done. Shared with the
@@ -86,12 +121,15 @@ struct JobRecord
 
 /**
  * The compile-service engine: bounded MPMC job queue, worker pool,
- * result cache, per-job cancellation and timeout.
+ * result cache (optionally persistent), per-job cancellation and
+ * timeout, transient-failure retry, in-flight dedup, and admission
+ * control.
  *
  * Results are delivered through the sink callback, invoked from worker
- * threads as each job finishes. The service serializes sink invocations
- * (one at a time, under an internal mutex), so the sink may write to a
- * shared stream without further locking; it must not call back into the
+ * threads (or, for overloaded rejections, the submitting thread) as
+ * each job finishes. The service serializes sink invocations (one at a
+ * time, under an internal mutex), so the sink may write to a shared
+ * stream without further locking; it must not call back into the
  * service except via cancel().
  */
 class CompileService
@@ -107,6 +145,52 @@ class CompileService
         std::size_t cache_capacity = 1024;
         /** Cache lock shards. */
         std::size_t cache_shards = 8;
+
+        /** Transient-failure re-runs per job (0 disables retry). */
+        int max_retries = 2;
+        /** First retry backoff; doubles per attempt (deterministic,
+         *  no jitter — reproducibility beats decorrelation here). */
+        double retry_backoff_ms = 1.0;
+        /** Backoff growth cap. */
+        double retry_backoff_max_ms = 50.0;
+        /**
+         * Admission high-water mark on undelivered jobs; a submission
+         * past it is rejected with an `overloaded` terminal record. 0
+         * keeps the legacy behavior (submit blocks on the bounded
+         * queue instead of rejecting).
+         */
+        std::size_t admission_high_water = 0;
+        /**
+         * Coalesce identical cache keys racing before the first cache
+         * insert: one compile, every coalesced job served from it.
+         * Effective only while the cache is enabled (with no cache
+         * every job is an intentional recompile).
+         */
+        bool dedup_in_flight = true;
+        /**
+         * Cache snapshot path; loaded (tolerantly) on construction and
+         * flushed by drainAndStop()/shutdown(). Empty disables
+         * persistence.
+         */
+        std::string snapshot_path;
+        /** Fault plan; when unset, ZAC_SERVICE_FAULT_* is consulted. */
+        std::optional<FaultPlan> faults;
+    };
+
+    /** Monotonic counters for the fault-tolerance machinery. */
+    struct Stats
+    {
+        std::uint64_t submitted = 0;
+        std::uint64_t delivered = 0;
+        std::uint64_t overloaded = 0;         ///< admission rejections
+        std::uint64_t transient_failures = 0; ///< TransientErrors seen
+        std::uint64_t retries = 0;            ///< re-enqueues scheduled
+        std::uint64_t retries_exhausted = 0;  ///< Failed after budget
+        std::uint64_t coalesced_served = 0;   ///< waiters served by a leader
+        std::uint64_t coalesced_requeued = 0; ///< waiters re-run (leader failed)
+        std::uint64_t snapshot_records_loaded = 0;
+        std::uint64_t snapshot_records_skipped = 0;
+        std::uint64_t snapshot_records_written = 0; ///< last flush
     };
 
     using ResultSink = std::function<void(const JobRecord &)>;
@@ -138,7 +222,11 @@ class CompileService
     int numWorkers() const { return num_workers_; }
 
     /**
-     * Enqueue one job; blocks while the queue is full.
+     * Enqueue one job; blocks while the queue is full (unless an
+     * admission high-water mark is configured, in which case an
+     * over-limit submission is rejected immediately with an
+     * `overloaded` terminal record through the sink). During and after
+     * a drain, submissions are likewise rejected as overloaded.
      * @return the job id (also echoed in the JobRecord).
      * @throws FatalError on an invalid target index or after shutdown.
      */
@@ -156,10 +244,31 @@ class CompileService
     /** Block until every job submitted so far has been delivered. */
     void drain();
 
-    /** Drain, stop the workers, and close the queue; idempotent. */
+    /**
+     * Graceful stop: refuse new admissions (rejected as overloaded),
+     * finish in-flight and queued work, flush the cache snapshot (when
+     * configured), close the queue, and join the workers. When
+     * @p deadline_seconds > 0 and in-flight work outlasts it, every
+     * live job is cancelled cooperatively and the drain completes with
+     * Cancelled records. Idempotent.
+     * @return true when all work finished without the deadline forcing
+     *         cancellations.
+     */
+    bool drainAndStop(double deadline_seconds = 0.0);
+
+    /** Drain, stop the workers, and close the queue; idempotent.
+     *  Equivalent to drainAndStop() with no deadline. */
     void shutdown();
 
     ResultCache::Stats cacheStats() const;
+    /** Fault-tolerance counters (retry/dedup/admission/persistence). */
+    Stats stats() const;
+    /** Tolerant-loader counters from the construction-time snapshot
+     *  load; zeros when no snapshot was configured or found. */
+    const SnapshotLoadStats &snapshotLoadStats() const
+    {
+        return snapshot_load_;
+    }
 
   private:
     struct TargetState
@@ -178,32 +287,62 @@ class CompileService
         int target = 0;
         std::optional<std::uint64_t> seed;
         double timeout_seconds = 0.0;
+        int attempt = 1; ///< current compile attempt (1-based)
         std::chrono::steady_clock::time_point submit_time;
         std::shared_ptr<std::atomic<bool>> cancel_flag;
     };
 
+    /** Jobs waiting on an identical in-flight compile. */
+    struct InflightEntry
+    {
+        std::uint64_t leader_id = 0;
+        std::vector<Job> waiters;
+    };
+
     void workerLoop();
     void runJob(Job &job);
+    /** Deliver a terminal record, then settle every waiter coalesced
+     *  behind (record.job_id, key): serve them on Done, re-enqueue
+     *  them when the leader failed. No-op for non-leaders. */
+    void finishJob(JobRecord &record, const CacheKey &key,
+                   std::chrono::steady_clock::time_point submit_time);
+    /** Terminal record (or re-enqueue) for one coalesced waiter. */
+    void settleWaiter(Job &waiter, const JobRecord &leader);
     void deliver(JobRecord &record,
                  std::chrono::steady_clock::time_point submit_time);
+    /** Serve a cache/leader result, rebinding name metadata so the
+     *  record is bit-identical to a fresh compile of the submission. */
+    static std::shared_ptr<const ZacResult>
+    reboundResult(std::shared_ptr<const ZacResult> hit,
+                  const std::string &circuit_name);
+    void flushSnapshot();
 
     std::vector<TargetState> targets_;
     Config config_;
     ResultSink sink_;
     int num_workers_ = 1;
+    std::optional<FaultPlan> faults_;
 
     BoundedMpmcQueue<Job> queue_;
     ResultCache cache_;
+    SnapshotLoadStats snapshot_load_;
     std::vector<std::thread> workers_;
+
+    /** Serializes drainAndStop()/shutdown() against each other. */
+    std::mutex stop_mutex_;
 
     std::mutex sink_mutex_;
 
-    std::mutex state_mutex_;
+    std::mutex inflight_mutex_;
+    std::unordered_map<CacheKey, InflightEntry, CacheKeyHash>
+        inflight_;
+
+    mutable std::mutex state_mutex_;
     std::condition_variable all_done_;
     std::uint64_t next_job_id_ = 1;
-    std::uint64_t submitted_ = 0;
-    std::uint64_t delivered_ = 0;
+    bool draining_ = false;
     bool shutdown_ = false;
+    Stats stats_;
     /** Cancel flags of jobs not yet delivered, by job id. */
     std::unordered_map<std::uint64_t,
                        std::shared_ptr<std::atomic<bool>>>

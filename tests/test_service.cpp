@@ -10,7 +10,9 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <chrono>
 #include <cstdio>
+#include <cstdlib>
 #include <fstream>
 #include <map>
 #include <set>
@@ -21,6 +23,8 @@
 #include "arch/serialize.hpp"
 #include "circuit/generators.hpp"
 #include "common/logging.hpp"
+#include "service/cache_store.hpp"
+#include "service/fault_injection.hpp"
 #include "service/job_queue.hpp"
 #include "service/manifest.hpp"
 #include "service/protocol.hpp"
@@ -37,9 +41,12 @@ using service::BoundedMpmcQueue;
 using service::CacheKey;
 using service::CompileService;
 using service::CompileTarget;
+using service::FaultPlan;
 using service::JobRecord;
 using service::JobStatus;
 using service::ResultCache;
+using service::SnapshotCorruption;
+using service::SnapshotLoadStats;
 
 // ------------------------------------------------------- job queue
 
@@ -702,6 +709,621 @@ TEST(CompileServiceTest, InvalidTargetRejected)
                              1, {}, 0.0}),
                  FatalError);
     svc.shutdown();
+}
+
+// ------------------------------------------- job status & protocol
+
+TEST(Protocol, JobStatusNamesRoundTrip)
+{
+    const JobStatus all[] = {JobStatus::Done, JobStatus::Cancelled,
+                             JobStatus::TimedOut, JobStatus::Failed,
+                             JobStatus::Overloaded};
+    for (const JobStatus s : all) {
+        const char *name = service::jobStatusName(s);
+        const auto back = service::jobStatusFromName(name);
+        ASSERT_TRUE(back.has_value()) << name;
+        EXPECT_EQ(*back, s) << name;
+    }
+    EXPECT_STREQ(service::jobStatusName(JobStatus::Overloaded),
+                 "overloaded");
+    EXPECT_FALSE(service::jobStatusFromName("bogus").has_value());
+    EXPECT_FALSE(service::jobStatusFromName("").has_value());
+}
+
+TEST(Protocol, EveryStatusAndAttemptsSurviveSerialization)
+{
+    const JobStatus all[] = {JobStatus::Done, JobStatus::Cancelled,
+                             JobStatus::TimedOut, JobStatus::Failed,
+                             JobStatus::Overloaded};
+    for (const JobStatus s : all) {
+        JobRecord rec;
+        rec.job_id = 9;
+        rec.name = "x";
+        rec.status = s;
+        rec.attempts = 3;
+        if (s == JobStatus::Done)
+            rec.result = std::make_shared<const ZacResult>();
+        const json::Value v = json::parse(service::toJsonl(
+            service::makeJobRecord(rec, "t", /*with_zair=*/false)));
+        EXPECT_EQ(v.at("type").asString(),
+                  s == JobStatus::Done ? "result" : "error");
+        EXPECT_EQ(v.at("status").asString(),
+                  service::jobStatusName(s));
+        EXPECT_EQ(service::jobStatusFromName(
+                      v.at("status").asString()),
+                  s);
+        EXPECT_EQ(v.at("attempts").asInt(), 3);
+    }
+}
+
+// ------------------------------------------------ forced admission
+
+TEST(JobQueue, ForcePushIgnoresCapacityButNotClose)
+{
+    BoundedMpmcQueue<int> q(1);
+    EXPECT_TRUE(q.push(1));
+    int a = 2, b = 3, c = 4, d = 5;
+    // Past capacity: tryPush refuses, forcePush (the retry/coalesced
+    // re-admission path) does not — a worker re-enqueueing its own job
+    // must never block on the queue it drains.
+    EXPECT_FALSE(q.tryPush(a));
+    EXPECT_TRUE(q.forcePush(a));
+    EXPECT_TRUE(q.forcePush(b));
+    EXPECT_EQ(q.size(), 3u);
+    EXPECT_FALSE(q.tryPush(c)); // still over capacity
+    EXPECT_EQ(q.pop().value(), 1);
+    EXPECT_EQ(q.pop().value(), 2);
+    EXPECT_EQ(q.pop().value(), 3);
+    q.close();
+    EXPECT_FALSE(q.forcePush(d)); // closed wins over forced
+}
+
+// ------------------------------------------------- fault injection
+
+TEST(FaultPlanTest, DecisionsAreDeterministicAndSeeded)
+{
+    FaultPlan a;
+    a.seed = 42;
+    a.throw_rate = 0.5;
+    a.cancel_rate = 0.5;
+    a.stall_rate = 0.5;
+    FaultPlan b = a;
+    FaultPlan other = a;
+    other.seed = 43;
+    int differs = 0;
+    for (std::uint64_t job = 1; job <= 64; ++job) {
+        for (int attempt = 1; attempt <= 3; ++attempt) {
+            EXPECT_EQ(a.shouldThrow(job, attempt),
+                      b.shouldThrow(job, attempt));
+            EXPECT_EQ(a.shouldCancel(job, attempt),
+                      b.shouldCancel(job, attempt));
+            EXPECT_EQ(a.shouldStall(job, attempt),
+                      b.shouldStall(job, attempt));
+            EXPECT_EQ(a.cancelPhase(job, attempt),
+                      b.cancelPhase(job, attempt));
+            EXPECT_GE(a.cancelPhase(job, attempt), 0);
+            EXPECT_LT(a.cancelPhase(job, attempt), 5);
+            if (a.shouldThrow(job, attempt) !=
+                other.shouldThrow(job, attempt))
+                ++differs;
+        }
+    }
+    EXPECT_GT(differs, 0); // a different seed is a different plan
+
+    FaultPlan off; // all rates zero
+    EXPECT_FALSE(off.enabled());
+    FaultPlan certain;
+    certain.throw_rate = 1.0;
+    certain.cancel_rate = 1.0;
+    certain.stall_rate = 1.0;
+    EXPECT_TRUE(certain.enabled());
+    for (std::uint64_t job = 1; job <= 16; ++job) {
+        EXPECT_FALSE(off.shouldThrow(job, 1));
+        EXPECT_FALSE(off.shouldCancel(job, 1));
+        EXPECT_FALSE(off.shouldStall(job, 1));
+        EXPECT_TRUE(certain.shouldThrow(job, 1));
+        EXPECT_TRUE(certain.shouldCancel(job, 1));
+        EXPECT_TRUE(certain.shouldStall(job, 1));
+    }
+}
+
+TEST(FaultPlanTest, FromEnvReadsAndClearsCleanly)
+{
+    const char *vars[] = {
+        "ZAC_SERVICE_FAULT_SEED", "ZAC_SERVICE_FAULT_THROW_RATE",
+        "ZAC_SERVICE_FAULT_CANCEL_RATE",
+        "ZAC_SERVICE_FAULT_STALL_RATE", "ZAC_SERVICE_FAULT_STALL_MS"};
+    for (const char *v : vars)
+        ::unsetenv(v);
+    EXPECT_FALSE(FaultPlan::fromEnv().has_value());
+
+    ::setenv("ZAC_SERVICE_FAULT_SEED", "123", 1);
+    ::setenv("ZAC_SERVICE_FAULT_THROW_RATE", "0.25", 1);
+    const auto plan = FaultPlan::fromEnv();
+    ASSERT_TRUE(plan.has_value());
+    EXPECT_EQ(plan->seed, 123u);
+    EXPECT_DOUBLE_EQ(plan->throw_rate, 0.25);
+    EXPECT_DOUBLE_EQ(plan->cancel_rate, 0.0);
+    EXPECT_DOUBLE_EQ(plan->stall_rate, 0.0);
+
+    for (const char *v : vars)
+        ::unsetenv(v);
+    EXPECT_FALSE(FaultPlan::fromEnv().has_value());
+}
+
+// -------------------------------------------------- retry/backoff
+
+TEST(CompileServiceTest, TransientFailureRetriesThenSucceeds)
+{
+    // Brute-force a plan seed whose first job throws on attempt 1 but
+    // not on attempt 2: the retry must recover and deliver Done.
+    FaultPlan plan;
+    plan.throw_rate = 0.5;
+    bool found = false;
+    for (std::uint64_t seed = 0; seed < 10000; ++seed) {
+        plan.seed = seed;
+        if (plan.shouldThrow(1, 1) && !plan.shouldThrow(1, 2)) {
+            found = true;
+            break;
+        }
+    }
+    ASSERT_TRUE(found);
+
+    const Architecture arch = presets::referenceZoned();
+    RecordCollector collector;
+    CompileService::Config config;
+    config.num_workers = 1;
+    config.cache_capacity = 0;
+    config.max_retries = 2;
+    config.retry_backoff_ms = 0.1;
+    config.retry_backoff_max_ms = 1.0;
+    config.faults = plan;
+    CompileService svc(
+        {CompileTarget{"ref", arch, ZacOptions::full()}}, config,
+        collector.sink());
+    const std::uint64_t id = svc.submit(
+        {"r", bench_circuits::paperBenchmark("ghz_n23"), 0, {}, 0.0});
+    svc.drain();
+    svc.shutdown();
+
+    const JobRecord &rec = collector.records.at(id);
+    EXPECT_EQ(rec.status, JobStatus::Done) << rec.error;
+    EXPECT_EQ(rec.attempts, 2); // one throw, one clean compile
+    const CompileService::Stats stats = svc.stats();
+    EXPECT_EQ(stats.transient_failures, 1u);
+    EXPECT_EQ(stats.retries, 1u);
+    EXPECT_EQ(stats.retries_exhausted, 0u);
+}
+
+TEST(CompileServiceTest, RetriesExhaustedFailsWithAttemptCount)
+{
+    FaultPlan plan;
+    plan.throw_rate = 1.0; // every attempt throws
+
+    const Architecture arch = presets::referenceZoned();
+    RecordCollector collector;
+    CompileService::Config config;
+    config.num_workers = 1;
+    config.cache_capacity = 0;
+    config.max_retries = 2;
+    config.retry_backoff_ms = 0.1;
+    config.retry_backoff_max_ms = 1.0;
+    config.faults = plan;
+    CompileService svc(
+        {CompileTarget{"ref", arch, ZacOptions::full()}}, config,
+        collector.sink());
+    const std::uint64_t id = svc.submit(
+        {"r", bench_circuits::paperBenchmark("ghz_n23"), 0, {}, 0.0});
+    svc.drain();
+    svc.shutdown();
+
+    const JobRecord &rec = collector.records.at(id);
+    EXPECT_EQ(rec.status, JobStatus::Failed);
+    EXPECT_EQ(rec.attempts, 3); // 1 + max_retries
+    EXPECT_NE(rec.error.find("transient"), std::string::npos)
+        << rec.error;
+    const CompileService::Stats stats = svc.stats();
+    EXPECT_EQ(stats.transient_failures, 3u);
+    EXPECT_EQ(stats.retries, 2u);
+    EXPECT_EQ(stats.retries_exhausted, 1u);
+}
+
+// ------------------------------------------------ in-flight dedup
+
+TEST(CompileServiceTest, IdenticalInFlightJobsCoalesceOntoOneCompile)
+{
+    // A stalled leader holds its key in flight long enough for an
+    // identical submission to park behind it: one compile, two Done
+    // records, bit-identical bytes.
+    FaultPlan plan;
+    plan.stall_rate = 1.0;
+    plan.stall_ms = 400.0;
+
+    const Architecture arch = presets::referenceZoned();
+    RecordCollector collector;
+    CompileService::Config config;
+    config.num_workers = 2;
+    config.cache_capacity = 16;
+    config.faults = plan;
+    CompileService svc(
+        {CompileTarget{"ref", arch, ZacOptions::full()}}, config,
+        collector.sink());
+    const Circuit c = bench_circuits::paperBenchmark("ghz_n23");
+    const std::uint64_t leader = svc.submit({"dup", c, 0, {}, 0.0});
+    // Let the leader reach the worker (and the stall) first.
+    std::this_thread::sleep_for(std::chrono::milliseconds(100));
+    const std::uint64_t waiter = svc.submit({"dup", c, 0, {}, 0.0});
+    svc.drain();
+    svc.shutdown();
+
+    const JobRecord &a = collector.records.at(leader);
+    const JobRecord &b = collector.records.at(waiter);
+    ASSERT_EQ(a.status, JobStatus::Done) << a.error;
+    ASSERT_EQ(b.status, JobStatus::Done) << b.error;
+    EXPECT_FALSE(a.cache_hit);
+    EXPECT_TRUE(b.cache_hit); // served from the leader's compile
+    EXPECT_EQ(b.attempts, 0); // no compile of its own
+    EXPECT_EQ(signatureOf(*a.result), signatureOf(*b.result));
+    EXPECT_EQ(svc.cacheStats().insertions, 1u);
+    EXPECT_EQ(svc.stats().coalesced_served, 1u);
+}
+
+TEST(CompileServiceTest, WaiterIsRequeuedWhenLeaderIsCancelled)
+{
+    // Cancelling the leader must not leak its outcome onto a coalesced
+    // waiter: the waiter is re-enqueued and compiles on its own.
+    FaultPlan plan;
+    plan.stall_rate = 1.0;
+    plan.stall_ms = 400.0;
+
+    const Architecture arch = presets::referenceZoned();
+    RecordCollector collector;
+    CompileService::Config config;
+    config.num_workers = 2;
+    config.cache_capacity = 16;
+    config.faults = plan;
+    CompileService svc(
+        {CompileTarget{"ref", arch, ZacOptions::full()}}, config,
+        collector.sink());
+    const Circuit c = bench_circuits::paperBenchmark("ghz_n23");
+    const std::uint64_t leader = svc.submit({"dup", c, 0, {}, 0.0});
+    std::this_thread::sleep_for(std::chrono::milliseconds(100));
+    const std::uint64_t waiter = svc.submit({"dup", c, 0, {}, 0.0});
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+    EXPECT_TRUE(svc.cancel(leader)); // lands mid-stall
+    svc.drain();
+    svc.shutdown();
+
+    const JobRecord &a = collector.records.at(leader);
+    const JobRecord &b = collector.records.at(waiter);
+    EXPECT_EQ(a.status, JobStatus::Cancelled);
+    ASSERT_EQ(b.status, JobStatus::Done) << b.error;
+    EXPECT_FALSE(b.cache_hit); // compiled itself after the requeue
+    EXPECT_EQ(svc.stats().coalesced_requeued, 1u);
+    EXPECT_EQ(svc.stats().coalesced_served, 0u);
+}
+
+// ---------------------------------------------- admission control
+
+TEST(CompileServiceTest, AdmissionHighWaterRejectsAsOverloaded)
+{
+    FaultPlan plan;
+    plan.stall_rate = 1.0;
+    plan.stall_ms = 400.0; // keep the first job undelivered
+
+    const Architecture arch = presets::referenceZoned();
+    RecordCollector collector;
+    CompileService::Config config;
+    config.num_workers = 1;
+    config.cache_capacity = 0;
+    config.admission_high_water = 1;
+    config.faults = plan;
+    CompileService svc(
+        {CompileTarget{"ref", arch, ZacOptions::full()}}, config,
+        collector.sink());
+    const Circuit c = bench_circuits::paperBenchmark("ghz_n23");
+    const std::uint64_t first = svc.submit({"a", c, 0, {}, 0.0});
+    const std::uint64_t second = svc.submit({"b", c, 0, {}, 0.0});
+    svc.drain();
+    svc.shutdown();
+
+    EXPECT_EQ(collector.records.at(first).status, JobStatus::Done);
+    const JobRecord &rejected = collector.records.at(second);
+    EXPECT_EQ(rejected.status, JobStatus::Overloaded);
+    EXPECT_EQ(rejected.attempts, 0);
+    EXPECT_EQ(rejected.result, nullptr);
+    EXPECT_NE(rejected.error.find("overloaded"), std::string::npos)
+        << rejected.error;
+    EXPECT_EQ(svc.stats().overloaded, 1u);
+    EXPECT_EQ(svc.stats().submitted, svc.stats().delivered);
+}
+
+// --------------------------------------------------- graceful drain
+
+TEST(CompileServiceTest, DrainAndStopHonorsDeadlineByCancelling)
+{
+    FaultPlan plan;
+    plan.stall_rate = 1.0;
+    plan.stall_ms = 400.0;
+
+    const Architecture arch = presets::referenceZoned();
+    RecordCollector collector;
+    CompileService::Config config;
+    config.num_workers = 1;
+    config.cache_capacity = 0;
+    config.faults = plan;
+    CompileService svc(
+        {CompileTarget{"ref", arch, ZacOptions::full()}}, config,
+        collector.sink());
+    const Circuit c = bench_circuits::paperBenchmark("ghz_n23");
+    const std::uint64_t running = svc.submit({"a", c, 0, {}, 0.0});
+    const std::uint64_t queued = svc.submit({"b", c, 0, {}, 0.0});
+    std::this_thread::sleep_for(std::chrono::milliseconds(100));
+
+    // The 50 ms deadline expires inside the 400 ms stall: the drain
+    // must cancel cooperatively, still deliver every record, and
+    // report the forced stop.
+    EXPECT_FALSE(svc.drainAndStop(0.05));
+    EXPECT_EQ(collector.records.size(), 2u);
+    EXPECT_EQ(collector.records.at(running).status,
+              JobStatus::Cancelled);
+    EXPECT_EQ(collector.records.at(queued).status,
+              JobStatus::Cancelled);
+    EXPECT_EQ(svc.stats().submitted, svc.stats().delivered);
+    // Stopped is stopped: later submissions are refused loudly...
+    EXPECT_THROW(svc.submit({"x", c, 0, {}, 0.0}), FatalError);
+    // ...and stopping again is an idempotent success.
+    EXPECT_TRUE(svc.drainAndStop(0.05));
+}
+
+TEST(CompileServiceTest, DrainAndStopCleanFinishesEverything)
+{
+    const Architecture arch = presets::referenceZoned();
+    RecordCollector collector;
+    CompileService::Config config;
+    config.num_workers = 2;
+    CompileService svc(
+        {CompileTarget{"ref", arch, ZacOptions::full()}}, config,
+        collector.sink());
+    const Circuit c = bench_circuits::paperBenchmark("ghz_n23");
+    const std::uint64_t id = svc.submit({"a", c, 0, {}, 0.0});
+    EXPECT_TRUE(svc.drainAndStop());
+    EXPECT_EQ(collector.records.at(id).status, JobStatus::Done);
+}
+
+// ---------------------------------------------- cache persistence
+
+TEST(CompileServiceTest, SnapshotWarmStartServesBitIdenticalHits)
+{
+    const std::string path = "test_service_snapshot.jsonl";
+    std::remove(path.c_str());
+    const Architecture arch = presets::referenceZoned();
+    const Circuit ghz = bench_circuits::paperBenchmark("ghz_n23");
+    const Circuit qft = bench_circuits::paperBenchmark("qft_n18");
+
+    RecordCollector cold;
+    std::uint64_t cold_ghz, cold_qft;
+    {
+        CompileService::Config config;
+        config.num_workers = 2;
+        config.cache_capacity = 64;
+        config.snapshot_path = path;
+        CompileService svc(
+            {CompileTarget{"ref", arch, ZacOptions::full()}}, config,
+            cold.sink());
+        EXPECT_FALSE(svc.snapshotLoadStats().file_found);
+        cold_ghz = svc.submit({"ghz", ghz, 0, {}, 0.0});
+        cold_qft = svc.submit({"qft", qft, 0, {}, 0.0});
+        EXPECT_TRUE(svc.drainAndStop());
+        EXPECT_EQ(svc.stats().snapshot_records_written, 2u);
+    }
+
+    RecordCollector warm;
+    {
+        CompileService::Config config;
+        config.num_workers = 2;
+        config.cache_capacity = 64;
+        config.snapshot_path = path;
+        CompileService svc(
+            {CompileTarget{"ref", arch, ZacOptions::full()}}, config,
+            warm.sink());
+        const SnapshotLoadStats &load = svc.snapshotLoadStats();
+        EXPECT_TRUE(load.file_found);
+        EXPECT_TRUE(load.header_ok);
+        EXPECT_EQ(load.records_loaded, 2u);
+        EXPECT_EQ(load.skippedTotal(), 0u);
+        EXPECT_EQ(svc.stats().snapshot_records_loaded, 2u);
+        const std::uint64_t warm_ghz =
+            svc.submit({"ghz", ghz, 0, {}, 0.0});
+        const std::uint64_t warm_qft =
+            svc.submit({"qft", qft, 0, {}, 0.0});
+        EXPECT_TRUE(svc.drainAndStop());
+        // Every job is served from the reloaded snapshot, and the
+        // served bytes match the original compiles exactly.
+        EXPECT_TRUE(warm.records.at(warm_ghz).cache_hit);
+        EXPECT_TRUE(warm.records.at(warm_qft).cache_hit);
+        EXPECT_EQ(signatureOf(*warm.records.at(warm_ghz).result),
+                  signatureOf(*cold.records.at(cold_ghz).result));
+        EXPECT_EQ(signatureOf(*warm.records.at(warm_qft).result),
+                  signatureOf(*cold.records.at(cold_qft).result));
+        EXPECT_EQ(
+            warm.records.at(warm_ghz).result->fidelity.total,
+            cold.records.at(cold_ghz).result->fidelity.total);
+    }
+    std::remove(path.c_str());
+}
+
+// ------------------------------------------- snapshot corruption
+
+/** Binary file copy for the corruption matrix. */
+void
+copyFileBytes(const std::string &src, const std::string &dst)
+{
+    std::ifstream in(src, std::ios::binary);
+    std::ofstream out(dst, std::ios::binary | std::ios::trunc);
+    ASSERT_TRUE(in && out) << src << " -> " << dst;
+    out << in.rdbuf();
+}
+
+TEST(CacheStoreTest, LoaderSurvivesEveryCorruptionMode)
+{
+    const std::string path = "test_cache_corruption.jsonl";
+    const std::string damaged = path + ".damaged";
+    const CacheKey k1{0x123456789abcdef0ull, 0x0fedcba987654321ull,
+                      0x5555aaaa5555aaaaull};
+    const CacheKey k2{0x1111222233334444ull, 0x9999888877776666ull,
+                      0xdeadbeefcafef00dull};
+    const CacheKey k3{0xabcdef0123456789ull, 0x13579bdf2468ace0ull,
+                      0x0f1e2d3c4b5a6978ull};
+    ResultCache source(8);
+    source.insert(k1, dummyResult(1.0));
+    source.insert(k2, dummyResult(2.0));
+    source.insert(k3, dummyResult(3.0));
+    EXPECT_EQ(service::saveCacheSnapshot(path, source), 3u);
+
+    { // pristine snapshot: everything loads, payloads intact
+        ResultCache cache(8);
+        const SnapshotLoadStats st =
+            service::loadCacheSnapshot(path, cache);
+        EXPECT_TRUE(st.file_found);
+        EXPECT_TRUE(st.header_ok);
+        EXPECT_EQ(st.records_loaded, 3u);
+        EXPECT_EQ(st.skippedTotal(), 0u);
+        auto hit = cache.find(k2);
+        ASSERT_NE(hit, nullptr);
+        EXPECT_EQ(hit->compile_seconds, 2.0);
+    }
+
+    { // missing file: found=false, nothing else set
+        ResultCache cache(8);
+        const SnapshotLoadStats st = service::loadCacheSnapshot(
+            "test_cache_no_such_file.jsonl", cache);
+        EXPECT_FALSE(st.file_found);
+        EXPECT_FALSE(st.header_ok);
+        EXPECT_EQ(st.records_loaded, 0u);
+    }
+
+    { // truncated mid-record (crash mid-write): header survives,
+      // the cut tail is skipped, never thrown
+        copyFileBytes(path, damaged);
+        service::corruptSnapshotFile(damaged,
+                                     SnapshotCorruption::Truncate);
+        ResultCache cache(8);
+        const SnapshotLoadStats st =
+            service::loadCacheSnapshot(damaged, cache);
+        EXPECT_TRUE(st.file_found);
+        EXPECT_TRUE(st.header_ok);
+        EXPECT_LT(st.records_loaded, 3u);
+    }
+
+    // One flipped byte (bit rot): exactly one record is lost — to the
+    // checksum when the line still parses, to the parser when it does
+    // not — and the other two load. Several seeds, so the flip lands
+    // on keys, checksums, payload numbers, and structural bytes.
+    for (std::uint64_t seed = 0; seed < 10; ++seed) {
+        copyFileBytes(path, damaged);
+        service::corruptSnapshotFile(
+            damaged, SnapshotCorruption::FlipByte, seed);
+        ResultCache cache(8);
+        const SnapshotLoadStats st =
+            service::loadCacheSnapshot(damaged, cache);
+        EXPECT_TRUE(st.header_ok) << "seed " << seed;
+        EXPECT_EQ(st.records_loaded, 2u) << "seed " << seed;
+        EXPECT_EQ(st.skippedTotal(), 1u) << "seed " << seed;
+    }
+
+    { // unknown header version: no record can be trusted
+        copyFileBytes(path, damaged);
+        service::corruptSnapshotFile(
+            damaged, SnapshotCorruption::WrongVersion);
+        ResultCache cache(8);
+        const SnapshotLoadStats st =
+            service::loadCacheSnapshot(damaged, cache);
+        EXPECT_TRUE(st.file_found);
+        EXPECT_FALSE(st.header_ok);
+        EXPECT_EQ(st.records_loaded, 0u);
+        EXPECT_EQ(st.skipped_version, 3u);
+    }
+
+    { // zero-byte file (crash before the first write)
+        copyFileBytes(path, damaged);
+        service::corruptSnapshotFile(damaged,
+                                     SnapshotCorruption::Empty);
+        ResultCache cache(8);
+        const SnapshotLoadStats st =
+            service::loadCacheSnapshot(damaged, cache);
+        EXPECT_TRUE(st.file_found);
+        EXPECT_FALSE(st.header_ok);
+        EXPECT_EQ(st.records_loaded, 0u);
+        EXPECT_EQ(st.skippedTotal(), 0u);
+    }
+
+    std::remove(damaged.c_str());
+    std::remove(path.c_str());
+}
+
+// ------------------------------------------- manifest hardening
+
+/** The FatalError message @p doc dies with (empty = no throw). */
+std::string
+manifestFatalMessage(const std::string &doc)
+{
+    try {
+        (void)service::manifestFromJson(json::parse(doc));
+    } catch (const FatalError &e) {
+        return e.what();
+    }
+    return "";
+}
+
+TEST(ManifestTest, RejectsOutOfRangeNumericsNamingTheCulprit)
+{
+    const std::string zero_seeds = manifestFatalMessage(R"({
+      "targets": [{"name": "a", "arch": "reference",
+                   "sa_num_seeds": 0}],
+      "jobs": [{"circuit": "ghz_n23"}]
+    })");
+    EXPECT_NE(zero_seeds.find("sa_num_seeds"), std::string::npos)
+        << zero_seeds;
+    EXPECT_NE(zero_seeds.find("'a'"), std::string::npos) << zero_seeds;
+
+    const std::string huge_seeds = manifestFatalMessage(R"({
+      "targets": [{"name": "a", "arch": "reference",
+                   "sa_num_seeds": 300}],
+      "jobs": [{"circuit": "ghz_n23"}]
+    })");
+    EXPECT_NE(huge_seeds.find("sa_num_seeds"), std::string::npos)
+        << huge_seeds;
+
+    const std::string bad_timeout = manifestFatalMessage(R"({
+      "jobs": [{"circuit": "ghz_n23", "timeout_seconds": -1.0}]
+    })");
+    EXPECT_NE(bad_timeout.find("timeout_seconds"), std::string::npos)
+        << bad_timeout;
+
+    // The boundary values stay legal.
+    EXPECT_EQ(manifestFatalMessage(R"({
+      "targets": [{"name": "a", "arch": "reference",
+                   "sa_num_seeds": 1}],
+      "jobs": [{"circuit": "ghz_n23", "timeout_seconds": 0.0}]
+    })"),
+              "");
+}
+
+TEST(ManifestTest, UnknownKeysWarnButParse)
+{
+    // Misspelled knobs must not silently change behavior — they warn
+    // (naming the key) and the rest of the manifest still parses.
+    const service::Manifest m = service::manifestFromJson(json::parse(R"({
+      "comment": "top-level stray",
+      "targets": [{"name": "a", "arch": "reference",
+                   "bogus_knob": 7}],
+      "jobs": [{"circuit": "ghz_n23", "not_a_field": true}]
+    })"));
+    ASSERT_EQ(m.targets.size(), 1u);
+    EXPECT_EQ(m.targets[0].name, "a");
+    ASSERT_EQ(m.jobs.size(), 1u);
+    EXPECT_EQ(m.jobs[0].circuit.name(), "ghz_n23");
 }
 
 } // namespace
