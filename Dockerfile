@@ -1,0 +1,52 @@
+# zac_serve container image (ISSUE 8, see docs/zac_serve.md).
+#
+# Multi-stage: a full toolchain stage builds the daemon; the runtime
+# stage is a slim Debian carrying only libstdc++ and the binaries.
+#
+#   docker build -t zac-serve .
+#   docker run --rm -p 8080:8080 zac-serve
+#   curl -s localhost:8080/healthz
+#
+# `docker stop` sends SIGTERM to the daemon (exec-form ENTRYPOINT, so
+# it is PID 1), which triggers the graceful drain: in-flight work
+# finishes, the cache snapshot is flushed, responses are flushed, and
+# the container exits 0. Mount a volume over /data to keep the result
+# cache warm across restarts:
+#
+#   docker run --rm -p 8080:8080 -v zac-cache:/data zac-serve
+
+FROM debian:bookworm-slim AS build
+RUN apt-get update \
+    && apt-get install -y --no-install-recommends \
+        ca-certificates cmake g++ ninja-build \
+    && rm -rf /var/lib/apt/lists/*
+WORKDIR /src
+COPY . .
+RUN cmake -B build -S . -G Ninja \
+        -DCMAKE_BUILD_TYPE=Release \
+        -DZAC_BUILD_TESTS=OFF \
+        -DZAC_BUILD_BENCH=OFF \
+    && cmake --build build -j --target zac_serve zac_client zac_batch
+
+FROM debian:bookworm-slim
+RUN apt-get update \
+    && apt-get install -y --no-install-recommends libstdc++6 python3 \
+    && rm -rf /var/lib/apt/lists/* \
+    && useradd --system --create-home zac \
+    && mkdir -p /data \
+    && chown zac /data
+COPY --from=build /src/build/zac_serve /src/build/zac_client \
+    /src/build/zac_batch /usr/local/bin/
+# The manifest's "targets" section defines the compile targets (the
+# "jobs" section is ignored by the daemon). Override by mounting your
+# own file over /etc/zac/targets.json.
+COPY --from=build /src/examples/batch_manifest.json /etc/zac/targets.json
+
+USER zac
+EXPOSE 8080
+VOLUME /data
+HEALTHCHECK --interval=30s --timeout=5s --start-period=10s \
+    CMD ["zac_client", "--port", "8080", "--healthz"]
+ENTRYPOINT ["zac_serve", "/etc/zac/targets.json", \
+    "--host", "0.0.0.0", "--port", "8080", \
+    "--snapshot", "/data/cache-snapshot.jsonl"]

@@ -22,13 +22,26 @@
  *    terminal record), that every Done record is bit-identical to the
  *    reference, that a restarted service warm-starts from the snapshot
  *    (every snapshot record served as a cache hit, bit-identical), and
- *    that every snapshot-corruption mode is tolerated by the loader.
+ *    that every snapshot-corruption mode is tolerated by the loader;
+ *  - client churn (ISSUE 8): an in-process zac_serve daemon under
+ *    waves of concurrent short-lived HTTP clients (>= 200 per wave),
+ *    each opening a TCP connection, POSTing one submit line, and
+ *    reading its streamed JSONL record to EOF. Asserts that every
+ *    connection receives EXACTLY ONE terminal record and that every
+ *    record is byte-identical to the offline service output for the
+ *    same submission once the wall-clock timing fields and per-run
+ *    identifiers are stripped, then drains the daemon under SIGTERM
+ *    semantics (requestDrain) and asserts a clean verdict. Reports
+ *    end-to-end latency percentiles and `latency_p99_normalized` —
+ *    p99 over the mean sequential per-job compile time — as the
+ *    machine-independent CI gate.
  *
  * Results are written as machine-readable JSON (schema
- * zac.perf_service.v2, documented in bench/README.md). The CI gate
+ * zac.perf_service.v3, documented in bench/README.md). The CI gate
  * reads `scaling_overhead` — parallel seconds at the largest worker
  * count, normalized by the ideal-scaling expectation
- * sequential/min(workers, cores) — plus the chaos-soak invariant flags.
+ * sequential/min(workers, cores) — plus the chaos-soak and churn
+ * invariant flags.
  *
  * Usage: perf_service [output.json] [--fast] [--chaos]
  *   --fast   CI smoke mode: fewer repeat rounds per measurement.
@@ -37,6 +50,7 @@
  */
 
 #include <algorithm>
+#include <atomic>
 #include <bit>
 #include <chrono>
 #include <cstdint>
@@ -44,6 +58,7 @@
 #include <cstring>
 #include <fstream>
 #include <map>
+#include <mutex>
 #include <sstream>
 #include <thread>
 #include <vector>
@@ -51,8 +66,11 @@
 #include "bench_util.hpp"
 #include "common/json.hpp"
 #include "common/logging.hpp"
+#include "net/server.hpp"
+#include "net/socket.hpp"
 #include "service/cache_store.hpp"
 #include "service/fault_injection.hpp"
+#include "service/protocol.hpp"
 #include "service/service.hpp"
 #include "zair/serialize.hpp"
 
@@ -90,6 +108,34 @@ percentile(std::vector<double> sorted, double p)
     const std::size_t idx = static_cast<std::size_t>(
         p * static_cast<double>(sorted.size() - 1) + 0.5);
     return sorted[std::min(idx, sorted.size() - 1)];
+}
+
+/**
+ * Worker count for the fixed-parallelism rounds (cache, chaos soak,
+ * warm start, churn): every available core, never fewer than two so a
+ * single-core CI runner still exercises cross-worker paths.
+ */
+int
+defaultWorkers(unsigned hw)
+{
+    return static_cast<int>(std::max(2u, hw));
+}
+
+/**
+ * Canonical payload of one JSONL record: the parsed object with the
+ * wall-clock timing fields and the per-run identifiers removed,
+ * re-dumped. Two records are "byte-identical modulo timing" exactly
+ * when their canonical payloads compare equal.
+ */
+std::string
+canonicalRecord(const std::string &line)
+{
+    json::Object obj = json::parse(line).asObject();
+    for (const char *key :
+         {"queue_seconds", "service_seconds", "compile_seconds",
+          "phase_seconds", "job_id", "attempts", "cache_hit"})
+        obj.erase(key);
+    return json::Value(std::move(obj)).dump();
 }
 
 /** Copy @p src over @p dst (binary, truncating). */
@@ -237,7 +283,7 @@ main(int argc, char **argv)
     bool in_second_round = false;
     ResultCache::Stats cache_stats;
     CompileService::Config cache_config;
-    cache_config.num_workers = static_cast<int>(std::min(4u, hw));
+    cache_config.num_workers = defaultWorkers(hw);
     cache_config.cache_capacity = 1024;
     {
         CompileService svc(
@@ -301,7 +347,7 @@ main(int argc, char **argv)
     CompileService::Stats soak_stats;
     {
         CompileService::Config config;
-        config.num_workers = static_cast<int>(std::min(4u, hw));
+        config.num_workers = defaultWorkers(hw);
         config.cache_capacity = 1024;
         config.max_retries = 2;
         config.retry_backoff_ms = 0.1;
@@ -369,7 +415,7 @@ main(int argc, char **argv)
     SnapshotLoadStats warm_load;
     {
         CompileService::Config config;
-        config.num_workers = static_cast<int>(std::min(4u, hw));
+        config.num_workers = defaultWorkers(hw);
         config.cache_capacity = 1024;
         config.snapshot_path = snapshot_path;
         config.faults = FaultPlan{}; // no faults on the warm run
@@ -473,9 +519,180 @@ main(int argc, char **argv)
     if (chaos_mismatches || warm_mismatches)
         outputs_identical = false;
 
+    // ------------------------------------------------- client churn
+    // Offline reference payloads: the exact serialized record the
+    // offline service (zac_batch's engine) produces per circuit, in
+    // canonical form. The daemon must serve the same payload.
+    std::map<std::string, std::string> offline_canonical;
+    {
+        std::mutex sink_mu;
+        CompileService::Config config;
+        config.num_workers = defaultWorkers(hw);
+        config.cache_capacity = 0;
+        CompileService svc(
+            {CompileTarget{"ref-full", arch, opts}}, config,
+            [&](const JobRecord &rec) {
+                std::ostringstream ss;
+                writeJobRecordJsonl(ss, rec, "ref-full",
+                                    /*include_zair=*/true);
+                const std::lock_guard<std::mutex> lock(sink_mu);
+                offline_canonical[rec.name] =
+                    canonicalRecord(ss.str());
+            });
+        for (const Circuit &c : circuits)
+            svc.submit({c.name(), c, 0, {}, 0.0});
+        svc.drainAndStop();
+    }
+
+    const int wave_size = 200; // concurrent clients per wave
+    const int churn_waves = fast ? 2 : 3;
+    const int churn_clients = wave_size * churn_waves;
+
+    net::ServerConfig server_config;
+    server_config.backlog = 256;
+    server_config.max_connections =
+        static_cast<std::size_t>(wave_size) * 2;
+    server_config.service.num_workers = defaultWorkers(hw);
+    server_config.service.cache_capacity = 1024;
+    net::CompileServer server(
+        {CompileTarget{"ref-full", arch, opts}}, server_config);
+    const std::uint16_t churn_port = server.listen();
+    bool churn_drained_clean = false;
+    std::thread server_thread(
+        [&] { churn_drained_clean = server.run(); });
+
+    // Per-client slots (disjoint indices, no locking needed).
+    std::vector<double> client_latency(churn_clients, 0.0);
+    std::vector<int> client_records(churn_clients, 0);
+    std::vector<unsigned char> client_http_ok(churn_clients, 0);
+    std::vector<unsigned char> client_identical(churn_clients, 0);
+    std::atomic<std::uint64_t> churn_cache_hits{0};
+
+    auto client = [&](int idx) {
+        const Circuit &c = circuits[static_cast<std::size_t>(idx) %
+                                    circuits.size()];
+        json::Object line;
+        line["circuit"] = c.name();
+        line["lane"] = (idx % 2 == 0) ? "interactive" : "batch";
+        const std::string body =
+            json::Value(std::move(line)).dump() + "\n";
+        const std::string request =
+            "POST /compile HTTP/1.1\r\n"
+            "Host: 127.0.0.1\r\n"
+            "Content-Type: application/x-ndjson\r\n"
+            "Content-Length: " + std::to_string(body.size()) + "\r\n"
+            "Connection: close\r\n\r\n" + body;
+        try {
+            const double t0 = nowSeconds();
+            net::Fd fd =
+                net::tcpConnect("127.0.0.1", churn_port, 120.0);
+            if (!net::sendAll(fd.get(), request.data(),
+                              request.size()))
+                return;
+            std::string raw;
+            if (!net::recvUntilClose(fd.get(), raw))
+                return;
+            client_latency[idx] = nowSeconds() - t0;
+            const std::size_t head_end = raw.find("\r\n\r\n");
+            if (head_end == std::string::npos || raw.size() < 12 ||
+                raw.compare(0, 5, "HTTP/") != 0 ||
+                std::atoi(raw.c_str() + 9) != 200)
+                return;
+            client_http_ok[idx] = 1;
+            const std::string rest = raw.substr(head_end + 4);
+            bool identical = true;
+            std::size_t pos = 0;
+            while (pos < rest.size()) {
+                std::size_t nl = rest.find('\n', pos);
+                if (nl == std::string::npos)
+                    nl = rest.size();
+                const std::string record = rest.substr(pos, nl - pos);
+                pos = nl + 1;
+                if (record.empty())
+                    continue;
+                ++client_records[idx];
+                const json::Value v = json::parse(record);
+                if (v.contains("cache_hit") &&
+                    v.at("cache_hit").asBool())
+                    ++churn_cache_hits;
+                if (canonicalRecord(record) !=
+                    offline_canonical.at(c.name()))
+                    identical = false;
+            }
+            if (identical && client_records[idx] > 0)
+                client_identical[idx] = 1;
+        } catch (const std::exception &) {
+            // transport failure: client_http_ok stays 0
+        }
+    };
+
+    const double churn_t0 = nowSeconds();
+    for (int wave = 0; wave < churn_waves; ++wave) {
+        std::vector<std::thread> threads;
+        threads.reserve(static_cast<std::size_t>(wave_size));
+        for (int j = 0; j < wave_size; ++j)
+            threads.emplace_back(client, wave * wave_size + j);
+        for (std::thread &t : threads)
+            t.join();
+    }
+    const double churn_seconds = nowSeconds() - churn_t0;
+
+    // Drain exactly as SIGTERM would (the handler calls
+    // requestDrain); run() must come back with a clean verdict.
+    server.requestDrain();
+    server_thread.join();
+    const net::NetStats churn_net = server.netStats();
+
+    int churn_failures = 0;
+    bool exactly_once_per_conn = true;
+    bool churn_identical_all = true;
+    std::vector<double> churn_latencies;
+    for (int i = 0; i < churn_clients; ++i) {
+        if (!client_http_ok[i]) {
+            ++churn_failures;
+            exactly_once_per_conn = false;
+            continue;
+        }
+        if (client_records[i] != 1)
+            exactly_once_per_conn = false;
+        if (!client_identical[i])
+            churn_identical_all = false;
+        churn_latencies.push_back(client_latency[i]);
+    }
+    std::sort(churn_latencies.begin(), churn_latencies.end());
+    const double churn_p50 = percentile(churn_latencies, 0.50);
+    const double churn_p90 = percentile(churn_latencies, 0.90);
+    const double churn_p99 = percentile(churn_latencies, 0.99);
+    const double churn_pmax =
+        churn_latencies.empty() ? 0.0 : churn_latencies.back();
+    // Machine-independent latency gate: p99 end-to-end client time
+    // over the mean sequential per-job compile time.
+    const double churn_p99_normalized =
+        churn_p99 /
+        (sequential_seconds / static_cast<double>(total_jobs));
+    const bool churn_ok = churn_failures == 0 &&
+                          exactly_once_per_conn &&
+                          churn_identical_all && churn_drained_clean;
+    if (!churn_identical_all)
+        outputs_identical = false;
+    std::printf(
+        "\nchurn: %d clients (%d waves x %d), %.3f s, %llu cache "
+        "hits\n"
+        "       latency p50 %.3fms p90 %.3fms p99 %.3fms max %.3fms "
+        "(p99 normalized %.3f)\n"
+        "       failures %d; one record per connection: %s; outputs "
+        "%s; drain %s\n",
+        churn_clients, churn_waves, wave_size, churn_seconds,
+        static_cast<unsigned long long>(churn_cache_hits.load()),
+        churn_p50 * 1e3, churn_p90 * 1e3, churn_p99 * 1e3,
+        churn_pmax * 1e3, churn_p99_normalized, churn_failures,
+        exactly_once_per_conn ? "yes" : "NO",
+        churn_identical_all ? "identical to offline" : "MISMATCHED",
+        churn_drained_clean ? "clean" : "FORCED");
+
     // ------------------------------------------------- JSON dump
     json::Object doc;
-    doc["schema"] = "zac.perf_service.v2";
+    doc["schema"] = "zac.perf_service.v3";
     doc["arch"] = arch.name();
     doc["fast_mode"] = fast;
     doc["chaos_mode"] = chaos_mode;
@@ -536,6 +753,27 @@ main(int argc, char **argv)
         {"corruption_tolerated", corruption_tolerated},
         {"corruption", std::move(corruption_rows)},
     };
+    doc["churn"] = json::Object{
+        {"clients", churn_clients},
+        {"waves", churn_waves},
+        {"wave_size", wave_size},
+        {"seconds", churn_seconds},
+        {"failures", churn_failures},
+        {"connections_accepted",
+         static_cast<std::int64_t>(churn_net.connections_accepted)},
+        {"records_streamed",
+         static_cast<std::int64_t>(churn_net.records_streamed)},
+        {"cache_hits",
+         static_cast<std::int64_t>(churn_cache_hits.load())},
+        {"latency_p50_seconds", churn_p50},
+        {"latency_p90_seconds", churn_p90},
+        {"latency_p99_seconds", churn_p99},
+        {"latency_max_seconds", churn_pmax},
+        {"latency_p99_normalized", churn_p99_normalized},
+        {"exactly_once_per_connection", exactly_once_per_conn},
+        {"outputs_identical_offline", churn_identical_all},
+        {"drained_clean", churn_drained_clean},
+    };
     doc["outputs_identical"] = outputs_identical;
     try {
         json::writeFile(out_path, json::Value(std::move(doc)));
@@ -545,5 +783,8 @@ main(int argc, char **argv)
     }
     std::printf("wrote %s\n", out_path.c_str());
 
-    return (outputs_identical && second_all_hits && chaos_ok) ? 0 : 1;
+    return (outputs_identical && second_all_hits && chaos_ok &&
+            churn_ok)
+               ? 0
+               : 1;
 }

@@ -33,21 +33,31 @@ per-phase timings for the placement schema — is appended to it so
 perf drift is visible in the run summary without downloading
 artifacts.
 
-  zac.perf_service.v2 (and v1)
+  zac.perf_service.v3 (and v2, v1)
       Metric: ``scaling_overhead`` — wall seconds of the batch
       compile-service run at the largest worker count, normalized by
       the ideal-scaling expectation sequential/min(workers, cores)
       measured in the same run (1.0 = perfect scaling on that
       machine's cores, so the figure is machine-portable). Also gates
       on ``outputs_identical`` and ``cache.second_round_all_hits``;
-      v2 additionally gates on the chaos-soak invariants
+      v2+ additionally gates on the chaos-soak invariants
       ``chaos.terminal_records_exactly_once`` (every submitted job one
       terminal record), ``chaos.outputs_identical`` (fault-injected
       and snapshot-served results bit-identical to fresh compiles),
       ``chaos.warm_start_served_from_snapshot`` (a restart reloads the
       persisted cache and serves it as hits), and
       ``chaos.corruption_tolerated`` (every snapshot-corruption mode
-      loads without failing).
+      loads without failing). v3 adds the zac_serve client-churn
+      invariants ``churn.exactly_once_per_connection`` (every client
+      connection received exactly one terminal record),
+      ``churn.outputs_identical_offline`` (every served record
+      byte-identical to the offline service output once wall-clock
+      fields are stripped), and ``churn.drained_clean`` (SIGTERM-style
+      drain under load came back clean), plus a dedicated latency
+      gate: fresh ``churn.latency_p99_normalized`` (end-to-end p99
+      over the mean sequential per-job compile time; concurrency and
+      machine speed cancel out of the ratio) must stay within
+      CHURN_LATENCY_THRESHOLD of the committed figure.
 
 Exit codes: 0 ok, 1 regression/semantics failure, 2 bad input
 (missing file, malformed JSON, schema mismatch).
@@ -68,7 +78,16 @@ PLACEMENT_SCHEMAS = (
 # Floor on the v4 incremental-SA headline figure (ISSUE 5 acceptance:
 # >= 2x geomean vs. the frozen zac::legacy reference).
 SA_INCREMENTAL_SPEEDUP_FLOOR = 2.0
-SERVICE_SCHEMAS = ("zac.perf_service.v1", "zac.perf_service.v2")
+# Max allowed fresh/committed ratio on churn.latency_p99_normalized
+# (v3). Looser than the headline threshold: tail latency under 200
+# concurrent clients is noisier than aggregate throughput, and the
+# committed figure may come from a different core count.
+CHURN_LATENCY_THRESHOLD = 2.0
+SERVICE_SCHEMAS = (
+    "zac.perf_service.v1",
+    "zac.perf_service.v2",
+    "zac.perf_service.v3",
+)
 KNOWN_SCHEMAS = PLACEMENT_SCHEMAS + SERVICE_SCHEMAS
 
 
@@ -177,7 +196,8 @@ def service_flags(doc):
             "second_round_all_hits", True
         ),
     }
-    if doc.get("schema") == "zac.perf_service.v2":
+    schema = doc.get("schema")
+    if schema in ("zac.perf_service.v2", "zac.perf_service.v3"):
         chaos = doc.get("chaos", {})
         for key in (
             "terminal_records_exactly_once",
@@ -186,6 +206,14 @@ def service_flags(doc):
             "corruption_tolerated",
         ):
             flags[f"chaos.{key}"] = chaos.get(key, False)
+    if schema == "zac.perf_service.v3":
+        churn = doc.get("churn", {})
+        for key in (
+            "exactly_once_per_connection",
+            "outputs_identical_offline",
+            "drained_clean",
+        ):
+            flags[f"churn.{key}"] = churn.get(key, False)
     return flags
 
 
@@ -253,6 +281,12 @@ def summary_rows_service(committed, fresh):
                 "snapshot_records_loaded", "warm_cache_hits"):
         if key in cc or key in fc:
             rows.append((f"chaos: {key}", cc.get(key), fc.get(key)))
+    cu = committed.get("churn", {})
+    fu = fresh.get("churn", {})
+    for key in ("latency_p50_seconds", "latency_p99_seconds",
+                "latency_p99_normalized", "cache_hits", "failures"):
+        if key in cu or key in fu:
+            rows.append((f"churn: {key}", cu.get(key), fu.get(key)))
     return [r for r in rows if r[1] is not None or r[2] is not None]
 
 
@@ -380,6 +414,44 @@ def main(argv):
             print(
                 "FAIL: incremental SA speedup fell below the "
                 f"{SA_INCREMENTAL_SPEEDUP_FLOOR:.1f}x floor"
+            )
+            ok = False
+
+    # v3 additionally gates the churn tail latency against the
+    # committed figure (both are per-job-normalized, so the ratio is
+    # machine-portable modulo core count).
+    if committed["schema"] == "zac.perf_service.v3":
+        base_churn = require(
+            require(committed, args.committed, "churn"),
+            args.committed,
+            "latency_p99_normalized",
+        )
+        now_churn = require(
+            require(fresh, args.fresh, "churn"),
+            args.fresh,
+            "latency_p99_normalized",
+        )
+        if (
+            not isinstance(base_churn, (int, float))
+            or isinstance(base_churn, bool)
+            or base_churn <= 0.0
+        ):
+            fail_input(
+                f"{args.committed}: churn.latency_p99_normalized is "
+                f"not a positive number; regenerate the baseline with "
+                f"./build/perf_service"
+            )
+        churn_ratio = now_churn / base_churn
+        print(
+            f"churn.latency_p99_normalized: committed "
+            f"{base_churn:.2f}, fresh {now_churn:.2f}, ratio "
+            f"{churn_ratio:.3f} (threshold "
+            f"{CHURN_LATENCY_THRESHOLD:.2f})"
+        )
+        if churn_ratio > CHURN_LATENCY_THRESHOLD:
+            print(
+                "FAIL: churn p99 latency regressed beyond the "
+                "threshold"
             )
             ok = False
 

@@ -1,0 +1,261 @@
+#include "net/http.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <cstring>
+
+namespace zac::net
+{
+
+namespace
+{
+
+const std::string kEmpty;
+
+std::string
+toLower(std::string s)
+{
+    std::transform(s.begin(), s.end(), s.begin(), [](unsigned char c) {
+        return static_cast<char>(std::tolower(c));
+    });
+    return s;
+}
+
+std::string
+trim(const std::string &s)
+{
+    std::size_t b = 0, e = s.size();
+    while (b < e && (s[b] == ' ' || s[b] == '\t'))
+        ++b;
+    while (e > b && (s[e - 1] == ' ' || s[e - 1] == '\t'))
+        --e;
+    return s.substr(b, e - b);
+}
+
+} // namespace
+
+std::string
+httpResponseHead(int status, const std::string &reason,
+                 const std::map<std::string, std::string> &headers)
+{
+    std::string out = "HTTP/1.1 " + std::to_string(status) + " " +
+                      reason + "\r\n";
+    for (const auto &[name, value] : headers)
+        out += name + ": " + value + "\r\n";
+    out += "\r\n";
+    return out;
+}
+
+std::string
+httpSimpleResponse(int status, const std::string &reason,
+                   const std::string &content_type,
+                   const std::string &body)
+{
+    return httpResponseHead(
+               status, reason,
+               {{"Content-Type", content_type},
+                {"Content-Length", std::to_string(body.size())},
+                {"Connection", "close"}}) +
+           body;
+}
+
+HttpRequestParser::HttpRequestParser() = default;
+
+HttpRequestParser::HttpRequestParser(Limits limits) : limits_(limits)
+{
+}
+
+const std::string &
+HttpRequestParser::header(const std::string &lower_name) const
+{
+    auto it = headers_.find(lower_name);
+    return it == headers_.end() ? kEmpty : it->second;
+}
+
+bool
+HttpRequestParser::hasHeader(const std::string &lower_name) const
+{
+    return headers_.count(lower_name) > 0;
+}
+
+void
+HttpRequestParser::setError(int status, std::string reason)
+{
+    state_ = State::Error;
+    error_status_ = status;
+    error_reason_ = std::move(reason);
+    acc_.clear();
+    body_acc_.clear();
+}
+
+void
+HttpRequestParser::feed(const char *data, std::size_t n)
+{
+    std::size_t i = 0;
+    while (i < n) {
+        switch (state_) {
+          case State::Error:
+          case State::Complete:
+            return; // surplus bytes are ignored (connection closes)
+
+          case State::RequestLine:
+          case State::Headers: {
+            // Accumulate until LF; enforce limits on the partial
+            // accumulation too, so an attacker cannot buffer
+            // unbounded bytes by never sending a newline.
+            const char *nl = static_cast<const char *>(
+                std::memchr(data + i, '\n', n - i));
+            const std::size_t take =
+                (nl ? static_cast<std::size_t>(nl - (data + i)) + 1
+                    : n - i);
+            acc_.append(data + i, take);
+            i += take;
+            if (state_ == State::RequestLine &&
+                acc_.size() > limits_.max_request_line) {
+                setError(414, "request line too long");
+                return;
+            }
+            if (state_ == State::Headers) {
+                header_bytes_ += take;
+                if (header_bytes_ > limits_.max_header_bytes) {
+                    setError(431, "header section too large");
+                    return;
+                }
+            }
+            if (!nl)
+                break;
+            std::string line = std::move(acc_);
+            acc_.clear();
+            line.pop_back(); // '\n'
+            if (!line.empty() && line.back() == '\r')
+                line.pop_back();
+            if (state_ == State::RequestLine)
+                parseRequestLine(line);
+            else
+                parseHeaderLine(line);
+            break;
+          }
+
+          case State::Body: {
+            const std::size_t want = content_length_ - body_received_;
+            const std::size_t take = std::min(want, n - i);
+            body_acc_.append(data + i, take);
+            body_received_ += take;
+            i += take;
+            if (body_received_ == content_length_)
+                state_ = State::Complete;
+            break;
+          }
+        }
+    }
+}
+
+void
+HttpRequestParser::parseRequestLine(const std::string &line)
+{
+    if (line.empty())
+        return; // tolerate leading blank lines (RFC 9112 §2.2)
+    const std::size_t sp1 = line.find(' ');
+    const std::size_t sp2 =
+        sp1 == std::string::npos ? std::string::npos
+                                 : line.find(' ', sp1 + 1);
+    if (sp1 == std::string::npos || sp2 == std::string::npos ||
+        line.find(' ', sp2 + 1) != std::string::npos) {
+        setError(400, "malformed request line");
+        return;
+    }
+    method_ = line.substr(0, sp1);
+    target_ = line.substr(sp1 + 1, sp2 - sp1 - 1);
+    const std::string version = line.substr(sp2 + 1);
+    if (method_.empty() ||
+        !std::all_of(method_.begin(), method_.end(), [](char c) {
+            return c >= 'A' && c <= 'Z';
+        })) {
+        setError(400, "malformed method");
+        return;
+    }
+    if (target_.empty() || target_[0] != '/') {
+        setError(400, "malformed request target");
+        return;
+    }
+    if (version != "HTTP/1.1" && version != "HTTP/1.0") {
+        setError(505, "unsupported HTTP version");
+        return;
+    }
+    state_ = State::Headers;
+}
+
+void
+HttpRequestParser::parseHeaderLine(const std::string &line)
+{
+    if (line.empty()) {
+        headersComplete();
+        return;
+    }
+    const std::size_t colon = line.find(':');
+    if (colon == std::string::npos || colon == 0) {
+        setError(400, "malformed header line");
+        return;
+    }
+    headers_[toLower(trim(line.substr(0, colon)))] =
+        trim(line.substr(colon + 1));
+}
+
+void
+HttpRequestParser::headersComplete()
+{
+    if (hasHeader("transfer-encoding")) {
+        setError(501, "transfer-encoding not supported");
+        return;
+    }
+    if (hasHeader("content-length")) {
+        const std::string &v = header("content-length");
+        if (v.empty() ||
+            !std::all_of(v.begin(), v.end(), [](unsigned char c) {
+                return std::isdigit(c);
+            }) ||
+            v.size() > 15) {
+            setError(400, "malformed content-length");
+            return;
+        }
+        content_length_ = std::stoull(v);
+        if (content_length_ > limits_.max_body_bytes) {
+            setError(413, "request body too large");
+            return;
+        }
+    } else if (method_ == "POST" || method_ == "PUT") {
+        setError(411, "content-length required");
+        return;
+    }
+    state_ = content_length_ > 0 ? State::Body : State::Complete;
+}
+
+bool
+HttpRequestParser::nextBodyLine(std::string &line)
+{
+    const std::size_t nl = body_acc_.find('\n');
+    if (nl != std::string::npos) {
+        line.assign(body_acc_, 0, nl);
+        body_acc_.erase(0, nl + 1);
+        if (!line.empty() && line.back() == '\r')
+            line.pop_back();
+        return true;
+    }
+    if (body_acc_.size() > limits_.max_body_line) {
+        setError(413, "body line too long");
+        return false;
+    }
+    // Final unterminated line: only once the body is complete.
+    if (state_ == State::Complete && !body_acc_.empty() &&
+        !final_line_emitted_) {
+        line = std::move(body_acc_);
+        body_acc_.clear();
+        if (!line.empty() && line.back() == '\r')
+            line.pop_back();
+        final_line_emitted_ = true;
+        return true;
+    }
+    return false;
+}
+
+} // namespace zac::net

@@ -1,0 +1,128 @@
+/**
+ * @file
+ * Incremental HTTP/1.1 request framing for the compile daemon.
+ *
+ * The daemon speaks a deliberately small HTTP subset — enough for
+ * curl, load balancer health checks, and the zac_client CLI:
+ *  - request line + headers + Content-Length body (no chunked
+ *    transfer, no multipart, no keep-alive pipelining: every
+ *    connection carries one request and is closed after the
+ *    response, which is exactly the short-lived-client model the
+ *    churn bench measures);
+ *  - the POST body is JSONL: the parser surfaces complete body
+ *    *lines* as they arrive, so the server admits jobs while the
+ *    request is still uploading (a large batch starts compiling
+ *    before its last line hits the wire).
+ *
+ * The parser is a push state machine over partial reads: feed() any
+ * fragmentation of the byte stream — byte-at-a-time included — and
+ * the result is identical (unit-tested). Malformed or oversized input
+ * moves the parser into Error with an HTTP status + reason the
+ * connection layer turns into a clean error response; nothing throws
+ * on wire input.
+ */
+
+#ifndef ZAC_NET_HTTP_HPP
+#define ZAC_NET_HTTP_HPP
+
+#include <cstddef>
+#include <map>
+#include <string>
+
+namespace zac::net
+{
+
+/** Build a response head: status line + headers + blank line. */
+std::string httpResponseHead(
+    int status, const std::string &reason,
+    const std::map<std::string, std::string> &headers);
+
+/** Build a complete small response with a Content-Length body. */
+std::string httpSimpleResponse(int status, const std::string &reason,
+                               const std::string &content_type,
+                               const std::string &body);
+
+/** Incremental HTTP/1.x request parser (see file comment). */
+class HttpRequestParser
+{
+  public:
+    struct Limits
+    {
+        std::size_t max_request_line = 8 * 1024;
+        std::size_t max_header_bytes = 16 * 1024;
+        std::size_t max_body_bytes = 64 * 1024 * 1024;
+        /** Longest single JSONL body line (one submit record). */
+        std::size_t max_body_line = 4 * 1024 * 1024;
+    };
+
+    enum class State
+    {
+        RequestLine, ///< accumulating the request line
+        Headers,     ///< accumulating header lines
+        Body,        ///< consuming Content-Length body bytes
+        Complete,    ///< full request received
+        Error,       ///< invalid input; see errorStatus()/errorReason()
+    };
+
+    HttpRequestParser(); ///< default Limits
+    explicit HttpRequestParser(Limits limits);
+
+    /** Consume @p n bytes of wire input (any fragmentation). */
+    void feed(const char *data, std::size_t n);
+
+    State state() const { return state_; }
+    bool headersDone() const
+    {
+        return state_ == State::Body || state_ == State::Complete;
+    }
+
+    /** Valid once headersDone() (or in Error after the request line). */
+    const std::string &method() const { return method_; }
+    const std::string &target() const { return target_; }
+
+    /** Case-insensitive header lookup. @return "" when absent. */
+    const std::string &header(const std::string &lower_name) const;
+    bool hasHeader(const std::string &lower_name) const;
+
+    std::size_t contentLength() const { return content_length_; }
+    std::size_t bodyBytesReceived() const { return body_received_; }
+
+    /**
+     * Pop the next complete body line (LF-delimited, trailing CR
+     * stripped). Once the body is Complete, a final unterminated line
+     * is surfaced too. @return false when no full line is pending.
+     */
+    bool nextBodyLine(std::string &line);
+
+    /** HTTP status to answer with when state() == Error. */
+    int errorStatus() const { return error_status_; }
+    const std::string &errorReason() const { return error_reason_; }
+
+  private:
+    void feedLine(std::size_t upto);
+    void parseRequestLine(const std::string &line);
+    void parseHeaderLine(const std::string &line);
+    void headersComplete();
+    void setError(int status, std::string reason);
+
+    Limits limits_;
+    State state_ = State::RequestLine;
+
+    std::string acc_;     ///< request-line/header accumulation
+    std::size_t header_bytes_ = 0;
+
+    std::string method_, target_;
+    std::map<std::string, std::string> headers_; ///< lowercased names
+    std::size_t content_length_ = 0;
+
+    std::string body_acc_; ///< unconsumed body bytes (line-split lazily)
+    std::size_t body_received_ = 0;
+    bool final_line_emitted_ = false;
+
+    int error_status_ = 0;
+    std::string error_reason_;
+};
+
+} // namespace zac::net
+
+#endif // ZAC_NET_HTTP_HPP

@@ -1,0 +1,223 @@
+#include "net/socket.hpp"
+
+#include <cerrno>
+#include <cmath>
+#include <cstring>
+
+#include <arpa/inet.h>
+#include <fcntl.h>
+#include <netdb.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include "common/logging.hpp"
+
+namespace zac::net
+{
+
+namespace
+{
+
+std::string
+errnoString()
+{
+    return std::strerror(errno);
+}
+
+timeval
+toTimeval(double seconds)
+{
+    if (seconds < 0.0)
+        seconds = 0.0;
+    timeval tv;
+    tv.tv_sec = static_cast<time_t>(seconds);
+    tv.tv_usec = static_cast<suseconds_t>(
+        (seconds - std::floor(seconds)) * 1e6);
+    return tv;
+}
+
+/** getaddrinfo wrapper; @return the first address that satisfies
+ *  @p use (which must consume or close the socket it is handed). */
+template <typename Fn>
+Fd
+resolveAndOpen(const std::string &host, std::uint16_t port,
+               bool passive, Fn &&use)
+{
+    addrinfo hints{};
+    hints.ai_family = AF_UNSPEC;
+    hints.ai_socktype = SOCK_STREAM;
+    hints.ai_flags = passive ? AI_PASSIVE : 0;
+    const std::string port_str = std::to_string(port);
+
+    addrinfo *res = nullptr;
+    const int rc = ::getaddrinfo(host.empty() ? nullptr : host.c_str(),
+                                 port_str.c_str(), &hints, &res);
+    if (rc != 0)
+        fatal("net: cannot resolve " + host + ":" + port_str + ": " +
+              gai_strerror(rc));
+
+    std::string last_error = "no addresses";
+    Fd out;
+    for (addrinfo *ai = res; ai; ai = ai->ai_next) {
+        Fd fd(::socket(ai->ai_family, ai->ai_socktype,
+                       ai->ai_protocol));
+        if (!fd.valid()) {
+            last_error = errnoString();
+            continue;
+        }
+        if (use(fd, ai, last_error)) {
+            out = std::move(fd);
+            break;
+        }
+    }
+    ::freeaddrinfo(res);
+    if (!out.valid())
+        fatal("net: cannot open socket to " + host + ":" + port_str +
+              ": " + last_error);
+    return out;
+}
+
+} // namespace
+
+void
+Fd::reset(int fd)
+{
+    if (fd_ >= 0)
+        ::close(fd_);
+    fd_ = fd;
+}
+
+bool
+setNonBlocking(int fd)
+{
+    const int flags = ::fcntl(fd, F_GETFL, 0);
+    return flags >= 0 &&
+           ::fcntl(fd, F_SETFL, flags | O_NONBLOCK) == 0;
+}
+
+Fd
+tcpListen(const std::string &host, std::uint16_t port, int backlog)
+{
+    return resolveAndOpen(
+        host, port, /*passive=*/true,
+        [&](Fd &fd, addrinfo *ai, std::string &err) {
+            const int one = 1;
+            ::setsockopt(fd.get(), SOL_SOCKET, SO_REUSEADDR, &one,
+                         sizeof(one));
+            if (::bind(fd.get(), ai->ai_addr, ai->ai_addrlen) != 0 ||
+                ::listen(fd.get(), backlog) != 0 ||
+                !setNonBlocking(fd.get())) {
+                err = errnoString();
+                return false;
+            }
+            return true;
+        });
+}
+
+std::uint16_t
+localPort(int fd)
+{
+    sockaddr_storage addr{};
+    socklen_t len = sizeof(addr);
+    if (::getsockname(fd, reinterpret_cast<sockaddr *>(&addr), &len) !=
+        0)
+        fatal("net: getsockname failed: " + errnoString());
+    if (addr.ss_family == AF_INET)
+        return ntohs(reinterpret_cast<sockaddr_in *>(&addr)->sin_port);
+    if (addr.ss_family == AF_INET6)
+        return ntohs(
+            reinterpret_cast<sockaddr_in6 *>(&addr)->sin6_port);
+    fatal("net: getsockname: unexpected address family");
+}
+
+Fd
+tcpConnect(const std::string &host, std::uint16_t port,
+           double timeout_seconds)
+{
+    return resolveAndOpen(
+        host, port, /*passive=*/false,
+        [&](Fd &fd, addrinfo *ai, std::string &err) {
+            const timeval tv = toTimeval(timeout_seconds);
+            ::setsockopt(fd.get(), SOL_SOCKET, SO_RCVTIMEO, &tv,
+                         sizeof(tv));
+            ::setsockopt(fd.get(), SOL_SOCKET, SO_SNDTIMEO, &tv,
+                         sizeof(tv));
+            if (::connect(fd.get(), ai->ai_addr, ai->ai_addrlen) !=
+                0) {
+                err = errnoString();
+                return false;
+            }
+            return true;
+        });
+}
+
+bool
+sendAll(int fd, const void *data, std::size_t n)
+{
+    const char *p = static_cast<const char *>(data);
+    while (n > 0) {
+        const ssize_t w = ::send(fd, p, n, MSG_NOSIGNAL);
+        if (w < 0) {
+            if (errno == EINTR)
+                continue;
+            return false;
+        }
+        p += w;
+        n -= static_cast<std::size_t>(w);
+    }
+    return true;
+}
+
+bool
+recvUntilClose(int fd, std::string &out)
+{
+    char buf[65536];
+    for (;;) {
+        const ssize_t r = ::recv(fd, buf, sizeof(buf), 0);
+        if (r == 0)
+            return true;
+        if (r < 0) {
+            if (errno == EINTR)
+                continue;
+            return false;
+        }
+        out.append(buf, static_cast<std::size_t>(r));
+    }
+}
+
+WakePipe::WakePipe()
+{
+    int fds[2];
+    if (::pipe(fds) != 0)
+        fatal("net: cannot create wake pipe: " + errnoString());
+    read_.reset(fds[0]);
+    write_.reset(fds[1]);
+    // Both ends non-blocking: notify() must never block a signal
+    // handler (a full pipe already means a wake-up is pending), and
+    // drain() must never block the event loop.
+    if (!setNonBlocking(read_.get()) ||
+        !setNonBlocking(write_.get()))
+        fatal("net: cannot configure wake pipe: " + errnoString());
+}
+
+void
+WakePipe::notify() noexcept
+{
+    const char byte = 1;
+    // EAGAIN means the pipe already holds a pending wake-up; any other
+    // failure is ignorable for the same reason (level-triggered).
+    [[maybe_unused]] ssize_t rc =
+        ::write(write_.get(), &byte, 1);
+}
+
+void
+WakePipe::drain() noexcept
+{
+    char buf[256];
+    while (::read(read_.get(), buf, sizeof(buf)) > 0) {
+    }
+}
+
+} // namespace zac::net

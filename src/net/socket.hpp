@@ -1,0 +1,115 @@
+/**
+ * @file
+ * Thin POSIX TCP helpers for the network compile daemon and its
+ * clients: RAII file descriptors, a non-blocking listener, a blocking
+ * connector with a timeout, and a self-pipe for waking a poll() loop
+ * from other threads (and from signal handlers — write() is on the
+ * async-signal-safe list, which is exactly why the drain path is a
+ * pipe and not a condition variable).
+ *
+ * Deliberately minimal: IPv4/IPv6 via getaddrinfo, no TLS, no
+ * platform abstraction beyond POSIX — the daemon targets Linux
+ * containers (see Dockerfile) and the CI runners.
+ */
+
+#ifndef ZAC_NET_SOCKET_HPP
+#define ZAC_NET_SOCKET_HPP
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <utility>
+
+namespace zac::net
+{
+
+/** Move-only owning file descriptor (closes on destruction). */
+class Fd
+{
+  public:
+    Fd() = default;
+    explicit Fd(int fd) : fd_(fd) {}
+    ~Fd() { reset(); }
+
+    Fd(const Fd &) = delete;
+    Fd &operator=(const Fd &) = delete;
+    Fd(Fd &&other) noexcept : fd_(other.release()) {}
+    Fd &
+    operator=(Fd &&other) noexcept
+    {
+        if (this != &other) {
+            reset();
+            fd_ = other.release();
+        }
+        return *this;
+    }
+
+    int get() const { return fd_; }
+    bool valid() const { return fd_ >= 0; }
+    int
+    release()
+    {
+        return std::exchange(fd_, -1);
+    }
+    void reset(int fd = -1);
+
+  private:
+    int fd_ = -1;
+};
+
+/** Set O_NONBLOCK on @p fd. @return false on failure. */
+bool setNonBlocking(int fd);
+
+/**
+ * Create a listening TCP socket bound to @p host:@p port
+ * (SO_REUSEADDR, non-blocking; @p port 0 picks an ephemeral port).
+ * @throws zac::FatalError with the resolver/syscall detail.
+ */
+Fd tcpListen(const std::string &host, std::uint16_t port,
+             int backlog = 128);
+
+/** The locally bound port of @p fd (after tcpListen with port 0). */
+std::uint16_t localPort(int fd);
+
+/**
+ * Blocking connect to @p host:@p port with an overall @p
+ * timeout_seconds (also installed as the socket's send/receive
+ * timeout). @throws zac::FatalError on resolve/connect failure.
+ */
+Fd tcpConnect(const std::string &host, std::uint16_t port,
+              double timeout_seconds = 10.0);
+
+/**
+ * Write all of @p data to the (blocking) socket @p fd, retrying short
+ * writes; SIGPIPE is suppressed. @return false on error/timeout.
+ */
+bool sendAll(int fd, const void *data, std::size_t n);
+
+/**
+ * Read from blocking socket @p fd until EOF (or error/timeout),
+ * appending to @p out. @return true iff EOF was reached cleanly.
+ */
+bool recvUntilClose(int fd, std::string &out);
+
+/**
+ * A non-blocking self-pipe: poll() the read end, notify() from any
+ * thread or signal handler, drain() before re-arming.
+ */
+class WakePipe
+{
+  public:
+    WakePipe();
+
+    int readFd() const { return read_.get(); }
+    /** Write one wake byte; async-signal-safe, never blocks. */
+    void notify() noexcept;
+    /** Consume pending wake bytes (level-triggered re-arm). */
+    void drain() noexcept;
+
+  private:
+    Fd read_, write_;
+};
+
+} // namespace zac::net
+
+#endif // ZAC_NET_SOCKET_HPP

@@ -258,6 +258,22 @@ CompileService::stats() const
     return stats_;
 }
 
+CompileService::ServiceStats
+CompileService::serviceStats() const
+{
+    ServiceStats s;
+    s.cache = cache_.stats();
+    s.queue_depth = queue_.size();
+    s.workers = num_workers_;
+    s.uptime_seconds =
+        secondsSince(start_time_, std::chrono::steady_clock::now());
+    std::lock_guard<std::mutex> lock(state_mutex_);
+    s.counters = stats_;
+    s.pending = stats_.submitted - stats_.delivered;
+    s.draining = draining_;
+    return s;
+}
+
 void
 CompileService::flushSnapshot()
 {

@@ -193,6 +193,24 @@ class CompileService
         std::uint64_t snapshot_records_written = 0; ///< last flush
     };
 
+    /**
+     * One coherent health snapshot (ISSUE 8): the monotonic
+     * fault-tolerance counters plus instantaneous queue/cache/uptime
+     * figures, taken together so frontends (the zac_serve /healthz
+     * endpoint, CLIs) report one consistent view instead of stitching
+     * racing accessor calls.
+     */
+    struct ServiceStats
+    {
+        Stats counters;           ///< monotonic counters (see Stats)
+        ResultCache::Stats cache; ///< hits/misses/entries
+        std::size_t queue_depth = 0; ///< jobs waiting in the MPMC queue
+        std::uint64_t pending = 0;   ///< submitted - delivered
+        int workers = 0;
+        double uptime_seconds = 0.0; ///< since construction
+        bool draining = false;       ///< drainAndStop() in progress
+    };
+
     using ResultSink = std::function<void(const JobRecord &)>;
 
     /** One job submission. */
@@ -263,6 +281,8 @@ class CompileService
     ResultCache::Stats cacheStats() const;
     /** Fault-tolerance counters (retry/dedup/admission/persistence). */
     Stats stats() const;
+    /** One coherent liveness snapshot for health endpoints. */
+    ServiceStats serviceStats() const;
     /** Tolerant-loader counters from the construction-time snapshot
      *  load; zeros when no snapshot was configured or found. */
     const SnapshotLoadStats &snapshotLoadStats() const
@@ -336,6 +356,9 @@ class CompileService
     std::mutex inflight_mutex_;
     std::unordered_map<CacheKey, InflightEntry, CacheKeyHash>
         inflight_;
+
+    const std::chrono::steady_clock::time_point start_time_ =
+        std::chrono::steady_clock::now();
 
     mutable std::mutex state_mutex_;
     std::condition_variable all_done_;
