@@ -1,7 +1,7 @@
 /**
  * @file
  * Throughput and fault-tolerance harness for the batch compile service
- * (ISSUE 3, extended by ISSUE 6).
+ * (ISSUE 3, extended by ISSUEs 6 and 9).
  *
  * Measurements, on the reference zoned architecture and the 17 paper
  * benchmark circuits:
@@ -35,13 +35,23 @@
  *    end-to-end latency percentiles and `latency_p99_normalized` —
  *    p99 over the mean sequential per-job compile time — as the
  *    machine-independent CI gate.
+ *  - streamed vs DOM (ISSUE 9): every circuit compiled through the
+ *    zero-DOM streaming path (compileStreamed with verify_with_dom on,
+ *    reusing one CompileScratch across jobs) must be byte-identical to
+ *    the sequential DOM reference;
+ *  - cold vs warm (ISSUE 9): the full job list run through the service
+ *    twice at the default worker count with the cache disabled — once
+ *    with streaming and warm per-architecture contexts off (the legacy
+ *    cost structure) and once with both on — reporting jobs/sec for
+ *    each, the warm/cold speedup, and a determinism flag asserting
+ *    both runs are bit-identical to the reference.
  *
  * Results are written as machine-readable JSON (schema
- * zac.perf_service.v3, documented in bench/README.md). The CI gate
+ * zac.perf_service.v4, documented in bench/README.md). The CI gate
  * reads `scaling_overhead` — parallel seconds at the largest worker
  * count, normalized by the ideal-scaling expectation
- * sequential/min(workers, cores) — plus the chaos-soak and churn
- * invariant flags.
+ * sequential/min(workers, cores) — plus the chaos-soak, churn,
+ * streamed-identity, and warm-determinism invariant flags.
  *
  * Usage: perf_service [output.json] [--fast] [--chaos]
  *   --fast   CI smoke mode: fewer repeat rounds per measurement.
@@ -97,6 +107,17 @@ resultSignature(const ZacResult &r)
     std::ostringstream ss;
     streamZairProgram(ss, r.program, /*indent=*/0);
     ss << '|' << std::bit_cast<std::uint64_t>(r.fidelity.total);
+    return ss.str();
+}
+
+/** Streamed-result overload: same shape, so streamed service output
+ *  is compared against the sequential DOM reference byte for byte. */
+std::string
+resultSignature(const ZacStreamedResult &r)
+{
+    std::ostringstream ss;
+    ss << r.program_json << '|'
+       << std::bit_cast<std::uint64_t>(r.fidelity.total);
     return ss.str();
 }
 
@@ -198,6 +219,27 @@ main(int argc, char **argv)
     std::printf("sequential: %d jobs in %.3f s = %.2f jobs/s\n\n",
                 total_jobs, sequential_seconds, sequential_jps);
 
+    // -------------------------------------- streamed-vs-DOM identity
+    // The zero-DOM path must produce byte-identical serialized output
+    // (and the identical fidelity bit pattern) for every circuit.
+    // verify_with_dom additionally makes the compiler itself tee a DOM
+    // and panic on any byte divergence mid-run.
+    bool streamed_vs_dom_identical = true;
+    {
+        CompileScratch scratch; // reused across circuits, like a worker
+        for (const Circuit &c : circuits) {
+            const ZacStreamedResult s = compiler.compileStreamed(
+                c, CompileControl{}, &scratch,
+                /*verify_with_dom=*/true);
+            if (resultSignature(s) != reference[c.name()])
+                streamed_vs_dom_identical = false;
+        }
+    }
+    std::printf("streamed vs DOM: %d circuits, outputs %s\n\n",
+                jobs_per_round,
+                streamed_vs_dom_identical ? "bit-identical"
+                                          : "MISMATCHED");
+
     // --------------------------------------- jobs/sec vs worker count
     const unsigned hw =
         std::max(1u, std::thread::hardware_concurrency());
@@ -276,6 +318,55 @@ main(int argc, char **argv)
     std::printf("\nscaling overhead at %d workers (1.0 = ideal on %u "
                 "cores): %.3f\n\n",
                 max_workers, hw, scaling_overhead);
+
+    // ------------------------------------------------- cold vs warm
+    // Cold: the legacy cost structure — DOM compile then serialize,
+    // per-service context derivation, no warm pool. Warm: the
+    // zero-DOM streamed path with pooled contexts and per-worker
+    // scratch reuse. Same job list, same worker count; both modes
+    // must stay bit-identical to the sequential reference.
+    bool warm_vs_cold_deterministic = true;
+    double cold_seconds = 0.0, warm_seconds = 0.0;
+    const int wc_workers = defaultWorkers(hw);
+    for (const bool warm : {false, true}) {
+        std::uint64_t wc_mismatches = 0;
+        CompileService::Config config;
+        config.num_workers = wc_workers;
+        config.queue_capacity = 64;
+        config.cache_capacity = 0; // every job is a real compile
+        config.streamed = warm;
+        config.warm_contexts = warm;
+        CompileService svc(
+            {CompileTarget{"ref-full", arch, opts}}, config,
+            [&](const JobRecord &rec) {
+                if (rec.status != JobStatus::Done ||
+                    resultSignature(*rec.result) !=
+                        reference[rec.name])
+                    ++wc_mismatches;
+            });
+        const double t0 = nowSeconds();
+        for (int round = 0; round < rounds; ++round)
+            for (const Circuit &c : circuits)
+                svc.submit({c.name(), c, 0, {}, 0.0});
+        svc.drain();
+        const double seconds = nowSeconds() - t0;
+        svc.shutdown();
+        (warm ? warm_seconds : cold_seconds) = seconds;
+        if (wc_mismatches > 0) {
+            warm_vs_cold_deterministic = false;
+            outputs_identical = false;
+        }
+    }
+    const double cold_jps =
+        static_cast<double>(total_jobs) / cold_seconds;
+    const double warm_jps =
+        static_cast<double>(total_jobs) / warm_seconds;
+    const double warm_speedup = cold_seconds / warm_seconds;
+    std::printf("cold vs warm at %d workers: cold %.2f jobs/s, warm "
+                "%.2f jobs/s (%.2fx), outputs %s\n\n",
+                wc_workers, cold_jps, warm_jps, warm_speedup,
+                warm_vs_cold_deterministic ? "bit-identical"
+                                           : "MISMATCHED");
 
     // -------------------------------------------------- cache round
     std::uint64_t cache_mismatches = 0;
@@ -692,7 +783,7 @@ main(int argc, char **argv)
 
     // ------------------------------------------------- JSON dump
     json::Object doc;
-    doc["schema"] = "zac.perf_service.v3";
+    doc["schema"] = "zac.perf_service.v4";
     doc["arch"] = arch.name();
     doc["fast_mode"] = fast;
     doc["chaos_mode"] = chaos_mode;
@@ -706,6 +797,20 @@ main(int argc, char **argv)
     doc["max_workers"] = max_workers;
     doc["parallel_seconds_at_max"] = parallel_seconds_at_max;
     doc["scaling_overhead"] = scaling_overhead;
+    doc["streamed_vs_dom"] = json::Object{
+        {"circuits", jobs_per_round},
+        {"identical", streamed_vs_dom_identical},
+    };
+    doc["warm_vs_cold"] = json::Object{
+        {"workers", wc_workers},
+        {"jobs", total_jobs},
+        {"cold_seconds", cold_seconds},
+        {"cold_jobs_per_second", cold_jps},
+        {"warm_seconds", warm_seconds},
+        {"warm_jobs_per_second", warm_jps},
+        {"speedup", warm_speedup},
+        {"deterministic", warm_vs_cold_deterministic},
+    };
     doc["cache"] = json::Object{
         {"submitted", static_cast<std::int64_t>(cache_stats.hits +
                                                 cache_stats.misses)},
@@ -783,8 +888,9 @@ main(int argc, char **argv)
     }
     std::printf("wrote %s\n", out_path.c_str());
 
-    return (outputs_identical && second_all_hits && chaos_ok &&
-            churn_ok)
+    return (outputs_identical && streamed_vs_dom_identical &&
+            warm_vs_cold_deterministic && second_all_hits &&
+            chaos_ok && churn_ok)
                ? 0
                : 1;
 }

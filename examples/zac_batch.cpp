@@ -28,6 +28,8 @@
  *                     an "overloaded" record (0 = block instead)
  *     --drain-timeout S  graceful-stop deadline in seconds; in-flight
  *                     jobs outlasting it are cancelled (0 = wait)
+ *     --stats-record  append one "stats" JSONL record after the drain
+ *                     (service counters, cache, warm-context pool)
  *
  * When --out is a file, the written JSONL is re-read and verified after
  * the drain: a malformed line or a job without exactly one terminal
@@ -62,7 +64,7 @@ usage()
         "                 [--dedup] [--no-zair] [--echo-submit]\n"
         "                 [--snapshot file] [--retries N]\n"
         "                 [--backoff-ms X] [--admission N]\n"
-        "                 [--drain-timeout S]\n");
+        "                 [--drain-timeout S] [--stats-record]\n");
 }
 
 /**
@@ -97,7 +99,7 @@ verifyOutputFile(const std::string &path, std::uint64_t expected_jobs)
                        ": malformed JSONL line: " + e.what());
         }
         const std::string &type = rec.at("type").asString();
-        if (type == "submit")
+        if (type == "submit" || type == "stats")
             continue;
         if (type != "result" && type != "error")
             zac::fatal("zac_batch: " + path + ":" +
@@ -144,6 +146,7 @@ main(int argc, char **argv)
     bool dedup = false;
     bool include_zair = true;
     bool echo_submit = false;
+    bool stats_record = false;
     std::string snapshot_path;
     int max_retries = 2;
     double backoff_ms = 1.0;
@@ -180,6 +183,8 @@ main(int argc, char **argv)
             include_zair = false;
         else if (arg == "--echo-submit")
             echo_submit = true;
+        else if (arg == "--stats-record")
+            stats_record = true;
         else {
             usage();
             return 1;
@@ -300,6 +305,14 @@ main(int argc, char **argv)
                                 std::chrono::steady_clock::now() - t0)
                                 .count();
 
+        if (stats_record) {
+            // After the drain every sink call has completed, so the
+            // counters are final; still take the mutex for the write.
+            std::lock_guard<std::mutex> lock(out_mutex);
+            out << toJsonl(makeStatsRecord(svc.serviceStats()));
+            out.flush();
+        }
+
         const ResultCache::Stats cs = svc.cacheStats();
         const CompileService::Stats ss = svc.stats();
         std::fprintf(
@@ -343,6 +356,11 @@ main(int argc, char **argv)
         return n_failed == 0 ? 0 : 1;
     } catch (const FatalError &e) {
         std::fprintf(stderr, "zac_batch: %s\n", e.what());
+        return 2;
+    } catch (const std::exception &e) {
+        // Backstop: never let a raw exception reach std::terminate.
+        std::fprintf(stderr, "zac_batch: unexpected error: %s\n",
+                     e.what());
         return 2;
     }
 }

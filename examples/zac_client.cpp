@@ -27,10 +27,12 @@
  */
 
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <fstream>
 #include <iostream>
 #include <sstream>
+#include <stdexcept>
 #include <string>
 #include <vector>
 
@@ -50,6 +52,55 @@ usage()
         "usage: zac_client --port P [--host H] [--healthz]\n"
         "                  [--manifest f | --in f] [--lane L]\n"
         "                  [--out f] [--timeout S]\n");
+}
+
+/**
+ * Parse an integer flag value, rejecting malformed, partial, or
+ * out-of-range input with a diagnostic naming the flag (exit 2) —
+ * `--port foo` must not escape as an uncaught std::invalid_argument.
+ */
+long long
+intFlag(const char *flag, const std::string &value, long long lo,
+        long long hi)
+{
+    long long v = 0;
+    std::size_t used = 0;
+    try {
+        v = std::stoll(value, &used);
+    } catch (const std::exception &) {
+        used = 0;
+    }
+    if (used != value.size() || value.empty() || v < lo || v > hi) {
+        std::fprintf(stderr,
+                     "zac_client: %s: invalid value '%s' (expected an "
+                     "integer in [%lld, %lld])\n",
+                     flag, value.c_str(), lo, hi);
+        usage();
+        std::exit(2);
+    }
+    return v;
+}
+
+/** Parse a real-valued flag, same contract as intFlag(). */
+double
+realFlag(const char *flag, const std::string &value)
+{
+    double v = 0.0;
+    std::size_t used = 0;
+    try {
+        v = std::stod(value, &used);
+    } catch (const std::exception &) {
+        used = 0;
+    }
+    if (used != value.size() || value.empty() || v < 0.0) {
+        std::fprintf(stderr,
+                     "zac_client: %s: invalid value '%s' (expected a "
+                     "non-negative number)\n",
+                     flag, value.c_str());
+        usage();
+        std::exit(2);
+    }
+    return v;
 }
 
 /** Expand a manifest's "jobs" array into JSONL submit lines. */
@@ -128,7 +179,8 @@ main(int argc, char **argv)
         if (arg == "--host")
             host = next("--host");
         else if (arg == "--port")
-            port = std::stoi(next("--port"));
+            port = static_cast<int>(
+                intFlag("--port", next("--port"), 1, 65535));
         else if (arg == "--healthz")
             healthz = true;
         else if (arg == "--manifest")
@@ -140,7 +192,7 @@ main(int argc, char **argv)
         else if (arg == "--out")
             out_path = next("--out");
         else if (arg == "--timeout")
-            timeout = std::stod(next("--timeout"));
+            timeout = realFlag("--timeout", next("--timeout"));
         else if (arg == "--help" || arg == "-h") {
             usage();
             return 0;
@@ -215,6 +267,11 @@ main(int argc, char **argv)
         return 0;
     } catch (const zac::FatalError &e) {
         std::fprintf(stderr, "%s\n", e.what());
+        return 1;
+    } catch (const std::exception &e) {
+        // Backstop: never let a raw exception reach std::terminate.
+        std::fprintf(stderr, "zac_client: unexpected error: %s\n",
+                     e.what());
         return 1;
     }
 }

@@ -39,7 +39,9 @@
 
 #include <csignal>
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
+#include <stdexcept>
 #include <string>
 
 #include "common/json.hpp"
@@ -72,6 +74,56 @@ usage()
         "                 [--write-timeout S] [--drain-timeout S]\n"
         "                 [--interactive-weight N] [--batch-weight N]\n"
         "                 [--no-zair]\n");
+}
+
+/**
+ * Parse an integer flag value, rejecting malformed, partial, or
+ * out-of-range input with a diagnostic naming the flag (exit 2).
+ * std::stoi would otherwise escape main() as an uncaught
+ * std::invalid_argument on e.g. `zac_serve --port foo`.
+ */
+long long
+intFlag(const char *flag, const std::string &value, long long lo,
+        long long hi)
+{
+    long long v = 0;
+    std::size_t used = 0;
+    try {
+        v = std::stoll(value, &used);
+    } catch (const std::exception &) {
+        used = 0;
+    }
+    if (used != value.size() || value.empty() || v < lo || v > hi) {
+        std::fprintf(stderr,
+                     "zac_serve: %s: invalid value '%s' (expected an "
+                     "integer in [%lld, %lld])\n",
+                     flag, value.c_str(), lo, hi);
+        usage();
+        std::exit(2);
+    }
+    return v;
+}
+
+/** Parse a real-valued flag, same contract as intFlag(). */
+double
+realFlag(const char *flag, const std::string &value)
+{
+    double v = 0.0;
+    std::size_t used = 0;
+    try {
+        v = std::stod(value, &used);
+    } catch (const std::exception &) {
+        used = 0;
+    }
+    if (used != value.size() || value.empty() || v < 0.0) {
+        std::fprintf(stderr,
+                     "zac_serve: %s: invalid value '%s' (expected a "
+                     "non-negative number)\n",
+                     flag, value.c_str());
+        usage();
+        std::exit(2);
+    }
+    return v;
 }
 
 /** Load compile targets from a manifest-style JSON document. */
@@ -116,43 +168,48 @@ main(int argc, char **argv)
             cfg.host = next("--host");
         else if (arg == "--port")
             cfg.port = static_cast<std::uint16_t>(
-                std::stoi(next("--port")));
+                intFlag("--port", next("--port"), 0, 65535));
         else if (arg == "--workers")
-            cfg.service.num_workers = std::stoi(next("--workers"));
+            cfg.service.num_workers = static_cast<int>(
+                intFlag("--workers", next("--workers"), 1, 4096));
         else if (arg == "--queue")
             cfg.service.queue_capacity = static_cast<std::size_t>(
-                std::stoul(next("--queue")));
+                intFlag("--queue", next("--queue"), 1, 1 << 24));
         else if (arg == "--cache")
             cfg.service.cache_capacity = static_cast<std::size_t>(
-                std::stoul(next("--cache")));
+                intFlag("--cache", next("--cache"), 0, 1 << 24));
         else if (arg == "--snapshot")
             cfg.service.snapshot_path = next("--snapshot");
         else if (arg == "--retries")
-            cfg.service.max_retries = std::stoi(next("--retries"));
+            cfg.service.max_retries = static_cast<int>(
+                intFlag("--retries", next("--retries"), 0, 1000));
         else if (arg == "--backoff-ms")
             cfg.service.retry_backoff_ms =
-                std::stod(next("--backoff-ms"));
+                realFlag("--backoff-ms", next("--backoff-ms"));
         else if (arg == "--admission")
             cfg.service.admission_high_water =
-                static_cast<std::size_t>(
-                    std::stoul(next("--admission")));
+                static_cast<std::size_t>(intFlag(
+                    "--admission", next("--admission"), 0, 1 << 24));
         else if (arg == "--max-connections")
             cfg.max_connections = static_cast<std::size_t>(
-                std::stoul(next("--max-connections")));
+                intFlag("--max-connections",
+                        next("--max-connections"), 0, 1 << 24));
         else if (arg == "--read-timeout")
             cfg.read_timeout_seconds =
-                std::stod(next("--read-timeout"));
+                realFlag("--read-timeout", next("--read-timeout"));
         else if (arg == "--write-timeout")
             cfg.write_timeout_seconds =
-                std::stod(next("--write-timeout"));
+                realFlag("--write-timeout", next("--write-timeout"));
         else if (arg == "--drain-timeout")
             cfg.drain_deadline_seconds =
-                std::stod(next("--drain-timeout"));
+                realFlag("--drain-timeout", next("--drain-timeout"));
         else if (arg == "--interactive-weight")
-            cfg.interactive_weight =
-                std::stoi(next("--interactive-weight"));
+            cfg.interactive_weight = static_cast<int>(
+                intFlag("--interactive-weight",
+                        next("--interactive-weight"), 1, 1 << 20));
         else if (arg == "--batch-weight")
-            cfg.batch_weight = std::stoi(next("--batch-weight"));
+            cfg.batch_weight = static_cast<int>(intFlag(
+                "--batch-weight", next("--batch-weight"), 1, 1 << 20));
         else if (arg == "--no-zair")
             cfg.include_zair = false;
         else if (arg == "--help" || arg == "-h") {
@@ -213,6 +270,13 @@ main(int argc, char **argv)
         return clean ? 0 : 1;
     } catch (const zac::FatalError &e) {
         std::fprintf(stderr, "zac_serve: fatal: %s\n", e.what());
+        return 2;
+    } catch (const std::exception &e) {
+        // Backstop: nothing below main() should leak a raw exception
+        // (filesystem errors, bad_alloc, ...), but if it does, die
+        // with a message instead of std::terminate.
+        std::fprintf(stderr, "zac_serve: unexpected error: %s\n",
+                     e.what());
         return 2;
     }
 }

@@ -33,7 +33,7 @@ per-phase timings for the placement schema — is appended to it so
 perf drift is visible in the run summary without downloading
 artifacts.
 
-  zac.perf_service.v3 (and v2, v1)
+  zac.perf_service.v4 (and v3, v2, v1)
       Metric: ``scaling_overhead`` — wall seconds of the batch
       compile-service run at the largest worker count, normalized by
       the ideal-scaling expectation sequential/min(workers, cores)
@@ -57,7 +57,13 @@ artifacts.
       gate: fresh ``churn.latency_p99_normalized`` (end-to-end p99
       over the mean sequential per-job compile time; concurrency and
       machine speed cancel out of the ratio) must stay within
-      CHURN_LATENCY_THRESHOLD of the committed figure.
+      CHURN_LATENCY_THRESHOLD of the committed figure. v4 adds the
+      zero-DOM streaming invariants: ``streamed_vs_dom.identical``
+      (every circuit compiled through the streaming writer is
+      byte-identical to the DOM dump) and
+      ``warm_vs_cold.deterministic`` (the warm-context/streamed
+      service run is bit-identical to the cold legacy-cost run), and
+      surfaces cold/warm jobs-per-second in the step summary.
 
 Exit codes: 0 ok, 1 regression/semantics failure, 2 bad input
 (missing file, malformed JSON, schema mismatch).
@@ -87,6 +93,7 @@ SERVICE_SCHEMAS = (
     "zac.perf_service.v1",
     "zac.perf_service.v2",
     "zac.perf_service.v3",
+    "zac.perf_service.v4",
 )
 KNOWN_SCHEMAS = PLACEMENT_SCHEMAS + SERVICE_SCHEMAS
 
@@ -197,7 +204,8 @@ def service_flags(doc):
         ),
     }
     schema = doc.get("schema")
-    if schema in ("zac.perf_service.v2", "zac.perf_service.v3"):
+    if schema in ("zac.perf_service.v2", "zac.perf_service.v3",
+                  "zac.perf_service.v4"):
         chaos = doc.get("chaos", {})
         for key in (
             "terminal_records_exactly_once",
@@ -206,7 +214,7 @@ def service_flags(doc):
             "corruption_tolerated",
         ):
             flags[f"chaos.{key}"] = chaos.get(key, False)
-    if schema == "zac.perf_service.v3":
+    if schema in ("zac.perf_service.v3", "zac.perf_service.v4"):
         churn = doc.get("churn", {})
         for key in (
             "exactly_once_per_connection",
@@ -214,6 +222,13 @@ def service_flags(doc):
             "drained_clean",
         ):
             flags[f"churn.{key}"] = churn.get(key, False)
+    if schema == "zac.perf_service.v4":
+        flags["streamed_vs_dom.identical"] = doc.get(
+            "streamed_vs_dom", {}
+        ).get("identical", False)
+        flags["warm_vs_cold.deterministic"] = doc.get(
+            "warm_vs_cold", {}
+        ).get("deterministic", False)
     return flags
 
 
@@ -287,6 +302,14 @@ def summary_rows_service(committed, fresh):
                 "latency_p99_normalized", "cache_hits", "failures"):
         if key in cu or key in fu:
             rows.append((f"churn: {key}", cu.get(key), fu.get(key)))
+    cw = committed.get("warm_vs_cold", {})
+    fw = fresh.get("warm_vs_cold", {})
+    for key in ("cold_jobs_per_second", "warm_jobs_per_second",
+                "speedup"):
+        if key in cw or key in fw:
+            rows.append(
+                (f"warm_vs_cold: {key}", cw.get(key), fw.get(key))
+            )
     return [r for r in rows if r[1] is not None or r[2] is not None]
 
 
@@ -417,10 +440,11 @@ def main(argv):
             )
             ok = False
 
-    # v3 additionally gates the churn tail latency against the
+    # v3+ additionally gates the churn tail latency against the
     # committed figure (both are per-job-normalized, so the ratio is
     # machine-portable modulo core count).
-    if committed["schema"] == "zac.perf_service.v3":
+    if committed["schema"] in ("zac.perf_service.v3",
+                               "zac.perf_service.v4"):
         base_churn = require(
             require(committed, args.committed, "churn"),
             args.committed,

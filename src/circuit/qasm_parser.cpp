@@ -5,6 +5,7 @@
 #include <map>
 #include <numbers>
 #include <sstream>
+#include <stdexcept>
 
 #include "circuit/qasm_lexer.hpp"
 #include "common/logging.hpp"
@@ -94,6 +95,33 @@ class Parser
         return take().text;
     }
 
+    /**
+     * Take an Integer token as an int. std::stoi throws
+     * std::out_of_range on overflowing literals (e.g. a qreg sized
+     * 99999999999999999999), which would escape the parser's
+     * fatal()/FatalError contract — convert while the token is still
+     * current so error() reports its line/column.
+     */
+    int
+    expectInt()
+    {
+        if (!at(TokKind::Integer))
+            error("expected integer literal");
+        int value = 0;
+        try {
+            std::size_t used = 0;
+            value = std::stoi(cur().text, &used);
+            if (used != cur().text.size())
+                error("malformed integer literal");
+        } catch (const std::out_of_range &) {
+            error("integer literal out of range");
+        } catch (const std::invalid_argument &) {
+            error("malformed integer literal");
+        }
+        take();
+        return value;
+    }
+
     // ----- grammar ----------------------------------------------------
     void
     parseHeader()
@@ -118,7 +146,7 @@ class Parser
             take();
             const std::string reg = expectIdent();
             expect(TokKind::Symbol, "[");
-            const int size = std::stoi(expect(TokKind::Integer).text);
+            const int size = expectInt();
             expect(TokKind::Symbol, "]");
             expect(TokKind::Symbol, ";");
             if (qregs_.count(reg))
@@ -389,7 +417,7 @@ class Parser
         const auto [base, size] = it->second;
         if (at(TokKind::Symbol, "[")) {
             take();
-            const int idx = std::stoi(expect(TokKind::Integer).text);
+            const int idx = expectInt();
             expect(TokKind::Symbol, "]");
             if (idx < 0 || idx >= size)
                 error("index " + std::to_string(idx) +

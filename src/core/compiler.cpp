@@ -1,22 +1,118 @@
 #include "core/compiler.hpp"
 
 #include <chrono>
+#include <sstream>
+#include <utility>
 
+#include "arch/serialize.hpp"
 #include "common/logging.hpp"
 #include "core/sa_placer.hpp"
 #include "core/scheduler.hpp"
 #include "transpile/optimize.hpp"
+#include "zair/serialize.hpp"
 
 namespace zac
 {
 
-ZacCompiler::ZacCompiler(Architecture arch, ZacOptions opts)
-    : arch_(std::move(arch)), opts_(opts)
+namespace
 {
-    if (!arch_.finalized())
+
+using CompileClock = std::chrono::steady_clock;
+
+double
+secondsSince(CompileClock::time_point t0, CompileClock::time_point t1)
+{
+    return std::chrono::duration<double>(t1 - t0).count();
+}
+
+/**
+ * Sink of the zero-DOM path: every finalized instruction is checked,
+ * counted, fidelity-accumulated, and serialized in one pass. With a
+ * non-null @p dom it also tees into a ZairProgram so test mode can
+ * assert the streamed bytes against the DOM dump.
+ */
+class StreamingSink final : public ZairInstrSink
+{
+  public:
+    StreamingSink(ZairStreamWriter &writer, ZairInvariantChecker &checker,
+                  ZairStatsAccumulator &stats, FidelityAccumulator &fid,
+                  ZairProgram *dom)
+        : writer_(writer), checker_(checker), stats_(stats), fid_(fid),
+          dom_(dom)
+    {
+    }
+
+    void
+    onInstr(ZairInstr &&instr) override
+    {
+        checker_.feed(instr);
+        stats_.feed(instr);
+        fid_.feed(instr);
+        writer_.add(instr);
+        if (dom_ != nullptr)
+            dom_->instrs.push_back(std::move(instr));
+    }
+
+  private:
+    ZairStreamWriter &writer_;
+    ZairInvariantChecker &checker_;
+    ZairStatsAccumulator &stats_;
+    FidelityAccumulator &fid_;
+    ZairProgram *dom_;
+};
+
+} // namespace
+
+std::shared_ptr<const ArchContext>
+ArchContext::build(Architecture arch)
+{
+    if (!arch.finalized())
         fatal("ZacCompiler: architecture must be finalized");
-    if (arch_.storageZones().empty())
+    if (arch.storageZones().empty())
         fatal("ZacCompiler: a zoned architecture needs a storage zone");
+    const auto t0 = CompileClock::now();
+    auto ctx = std::make_shared<ArchContext>();
+    ctx->arch = std::move(arch);
+    ctx->storage_by_proximity = storageTrapsByProximity(ctx->arch);
+    ctx->fingerprint = architectureFingerprint(ctx->arch);
+    ctx->build_seconds = secondsSince(t0, CompileClock::now());
+    return ctx;
+}
+
+ZacStreamedResult
+streamedResultFromDom(const ZacResult &result)
+{
+    ZacStreamedResult out;
+    out.circuit_name = result.program.circuit_name;
+    out.arch_name = result.program.arch_name;
+    out.num_qubits = result.program.num_qubits;
+    out.program_json = zairProgramToJson(result.program).dump();
+    const ZairNameSpan span =
+        zairCompactNameSpan(out.circuit_name, out.arch_name);
+    out.name_off = span.offset;
+    out.name_len = span.length;
+    if (out.program_json.compare(
+            out.name_off, out.name_len,
+            json::Value(out.circuit_name).dump()) != 0)
+        panic("streamedResultFromDom: compact name span mismatch");
+    out.stats = result.program.stats();
+    out.fidelity = result.fidelity;
+    out.compile_seconds = result.compile_seconds;
+    out.phases = result.phases;
+    return out;
+}
+
+ZacCompiler::ZacCompiler(Architecture arch, ZacOptions opts)
+    : ZacCompiler(ArchContext::build(std::move(arch)), opts)
+{
+}
+
+ZacCompiler::ZacCompiler(std::shared_ptr<const ArchContext> context,
+                         ZacOptions opts)
+    : context_(std::move(context)), opts_(opts)
+{
+    if (context_ == nullptr)
+        fatal("ZacCompiler: null architecture context");
 }
 
 ZacResult
@@ -31,7 +127,7 @@ ZacCompiler::compile(const Circuit &circuit,
 {
     control.checkpoint("preprocess");
     const Circuit pre = preprocess(circuit);
-    StagedCircuit staged = scheduleStages(pre, arch_.numSites());
+    StagedCircuit staged = scheduleStages(pre, arch().numSites());
     return compileStaged(staged, control);
 }
 
@@ -45,6 +141,7 @@ ZacResult
 ZacCompiler::compileStaged(const StagedCircuit &staged,
                            const CompileControl &control) const
 {
+    const Architecture &arch_ = context_->arch;
     if (staged.numQubits > arch_.numStorageTraps())
         fatal("ZacCompiler: more qubits than storage traps");
     for (const RydbergStage &s : staged.rydberg)
@@ -52,11 +149,7 @@ ZacCompiler::compileStaged(const StagedCircuit &staged,
             fatal("ZacCompiler: a stage exceeds the Rydberg site count; "
                   "re-stage with the architecture's capacity");
 
-    using clock = std::chrono::steady_clock;
-    auto seconds_since = [](clock::time_point t0, clock::time_point t1) {
-        return std::chrono::duration<double>(t1 - t0).count();
-    };
-    const auto start = clock::now();
+    const auto start = CompileClock::now();
 
     ZacResult result;
     result.staged = staged;
@@ -74,24 +167,138 @@ ZacCompiler::compileStaged(const StagedCircuit &staged,
             ? saInitialPlacement(arch_, staged, sa,
                                  [&control] { control.poll(); })
             : trivialInitialPlacement(arch_, staged.numQubits);
-    const auto t_sa = clock::now();
+    const auto t_sa = CompileClock::now();
 
     control.checkpoint("placement");
     result.plan = runDynamicPlacement(arch_, staged, initial, opts_,
                                       &result.phases.placement);
-    const auto t_place = clock::now();
+    const auto t_place = CompileClock::now();
     control.checkpoint("scheduling");
     result.program = scheduleProgram(arch_, staged, result.plan);
-    const auto t_sched = clock::now();
+    const auto t_sched = CompileClock::now();
     control.checkpoint("fidelity");
     result.fidelity = evaluateFidelity(result.program, arch_);
 
-    const auto end = clock::now();
-    result.phases.sa_seconds = seconds_since(start, t_sa);
-    result.phases.placement_seconds = seconds_since(t_sa, t_place);
-    result.phases.scheduling_seconds = seconds_since(t_place, t_sched);
-    result.phases.fidelity_seconds = seconds_since(t_sched, end);
-    result.compile_seconds = seconds_since(start, end);
+    const auto end = CompileClock::now();
+    result.phases.sa_seconds = secondsSince(start, t_sa);
+    result.phases.placement_seconds = secondsSince(t_sa, t_place);
+    result.phases.scheduling_seconds = secondsSince(t_place, t_sched);
+    result.phases.fidelity_seconds = secondsSince(t_sched, end);
+    result.compile_seconds = secondsSince(start, end);
+    return result;
+}
+
+ZacStreamedResult
+ZacCompiler::compileStreamed(const Circuit &circuit,
+                             const CompileControl &control,
+                             CompileScratch *scratch,
+                             bool verify_with_dom) const
+{
+    control.checkpoint("preprocess");
+    const Circuit pre = preprocess(circuit);
+    StagedCircuit staged = scheduleStages(pre, arch().numSites());
+    return compileStagedStreamed(staged, control, scratch,
+                                 verify_with_dom);
+}
+
+ZacStreamedResult
+ZacCompiler::compileStagedStreamed(const StagedCircuit &staged,
+                                   const CompileControl &control,
+                                   CompileScratch *scratch,
+                                   bool verify_with_dom) const
+{
+    const Architecture &arch_ = context_->arch;
+    if (staged.numQubits > arch_.numStorageTraps())
+        fatal("ZacCompiler: more qubits than storage traps");
+    for (const RydbergStage &s : staged.rydberg)
+        if (static_cast<int>(s.gates.size()) > arch_.numSites())
+            fatal("ZacCompiler: a stage exceeds the Rydberg site count; "
+                  "re-stage with the architecture's capacity");
+
+    const auto start = CompileClock::now();
+
+    control.checkpoint("sa");
+    SaOptions sa;
+    sa.max_iterations = opts_.sa_iterations;
+    sa.seed = opts_.seed;
+    sa.num_seeds = opts_.sa_num_seeds;
+    sa.num_threads = opts_.sa_threads;
+    // Warm path: the proximity order comes from the shared context and
+    // the annealer buffers from the worker's scratch — both value-reset
+    // per compile, so the placement is bit-identical to the cold path.
+    const std::vector<TrapRef> initial =
+        opts_.use_sa_init
+            ? saInitialPlacementPrepared(
+                  arch_, staged, sa, context_->storage_by_proximity,
+                  [&control] { control.poll(); }, nullptr,
+                  scratch != nullptr ? &scratch->sa : nullptr)
+            : trivialInitialPlacementPrepared(
+                  context_->storage_by_proximity, staged.numQubits);
+    const auto t_sa = CompileClock::now();
+
+    control.checkpoint("placement");
+    ZacStreamedResult result;
+    const PlacementPlan plan = runDynamicPlacement(
+        arch_, staged, initial, opts_, &result.phases.placement);
+    const auto t_place = CompileClock::now();
+
+    control.checkpoint("scheduling");
+    result.circuit_name = staged.name;
+    result.arch_name = arch_.name();
+    result.num_qubits = staged.numQubits;
+
+    ZairProgram dom;
+    if (verify_with_dom) {
+        dom.circuit_name = staged.name;
+        dom.arch_name = arch_.name();
+        dom.num_qubits = staged.numQubits;
+    }
+
+    std::ostringstream os;
+    ZairStreamWriter writer(os, 0);
+    ZairInvariantChecker checker(staged.numQubits);
+    ZairStatsAccumulator stats;
+    FidelityAccumulator fid(arch_, staged.numQubits);
+    StreamingSink sink(writer, checker, stats, fid,
+                       verify_with_dom ? &dom : nullptr);
+
+    writer.begin(result.circuit_name, result.arch_name,
+                 result.num_qubits);
+    scheduleProgramToSink(
+        arch_, staged, plan, sink,
+        scratch != nullptr ? &scratch->scheduler : nullptr);
+    writer.end();
+    checker.finish();
+    const auto t_sched = CompileClock::now();
+
+    control.checkpoint("fidelity");
+    result.fidelity = fid.finish();
+    result.stats = stats.finish();
+    result.program_json = os.str();
+
+    const ZairNameSpan span =
+        zairCompactNameSpan(result.circuit_name, result.arch_name);
+    result.name_off = span.offset;
+    result.name_len = span.length;
+    if (result.program_json.compare(
+            result.name_off, result.name_len,
+            json::Value(result.circuit_name).dump()) != 0)
+        panic("compileStagedStreamed: compact name span mismatch");
+
+    if (verify_with_dom) {
+        dom.checkInvariants();
+        const std::string dom_bytes = zairProgramToJson(dom).dump();
+        if (dom_bytes != result.program_json)
+            panic("compileStagedStreamed: streamed bytes differ from "
+                  "the DOM dump");
+    }
+
+    const auto end = CompileClock::now();
+    result.phases.sa_seconds = secondsSince(start, t_sa);
+    result.phases.placement_seconds = secondsSince(t_sa, t_place);
+    result.phases.scheduling_seconds = secondsSince(t_place, t_sched);
+    result.phases.fidelity_seconds = secondsSince(t_sched, end);
+    result.compile_seconds = secondsSince(start, end);
     return result;
 }
 

@@ -12,7 +12,9 @@
 
 #include <atomic>
 #include <chrono>
+#include <cstdint>
 #include <functional>
+#include <memory>
 #include <stdexcept>
 #include <string>
 
@@ -20,6 +22,8 @@
 #include "circuit/circuit.hpp"
 #include "core/movement.hpp"
 #include "core/options.hpp"
+#include "core/sa_placer.hpp"
+#include "core/scheduler.hpp"
 #include "fidelity/model.hpp"
 #include "transpile/stages.hpp"
 #include "zair/program.hpp"
@@ -127,6 +131,60 @@ struct ZacResult
 };
 
 /**
+ * Everything produced by one zero-DOM (streamed) compilation: the
+ * compact ZAIR/JSON bytes — byte-identical to
+ * zairProgramToJson(program).dump() of the DOM path — plus the summary
+ * statistics and fidelity breakdown accumulated while streaming. The
+ * (name_off, name_len) span locates the circuit-name string literal in
+ * program_json so a cached result can be re-labeled by byte splice.
+ */
+struct ZacStreamedResult
+{
+    std::string circuit_name;
+    std::string arch_name;
+    int num_qubits = 0;
+    std::string program_json;      ///< compact ZAIR/JSON bytes
+    std::size_t name_off = 0;      ///< circuit-name literal offset
+    std::size_t name_len = 0;      ///< circuit-name literal length
+    ZairStats stats;               ///< accumulated program statistics
+    FidelityBreakdown fidelity;    ///< five-term fidelity estimate
+    double compile_seconds = 0.0;  ///< wall-clock compilation time
+    CompilePhaseTimings phases;    ///< per-phase wall-clock breakdown
+};
+
+/** Convert a DOM compile result to the streamed record shape. */
+ZacStreamedResult streamedResultFromDom(const ZacResult &result);
+
+/**
+ * Everything about one architecture that every compile re-derived
+ * before warm contexts existed: the finalized Architecture itself
+ * (with its cached trap/site/zone tables) plus the storage-proximity
+ * order the placement phase needs. Built once per distinct
+ * architectureFingerprint() and shared read-only across workers.
+ */
+struct ArchContext
+{
+    Architecture arch;
+    /** storageTrapsByProximity(arch), cached for Prepared placement. */
+    std::vector<TrapRef> storage_by_proximity;
+    std::uint64_t fingerprint = 0;  ///< architectureFingerprint(arch)
+    double build_seconds = 0.0;     ///< wall-clock cost of build()
+    /** Validate @p arch and derive the shared tables. */
+    static std::shared_ptr<const ArchContext> build(Architecture arch);
+};
+
+/**
+ * Per-worker reusable compile buffers (SA annealer state, scheduler
+ * grouping/dependency scratch). Value-reset at every use; capacity
+ * persists across the jobs a worker runs.
+ */
+struct CompileScratch
+{
+    SaScratch sa;
+    SchedulerScratch scheduler;
+};
+
+/**
  * The ZAC compiler, bound to one architecture and option set.
  *
  * Thread-compatible: compile() is const and re-entrant, so multiple
@@ -137,7 +195,18 @@ class ZacCompiler
   public:
     explicit ZacCompiler(Architecture arch, ZacOptions opts = {});
 
-    const Architecture &arch() const { return arch_; }
+    /**
+     * Bind to a prebuilt (possibly pool-shared) architecture context —
+     * the warm path: no Architecture copy, no table derivation.
+     */
+    explicit ZacCompiler(std::shared_ptr<const ArchContext> context,
+                         ZacOptions opts = {});
+
+    const Architecture &arch() const { return context_->arch; }
+    const std::shared_ptr<const ArchContext> &context() const
+    {
+        return context_;
+    }
     const ZacOptions &options() const { return opts_; }
 
     /** Full pipeline from a raw (any gate set) circuit. */
@@ -161,8 +230,30 @@ class ZacCompiler
     ZacResult compileStaged(const StagedCircuit &staged,
                             const CompileControl &control) const;
 
+    /**
+     * Zero-DOM pipeline: streams the scheduler's instructions straight
+     * into the compact ZAIR/JSON serialization, accumulating stats,
+     * invariants, and fidelity per instruction — no ZairProgram is
+     * materialized. Byte-identical to serializing the DOM result.
+     *
+     * @param scratch         reusable per-worker buffers (may be null).
+     * @param verify_with_dom also build the DOM alongside and panic
+     *        unless the streamed bytes equal the DOM dump (test mode).
+     */
+    ZacStreamedResult compileStreamed(const Circuit &circuit,
+                                      const CompileControl &control,
+                                      CompileScratch *scratch = nullptr,
+                                      bool verify_with_dom = false) const;
+
+    /** Staged-circuit variant of compileStreamed(). */
+    ZacStreamedResult
+    compileStagedStreamed(const StagedCircuit &staged,
+                          const CompileControl &control,
+                          CompileScratch *scratch = nullptr,
+                          bool verify_with_dom = false) const;
+
   private:
-    Architecture arch_;
+    std::shared_ptr<const ArchContext> context_;
     ZacOptions opts_;
 };
 

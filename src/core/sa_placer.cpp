@@ -159,6 +159,31 @@ struct AcceptedOp
     TrapId old_trap; ///< jump source trap (jumps only)
 };
 
+} // namespace
+
+/**
+ * The buffers behind the opaque SaScratch handle: the per-seed mutable
+ * state and proposal scratch of one SeedAnnealer. Every field is
+ * value-assigned when an annealer binds to the scratch, so capacity is
+ * the only thing that survives a job.
+ */
+struct SaScratch::Impl
+{
+    std::vector<TrapId> traps;
+    std::vector<double> gate_cost;
+    std::vector<std::uint8_t> occupied;
+    std::vector<AcceptedOp> since_best;
+    std::vector<double> pending;
+    std::vector<std::uint64_t> stamp;
+    std::vector<int> touched;
+};
+
+SaScratch::SaScratch() : impl_(std::make_unique<Impl>()) {}
+SaScratch::~SaScratch() = default;
+
+namespace
+{
+
 /**
  * One annealing stream over the shared instance, with propose/commit/
  * revert move evaluation: a proposed move computes only the touched
@@ -185,15 +210,22 @@ struct AcceptedOp
 class SeedAnnealer
 {
   public:
-    SeedAnnealer(const SaShared &shared, const SaOptions &opts)
-        : shared_(shared), opts_(opts), traps_(shared.init_traps),
-          gate_cost_(shared.init_gate_cost),
-          occupied_(shared.init_occupied),
-          total_(shared.init_total),
-          pending_(shared.gates.size(), 0.0),
-          stamp_(shared.gates.size(), 0)
+    SeedAnnealer(const SaShared &shared, const SaOptions &opts,
+                 SaScratch::Impl &sc)
+        : shared_(shared), opts_(opts), sc_(sc),
+          total_(shared.init_total)
     {
-        touched_.reserve(64);
+        // Value-assign every scratch field: same initial state as the
+        // freshly-constructed buffers this replaces, whatever ran in
+        // the scratch before.
+        sc_.traps = shared.init_traps;
+        sc_.gate_cost = shared.init_gate_cost;
+        sc_.occupied = shared.init_occupied;
+        sc_.since_best.clear();
+        sc_.pending.assign(shared.gates.size(), 0.0);
+        sc_.stamp.assign(shared.gates.size(), 0);
+        sc_.touched.clear();
+        sc_.touched.reserve(64);
     }
 
     /**
@@ -238,7 +270,7 @@ class SeedAnnealer
         // state; the best trap assignment is reconstructed at the end
         // by rewinding the journal.
         double best_cost = total_;
-        since_best_.clear();
+        sc_.since_best.clear();
         double temp = t0;
 
         for (int iter = 0; iter < opts.max_iterations;
@@ -247,7 +279,7 @@ class SeedAnnealer
             double delta = 0.0;
             bool did_swap = false;
             int partner = -1;
-            const TrapId old_trap = traps_[static_cast<std::size_t>(q)];
+            const TrapId old_trap = sc_.traps[static_cast<std::size_t>(q)];
             TrapId new_trap = kInvalidTrapId;
 
             if (rng.nextBool(0.5) && n >= 2) {
@@ -261,7 +293,7 @@ class SeedAnnealer
                 // Jump to a random empty trap in the pool.
                 new_trap = shared_.pool[rng.nextBelow(
                     shared_.pool.size())];
-                if (occupied_[static_cast<std::size_t>(new_trap)])
+                if (sc_.occupied[static_cast<std::size_t>(new_trap)])
                     continue;
                 delta = proposeMove(q, new_trap);
             }
@@ -272,13 +304,13 @@ class SeedAnnealer
             if (accept) {
                 commit();
                 if (!did_swap) {
-                    occupied_[static_cast<std::size_t>(old_trap)] = 0;
-                    occupied_[static_cast<std::size_t>(new_trap)] = 1;
+                    sc_.occupied[static_cast<std::size_t>(old_trap)] = 0;
+                    sc_.occupied[static_cast<std::size_t>(new_trap)] = 1;
                 }
-                since_best_.push_back({q, partner, old_trap});
+                sc_.since_best.push_back({q, partner, old_trap});
                 if (total_ < best_cost) {
                     best_cost = total_;
-                    since_best_.clear();
+                    sc_.since_best.clear();
                 }
             } else {
                 revert();
@@ -287,8 +319,8 @@ class SeedAnnealer
 
         // Rewind the journal from the final state back to the best
         // state.
-        best_out = traps_;
-        for (auto it = since_best_.rbegin(); it != since_best_.rend();
+        best_out = sc_.traps;
+        for (auto it = sc_.since_best.rbegin(); it != sc_.since_best.rend();
              ++it) {
             if (it->partner >= 0)
                 std::swap(
@@ -306,9 +338,9 @@ class SeedAnnealer
     void
     reset()
     {
-        traps_ = shared_.init_traps;
-        gate_cost_ = shared_.init_gate_cost;
-        occupied_ = shared_.init_occupied;
+        sc_.traps = shared_.init_traps;
+        sc_.gate_cost = shared_.init_gate_cost;
+        sc_.occupied = shared_.init_occupied;
         total_ = shared_.init_total;
     }
 
@@ -318,8 +350,8 @@ class SeedAnnealer
         const WeightedGate &g =
             shared_.gates[static_cast<std::size_t>(i)];
         return weightedGateCost(
-            shared_.arch, g, traps_[static_cast<std::size_t>(g.q0)],
-            traps_[static_cast<std::size_t>(g.q1)]);
+            shared_.arch, g, sc_.traps[static_cast<std::size_t>(g.q0)],
+            sc_.traps[static_cast<std::size_t>(g.q1)]);
     }
 
     /**
@@ -342,15 +374,15 @@ class SeedAnnealer
             const int i = shared_.gate_list[k];
             const double fresh = evalGate(i);
             const double base =
-                stamp_[static_cast<std::size_t>(i)] == cur_stamp_
-                    ? pending_[static_cast<std::size_t>(i)]
-                    : gate_cost_[static_cast<std::size_t>(i)];
+                sc_.stamp[static_cast<std::size_t>(i)] == cur_stamp_
+                    ? sc_.pending[static_cast<std::size_t>(i)]
+                    : sc_.gate_cost[static_cast<std::size_t>(i)];
             delta += fresh - base;
-            if (stamp_[static_cast<std::size_t>(i)] != cur_stamp_) {
-                stamp_[static_cast<std::size_t>(i)] = cur_stamp_;
-                touched_.push_back(i);
+            if (sc_.stamp[static_cast<std::size_t>(i)] != cur_stamp_) {
+                sc_.stamp[static_cast<std::size_t>(i)] = cur_stamp_;
+                sc_.touched.push_back(i);
             }
-            pending_[static_cast<std::size_t>(i)] = fresh;
+            sc_.pending[static_cast<std::size_t>(i)] = fresh;
         }
         total_ += delta;
         part_delta_[num_parts_++] = delta;
@@ -361,8 +393,8 @@ class SeedAnnealer
     double
     proposeSwap(int a, int b)
     {
-        std::swap(traps_[static_cast<std::size_t>(a)],
-                  traps_[static_cast<std::size_t>(b)]);
+        std::swap(sc_.traps[static_cast<std::size_t>(a)],
+                  sc_.traps[static_cast<std::size_t>(b)]);
         beginProposal();
         prop_is_swap_ = true;
         prop_a_ = a;
@@ -378,8 +410,8 @@ class SeedAnnealer
     double
     proposeMove(int q, TrapId t)
     {
-        prop_old_trap_ = traps_[static_cast<std::size_t>(q)];
-        traps_[static_cast<std::size_t>(q)] = t;
+        prop_old_trap_ = sc_.traps[static_cast<std::size_t>(q)];
+        sc_.traps[static_cast<std::size_t>(q)] = t;
         beginProposal();
         prop_is_swap_ = false;
         prop_a_ = q;
@@ -390,9 +422,9 @@ class SeedAnnealer
     void
     commit()
     {
-        for (int i : touched_)
-            gate_cost_[static_cast<std::size_t>(i)] =
-                pending_[static_cast<std::size_t>(i)];
+        for (int i : sc_.touched)
+            sc_.gate_cost[static_cast<std::size_t>(i)] =
+                sc_.pending[static_cast<std::size_t>(i)];
     }
 
     /**
@@ -406,10 +438,10 @@ class SeedAnnealer
     revert()
     {
         if (prop_is_swap_)
-            std::swap(traps_[static_cast<std::size_t>(prop_a_)],
-                      traps_[static_cast<std::size_t>(prop_b_)]);
+            std::swap(sc_.traps[static_cast<std::size_t>(prop_a_)],
+                      sc_.traps[static_cast<std::size_t>(prop_b_)]);
         else
-            traps_[static_cast<std::size_t>(prop_a_)] = prop_old_trap_;
+            sc_.traps[static_cast<std::size_t>(prop_a_)] = prop_old_trap_;
         for (int p = 0; p < num_parts_; ++p)
             total_ += -part_delta_[p];
     }
@@ -418,25 +450,21 @@ class SeedAnnealer
     beginProposal()
     {
         ++cur_stamp_;
-        touched_.clear();
+        sc_.touched.clear();
         num_parts_ = 0;
     }
 
     const SaShared &shared_;
     const SaOptions &opts_;
-
-    // Per-seed mutable state (reset() restores the shared baseline).
-    std::vector<TrapId> traps_;
-    std::vector<double> gate_cost_;
-    std::vector<std::uint8_t> occupied_;
+    /**
+     * Per-seed mutable state (traps/gate_cost/occupied/since_best,
+     * reset() restores the shared baseline) and proposal scratch
+     * (pending/stamp/touched) — caller-owned so capacity persists
+     * across jobs on a service worker.
+     */
+    SaScratch::Impl &sc_;
     double total_;
-    std::vector<AcceptedOp> since_best_;
-
-    // Proposal scratch, reused across moves and seeds.
-    std::vector<double> pending_;       ///< fresh costs, by gate
-    std::vector<std::uint64_t> stamp_;  ///< proposal stamps, by gate
     std::uint64_t cur_stamp_ = 0;
-    std::vector<int> touched_;          ///< gates stamped this proposal
     double part_delta_[2] = {0.0, 0.0}; ///< per-qubit partial deltas
     int num_parts_ = 0;
     bool prop_is_swap_ = false;
@@ -512,13 +540,20 @@ storageTrapsByProximity(const Architecture &arch)
 std::vector<TrapRef>
 trivialInitialPlacement(const Architecture &arch, int num_qubits)
 {
-    std::vector<TrapRef> order = storageTrapsByProximity(arch);
+    return trivialInitialPlacementPrepared(storageTrapsByProximity(arch),
+                                           num_qubits);
+}
+
+std::vector<TrapRef>
+trivialInitialPlacementPrepared(const std::vector<TrapRef> &order,
+                                int num_qubits)
+{
     if (static_cast<int>(order.size()) < num_qubits)
         fatal("trivialInitialPlacement: " + std::to_string(num_qubits) +
               " qubits exceed " + std::to_string(order.size()) +
               " storage traps");
-    order.resize(static_cast<std::size_t>(num_qubits));
-    return order;
+    return std::vector<TrapRef>(
+        order.begin(), order.begin() + num_qubits);
 }
 
 double
@@ -546,8 +581,20 @@ saInitialPlacement(const Architecture &arch, const StagedCircuit &staged,
                    const std::function<void()> &checkpoint,
                    SaSeedReport *report)
 {
+    return saInitialPlacementPrepared(arch, staged, opts,
+                                      storageTrapsByProximity(arch),
+                                      checkpoint, report, nullptr);
+}
+
+std::vector<TrapRef>
+saInitialPlacementPrepared(const Architecture &arch,
+                           const StagedCircuit &staged,
+                           const SaOptions &opts,
+                           const std::vector<TrapRef> &order,
+                           const std::function<void()> &checkpoint,
+                           SaSeedReport *report, SaScratch *scratch)
+{
     const int n = staged.numQubits;
-    const std::vector<TrapRef> order = storageTrapsByProximity(arch);
     if (static_cast<int>(order.size()) < n)
         fatal("saInitialPlacement: " + std::to_string(n) +
               " qubits exceed " + std::to_string(order.size()) +
@@ -578,7 +625,9 @@ saInitialPlacement(const Architecture &arch, const StagedCircuit &staged,
     if (checkpoint)
         checkpoint();
     if (workers == 1) {
-        SeedAnnealer annealer(shared, opts);
+        SaScratch local_scratch;
+        SaScratch &sc = scratch != nullptr ? *scratch : local_scratch;
+        SeedAnnealer annealer(shared, opts, sc.impl());
         for (int s = 0; s < num_seeds; ++s) {
             if (s > 0 && checkpoint)
                 checkpoint();
@@ -603,7 +652,9 @@ saInitialPlacement(const Architecture &arch, const StagedCircuit &staged,
         pool.reserve(static_cast<std::size_t>(workers));
         for (int w = 0; w < workers; ++w) {
             pool.emplace_back([&] {
-                SeedAnnealer annealer(shared, opts);
+                SaScratch local_scratch;
+                SeedAnnealer annealer(shared, opts,
+                                      local_scratch.impl());
                 for (;;) {
                     const int s =
                         next.fetch_add(1, std::memory_order_relaxed);

@@ -25,6 +25,7 @@
 
 #include <cstdint>
 #include <functional>
+#include <memory>
 #include <vector>
 
 #include "arch/spec.hpp"
@@ -32,6 +33,28 @@
 
 namespace zac
 {
+
+/**
+ * Reusable annealing buffers (per-seed trap/cost/occupancy state and
+ * proposal scratch). A service worker keeps one instance across jobs;
+ * every field is value-reset when an annealer binds to it, so results
+ * are bit-identical to a fresh allocation. Opaque: the layout is an
+ * implementation detail of sa_placer.cpp.
+ */
+class SaScratch
+{
+  public:
+    SaScratch();
+    ~SaScratch();
+    SaScratch(const SaScratch &) = delete;
+    SaScratch &operator=(const SaScratch &) = delete;
+
+    struct Impl;
+    Impl &impl() { return *impl_; }
+
+  private:
+    std::unique_ptr<Impl> impl_;
+};
 
 /** Tuning knobs for the simulated-annealing initial placement. */
 struct SaOptions
@@ -77,6 +100,15 @@ std::vector<TrapRef> trivialInitialPlacement(const Architecture &arch,
                                              int num_qubits);
 
 /**
+ * trivialInitialPlacement() with the proximity order precomputed —
+ * warm compile contexts cache storageTrapsByProximity() per
+ * architecture and pass it here, skipping the per-compile sort.
+ */
+std::vector<TrapRef>
+trivialInitialPlacementPrepared(const std::vector<TrapRef> &order,
+                                int num_qubits);
+
+/**
  * Evaluate the full initial-placement cost (Eq. 2) of @p traps:
  * sum over 2Q gates of w_g * gCost(g, omega_near_g, M0) with
  * w_g = max(0.1, 1 - 0.1 * (stage - 1)).
@@ -110,6 +142,24 @@ saInitialPlacement(const Architecture &arch, const StagedCircuit &staged,
                    const SaOptions &opts,
                    const std::function<void()> &checkpoint,
                    SaSeedReport *report = nullptr);
+
+/**
+ * saInitialPlacement() with the proximity order precomputed and the
+ * annealer buffers caller-owned: warm compile contexts supply @p order
+ * (cached per architecture) and service workers supply @p scratch
+ * (reused across jobs). Bit-identical to the non-Prepared overloads
+ * for the same inputs. @p scratch is used by the sequential batch path
+ * (num_threads == 1 after clamping); parallel batches keep per-worker
+ * local buffers. Null @p scratch falls back to a local allocation.
+ */
+std::vector<TrapRef>
+saInitialPlacementPrepared(const Architecture &arch,
+                           const StagedCircuit &staged,
+                           const SaOptions &opts,
+                           const std::vector<TrapRef> &order,
+                           const std::function<void()> &checkpoint,
+                           SaSeedReport *report = nullptr,
+                           SaScratch *scratch = nullptr);
 
 } // namespace zac
 

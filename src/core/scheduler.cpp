@@ -8,7 +8,6 @@
 #include <tuple>
 
 #include "common/logging.hpp"
-#include "core/jobs.hpp"
 #include "zair/machine.hpp"
 
 namespace zac
@@ -28,55 +27,45 @@ namespace
  * Rydberg grouping run on sorted scratch instead of std::map, and the
  * AOD availability is a min-tracked heap instead of a linear argmin.
  * Emitted programs are bit-identical to the legacy scheduler's.
+ *
+ * All growable buffers live in the caller-provided SchedulerScratch;
+ * the constructor resets their *values* while their capacity persists
+ * across jobs on the same worker.
  */
 struct SchedulerState
 {
     const Architecture &arch;
-    ZairProgram &program;
-    std::vector<double> last_end;       ///< per qubit
+    ZairInstrSink &sink;
+    SchedulerScratch &sc;
     /**
      * Min-tracked AOD availability: one (available-at, aod id) entry
      * per AOD at all times. Ties pop the lowest id, exactly like the
-     * strict-less linear argmin it replaces.
+     * strict-less linear argmin it replaces. Per-run (a handful of
+     * entries), so it stays a plain member.
      */
     std::priority_queue<std::pair<double, int>,
                         std::vector<std::pair<double, int>>,
                         std::greater<std::pair<double, int>>>
         aod_avail;
-    /**
-     * TrapId -> pickup end time of the job vacating that trap, 0.0 when
-     * never vacated (a zero entry can never constrain a start time, so
-     * no presence flag is needed).
-     */
-    std::vector<double> vacate;
-    /** TrapId -> sorted job position vacating it (-1 outside emitJobs). */
-    std::vector<std::int32_t> vacated_by_scratch;
     double raman_avail = 0.0;           ///< sequential 1Q laser
 
-    // ---- scratch reused across stages (grouping, dependencies) ----
     using U3Key = std::tuple<long long, long long, long long>;
-    std::vector<std::pair<U3Key, int>> oneq_keys;
-    std::vector<std::vector<int>> zone_qubits;  ///< per ent zone
-    std::vector<int> zones_touched;
-    JobSplitScratch split_scratch;
-    RearrangeLowerScratch lower_scratch;
-    std::vector<int> sort_idx;
-    std::vector<int> dep_count;
-    std::vector<std::vector<int>> dep_succ;
-    std::vector<char> scheduled;
-    std::vector<int> order;
-    std::vector<int> ready_heap;
-    std::vector<TrapId> touched;
-    std::vector<TrapId> move_from_ids;
-    std::vector<TrapId> move_to_ids;
 
-    SchedulerState(const Architecture &a, ZairProgram &p, int num_qubits)
-        : arch(a), program(p),
-          last_end(static_cast<std::size_t>(num_qubits), 0.0),
-          vacate(static_cast<std::size_t>(a.numTraps()), 0.0),
-          vacated_by_scratch(static_cast<std::size_t>(a.numTraps()), -1),
-          zone_qubits(a.entanglementZones().size())
+    SchedulerState(const Architecture &a, ZairInstrSink &s,
+                   SchedulerScratch &scratch, int num_qubits)
+        : arch(a), sink(s), sc(scratch)
     {
+        sc.last_end.assign(static_cast<std::size_t>(num_qubits), 0.0);
+        sc.vacate.assign(static_cast<std::size_t>(a.numTraps()), 0.0);
+        sc.vacated_by_scratch.assign(
+            static_cast<std::size_t>(a.numTraps()), -1);
+        // Defensive re-clear: emitRydberg leaves these empty, but a
+        // compile aborted mid-run (panic, cancellation) must not leak
+        // stale qubits into the next job on this worker.
+        sc.zone_qubits.resize(a.entanglementZones().size());
+        for (std::vector<int> &zq : sc.zone_qubits)
+            zq.clear();
+        sc.zones_touched.clear();
         for (int id = 0; id < static_cast<int>(a.aods().size()); ++id)
             aod_avail.push({0.0, id});
     }
@@ -104,33 +93,33 @@ struct SchedulerState
                          std::llround(a.phi * s),
                          std::llround(a.lambda * s)};
         };
-        oneq_keys.clear();
+        sc.oneq_keys.clear();
         for (std::size_t i = 0; i < stage.ops.size(); ++i)
-            oneq_keys.emplace_back(key_of(stage.ops[i].angles),
-                                   static_cast<int>(i));
-        std::sort(oneq_keys.begin(), oneq_keys.end());
+            sc.oneq_keys.emplace_back(key_of(stage.ops[i].angles),
+                                      static_cast<int>(i));
+        std::sort(sc.oneq_keys.begin(), sc.oneq_keys.end());
 
-        for (std::size_t lo = 0; lo < oneq_keys.size();) {
+        for (std::size_t lo = 0; lo < sc.oneq_keys.size();) {
             std::size_t hi = lo;
-            while (hi < oneq_keys.size() &&
-                   oneq_keys[hi].first == oneq_keys[lo].first)
+            while (hi < sc.oneq_keys.size() &&
+                   sc.oneq_keys[hi].first == sc.oneq_keys[lo].first)
                 ++hi;
             ZairInstr in;
             in.kind = ZairKind::OneQGate;
             in.unitary =
                 stage.ops[static_cast<std::size_t>(
-                              oneq_keys[lo].second)]
+                              sc.oneq_keys[lo].second)]
                     .angles;
             in.locs.reserve(hi - lo);
             double ready = raman_avail;
             for (std::size_t k = lo; k < hi; ++k) {
                 const StagedU3 &op = stage.ops[static_cast<std::size_t>(
-                    oneq_keys[k].second)];
+                    sc.oneq_keys[k].second)];
                 in.locs.push_back(qloc(
                     op.qubit, pos[static_cast<std::size_t>(op.qubit)]));
                 ready = std::max(
                     ready,
-                    last_end[static_cast<std::size_t>(op.qubit)]);
+                    sc.last_end[static_cast<std::size_t>(op.qubit)]);
             }
             in.begin_time_us = ready;
             in.end_time_us =
@@ -138,11 +127,11 @@ struct SchedulerState
                             static_cast<double>(hi - lo);
             raman_avail = in.end_time_us;
             for (std::size_t k = lo; k < hi; ++k)
-                last_end[static_cast<std::size_t>(
+                sc.last_end[static_cast<std::size_t>(
                     stage.ops[static_cast<std::size_t>(
-                                  oneq_keys[k].second)]
+                                  sc.oneq_keys[k].second)]
                         .qubit)] = in.end_time_us;
-            program.instrs.push_back(std::move(in));
+            sink.onInstr(std::move(in));
             lo = hi;
         }
     }
@@ -161,19 +150,21 @@ struct SchedulerState
         // plus its cached position, shared by the conflict-graph split
         // below and the per-job lowering.
         const std::size_t nm = movements.size();
-        move_from_ids.resize(nm);
-        move_to_ids.resize(nm);
-        split_scratch.begin.resize(nm);
-        split_scratch.end.resize(nm);
+        sc.move_from_ids.resize(nm);
+        sc.move_to_ids.resize(nm);
+        sc.split_scratch.begin.resize(nm);
+        sc.split_scratch.end.resize(nm);
         for (std::size_t i = 0; i < nm; ++i) {
             const Movement &m = movements[i];
-            move_from_ids[i] = arch.trapId(m.from);
-            move_to_ids[i] = arch.trapId(m.to);
-            split_scratch.begin[i] = arch.trapPosition(move_from_ids[i]);
-            split_scratch.end[i] = arch.trapPosition(move_to_ids[i]);
+            sc.move_from_ids[i] = arch.trapId(m.from);
+            sc.move_to_ids[i] = arch.trapId(m.to);
+            sc.split_scratch.begin[i] =
+                arch.trapPosition(sc.move_from_ids[i]);
+            sc.split_scratch.end[i] =
+                arch.trapPosition(sc.move_to_ids[i]);
         }
         const int num_groups =
-            splitIntoJobGroupsPrepared(nm, split_scratch);
+            splitIntoJobGroupsPrepared(nm, sc.split_scratch);
 
         // Pre-lower each job to get its duration for load balancing.
         // The resolved TrapIds are carried next to the QLocs so no
@@ -189,37 +180,37 @@ struct SchedulerState
         pending.reserve(static_cast<std::size_t>(num_groups));
         for (int g = 0; g < num_groups; ++g) {
             const std::vector<int> &group =
-                split_scratch.groups[static_cast<std::size_t>(g)];
+                sc.split_scratch.groups[static_cast<std::size_t>(g)];
             Pending p;
             p.instr.kind = ZairKind::RearrangeJob;
             p.instr.begin_locs.reserve(group.size());
             p.instr.end_locs.reserve(group.size());
             p.begin_ids.reserve(group.size());
             p.end_ids.reserve(group.size());
-            lower_scratch.begin.resize(group.size());
-            lower_scratch.end.resize(group.size());
+            sc.lower_scratch.begin.resize(group.size());
+            sc.lower_scratch.end.resize(group.size());
             for (std::size_t k = 0; k < group.size(); ++k) {
                 const std::size_t mi =
                     static_cast<std::size_t>(group[k]);
                 const Movement &m = movements[mi];
                 p.instr.begin_locs.push_back(qloc(m.qubit, m.from));
                 p.instr.end_locs.push_back(qloc(m.qubit, m.to));
-                p.begin_ids.push_back(move_from_ids[mi]);
-                p.end_ids.push_back(move_to_ids[mi]);
-                lower_scratch.begin[k] = split_scratch.begin[mi];
-                lower_scratch.end[k] = split_scratch.end[mi];
+                p.begin_ids.push_back(sc.move_from_ids[mi]);
+                p.end_ids.push_back(sc.move_to_ids[mi]);
+                sc.lower_scratch.begin[k] = sc.split_scratch.begin[mi];
+                sc.lower_scratch.end[k] = sc.split_scratch.end[mi];
             }
-            p.phases =
-                lowerRearrangeJobPrepared(p.instr, arch, lower_scratch);
+            p.phases = lowerRearrangeJobPrepared(p.instr, arch,
+                                                 sc.lower_scratch);
             pending.push_back(std::move(p));
         }
         // Longest-first. Sorting positions with the same comparator
         // outcomes performs the exact permutation std::sort applied to
         // the job structs in the legacy scheduler (ties included).
         const std::size_t nj = pending.size();
-        sort_idx.resize(nj);
-        std::iota(sort_idx.begin(), sort_idx.end(), 0);
-        std::sort(sort_idx.begin(), sort_idx.end(),
+        sc.sort_idx.resize(nj);
+        std::iota(sc.sort_idx.begin(), sc.sort_idx.end(), 0);
+        std::sort(sc.sort_idx.begin(), sc.sort_idx.end(),
                   [&pending](int a, int b) {
                       return pending[static_cast<std::size_t>(a)]
                                  .phases.total() >
@@ -228,7 +219,7 @@ struct SchedulerState
                   });
         auto at = [&](std::size_t i) -> Pending & {
             return pending[static_cast<std::size_t>(
-                sort_idx[static_cast<std::size_t>(i)])];
+                sc.sort_idx[static_cast<std::size_t>(i)])];
         };
 
         // Intra-group trap dependencies (possible with direct in-zone
@@ -240,75 +231,77 @@ struct SchedulerState
         // exchanging traps) fall back to the longest-first order: the
         // lowest unscheduled position is force-scheduled, matching the
         // legacy fallback pick.
-        touched.clear();
+        sc.touched.clear();
         for (std::size_t i = 0; i < nj; ++i)
             for (const TrapId t : at(i).begin_ids) {
-                if (vacated_by_scratch[static_cast<std::size_t>(t)] < 0)
-                    touched.push_back(t);
-                vacated_by_scratch[static_cast<std::size_t>(t)] =
+                if (sc.vacated_by_scratch[static_cast<std::size_t>(t)] <
+                    0)
+                    sc.touched.push_back(t);
+                sc.vacated_by_scratch[static_cast<std::size_t>(t)] =
                     static_cast<std::int32_t>(i);
             }
-        dep_count.assign(nj, 0);
-        if (dep_succ.size() < nj)
-            dep_succ.resize(nj);
+        sc.dep_count.assign(nj, 0);
+        if (sc.dep_succ.size() < nj)
+            sc.dep_succ.resize(nj);
         for (std::size_t i = 0; i < nj; ++i)
-            dep_succ[i].clear();
+            sc.dep_succ[i].clear();
         for (std::size_t i = 0; i < nj; ++i)
             for (const TrapId t : at(i).end_ids) {
                 const std::int32_t v =
-                    vacated_by_scratch[static_cast<std::size_t>(t)];
+                    sc.vacated_by_scratch[static_cast<std::size_t>(t)];
                 if (v >= 0 && static_cast<std::size_t>(v) != i) {
-                    ++dep_count[i];
-                    dep_succ[static_cast<std::size_t>(v)].push_back(
+                    ++sc.dep_count[i];
+                    sc.dep_succ[static_cast<std::size_t>(v)].push_back(
                         static_cast<int>(i));
                 }
             }
-        for (const TrapId t : touched)
-            vacated_by_scratch[static_cast<std::size_t>(t)] = -1;
+        for (const TrapId t : sc.touched)
+            sc.vacated_by_scratch[static_cast<std::size_t>(t)] = -1;
 
-        scheduled.assign(nj, 0);
-        order.clear();
-        ready_heap.clear();
+        sc.scheduled.assign(nj, 0);
+        sc.order.clear();
+        sc.ready_heap.clear();
         const auto heap_cmp = std::greater<int>();
         for (std::size_t i = 0; i < nj; ++i)
-            if (dep_count[i] == 0)
-                ready_heap.push_back(static_cast<int>(i));
-        std::make_heap(ready_heap.begin(), ready_heap.end(), heap_cmp);
+            if (sc.dep_count[i] == 0)
+                sc.ready_heap.push_back(static_cast<int>(i));
+        std::make_heap(sc.ready_heap.begin(), sc.ready_heap.end(),
+                       heap_cmp);
         // The smallest unscheduled position never decreases, so the
         // cycle fallback advances a cursor instead of rescanning.
         std::size_t cursor = 0;
-        while (order.size() < nj) {
+        while (sc.order.size() < nj) {
             int chosen = -1;
-            while (!ready_heap.empty()) {
-                std::pop_heap(ready_heap.begin(), ready_heap.end(),
-                              heap_cmp);
-                const int c = ready_heap.back();
-                ready_heap.pop_back();
-                if (!scheduled[static_cast<std::size_t>(c)]) {
+            while (!sc.ready_heap.empty()) {
+                std::pop_heap(sc.ready_heap.begin(),
+                              sc.ready_heap.end(), heap_cmp);
+                const int c = sc.ready_heap.back();
+                sc.ready_heap.pop_back();
+                if (!sc.scheduled[static_cast<std::size_t>(c)]) {
                     chosen = c;
                     break;
                 }
             }
             if (chosen < 0) {
                 // Dependency cycle: take the first unscheduled job.
-                while (scheduled[cursor])
+                while (sc.scheduled[cursor])
                     ++cursor;
                 chosen = static_cast<int>(cursor);
             }
-            scheduled[static_cast<std::size_t>(chosen)] = 1;
-            order.push_back(chosen);
+            sc.scheduled[static_cast<std::size_t>(chosen)] = 1;
+            sc.order.push_back(chosen);
             for (const int s :
-                 dep_succ[static_cast<std::size_t>(chosen)]) {
-                if (--dep_count[static_cast<std::size_t>(s)] == 0 &&
-                    !scheduled[static_cast<std::size_t>(s)]) {
-                    ready_heap.push_back(s);
-                    std::push_heap(ready_heap.begin(),
-                                   ready_heap.end(), heap_cmp);
+                 sc.dep_succ[static_cast<std::size_t>(chosen)]) {
+                if (--sc.dep_count[static_cast<std::size_t>(s)] == 0 &&
+                    !sc.scheduled[static_cast<std::size_t>(s)]) {
+                    sc.ready_heap.push_back(s);
+                    std::push_heap(sc.ready_heap.begin(),
+                                   sc.ready_heap.end(), heap_cmp);
                 }
             }
         }
 
-        for (const int oi : order) {
+        for (const int oi : sc.order) {
             Pending &p = at(static_cast<std::size_t>(oi));
             // Earliest-available AOD (load balancing).
             const auto [avail, best_aod] = aod_avail.top();
@@ -318,13 +311,13 @@ struct SchedulerState
             double start = avail;
             for (const QLoc &l : p.instr.begin_locs)
                 start = std::max(
-                    start, last_end[static_cast<std::size_t>(l.q)]);
+                    start, sc.last_end[static_cast<std::size_t>(l.q)]);
             // Trap dependency: move must end after the vacating pickup.
             const double lead =
                 p.instr.move_done_us; // pickup + move (relative)
             for (const TrapId t : p.end_ids) {
                 const double v =
-                    vacate[static_cast<std::size_t>(t)];
+                    sc.vacate[static_cast<std::size_t>(t)];
                 start = std::max(start, v - lead);
             }
 
@@ -333,13 +326,13 @@ struct SchedulerState
             aod_avail.push({p.instr.end_time_us, best_aod});
             const double pickup_end = start + p.phases.pickup_us;
             for (const TrapId t : p.begin_ids)
-                vacate[static_cast<std::size_t>(t)] = pickup_end;
+                sc.vacate[static_cast<std::size_t>(t)] = pickup_end;
             for (const QLoc &l : p.instr.end_locs) {
-                last_end[static_cast<std::size_t>(l.q)] =
+                sc.last_end[static_cast<std::size_t>(l.q)] =
                     p.instr.end_time_us;
                 pos[static_cast<std::size_t>(l.q)] = l.trap();
             }
-            program.instrs.push_back(std::move(p.instr));
+            sink.onInstr(std::move(p.instr));
         }
     }
 
@@ -351,18 +344,18 @@ struct SchedulerState
         for (std::size_t i = 0; i < stage.gates.size(); ++i) {
             const int zone = arch.site(sites[i]).zone_index;
             std::vector<int> &zq =
-                zone_qubits[static_cast<std::size_t>(zone)];
+                sc.zone_qubits[static_cast<std::size_t>(zone)];
             if (zq.empty())
-                zones_touched.push_back(zone);
+                sc.zones_touched.push_back(zone);
             zq.push_back(stage.gates[i].q0);
             zq.push_back(stage.gates[i].q1);
         }
         // Ascending zone id, the iteration order of the std::map the
         // per-zone scratch replaces.
-        std::sort(zones_touched.begin(), zones_touched.end());
-        for (const int zone : zones_touched) {
+        std::sort(sc.zones_touched.begin(), sc.zones_touched.end());
+        for (const int zone : sc.zones_touched) {
             std::vector<int> &qubits =
-                zone_qubits[static_cast<std::size_t>(zone)];
+                sc.zone_qubits[static_cast<std::size_t>(zone)];
             ZairInstr in;
             in.kind = ZairKind::Rydberg;
             in.zone_id = zone;
@@ -370,41 +363,57 @@ struct SchedulerState
             double ready = 0.0;
             for (const int q : qubits)
                 ready = std::max(
-                    ready, last_end[static_cast<std::size_t>(q)]);
+                    ready, sc.last_end[static_cast<std::size_t>(q)]);
             in.begin_time_us = ready;
             in.end_time_us = ready + arch.params().t_rydberg_us;
             for (const int q : qubits)
-                last_end[static_cast<std::size_t>(q)] =
+                sc.last_end[static_cast<std::size_t>(q)] =
                     in.end_time_us;
-            program.instrs.push_back(std::move(in));
+            sink.onInstr(std::move(in));
             qubits.clear();
         }
-        zones_touched.clear();
+        sc.zones_touched.clear();
     }
+};
+
+/** Sink appending to a ZairProgram (the DOM-building entry point). */
+class DomSink final : public ZairInstrSink
+{
+  public:
+    explicit DomSink(ZairProgram &program) : program_(program) {}
+
+    void
+    onInstr(ZairInstr &&instr) override
+    {
+        program_.instrs.push_back(std::move(instr));
+    }
+
+  private:
+    ZairProgram &program_;
 };
 
 } // namespace
 
-ZairProgram
-scheduleProgram(const Architecture &arch, const StagedCircuit &staged,
-                const PlacementPlan &plan)
+void
+scheduleProgramToSink(const Architecture &arch,
+                      const StagedCircuit &staged,
+                      const PlacementPlan &plan, ZairInstrSink &sink,
+                      SchedulerScratch *scratch)
 {
-    ZairProgram program;
-    program.circuit_name = staged.name;
-    program.arch_name = arch.name();
-    program.num_qubits = staged.numQubits;
-
-    SchedulerState st(arch, program, staged.numQubits);
+    SchedulerScratch local;
+    SchedulerScratch &sc = scratch ? *scratch : local;
+    SchedulerState st(arch, sink, sc, staged.numQubits);
 
     // Position tracking for 1Q qlocs.
-    std::vector<TrapRef> pos = plan.initial;
+    sc.pos.assign(plan.initial.begin(), plan.initial.end());
+    std::vector<TrapRef> &pos = sc.pos;
 
     ZairInstr init;
     init.kind = ZairKind::Init;
     for (int q = 0; q < staged.numQubits; ++q)
         init.init_locs.push_back(
             st.qloc(q, plan.initial[static_cast<std::size_t>(q)]));
-    program.instrs.push_back(std::move(init));
+    sink.onInstr(std::move(init));
 
     const int num_stages = staged.numRydbergStages();
     for (int t = 0; t < num_stages; ++t) {
@@ -418,6 +427,19 @@ scheduleProgram(const Architecture &arch, const StagedCircuit &staged,
                        plan.gate_sites[static_cast<std::size_t>(t)]);
     }
     st.emitOneQStage(staged.oneQ.back(), pos);
+}
+
+ZairProgram
+scheduleProgram(const Architecture &arch, const StagedCircuit &staged,
+                const PlacementPlan &plan)
+{
+    ZairProgram program;
+    program.circuit_name = staged.name;
+    program.arch_name = arch.name();
+    program.num_qubits = staged.numQubits;
+
+    DomSink sink(program);
+    scheduleProgramToSink(arch, staged, plan, sink, nullptr);
 
     program.checkInvariants();
     return program;

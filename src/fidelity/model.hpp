@@ -21,6 +21,9 @@
 #ifndef ZAC_FIDELITY_MODEL_HPP
 #define ZAC_FIDELITY_MODEL_HPP
 
+#include <cstdint>
+#include <vector>
+
 #include "arch/spec.hpp"
 #include "zair/program.hpp"
 
@@ -54,6 +57,40 @@ struct FidelityBreakdown
  */
 FidelityBreakdown evaluateFidelity(const ZairProgram &program,
                                    const Architecture &arch);
+
+/**
+ * Incremental form of evaluateFidelity(): feed() each instruction as it
+ * is produced, finish() yields the breakdown. evaluateFidelity() is
+ * implemented on top of this, so the streamed and DOM paths agree by
+ * construction. The makespan is accumulated as the running max of
+ * instruction end times (order-insensitive), matching makespanUs().
+ */
+class FidelityAccumulator
+{
+  public:
+    FidelityAccumulator(const Architecture &arch, int num_qubits);
+
+    void feed(const ZairInstr &in);
+    FidelityBreakdown finish() const;
+
+  private:
+    void moveToZone(std::size_t q, int zone);
+
+    const Architecture &arch_;
+    int num_qubits_ = 0;
+    int num_zones_ = 0;
+    int g1_ = 0;
+    int g2_ = 0;
+    int n_excitation_ = 0;
+    int n_transfer_ = 0;
+    double makespan_us_ = 0.0;
+    std::vector<double> busy_us_;
+    std::vector<int> qubit_zone_;
+    std::vector<int> zone_occupancy_;
+    std::vector<std::uint32_t> gated_stamp_;
+    std::uint32_t pulse_stamp_ = 0;
+    bool saw_init_ = false;
+};
 
 /** Geometric mean of a list of positive values (used in reports). */
 double geometricMean(const std::vector<double> &values);

@@ -734,6 +734,13 @@ CompileServer::healthzBody()
         {"snapshot_records_written",
          static_cast<std::int64_t>(j.snapshot_records_written)},
     };
+    o["warm_contexts"] = json::Object{
+        {"hits", static_cast<std::int64_t>(s.warm.hits)},
+        {"misses", static_cast<std::int64_t>(s.warm.misses)},
+        {"evictions", static_cast<std::int64_t>(s.warm.evictions)},
+        {"entries", static_cast<std::int64_t>(s.warm.entries)},
+        {"build_seconds", s.warm.build_seconds},
+    };
     o["connections"] = json::Object{
         {"active", static_cast<std::int64_t>(conns_.size())},
         {"accepted",

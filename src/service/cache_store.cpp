@@ -4,6 +4,7 @@
 #include <cstdio>
 #include <fstream>
 #include <sstream>
+#include <stdexcept>
 
 #include "common/hash.hpp"
 #include "common/json.hpp"
@@ -47,9 +48,9 @@ recordChecksum(const CacheKey &key, const std::string &payload)
     return h.digest();
 }
 
-/** The protocol-visible surface of one ZacResult as JSON. */
+/** The protocol-visible surface of one ZacStreamedResult as JSON. */
 json::Value
-payloadFromResult(const ZacResult &r)
+payloadFromResult(const ZacStreamedResult &r)
 {
     json::Object p;
     p["compile_seconds"] = r.compile_seconds;
@@ -74,16 +75,32 @@ payloadFromResult(const ZacResult &r)
         {"n_transfer", f.n_transfer},
         {"duration_us", f.duration_us},
     };
-    p["staged_name"] = r.staged.name;
-    p["zair"] = zairProgramToJson(r.program);
+    const ZairStats &s = r.stats;
+    p["stats"] = json::Object{
+        {"num_zair_instrs", s.num_zair_instrs},
+        {"num_machine_instrs", s.num_machine_instrs},
+        {"num_1q_gates", s.num_1q_gates},
+        {"num_2q_gates", s.num_2q_gates},
+        {"num_rydberg_stages", s.num_rydberg_stages},
+        {"num_rearrange_jobs", s.num_rearrange_jobs},
+        {"num_atom_transfers", s.num_atom_transfers},
+        {"total_move_distance_um", s.total_move_distance_um},
+        {"makespan_us", s.makespan_us},
+    };
+    p["circuit_name"] = r.circuit_name;
+    p["arch_name"] = r.arch_name;
+    p["num_qubits"] = r.num_qubits;
+    // Verbatim compact bytes, not a re-parsed object: a loaded hit
+    // must serve the exact bytes the streamed compile produced.
+    p["zair_json"] = r.program_json;
     return p;
 }
 
 /** Inverse of payloadFromResult; throws on shape mismatches. */
-std::shared_ptr<const ZacResult>
+std::shared_ptr<const ZacStreamedResult>
 resultFromPayload(const json::Value &p)
 {
-    auto r = std::make_shared<ZacResult>();
+    auto r = std::make_shared<ZacStreamedResult>();
     r->compile_seconds = p.at("compile_seconds").asDouble();
     const json::Value &ph = p.at("phases");
     r->phases.sa_seconds = ph.at("sa").asDouble();
@@ -105,9 +122,40 @@ resultFromPayload(const json::Value &p)
     r->fidelity.n_transfer =
         static_cast<int>(f.at("n_transfer").asInt());
     r->fidelity.duration_us = f.at("duration_us").asDouble();
-    r->program = zairProgramFromJson(p.at("zair"));
-    r->staged.name = p.at("staged_name").asString();
-    r->staged.numQubits = r->program.num_qubits;
+    const json::Value &s = p.at("stats");
+    r->stats.num_zair_instrs =
+        static_cast<int>(s.at("num_zair_instrs").asInt());
+    r->stats.num_machine_instrs =
+        static_cast<int>(s.at("num_machine_instrs").asInt());
+    r->stats.num_1q_gates =
+        static_cast<int>(s.at("num_1q_gates").asInt());
+    r->stats.num_2q_gates =
+        static_cast<int>(s.at("num_2q_gates").asInt());
+    r->stats.num_rydberg_stages =
+        static_cast<int>(s.at("num_rydberg_stages").asInt());
+    r->stats.num_rearrange_jobs =
+        static_cast<int>(s.at("num_rearrange_jobs").asInt());
+    r->stats.num_atom_transfers =
+        static_cast<int>(s.at("num_atom_transfers").asInt());
+    r->stats.total_move_distance_um =
+        s.at("total_move_distance_um").asDouble();
+    r->stats.makespan_us = s.at("makespan_us").asDouble();
+    r->circuit_name = p.at("circuit_name").asString();
+    r->arch_name = p.at("arch_name").asString();
+    r->num_qubits = static_cast<int>(p.at("num_qubits").asInt());
+    r->program_json = p.at("zair_json").asString();
+    // Re-derive the name span and hold the record to it: a snapshot
+    // whose bytes disagree with its own names must not be served (the
+    // rebind-by-splice path would corrupt the JSON).
+    const ZairNameSpan span =
+        zairCompactNameSpan(r->circuit_name, r->arch_name);
+    r->name_off = span.offset;
+    r->name_len = span.length;
+    if (r->program_json.compare(
+            r->name_off, r->name_len,
+            json::Value(r->circuit_name).dump()) != 0)
+        throw std::runtime_error(
+            "cache snapshot: name span mismatch in zair_json");
     return r;
 }
 

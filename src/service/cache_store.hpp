@@ -11,7 +11,7 @@
  *
  * Snapshot format: JSONL. Line 1 is a versioned header
  *
- *   {"type":"zac_cache_snapshot","version":1,"records":N}
+ *   {"type":"zac_cache_snapshot","version":2,"records":N}
  *
  * and every following line is one cache entry
  *
@@ -19,14 +19,18 @@
  *    "checksum":"0x..","payload":{...}}
  *
  * where `checksum` is the FNV-1a digest of the compact-dumped payload.
- * The payload restores the protocol-visible surface of a ZacResult:
- * the full timed ZAIR program, the complete fidelity breakdown (exact
- * bit patterns survive because numbers serialize with %.17g and parse
- * back to the identical double), the phase timings of the original
- * compile, and the staged-circuit name. The internal placement plan
- * and staged gate lists are NOT persisted — no protocol consumer reads
- * them from a cache hit, and omitting them keeps snapshots a few KB
- * per entry.
+ * The payload restores the protocol-visible surface of a
+ * ZacStreamedResult: the compact ZAIR/JSON bytes verbatim (as the
+ * `zair_json` string — the exact bytes the streamed compile produced),
+ * the complete fidelity breakdown and program statistics (exact bit
+ * patterns survive because numbers serialize with %.17g and parse back
+ * to the identical double), the phase timings of the original compile,
+ * and the circuit/architecture names. The loader re-derives the
+ * circuit-name byte span from the names and rejects a record whose
+ * bytes disagree (skipped_corrupt). Version-1 snapshots (which
+ * persisted the ZAIR program as a JSON object for the retired DOM
+ * result shape) are skipped wholesale as skipped_version — a cold
+ * start, never a misread.
  *
  * Writes are crash-safe: the snapshot is written to `<path>.tmp` and
  * atomically renamed over the target, so readers only ever observe a
@@ -49,7 +53,7 @@ namespace zac::service
 {
 
 /** Snapshot-file format version written by saveCacheSnapshot(). */
-inline constexpr int kCacheSnapshotVersion = 1;
+inline constexpr int kCacheSnapshotVersion = 2;
 
 /** What loadCacheSnapshot() found, loaded, and skipped. */
 struct SnapshotLoadStats

@@ -10,6 +10,9 @@
  *    program;
  *  - "error": one finished job whose status is not "done" (failed,
  *    cancelled, timed_out) with the failure message.
+ *  - "stats": one service-health snapshot (counters, cache and
+ *    warm-context-pool figures) — written once per run by frontends
+ *    that opt in (zac_batch --stats-record); carries no job_id.
  *
  * Records are self-describing ("type" field) and streamed in completion
  * order, which is generally NOT submission order — consumers must key
@@ -42,6 +45,13 @@ json::Value makeSubmitRecord(std::uint64_t job_id,
 json::Value makeJobRecord(const JobRecord &record,
                           const std::string &target_name,
                           bool include_zair);
+
+/**
+ * Build a "stats" record from one coherent ServiceStats snapshot:
+ * the fault-tolerance counters plus cache and warm-context-pool
+ * figures, mirroring the zac_serve /healthz body.
+ */
+json::Value makeStatsRecord(const CompileService::ServiceStats &stats);
 
 /** Serialize @p v as one JSONL line (compact dump + newline). */
 std::string toJsonl(const json::Value &v);

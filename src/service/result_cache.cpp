@@ -26,7 +26,7 @@ ResultCache::shardFor(const CacheKey &key)
                     shards_.size()];
 }
 
-std::shared_ptr<const ZacResult>
+std::shared_ptr<const ZacStreamedResult>
 ResultCache::find(const CacheKey &key)
 {
     Shard &s = shardFor(key);
@@ -42,9 +42,9 @@ ResultCache::find(const CacheKey &key)
     return s.lru.front().second;
 }
 
-std::shared_ptr<const ZacResult>
+std::shared_ptr<const ZacStreamedResult>
 ResultCache::insert(const CacheKey &key,
-                    std::shared_ptr<const ZacResult> result)
+                    std::shared_ptr<const ZacStreamedResult> result)
 {
     if (!enabled())
         return result;
@@ -82,10 +82,10 @@ ResultCache::stats() const
     return total;
 }
 
-std::vector<std::pair<CacheKey, std::shared_ptr<const ZacResult>>>
+std::vector<std::pair<CacheKey, std::shared_ptr<const ZacStreamedResult>>>
 ResultCache::entries() const
 {
-    std::vector<std::pair<CacheKey, std::shared_ptr<const ZacResult>>>
+    std::vector<std::pair<CacheKey, std::shared_ptr<const ZacStreamedResult>>>
         out;
     for (const auto &sp : shards_) {
         std::lock_guard<std::mutex> lock(sp->m);

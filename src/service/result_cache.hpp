@@ -3,7 +3,7 @@
  * Content-addressed cache of compile results for the compile service.
  *
  * Keyed by (canonical circuit hash, architecture fingerprint, options
- * digest): three inputs that together determine a ZacResult bit for bit,
+ * digest): three inputs that together determine a ZacStreamedResult bit for bit,
  * because the compiler is deterministic. A hit therefore serves the
  * exact bytes a recompile would produce.
  */
@@ -54,7 +54,7 @@ struct CacheKeyHash
 };
 
 /**
- * Sharded LRU cache from CacheKey to an immutable shared ZacResult.
+ * Sharded LRU cache from CacheKey to an immutable shared ZacStreamedResult.
  *
  * Shards are independent (key -> shard by hash), so concurrent workers
  * rarely contend on one mutex. Each shard evicts least-recently-used
@@ -97,7 +97,7 @@ class ResultCache
      * Look up @p key, refreshing its LRU position.
      * @return the cached result, or nullptr on a miss.
      */
-    std::shared_ptr<const ZacResult> find(const CacheKey &key);
+    std::shared_ptr<const ZacStreamedResult> find(const CacheKey &key);
 
     /**
      * Insert @p result under @p key.
@@ -107,8 +107,8 @@ class ResultCache
      * bit-identical anyway, so either object is correct — keeping the
      * incumbent just preserves sharing with earlier consumers).
      */
-    std::shared_ptr<const ZacResult> insert(
-        const CacheKey &key, std::shared_ptr<const ZacResult> result);
+    std::shared_ptr<const ZacStreamedResult> insert(
+        const CacheKey &key, std::shared_ptr<const ZacStreamedResult> result);
 
     /** Aggregate statistics over all shards. */
     Stats stats() const;
@@ -119,7 +119,7 @@ class ResultCache
      * history; the cache-store snapshot writer relies on that so two
      * snapshots of the same state are byte-identical.
      */
-    std::vector<std::pair<CacheKey, std::shared_ptr<const ZacResult>>>
+    std::vector<std::pair<CacheKey, std::shared_ptr<const ZacStreamedResult>>>
     entries() const;
 
     /** Drop every entry (statistics are kept). */
@@ -130,7 +130,7 @@ class ResultCache
     {
         mutable std::mutex m;
         /** MRU-first list of (key, result). */
-        std::list<std::pair<CacheKey, std::shared_ptr<const ZacResult>>>
+        std::list<std::pair<CacheKey, std::shared_ptr<const ZacStreamedResult>>>
             lru;
         std::unordered_map<CacheKey, decltype(lru)::iterator,
                            CacheKeyHash>

@@ -3,7 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
-#include "arch/serialize.hpp"
+#include "common/json.hpp"
 #include "common/logging.hpp"
 
 namespace zac::service
@@ -61,10 +61,17 @@ CompileService::CompileService(std::vector<CompileTarget> targets,
     targets_.reserve(targets.size());
     for (CompileTarget &t : targets) {
         TargetState st;
-        st.arch_fingerprint = architectureFingerprint(t.arch);
+        // Warm contexts come from the process-wide pool, so repeated
+        // constructions against one architecture (restarts, the churn
+        // bench) share a single build; the cold path keeps the legacy
+        // per-service derivation for an honest baseline.
+        st.context = config_.warm_contexts
+                         ? WarmContextPool::global().acquire(t.arch)
+                         : ArchContext::build(t.arch);
+        st.arch_fingerprint = st.context->fingerprint;
         st.options_digest = t.opts.digest();
         st.compiler =
-            std::make_shared<const ZacCompiler>(t.arch, t.opts);
+            std::make_shared<const ZacCompiler>(st.context, t.opts);
         st.target = std::move(t);
         targets_.push_back(std::move(st));
     }
@@ -267,6 +274,7 @@ CompileService::serviceStats() const
     s.workers = num_workers_;
     s.uptime_seconds =
         secondsSince(start_time_, std::chrono::steady_clock::now());
+    s.warm = WarmContextPool::global().stats();
     std::lock_guard<std::mutex> lock(state_mutex_);
     s.counters = stats_;
     s.pending = stats_.submitted - stats_.delivered;
@@ -296,31 +304,39 @@ CompileService::flushSnapshot()
 void
 CompileService::workerLoop()
 {
+    // One reusable compile-scratch per worker: buffer capacity
+    // persists across the jobs this thread runs, contents are
+    // value-reset per compile.
+    CompileScratch scratch;
     while (std::optional<Job> job = queue_.pop())
-        runJob(*job);
+        runJob(*job, scratch);
 }
 
-std::shared_ptr<const ZacResult>
-CompileService::reboundResult(std::shared_ptr<const ZacResult> hit,
-                              const std::string &circuit_name)
+std::shared_ptr<const ZacStreamedResult>
+CompileService::reboundResult(
+    std::shared_ptr<const ZacStreamedResult> hit,
+    const std::string &circuit_name)
 {
     // The cache key is name-blind (Circuit::contentHash ignores
-    // names), but the result embeds the compiled circuit's name in
-    // staged.name / program.circuit_name. Those are pure metadata —
-    // nothing else in the result derives from them — so when a
-    // content-equal circuit arrives under a different name, rebind the
-    // name fields to reproduce a fresh compile of *this* submission
-    // bit for bit.
-    if (hit->program.circuit_name == circuit_name)
+    // names), but the result embeds the compiled circuit's name both
+    // as metadata and as one string literal inside the serialized
+    // bytes (at the recorded name span). Nothing else derives from
+    // the name, so when a content-equal circuit arrives under a
+    // different name, splicing the new literal over the old one
+    // reproduces a fresh compile of *this* submission bit for bit.
+    if (hit->circuit_name == circuit_name)
         return hit;
-    auto rebound = std::make_shared<ZacResult>(*hit);
-    rebound->staged.name = circuit_name;
-    rebound->program.circuit_name = circuit_name;
+    auto rebound = std::make_shared<ZacStreamedResult>(*hit);
+    const std::string literal = json::Value(circuit_name).dump();
+    rebound->program_json.replace(rebound->name_off,
+                                  rebound->name_len, literal);
+    rebound->name_len = literal.size();
+    rebound->circuit_name = circuit_name;
     return rebound;
 }
 
 void
-CompileService::runJob(Job &job)
+CompileService::runJob(Job &job, CompileScratch &scratch)
 {
     using clock = std::chrono::steady_clock;
     const clock::time_point picked_up = clock::now();
@@ -351,7 +367,8 @@ CompileService::runJob(Job &job)
     }
 
     if (cache_.enabled()) {
-        if (std::shared_ptr<const ZacResult> hit = cache_.find(key)) {
+        if (std::shared_ptr<const ZacStreamedResult> hit =
+                cache_.find(key)) {
             record.status = JobStatus::Done;
             record.cache_hit = true;
             record.result =
@@ -385,7 +402,8 @@ CompileService::runJob(Job &job)
             return; // the leader's terminal record settles this job
         // Close the race with a previous leader that published and
         // resolved between our cache miss and our registration.
-        if (std::shared_ptr<const ZacResult> hit = cache_.find(key)) {
+        if (std::shared_ptr<const ZacStreamedResult> hit =
+                cache_.find(key)) {
             record.status = JobStatus::Done;
             record.cache_hit = true;
             record.result =
@@ -433,17 +451,37 @@ CompileService::runJob(Job &job)
                 "injected transient fault (job " +
                 std::to_string(job.id) + ", attempt " +
                 std::to_string(job.attempt) + ")");
-        ZacResult result;
-        if (job.seed) {
-            // Seed override: a per-job compiler bound to the derived
-            // options (copies the architecture; rare path by design).
+        // Zero-DOM default: stream the scheduler's output straight
+        // into the serialized bytes with the worker's reusable
+        // scratch. The cold configuration keeps the legacy pipeline
+        // (DOM compile, then serialize) as a faithful baseline —
+        // either way the bytes delivered are identical.
+        const auto runCompile =
+            [&](const ZacCompiler &compiler) -> ZacStreamedResult {
+            if (config_.streamed)
+                return compiler.compileStreamed(
+                    job.circuit, control, &scratch,
+                    config_.verify_streamed);
+            return streamedResultFromDom(
+                compiler.compile(job.circuit, control));
+        };
+        ZacStreamedResult result;
+        if (job.seed && config_.warm_contexts) {
+            // Seed override, warm: rebind the shared context to the
+            // derived options — no architecture copy, no rebuild.
+            const ZacCompiler compiler(ts.context, opts);
+            result = runCompile(compiler);
+        } else if (job.seed) {
+            // Seed override, cold: a per-job compiler bound to the
+            // derived options (copies the architecture and re-derives
+            // its tables; the legacy cost structure).
             const ZacCompiler compiler(ts.target.arch, opts);
-            result = compiler.compile(job.circuit, control);
+            result = runCompile(compiler);
         } else {
-            result = ts.compiler->compile(job.circuit, control);
+            result = runCompile(*ts.compiler);
         }
-        auto shared =
-            std::make_shared<const ZacResult>(std::move(result));
+        auto shared = std::make_shared<const ZacStreamedResult>(
+            std::move(result));
         record.result = cache_.enabled()
                             ? cache_.insert(key, std::move(shared))
                             : std::move(shared);

@@ -64,6 +64,7 @@
 #include "service/fault_injection.hpp"
 #include "service/job_queue.hpp"
 #include "service/result_cache.hpp"
+#include "service/warm_context_pool.hpp"
 
 namespace zac::service
 {
@@ -111,8 +112,9 @@ struct JobRecord
     std::string error;         ///< failure message when Failed
 
     /** Compile output; non-null iff status == Done. Shared with the
-     *  cache — treat as immutable. */
-    std::shared_ptr<const ZacResult> result;
+     *  cache — treat as immutable. The streamed shape carries the
+     *  compact ZAIR/JSON bytes directly (no ZairProgram DOM). */
+    std::shared_ptr<const ZacStreamedResult> result;
 
     std::uint64_t circuit_hash = 0; ///< circuit key component
     double queue_seconds = 0.0;     ///< submit -> worker pickup
@@ -175,6 +177,29 @@ class CompileService
         std::string snapshot_path;
         /** Fault plan; when unset, ZAC_SERVICE_FAULT_* is consulted. */
         std::optional<FaultPlan> faults;
+
+        /**
+         * Zero-DOM compile path: workers stream the scheduler's output
+         * straight into the compact ZAIR/JSON serialization instead of
+         * materializing a ZairProgram. Off reproduces the legacy DOM
+         * pipeline (compile, then serialize) — the perf harness uses
+         * that as its cold baseline. Either way the delivered bytes are
+         * identical; only the cost structure differs.
+         */
+        bool streamed = true;
+        /**
+         * Acquire per-architecture contexts (proximity tables, ...)
+         * from the process-wide WarmContextPool instead of building
+         * them privately: repeated constructions against the same
+         * architecture (restarts, churn) skip the derivation entirely.
+         */
+        bool warm_contexts = true;
+        /**
+         * Test mode: every streamed compile also builds the DOM and
+         * panics unless the streamed bytes equal the DOM dump.
+         * Expensive; meaningless when `streamed` is off.
+         */
+        bool verify_streamed = false;
     };
 
     /** Monotonic counters for the fault-tolerance machinery. */
@@ -209,6 +234,9 @@ class CompileService
         int workers = 0;
         double uptime_seconds = 0.0; ///< since construction
         bool draining = false;       ///< drainAndStop() in progress
+        /** Process-wide warm-context pool counters (hits/misses/
+         *  evictions/build time), snapshotted with the rest. */
+        WarmContextPool::Stats warm;
     };
 
     using ResultSink = std::function<void(const JobRecord &)>;
@@ -294,6 +322,9 @@ class CompileService
     struct TargetState
     {
         CompileTarget target;
+        /** Shared architecture context (pool-acquired when
+         *  Config::warm_contexts, privately built otherwise). */
+        std::shared_ptr<const ArchContext> context;
         std::shared_ptr<const ZacCompiler> compiler;
         std::uint64_t arch_fingerprint = 0;
         std::uint64_t options_digest = 0;
@@ -320,7 +351,9 @@ class CompileService
     };
 
     void workerLoop();
-    void runJob(Job &job);
+    /** @p scratch is the calling worker's reusable compile buffers
+     *  (SA annealer state, scheduler tables), value-reset per use. */
+    void runJob(Job &job, CompileScratch &scratch);
     /** Deliver a terminal record, then settle every waiter coalesced
      *  behind (record.job_id, key): serve them on Done, re-enqueue
      *  them when the leader failed. No-op for non-leaders. */
@@ -330,10 +363,11 @@ class CompileService
     void settleWaiter(Job &waiter, const JobRecord &leader);
     void deliver(JobRecord &record,
                  std::chrono::steady_clock::time_point submit_time);
-    /** Serve a cache/leader result, rebinding name metadata so the
-     *  record is bit-identical to a fresh compile of the submission. */
-    static std::shared_ptr<const ZacResult>
-    reboundResult(std::shared_ptr<const ZacResult> hit,
+    /** Serve a cache/leader result, rebinding name metadata (a byte
+     *  splice at the recorded name span) so the record is bit-identical
+     *  to a fresh compile of the submission. */
+    static std::shared_ptr<const ZacStreamedResult>
+    reboundResult(std::shared_ptr<const ZacStreamedResult> hit,
                   const std::string &circuit_name);
     void flushSnapshot();
 

@@ -1,0 +1,64 @@
+#include "service/warm_context_pool.hpp"
+
+#include "arch/serialize.hpp"
+
+namespace zac::service
+{
+
+WarmContextPool::WarmContextPool(std::size_t capacity)
+    : capacity_(capacity > 0 ? capacity : 1)
+{
+}
+
+std::shared_ptr<const ArchContext>
+WarmContextPool::acquire(const Architecture &arch)
+{
+    const std::uint64_t fp = architectureFingerprint(arch);
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto it = map_.find(fp);
+    if (it != map_.end()) {
+        lru_.splice(lru_.begin(), lru_, it->second);
+        ++stats_.hits;
+        return it->second->second;
+    }
+
+    // Build under the lock: concurrent first sights of one architecture
+    // coalesce onto a single build instead of racing duplicates.
+    std::shared_ptr<const ArchContext> ctx = ArchContext::build(arch);
+    ++stats_.misses;
+    stats_.build_seconds += ctx->build_seconds;
+    lru_.emplace_front(fp, ctx);
+    map_.emplace(fp, lru_.begin());
+    while (lru_.size() > capacity_) {
+        map_.erase(lru_.back().first);
+        lru_.pop_back();
+        ++stats_.evictions;
+    }
+    return ctx;
+}
+
+void
+WarmContextPool::clear()
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    lru_.clear();
+    map_.clear();
+}
+
+WarmContextPool::Stats
+WarmContextPool::stats() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    Stats s = stats_;
+    s.entries = lru_.size();
+    return s;
+}
+
+WarmContextPool &
+WarmContextPool::global()
+{
+    static WarmContextPool pool;
+    return pool;
+}
+
+} // namespace zac::service

@@ -1,0 +1,91 @@
+/**
+ * @file
+ * Warm per-architecture compile contexts for the compile service.
+ *
+ * An ArchContext (the finalized Architecture plus the derived tables
+ * every compile needs — storage-proximity order today, anything the
+ * placement/scheduling phases hoist tomorrow) is a pure function of the
+ * architecture, so it can be built once per distinct
+ * architectureFingerprint() and shared read-only across every worker,
+ * service instance, and restart in the process. This pool is that
+ * registry: an LRU keyed by fingerprint, with hit/miss/build-time
+ * counters surfaced through /healthz and the JSONL protocol.
+ *
+ * Eviction only drops the pool's own reference — services that already
+ * acquired a context keep it alive through their shared_ptr, so an
+ * evicted context is never torn down under a compile in flight.
+ */
+
+#ifndef ZAC_SERVICE_WARM_CONTEXT_POOL_HPP
+#define ZAC_SERVICE_WARM_CONTEXT_POOL_HPP
+
+#include <cstdint>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <unordered_map>
+#include <utility>
+
+#include "core/compiler.hpp"
+
+namespace zac::service
+{
+
+/**
+ * Thread-safe LRU pool of shared ArchContexts, keyed by architecture
+ * fingerprint. acquire() is the only lookup path: it either returns the
+ * pooled context (hit) or builds, caches, and returns a fresh one
+ * (miss). Typically used through the process-wide global() instance so
+ * short-lived services (the churn benchmark's restart loop) reuse each
+ * other's contexts.
+ */
+class WarmContextPool
+{
+  public:
+    /** Monotonic counters plus the instantaneous entry count. */
+    struct Stats
+    {
+        std::uint64_t hits = 0;
+        std::uint64_t misses = 0;
+        std::uint64_t evictions = 0;
+        /** Total wall-clock seconds spent building on misses. */
+        double build_seconds = 0.0;
+        std::size_t entries = 0;
+    };
+
+    /** @param capacity max pooled contexts; at least 1. */
+    explicit WarmContextPool(std::size_t capacity = 16);
+
+    std::size_t capacity() const { return capacity_; }
+
+    /**
+     * The pooled context for @p arch, building it on first sight.
+     * Fingerprinting is cheap next to a build; the build itself runs
+     * under the pool lock so concurrent first sights of one
+     * architecture coalesce onto a single build.
+     */
+    std::shared_ptr<const ArchContext> acquire(const Architecture &arch);
+
+    /** Drop every pooled context (outstanding shared_ptrs survive;
+     *  statistics are kept, evictions are not counted). */
+    void clear();
+
+    Stats stats() const;
+
+    /** The process-wide pool every service shares by default. */
+    static WarmContextPool &global();
+
+  private:
+    using LruList = std::list<
+        std::pair<std::uint64_t, std::shared_ptr<const ArchContext>>>;
+
+    mutable std::mutex mutex_;
+    std::size_t capacity_;
+    LruList lru_; ///< MRU first
+    std::unordered_map<std::uint64_t, LruList::iterator> map_;
+    Stats stats_;
+};
+
+} // namespace zac::service
+
+#endif // ZAC_SERVICE_WARM_CONTEXT_POOL_HPP

@@ -50,6 +50,48 @@ class ZairProgram
     void checkInvariants() const;
 };
 
+/**
+ * Incremental form of ZairProgram::stats(): feed() each instruction as
+ * it is produced, finish() yields the same ZairStats the DOM method
+ * computes. ZairProgram::stats() is implemented on top of this, so the
+ * streamed and DOM paths agree by construction.
+ */
+class ZairStatsAccumulator
+{
+  public:
+    void feed(const ZairInstr &in);
+    ZairStats finish() const;
+
+  private:
+    ZairStats stats_;
+    double makespan_us_ = 0.0;
+};
+
+/**
+ * Streaming counterpart of ZairProgram::checkInvariants(): per-instr
+ * structural checks with the same panic messages, usable before the
+ * full program exists. Needs num_qubits up front; finish() validates
+ * the whole-program conditions (non-empty, init first and only once).
+ */
+class ZairInvariantChecker
+{
+  public:
+    explicit ZairInvariantChecker(int num_qubits)
+        : num_qubits_(num_qubits)
+    {
+    }
+
+    void feed(const ZairInstr &in);
+    void finish() const;
+
+  private:
+    void checkQubit(int q) const;
+
+    int num_qubits_ = 0;
+    std::size_t count_ = 0;
+    bool saw_init_ = false;
+};
+
 } // namespace zac
 
 #endif // ZAC_ZAIR_PROGRAM_HPP

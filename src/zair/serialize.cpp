@@ -396,4 +396,16 @@ streamZairProgram(std::ostream &out, const ZairProgram &program,
     w.end();
 }
 
+ZairNameSpan
+zairCompactNameSpan(const std::string &circuit_name,
+                    const std::string &arch_name)
+{
+    // {"architecture":<arch>,"circuit":<name>  — 16 and 11 bytes of
+    // fixed syntax around the architecture-name literal.
+    ZairNameSpan span;
+    span.offset = 16 + json::Value(arch_name).dump().size() + 11;
+    span.length = json::Value(circuit_name).dump().size();
+    return span;
+}
+
 } // namespace zac

@@ -77,6 +77,23 @@ class ZairStreamWriter
 void streamZairProgram(std::ostream &out, const ZairProgram &program,
                        int indent = 2);
 
+/** Byte range of the circuit-name JSON string inside a compact dump. */
+struct ZairNameSpan
+{
+    std::size_t offset = 0; ///< first byte of the quoted name literal
+    std::size_t length = 0; ///< bytes of the quoted name literal
+};
+
+/**
+ * Locate the circuit-name string literal (including quotes) inside the
+ * compact (indent 0) byte stream ZairStreamWriter produces. The layout
+ * is fixed — {"architecture":<a>,"circuit":<c>,... — so the span is
+ * computed arithmetically; callers can splice a replacement name into
+ * a stored compact dump without reparsing it.
+ */
+ZairNameSpan zairCompactNameSpan(const std::string &circuit_name,
+                                 const std::string &arch_name);
+
 } // namespace zac
 
 #endif // ZAC_ZAIR_SERIALIZE_HPP

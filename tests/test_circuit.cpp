@@ -258,6 +258,40 @@ TEST(QasmParser, RejectsBadPrograms)
     EXPECT_THROW(qasm::parse("opaque foo a;"), FatalError);
 }
 
+// Integer literals that overflow int used to escape the parser as an
+// uncaught std::out_of_range from std::stoi — every lexically valid
+// but unrepresentable integer must surface as the parser's own
+// FatalError (regression: ISSUE 9).
+TEST(QasmParser, OverflowingIntegerLiteralsAreFatalErrors)
+{
+    // qreg size (qasm_parser parseStatement).
+    EXPECT_THROW(qasm::parse("qreg q[99999999999999999999];"),
+                 FatalError);
+    EXPECT_THROW(qasm::parse("qreg q[2147483648];"), FatalError);
+    // qubit index (parseQubitOperand).
+    EXPECT_THROW(
+        qasm::parse("qreg q[2]; h q[99999999999999999999];"),
+        FatalError);
+    // The message must carry the parser's line/col diagnostics, not a
+    // bare stoi what() string.
+    try {
+        qasm::parse("qreg q[99999999999999999999];");
+        FAIL() << "expected FatalError";
+    } catch (const FatalError &e) {
+        EXPECT_NE(std::string(e.what()).find("qasm parse error"),
+                  std::string::npos);
+        EXPECT_NE(std::string(e.what()).find("out of range"),
+                  std::string::npos);
+    }
+}
+
+TEST(QasmParser, NonNumericSizeIsFatalError)
+{
+    EXPECT_THROW(qasm::parse("qreg q[abc];"), FatalError);
+    EXPECT_THROW(qasm::parse("qreg q[];"), FatalError);
+    EXPECT_THROW(qasm::parse("qreg q[2]; h q[x];"), FatalError);
+}
+
 TEST(QasmParser, HandlesCommentsAndBarriers)
 {
     const Circuit c = qasm::parse(R"(

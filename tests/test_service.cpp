@@ -177,11 +177,24 @@ TEST(CacheKeyComponents, OptionsDigestCoversEveryKnob)
 
 // ---------------------------------------------------- result cache
 
-std::shared_ptr<const ZacResult>
+std::shared_ptr<const ZacStreamedResult>
 dummyResult(double marker)
 {
-    auto r = std::make_shared<ZacResult>();
+    // Minimal but internally consistent: the snapshot loader validates
+    // the circuit-name byte span against the serialized bytes, so even
+    // a dummy needs real ones.
+    auto r = std::make_shared<ZacStreamedResult>();
     r->compile_seconds = marker;
+    r->circuit_name = "dummy";
+    r->arch_name = "arch";
+    ZairProgram p;
+    p.circuit_name = r->circuit_name;
+    p.arch_name = r->arch_name;
+    r->program_json = zairProgramToJson(p).dump();
+    const ZairNameSpan span =
+        zairCompactNameSpan(r->circuit_name, r->arch_name);
+    r->name_off = span.offset;
+    r->name_len = span.length;
     return r;
 }
 
@@ -293,8 +306,9 @@ TEST(Protocol, ResultRecordShape)
     rec.status = JobStatus::Done;
     rec.cache_hit = true;
     rec.circuit_hash = 0xdeadbeefull;
-    rec.result = std::make_shared<const ZacResult>(
-        compiler.compile(bench_circuits::paperBenchmark("ghz_n23")));
+    rec.result = std::make_shared<const ZacStreamedResult>(
+        streamedResultFromDom(compiler.compile(
+            bench_circuits::paperBenchmark("ghz_n23"))));
 
     const std::string line =
         service::toJsonl(service::makeJobRecord(rec, "ref", true));
@@ -311,7 +325,7 @@ TEST(Protocol, ResultRecordShape)
     EXPECT_TRUE(v.contains("zair"));
     // The embedded program must parse back.
     const ZairProgram p = zairProgramFromJson(v.at("zair"));
-    EXPECT_EQ(p.num_qubits, rec.result->program.num_qubits);
+    EXPECT_EQ(p.num_qubits, rec.result->num_qubits);
 
     // The streaming emitter produces the identical line without
     // copying the program into a DOM.
@@ -461,6 +475,13 @@ signatureOf(const ZacResult &r)
     return ss.str();
 }
 
+/** The streamed result IS its compact bytes (name included). */
+std::string
+signatureOf(const ZacStreamedResult &r)
+{
+    return r.program_json;
+}
+
 TEST(CompileServiceTest, ShardedResultsMatchSequential)
 {
     const Architecture arch = presets::referenceZoned();
@@ -565,9 +586,10 @@ TEST(CompileServiceTest, CacheHitUnderDifferentNameRebindsMetadata)
     const JobRecord &b = collector.records.at(alias);
     ASSERT_TRUE(b.cache_hit);
     EXPECT_EQ(a.circuit_hash, b.circuit_hash);
-    EXPECT_EQ(b.result->program.circuit_name, "ghz_n23_alias");
-    EXPECT_EQ(b.result->staged.name, "ghz_n23_alias");
-    // Everything except the rebound name matches a fresh compile.
+    EXPECT_EQ(b.result->circuit_name, "ghz_n23_alias");
+    // Everything — the spliced name literal included — matches a
+    // fresh compile byte for byte (signatureOf compares the full
+    // serialized bytes, name and all).
     const ZacCompiler sequential(arch, ZacOptions::full());
     const ZacResult fresh = sequential.compile(renamed);
     EXPECT_EQ(signatureOf(*b.result), signatureOf(fresh));
@@ -742,7 +764,7 @@ TEST(Protocol, EveryStatusAndAttemptsSurviveSerialization)
         rec.status = s;
         rec.attempts = 3;
         if (s == JobStatus::Done)
-            rec.result = std::make_shared<const ZacResult>();
+            rec.result = std::make_shared<const ZacStreamedResult>();
         const json::Value v = json::parse(service::toJsonl(
             service::makeJobRecord(rec, "t", /*with_zair=*/false)));
         EXPECT_EQ(v.at("type").asString(),
