@@ -1,0 +1,333 @@
+/**
+ * @file
+ * Workload-scaling sweep (ISSUE 10): synthetic circuit families from
+ * 10 to ~2000 qubits on proportionally scaled zoned architectures,
+ * emitting qubit-count vs. compile-time curves and fitted asymptotic
+ * exponents per family and per compiler phase.
+ *
+ * Each (family, num_qubits) point compiles through the zero-DOM
+ * streamed path with verify_with_dom on — every sweep point asserts
+ * streamed/DOM byte identity, not just the paper circuits — and the
+ * largest point of each family is compiled twice to assert bitwise
+ * determinism. Results are written as machine-readable JSON (schema
+ * zac.perf_scaling.v1, documented in bench/README.md); CI gates both
+ * machine-normalized per-point regressions and fitted-exponent
+ * blowups against the committed BENCH_scaling.json via
+ * scripts/check_perf_regression.py.
+ *
+ * Usage: perf_scaling [output.json] [--fast]
+ *   --fast  CI smoke mode: the subset sweep (largest points trimmed
+ *           so a PR leg stays in seconds; every fast size is also a
+ *           full-sweep size, so fresh/committed point sets intersect).
+ */
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <cstring>
+#include <map>
+#include <sys/resource.h>
+#include <vector>
+
+#include "arch/scaling.hpp"
+#include "arch/serialize.hpp"
+#include "bench_util.hpp"
+#include "circuit/scaling.hpp"
+#include "common/json.hpp"
+#include "common/logging.hpp"
+
+using namespace zac;
+using namespace zac::bench;
+
+namespace
+{
+
+constexpr std::uint64_t kSweepSeed = 1;
+
+double
+nowSeconds()
+{
+    using clock = std::chrono::steady_clock;
+    return std::chrono::duration<double>(
+               clock::now().time_since_epoch())
+        .count();
+}
+
+/** Peak-RSS proxy: ru_maxrss (KiB on Linux), monotone per process. */
+long
+peakRssKb()
+{
+    struct rusage ru {};
+    getrusage(RUSAGE_SELF, &ru);
+    return ru.ru_maxrss;
+}
+
+/** The sweep grid of one family. */
+struct FamilyPlan
+{
+    scaling::Family family;
+    std::vector<int> sizes;
+};
+
+/**
+ * Sweep sizes per family. The linear families (ghz, ising, qaoa3r)
+ * reach ~2000 qubits; the quadratic families (qftnn, qv) stop earlier
+ * because their gate counts grow as n^2. Fast mode trims the most
+ * expensive points but only ever selects sizes the full sweep also
+ * visits, so the CI gate always finds a committed point to compare
+ * against.
+ */
+std::vector<FamilyPlan>
+sweepPlan(bool fast)
+{
+    using scaling::Family;
+    if (fast)
+        return {
+            {Family::Ghz, {10, 40, 160, 640, 1280}},
+            {Family::Ising, {10, 40, 160, 640}},
+            {Family::Qaoa, {10, 40, 160, 640}},
+            {Family::QftNn, {10, 20, 40, 80}},
+            {Family::Qv, {10, 20, 40, 80}},
+        };
+    return {
+        {Family::Ghz, {10, 20, 40, 80, 160, 320, 640, 1280, 2000}},
+        {Family::Ising, {10, 20, 40, 80, 160, 320, 640, 1280, 2000}},
+        {Family::Qaoa, {10, 20, 40, 80, 160, 320, 640, 1280, 2000}},
+        {Family::QftNn, {10, 20, 40, 80, 160}},
+        {Family::Qv, {10, 20, 40, 80, 128}},
+    };
+}
+
+/**
+ * Least-squares slope of log(seconds) vs log(qubits) — the fitted
+ * asymptotic exponent of one curve. Points with non-positive time are
+ * clamped to 0.1 us so an unexercised phase fits flat instead of
+ * breaking the fit. Returns 0 for fewer than 2 points.
+ */
+double
+fitExponent(const std::vector<int> &sizes,
+            const std::vector<double> &seconds)
+{
+    const std::size_t n = sizes.size();
+    if (n < 2 || seconds.size() != n)
+        return 0.0;
+    double sx = 0.0, sy = 0.0, sxx = 0.0, sxy = 0.0;
+    for (std::size_t i = 0; i < n; ++i) {
+        const double x = std::log(static_cast<double>(sizes[i]));
+        const double y = std::log(std::max(seconds[i], 1e-7));
+        sx += x;
+        sy += y;
+        sxx += x * x;
+        sxy += x * y;
+    }
+    const double denom =
+        static_cast<double>(n) * sxx - sx * sx;
+    return denom != 0.0
+               ? (static_cast<double>(n) * sxy - sx * sy) / denom
+               : 0.0;
+}
+
+/** The phase columns fitted per family (keys of "phase_totals"). */
+const std::vector<std::string> &
+phaseKeys()
+{
+    static const std::vector<std::string> keys = {
+        "sa_seconds",
+        "placement_seconds",
+        "scheduling_seconds",
+        "fidelity_seconds",
+    };
+    return keys;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    std::string out_path = "BENCH_scaling.json";
+    bool fast = false;
+    for (int i = 1; i < argc; ++i) {
+        if (std::strcmp(argv[i], "--fast") == 0)
+            fast = true;
+        else
+            out_path = argv[i];
+    }
+
+    banner("perf_scaling",
+           "synthetic workload sweep: qubit-count vs compile-time "
+           "curves + asymptotic exponents");
+
+    const ZacOptions zac_opts = defaultZacOptions();
+    // One scaled architecture (and warm compiler) per distinct size,
+    // shared across families at that size.
+    std::map<int, std::shared_ptr<const ArchContext>> contexts;
+    const auto contextFor = [&](int n) {
+        auto it = contexts.find(n);
+        if (it == contexts.end())
+            it = contexts
+                     .emplace(n, ArchContext::build(scaledZoned(n)))
+                     .first;
+        return it->second;
+    };
+
+    bool all_identical = true;
+    bool all_deterministic = true;
+    int max_point_qubits = 0;
+    json::Array family_docs;
+
+    for (const FamilyPlan &plan : sweepPlan(fast)) {
+        const std::string fam = scaling::familyName(plan.family);
+        std::printf("%-8s %7s %9s %9s %12s %9s %9s %9s %9s %10s\n",
+                    fam.c_str(), "qubits", "2Q", "traps",
+                    "compile (s)", "sa", "plc", "sched", "fid",
+                    "rss (MB)");
+        json::Array points;
+        std::vector<int> sizes;
+        std::vector<double> secs;
+        std::map<std::string, std::vector<double>> phase_secs;
+        for (int n : plan.sizes) {
+            const auto ctx = contextFor(n);
+            const ZacCompiler compiler(ctx, zac_opts);
+            const Circuit circuit =
+                scaling::generate(plan.family, n, kSweepSeed);
+            CompileScratch scratch;
+            ZacStreamedResult r;
+            // Every sweep point runs with verify_with_dom: the
+            // streamed bytes are asserted against the DOM dump inside
+            // the compile (a divergence panics), so completing the
+            // sweep IS the byte-identity proof at every (family, n).
+            double best = nowSeconds();
+            r = compiler.compileStreamed(circuit, CompileControl{},
+                                         &scratch,
+                                         /*verify_with_dom=*/true);
+            best = nowSeconds() - best;
+            // Small points are noisy on shared runners: re-measure
+            // and keep the best so the CI point gate compares signal.
+            const int extra_reps = best < 0.05 ? (fast ? 1 : 2) : 0;
+            for (int rep = 0; rep < extra_reps; ++rep) {
+                const double t0 = nowSeconds();
+                const ZacStreamedResult again = compiler.compileStreamed(
+                    circuit, CompileControl{}, &scratch,
+                    /*verify_with_dom=*/true);
+                best = std::min(best, nowSeconds() - t0);
+                if (again.program_json != r.program_json)
+                    all_deterministic = false;
+            }
+            if (n == plan.sizes.back() && extra_reps == 0) {
+                // Largest point: recompile once to assert bitwise
+                // determinism of the full pipeline at scale.
+                const ZacStreamedResult again = compiler.compileStreamed(
+                    circuit, CompileControl{}, &scratch,
+                    /*verify_with_dom=*/true);
+                if (again.program_json != r.program_json)
+                    all_deterministic = false;
+            }
+            max_point_qubits = std::max(max_point_qubits, n);
+
+            const CompilePhaseTimings &ph = r.phases;
+            const long rss_kb = peakRssKb();
+            sizes.push_back(n);
+            secs.push_back(best);
+            phase_secs["sa_seconds"].push_back(ph.sa_seconds);
+            phase_secs["placement_seconds"].push_back(
+                ph.placement_seconds);
+            phase_secs["scheduling_seconds"].push_back(
+                ph.scheduling_seconds);
+            phase_secs["fidelity_seconds"].push_back(
+                ph.fidelity_seconds);
+            std::printf("%-8s %7d %9lld %9d %12.4f %9.4f %9.4f %9.4f "
+                        "%9.4f %10.1f\n",
+                        "", n,
+                        static_cast<long long>(
+                            scaling::expected2Q(plan.family, n)),
+                        ctx->arch.numTraps(), best, ph.sa_seconds,
+                        ph.placement_seconds, ph.scheduling_seconds,
+                        ph.fidelity_seconds,
+                        static_cast<double>(rss_kb) / 1024.0);
+            std::fflush(stdout);
+
+            json::Object point;
+            point["num_qubits"] = n;
+            point["gates_2q"] = static_cast<std::int64_t>(
+                scaling::expected2Q(plan.family, n));
+            point["gates_1q"] = static_cast<std::int64_t>(
+                scaling::expected1Q(plan.family, n));
+            point["compile_seconds"] = best;
+            point["phase_totals"] = json::Object{
+                {"sa_seconds", ph.sa_seconds},
+                {"placement_seconds", ph.placement_seconds},
+                {"reuse_matching_seconds",
+                 ph.placement.reuse_matching_seconds},
+                {"gate_placement_seconds",
+                 ph.placement.gate_placement_seconds},
+                {"movement_seconds", ph.placement.movementSeconds()},
+                {"scheduling_seconds", ph.scheduling_seconds},
+                {"fidelity_seconds", ph.fidelity_seconds},
+            };
+            point["max_rss_kb"] = static_cast<std::int64_t>(rss_kb);
+            point["fidelity"] = r.fidelity.total;
+            point["program_bytes"] =
+                static_cast<std::int64_t>(r.program_json.size());
+            point["arch"] = json::Object{
+                {"name", ctx->arch.name()},
+                {"storage_traps", ctx->arch.numStorageTraps()},
+                {"sites", ctx->arch.numSites()},
+                {"aods",
+                 static_cast<std::int64_t>(ctx->arch.aods().size())},
+            };
+            points.push_back(std::move(point));
+        }
+
+        const double exponent = fitExponent(sizes, secs);
+        json::Object phase_exponents;
+        for (const std::string &key : phaseKeys())
+            phase_exponents[key] = fitExponent(sizes, phase_secs[key]);
+        std::printf("%-8s fitted exponent %.2f (sa %.2f, placement "
+                    "%.2f, scheduling %.2f, fidelity %.2f)\n\n",
+                    fam.c_str(), exponent,
+                    phase_exponents["sa_seconds"].asDouble(),
+                    phase_exponents["placement_seconds"].asDouble(),
+                    phase_exponents["scheduling_seconds"].asDouble(),
+                    phase_exponents["fidelity_seconds"].asDouble());
+
+        json::Object family_doc;
+        family_doc["family"] = fam;
+        family_doc["exponent"] = exponent;
+        family_doc["phase_exponents"] = std::move(phase_exponents);
+        family_doc["points"] = std::move(points);
+        family_docs.push_back(std::move(family_doc));
+    }
+
+    std::printf("sweep: largest point %d qubits, streamed/DOM "
+                "identity %s, determinism %s\n",
+                max_point_qubits,
+                all_identical ? "verified at every point"
+                              : "VIOLATED",
+                all_deterministic ? "OK" : "VIOLATED");
+
+    json::Object doc;
+    doc["schema"] = "zac.perf_scaling.v1";
+    doc["fast_mode"] = fast;
+    doc["seed"] = static_cast<std::int64_t>(kSweepSeed);
+    doc["sa_iterations"] = zac_opts.sa_iterations;
+    doc["families"] = std::move(family_docs);
+    // verify_with_dom panics (aborting the sweep) on any divergence,
+    // so reaching the dump with all_identical still true is the
+    // point-by-point proof.
+    doc["streamed_vs_dom_identical"] = all_identical;
+    doc["deterministic"] = all_deterministic;
+    doc["max_point_qubits"] = max_point_qubits;
+    try {
+        json::writeFile(out_path, json::Value(std::move(doc)));
+    } catch (const FatalError &e) {
+        std::fprintf(stderr, "%s\n", e.what());
+        return 2;
+    }
+    std::printf("wrote %s\n", out_path.c_str());
+
+    return (all_identical && all_deterministic &&
+            max_point_qubits >= 1000)
+               ? 0
+               : 1;
+}

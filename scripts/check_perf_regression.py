@@ -7,8 +7,15 @@ Usage:
 
 Compares a freshly measured benchmark JSON against the committed one
 and exits non-zero when the schema's gated metric regresses by more
-than THRESHOLD (default 1.25, i.e. +25%), or when either run reports
-non-bit-identical outputs (speed must never change semantics).
+than THRESHOLD (default 1.25, i.e. +25%), when any gated semantics
+flag is false, or when a schema-specific extra gate (speedup floor,
+tail-latency ratio, scaling exponent) fails.
+
+The per-schema gate logic lives in one table (SCHEMAS below): each
+entry declares the headline metric, the gated flag keys (dotted paths;
+a missing gated key is an input error, exit 2, never a KeyError), the
+step-summary rows, and any extra gates. Adding a schema version means
+adding a table entry, not a new code branch.
 
 Supported schemas (--schema selects one explicitly; without the flag
 the committed file's own schema tag is used, and both files must
@@ -21,17 +28,11 @@ carry the same tag either way):
       comparable; the legacy SA implementation never changes, making
       the ratio a machine-speed control that isolates genuine compiler
       regressions. Also gates on ``sa_outputs_identical``,
-      ``dynamic_outputs_identical``, (v3+)
+      (v2+) ``dynamic_outputs_identical``, (v3+)
       ``sched_fid_outputs_identical``, and (v4)
       ``sa_multi_seed_deterministic`` plus a floor of 2.0x on
       ``sa_incremental_speedup`` (the incremental SA engine vs. the
       frozen legacy reference).
-
-When the ``GITHUB_STEP_SUMMARY`` environment variable is set (GitHub
-Actions), a markdown comparison table — headline metrics plus
-per-phase timings for the placement schema — is appended to it so
-perf drift is visible in the run summary without downloading
-artifacts.
 
   zac.perf_service.v4 (and v3, v2, v1)
       Metric: ``scaling_overhead`` — wall seconds of the batch
@@ -41,61 +42,69 @@ artifacts.
       machine's cores, so the figure is machine-portable). Also gates
       on ``outputs_identical`` and ``cache.second_round_all_hits``;
       v2+ additionally gates on the chaos-soak invariants
-      ``chaos.terminal_records_exactly_once`` (every submitted job one
-      terminal record), ``chaos.outputs_identical`` (fault-injected
-      and snapshot-served results bit-identical to fresh compiles),
-      ``chaos.warm_start_served_from_snapshot`` (a restart reloads the
-      persisted cache and serves it as hits), and
-      ``chaos.corruption_tolerated`` (every snapshot-corruption mode
-      loads without failing). v3 adds the zac_serve client-churn
-      invariants ``churn.exactly_once_per_connection`` (every client
-      connection received exactly one terminal record),
-      ``churn.outputs_identical_offline`` (every served record
-      byte-identical to the offline service output once wall-clock
-      fields are stripped), and ``churn.drained_clean`` (SIGTERM-style
-      drain under load came back clean), plus a dedicated latency
-      gate: fresh ``churn.latency_p99_normalized`` (end-to-end p99
-      over the mean sequential per-job compile time; concurrency and
-      machine speed cancel out of the ratio) must stay within
-      CHURN_LATENCY_THRESHOLD of the committed figure. v4 adds the
-      zero-DOM streaming invariants: ``streamed_vs_dom.identical``
-      (every circuit compiled through the streaming writer is
-      byte-identical to the DOM dump) and
-      ``warm_vs_cold.deterministic`` (the warm-context/streamed
-      service run is bit-identical to the cold legacy-cost run), and
-      surfaces cold/warm jobs-per-second in the step summary.
+      (``chaos.*``), v3+ on the zac_serve client-churn invariants
+      (``churn.*``) plus a dedicated 2.0x ratio gate on fresh vs.
+      committed ``churn.latency_p99_normalized``, and v4 on the
+      zero-DOM streaming invariants ``streamed_vs_dom.identical`` and
+      ``warm_vs_cold.deterministic``.
+
+  zac.perf_scaling.v1
+      The workload-scaling sweep (bench/perf_scaling.cpp): per-family
+      qubit-count vs. compile-time curves. No single headline metric;
+      instead two curve gates, both machine-normalized so a committed
+      baseline from different hardware still gates meaningfully:
+        * point gate — for every (family, size) present in both files,
+          each curve is normalized by its own time at the smallest
+          common size (machine speed cancels); the fresh normalized
+          point must stay within SCALING_POINT_THRESHOLD (1.75x) of
+          the committed one. Points faster than 5 ms in both files are
+          skipped as noise.
+        * exponent gate — the asymptotic log-log slope is refitted on
+          the common sizes for both files (so a --fast fresh run
+          compares against the same point set of the full committed
+          sweep); the fresh exponent must not exceed the committed one
+          by more than SCALING_EXPONENT_MARGIN (0.35), for the total
+          compile time AND for each compiler phase whose cost is big
+          enough to fit reliably — an SA or scheduler phase drifting
+          superlinear fails the build even if the total still looks
+          tame.
+      Also gates on ``streamed_vs_dom_identical`` and
+      ``deterministic``, and requires the fresh sweep to reach at
+      least 1000 qubits (``max_point_qubits``).
+
+When the ``GITHUB_STEP_SUMMARY`` environment variable is set (GitHub
+Actions), a markdown comparison table is appended to it so perf drift
+is visible in the run summary without downloading artifacts.
 
 Exit codes: 0 ok, 1 regression/semantics failure, 2 bad input
-(missing file, malformed JSON, schema mismatch).
+(missing file, malformed JSON, schema mismatch, missing gated key).
 """
 
 import argparse
 import json
+import math
 import os
 import sys
 
-PLACEMENT_SCHEMAS = (
-    "zac.perf_placement.v1",
-    "zac.perf_placement.v2",
-    "zac.perf_placement.v3",
-    "zac.perf_placement.v4",
-)
-
-# Floor on the v4 incremental-SA headline figure (ISSUE 5 acceptance:
-# >= 2x geomean vs. the frozen zac::legacy reference).
+# Floor on the placement-v4 incremental-SA headline figure (ISSUE 5
+# acceptance: >= 2x geomean vs. the frozen zac::legacy reference).
 SA_INCREMENTAL_SPEEDUP_FLOOR = 2.0
 # Max allowed fresh/committed ratio on churn.latency_p99_normalized
-# (v3). Looser than the headline threshold: tail latency under 200
-# concurrent clients is noisier than aggregate throughput, and the
-# committed figure may come from a different core count.
+# (service v3+). Looser than the headline threshold: tail latency
+# under 200 concurrent clients is noisier than aggregate throughput,
+# and the committed figure may come from a different core count.
 CHURN_LATENCY_THRESHOLD = 2.0
-SERVICE_SCHEMAS = (
-    "zac.perf_service.v1",
-    "zac.perf_service.v2",
-    "zac.perf_service.v3",
-    "zac.perf_service.v4",
+# Scaling-sweep gates (see the module docstring).
+SCALING_POINT_THRESHOLD = 1.75
+SCALING_MIN_GATE_SECONDS = 0.005
+SCALING_EXPONENT_MARGIN = 0.35
+SCALING_MIN_POINT_QUBITS = 1000
+SCALING_PHASE_KEYS = (
+    "sa_seconds",
+    "placement_seconds",
+    "scheduling_seconds",
+    "fidelity_seconds",
 )
-KNOWN_SCHEMAS = PLACEMENT_SCHEMAS + SERVICE_SCHEMAS
 
 
 def fail_input(msg):
@@ -104,50 +113,35 @@ def fail_input(msg):
     sys.exit(2)
 
 
-def load(path, want_schema):
-    """Load one benchmark JSON, failing with a clear message (never a
-    traceback) when the file is missing, malformed, or carries an
-    unexpected schema tag."""
-    if not os.path.exists(path):
-        fail_input(
-            f"{path}: baseline/benchmark JSON not found. Generate it "
-            f"with ./build/perf_placement or ./build/perf_service "
-            f"(see bench/README.md) and commit the baseline."
-        )
-    try:
-        with open(path) as f:
-            doc = json.load(f)
-    except json.JSONDecodeError as e:
-        fail_input(f"{path}: not valid JSON ({e})")
-    if not isinstance(doc, dict):
-        fail_input(f"{path}: expected a JSON object at top level")
-
-    schema = doc.get("schema")
-    if schema is None:
-        fail_input(f"{path}: missing 'schema' field")
-    if want_schema is not None:
-        if schema != want_schema:
-            fail_input(
-                f"{path}: schema mismatch: found {schema!r}, expected "
-                f"{want_schema!r} (is this the right baseline file, or "
-                f"does the baseline predate a schema bump? regenerate "
-                f"and re-commit it if so)"
-            )
-    elif schema not in KNOWN_SCHEMAS:
-        fail_input(
-            f"{path}: unknown schema {schema!r}; this script "
-            f"understands {', '.join(KNOWN_SCHEMAS)}"
-        )
-    return doc
+def lookup(doc, dotted):
+    """Resolve a dotted key path; returns (found, value)."""
+    node = doc
+    for part in dotted.split("."):
+        if not isinstance(node, dict) or part not in node:
+            return False, None
+        node = node[part]
+    return True, node
 
 
 def require(doc, path, key):
-    if key not in doc:
+    """Dotted-path lookup that exits 2 (never KeyError) when absent."""
+    found, value = lookup(doc, key)
+    if not found:
         fail_input(
             f"{path}: missing key {key!r} required by schema "
-            f"{doc.get('schema')!r}"
+            f"{doc.get('schema')!r}; regenerate the file with the "
+            f"matching bench binary (see bench/README.md)"
         )
-    return doc[key]
+    return value
+
+
+def gated_flags(doc, path, keys):
+    """Resolve every gated flag key, exiting 2 with a clear message on
+    a missing key instead of treating absence as pass or fail."""
+    return {key: require(doc, path, key) for key in keys}
+
+
+# --------------------------------------------------------------- metrics
 
 
 def placement_metric(doc, path):
@@ -171,21 +165,6 @@ def placement_metric(doc, path):
     return metric / legacy_total
 
 
-def placement_flags(doc):
-    return {
-        "sa_outputs_identical": doc.get("sa_outputs_identical", True),
-        "dynamic_outputs_identical": doc.get(
-            "dynamic_outputs_identical", True
-        ),
-        "sched_fid_outputs_identical": doc.get(
-            "sched_fid_outputs_identical", True
-        ),
-        "sa_multi_seed_deterministic": doc.get(
-            "sa_multi_seed_deterministic", True
-        ),
-    }
-
-
 def service_metric(doc, path):
     """Ideal-scaling-normalized parallel seconds (lower is better)."""
     metric = require(doc, path, "scaling_overhead")
@@ -195,41 +174,200 @@ def service_metric(doc, path):
     return metric
 
 
-def service_flags(doc):
-    cache = doc.get("cache", {})
-    flags = {
-        "outputs_identical": doc.get("outputs_identical", True),
-        "cache.second_round_all_hits": cache.get(
-            "second_round_all_hits", True
-        ),
-    }
-    schema = doc.get("schema")
-    if schema in ("zac.perf_service.v2", "zac.perf_service.v3",
-                  "zac.perf_service.v4"):
-        chaos = doc.get("chaos", {})
-        for key in (
-            "terminal_records_exactly_once",
-            "outputs_identical",
-            "warm_start_served_from_snapshot",
-            "corruption_tolerated",
-        ):
-            flags[f"chaos.{key}"] = chaos.get(key, False)
-    if schema in ("zac.perf_service.v3", "zac.perf_service.v4"):
-        churn = doc.get("churn", {})
-        for key in (
-            "exactly_once_per_connection",
-            "outputs_identical_offline",
-            "drained_clean",
-        ):
-            flags[f"churn.{key}"] = churn.get(key, False)
-    if schema == "zac.perf_service.v4":
-        flags["streamed_vs_dom.identical"] = doc.get(
-            "streamed_vs_dom", {}
-        ).get("identical", False)
-        flags["warm_vs_cold.deterministic"] = doc.get(
-            "warm_vs_cold", {}
-        ).get("deterministic", False)
-    return flags
+# ----------------------------------------------------------- extra gates
+
+
+def gate_sa_incremental_floor(committed, fresh, cpath, fpath, args):
+    speedup = require(fresh, fpath, "sa_incremental_speedup")
+    if not isinstance(speedup, (int, float)) or isinstance(
+        speedup, bool
+    ):
+        fail_input(
+            f"{fpath}: sa_incremental_speedup is not a number; "
+            f"regenerate the file with ./build/perf_placement"
+        )
+    print(
+        f"sa_incremental_speedup: fresh {speedup:.2f}x "
+        f"(floor {SA_INCREMENTAL_SPEEDUP_FLOOR:.1f}x)"
+    )
+    if speedup < SA_INCREMENTAL_SPEEDUP_FLOOR:
+        print(
+            "FAIL: incremental SA speedup fell below the "
+            f"{SA_INCREMENTAL_SPEEDUP_FLOOR:.1f}x floor"
+        )
+        return False
+    return True
+
+
+def gate_churn_latency(committed, fresh, cpath, fpath, args):
+    """Fresh vs. committed churn p99 (both per-job-normalized, so the
+    ratio is machine-portable modulo core count)."""
+    base = require(committed, cpath, "churn.latency_p99_normalized")
+    now = require(fresh, fpath, "churn.latency_p99_normalized")
+    if (
+        not isinstance(base, (int, float))
+        or isinstance(base, bool)
+        or base <= 0.0
+    ):
+        fail_input(
+            f"{cpath}: churn.latency_p99_normalized is not a positive "
+            f"number; regenerate the baseline with ./build/perf_service"
+        )
+    ratio = now / base
+    print(
+        f"churn.latency_p99_normalized: committed {base:.2f}, fresh "
+        f"{now:.2f}, ratio {ratio:.3f} (threshold "
+        f"{CHURN_LATENCY_THRESHOLD:.2f})"
+    )
+    if ratio > CHURN_LATENCY_THRESHOLD:
+        print("FAIL: churn p99 latency regressed beyond the threshold")
+        return False
+    return True
+
+
+def scaling_curves(doc, path):
+    """{family: {num_qubits: point}} from a scaling-sweep document."""
+    families = require(doc, path, "families")
+    if not isinstance(families, list):
+        fail_input(f"{path}: 'families' is not an array")
+    curves = {}
+    for fam in families:
+        try:
+            curves[fam["family"]] = {
+                p["num_qubits"]: p for p in fam["points"]
+            }
+        except (KeyError, TypeError) as e:
+            fail_input(
+                f"{path}: malformed scaling family entry ({e!r}); "
+                f"regenerate the file with ./build/perf_scaling"
+            )
+    return curves
+
+
+def fit_exponent(sizes, seconds):
+    """Least-squares slope of log(seconds) vs log(qubits); mirrors
+    fitExponent() in bench/perf_scaling.cpp."""
+    if len(sizes) < 2:
+        return 0.0
+    xs = [math.log(n) for n in sizes]
+    ys = [math.log(max(s, 1e-7)) for s in seconds]
+    n = len(xs)
+    sx, sy = sum(xs), sum(ys)
+    sxx = sum(x * x for x in xs)
+    sxy = sum(x * y for x, y in zip(xs, ys))
+    denom = n * sxx - sx * sx
+    return (n * sxy - sx * sy) / denom if denom else 0.0
+
+
+def point_seconds(point, path, key):
+    found, value = lookup(point, key)
+    if (
+        not found
+        or not isinstance(value, (int, float))
+        or isinstance(value, bool)
+        or value < 0
+    ):
+        fail_input(
+            f"{path}: scaling point (n={point.get('num_qubits')}) has "
+            f"no usable {key!r}; regenerate with ./build/perf_scaling"
+        )
+    return value
+
+
+def gate_scaling_curves(committed, fresh, cpath, fpath, args):
+    """The two scaling gates: normalized per-point regressions and
+    refitted asymptotic-exponent blowups, per family and per phase."""
+    ok = True
+    ccurves = scaling_curves(committed, cpath)
+    fcurves = scaling_curves(fresh, fpath)
+    for family, fpoints in fcurves.items():
+        if family not in ccurves:
+            print(f"note: family {family!r} has no committed baseline "
+                  f"yet; skipping")
+            continue
+        cpoints = ccurves[family]
+        common = sorted(set(cpoints) & set(fpoints))
+        if len(common) < 2:
+            print(f"note: family {family!r} shares fewer than 2 sizes "
+                  f"with the baseline; skipping")
+            continue
+
+        csecs = [point_seconds(cpoints[n], cpath, "compile_seconds")
+                 for n in common]
+        fsecs = [point_seconds(fpoints[n], fpath, "compile_seconds")
+                 for n in common]
+
+        # Point gate: normalize each curve by its own smallest common
+        # point so machine speed cancels out of the ratio.
+        cbase, fbase = csecs[0], fsecs[0]
+        if cbase > 0.0 and fbase > 0.0:
+            for i in range(1, len(common)):
+                if (csecs[i] < SCALING_MIN_GATE_SECONDS
+                        and fsecs[i] < SCALING_MIN_GATE_SECONDS):
+                    continue
+                ratio = (fsecs[i] / fbase) / (csecs[i] / cbase)
+                if ratio > SCALING_POINT_THRESHOLD:
+                    print(
+                        f"FAIL: {family} n={common[i]}: normalized "
+                        f"compile time {ratio:.2f}x the committed "
+                        f"curve (threshold "
+                        f"{SCALING_POINT_THRESHOLD:.2f})"
+                    )
+                    ok = False
+
+        # Exponent gate: refit both files on the common sizes so a
+        # --fast fresh sweep compares against the same point set.
+        cexp = fit_exponent(common, csecs)
+        fexp = fit_exponent(common, fsecs)
+        print(
+            f"{family}: exponent committed {cexp:.2f}, fresh "
+            f"{fexp:.2f} over n={common} (margin "
+            f"{SCALING_EXPONENT_MARGIN:.2f})"
+        )
+        if fexp > cexp + SCALING_EXPONENT_MARGIN:
+            print(
+                f"FAIL: {family}: asymptotic exponent blew up "
+                f"({cexp:.2f} -> {fexp:.2f})"
+            )
+            ok = False
+        for phase in SCALING_PHASE_KEYS:
+            cph = [point_seconds(cpoints[n], cpath,
+                                 f"phase_totals.{phase}")
+                   for n in common]
+            fph = [point_seconds(fpoints[n], fpath,
+                                 f"phase_totals.{phase}")
+                   for n in common]
+            # Phases too cheap to time reliably fit as noise: only
+            # gate a phase that costs real time at the largest size.
+            if (cph[-1] < SCALING_MIN_GATE_SECONDS
+                    or fph[-1] < SCALING_MIN_GATE_SECONDS):
+                continue
+            cpe = fit_exponent(common, cph)
+            fpe = fit_exponent(common, fph)
+            if fpe > cpe + SCALING_EXPONENT_MARGIN:
+                print(
+                    f"FAIL: {family}: phase {phase} exponent blew up "
+                    f"({cpe:.2f} -> {fpe:.2f})"
+                )
+                ok = False
+    return ok
+
+
+def gate_scaling_reach(committed, fresh, cpath, fpath, args):
+    reach = require(fresh, fpath, "max_point_qubits")
+    if not isinstance(reach, (int, float)) or isinstance(reach, bool):
+        fail_input(f"{fpath}: max_point_qubits is not a number")
+    if reach < SCALING_MIN_POINT_QUBITS:
+        print(
+            f"FAIL: scaling sweep reached only {int(reach)} qubits "
+            f"(must include a >= {SCALING_MIN_POINT_QUBITS}-qubit "
+            f"point)"
+        )
+        return False
+    return True
+
+
+# -------------------------------------------------------- summary tables
 
 
 def fmt_ratio(committed, fresh):
@@ -244,18 +382,17 @@ def fmt_ratio(committed, fresh):
 
 
 def summary_rows_placement(committed, fresh):
-    """(section, rows) pairs for the placement step-summary table."""
-    headline = [
-        ("compile_total_seconds", "compile_total_seconds"),
-        ("sa_geomean_speedup", "sa_geomean_speedup"),
-        ("sa_incremental_speedup", "sa_incremental_speedup"),
-        ("dynamic_geomean_speedup", "dynamic_geomean_speedup"),
-        ("sched_fid_geomean_speedup", "sched_fid_geomean_speedup"),
-    ]
+    headline = (
+        "compile_total_seconds",
+        "sa_geomean_speedup",
+        "sa_incremental_speedup",
+        "dynamic_geomean_speedup",
+        "sched_fid_geomean_speedup",
+    )
     rows = []
-    for label, key in headline:
+    for key in headline:
         if key in committed or key in fresh:
-            rows.append((label, committed.get(key), fresh.get(key)))
+            rows.append((key, committed.get(key), fresh.get(key)))
     phase_keys = (
         "sa_seconds",
         "reuse_matching_seconds",
@@ -313,31 +450,184 @@ def summary_rows_service(committed, fresh):
     return [r for r in rows if r[1] is not None or r[2] is not None]
 
 
-def write_step_summary(schema, committed, fresh, metric_name, base, now,
-                       threshold, ok):
+def summary_rows_scaling(committed, fresh):
+    """Per-family stored exponents plus the largest common point."""
+    rows = []
+    ccurves = {f.get("family"): f
+               for f in committed.get("families", [])}
+    for fam in fresh.get("families", []):
+        family = fam.get("family")
+        cfam = ccurves.get(family, {})
+        rows.append(
+            (f"{family}: exponent", cfam.get("exponent"),
+             fam.get("exponent"))
+        )
+        cpoints = {p.get("num_qubits"): p
+                   for p in cfam.get("points", [])}
+        fpoints = {p.get("num_qubits"): p
+                   for p in fam.get("points", [])}
+        common = sorted(set(cpoints) & set(fpoints))
+        if common:
+            n = common[-1]
+            rows.append((
+                f"{family}: compile_seconds @ n={n}",
+                cpoints[n].get("compile_seconds"),
+                fpoints[n].get("compile_seconds"),
+            ))
+    rows.append((
+        "max_point_qubits",
+        committed.get("max_point_qubits"),
+        fresh.get("max_point_qubits"),
+    ))
+    return rows
+
+
+# ------------------------------------------------------- schema registry
+
+
+class SchemaSpec:
+    """One row of the per-schema gate table."""
+
+    def __init__(self, metric=None, metric_name=None, flag_keys=(),
+                 summary_rows=None, extra_gates=()):
+        self.metric = metric              # (doc, path) -> float, or None
+        self.metric_name = metric_name
+        self.flag_keys = tuple(flag_keys)  # dotted paths, all required
+        self.summary_rows = summary_rows   # (committed, fresh) -> rows
+        self.extra_gates = tuple(extra_gates)
+
+
+_PLACEMENT_FLAGS_V1 = ("sa_outputs_identical",)
+_PLACEMENT_FLAGS_V2 = _PLACEMENT_FLAGS_V1 + ("dynamic_outputs_identical",)
+_PLACEMENT_FLAGS_V3 = _PLACEMENT_FLAGS_V2 + (
+    "sched_fid_outputs_identical",
+)
+_PLACEMENT_FLAGS_V4 = _PLACEMENT_FLAGS_V3 + (
+    "sa_multi_seed_deterministic",
+)
+_SERVICE_FLAGS_V1 = (
+    "outputs_identical",
+    "cache.second_round_all_hits",
+)
+_SERVICE_FLAGS_V2 = _SERVICE_FLAGS_V1 + (
+    "chaos.terminal_records_exactly_once",
+    "chaos.outputs_identical",
+    "chaos.warm_start_served_from_snapshot",
+    "chaos.corruption_tolerated",
+)
+_SERVICE_FLAGS_V3 = _SERVICE_FLAGS_V2 + (
+    "churn.exactly_once_per_connection",
+    "churn.outputs_identical_offline",
+    "churn.drained_clean",
+)
+_SERVICE_FLAGS_V4 = _SERVICE_FLAGS_V3 + (
+    "streamed_vs_dom.identical",
+    "warm_vs_cold.deterministic",
+)
+
+
+def _placement_spec(flag_keys, extra_gates=()):
+    return SchemaSpec(
+        metric=placement_metric,
+        metric_name="compile_total_seconds (legacy-SA-normalized)",
+        flag_keys=flag_keys,
+        summary_rows=summary_rows_placement,
+        extra_gates=extra_gates,
+    )
+
+
+def _service_spec(flag_keys, extra_gates=()):
+    return SchemaSpec(
+        metric=service_metric,
+        metric_name="scaling_overhead (ideal-scaling-normalized)",
+        flag_keys=flag_keys,
+        summary_rows=summary_rows_service,
+        extra_gates=extra_gates,
+    )
+
+
+SCHEMAS = {
+    "zac.perf_placement.v1": _placement_spec(_PLACEMENT_FLAGS_V1),
+    "zac.perf_placement.v2": _placement_spec(_PLACEMENT_FLAGS_V2),
+    "zac.perf_placement.v3": _placement_spec(_PLACEMENT_FLAGS_V3),
+    "zac.perf_placement.v4": _placement_spec(
+        _PLACEMENT_FLAGS_V4, (gate_sa_incremental_floor,)
+    ),
+    "zac.perf_service.v1": _service_spec(_SERVICE_FLAGS_V1),
+    "zac.perf_service.v2": _service_spec(_SERVICE_FLAGS_V2),
+    "zac.perf_service.v3": _service_spec(
+        _SERVICE_FLAGS_V3, (gate_churn_latency,)
+    ),
+    "zac.perf_service.v4": _service_spec(
+        _SERVICE_FLAGS_V4, (gate_churn_latency,)
+    ),
+    "zac.perf_scaling.v1": SchemaSpec(
+        metric=None,
+        metric_name="scaling curves (per-family, machine-normalized)",
+        flag_keys=("streamed_vs_dom_identical", "deterministic"),
+        summary_rows=summary_rows_scaling,
+        extra_gates=(gate_scaling_reach, gate_scaling_curves),
+    ),
+}
+
+
+def load(path, want_schema):
+    """Load one benchmark JSON, failing with a clear message (never a
+    traceback) when the file is missing, malformed, or carries an
+    unexpected schema tag."""
+    if not os.path.exists(path):
+        fail_input(
+            f"{path}: baseline/benchmark JSON not found. Generate it "
+            f"with ./build/perf_placement, ./build/perf_service or "
+            f"./build/perf_scaling (see bench/README.md) and commit "
+            f"the baseline."
+        )
+    try:
+        with open(path) as f:
+            doc = json.load(f)
+    except json.JSONDecodeError as e:
+        fail_input(f"{path}: not valid JSON ({e})")
+    if not isinstance(doc, dict):
+        fail_input(f"{path}: expected a JSON object at top level")
+
+    schema = doc.get("schema")
+    if schema is None:
+        fail_input(f"{path}: missing 'schema' field")
+    if want_schema is not None:
+        if schema != want_schema:
+            fail_input(
+                f"{path}: schema mismatch: found {schema!r}, expected "
+                f"{want_schema!r} (is this the right baseline file, or "
+                f"does the baseline predate a schema bump? regenerate "
+                f"and re-commit it if so)"
+            )
+    elif schema not in SCHEMAS:
+        fail_input(
+            f"{path}: unknown schema {schema!r}; this script "
+            f"understands {', '.join(sorted(SCHEMAS))}"
+        )
+    return doc
+
+
+def write_step_summary(schema, spec, committed, fresh, metric_line,
+                       flags, ok):
     """Append a markdown comparison table to $GITHUB_STEP_SUMMARY (no-op
     outside GitHub Actions) so perf drift is visible in the run summary
     without downloading artifacts."""
     path = os.environ.get("GITHUB_STEP_SUMMARY")
     if not path:
         return
-    if schema in PLACEMENT_SCHEMAS:
-        rows = summary_rows_placement(committed, fresh)
-        flags = placement_flags(fresh)
-    else:
-        rows = summary_rows_service(committed, fresh)
-        flags = service_flags(fresh)
     lines = [
         f"### Perf gate: `{schema}` — {'PASS' if ok else 'FAIL'}",
         "",
-        f"Gated metric **{metric_name}**: committed {base:.4f}, "
-        f"fresh {now:.4f}, ratio {now / base:.3f} "
-        f"(threshold {threshold:.2f})",
-        "",
+    ]
+    if metric_line:
+        lines += [metric_line, ""]
+    lines += [
         "| metric | committed | fresh | fresh/committed |",
         "| --- | ---: | ---: | ---: |",
     ]
-    for label, c, f in rows:
+    for label, c, f in spec.summary_rows(committed, fresh):
         c_cell = f"{c:.4f}" if isinstance(c, (int, float)) else "—"
         f_cell = f"{f:.4f}" if isinstance(f, (int, float)) else "—"
         lines.append(
@@ -373,116 +663,57 @@ def main(argv):
     )
     args = parser.parse_args(argv[1:])
 
-    if args.schema is not None and args.schema not in KNOWN_SCHEMAS:
+    if args.schema is not None and args.schema not in SCHEMAS:
         fail_input(
             f"--schema {args.schema!r} is not supported; choose from "
-            f"{', '.join(KNOWN_SCHEMAS)}"
+            f"{', '.join(sorted(SCHEMAS))}"
         )
 
     committed = load(args.committed, args.schema)
     # Both files must agree on the schema even without --schema.
     fresh = load(args.fresh, args.schema or committed["schema"])
-
-    if committed["schema"] in PLACEMENT_SCHEMAS:
-        metric_of, flags_of, metric_name = (
-            placement_metric,
-            placement_flags,
-            "compile_total_seconds (legacy-SA-normalized)",
-        )
-    else:
-        metric_of, flags_of, metric_name = (
-            service_metric,
-            service_flags,
-            "scaling_overhead (ideal-scaling-normalized)",
-        )
+    schema = committed["schema"]
+    spec = SCHEMAS[schema]
 
     ok = True
-    for key, value in flags_of(fresh).items():
+    flags = gated_flags(fresh, args.fresh, spec.flag_keys)
+    for key, value in flags.items():
         if not value:
             print(f"FAIL: fresh run reports {key} == false")
             ok = False
 
-    base = metric_of(committed, args.committed)
-    now = metric_of(fresh, args.fresh)
-    if base <= 0.0:
-        fail_input(
-            f"{args.committed}: committed metric is {base}; cannot "
-            f"compute a regression ratio — regenerate the baseline"
-        )
-    ratio = now / base
-    print(
-        f"{metric_name}: committed {base:.4f}, fresh {now:.4f}, "
-        f"ratio {ratio:.3f} (threshold {args.threshold:.2f})"
-    )
-    if ratio > args.threshold:
-        print("FAIL: perf metric regressed beyond the threshold")
-        ok = False
-
-    # v4 additionally floors the incremental-SA headline figure.
-    if committed["schema"] == "zac.perf_placement.v4":
-        speedup = require(fresh, args.fresh, "sa_incremental_speedup")
-        if not isinstance(speedup, (int, float)) or isinstance(
-            speedup, bool
-        ):
+    metric_line = None
+    if spec.metric is not None:
+        base = spec.metric(committed, args.committed)
+        now = spec.metric(fresh, args.fresh)
+        if base <= 0.0:
             fail_input(
-                f"{args.fresh}: sa_incremental_speedup is not a "
-                f"number; regenerate the file with ./build/"
-                f"perf_placement"
+                f"{args.committed}: committed metric is {base}; "
+                f"cannot compute a regression ratio — regenerate the "
+                f"baseline"
             )
-        print(
-            f"sa_incremental_speedup: fresh {speedup:.2f}x "
-            f"(floor {SA_INCREMENTAL_SPEEDUP_FLOOR:.1f}x)"
+        ratio = now / base
+        metric_line = (
+            f"Gated metric **{spec.metric_name}**: committed "
+            f"{base:.4f}, fresh {now:.4f}, ratio {ratio:.3f} "
+            f"(threshold {args.threshold:.2f})"
         )
-        if speedup < SA_INCREMENTAL_SPEEDUP_FLOOR:
-            print(
-                "FAIL: incremental SA speedup fell below the "
-                f"{SA_INCREMENTAL_SPEEDUP_FLOOR:.1f}x floor"
-            )
+        print(
+            f"{spec.metric_name}: committed {base:.4f}, fresh "
+            f"{now:.4f}, ratio {ratio:.3f} (threshold "
+            f"{args.threshold:.2f})"
+        )
+        if ratio > args.threshold:
+            print("FAIL: perf metric regressed beyond the threshold")
             ok = False
 
-    # v3+ additionally gates the churn tail latency against the
-    # committed figure (both are per-job-normalized, so the ratio is
-    # machine-portable modulo core count).
-    if committed["schema"] in ("zac.perf_service.v3",
-                               "zac.perf_service.v4"):
-        base_churn = require(
-            require(committed, args.committed, "churn"),
-            args.committed,
-            "latency_p99_normalized",
-        )
-        now_churn = require(
-            require(fresh, args.fresh, "churn"),
-            args.fresh,
-            "latency_p99_normalized",
-        )
-        if (
-            not isinstance(base_churn, (int, float))
-            or isinstance(base_churn, bool)
-            or base_churn <= 0.0
-        ):
-            fail_input(
-                f"{args.committed}: churn.latency_p99_normalized is "
-                f"not a positive number; regenerate the baseline with "
-                f"./build/perf_service"
-            )
-        churn_ratio = now_churn / base_churn
-        print(
-            f"churn.latency_p99_normalized: committed "
-            f"{base_churn:.2f}, fresh {now_churn:.2f}, ratio "
-            f"{churn_ratio:.3f} (threshold "
-            f"{CHURN_LATENCY_THRESHOLD:.2f})"
-        )
-        if churn_ratio > CHURN_LATENCY_THRESHOLD:
-            print(
-                "FAIL: churn p99 latency regressed beyond the "
-                "threshold"
-            )
+    for gate in spec.extra_gates:
+        if not gate(committed, fresh, args.committed, args.fresh,
+                    args):
             ok = False
 
-    write_step_summary(
-        committed["schema"], committed, fresh, metric_name, base, now,
-        args.threshold, ok,
-    )
+    write_step_summary(schema, spec, committed, fresh, metric_line,
+                       flags, ok)
 
     return 0 if ok else 1
 

@@ -1,0 +1,304 @@
+#!/usr/bin/env python3
+"""Unit tests for check_perf_regression.py (run via ctest).
+
+The gate script is pure stdlib and communicates through its exit code,
+so the tests exercise it the way CI does: subprocess invocations on
+JSON fixtures. The headline case injects a superlinear regression into
+a linear scaling curve and asserts the zac.perf_scaling.v1 exponent
+gate fails the build; further cases pin the per-point gate, the
+phase-exponent gate, exit 2 (not a KeyError traceback) on missing
+gated flag keys, and that the committed repo baselines still pass
+through the table-driven registry.
+"""
+
+import copy
+import json
+import os
+import pathlib
+import subprocess
+import sys
+import tempfile
+import unittest
+
+REPO = pathlib.Path(__file__).resolve().parent.parent
+SCRIPT = REPO / "scripts" / "check_perf_regression.py"
+
+
+def run(*argv, env_extra=None):
+    env = dict(os.environ)
+    env.pop("GITHUB_STEP_SUMMARY", None)
+    if env_extra:
+        env.update(env_extra)
+    return subprocess.run(
+        [sys.executable, str(SCRIPT), *map(str, argv)],
+        capture_output=True,
+        text=True,
+        env=env,
+    )
+
+
+def scaling_point(n, seconds, phase_share=0.25):
+    return {
+        "num_qubits": n,
+        "gates_2q": n,
+        "gates_1q": n,
+        "compile_seconds": seconds,
+        "phase_totals": {
+            "sa_seconds": seconds * phase_share,
+            "placement_seconds": seconds * phase_share,
+            "scheduling_seconds": seconds * phase_share,
+            "fidelity_seconds": seconds * phase_share,
+        },
+        "max_rss_kb": 10000,
+        "fidelity": 0.9,
+        "program_bytes": 1000 * n,
+    }
+
+
+def scaling_doc(curve, sizes=(10, 100, 1000, 2000)):
+    """A zac.perf_scaling.v1 document with one ghz-like family whose
+    compile time at n qubits is curve(n) seconds."""
+    points = [scaling_point(n, curve(n)) for n in sizes]
+    return {
+        "schema": "zac.perf_scaling.v1",
+        "fast_mode": False,
+        "seed": 1,
+        "families": [
+            {
+                "family": "ghz",
+                "exponent": 1.0,
+                "phase_exponents": {},
+                "points": points,
+            }
+        ],
+        "streamed_vs_dom_identical": True,
+        "deterministic": True,
+        "max_point_qubits": max(sizes),
+    }
+
+
+class ScalingTempFiles(unittest.TestCase):
+    def setUp(self):
+        self._dir = tempfile.TemporaryDirectory()
+        self.addCleanup(self._dir.cleanup)
+
+    def write(self, name, doc):
+        path = pathlib.Path(self._dir.name) / name
+        path.write_text(json.dumps(doc))
+        return path
+
+
+class TestScalingGate(ScalingTempFiles):
+    def test_identical_curves_pass(self):
+        base = self.write("base.json", scaling_doc(lambda n: 1e-3 * n))
+        fresh = self.write("fresh.json", scaling_doc(lambda n: 1e-3 * n))
+        r = run("--schema", "zac.perf_scaling.v1", base, fresh)
+        self.assertEqual(r.returncode, 0, r.stdout + r.stderr)
+
+    def test_uniform_machine_speed_change_passes(self):
+        # A 3x slower machine shifts every point equally; both the
+        # normalized point gate and the exponent are invariant.
+        base = self.write("base.json", scaling_doc(lambda n: 1e-3 * n))
+        fresh = self.write(
+            "fresh.json", scaling_doc(lambda n: 3e-3 * n)
+        )
+        r = run("--schema", "zac.perf_scaling.v1", base, fresh)
+        self.assertEqual(r.returncode, 0, r.stdout + r.stderr)
+
+    def test_injected_superlinear_regression_fails(self):
+        # Baseline is linear; the fresh curve picks up an extra factor
+        # of n (accidental O(n^2) — e.g. a linear scan per qubit). The
+        # asymptotic-exponent gate must fail the build.
+        base = self.write("base.json", scaling_doc(lambda n: 1e-3 * n))
+        fresh = self.write(
+            "fresh.json", scaling_doc(lambda n: 1e-4 * n * n)
+        )
+        r = run("--schema", "zac.perf_scaling.v1", base, fresh)
+        self.assertEqual(r.returncode, 1, r.stdout + r.stderr)
+        self.assertIn("exponent blew up", r.stdout)
+
+    def test_single_point_regression_fails(self):
+        # One size 2.5x over the committed curve (others untouched):
+        # the exponent barely moves, the per-point gate must catch it.
+        base = self.write("base.json", scaling_doc(lambda n: 1e-3 * n))
+        doc = scaling_doc(lambda n: 1e-3 * n)
+        pt = doc["families"][0]["points"][1]
+        assert pt["num_qubits"] == 100
+        pt["compile_seconds"] *= 2.5
+        fresh = self.write("fresh.json", doc)
+        r = run("--schema", "zac.perf_scaling.v1", base, fresh)
+        self.assertEqual(r.returncode, 1, r.stdout + r.stderr)
+        self.assertIn("normalized compile time", r.stdout)
+        self.assertNotIn("exponent blew up", r.stdout)
+
+    def test_phase_exponent_blowup_fails(self):
+        # Total stays linear but one phase (the scheduler) silently
+        # goes quadratic inside it; the per-phase gate must fire.
+        base = self.write("base.json", scaling_doc(lambda n: 1e-3 * n))
+        doc = scaling_doc(lambda n: 1e-3 * n)
+        for pt in doc["families"][0]["points"]:
+            n = pt["num_qubits"]
+            pt["phase_totals"]["scheduling_seconds"] = 1e-4 * n * n
+        fresh = self.write("fresh.json", doc)
+        r = run("--schema", "zac.perf_scaling.v1", base, fresh)
+        self.assertEqual(r.returncode, 1, r.stdout + r.stderr)
+        self.assertIn("phase scheduling_seconds exponent blew up",
+                      r.stdout)
+
+    def test_sub_noise_points_not_gated(self):
+        # Points under 5 ms in both files are timing noise; a 3x blip
+        # there must not fail the build (the exponent fit still sees
+        # them, but a single tiny point cannot move it past margin).
+        base = self.write("base.json", scaling_doc(lambda n: 1e-6 * n))
+        doc = scaling_doc(lambda n: 1e-6 * n)
+        doc["families"][0]["points"][1]["compile_seconds"] *= 3.0
+        fresh = self.write("fresh.json", doc)
+        r = run("--schema", "zac.perf_scaling.v1", base, fresh)
+        self.assertEqual(r.returncode, 0, r.stdout + r.stderr)
+
+    def test_fast_fresh_vs_full_committed_intersects(self):
+        # The committed sweep has more sizes than a --fast fresh run;
+        # gates must compare on the intersection, not reject.
+        base = self.write(
+            "base.json",
+            scaling_doc(lambda n: 1e-3 * n,
+                        sizes=(10, 20, 100, 500, 1000, 2000)),
+        )
+        fresh = self.write(
+            "fresh.json",
+            scaling_doc(lambda n: 1e-3 * n, sizes=(10, 100, 2000)),
+        )
+        r = run("--schema", "zac.perf_scaling.v1", base, fresh)
+        self.assertEqual(r.returncode, 0, r.stdout + r.stderr)
+
+    def test_semantics_flag_false_fails(self):
+        base = self.write("base.json", scaling_doc(lambda n: 1e-3 * n))
+        doc = scaling_doc(lambda n: 1e-3 * n)
+        doc["streamed_vs_dom_identical"] = False
+        fresh = self.write("fresh.json", doc)
+        r = run("--schema", "zac.perf_scaling.v1", base, fresh)
+        self.assertEqual(r.returncode, 1, r.stdout + r.stderr)
+        self.assertIn("streamed_vs_dom_identical == false", r.stdout)
+
+    def test_short_sweep_reach_fails(self):
+        base = self.write("base.json", scaling_doc(lambda n: 1e-3 * n))
+        fresh = self.write(
+            "fresh.json",
+            scaling_doc(lambda n: 1e-3 * n, sizes=(10, 100, 640)),
+        )
+        r = run("--schema", "zac.perf_scaling.v1", base, fresh)
+        self.assertEqual(r.returncode, 1, r.stdout + r.stderr)
+        self.assertIn("reached only 640 qubits", r.stdout)
+
+
+class TestMissingKeys(ScalingTempFiles):
+    def test_missing_gated_flag_is_exit_2_not_traceback(self):
+        base = self.write("base.json", scaling_doc(lambda n: 1e-3 * n))
+        doc = scaling_doc(lambda n: 1e-3 * n)
+        del doc["deterministic"]
+        fresh = self.write("fresh.json", doc)
+        r = run("--schema", "zac.perf_scaling.v1", base, fresh)
+        self.assertEqual(r.returncode, 2, r.stdout + r.stderr)
+        self.assertIn("missing key 'deterministic'", r.stderr)
+        self.assertNotIn("Traceback", r.stderr)
+        self.assertNotIn("KeyError", r.stderr)
+
+    def test_missing_nested_service_flag_is_exit_2(self):
+        doc = json.loads(
+            (REPO / "BENCH_service.json").read_text()
+        )
+        broken = copy.deepcopy(doc)
+        del broken["chaos"]["outputs_identical"]
+        base = self.write("base.json", doc)
+        fresh = self.write("fresh.json", broken)
+        r = run("--schema", "zac.perf_service.v4", base, fresh, 1.25)
+        self.assertEqual(r.returncode, 2, r.stdout + r.stderr)
+        self.assertIn("chaos.outputs_identical", r.stderr)
+        self.assertNotIn("Traceback", r.stderr)
+
+    def test_schema_mismatch_is_exit_2(self):
+        base = self.write("base.json", scaling_doc(lambda n: 1e-3 * n))
+        r = run(
+            "--schema",
+            "zac.perf_placement.v4",
+            base,
+            base,
+        )
+        self.assertEqual(r.returncode, 2, r.stdout + r.stderr)
+        self.assertIn("schema mismatch", r.stderr)
+
+    def test_missing_file_is_exit_2(self):
+        base = self.write("base.json", scaling_doc(lambda n: 1e-3 * n))
+        r = run("--schema", "zac.perf_scaling.v1", base,
+                pathlib.Path(self._dir.name) / "nope.json")
+        self.assertEqual(r.returncode, 2, r.stdout + r.stderr)
+        self.assertIn("not found", r.stderr)
+
+    def test_unknown_schema_flag_is_exit_2(self):
+        base = self.write("base.json", scaling_doc(lambda n: 1e-3 * n))
+        r = run("--schema", "zac.perf_bogus.v9", base, base)
+        self.assertEqual(r.returncode, 2, r.stdout + r.stderr)
+        self.assertIn("not supported", r.stderr)
+
+
+class TestCommittedBaselines(unittest.TestCase):
+    """The repo's committed baselines must pass against themselves
+    through the registry — the same invocations CI runs."""
+
+    def test_placement_v4_self(self):
+        r = run(
+            "--schema", "zac.perf_placement.v4",
+            REPO / "BENCH_placement.json",
+            REPO / "BENCH_placement.json", 1.25,
+        )
+        self.assertEqual(r.returncode, 0, r.stdout + r.stderr)
+
+    def test_service_v4_self(self):
+        r = run(
+            "--schema", "zac.perf_service.v4",
+            REPO / "BENCH_service.json",
+            REPO / "BENCH_service.json", 1.25,
+        )
+        self.assertEqual(r.returncode, 0, r.stdout + r.stderr)
+
+    def test_scaling_v1_self(self):
+        r = run(
+            "--schema", "zac.perf_scaling.v1",
+            REPO / "BENCH_scaling.json",
+            REPO / "BENCH_scaling.json",
+        )
+        self.assertEqual(r.returncode, 0, r.stdout + r.stderr)
+
+    def test_placement_metric_regression_fails(self):
+        doc = json.loads((REPO / "BENCH_placement.json").read_text())
+        doc["compile_total_seconds"] *= 2.0
+        with tempfile.TemporaryDirectory() as d:
+            fresh = pathlib.Path(d) / "fresh.json"
+            fresh.write_text(json.dumps(doc))
+            r = run(
+                "--schema", "zac.perf_placement.v4",
+                REPO / "BENCH_placement.json", fresh, 1.25,
+            )
+        self.assertEqual(r.returncode, 1, r.stdout + r.stderr)
+        self.assertIn("regressed beyond the threshold", r.stdout)
+
+
+class TestStepSummary(ScalingTempFiles):
+    def test_summary_written_when_env_set(self):
+        base = self.write("base.json", scaling_doc(lambda n: 1e-3 * n))
+        fresh = self.write("fresh.json", scaling_doc(lambda n: 1e-3 * n))
+        summary = pathlib.Path(self._dir.name) / "summary.md"
+        r = run(
+            "--schema", "zac.perf_scaling.v1", base, fresh,
+            env_extra={"GITHUB_STEP_SUMMARY": str(summary)},
+        )
+        self.assertEqual(r.returncode, 0, r.stdout + r.stderr)
+        text = summary.read_text()
+        self.assertIn("zac.perf_scaling.v1", text)
+        self.assertIn("PASS", text)
+        self.assertIn("ghz: exponent", text)
+        self.assertIn("max_point_qubits", text)
+
+
+if __name__ == "__main__":
+    unittest.main()

@@ -1,0 +1,153 @@
+#include "arch/scaling.hpp"
+
+#include <cmath>
+#include <string>
+
+#include "common/logging.hpp"
+
+namespace zac
+{
+
+namespace
+{
+
+// Reference provisioning (presets::referenceZoned serving the paper's
+// largest 98-qubit circuit): 100x100 storage traps, 7x20 Rydberg
+// sites, 100x100 AOD rows/cols.
+constexpr int kRefQubits = 98;
+constexpr int kRefStorageTraps = 100 * 100;
+constexpr int kRefStorageSide = 100;
+constexpr int kRefSites = 7 * 20;
+constexpr int kRefSiteCols = 20;
+constexpr int kRefSiteRows = 7;
+constexpr int kRefAodSide = 100;
+
+// Reference geometry constants (um), shared with presets.cpp.
+constexpr double kStoragePitch = 3.0;
+constexpr double kSitePitchX = 12.0;
+constexpr double kSitePitchY = 10.0;
+constexpr double kInSiteGap = 2.0;
+constexpr double kZoneSep = 10.0;
+
+/** ceil(a * b / c) on non-negative ints without overflow for our sizes. */
+int
+ceilScaled(int a, int b, int c)
+{
+    const long long num =
+        static_cast<long long>(a) * static_cast<long long>(b);
+    return static_cast<int>((num + c - 1) / c);
+}
+
+int
+ceilSqrt(int n)
+{
+    int r = static_cast<int>(std::sqrt(static_cast<double>(n)));
+    while (r * r < n)
+        ++r;
+    while (r > 0 && (r - 1) * (r - 1) >= n)
+        --r;
+    return r;
+}
+
+} // namespace
+
+ScaledArchLayout
+scaledZonedLayout(int num_qubits, int num_aods)
+{
+    if (num_qubits < 1)
+        fatal("scaledZonedLayout: num_qubits must be >= 1");
+    if (num_aods < 1)
+        fatal("scaledZonedLayout: num_aods must be >= 1");
+
+    ScaledArchLayout l;
+    l.num_qubits = num_qubits;
+    l.num_aods = num_aods;
+
+    // Storage: smallest square holding the reference traps-per-qubit
+    // ratio, never below the reference grid itself.
+    const int storage_target = std::max(
+        kRefStorageTraps,
+        ceilScaled(num_qubits, kRefStorageTraps, kRefQubits));
+    const int side = std::max(kRefStorageSide, ceilSqrt(storage_target));
+    l.storage_rows = side;
+    l.storage_cols = side;
+
+    // Entanglement sites: reference sites-per-qubit ratio in a grid
+    // preserving the reference 20:7 aspect (cols ~ sqrt(target*20/7)),
+    // so the zone width stays below the storage width at every scale.
+    const int site_target =
+        std::max(kRefSites, ceilScaled(num_qubits, kRefSites, kRefQubits));
+    int cols = std::max(
+        kRefSiteCols,
+        ceilSqrt(ceilScaled(site_target, kRefSiteCols, kRefSiteRows)));
+    int rows = std::max(kRefSiteRows, (site_target + cols - 1) / cols);
+    l.site_cols = cols;
+    l.site_rows = rows;
+
+    // AODs: each array's row/col budget covers the storage grid.
+    l.aod_rows = std::max(kRefAodSide, side);
+    return l;
+}
+
+Architecture
+scaledZoned(int num_qubits, int num_aods)
+{
+    const ScaledArchLayout l = scaledZonedLayout(num_qubits, num_aods);
+    Architecture arch("scaled_zoned_n" + std::to_string(num_qubits) +
+                      "_aod" + std::to_string(num_aods));
+
+    // Storage zone at the origin, 3 um pitch (reference geometry).
+    SlmSpec storage_slm;
+    storage_slm.id = 0;
+    storage_slm.sep_x = kStoragePitch;
+    storage_slm.sep_y = kStoragePitch;
+    storage_slm.rows = l.storage_rows;
+    storage_slm.cols = l.storage_cols;
+    storage_slm.origin = {0.0, 0.0};
+    const int storage_idx = arch.addSlm(storage_slm);
+    ZoneSpec storage;
+    storage.id = 0;
+    storage.offset = {0.0, 0.0};
+    storage.width = (l.storage_cols - 1) * kStoragePitch;
+    storage.height = (l.storage_rows - 1) * kStoragePitch;
+    storage.slm_ids = {storage_idx};
+    arch.addZone(ZoneKind::Storage, storage);
+
+    // Entanglement zone d_sep above the storage top row, centered on
+    // the storage width; two SLMs form the Rydberg-site trap pairs.
+    const double ent_width = (l.site_cols - 1) * kSitePitchX + kInSiteGap;
+    const Point ent_origin = {(storage.width - ent_width) / 2.0,
+                              storage.height + kZoneSep};
+    SlmSpec left;
+    left.sep_x = kSitePitchX;
+    left.sep_y = kSitePitchY;
+    left.rows = l.site_rows;
+    left.cols = l.site_cols;
+    left.origin = ent_origin;
+    SlmSpec right = left;
+    right.origin.x += kInSiteGap;
+    left.id = static_cast<int>(arch.slms().size());
+    const int left_idx = arch.addSlm(left);
+    right.id = static_cast<int>(arch.slms().size());
+    const int right_idx = arch.addSlm(right);
+    ZoneSpec zone;
+    zone.id = 0;
+    zone.offset = ent_origin;
+    zone.width = ent_width;
+    zone.height = (l.site_rows - 1) * kSitePitchY;
+    zone.slm_ids = {left_idx, right_idx};
+    arch.addZone(ZoneKind::Entanglement, zone);
+
+    for (int i = 0; i < num_aods; ++i) {
+        AodSpec aod;
+        aod.id = i;
+        aod.min_sep = 2.0;
+        aod.max_rows = l.aod_rows;
+        aod.max_cols = l.aod_rows;
+        arch.addAod(aod);
+    }
+    arch.finalize();
+    return arch;
+}
+
+} // namespace zac

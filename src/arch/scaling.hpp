@@ -1,0 +1,73 @@
+/**
+ * @file
+ * Proportional scaling of the paper's reference zoned architecture
+ * (ISSUE 10): given a target qubit count, derive a larger architecture
+ * that keeps the reference geometry (trap pitches, zone separation,
+ * in-site gap) and the reference provisioning ratios (storage traps
+ * per qubit, Rydberg sites per qubit), so workload-scaling sweeps
+ * measure compiler asymptotics rather than capacity starvation.
+ */
+
+#ifndef ZAC_ARCH_SCALING_HPP
+#define ZAC_ARCH_SCALING_HPP
+
+#include "arch/spec.hpp"
+
+namespace zac
+{
+
+/**
+ * The integer layout derived by scaledZonedLayout(): exposed separately
+ * from the built Architecture so tests can pin the sizing formulas and
+ * benches can report capacity per sweep point.
+ */
+struct ScaledArchLayout
+{
+    int num_qubits = 0;     ///< requested target qubit count
+    int storage_rows = 0;   ///< square-ish storage grid (3 um pitch)
+    int storage_cols = 0;
+    int site_rows = 0;      ///< entanglement-site grid (12 x 10 um)
+    int site_cols = 0;
+    int num_aods = 0;
+    int aod_rows = 0;       ///< per-AOD max rows = max cols grid bound
+
+    int storageTraps() const { return storage_rows * storage_cols; }
+    int sites() const { return site_rows * site_cols; }
+};
+
+/**
+ * Derive the layout for @p num_qubits qubits and @p num_aods AODs.
+ *
+ * Sizing rules (all integer arithmetic, so the result — and therefore
+ * the architectureFingerprint() of the built Architecture — is a pure
+ * function of the inputs):
+ *  - storage: the smallest square grid with at least
+ *    ceil(num_qubits * 10000 / 98) traps (the reference provisioning of
+ *    a 100x100 storage zone serving up to 98 qubits), floored at the
+ *    reference 100x100;
+ *  - entanglement sites: at least ceil(num_qubits * 140 / 98) sites
+ *    (the reference 7x20 grid per 98 qubits), floored at 140, laid out
+ *    in a grid that preserves the reference 20:7 column:row aspect, so
+ *    the zone stays narrower than the storage zone at every scale;
+ *  - AODs: @p num_aods arrays whose row/column budget covers the
+ *    storage grid (floored at the reference 100x100).
+ *
+ * @throws zac::FatalError when num_qubits < 1 or num_aods < 1.
+ */
+ScaledArchLayout scaledZonedLayout(int num_qubits, int num_aods = 1);
+
+/**
+ * Build (and finalize) the scaled architecture for @p num_qubits: the
+ * reference zoned geometry — storage at the origin with 3 um pitch,
+ * one entanglement zone 10 um above it with 12 x 10 um site pitch and
+ * a 2 um in-site gap, centered on the storage width — grown per
+ * scaledZonedLayout(). scaledZoned(n) for n <= 98 reproduces the
+ * reference capacity exactly (100x100 storage, 7x20 sites, 100x100
+ * AOD). The architecture name encodes (num_qubits, num_aods), so
+ * distinct scale points never collide in fingerprint-keyed caches.
+ */
+Architecture scaledZoned(int num_qubits, int num_aods = 1);
+
+} // namespace zac
+
+#endif // ZAC_ARCH_SCALING_HPP

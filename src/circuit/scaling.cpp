@@ -1,0 +1,278 @@
+#include "circuit/scaling.hpp"
+
+#include <cmath>
+#include <numbers>
+#include <utility>
+
+#include "circuit/generators.hpp"
+#include "common/logging.hpp"
+#include "common/rng.hpp"
+
+namespace zac::scaling
+{
+
+namespace
+{
+
+constexpr double kPi = std::numbers::pi;
+
+std::string
+scalingName(Family family, int num_qubits, std::uint64_t seed)
+{
+    return familyName(family) + "_n" + std::to_string(num_qubits) +
+           "_s" + std::to_string(seed);
+}
+
+/** Fisher–Yates shuffle of @p v with the portable Rng. */
+void
+shuffle(std::vector<int> &v, Rng &rng)
+{
+    for (std::size_t i = v.size(); i > 1; --i) {
+        const std::size_t j =
+            static_cast<std::size_t>(rng.nextBelow(i));
+        std::swap(v[i - 1], v[j]);
+    }
+}
+
+Circuit
+qaoa3Regular(int n, std::uint64_t seed)
+{
+    Circuit c(n, scalingName(Family::Qaoa, n, seed));
+    // Fixed p=1 angles; the sweep varies problem size, not parameters.
+    const double gamma = 0.7;
+    const double beta = 0.3;
+    for (int q = 0; q < n; ++q)
+        c.h(q);
+    for (const auto &[a, b] : random3RegularEdges(n, seed)) {
+        c.cx(a, b);
+        c.rz(b, 2.0 * gamma);
+        c.cx(a, b);
+    }
+    for (int q = 0; q < n; ++q)
+        c.rx(q, 2.0 * beta);
+    return c;
+}
+
+Circuit
+qftNearestNeighbour(int n, std::uint64_t seed)
+{
+    Circuit c(n, scalingName(Family::QftNn, n, seed));
+    // CP+SWAP cascade: before step j, wire w < j holds logical
+    // L_{j-1-w} and wire j still holds L_j. The walk moves L_j from
+    // wire j down to wire 0, phasing against each processed qubit on
+    // the way (all CPs are diagonal, hence mutually commuting, so this
+    // is an exact reordering of the textbook QFT); H(L_j) then fires
+    // after every CP that controls on it. Every 2Q gate acts on
+    // adjacent wires.
+    c.h(0);
+    for (int j = 1; j < n; ++j) {
+        for (int w = j; w >= 1; --w) {
+            // Wire w-1 holds L_{j-w}: angle pi / 2^(j - (j-w)).
+            c.cp(w, w - 1, kPi / std::pow(2.0, w));
+            c.swap(w, w - 1);
+        }
+        c.h(0);
+    }
+    return c;
+}
+
+Circuit
+quantumVolume(int n, std::uint64_t seed)
+{
+    Circuit c(n, scalingName(Family::Qv, n, seed));
+    Rng rng(seed * 0x9e3779b97f4a7c15ull + static_cast<unsigned>(n));
+    std::vector<int> perm(static_cast<std::size_t>(n));
+    const auto angle = [&rng] { return rng.nextDouble() * 2.0 * kPi; };
+    for (int layer = 0; layer < n; ++layer) {
+        for (int q = 0; q < n; ++q)
+            perm[static_cast<std::size_t>(q)] = q;
+        shuffle(perm, rng);
+        for (int p = 0; p + 1 < n; p += 2) {
+            const int a = perm[static_cast<std::size_t>(p)];
+            const int b = perm[static_cast<std::size_t>(p + 1)];
+            // Randomized SU(4) block in KAK form: 3 CX + 6 1Q gates.
+            c.u3(a, angle(), angle(), angle());
+            c.u3(b, angle(), angle(), angle());
+            c.cx(a, b);
+            c.rz(b, angle());
+            c.ry(a, angle());
+            c.cx(b, a);
+            c.ry(a, angle());
+            c.cx(a, b);
+            c.u3(b, angle(), angle(), angle());
+        }
+    }
+    return c;
+}
+
+} // namespace
+
+const std::vector<Family> &
+allFamilies()
+{
+    static const std::vector<Family> families = {
+        Family::Ghz, Family::Ising, Family::Qaoa, Family::QftNn,
+        Family::Qv,
+    };
+    return families;
+}
+
+std::string
+familyName(Family family)
+{
+    switch (family) {
+    case Family::Ghz:
+        return "ghz";
+    case Family::Ising:
+        return "ising";
+    case Family::Qaoa:
+        return "qaoa3r";
+    case Family::QftNn:
+        return "qftnn";
+    case Family::Qv:
+        return "qv";
+    }
+    fatal("familyName: unknown family");
+}
+
+Family
+familyFromName(const std::string &name)
+{
+    for (Family family : allFamilies())
+        if (familyName(family) == name)
+            return family;
+    fatal("unknown scaling family '" + name +
+          "' (known: ghz, ising, qaoa3r, qftnn, qv)");
+}
+
+std::int64_t
+expected2Q(Family family, int num_qubits)
+{
+    const std::int64_t n = num_qubits;
+    switch (family) {
+    case Family::Ghz:
+        return n - 1;
+    case Family::Ising:
+        return 2 * (n - 1);
+    case Family::Qaoa:
+        return 3 * n;
+    case Family::QftNn:
+        return n * (n - 1);
+    case Family::Qv:
+        return 3 * (n / 2) * n;
+    }
+    fatal("expected2Q: unknown family");
+}
+
+std::int64_t
+expected1Q(Family family, int num_qubits)
+{
+    const std::int64_t n = num_qubits;
+    switch (family) {
+    case Family::Ghz:
+        return 1;
+    case Family::Ising:
+        return 2 * n + (n - 1);
+    case Family::Qaoa:
+        return 2 * n + 3 * n / 2;
+    case Family::QftNn:
+        return n;
+    case Family::Qv:
+        return 6 * (n / 2) * n;
+    }
+    fatal("expected1Q: unknown family");
+}
+
+int
+minQubits(Family family)
+{
+    switch (family) {
+    case Family::Ghz:
+    case Family::Ising:
+    case Family::QftNn:
+        return 2;
+    case Family::Qaoa:
+        return 6;
+    case Family::Qv:
+        return 4;
+    }
+    fatal("minQubits: unknown family");
+}
+
+Circuit
+generate(Family family, int num_qubits, std::uint64_t seed)
+{
+    if (num_qubits < minQubits(family))
+        fatal("scaling::generate: " + familyName(family) + " needs at "
+              "least " + std::to_string(minQubits(family)) + " qubits");
+    if (family == Family::Qaoa && num_qubits % 2 != 0)
+        fatal("scaling::generate: qaoa3r needs an even qubit count "
+              "(3-regular graphs have no odd-order instances)");
+    switch (family) {
+    case Family::Ghz: {
+        Circuit c = bench_circuits::ghz(num_qubits);
+        c.setName(scalingName(family, num_qubits, seed));
+        return c;
+    }
+    case Family::Ising: {
+        Circuit c = bench_circuits::ising(num_qubits);
+        c.setName(scalingName(family, num_qubits, seed));
+        return c;
+    }
+    case Family::Qaoa:
+        return qaoa3Regular(num_qubits, seed);
+    case Family::QftNn:
+        return qftNearestNeighbour(num_qubits, seed);
+    case Family::Qv:
+        return quantumVolume(num_qubits, seed);
+    }
+    fatal("scaling::generate: unknown family");
+}
+
+Circuit
+generate(const std::string &family_name, int num_qubits,
+         std::uint64_t seed)
+{
+    return generate(familyFromName(family_name), num_qubits, seed);
+}
+
+std::vector<std::pair<int, int>>
+random3RegularEdges(int n, std::uint64_t seed)
+{
+    if (n < 6 || n % 2 != 0)
+        fatal("random3RegularEdges: need an even qubit count >= 6");
+    std::vector<std::pair<int, int>> edges;
+    edges.reserve(static_cast<std::size_t>(3 * n / 2));
+    // The n-cycle contributes degree 2 everywhere.
+    for (int i = 0; i < n; ++i)
+        edges.emplace_back(i, (i + 1) % n);
+    // A perfect matching avoiding cycle edges contributes the third
+    // degree: shuffle, pair consecutively, reject on any pair adjacent
+    // in the cycle (the only way a duplicate edge can arise).
+    Rng rng(seed);
+    std::vector<int> perm(static_cast<std::size_t>(n));
+    for (int attempt = 0; attempt < 128; ++attempt) {
+        for (int i = 0; i < n; ++i)
+            perm[static_cast<std::size_t>(i)] = i;
+        shuffle(perm, rng);
+        bool ok = true;
+        for (int p = 0; p < n && ok; p += 2) {
+            const int d = std::abs(perm[static_cast<std::size_t>(p)] -
+                                   perm[static_cast<std::size_t>(p + 1)]);
+            ok = d != 1 && d != n - 1;
+        }
+        if (!ok)
+            continue;
+        for (int p = 0; p < n; p += 2)
+            edges.emplace_back(perm[static_cast<std::size_t>(p)],
+                               perm[static_cast<std::size_t>(p + 1)]);
+        return edges;
+    }
+    // Deterministic fallback (probability ~ (1/3)^128 for n >= 8): the
+    // half-turn chord matching, never cycle-adjacent for n >= 6.
+    for (int i = 0; i < n / 2; ++i)
+        edges.emplace_back(i, i + n / 2);
+    return edges;
+}
+
+} // namespace zac::scaling

@@ -1,0 +1,104 @@
+/**
+ * @file
+ * Synthetic scaling circuit families (ISSUE 10): seeded generators
+ * parameterized from ~10 to thousands of qubits, used by the
+ * workload-scaling sweep (bench/perf_scaling.cpp) to measure
+ * qubit-count vs. compile-time curves far beyond the 17 paper
+ * circuits. Every generator is a pure function of (family, num_qubits,
+ * seed) — the portable zac::Rng guarantees identical circuits on every
+ * platform — and every family has a closed-form gate-count formula so
+ * tests can pin the construction.
+ */
+
+#ifndef ZAC_CIRCUIT_SCALING_HPP
+#define ZAC_CIRCUIT_SCALING_HPP
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "circuit/circuit.hpp"
+
+namespace zac::scaling
+{
+
+/** The synthetic scaling families of the workload sweep. */
+enum class Family
+{
+    Ghz,   ///< H + CX chain; linear gate count, serial stages
+    Ising, ///< one TFIM Trotter step; linear, highly parallel
+    Qaoa,  ///< p=1 QAOA on a seeded random 3-regular graph; linear
+    QftNn, ///< nearest-neighbour QFT (CP+SWAP cascade); quadratic
+    Qv,    ///< Quantum Volume model circuit (seeded); quadratic
+};
+
+/** All families, in the sweep's canonical order. */
+const std::vector<Family> &allFamilies();
+
+/** Canonical short name, e.g. "qaoa3r" for Family::Qaoa. */
+std::string familyName(Family family);
+
+/** Inverse of familyName(). @throws zac::FatalError on unknown names. */
+Family familyFromName(const std::string &name);
+
+/**
+ * Exact 2Q-gate count of generate(family, n, seed) for any seed.
+ * Ghz: n-1. Ising: 2*(n-1). Qaoa: 3n (two CX per 3-regular edge).
+ * QftNn: n*(n-1) (one CP + one SWAP per pair). Qv: 3*floor(n/2)*n
+ * (three CX per SU(4) block, floor(n/2) blocks over n layers).
+ */
+std::int64_t expected2Q(Family family, int num_qubits);
+
+/**
+ * Exact 1Q-gate count of generate(family, n, seed) for any seed.
+ * Ghz: 1. Ising: 2n + n-1. Qaoa: 2n + 3n/2. QftNn: n.
+ * Qv: 6*floor(n/2)*n.
+ */
+std::int64_t expected1Q(Family family, int num_qubits);
+
+/** Smallest supported qubit count of a family (Qaoa needs even n >= 6). */
+int minQubits(Family family);
+
+/**
+ * Build one scaling circuit. The name encodes the full parameter
+ * tuple, e.g. "qaoa3r_n128_s7".
+ *
+ * Families:
+ *  - Ghz: H(0) then the CX chain (the paper's ghz family, unbounded);
+ *  - Ising: one first-order Trotter step of the 1D TFIM (the paper's
+ *    ising family, unbounded);
+ *  - Qaoa: p=1 QAOA on a random 3-regular graph — the union of the
+ *    n-cycle and a seeded perfect matching with no cycle-adjacent or
+ *    duplicate pairs — with a CX-RZ-CX phase separator per edge and an
+ *    RX mixer layer (gamma/beta fixed, graph seeded);
+ *  - QftNn: the exact QFT in nearest-neighbour form: a CP+SWAP cascade
+ *    walks each new qubit down the chain, so every 2Q gate acts on
+ *    adjacent logical positions (no long-range CP as in the paper's
+ *    qft family);
+ *  - Qv: the Quantum Volume model: n layers, each pairing a seeded
+ *    random permutation of the qubits and applying a randomized SU(4)
+ *    block (3 CX + 6 1Q rotations) per pair.
+ *
+ * @throws zac::FatalError when num_qubits < minQubits(family), or for
+ *         Qaoa when num_qubits is odd.
+ */
+Circuit generate(Family family, int num_qubits, std::uint64_t seed = 1);
+
+/** generate() by family name (for CLI / manifest use). */
+Circuit generate(const std::string &family_name, int num_qubits,
+                 std::uint64_t seed = 1);
+
+/**
+ * The edge list of the seeded random 3-regular graph used by the Qaoa
+ * family: the n-cycle plus a perfect matching drawn by rejection
+ * sampling from @p seed (deterministic; falls back to the (i, i+n/2)
+ * chord matching if 128 shuffles all collide, which for n >= 8 is
+ * vanishingly rare). Exposed for tests: exactly 3n/2 edges, every
+ * vertex with degree exactly 3, no self-loops or duplicates.
+ */
+std::vector<std::pair<int, int>> random3RegularEdges(int num_qubits,
+                                                     std::uint64_t seed);
+
+} // namespace zac::scaling
+
+#endif // ZAC_CIRCUIT_SCALING_HPP

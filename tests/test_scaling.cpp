@@ -1,0 +1,274 @@
+/**
+ * @file
+ * Tests for the synthetic workload-scaling layer (ISSUE 10): seeded
+ * determinism and closed-form gate counts of the scaling circuit
+ * families, random 3-regular graph invariants, nearest-neighbour
+ * structure of the QFT cascade, the proportionally scaled zoned
+ * architectures (layout formulas, finalize() validity, fingerprint
+ * stability/uniqueness), and streamed-vs-DOM byte identity on a
+ * sampled (family, size) grid including a >= 1000-qubit point.
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdlib>
+#include <set>
+#include <sstream>
+#include <utility>
+#include <vector>
+
+#include "arch/scaling.hpp"
+#include "arch/serialize.hpp"
+#include "circuit/scaling.hpp"
+#include "common/logging.hpp"
+#include "core/compiler.hpp"
+#include "zair/serialize.hpp"
+
+namespace zac
+{
+namespace
+{
+
+using scaling::Family;
+
+// ------------------------------------------------- circuit generators
+
+TEST(ScalingGenerators, SeededDeterminism)
+{
+    for (Family family : scaling::allFamilies()) {
+        const int n = std::max(scaling::minQubits(family), 24);
+        const Circuit a = scaling::generate(family, n, 7);
+        const Circuit b = scaling::generate(family, n, 7);
+        EXPECT_EQ(a.contentHash(), b.contentHash())
+            << scaling::familyName(family);
+        EXPECT_EQ(a.name(), b.name());
+    }
+}
+
+TEST(ScalingGenerators, SeedChangesRandomizedFamilies)
+{
+    // Qaoa (random graph) and Qv (random blocks) must differ across
+    // seeds; the deterministic families must not.
+    for (Family family : {Family::Qaoa, Family::Qv}) {
+        const Circuit a = scaling::generate(family, 24, 1);
+        const Circuit b = scaling::generate(family, 24, 2);
+        EXPECT_NE(a.contentHash(), b.contentHash())
+            << scaling::familyName(family);
+    }
+    for (Family family : {Family::Ghz, Family::Ising, Family::QftNn}) {
+        const Circuit a = scaling::generate(family, 24, 1);
+        const Circuit b = scaling::generate(family, 24, 2);
+        EXPECT_EQ(a.contentHash(), b.contentHash())
+            << scaling::familyName(family);
+    }
+}
+
+TEST(ScalingGenerators, GateCountFormulas)
+{
+    for (Family family : scaling::allFamilies()) {
+        for (int n : {6, 10, 16, 40, 98, 160}) {
+            if (n < scaling::minQubits(family))
+                continue;
+            if (family == Family::Qaoa && n % 2 != 0)
+                continue;
+            const Circuit c = scaling::generate(family, n, 3);
+            EXPECT_EQ(c.numQubits(), n);
+            EXPECT_EQ(c.count2Q(), scaling::expected2Q(family, n))
+                << scaling::familyName(family) << " n=" << n;
+            EXPECT_EQ(c.count1Q(), scaling::expected1Q(family, n))
+                << scaling::familyName(family) << " n=" << n;
+            EXPECT_EQ(c.count3Q(), 0);
+        }
+    }
+}
+
+TEST(ScalingGenerators, QftCascadeIsNearestNeighbour)
+{
+    const Circuit c = scaling::generate(Family::QftNn, 24, 1);
+    for (const auto &[a, b] : c.interactionEdges())
+        EXPECT_EQ(std::abs(a - b), 1);
+}
+
+TEST(ScalingGenerators, Random3RegularInvariants)
+{
+    for (int n : {6, 10, 48, 200}) {
+        for (std::uint64_t seed : {1ull, 2ull, 3ull}) {
+            const auto edges = scaling::random3RegularEdges(n, seed);
+            ASSERT_EQ(edges.size(),
+                      static_cast<std::size_t>(3 * n / 2));
+            std::vector<int> degree(static_cast<std::size_t>(n), 0);
+            std::set<std::pair<int, int>> seen;
+            for (const auto &[a, b] : edges) {
+                ASSERT_NE(a, b);
+                ASSERT_GE(std::min(a, b), 0);
+                ASSERT_LT(std::max(a, b), n);
+                ++degree[static_cast<std::size_t>(a)];
+                ++degree[static_cast<std::size_t>(b)];
+                EXPECT_TRUE(
+                    seen.emplace(std::min(a, b), std::max(a, b))
+                        .second)
+                    << "duplicate edge " << a << "-" << b;
+            }
+            for (int d : degree)
+                EXPECT_EQ(d, 3);
+        }
+    }
+}
+
+TEST(ScalingGenerators, Random3RegularSeedsDiffer)
+{
+    const auto a = scaling::random3RegularEdges(48, 1);
+    const auto b = scaling::random3RegularEdges(48, 2);
+    EXPECT_NE(a, b);
+    EXPECT_EQ(a, scaling::random3RegularEdges(48, 1));
+}
+
+TEST(ScalingGenerators, InvalidSizesAreFatal)
+{
+    EXPECT_THROW(scaling::generate(Family::Qaoa, 7, 1), FatalError);
+    EXPECT_THROW(scaling::generate(Family::Qaoa, 4, 1), FatalError);
+    EXPECT_THROW(scaling::generate(Family::Qv, 2, 1), FatalError);
+    EXPECT_THROW(scaling::generate(Family::Ghz, 1, 1), FatalError);
+    EXPECT_THROW(scaling::random3RegularEdges(5, 1), FatalError);
+    EXPECT_THROW(scaling::generate("nope", 10, 1), FatalError);
+}
+
+TEST(ScalingGenerators, NameEncodesParameters)
+{
+    EXPECT_EQ(scaling::generate(Family::Qaoa, 128, 7).name(),
+              "qaoa3r_n128_s7");
+    EXPECT_EQ(scaling::generate("ghz", 1024, 1).name(),
+              "ghz_n1024_s1");
+}
+
+// ------------------------------------------------ scaled architectures
+
+TEST(ScaledArch, ReferenceCapacityAt98Qubits)
+{
+    // At the paper's largest circuit the scaled layout must reproduce
+    // the reference provisioning exactly.
+    const ScaledArchLayout l = scaledZonedLayout(98);
+    EXPECT_EQ(l.storage_rows, 100);
+    EXPECT_EQ(l.storage_cols, 100);
+    EXPECT_EQ(l.site_rows, 7);
+    EXPECT_EQ(l.site_cols, 20);
+    EXPECT_EQ(l.aod_rows, 100);
+    EXPECT_EQ(l.storageTraps(), 10000);
+    EXPECT_EQ(l.sites(), 140);
+    // Small circuits get the same floor, not a tiny arch.
+    const ScaledArchLayout s = scaledZonedLayout(10);
+    EXPECT_EQ(s.storageTraps(), 10000);
+    EXPECT_EQ(s.sites(), 140);
+}
+
+TEST(ScaledArch, CapacityScalesProportionally)
+{
+    long long prev_traps = 0;
+    long long prev_sites = 0;
+    for (int n : {98, 200, 500, 1000, 2000}) {
+        const ScaledArchLayout l = scaledZonedLayout(n);
+        // Per-qubit provisioning never drops below the reference
+        // ratios (10000/98 traps, 140/98 sites per qubit).
+        EXPECT_GE(l.storageTraps() * 98LL, 10000LL * n) << n;
+        EXPECT_GE(l.sites() * 98LL, 140LL * n) << n;
+        // ...and never overshoots wildly (grid rounding only).
+        EXPECT_LE(l.storageTraps() * 98LL,
+                  3LL * 10000LL * n + 98LL * 20000LL)
+            << n;
+        EXPECT_GE(l.storageTraps(), prev_traps);
+        EXPECT_GE(l.sites(), prev_sites);
+        // The entanglement zone must stay narrower than storage so
+        // the centered placement keeps every site in positive x.
+        EXPECT_LT((l.site_cols - 1) * 12.0 + 2.0,
+                  (l.storage_cols - 1) * 3.0)
+            << n;
+        prev_traps = l.storageTraps();
+        prev_sites = l.sites();
+        EXPECT_EQ(l.aod_rows, l.storage_rows);
+    }
+}
+
+TEST(ScaledArch, BuildsValidArchitectures)
+{
+    for (int n : {10, 98, 500, 2000}) {
+        const Architecture arch = scaledZoned(n);
+        const ScaledArchLayout l = scaledZonedLayout(n);
+        EXPECT_EQ(arch.numStorageTraps(), l.storageTraps()) << n;
+        EXPECT_EQ(static_cast<long long>(arch.sites().size()),
+                  l.sites())
+            << n;
+        EXPECT_EQ(arch.aods().size(), 1u);
+    }
+    EXPECT_EQ(scaledZoned(98, 3).aods().size(), 3u);
+    EXPECT_THROW(scaledZoned(0), FatalError);
+    EXPECT_THROW(scaledZoned(10, 0), FatalError);
+}
+
+TEST(ScaledArch, FingerprintsStableAndUnique)
+{
+    std::set<std::uint64_t> prints;
+    for (int n : {10, 98, 200, 1000}) {
+        const std::uint64_t fp = architectureFingerprint(scaledZoned(n));
+        EXPECT_EQ(fp, architectureFingerprint(scaledZoned(n))) << n;
+        EXPECT_TRUE(prints.insert(fp).second) << n;
+    }
+    // Same capacity but different AOD count must not collide either
+    // (the arch name encodes the full parameter tuple).
+    EXPECT_TRUE(
+        prints.insert(architectureFingerprint(scaledZoned(98, 2)))
+            .second);
+}
+
+// --------------------------------------------- end-to-end compilation
+
+/** Compact DOM dump — the byte-identity reference for streaming. */
+std::string
+domBytes(const ZacResult &r)
+{
+    std::ostringstream ss;
+    streamZairProgram(ss, r.program, 0);
+    return ss.str();
+}
+
+TEST(ScalingCompile, StreamedVsDomIdentityOnSampledGrid)
+{
+    const std::vector<std::pair<Family, int>> grid = {
+        {Family::Ghz, 64},  {Family::Ising, 40}, {Family::Qaoa, 32},
+        {Family::QftNn, 24}, {Family::Qv, 16},
+    };
+    CompileScratch scratch; // deliberately shared across sizes
+    for (const auto &[family, n] : grid) {
+        const auto context = ArchContext::build(scaledZoned(n));
+        const ZacCompiler compiler(context, ZacOptions::full());
+        const Circuit c = scaling::generate(family, n, 1);
+        const ZacResult dom = compiler.compile(c);
+        const ZacStreamedResult s = compiler.compileStreamed(
+            c, CompileControl{}, &scratch);
+        EXPECT_EQ(s.program_json, domBytes(dom))
+            << scaling::familyName(family) << " n=" << n;
+        EXPECT_EQ(s.fidelity.total, dom.fidelity.total);
+    }
+}
+
+TEST(ScalingCompile, ThousandQubitPointIsDeterministic)
+{
+    // The sweep's acceptance point: >= 1000 qubits through the
+    // streamed path with DOM verification enabled (panics on any
+    // divergence), byte-identical across repeated compiles.
+    const int n = 1024;
+    const auto context = ArchContext::build(scaledZoned(n));
+    const ZacCompiler compiler(context, ZacOptions::full());
+    const Circuit c = scaling::generate(Family::Ghz, n, 1);
+    CompileScratch scratch;
+    const ZacStreamedResult a = compiler.compileStreamed(
+        c, CompileControl{}, &scratch, /*verify_with_dom=*/true);
+    const ZacStreamedResult b = compiler.compileStreamed(
+        c, CompileControl{}, &scratch, /*verify_with_dom=*/true);
+    EXPECT_EQ(a.program_json, b.program_json);
+    EXPECT_FALSE(a.program_json.empty());
+    EXPECT_EQ(a.fidelity.total, b.fidelity.total);
+}
+
+} // namespace
+} // namespace zac
